@@ -1,0 +1,68 @@
+//! Ablation studies for the design choices called out in DESIGN.md §6:
+//!
+//! 1. the Section IV-A data-value-independent coalescing optimization,
+//! 2. single vs pipelined in-flight BMT root updates (early path),
+//! 3. drain watermark placement.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin ablations [instructions]`
+
+use secpb_bench::experiments::{
+    ablation_bmt_pipelining, ablation_coalescing, ablation_speculative_verification,
+    ablation_watermarks, DEFAULT_INSTRUCTIONS,
+};
+use secpb_bench::report::{overhead_pct, render_table};
+use secpb_core::scheme::Scheme;
+
+fn main() {
+    let instructions = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS / 4);
+    eprintln!("ablations @ {instructions} instructions/benchmark");
+
+    // 1. Coalescing (most impactful for the eager schemes, Section IV-A).
+    let mut rows = Vec::new();
+    for scheme in [Scheme::Cm, Scheme::M, Scheme::NoGap] {
+        let (on, off) = ablation_coalescing(scheme, instructions);
+        rows.push(vec![
+            scheme.name().to_owned(),
+            overhead_pct(on),
+            overhead_pct(off),
+            format!("{:.2}x", off / on),
+        ]);
+    }
+    println!("ABLATION 1: value-independent coalescing (Section IV-A)");
+    println!("{}", render_table(&["scheme", "with (geomean)", "without", "benefit"], &rows));
+
+    // 2. BMT pipelining on the early path.
+    let mut rows = Vec::new();
+    for scheme in [Scheme::Cm, Scheme::NoGap] {
+        let (single, pipelined) = ablation_bmt_pipelining(scheme, instructions);
+        rows.push(vec![
+            scheme.name().to_owned(),
+            overhead_pct(single),
+            overhead_pct(pipelined),
+        ]);
+    }
+    println!("ABLATION 2: one in-flight BMT update vs pipelined (early path)");
+    println!("{}", render_table(&["scheme", "single", "pipelined"], &rows));
+
+    // 3. Watermarks (COBCM lives off its drain engine).
+    let pairs = [(0.9, 0.75), (0.75, 0.5), (0.5, 0.25)];
+    let results = ablation_watermarks(Scheme::Cobcm, &pairs, instructions);
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|((h, l), v)| vec![format!("{h:.2}/{l:.2}"), overhead_pct(*v)])
+        .collect();
+    println!("ABLATION 3: drain watermarks (COBCM)");
+    println!("{}", render_table(&["high/low", "overhead"], &rows));
+
+    // 4. Speculative vs blocking load verification (Section V-A).
+    let mut rows = Vec::new();
+    for scheme in [Scheme::Cobcm, Scheme::Cm] {
+        let (spec, blocking) = ablation_speculative_verification(scheme, instructions);
+        rows.push(vec![scheme.name().to_owned(), overhead_pct(spec), overhead_pct(blocking)]);
+    }
+    println!("ABLATION 4: speculative vs blocking load verification");
+    println!("{}", render_table(&["scheme", "speculative", "blocking"], &rows));
+}

@@ -1,0 +1,50 @@
+//! Calibration: prints Table IV-style averages next to the paper's
+//! values, plus per-benchmark detail, so model parameters can be tuned.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin calibrate [instructions]`
+
+use secpb_bench::experiments::{table4, DEFAULT_INSTRUCTIONS};
+use secpb_bench::report::{render_table, slowdown_label};
+use secpb_core::scheme::Scheme;
+
+/// The paper's Table IV: average slowdowns for a 32-entry SecPB.
+const PAPER_TABLE4: [(Scheme, f64); 6] = [
+    (Scheme::Cobcm, 1.013),
+    (Scheme::Obcm, 1.015),
+    (Scheme::Bcm, 1.148),
+    (Scheme::Cm, 1.713),
+    (Scheme::M, 1.738),
+    (Scheme::NoGap, 2.184),
+];
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS);
+    eprintln!("running Table IV calibration at {instructions} instructions per benchmark...");
+    let study = table4(instructions);
+
+    let mut rows = Vec::new();
+    for (scheme, paper) in PAPER_TABLE4 {
+        let ours = study.averages.iter().find(|(s, _)| *s == scheme).map(|(_, v)| *v).unwrap();
+        rows.push(vec![
+            scheme.name().to_owned(),
+            slowdown_label(ours),
+            slowdown_label(paper),
+            format!("{:.2}", ours / paper),
+        ]);
+    }
+    println!("{}", render_table(&["model", "measured", "paper", "ratio"], &rows));
+
+    println!("per-benchmark slowdowns (vs bbb):");
+    let mut detail = Vec::new();
+    for row in &study.rows {
+        let mut cells = vec![row.name.clone(), format!("{:.1}", row.ppti), format!("{:.1}", row.nwpe)];
+        cells.extend(row.slowdowns.iter().map(|(_, v)| slowdown_label(*v)));
+        detail.push(cells);
+    }
+    let mut headers = vec!["bench", "ppti", "nwpe"];
+    headers.extend(study.schemes.iter().map(|s| s.name()));
+    println!("{}", render_table(&headers, &detail));
+}

@@ -1,0 +1,54 @@
+//! Characterizes the 18 synthetic workloads: PPTI, reuse-distance
+//! derived coalescing predictions per SecPB size, and the measured NWPE
+//! from an actual COBCM run — showing that the analytical reuse profile
+//! predicts the simulator's coalescing.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin characterize [instructions]`
+
+use secpb_bench::experiments::{run_benchmark, DEFAULT_INSTRUCTIONS};
+use secpb_bench::report::render_table;
+use secpb_core::scheme::Scheme;
+use secpb_core::tree::TreeKind;
+use secpb_sim::config::SystemConfig;
+use secpb_workloads::characterize::ReuseProfile;
+use secpb_workloads::{TraceGenerator, WorkloadProfile};
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS / 5);
+    eprintln!("characterizing @ {instructions} instructions/benchmark");
+    let mut rows = Vec::new();
+    for name in WorkloadProfile::SPEC_NAMES {
+        let profile = WorkloadProfile::named(name).expect("known");
+        let trace = TraceGenerator::new(profile.clone(), 1).generate(instructions);
+        let reuse = ReuseProfile::of(&trace, &ReuseProfile::SECPB_BUCKETS);
+        let run = run_benchmark(
+            &profile,
+            Scheme::Cobcm,
+            SystemConfig::default(),
+            TreeKind::Monolithic,
+            instructions,
+        );
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.1}", run.ppti()),
+            format!("{:.0}%", reuse.hit_fraction_within(8) * 100.0),
+            format!("{:.0}%", reuse.hit_fraction_within(32) * 100.0),
+            format!("{:.0}%", reuse.hit_fraction_within(256) * 100.0),
+            format!("{:.1}", reuse.predicted_nwpe(32)),
+            format!("{:.1}", run.nwpe()),
+        ]);
+    }
+    println!("workload characterization (reuse distances of the store stream):");
+    println!(
+        "{}",
+        render_table(
+            &["benchmark", "ppti", "hit<=8", "hit<=32", "hit<=256", "nwpe pred@32", "nwpe sim@32"],
+            &rows
+        )
+    );
+    println!("prediction uses ideal residency; the simulator's watermark draining");
+    println!("shortens effective residency, so simulated NWPE trails the prediction.");
+}

@@ -1,0 +1,33 @@
+//! Developer tool: detailed counters for one benchmark across schemes.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin debug_one [bench] [instructions]`
+
+use secpb_bench::experiments::{run_benchmark, SEED};
+use secpb_core::scheme::Scheme;
+use secpb_core::tree::TreeKind;
+use secpb_sim::config::SystemConfig;
+use secpb_workloads::WorkloadProfile;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "povray".into());
+    let instructions: u64 =
+        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300_000);
+    let profile = WorkloadProfile::named(&name).expect("known benchmark");
+    let _ = SEED;
+    for scheme in Scheme::ALL {
+        let r = run_benchmark(&profile, scheme, SystemConfig::default(), TreeKind::Monolithic, instructions);
+        println!(
+            "{:>6}: cycles={:>9} ipc={:.3} ppti={:.1} nwpe={:.1} allocs={} macs={} full_stall={} sb_stall={} ctr_miss={}",
+            scheme.name(),
+            r.cycles,
+            r.ipc(),
+            r.ppti(),
+            r.nwpe(),
+            r.stats.get("secpb.allocations"),
+            r.stats.get("crypto.macs"),
+            r.stats.get("secpb.full_stall_cycles"),
+            r.stats.get("core.sb_stall_cycles"),
+            r.stats.get("metadata.counter_misses"),
+        );
+    }
+}

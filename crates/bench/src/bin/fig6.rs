@@ -1,0 +1,37 @@
+//! Regenerates **Figure 6**: per-benchmark execution time of every SecPB
+//! scheme with a 32-entry SecPB, normalized to the bbb baseline.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin fig6 [instructions] [--json out.json]`
+
+use secpb_bench::experiments::{fig6, DEFAULT_INSTRUCTIONS};
+use secpb_bench::report::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instructions =
+        args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRUCTIONS);
+    eprintln!("Figure 6 @ {instructions} instructions/benchmark");
+    let study = fig6(instructions);
+
+    let mut headers = vec!["benchmark", "ppti", "nwpe"];
+    headers.extend(study.schemes.iter().map(|s| s.name()));
+    let mut rows = Vec::new();
+    for row in &study.rows {
+        let mut cells =
+            vec![row.name.clone(), format!("{:.1}", row.ppti), format!("{:.1}", row.nwpe)];
+        cells.extend(row.slowdowns.iter().map(|(_, v)| format!("{v:.3}")));
+        rows.push(cells);
+    }
+    let mut mean = vec!["geomean".to_owned(), String::new(), String::new()];
+    mean.extend(study.averages.iter().map(|(_, v)| format!("{v:.3}")));
+    rows.push(mean);
+    println!("FIGURE 6: execution time normalized to bbb (32-entry SecPB)");
+    println!("{}", render_table(&headers, &rows));
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args.get(pos + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&study).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

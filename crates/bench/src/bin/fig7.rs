@@ -1,0 +1,38 @@
+//! Regenerates **Figure 7**: execution time of the CM model across SecPB
+//! sizes (8..=512 entries), normalized to a same-size bbb baseline.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin fig7 [instructions] [--json out.json]`
+
+use secpb_bench::experiments::{fig7, DEFAULT_INSTRUCTIONS};
+use secpb_bench::report::render_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instructions =
+        args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRUCTIONS);
+    eprintln!("Figure 7 @ {instructions} instructions/benchmark (CM model)");
+    let sweep = fig7(instructions);
+
+    let mut headers: Vec<String> = vec!["benchmark".into()];
+    headers.extend(sweep.sizes.iter().map(|s| format!("{s}e")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    for (name, vals) in &sweep.rows {
+        let mut cells = vec![name.clone()];
+        cells.extend(vals.iter().map(|v| format!("{v:.3}")));
+        rows.push(cells);
+    }
+    let mut mean = vec!["geomean".to_owned()];
+    mean.extend(sweep.averages.iter().map(|v| format!("{v:.3}")));
+    rows.push(mean);
+    println!("FIGURE 7: CM execution time normalized to bbb, by SecPB size");
+    println!("{}", render_table(&header_refs, &rows));
+    println!("paper anchors: ~2.12x at 8 entries, ~1.24x at 512 entries; diminishing returns past 32-64");
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args.get(pos + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&sweep).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Figure 9**: SecPB's CM model paired with the DBMF and
+//! SBMF Bonsai-Merkle-Forest height-reduction mechanisms, against the SP
+//! baseline with the same mechanisms.  All normalized to bbb.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin fig9 [instructions] [--json out.json]`
+
+use secpb_bench::experiments::{fig9, DEFAULT_INSTRUCTIONS};
+use secpb_bench::report::{bar_chart, render_table, slowdown_label};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instructions =
+        args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRUCTIONS);
+    eprintln!("Figure 9 @ {instructions} instructions/benchmark");
+    let study = fig9(instructions);
+
+    let mut headers: Vec<&str> = vec!["benchmark"];
+    headers.extend(study.variants.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for (name, vals) in &study.rows {
+        let mut cells = vec![name.clone()];
+        cells.extend(vals.iter().map(|v| format!("{v:.3}")));
+        rows.push(cells);
+    }
+    let mut mean = vec!["geomean".to_owned()];
+    mean.extend(study.averages.iter().map(|v| slowdown_label(*v)));
+    rows.push(mean);
+    println!("FIGURE 9: BMF study, execution time normalized to bbb");
+    println!("{}", render_table(&headers, &rows));
+    let bars: Vec<(String, f64)> =
+        study.variants.iter().cloned().zip(study.averages.iter().copied()).collect();
+    println!("geomean normalized execution time:");
+    println!("{}", bar_chart(&bars, 48));
+    println!("paper anchors: sp_dbmf 88.9%, sp_sbmf 3.43x, cm_dbmf 33.3%, cm_sbmf 56.6%");
+    println!("expected shape: cm_dbmf < cm_sbmf < sp_dbmf < sp_sbmf");
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args.get(pos + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&study).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

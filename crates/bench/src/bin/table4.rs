@@ -1,0 +1,42 @@
+//! Regenerates **Table IV**: average performance overheads of all SecPB
+//! schemes with a 32-entry SecPB, normalized to the insecure bbb baseline.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin table4 [instructions] [--json out.json]`
+
+use secpb_bench::experiments::{table4, DEFAULT_INSTRUCTIONS};
+use secpb_bench::report::{bar_chart, overhead_pct, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instructions =
+        args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRUCTIONS);
+    eprintln!("Table IV @ {instructions} instructions/benchmark (paper: 250M on Gem5)");
+    let study = table4(instructions);
+
+    let paper = [1.3, 1.5, 14.8, 71.3, 73.8, 118.4];
+    let rows: Vec<Vec<String>> = study
+        .averages
+        .iter()
+        .zip(paper)
+        .map(|((scheme, slowdown), paper_pct)| {
+            vec![
+                scheme.name().to_owned(),
+                overhead_pct(*slowdown),
+                format!("{paper_pct}%"),
+            ]
+        })
+        .collect();
+    println!("TABLE IV: performance overheads, 32-entry SecPB (geometric mean)");
+    println!("{}", render_table(&["model", "slowdown (ours)", "slowdown (paper)"], &rows));
+    let bars: Vec<(String, f64)> =
+        study.averages.iter().map(|(s, v)| (s.name().to_owned(), *v)).collect();
+    println!("normalized execution time (1.0 = bbb):");
+    println!("{}", bar_chart(&bars, 48));
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args.get(pos + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&study).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

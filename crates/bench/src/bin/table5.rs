@@ -1,0 +1,41 @@
+//! Regenerates **Table V**: energy-source size estimates for every scheme
+//! with a 32-entry SecPB, compared to secure eADR, bbb, and plain eADR.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin table5 [--json out.json]`
+
+use secpb_bench::experiments::table5;
+use secpb_bench::report::{mm3, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows = table5(32);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.clone(),
+                mm3(r.volume_mm3.0),
+                mm3(r.volume_mm3.1),
+                format!("{:.1}%", r.core_area_pct.0),
+                format!("{:.1}%", r.core_area_pct.1),
+            ]
+        })
+        .collect();
+    println!("TABLE V: energy-source size, 32-entry SecPB (per core)");
+    println!(
+        "{}",
+        render_table(
+            &["system", "SuperCap mm3", "Li-Thin mm3", "SuperCap %core", "Li-Thin %core"],
+            &table
+        )
+    );
+    println!("paper anchors: cobcm 4.89/0.049, bcm 4.72/0.047, nogap 0.28/0.003,");
+    println!("               s_eadr 3706/37.06, bbb 0.07/0.001, eadr 149.32/1.490");
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args.get(pos + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

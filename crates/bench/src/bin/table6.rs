@@ -1,0 +1,40 @@
+//! Regenerates **Table VI**: supercapacitor/battery capacity for varying
+//! SecPB sizes under the COBCM and NoGap models.
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin table6 [--json out.json]`
+
+use secpb_bench::experiments::table6;
+use secpb_bench::report::{mm3, render_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rows = table6();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.entries.to_string(),
+                mm3(r.cobcm_mm3.0),
+                mm3(r.cobcm_mm3.1),
+                mm3(r.nogap_mm3.0),
+                mm3(r.nogap_mm3.1),
+            ]
+        })
+        .collect();
+    println!("TABLE VI: battery capacity (mm3) vs SecPB size");
+    println!(
+        "{}",
+        render_table(
+            &["entries", "COBCM SuperCap", "COBCM Li-Thin", "NoGap SuperCap", "NoGap Li-Thin"],
+            &table
+        )
+    );
+    println!("paper anchors @32: COBCM 4.89/0.049, NoGap 0.28/0.003; @512: COBCM 76.10/0.761, NoGap 4.35/0.044");
+
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        let path = args.get(pos + 1).expect("--json needs a path");
+        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serialize"))
+            .expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,49 @@
+//! Reproduces the paper's **Section VI-B analytical IPC validation**: for
+//! the NoGap scheme, the measured IPC should track
+//! `1000 / (320·PPTI/NWPE + 40·PPTI)` (gamess: estimate 0.11, Gem5
+//! measured 0.13).
+//!
+//! Usage: `cargo run --release -p secpb-bench --bin validate_ipc [instructions]`
+
+use secpb_bench::analytic::validate;
+use secpb_bench::experiments::{run_benchmark, DEFAULT_INSTRUCTIONS};
+use secpb_bench::report::render_table;
+use secpb_core::scheme::Scheme;
+use secpb_core::tree::TreeKind;
+use secpb_sim::config::SystemConfig;
+use secpb_workloads::WorkloadProfile;
+
+fn main() {
+    let instructions = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS);
+    eprintln!("Section VI-B IPC validation @ {instructions} instructions");
+    let mut rows = Vec::new();
+    for name in WorkloadProfile::SPEC_NAMES {
+        let profile = WorkloadProfile::named(name).expect("known");
+        let run = run_benchmark(
+            &profile,
+            Scheme::NoGap,
+            SystemConfig::default(),
+            TreeKind::Monolithic,
+            instructions,
+        );
+        let (est, measured, ratio) = validate(&run);
+        rows.push(vec![
+            name.to_owned(),
+            format!("{:.1}", run.ppti()),
+            format!("{:.1}", run.nwpe()),
+            format!("{est:.3}"),
+            format!("{measured:.3}"),
+            format!("{ratio:.2}"),
+        ]);
+    }
+    println!("Analytical IPC model vs simulator (NoGap):");
+    println!(
+        "{}",
+        render_table(&["benchmark", "ppti", "nwpe", "est ipc", "measured ipc", "ratio"], &rows)
+    );
+    println!("paper anchor: gamess est 0.11, measured 0.13 (ratio 1.18);");
+    println!("measured should exceed the estimate slightly (MAC/BMT overlap).");
+}

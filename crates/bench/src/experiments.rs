@@ -1,0 +1,471 @@
+//! Experiment runners for every table and figure in the paper's
+//! evaluation.
+//!
+//! All timing experiments replay the 18 SPEC-named synthetic workloads
+//! (default 1 M instructions each — enough for the statistics to
+//! stabilize; the paper's 250 M-instruction SimPoints serve the same
+//! purpose on Gem5) and normalize against the insecure `bbb` baseline,
+//! exactly as the paper does.  Averages are geometric means, which is the
+//! only way the paper's per-benchmark outliers (e.g. gamess at 18× under
+//! CM) are consistent with its reported averages.
+
+use serde::Serialize;
+
+use secpb_core::metrics::{counters, RunResult};
+use secpb_core::scheme::Scheme;
+use secpb_core::system::SecureSystem;
+use secpb_core::tree::TreeKind;
+use secpb_energy::battery::BatteryTech;
+use secpb_energy::drain::{
+    eadr_energy, secpb_drain_energy, secure_eadr_energy, SchemeKind,
+};
+use secpb_sim::config::SystemConfig;
+use secpb_workloads::{TraceGenerator, WorkloadProfile};
+
+/// Default per-benchmark instruction budget.
+pub const DEFAULT_INSTRUCTIONS: u64 = 1_000_000;
+
+/// Maximum warm-up instructions before the measurement region, mirroring
+/// the paper's fast-forward to representative SimPoint regions: caches,
+/// metadata caches, and working sets are touched before measuring.
+/// Short exploratory runs warm proportionally (2× the measured length).
+pub const WARMUP_INSTRUCTIONS: u64 = 600_000;
+
+/// The warm-up length used for a given measurement length.
+pub fn warmup_for(instructions: u64) -> u64 {
+    WARMUP_INSTRUCTIONS.min(instructions * 2)
+}
+
+/// Deterministic seed base for all experiments.
+pub const SEED: u64 = 0x5EC9_B0A2;
+
+/// Runs one benchmark under one scheme: warm up, reset measurement,
+/// measure.
+pub fn run_benchmark(
+    profile: &WorkloadProfile,
+    scheme: Scheme,
+    cfg: SystemConfig,
+    tree: TreeKind,
+    instructions: u64,
+) -> RunResult {
+    let mut generator = TraceGenerator::new(profile.clone(), SEED);
+    let mut sys = SecureSystem::with_tree(cfg, scheme, tree, SEED);
+    sys.run_trace(generator.generate(warmup_for(instructions)));
+    sys.reset_measurement();
+    sys.run_trace(generator.generate(instructions))
+}
+
+/// Geometric mean of a non-empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of nothing");
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+// ------------------------------------------------------------------
+// Table IV + Figure 6
+// ------------------------------------------------------------------
+
+/// One benchmark's normalized execution times across all schemes.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub name: String,
+    /// `(scheme, slowdown vs bbb)` pairs.
+    pub slowdowns: Vec<(Scheme, f64)>,
+    /// PPTI measured under the bbb baseline.
+    pub ppti: f64,
+    /// NWPE measured under the bbb baseline.
+    pub nwpe: f64,
+}
+
+/// Figure 6 / Table IV data: per-benchmark and average slowdowns.
+#[derive(Debug, Clone, Serialize)]
+pub struct SlowdownStudy {
+    /// The schemes evaluated, in display order.
+    pub schemes: Vec<Scheme>,
+    /// One row per benchmark.
+    pub rows: Vec<BenchmarkRow>,
+    /// Geometric-mean slowdown per scheme (Table IV).
+    pub averages: Vec<(Scheme, f64)>,
+}
+
+/// Runs the Figure 6 study: all benchmarks, all SecPB schemes, 32-entry
+/// SecPB, normalized to bbb.
+pub fn fig6(instructions: u64) -> SlowdownStudy {
+    slowdown_study(SystemConfig::default(), &Scheme::SECPB_SCHEMES, instructions)
+}
+
+/// Table IV is Figure 6's geometric means (the paper tabulates the same
+/// run).
+pub fn table4(instructions: u64) -> SlowdownStudy {
+    fig6(instructions)
+}
+
+/// Generic slowdown study over the SPEC suite.
+pub fn slowdown_study(
+    cfg: SystemConfig,
+    schemes: &[Scheme],
+    instructions: u64,
+) -> SlowdownStudy {
+    let suite = WorkloadProfile::spec_suite();
+    let mut rows = Vec::new();
+    for profile in &suite {
+        let base = run_benchmark(profile, Scheme::Bbb, cfg.clone(), TreeKind::Monolithic, instructions);
+        let mut slowdowns = Vec::new();
+        for &scheme in schemes {
+            let r = run_benchmark(profile, scheme, cfg.clone(), TreeKind::Monolithic, instructions);
+            slowdowns.push((scheme, r.slowdown_vs(&base)));
+        }
+        rows.push(BenchmarkRow {
+            name: profile.name.clone(),
+            slowdowns,
+            ppti: base.ppti(),
+            nwpe: base.nwpe(),
+        });
+    }
+    let averages = schemes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let vals: Vec<f64> = rows.iter().map(|r| r.slowdowns[i].1).collect();
+            (s, geomean(&vals))
+        })
+        .collect();
+    SlowdownStudy { schemes: schemes.to_vec(), rows, averages }
+}
+
+// ------------------------------------------------------------------
+// Table V — battery sizes
+// ------------------------------------------------------------------
+
+/// One row of Table V.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatteryRow {
+    /// System name (scheme, eADR variant, or baseline).
+    pub system: String,
+    /// Battery volume in mm³ for (SuperCap, Li-Thin).
+    pub volume_mm3: (f64, f64),
+    /// Footprint as % of a client-core's area for (SuperCap, Li-Thin).
+    pub core_area_pct: (f64, f64),
+}
+
+fn battery_row(system: &str, joules: f64) -> BatteryRow {
+    BatteryRow {
+        system: system.to_owned(),
+        volume_mm3: (
+            BatteryTech::SuperCap.volume_mm3(joules),
+            BatteryTech::LiThin.volume_mm3(joules),
+        ),
+        core_area_pct: (
+            BatteryTech::SuperCap.core_area_ratio_pct(joules),
+            BatteryTech::LiThin.core_area_ratio_pct(joules),
+        ),
+    }
+}
+
+/// Table V: battery estimates for every scheme at 32 entries plus the
+/// eADR/BBB reference points.
+pub fn table5(entries: usize) -> Vec<BatteryRow> {
+    let mut rows: Vec<BatteryRow> = [
+        SchemeKind::Cobcm,
+        SchemeKind::Obcm,
+        SchemeKind::Bcm,
+        SchemeKind::Cm,
+        SchemeKind::M,
+        SchemeKind::NoGap,
+    ]
+    .iter()
+    .map(|&s| battery_row(s.name(), secpb_drain_energy(s, entries)))
+    .collect();
+    rows.push(battery_row("s_eadr", secure_eadr_energy()));
+    rows.push(battery_row("bbb", secpb_drain_energy(SchemeKind::Bbb, entries)));
+    rows.push(battery_row("eadr", eadr_energy()));
+    rows
+}
+
+// ------------------------------------------------------------------
+// Table VI — battery vs SecPB size
+// ------------------------------------------------------------------
+
+/// One row of Table VI.
+#[derive(Debug, Clone, Serialize)]
+pub struct BatterySweepRow {
+    /// SecPB entries.
+    pub entries: usize,
+    /// COBCM volume (SuperCap, Li-Thin) in mm³.
+    pub cobcm_mm3: (f64, f64),
+    /// NoGap volume (SuperCap, Li-Thin) in mm³.
+    pub nogap_mm3: (f64, f64),
+}
+
+/// Table VI: battery capacity for COBCM and NoGap across SecPB sizes.
+pub fn table6() -> Vec<BatterySweepRow> {
+    [8usize, 16, 32, 64, 128, 256, 512]
+        .iter()
+        .map(|&entries| {
+            let cobcm = secpb_drain_energy(SchemeKind::Cobcm, entries);
+            let nogap = secpb_drain_energy(SchemeKind::NoGap, entries);
+            BatterySweepRow {
+                entries,
+                cobcm_mm3: (
+                    BatteryTech::SuperCap.volume_mm3(cobcm),
+                    BatteryTech::LiThin.volume_mm3(cobcm),
+                ),
+                nogap_mm3: (
+                    BatteryTech::SuperCap.volume_mm3(nogap),
+                    BatteryTech::LiThin.volume_mm3(nogap),
+                ),
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------
+// Figure 7 — SecPB size sweep under CM
+// ------------------------------------------------------------------
+
+/// Figure 7 data: per-size geometric-mean slowdown (CM model) plus the
+/// per-benchmark detail.
+#[derive(Debug, Clone, Serialize)]
+pub struct SizeSweep {
+    /// SecPB sizes swept.
+    pub sizes: Vec<usize>,
+    /// Geometric-mean slowdown vs same-size bbb for each size.
+    pub averages: Vec<f64>,
+    /// Per-benchmark rows: name → slowdown per size.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Runs the Figure 7 sweep: CM with SecPB sizes 8..=512.
+pub fn fig7(instructions: u64) -> SizeSweep {
+    let sizes = vec![8usize, 16, 32, 64, 128, 256, 512];
+    let suite = WorkloadProfile::spec_suite();
+    let mut rows: Vec<(String, Vec<f64>)> =
+        suite.iter().map(|p| (p.name.clone(), Vec::new())).collect();
+    for &size in &sizes {
+        let cfg = SystemConfig::default().with_secpb_entries(size);
+        for (profile, row) in suite.iter().zip(rows.iter_mut()) {
+            let base =
+                run_benchmark(profile, Scheme::Bbb, cfg.clone(), TreeKind::Monolithic, instructions);
+            let cm =
+                run_benchmark(profile, Scheme::Cm, cfg.clone(), TreeKind::Monolithic, instructions);
+            row.1.push(cm.slowdown_vs(&base));
+        }
+    }
+    let averages = (0..sizes.len())
+        .map(|i| geomean(&rows.iter().map(|r| r.1[i]).collect::<Vec<_>>()))
+        .collect();
+    SizeSweep { sizes, averages, rows }
+}
+
+// ------------------------------------------------------------------
+// Figure 8 — BMT root updates normalized to sec_wt
+// ------------------------------------------------------------------
+
+/// Figure 8 data: BMT root updates per store (sec_wt performs exactly one
+/// per store, so this ratio *is* the normalized value) per SecPB size.
+#[derive(Debug, Clone, Serialize)]
+pub struct BmtUpdateStudy {
+    /// SecPB sizes swept.
+    pub sizes: Vec<usize>,
+    /// Suite-mean fraction of sec_wt's updates for each size.
+    pub averages: Vec<f64>,
+    /// Per-benchmark rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Runs the Figure 8 study under the CM model.
+pub fn fig8(instructions: u64) -> BmtUpdateStudy {
+    let sizes = vec![8usize, 16, 32, 64, 128, 256, 512];
+    let suite = WorkloadProfile::spec_suite();
+    let mut rows: Vec<(String, Vec<f64>)> =
+        suite.iter().map(|p| (p.name.clone(), Vec::new())).collect();
+    for &size in &sizes {
+        let cfg = SystemConfig::default().with_secpb_entries(size);
+        for (profile, row) in suite.iter().zip(rows.iter_mut()) {
+            let cm =
+                run_benchmark(profile, Scheme::Cm, cfg.clone(), TreeKind::Monolithic, instructions);
+            // sec_wt would update the root once per persisted store.
+            row.1.push(cm.bmt_updates_per_store());
+        }
+    }
+    let averages = (0..sizes.len())
+        .map(|i| {
+            let v: Vec<f64> = rows.iter().map(|r| r.1[i]).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        })
+        .collect();
+    BmtUpdateStudy { sizes, averages, rows }
+}
+
+// ------------------------------------------------------------------
+// Figure 9 — BMF study
+// ------------------------------------------------------------------
+
+/// Figure 9 data: slowdowns (vs bbb) of SP and CM paired with DBMF/SBMF.
+#[derive(Debug, Clone, Serialize)]
+pub struct BmfStudy {
+    /// Variant labels in display order.
+    pub variants: Vec<String>,
+    /// Geometric-mean slowdown per variant.
+    pub averages: Vec<f64>,
+    /// Per-benchmark rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Runs the Figure 9 study: `sp_dbmf`, `sp_sbmf`, `cm_dbmf`, `cm_sbmf`.
+pub fn fig9(instructions: u64) -> BmfStudy {
+    let variants: Vec<(String, Scheme, TreeKind)> = vec![
+        ("sp_dbmf".into(), Scheme::Sp, TreeKind::Dbmf),
+        ("sp_sbmf".into(), Scheme::Sp, TreeKind::Sbmf),
+        ("cm_dbmf".into(), Scheme::Cm, TreeKind::Dbmf),
+        ("cm_sbmf".into(), Scheme::Cm, TreeKind::Sbmf),
+    ];
+    let cfg = SystemConfig::default();
+    let suite = WorkloadProfile::spec_suite();
+    let mut rows = Vec::new();
+    for profile in &suite {
+        let base =
+            run_benchmark(profile, Scheme::Bbb, cfg.clone(), TreeKind::Monolithic, instructions);
+        let mut vals = Vec::new();
+        for (_, scheme, tree) in &variants {
+            let r = run_benchmark(profile, *scheme, cfg.clone(), *tree, instructions);
+            vals.push(r.slowdown_vs(&base));
+        }
+        rows.push((profile.name.clone(), vals));
+    }
+    let averages = (0..variants.len())
+        .map(|i| geomean(&rows.iter().map(|r| r.1[i]).collect::<Vec<_>>()))
+        .collect();
+    BmfStudy { variants: variants.into_iter().map(|(n, _, _)| n).collect(), averages, rows }
+}
+
+// ------------------------------------------------------------------
+// Ablations (DESIGN.md §6)
+// ------------------------------------------------------------------
+
+/// Ablation: the Section IV-A value-independent coalescing optimization
+/// on vs off, for a given scheme.  Returns (on, off) geometric-mean
+/// slowdowns vs bbb.
+pub fn ablation_coalescing(scheme: Scheme, instructions: u64) -> (f64, f64) {
+    let on = slowdown_study(SystemConfig::default(), &[scheme], instructions).averages[0].1;
+    let off = slowdown_study(
+        SystemConfig::default().with_value_independent_coalescing(false),
+        &[scheme],
+        instructions,
+    )
+    .averages[0]
+        .1;
+    (on, off)
+}
+
+/// Ablation: single in-flight BMT update vs pipelined, for a given
+/// scheme.  Returns (single, pipelined) geometric-mean slowdowns.
+pub fn ablation_bmt_pipelining(scheme: Scheme, instructions: u64) -> (f64, f64) {
+    let single = slowdown_study(SystemConfig::default(), &[scheme], instructions).averages[0].1;
+    let pipelined =
+        slowdown_study(SystemConfig::default().with_pipelined_bmt(true), &[scheme], instructions)
+            .averages[0]
+            .1;
+    (single, pipelined)
+}
+
+/// Ablation: speculative vs blocking load verification (Section V-A
+/// assumes speculation).  Returns (speculative, blocking) geometric-mean
+/// slowdowns.
+pub fn ablation_speculative_verification(scheme: Scheme, instructions: u64) -> (f64, f64) {
+    let spec = slowdown_study(SystemConfig::default(), &[scheme], instructions).averages[0].1;
+    let blocking = slowdown_study(
+        SystemConfig::default().with_speculative_verification(false),
+        &[scheme],
+        instructions,
+    )
+    .averages[0]
+        .1;
+    (spec, blocking)
+}
+
+/// Ablation: watermark placement.  Returns slowdowns for each
+/// (high, low) pair.
+pub fn ablation_watermarks(
+    scheme: Scheme,
+    pairs: &[(f64, f64)],
+    instructions: u64,
+) -> Vec<((f64, f64), f64)> {
+    pairs
+        .iter()
+        .map(|&(h, l)| {
+            let s = slowdown_study(
+                SystemConfig::default().with_watermarks(h, l),
+                &[scheme],
+                instructions,
+            );
+            ((h, l), s.averages[0].1)
+        })
+        .collect()
+}
+
+/// Quick sanity accessor used by tests: stores seen by the bbb baseline.
+pub fn baseline_store_count(profile: &WorkloadProfile, instructions: u64) -> u64 {
+    run_benchmark(profile, Scheme::Bbb, SystemConfig::default(), TreeKind::Monolithic, instructions)
+        .stats
+        .get(counters::STORES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: u64 = 60_000;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of nothing")]
+    fn geomean_empty_panics() {
+        geomean(&[]);
+    }
+
+    #[test]
+    fn table4_scheme_ordering_holds() {
+        let study = table4(QUICK);
+        let avg: std::collections::HashMap<Scheme, f64> =
+            study.averages.iter().copied().collect();
+        assert!(avg[&Scheme::Cobcm] < avg[&Scheme::Bcm]);
+        assert!(avg[&Scheme::Obcm] < avg[&Scheme::Bcm]);
+        assert!(avg[&Scheme::Bcm] < avg[&Scheme::Cm]);
+        assert!(avg[&Scheme::Cm] <= avg[&Scheme::M] * 1.02, "CM ≈ M, CM slightly better");
+        assert!(avg[&Scheme::M] < avg[&Scheme::NoGap]);
+        // COBCM should be near-baseline.
+        assert!(avg[&Scheme::Cobcm] < 1.4, "COBCM average {}", avg[&Scheme::Cobcm]);
+    }
+
+    #[test]
+    fn table5_rows_cover_all_systems() {
+        let rows = table5(32);
+        assert_eq!(rows.len(), 9);
+        let find = |n: &str| rows.iter().find(|r| r.system == n).unwrap();
+        assert!(find("s_eadr").volume_mm3.0 > 100.0 * find("cobcm").volume_mm3.0);
+        assert!(find("nogap").volume_mm3.0 < find("cm").volume_mm3.0);
+        assert!(find("bbb").volume_mm3.0 < find("nogap").volume_mm3.0);
+    }
+
+    #[test]
+    fn table6_monotone_in_entries() {
+        let rows = table6();
+        assert_eq!(rows.len(), 7);
+        for pair in rows.windows(2) {
+            assert!(pair[1].cobcm_mm3.0 > pair[0].cobcm_mm3.0);
+            assert!(pair[1].nogap_mm3.0 > pair[0].nogap_mm3.0);
+        }
+        // COBCM always needs the bigger battery.
+        for r in &rows {
+            assert!(r.cobcm_mm3.0 > r.nogap_mm3.0);
+        }
+    }
+}

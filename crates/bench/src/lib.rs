@@ -1,0 +1,25 @@
+//! # secpb-bench — the experiment harness
+//!
+//! One regenerator per table and figure of the paper's evaluation
+//! (Section VI):
+//!
+//! | Artifact | Module entry point | Binary |
+//! |----------|--------------------|--------|
+//! | Table IV — average slowdowns, 32-entry SecPB | [`experiments::table4`] | `table4` |
+//! | Figure 6 — per-benchmark execution time | [`experiments::fig6`] | `fig6` |
+//! | Table V — battery sizes per scheme | [`experiments::table5`] | `table5` |
+//! | Table VI — battery vs SecPB size | [`experiments::table6`] | `table6` |
+//! | Figure 7 — execution time vs SecPB size (CM) | [`experiments::fig7`] | `fig7` |
+//! | Figure 8 — BMT root updates, normalized to sec_wt | [`experiments::fig8`] | `fig8` |
+//! | Figure 9 — BMF study (DBMF/SBMF) | [`experiments::fig9`] | `fig9` |
+//! | §VI-B IPC validation (gamess, NoGap) | [`analytic`] | `validate_ipc` |
+//!
+//! The [`report`] module renders results as aligned text tables; each
+//! binary also dumps machine-readable JSON next to its table when asked.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod experiments;
+pub mod report;

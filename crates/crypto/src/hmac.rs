@@ -1,0 +1,157 @@
+//! HMAC-SHA-512 (RFC 2104 / FIPS 198-1).
+//!
+//! Used by [`crate::mac`] to bind a memory block's ciphertext, address, and
+//! counter into a keyed authentication code, and by [`crate::bmt`] as the
+//! keyed node hash of the integrity tree.
+
+use crate::sha512::{Digest, Sha512};
+
+const BLOCK_LEN: usize = 128;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// A keyed HMAC-SHA-512 instance.
+///
+/// The key schedule (padded inner/outer keys) is computed once at
+/// construction so that per-message costs are two SHA-512 passes, mirroring
+/// a hardware MAC unit that holds its key in a register.
+///
+/// # Example
+///
+/// ```
+/// use secpb_crypto::hmac::HmacSha512;
+///
+/// let mac = HmacSha512::new(b"memory-integrity-key");
+/// let tag = mac.compute(b"block contents");
+/// assert!(mac.verify(b"block contents", &tag));
+/// assert!(!mac.verify(b"tampered contents", &tag));
+/// ```
+#[derive(Clone)]
+pub struct HmacSha512 {
+    inner_pad: [u8; BLOCK_LEN],
+    outer_pad: [u8; BLOCK_LEN],
+}
+
+impl std::fmt::Debug for HmacSha512 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("HmacSha512").finish_non_exhaustive()
+    }
+}
+
+impl HmacSha512 {
+    /// Creates an HMAC instance from an arbitrary-length key.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha512::digest(key);
+            key_block[..64].copy_from_slice(&digest.0);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let mut inner_pad = [0u8; BLOCK_LEN];
+        let mut outer_pad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            inner_pad[i] = key_block[i] ^ IPAD;
+            outer_pad[i] = key_block[i] ^ OPAD;
+        }
+        HmacSha512 { inner_pad, outer_pad }
+    }
+
+    /// Computes the HMAC tag of `message`.
+    pub fn compute(&self, message: &[u8]) -> Digest {
+        let mut inner = Sha512::new();
+        inner.update(&self.inner_pad);
+        inner.update(message);
+        let inner_digest = inner.finalize();
+        let mut outer = Sha512::new();
+        outer.update(&self.outer_pad);
+        outer.update(&inner_digest.0);
+        outer.finalize()
+    }
+
+    /// Computes the HMAC over several message parts without concatenating
+    /// them (tag equals `compute` of the concatenation).
+    pub fn compute_parts(&self, parts: &[&[u8]]) -> Digest {
+        let mut inner = Sha512::new();
+        inner.update(&self.inner_pad);
+        for p in parts {
+            inner.update(p);
+        }
+        let inner_digest = inner.finalize();
+        let mut outer = Sha512::new();
+        outer.update(&self.outer_pad);
+        outer.update(&inner_digest.0);
+        outer.finalize()
+    }
+
+    /// Verifies `tag` against `message`.
+    pub fn verify(&self, message: &[u8], tag: &Digest) -> bool {
+        self.compute(message) == *tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4231_test_case_1() {
+        // Key = 0x0b repeated 20 times, data = "Hi There".
+        let mac = HmacSha512::new(&[0x0b; 20]);
+        let tag = mac.compute(b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_test_case_2() {
+        // Key = "Jefe", data = "what do ya want for nothing?".
+        let mac = HmacSha512::new(b"Jefe");
+        let tag = mac.compute(b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554\
+             9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737"
+        );
+    }
+
+    #[test]
+    fn long_key_is_hashed_first() {
+        let long_key = vec![0x5Au8; 200];
+        let mac_long = HmacSha512::new(&long_key);
+        let hashed = Sha512::digest(&long_key);
+        let mac_hashed = HmacSha512::new(&hashed.0);
+        assert_eq!(mac_long.compute(b"m"), mac_hashed.compute(b"m"));
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let mac = HmacSha512::new(b"k");
+        let tag = mac.compute(b"hello");
+        assert!(mac.verify(b"hello", &tag));
+        assert!(!mac.verify(b"hellp", &tag));
+        let other = HmacSha512::new(b"k2");
+        assert!(!other.verify(b"hello", &tag));
+    }
+
+    #[test]
+    fn compute_parts_matches_concatenation() {
+        let mac = HmacSha512::new(b"key");
+        let whole = mac.compute(b"abcdef");
+        let parts = mac.compute_parts(&[b"ab", b"cd", b"ef"]);
+        assert_eq!(whole, parts);
+        let empty_parts = mac.compute_parts(&[]);
+        assert_eq!(empty_parts, mac.compute(b""));
+    }
+
+    #[test]
+    fn debug_hides_key() {
+        let mac = HmacSha512::new(&[0x42; 16]);
+        let dbg = format!("{mac:?}");
+        assert!(!dbg.contains("42"), "pads must not leak: {dbg}");
+    }
+}

@@ -1,0 +1,288 @@
+//! An SGX-MEE-style counter tree (Gueron / Costan-Devadas, cited as
+//! \[5\], \[15\] in the paper's Section II-B) — the other major integrity-
+//! tree family next to Bonsai Merkle Trees.
+//!
+//! Where a BMT hashes *digests* upward, a counter tree stores *version
+//! counters*: each node holds one counter per child plus an embedded MAC
+//! over its counters keyed by its own counter in the parent.  Updating a
+//! leaf increments one counter per level and recomputes the MACs along
+//! the path; replaying a stale node fails because its embedded MAC was
+//! computed under an older parent counter.  The top-level counters live
+//! on-chip and are trusted.
+//!
+//! Included as a substrate for comparison: update cost is the same
+//! O(levels), but each level is a short MAC over 64 bytes of counters
+//! rather than a hash over 64 bytes of digests, and the freshness
+//! argument is counter-based rather than collision-resistance-based.
+
+use std::collections::HashMap;
+
+use crate::hmac::HmacSha512;
+
+/// Children per node (matches the 8-ary BMT configuration).
+pub const ARITY: usize = 8;
+
+/// One interior node: per-child version counters plus an embedded MAC.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Node {
+    counters: [u64; ARITY],
+    mac: u64,
+}
+
+/// An SGX-style counter tree over `ARITY.pow(levels)` leaves.
+///
+/// # Example
+///
+/// ```
+/// use secpb_crypto::sgx_tree::SgxCounterTree;
+///
+/// let mut tree = SgxCounterTree::new(b"key", 3);
+/// let version = tree.update_leaf(5);
+/// assert_eq!(version, 1);
+/// assert!(tree.verify_leaf(5, version));
+/// assert!(!tree.verify_leaf(5, 2), "future version must not verify");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SgxCounterTree {
+    hmac: HmacSha512,
+    levels: u32,
+    /// `nodes[l]` maps node index at level `l` (0 = leaf-parent level).
+    nodes: Vec<HashMap<u64, Node>>,
+    /// On-chip trusted top-level counters (the "root").
+    root: [u64; ARITY],
+    updates: u64,
+}
+
+impl SgxCounterTree {
+    /// Creates a tree with `levels` levels of nodes below the on-chip
+    /// root counters, covering `ARITY^levels` leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero.
+    pub fn new(key: &[u8], levels: u32) -> Self {
+        assert!(levels >= 1, "tree needs at least one level");
+        SgxCounterTree {
+            hmac: HmacSha512::new(key),
+            levels,
+            nodes: (0..levels).map(|_| HashMap::new()).collect(),
+            root: [0; ARITY],
+            updates: 0,
+        }
+    }
+
+    /// Leaves covered.
+    pub fn capacity(&self) -> u64 {
+        (ARITY as u64).pow(self.levels)
+    }
+
+    /// Leaf-to-root update walks performed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The trusted top-level counters.
+    pub fn root(&self) -> [u64; ARITY] {
+        self.root
+    }
+
+    fn node_mac(&self, level: usize, index: u64, counters: &[u64; ARITY], parent_counter: u64) -> u64 {
+        let mut msg = Vec::with_capacity(8 * (ARITY + 3));
+        msg.extend_from_slice(&(level as u64).to_le_bytes());
+        msg.extend_from_slice(&index.to_le_bytes());
+        msg.extend_from_slice(&parent_counter.to_le_bytes());
+        for c in counters {
+            msg.extend_from_slice(&c.to_le_bytes());
+        }
+        self.hmac.compute(&msg).truncate_u64()
+    }
+
+    /// The counter of `node_index` at `level` as recorded in its parent
+    /// (or in the on-chip root for the top level).
+    fn parent_counter(&self, level: usize, node_index: u64) -> u64 {
+        let slot = (node_index % ARITY as u64) as usize;
+        if level + 1 == self.levels as usize {
+            self.root[slot]
+        } else {
+            self.nodes[level + 1]
+                .get(&(node_index / ARITY as u64))
+                .map(|n| n.counters[slot])
+                .unwrap_or(0)
+        }
+    }
+
+    /// Increments a leaf's version, updating counters and MACs up to the
+    /// root.  Returns the leaf's new version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` exceeds the capacity.
+    pub fn update_leaf(&mut self, leaf: u64) -> u64 {
+        assert!(leaf < self.capacity(), "leaf {leaf} out of range");
+        self.updates += 1;
+        // Increment one counter per level, bottom-up.
+        let mut child = leaf;
+        let mut new_version = 0;
+        for level in 0..self.levels as usize {
+            let node_index = child / ARITY as u64;
+            let slot = (child % ARITY as u64) as usize;
+            let node = self.nodes[level].entry(node_index).or_default();
+            node.counters[slot] += 1;
+            if level == 0 {
+                new_version = node.counters[slot];
+            }
+            child = node_index;
+        }
+        // Top-level counter (on-chip).
+        self.root[(child % ARITY as u64) as usize] += 1;
+        // Recompute embedded MACs bottom-up now that every parent counter
+        // has its final value.
+        let mut idx = leaf / ARITY as u64;
+        for level in 0..self.levels as usize {
+            let parent_counter = self.parent_counter(level, idx);
+            let counters = self.nodes[level].get(&idx).expect("just touched").counters;
+            let mac = self.node_mac(level, idx, &counters, parent_counter);
+            self.nodes[level].get_mut(&idx).expect("present").mac = mac;
+            idx /= ARITY as u64;
+        }
+        new_version
+    }
+
+    /// The current version of a leaf (0 if never updated).
+    pub fn leaf_version(&self, leaf: u64) -> u64 {
+        let node_index = leaf / ARITY as u64;
+        let slot = (leaf % ARITY as u64) as usize;
+        self.nodes[0].get(&node_index).map(|n| n.counters[slot]).unwrap_or(0)
+    }
+
+    /// Verifies that `claimed_version` is the leaf's current version by
+    /// walking the path and checking every embedded MAC against the
+    /// parent counters, ending at the trusted root.
+    pub fn verify_leaf(&self, leaf: u64, claimed_version: u64) -> bool {
+        if leaf >= self.capacity() {
+            return false;
+        }
+        if self.leaf_version(leaf) != claimed_version {
+            return false;
+        }
+        let mut idx = leaf / ARITY as u64;
+        for level in 0..self.levels as usize {
+            match self.nodes[level].get(&idx) {
+                None => {
+                    // Absent node: only valid if nothing beneath was ever
+                    // updated, i.e. its counter in the parent is zero.
+                    if self.parent_counter(level, idx) != 0 || claimed_version != 0 {
+                        return false;
+                    }
+                }
+                Some(node) => {
+                    let expected =
+                        self.node_mac(level, idx, &node.counters, self.parent_counter(level, idx));
+                    if node.mac != expected {
+                        return false;
+                    }
+                }
+            }
+            idx /= ARITY as u64;
+        }
+        true
+    }
+
+    /// Attack-injection hook: overwrite a node with an older version of
+    /// itself (counters + MAC captured earlier).  Used by tests to show
+    /// the parent-counter keying defeats node replay.
+    pub fn replay_node(&mut self, level: usize, index: u64, counters: [u64; ARITY], mac: u64) {
+        self.nodes[level].insert(index, Node { counters, mac });
+    }
+
+    /// Snapshot of a node's (counters, mac) for later replay.
+    pub fn snapshot_node(&self, level: usize, index: u64) -> Option<([u64; ARITY], u64)> {
+        self.nodes[level].get(&index).map(|n| (n.counters, n.mac))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_increment_and_verify() {
+        let mut t = SgxCounterTree::new(b"k", 3);
+        assert_eq!(t.capacity(), 512);
+        assert!(t.verify_leaf(3, 0), "fresh leaves are version 0");
+        assert_eq!(t.update_leaf(3), 1);
+        assert_eq!(t.update_leaf(3), 2);
+        assert!(t.verify_leaf(3, 2));
+        assert!(!t.verify_leaf(3, 1), "stale version rejected");
+        assert_eq!(t.updates(), 2);
+    }
+
+    #[test]
+    fn sibling_updates_do_not_disturb_leaf() {
+        let mut t = SgxCounterTree::new(b"k", 3);
+        t.update_leaf(8);
+        t.update_leaf(9);
+        t.update_leaf(64);
+        assert!(t.verify_leaf(8, 1));
+        assert!(t.verify_leaf(9, 1));
+        assert!(t.verify_leaf(64, 1));
+        assert!(t.verify_leaf(10, 0));
+    }
+
+    #[test]
+    fn tampered_counter_fails_mac() {
+        let mut t = SgxCounterTree::new(b"k", 2);
+        t.update_leaf(0);
+        let (mut counters, mac) = t.snapshot_node(0, 0).unwrap();
+        counters[0] += 5; // forge version without recomputing MAC
+        t.replay_node(0, 0, counters, mac);
+        assert!(!t.verify_leaf(0, 6));
+    }
+
+    #[test]
+    fn node_replay_is_defeated_by_parent_counters() {
+        let mut t = SgxCounterTree::new(b"k", 2);
+        t.update_leaf(0);
+        let old = t.snapshot_node(0, 0).unwrap(); // valid at this moment
+        t.update_leaf(0); // advances parent counter; old node is now stale
+        t.replay_node(0, 0, old.0, old.1);
+        assert!(
+            !t.verify_leaf(0, 1),
+            "old node's MAC was keyed by the old parent counter"
+        );
+    }
+
+    #[test]
+    fn root_counters_track_total_subtree_updates() {
+        let mut t = SgxCounterTree::new(b"k", 2);
+        for leaf in 0..10u64 {
+            t.update_leaf(leaf);
+        }
+        // Leaves 0..10 sit under top-level subtrees 0 (leaves 0-63).
+        assert_eq!(t.root()[0], 10);
+    }
+
+    #[test]
+    fn out_of_range_leaf_rejected() {
+        let t = SgxCounterTree::new(b"k", 1);
+        assert!(!t.verify_leaf(t.capacity(), 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_update_panics() {
+        SgxCounterTree::new(b"k", 1).update_leaf(8);
+    }
+
+    #[test]
+    fn different_keys_disagree_on_macs() {
+        let mut a = SgxCounterTree::new(b"k1", 2);
+        let mut b = SgxCounterTree::new(b"k2", 2);
+        a.update_leaf(0);
+        b.update_leaf(0);
+        let na = a.snapshot_node(0, 0).unwrap();
+        let nb = b.snapshot_node(0, 0).unwrap();
+        assert_eq!(na.0, nb.0, "counters agree");
+        assert_ne!(na.1, nb.1, "MACs are keyed");
+    }
+}

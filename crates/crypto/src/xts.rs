@@ -1,0 +1,194 @@
+//! XTS-AES (IEEE P1619), the direct-encryption alternative the paper's
+//! Section II-B contrasts with counter-mode encryption.
+//!
+//! XTS needs no counters — the ciphertext depends only on (key, address,
+//! data) — but that is exactly why SecPB *cannot* use it: the cipher runs
+//! over the data itself, so nothing can be precomputed while the store is
+//! still in flight, and every coalesced store pays full AES latency on
+//! the critical path.  Counter-mode's pad depends only on (address,
+//! counter), which is what makes the SecPB `O` field and the OBCM/BCM
+//! design points possible.  The [`xts_has_no_precomputable_pad`] test
+//! demonstrates the distinction executably.
+//!
+//! [`xts_has_no_precomputable_pad`]: #xts-vs-counter-mode
+
+use crate::aes::Aes;
+
+/// GF(2¹²⁸) multiplication by α (x), little-endian byte order, modulo
+/// x¹²⁸ + x⁷ + x² + x + 1 — the per-unit tweak update of XTS.
+fn gf128_mul_alpha(tweak: &mut [u8; 16]) {
+    let mut carry = 0u8;
+    for byte in tweak.iter_mut() {
+        let new_carry = *byte >> 7;
+        *byte = (*byte << 1) | carry;
+        carry = new_carry;
+    }
+    if carry != 0 {
+        tweak[0] ^= 0x87;
+    }
+}
+
+/// An XTS-AES-128 cipher for 64-byte memory blocks (four 16-byte units).
+///
+/// # Example
+///
+/// ```
+/// use secpb_crypto::xts::XtsAes;
+///
+/// let xts = XtsAes::new(&[1u8; 16], &[2u8; 16]);
+/// let pt = [0x33u8; 64];
+/// let ct = xts.encrypt_block(&pt, 42);
+/// assert_eq!(xts.decrypt_block(&ct, 42), pt);
+/// assert_ne!(xts.encrypt_block(&pt, 43), ct, "tweaked by address");
+/// ```
+#[derive(Debug, Clone)]
+pub struct XtsAes {
+    data_cipher: Aes,
+    tweak_cipher: Aes,
+}
+
+impl XtsAes {
+    /// Creates an XTS instance from the data key and the tweak key.
+    pub fn new(data_key: &[u8; 16], tweak_key: &[u8; 16]) -> Self {
+        XtsAes { data_cipher: Aes::new_128(data_key), tweak_cipher: Aes::new_128(tweak_key) }
+    }
+
+    fn initial_tweak(&self, block_addr: u64) -> [u8; 16] {
+        let mut sector = [0u8; 16];
+        sector[..8].copy_from_slice(&block_addr.to_le_bytes());
+        self.tweak_cipher.encrypt_block(&sector)
+    }
+
+    /// Encrypts a 64-byte block at `block_addr`.
+    pub fn encrypt_block(&self, plaintext: &[u8; 64], block_addr: u64) -> [u8; 64] {
+        self.process(plaintext, block_addr, true)
+    }
+
+    /// Decrypts a 64-byte block at `block_addr`.
+    pub fn decrypt_block(&self, ciphertext: &[u8; 64], block_addr: u64) -> [u8; 64] {
+        self.process(ciphertext, block_addr, false)
+    }
+
+    fn process(&self, input: &[u8; 64], block_addr: u64, encrypt: bool) -> [u8; 64] {
+        let mut tweak = self.initial_tweak(block_addr);
+        let mut out = [0u8; 64];
+        for unit in 0..4 {
+            let mut buf = [0u8; 16];
+            buf.copy_from_slice(&input[16 * unit..16 * (unit + 1)]);
+            for (b, t) in buf.iter_mut().zip(&tweak) {
+                *b ^= t;
+            }
+            let transformed = if encrypt {
+                self.data_cipher.encrypt_block(&buf)
+            } else {
+                self.data_cipher.decrypt_block(&buf)
+            };
+            for (o, (c, t)) in out[16 * unit..16 * (unit + 1)]
+                .iter_mut()
+                .zip(transformed.iter().zip(&tweak))
+            {
+                *o = c ^ t;
+            }
+            gf128_mul_alpha(&mut tweak);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::SplitCounter;
+    use crate::otp::OtpEngine;
+
+    fn xts() -> XtsAes {
+        XtsAes::new(&[0x11; 16], &[0x22; 16])
+    }
+
+    #[test]
+    fn round_trips() {
+        let x = xts();
+        let mut pt = [0u8; 64];
+        for (i, b) in pt.iter_mut().enumerate() {
+            *b = (i * 13 % 251) as u8;
+        }
+        for addr in [0u64, 1, 0xDEAD, u64::MAX >> 8] {
+            let ct = x.encrypt_block(&pt, addr);
+            assert_eq!(x.decrypt_block(&ct, addr), pt, "addr {addr}");
+            assert_ne!(ct, pt);
+        }
+    }
+
+    #[test]
+    fn address_tweak_distinguishes_blocks() {
+        let x = xts();
+        let pt = [0x42u8; 64];
+        assert_ne!(x.encrypt_block(&pt, 1), x.encrypt_block(&pt, 2));
+    }
+
+    #[test]
+    fn units_within_block_are_distinct() {
+        // Four identical plaintext units must encrypt differently (tweak
+        // multiplication by alpha per unit).
+        let x = xts();
+        let pt = [0x5Au8; 64];
+        let ct = x.encrypt_block(&pt, 9);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                assert_ne!(ct[16 * i..16 * i + 16], ct[16 * j..16 * j + 16]);
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_address_garbles() {
+        let x = xts();
+        let pt = [7u8; 64];
+        let ct = x.encrypt_block(&pt, 5);
+        assert_ne!(x.decrypt_block(&ct, 6), pt);
+    }
+
+    #[test]
+    fn gf128_alpha_is_linear_shift_with_reduction() {
+        // 0x80 in the last byte shifts out and reduces by 0x87.
+        let mut t = [0u8; 16];
+        t[15] = 0x80;
+        gf128_mul_alpha(&mut t);
+        assert_eq!(t[0], 0x87);
+        assert_eq!(&t[1..], &[0u8; 15]);
+        // A plain small value just doubles.
+        let mut u = [0u8; 16];
+        u[0] = 3;
+        gf128_mul_alpha(&mut u);
+        assert_eq!(u[0], 6);
+    }
+
+    /// # XTS vs counter mode
+    ///
+    /// The structural reason SecPB needs counter mode: a counter-mode pad
+    /// is computable *before the data exists* (address + counter only),
+    /// while XTS output cannot be precomputed — changing one plaintext
+    /// byte changes the whole ciphertext unit.
+    #[test]
+    fn xts_has_no_precomputable_pad() {
+        // Counter mode: pad precomputed, then applied to late-arriving
+        // data with a single XOR.
+        let engine = OtpEngine::new(&[9u8; 24]);
+        let ctr = SplitCounter { major: 1, minor: 1 };
+        let pad = engine.generate(77, ctr); // before data exists
+        let data_a = [0xAAu8; 64];
+        let data_b = [0xBBu8; 64];
+        assert_eq!(OtpEngine::apply_pad(&data_a, &pad), engine.encrypt(&data_a, 77, ctr));
+        assert_eq!(OtpEngine::apply_pad(&data_b, &pad), engine.encrypt(&data_b, 77, ctr));
+
+        // XTS: a one-byte plaintext change avalanches through the unit —
+        // there is no data-independent component to precompute.
+        let x = xts();
+        let mut data_c = data_a;
+        data_c[0] ^= 1;
+        let ct_a = x.encrypt_block(&data_a, 77);
+        let ct_c = x.encrypt_block(&data_c, 77);
+        let differing = ct_a[..16].iter().zip(&ct_c[..16]).filter(|(a, b)| a != b).count();
+        assert!(differing > 8, "XTS unit must avalanche, {differing} bytes differ");
+    }
+}

@@ -1,0 +1,117 @@
+//! Battery technologies and size arithmetic (Tables V and VI).
+//!
+//! The paper assumes a cubic battery; its footprint is one face of the
+//! cube, compared against a 5.37 mm² client-class core.
+
+use serde::{Deserialize, Serialize};
+
+use crate::constants::{
+    CORE_AREA_MM2, JOULES_PER_WH, LI_THIN_WH_PER_CM3, SUPERCAP_WH_PER_CM3,
+};
+
+/// An energy-source technology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BatteryTech {
+    /// Carbon-based supercapacitor (10⁻⁴ Wh/cm³).
+    SuperCap,
+    /// Lithium thin-film battery (10⁻² Wh/cm³).
+    LiThin,
+}
+
+impl BatteryTech {
+    /// Both technologies, in the paper's column order.
+    pub const ALL: [BatteryTech; 2] = [BatteryTech::SuperCap, BatteryTech::LiThin];
+
+    /// Energy density in Wh per cm³.
+    pub fn wh_per_cm3(self) -> f64 {
+        match self {
+            BatteryTech::SuperCap => SUPERCAP_WH_PER_CM3,
+            BatteryTech::LiThin => LI_THIN_WH_PER_CM3,
+        }
+    }
+
+    /// The display name used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatteryTech::SuperCap => "SuperCap",
+            BatteryTech::LiThin => "Li-Thin",
+        }
+    }
+
+    /// Smallest battery volume (mm³) that stores `joules`.
+    pub fn volume_mm3(self, joules: f64) -> f64 {
+        assert!(joules >= 0.0, "energy cannot be negative");
+        let wh = joules / JOULES_PER_WH;
+        let cm3 = wh / self.wh_per_cm3();
+        cm3 * 1000.0
+    }
+
+    /// Footprint area (mm²) of a cubic battery of the given volume.
+    pub fn footprint_mm2(volume_mm3: f64) -> f64 {
+        volume_mm3.powf(2.0 / 3.0)
+    }
+
+    /// Battery footprint as a percentage of the client-core area
+    /// (Table V's last columns).
+    pub fn core_area_ratio_pct(self, joules: f64) -> f64 {
+        Self::footprint_mm2(self.volume_mm3(joules)) / CORE_AREA_MM2 * 100.0
+    }
+}
+
+impl std::fmt::Display for BatteryTech {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn li_thin_is_100x_denser() {
+        let j = 1.0;
+        let sc = BatteryTech::SuperCap.volume_mm3(j);
+        let li = BatteryTech::LiThin.volume_mm3(j);
+        assert!((sc / li - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_volume_point() {
+        // The paper's eADR row: 53.76 mJ of drain energy ≈ 149 mm³
+        // SuperCap.
+        let joules = 53.76e-3;
+        let v = BatteryTech::SuperCap.volume_mm3(joules);
+        assert!((v - 149.3).abs() < 1.0, "got {v}");
+    }
+
+    #[test]
+    fn footprint_is_cube_face() {
+        assert!((BatteryTech::footprint_mm2(8.0) - 4.0).abs() < 1e-9);
+        assert!((BatteryTech::footprint_mm2(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn core_ratio_example() {
+        // COBCM @ 32 entries ≈ 1.754 mJ → 4.87 mm³ → ~53% of core area.
+        let pct = BatteryTech::SuperCap.core_area_ratio_pct(1.754e-3);
+        assert!((pct - 53.6).abs() < 2.0, "got {pct}");
+    }
+
+    #[test]
+    fn zero_energy_zero_volume() {
+        assert_eq!(BatteryTech::SuperCap.volume_mm3(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_energy_rejected() {
+        BatteryTech::LiThin.volume_mm3(-1.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(BatteryTech::SuperCap.to_string(), "SuperCap");
+        assert_eq!(BatteryTech::LiThin.name(), "Li-Thin");
+    }
+}

@@ -1,0 +1,116 @@
+//! Converting *measured* crash-drain work into joules.
+//!
+//! The battery is provisioned for the worst case ([`crate::drain`]); the
+//! system model reports what a crash actually cost.  Comparing the two
+//! shows the provisioning headroom — the measured energy must never
+//! exceed the provisioned energy, which the integration tests assert.
+
+use serde::{Deserialize, Serialize};
+
+use crate::constants::{
+    AES192_PER_BYTE, BLOCK_BYTES, MOVE_MC_TO_PM_PER_BYTE, MOVE_PB_TO_PM_PER_BYTE, SHA512_PER_BYTE,
+};
+
+/// The measured work of one crash drain, mirroring
+/// `secpb_core::crash::DrainWork` field-for-field (kept separate so the
+/// energy crate has no dependency on the system model).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredWork {
+    /// SecPB entries drained.
+    pub entries: u64,
+    /// Bytes moved from the SecPB to the MC.
+    pub bytes_pb_to_mc: u64,
+    /// Bytes written from the MC to the PM.
+    pub bytes_mc_to_pm: u64,
+    /// Counter blocks fetched from PM.
+    pub counter_fetches: u64,
+    /// BMT nodes hashed.
+    pub bmt_node_hashes: u64,
+    /// BMT nodes fetched from PM.
+    pub bmt_node_fetches: u64,
+    /// OTPs generated.
+    pub otps: u64,
+    /// MACs computed.
+    pub macs: u64,
+    /// Ciphertext XORs (free, per assumption 6).
+    pub ciphertexts: u64,
+}
+
+/// Joules consumed by the measured work, priced with Table III.
+pub fn measured_energy(w: &MeasuredWork) -> f64 {
+    let block = BLOCK_BYTES as f64;
+    w.bytes_pb_to_mc as f64 * MOVE_PB_TO_PM_PER_BYTE
+        + w.bytes_mc_to_pm as f64 * MOVE_MC_TO_PM_PER_BYTE
+        + w.counter_fetches as f64 * block * MOVE_MC_TO_PM_PER_BYTE
+        + w.bmt_node_fetches as f64 * block * MOVE_MC_TO_PM_PER_BYTE
+        + w.bmt_node_hashes as f64 * block * SHA512_PER_BYTE
+        + w.otps as f64 * block * AES192_PER_BYTE
+        + w.macs as f64 * block * SHA512_PER_BYTE
+    // Ciphertext XORs cost nothing (assumption 6).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drain::{per_entry_drain_energy, SchemeKind};
+
+    #[test]
+    fn empty_work_costs_nothing() {
+        assert_eq!(measured_energy(&MeasuredWork::default()), 0.0);
+    }
+
+    #[test]
+    fn one_full_cobcm_entry_close_to_worst_case() {
+        // Worst-case assumptions: counter fetch misses, 8 BMT node
+        // fetches + hashes, one OTP, one MAC.
+        let w = MeasuredWork {
+            entries: 1,
+            bytes_pb_to_mc: 65,
+            bytes_mc_to_pm: 0,
+            counter_fetches: 1,
+            bmt_node_hashes: 8,
+            bmt_node_fetches: 8,
+            otps: 1,
+            macs: 1,
+            ciphertexts: 1,
+        };
+        let measured = measured_energy(&w);
+        let provisioned = per_entry_drain_energy(SchemeKind::Cobcm);
+        assert!(measured <= provisioned * 1.001, "{measured} > {provisioned}");
+        assert!(measured > provisioned * 0.95, "should be close to worst case");
+    }
+
+    #[test]
+    fn xors_are_free() {
+        let a = MeasuredWork { ciphertexts: 0, ..MeasuredWork::default() };
+        let b = MeasuredWork { ciphertexts: 1_000_000, ..MeasuredWork::default() };
+        assert_eq!(measured_energy(&a), measured_energy(&b));
+    }
+
+    #[test]
+    fn energy_is_monotone_in_every_component() {
+        let base = MeasuredWork {
+            entries: 1,
+            bytes_pb_to_mc: 64,
+            bytes_mc_to_pm: 64,
+            counter_fetches: 1,
+            bmt_node_hashes: 1,
+            bmt_node_fetches: 1,
+            otps: 1,
+            macs: 1,
+            ciphertexts: 0,
+        };
+        let e0 = measured_energy(&base);
+        for bump in [
+            MeasuredWork { bytes_pb_to_mc: 128, ..base },
+            MeasuredWork { bytes_mc_to_pm: 128, ..base },
+            MeasuredWork { counter_fetches: 2, ..base },
+            MeasuredWork { bmt_node_hashes: 2, ..base },
+            MeasuredWork { bmt_node_fetches: 2, ..base },
+            MeasuredWork { otps: 2, ..base },
+            MeasuredWork { macs: 2, ..base },
+        ] {
+            assert!(measured_energy(&bump) > e0);
+        }
+    }
+}

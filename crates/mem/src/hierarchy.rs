@@ -1,0 +1,284 @@
+//! The three-level data-cache hierarchy (Table I: 64 KB L1 / 512 KB L2 /
+//! 4 MB L3, all 64-byte blocks).
+//!
+//! The hierarchy is a timing filter in front of the NVM: it reports where
+//! an access hit, the latency of reaching that level, and any write-backs
+//! the access caused.  Persist-dirty lines (blocks whose durability the
+//! SecPB already guarantees) propagate down the hierarchy on eviction but
+//! are silently discarded when they leave the LLC, per Section IV-C(a) of
+//! the paper.
+
+use secpb_sim::addr::BlockAddr;
+use secpb_sim::config::SystemConfig;
+
+use crate::cache::{Cache, LineState};
+
+/// The level at which an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HitLevel {
+    /// L1 data cache.
+    L1,
+    /// L2 cache.
+    L2,
+    /// Last-level cache.
+    L3,
+    /// Missed everywhere; the caller charges an NVM read.
+    Memory,
+}
+
+/// Result of a hierarchy access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// Where the access was satisfied.
+    pub hit_level: HitLevel,
+    /// Cycles spent traversing cache levels (excludes any NVM latency,
+    /// which the caller charges for `HitLevel::Memory`).
+    pub latency: u64,
+    /// Blocks that must be written back to NVM (truly-dirty LLC victims).
+    pub writebacks: Vec<BlockAddr>,
+}
+
+/// The L1/L2/L3 stack.
+///
+/// # Example
+///
+/// ```
+/// use secpb_mem::hierarchy::{Hierarchy, HitLevel};
+/// use secpb_sim::addr::BlockAddr;
+/// use secpb_sim::config::SystemConfig;
+///
+/// let mut h = Hierarchy::new(&SystemConfig::default());
+/// let cold = h.load(BlockAddr(7));
+/// assert_eq!(cold.hit_level, HitLevel::Memory);
+/// let warm = h.load(BlockAddr(7));
+/// assert_eq!(warm.hit_level, HitLevel::L1);
+/// assert_eq!(warm.latency, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Cache,
+    l2: Cache,
+    l3: Cache,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy from the system configuration.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        Hierarchy { l1: Cache::new(cfg.l1), l2: Cache::new(cfg.l2), l3: Cache::new(cfg.l3) }
+    }
+
+    /// The L1 cache (for statistics).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The L2 cache (for statistics).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The LLC (for statistics).
+    pub fn l3(&self) -> &Cache {
+        &self.l3
+    }
+
+    /// Handles an eviction out of `level` (1-based); dirty and
+    /// persist-dirty victims install into the next level, truly-dirty LLC
+    /// victims are reported for write-back, persist-dirty LLC victims are
+    /// silently discarded.
+    fn spill(&mut self, level: u8, victim: BlockAddr, state: LineState, wb: &mut Vec<BlockAddr>) {
+        if state == LineState::Clean {
+            return;
+        }
+        match level {
+            1 => {
+                let out = self.l2.access(victim, state);
+                if let Some((v, s)) = out.evicted {
+                    self.spill(2, v, s, wb);
+                }
+            }
+            2 => {
+                let out = self.l3.access(victim, state);
+                if let Some((v, s)) = out.evicted {
+                    self.spill(3, v, s, wb);
+                }
+            }
+            _ => {
+                if state.needs_writeback() {
+                    wb.push(victim);
+                }
+                // PersistDirty leaving the LLC: silent discard.
+            }
+        }
+    }
+
+    fn access(&mut self, block: BlockAddr, state: LineState) -> HierarchyOutcome {
+        let mut writebacks = Vec::new();
+        let mut latency = self.l1.config().access_latency;
+
+        let l1_out = self.l1.access(block, state);
+        if let Some((v, s)) = l1_out.evicted {
+            self.spill(1, v, s, &mut writebacks);
+        }
+        if l1_out.hit {
+            return HierarchyOutcome { hit_level: HitLevel::L1, latency, writebacks };
+        }
+
+        // Deeper levels take clean copies: the dirty (write-allocated)
+        // line lives in the L1; lower copies only turn dirty when the L1
+        // victim spills into them.
+        latency += self.l2.config().access_latency;
+        let l2_out = self.l2.access(block, LineState::Clean);
+        if let Some((v, s)) = l2_out.evicted {
+            self.spill(2, v, s, &mut writebacks);
+        }
+        if l2_out.hit {
+            return HierarchyOutcome { hit_level: HitLevel::L2, latency, writebacks };
+        }
+
+        latency += self.l3.config().access_latency;
+        let l3_out = self.l3.access(block, LineState::Clean);
+        if let Some((v, s)) = l3_out.evicted {
+            self.spill(3, v, s, &mut writebacks);
+        }
+        if l3_out.hit {
+            return HierarchyOutcome { hit_level: HitLevel::L3, latency, writebacks };
+        }
+
+        HierarchyOutcome { hit_level: HitLevel::Memory, latency, writebacks }
+    }
+
+    /// A load: fills all levels clean (unless already dirty).
+    pub fn load(&mut self, block: BlockAddr) -> HierarchyOutcome {
+        self.access(block, LineState::Clean)
+    }
+
+    /// A store: installs/upgrades the line with `state` (the persistent-
+    /// hierarchy flow passes [`LineState::PersistDirty`]; the SP baseline
+    /// without a SecPB passes [`LineState::Dirty`]).
+    pub fn store(&mut self, block: BlockAddr, state: LineState) -> HierarchyOutcome {
+        self.access(block, state)
+    }
+
+    /// Collects every dirty or persist-dirty block currently resident, as
+    /// the eADR energy model's worst case requires, without changing any
+    /// state.
+    pub fn dirty_blocks(&self) -> Vec<(BlockAddr, LineState)> {
+        let mut out = Vec::new();
+        for cache in [&self.l1, &self.l2, &self.l3] {
+            for (b, s) in cache.resident() {
+                if s != LineState::Clean {
+                    out.push((b, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drops all cache contents (power cycle).
+    pub fn clear(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        self.l3.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpb_sim::config::CacheConfig;
+
+    fn tiny() -> Hierarchy {
+        // Small hierarchy for eviction-path tests: L1 2 sets x 1 way,
+        // L2 2 sets x 2 ways, L3 4 sets x 2 ways.
+        let cfg = SystemConfig {
+            l1: CacheConfig::new(2 * 64, 1, 64, 2),
+            l2: CacheConfig::new(4 * 64, 2, 64, 20),
+            l3: CacheConfig::new(8 * 64, 2, 64, 30),
+            ..SystemConfig::default()
+        };
+        Hierarchy::new(&cfg)
+    }
+
+    #[test]
+    fn latency_accumulates_down_the_stack() {
+        let mut h = Hierarchy::new(&SystemConfig::default());
+        let cold = h.load(BlockAddr(0));
+        assert_eq!(cold.hit_level, HitLevel::Memory);
+        assert_eq!(cold.latency, 2 + 20 + 30);
+        assert_eq!(h.load(BlockAddr(0)).latency, 2);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = tiny();
+        h.load(BlockAddr(0));
+        h.load(BlockAddr(2)); // evicts 0 from 1-way L1 set 0
+        let again = h.load(BlockAddr(0));
+        assert_eq!(again.hit_level, HitLevel::L2);
+        assert_eq!(again.latency, 22);
+    }
+
+    #[test]
+    fn truly_dirty_llc_victim_is_written_back() {
+        let mut h = tiny();
+        // Store (SP-style Dirty) to many blocks of the same L3 set to
+        // force an LLC eviction of a dirty line.
+        let mut wb = Vec::new();
+        for i in 0..8u64 {
+            let out = h.store(BlockAddr(i * 4), LineState::Dirty);
+            wb.extend(out.writebacks);
+        }
+        assert!(!wb.is_empty(), "a dirty LLC victim must be written back");
+    }
+
+    #[test]
+    fn persist_dirty_llc_victim_is_silent() {
+        let mut h = tiny();
+        let mut wb = Vec::new();
+        for i in 0..8u64 {
+            let out = h.store(BlockAddr(i * 4), LineState::PersistDirty);
+            wb.extend(out.writebacks);
+        }
+        assert!(wb.is_empty(), "persist-dirty LLC victims are silently discarded");
+    }
+
+    #[test]
+    fn dirty_victims_propagate_to_lower_levels() {
+        let mut h = tiny();
+        h.store(BlockAddr(0), LineState::PersistDirty);
+        h.store(BlockAddr(2), LineState::PersistDirty); // evicts 0 from L1
+        // Block 0 should now live in L2 still marked persist-dirty.
+        assert_eq!(h.l2().probe(BlockAddr(0)), Some(LineState::PersistDirty));
+    }
+
+    #[test]
+    fn dirty_blocks_enumerates_all_levels() {
+        let mut h = tiny();
+        h.store(BlockAddr(0), LineState::PersistDirty);
+        h.store(BlockAddr(2), LineState::Dirty);
+        let dirty = h.dirty_blocks();
+        let blocks: Vec<_> = dirty.iter().map(|(b, _)| b.index()).collect();
+        assert!(blocks.contains(&0));
+        assert!(blocks.contains(&2));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = tiny();
+        h.store(BlockAddr(0), LineState::Dirty);
+        h.clear();
+        assert_eq!(h.load(BlockAddr(0)).hit_level, HitLevel::Memory);
+        assert!(h.dirty_blocks().iter().all(|(b, _)| b.index() != 0) || h.dirty_blocks().is_empty());
+    }
+
+    #[test]
+    fn store_then_load_hits_l1() {
+        let mut h = Hierarchy::new(&SystemConfig::default());
+        h.store(BlockAddr(9), LineState::PersistDirty);
+        let out = h.load(BlockAddr(9));
+        assert_eq!(out.hit_level, HitLevel::L1);
+        // Load must not downgrade the dirty state.
+        assert_eq!(h.l1().probe(BlockAddr(9)), Some(LineState::PersistDirty));
+    }
+}

@@ -1,0 +1,222 @@
+//! Start-Gap wear leveling for the PCM substrate (Qureshi et al.,
+//! MICRO'09 — the paper's Table I memory device cites this line of
+//! work).
+//!
+//! PCM cells endure a bounded number of writes; without leveling, the
+//! hot blocks of a persistent workload (exactly what a SecPB drains over
+//! and over: counter blocks, MAC blocks, hot data) would wear out early.
+//! Start-Gap remaps logical to physical lines algebraically — no
+//! indirection table — using two registers:
+//!
+//! * `gap`: one spare physical line; every ψ writes, the line above the
+//!   gap moves into it, shifting the gap up by one,
+//! * `start`: incremented each time the gap wraps, slowly rotating the
+//!   whole address space.
+//!
+//! After `N·ψ` writes every line has moved once and each logical address
+//! has visited a new physical line, spreading hot spots uniformly.
+
+use secpb_sim::addr::BlockAddr;
+
+/// Start-Gap remapping state over a region of `lines` logical lines
+/// (backed by `lines + 1` physical lines).
+#[derive(Debug, Clone)]
+pub struct StartGap {
+    lines: u64,
+    /// Physical index of the spare (gap) line, in `0..=lines`.
+    gap: u64,
+    /// Rotation offset, in `0..lines`.
+    start: u64,
+    /// Gap movement period in writes (ψ; 100 in the original paper).
+    psi: u32,
+    writes_since_move: u32,
+    total_writes: u64,
+    gap_moves: u64,
+}
+
+impl StartGap {
+    /// Creates a leveler for `lines` logical lines with gap period `psi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or `psi` is zero.
+    pub fn new(lines: u64, psi: u32) -> Self {
+        assert!(lines > 0, "region must have at least one line");
+        assert!(psi > 0, "gap period must be positive");
+        StartGap {
+            lines,
+            gap: lines, // spare initially at the top
+            start: 0,
+            psi,
+            writes_since_move: 0,
+            total_writes: 0,
+            gap_moves: 0,
+        }
+    }
+
+    /// Logical lines covered.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Total writes observed.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Gap movements performed (each costs one line copy).
+    pub fn gap_moves(&self) -> u64 {
+        self.gap_moves
+    }
+
+    /// Maps a logical line to its current physical line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= lines`.
+    pub fn map(&self, logical: u64) -> u64 {
+        assert!(logical < self.lines, "logical line {logical} out of range");
+        let rotated = (logical + self.start) % self.lines;
+        if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        }
+    }
+
+    /// Records a write to a logical line; returns `(physical, moved)`
+    /// where `moved` reports whether this write triggered a gap movement
+    /// (one extra line copy of background traffic).
+    pub fn on_write(&mut self, logical: u64) -> (u64, bool) {
+        let physical = self.map(logical);
+        self.total_writes += 1;
+        self.writes_since_move += 1;
+        let mut moved = false;
+        if self.writes_since_move >= self.psi {
+            self.writes_since_move = 0;
+            self.move_gap();
+            moved = true;
+        }
+        (physical, moved)
+    }
+
+    /// One gap movement: the line just below the gap slides into it.
+    fn move_gap(&mut self) {
+        self.gap_moves += 1;
+        if self.gap == 0 {
+            self.gap = self.lines;
+            self.start = (self.start + 1) % self.lines;
+        } else {
+            self.gap -= 1;
+        }
+    }
+
+    /// Convenience: remaps a 64-byte block address within a region based
+    /// at `region_base` (block number).
+    pub fn map_block(&self, region_base: u64, block: BlockAddr) -> BlockAddr {
+        let logical = block.index() - region_base;
+        BlockAddr(region_base + self.map(logical))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mapping_is_a_bijection_in_every_state() {
+        let mut sg = StartGap::new(16, 3);
+        for step in 0..200u64 {
+            let mut seen = HashSet::new();
+            for l in 0..16 {
+                let p = sg.map(l);
+                assert!(p <= 16, "physical {p} beyond spare");
+                assert!(seen.insert(p), "collision at step {step}: logical {l} -> {p}");
+            }
+            sg.on_write(step % 16);
+        }
+    }
+
+    #[test]
+    fn gap_moves_every_psi_writes() {
+        let mut sg = StartGap::new(8, 4);
+        for i in 0..16 {
+            let (_, moved) = sg.on_write(i % 8);
+            assert_eq!(moved, (i + 1) % 4 == 0, "write {i}");
+        }
+        assert_eq!(sg.gap_moves(), 4);
+    }
+
+    #[test]
+    fn start_advances_when_gap_wraps() {
+        let mut sg = StartGap::new(4, 1); // gap moves on every write
+        let before = sg.map(0);
+        // 5 moves: gap walks 4 -> 3 -> 2 -> 1 -> 0 -> wraps (start+1).
+        for _ in 0..5 {
+            sg.on_write(0);
+        }
+        let after = sg.map(0);
+        assert_ne!(before, after, "rotation must relocate logical 0");
+    }
+
+    #[test]
+    fn hot_line_wear_spreads_over_time() {
+        // Hammer a single logical line; with leveling, physical writes
+        // spread across many lines.
+        let lines = 32u64;
+        let mut sg = StartGap::new(lines, 2);
+        let mut wear = vec![0u64; lines as usize + 1];
+        for _ in 0..(lines * 2 * 40) {
+            let (p, _) = sg.on_write(0);
+            wear[p as usize] += 1;
+        }
+        let touched = wear.iter().filter(|&&w| w > 0).count();
+        assert!(
+            touched as u64 >= lines,
+            "hot line should visit nearly all physical lines, visited {touched}"
+        );
+        let max = *wear.iter().max().unwrap();
+        let total: u64 = wear.iter().sum();
+        assert!(
+            max * 4 < total,
+            "no single line should absorb >25% of writes: max {max} of {total}"
+        );
+    }
+
+    #[test]
+    fn without_leveling_hot_line_takes_everything() {
+        // Control: psi so large the gap never moves within the test.
+        let mut sg = StartGap::new(32, u32::MAX);
+        let mut wear = vec![0u64; 33];
+        for _ in 0..1000 {
+            let (p, _) = sg.on_write(0);
+            wear[p as usize] += 1;
+        }
+        assert_eq!(wear.iter().filter(|&&w| w > 0).count(), 1);
+    }
+
+    #[test]
+    fn map_block_offsets_by_region() {
+        let sg = StartGap::new(8, 100);
+        let mapped = sg.map_block(1000, BlockAddr(1003));
+        assert!(mapped.index() >= 1000 && mapped.index() <= 1008);
+    }
+
+    #[test]
+    fn overhead_is_one_copy_per_psi_writes() {
+        let mut sg = StartGap::new(1024, 100);
+        for i in 0..10_000u64 {
+            sg.on_write(i % 1024);
+        }
+        // 10k writes at psi=100 => 100 gap moves => 1% write overhead.
+        assert_eq!(sg.gap_moves(), 100);
+        assert!((sg.gap_moves() as f64 / sg.total_writes() as f64 - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_logical_panics() {
+        StartGap::new(4, 1).map(4);
+    }
+}

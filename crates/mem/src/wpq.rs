@@ -1,0 +1,193 @@
+//! The ADR write-pending queue (WPQ) in the memory controller.
+//!
+//! Under Asynchronous DRAM Refresh, the WPQ is inside the persistence
+//! domain: a store is durable once it enters the queue, and the queue
+//! drains to the NVM in the background.  The paper's baseline (Table I)
+//! gives it 32 entries.  What the timing model needs from the WPQ is its
+//! *backpressure*: when full, an incoming block must wait for the oldest
+//! in-flight NVM write to complete.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::cmp::Reverse;
+
+use secpb_sim::addr::BlockAddr;
+use secpb_sim::cycle::Cycle;
+
+use crate::nvm::NvmTiming;
+
+/// WPQ statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WpqStats {
+    /// Blocks accepted into the queue.
+    pub accepted: u64,
+    /// Writes that coalesced onto an already-pending entry for the same
+    /// block (no additional NVM write issued).
+    pub coalesced: u64,
+    /// Cycles spent stalled waiting for a free entry.
+    pub stall_cycles: u64,
+}
+
+/// The write-pending queue model.
+///
+/// # Example
+///
+/// ```
+/// use secpb_mem::nvm::NvmTiming;
+/// use secpb_mem::wpq::WritePendingQueue;
+/// use secpb_sim::addr::BlockAddr;
+/// use secpb_sim::config::NvmConfig;
+/// use secpb_sim::cycle::Cycle;
+///
+/// let mut nvm = NvmTiming::new(NvmConfig::default());
+/// let mut wpq = WritePendingQueue::new(32);
+/// let accepted_at = wpq.enqueue(BlockAddr(0), Cycle(0), &mut nvm);
+/// assert_eq!(accepted_at, Cycle(0)); // empty queue accepts immediately
+/// ```
+#[derive(Debug, Clone)]
+pub struct WritePendingQueue {
+    capacity: usize,
+    /// Completion times of in-flight NVM writes (min-heap).
+    inflight: BinaryHeap<Reverse<Cycle>>,
+    /// Pending completion per block, for write coalescing: a second write
+    /// to a block still queued merges into the existing entry.
+    pending: HashMap<BlockAddr, Cycle>,
+    stats: WpqStats,
+}
+
+impl WritePendingQueue {
+    /// Creates an empty WPQ with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "WPQ needs at least one entry");
+        WritePendingQueue {
+            capacity,
+            inflight: BinaryHeap::new(),
+            pending: HashMap::new(),
+            stats: WpqStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> WpqStats {
+        self.stats
+    }
+
+    /// Entries currently occupied at `now`.
+    pub fn occupancy(&mut self, now: Cycle) -> usize {
+        self.retire(now);
+        self.inflight.len()
+    }
+
+    fn retire(&mut self, now: Cycle) {
+        while self.inflight.peek().is_some_and(|Reverse(c)| *c <= now) {
+            self.inflight.pop();
+        }
+        self.pending.retain(|_, &mut c| c > now);
+    }
+
+    /// Enqueues a block write at `now`, stalling if the queue is full.
+    ///
+    /// Returns the cycle at which the block is *accepted* (and therefore
+    /// durable under ADR).  A write to a block that is still pending
+    /// coalesces onto the existing entry — accepted immediately, no second
+    /// NVM write.  Otherwise the NVM write is issued upon acceptance.
+    pub fn enqueue(&mut self, block: BlockAddr, now: Cycle, nvm: &mut NvmTiming) -> Cycle {
+        self.retire(now);
+        if self.pending.contains_key(&block) {
+            self.stats.coalesced += 1;
+            return now;
+        }
+        let accept_at = if self.inflight.len() < self.capacity {
+            now
+        } else {
+            let oldest = self.inflight.pop().expect("full queue").0;
+            self.stats.stall_cycles += oldest.since(now);
+            oldest
+        };
+        let completion = nvm.write(block, accept_at);
+        self.inflight.push(Reverse(completion));
+        self.pending.insert(block, completion);
+        self.stats.accepted += 1;
+        accept_at
+    }
+
+    /// The cycle by which every queued write has reached the NVM.
+    pub fn drained_at(&self) -> Cycle {
+        self.inflight.iter().map(|Reverse(c)| *c).max().unwrap_or(Cycle::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpb_sim::config::NvmConfig;
+
+    fn setup() -> (WritePendingQueue, NvmTiming) {
+        (WritePendingQueue::new(2), NvmTiming::new(NvmConfig::default()))
+    }
+
+    #[test]
+    fn accepts_immediately_when_space() {
+        let (mut wpq, mut nvm) = setup();
+        assert_eq!(wpq.enqueue(BlockAddr(0), Cycle(5), &mut nvm), Cycle(5));
+        assert_eq!(wpq.occupancy(Cycle(5)), 1);
+    }
+
+    #[test]
+    fn full_queue_stalls_until_oldest_completes() {
+        let (mut wpq, mut nvm) = setup();
+        // Two writes to different banks complete at cycle 600.
+        wpq.enqueue(BlockAddr(0), Cycle(0), &mut nvm);
+        wpq.enqueue(BlockAddr(1), Cycle(0), &mut nvm);
+        let accepted = wpq.enqueue(BlockAddr(2), Cycle(0), &mut nvm);
+        assert_eq!(accepted, Cycle(600));
+        assert_eq!(wpq.stats().stall_cycles, 600);
+    }
+
+    #[test]
+    fn entries_retire_over_time() {
+        let (mut wpq, mut nvm) = setup();
+        wpq.enqueue(BlockAddr(0), Cycle(0), &mut nvm);
+        wpq.enqueue(BlockAddr(1), Cycle(0), &mut nvm);
+        assert_eq!(wpq.occupancy(Cycle(599)), 2);
+        assert_eq!(wpq.occupancy(Cycle(600)), 0);
+        // Now a third write is accepted with no stall.
+        let accepted = wpq.enqueue(BlockAddr(2), Cycle(700), &mut nvm);
+        assert_eq!(accepted, Cycle(700));
+        assert_eq!(wpq.stats().accepted, 3);
+    }
+
+    #[test]
+    fn drained_at_tracks_last_completion() {
+        let (mut wpq, mut nvm) = setup();
+        assert_eq!(wpq.drained_at(), Cycle::ZERO);
+        let banks = nvm.config().banks as u64;
+        wpq.enqueue(BlockAddr(0), Cycle(0), &mut nvm);
+        // Same bank: serialized behind the first write.
+        wpq.enqueue(BlockAddr(banks), Cycle(0), &mut nvm);
+        assert_eq!(wpq.drained_at(), Cycle(1200));
+    }
+
+    #[test]
+    fn repeated_writes_coalesce_while_pending() {
+        let (mut wpq, mut nvm) = setup();
+        wpq.enqueue(BlockAddr(0), Cycle(0), &mut nvm);
+        // Same block, still in flight: coalesces, no second NVM write.
+        let accepted = wpq.enqueue(BlockAddr(0), Cycle(10), &mut nvm);
+        assert_eq!(accepted, Cycle(10));
+        assert_eq!(nvm.stats().writes, 1);
+        assert_eq!(wpq.stats().coalesced, 1);
+        // After the write completes, a new write is issued again.
+        wpq.enqueue(BlockAddr(0), Cycle(700), &mut nvm);
+        assert_eq!(nvm.stats().writes, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        WritePendingQueue::new(0);
+    }
+}

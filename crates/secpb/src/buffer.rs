@@ -1,0 +1,281 @@
+//! The SecPB buffer: a small, fully-associative, battery-backed table of
+//! [`Entry`]s with store coalescing, drain watermarks, and oldest-first
+//! drain order (Sections III-B and IV-B of the paper).
+
+use std::collections::HashMap;
+
+use secpb_sim::addr::{Asid, BlockAddr};
+use secpb_sim::config::SecPbConfig;
+
+use crate::entry::Entry;
+
+/// SecPB activity statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SecPbStats {
+    /// Stores accepted (each is a persist: PPTI's numerator).
+    pub persists: u64,
+    /// Entries allocated (new blocks).
+    pub allocations: u64,
+    /// Entries drained (by watermark, eviction, or crash).
+    pub drained_entries: u64,
+    /// Total stores carried by drained entries (NWPE's numerator).
+    pub drained_stores: u64,
+}
+
+impl SecPbStats {
+    /// Mean number of writes per drained SecPB entry — the paper's NWPE
+    /// metric.
+    pub fn nwpe(&self) -> f64 {
+        if self.drained_entries == 0 {
+            0.0
+        } else {
+            self.drained_stores as f64 / self.drained_entries as f64
+        }
+    }
+}
+
+/// The SecPB table.
+///
+/// # Example
+///
+/// ```
+/// use secpb_core::buffer::SecPb;
+/// use secpb_sim::addr::{Asid, BlockAddr};
+/// use secpb_sim::config::SecPbConfig;
+///
+/// let mut pb = SecPb::new(SecPbConfig::default());
+/// pb.allocate(BlockAddr(1), Asid(0), [0u8; 64]);
+/// assert!(pb.contains(BlockAddr(1)));
+/// assert_eq!(pb.occupancy(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SecPb {
+    config: SecPbConfig,
+    entries: HashMap<BlockAddr, Entry>,
+    next_seq: u64,
+    stats: SecPbStats,
+}
+
+impl SecPb {
+    /// Creates an empty buffer.
+    pub fn new(config: SecPbConfig) -> Self {
+        SecPb { config, entries: HashMap::new(), next_seq: 0, stats: SecPbStats::default() }
+    }
+
+    /// The buffer configuration.
+    pub fn config(&self) -> &SecPbConfig {
+        &self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SecPbStats {
+        self.stats
+    }
+
+    /// Number of resident entries.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every entry slot is occupied.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.config.entries
+    }
+
+    /// Whether occupancy has reached the high watermark (start draining).
+    pub fn above_high_watermark(&self) -> bool {
+        self.entries.len() >= self.config.high_watermark_entries()
+    }
+
+    /// Whether occupancy has fallen to the low watermark (stop draining).
+    pub fn at_low_watermark(&self) -> bool {
+        self.entries.len() <= self.config.low_watermark_entries()
+    }
+
+    /// Whether the buffer holds `block`.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.entries.contains_key(&block)
+    }
+
+    /// Immutable access to an entry.
+    pub fn entry(&self, block: BlockAddr) -> Option<&Entry> {
+        self.entries.get(&block)
+    }
+
+    /// Mutable access to an entry.
+    pub fn entry_mut(&mut self, block: BlockAddr) -> Option<&mut Entry> {
+        self.entries.get_mut(&block)
+    }
+
+    /// Records a store hitting an existing entry (coalescing) or a fresh
+    /// one; the caller applies the store to the entry itself.
+    pub fn note_persist(&mut self) {
+        self.stats.persists += 1;
+    }
+
+    /// Allocates a fresh entry for `block` whose plaintext starts from
+    /// `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full or the block is already resident —
+    /// callers must drain first and must coalesce hits.
+    pub fn allocate(&mut self, block: BlockAddr, asid: Asid, base: [u8; 64]) -> &mut Entry {
+        assert!(!self.is_full(), "SecPB is full; drain before allocating");
+        assert!(!self.contains(block), "{block} already resident; coalesce instead");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.allocations += 1;
+        self.entries.entry(block).or_insert(Entry::new(block, asid, base, seq))
+    }
+
+    /// Removes and returns an entry (drain or migration), updating NWPE
+    /// accounting.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<Entry> {
+        let e = self.entries.remove(&block)?;
+        self.stats.drained_entries += 1;
+        self.stats.drained_stores += e.stores;
+        Some(e)
+    }
+
+    /// The oldest resident entry's block (FIFO drain order).
+    pub fn oldest(&self) -> Option<BlockAddr> {
+        self.entries.values().min_by_key(|e| e.seq).map(|e| e.block)
+    }
+
+    /// The oldest resident entry matching `filter` (drain-process policy).
+    pub fn oldest_matching(&self, filter: impl Fn(&Entry) -> bool) -> Option<BlockAddr> {
+        self.entries.values().filter(|e| filter(e)).min_by_key(|e| e.seq).map(|e| e.block)
+    }
+
+    /// Blocks of all resident entries, oldest first.
+    pub fn blocks_oldest_first(&self) -> Vec<BlockAddr> {
+        let mut v: Vec<&Entry> = self.entries.values().collect();
+        v.sort_by_key(|e| e.seq);
+        v.into_iter().map(|e| e.block).collect()
+    }
+
+    /// Blocks of resident entries owned by `asid`, oldest first.
+    pub fn blocks_of_asid(&self, asid: Asid) -> Vec<BlockAddr> {
+        let mut v: Vec<&Entry> = self.entries.values().filter(|e| e.asid == asid).collect();
+        v.sort_by_key(|e| e.seq);
+        v.into_iter().map(|e| e.block).collect()
+    }
+
+    /// Iterates over all resident entries in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pb(entries: usize) -> SecPb {
+        SecPb::new(SecPbConfig { entries, ..SecPbConfig::default() })
+    }
+
+    #[test]
+    fn allocate_and_lookup() {
+        let mut b = pb(4);
+        b.allocate(BlockAddr(1), Asid(0), [7u8; 64]);
+        assert!(b.contains(BlockAddr(1)));
+        assert_eq!(b.entry(BlockAddr(1)).unwrap().plaintext, [7u8; 64]);
+        assert!(!b.contains(BlockAddr(2)));
+        assert_eq!(b.stats().allocations, 1);
+    }
+
+    #[test]
+    fn watermarks_track_occupancy() {
+        let mut b = pb(8); // HWM = 6, LWM = 4
+        for i in 0..5u64 {
+            b.allocate(BlockAddr(i), Asid(0), [0u8; 64]);
+        }
+        assert!(!b.above_high_watermark());
+        b.allocate(BlockAddr(5), Asid(0), [0u8; 64]);
+        assert!(b.above_high_watermark());
+        assert!(!b.at_low_watermark());
+        b.remove(BlockAddr(0));
+        b.remove(BlockAddr(1));
+        assert!(b.at_low_watermark());
+    }
+
+    #[test]
+    fn full_buffer_is_detected() {
+        let mut b = pb(2);
+        b.allocate(BlockAddr(0), Asid(0), [0u8; 64]);
+        assert!(!b.is_full());
+        b.allocate(BlockAddr(1), Asid(0), [0u8; 64]);
+        assert!(b.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn allocate_into_full_buffer_panics() {
+        let mut b = pb(1);
+        b.allocate(BlockAddr(0), Asid(0), [0u8; 64]);
+        b.allocate(BlockAddr(1), Asid(0), [0u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resident")]
+    fn duplicate_allocation_panics() {
+        let mut b = pb(4);
+        b.allocate(BlockAddr(0), Asid(0), [0u8; 64]);
+        b.allocate(BlockAddr(0), Asid(0), [0u8; 64]);
+    }
+
+    #[test]
+    fn oldest_first_order() {
+        let mut b = pb(4);
+        b.allocate(BlockAddr(9), Asid(0), [0u8; 64]);
+        b.allocate(BlockAddr(3), Asid(0), [0u8; 64]);
+        b.allocate(BlockAddr(7), Asid(0), [0u8; 64]);
+        assert_eq!(b.oldest(), Some(BlockAddr(9)));
+        assert_eq!(
+            b.blocks_oldest_first(),
+            vec![BlockAddr(9), BlockAddr(3), BlockAddr(7)]
+        );
+        b.remove(BlockAddr(9));
+        assert_eq!(b.oldest(), Some(BlockAddr(3)));
+    }
+
+    #[test]
+    fn nwpe_accounting() {
+        let mut b = pb(4);
+        b.allocate(BlockAddr(0), Asid(0), [0u8; 64]);
+        b.entry_mut(BlockAddr(0)).unwrap().apply_store(0, 1, 8);
+        b.entry_mut(BlockAddr(0)).unwrap().apply_store(8, 2, 8);
+        b.entry_mut(BlockAddr(0)).unwrap().apply_store(0, 3, 8);
+        b.allocate(BlockAddr(1), Asid(0), [0u8; 64]);
+        b.entry_mut(BlockAddr(1)).unwrap().apply_store(0, 1, 8);
+        b.remove(BlockAddr(0));
+        b.remove(BlockAddr(1));
+        // 4 stores over 2 drained entries.
+        assert!((b.stats().nwpe() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nwpe_of_nothing_is_zero() {
+        assert_eq!(SecPbStats::default().nwpe(), 0.0);
+    }
+
+    #[test]
+    fn asid_filtering() {
+        let mut b = pb(4);
+        b.allocate(BlockAddr(0), Asid(1), [0u8; 64]);
+        b.allocate(BlockAddr(1), Asid(2), [0u8; 64]);
+        b.allocate(BlockAddr(2), Asid(1), [0u8; 64]);
+        assert_eq!(b.blocks_of_asid(Asid(1)), vec![BlockAddr(0), BlockAddr(2)]);
+        assert_eq!(b.blocks_of_asid(Asid(2)), vec![BlockAddr(1)]);
+        assert_eq!(b.oldest_matching(|e| e.asid == Asid(2)), Some(BlockAddr(1)));
+    }
+
+    #[test]
+    fn remove_absent_returns_none() {
+        let mut b = pb(2);
+        assert!(b.remove(BlockAddr(5)).is_none());
+        assert_eq!(b.stats().drained_entries, 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Multi-core SecPB coherence (Section IV-C of the paper).
+//!
+//! With one SecPB per core, two replication hazards appear:
+//!
+//! 1. **Metadata replication** — eager schemes keep counters/OTPs/MACs in
+//!    SecPB entries; the metadata caches are tagged with a *directory*
+//!    recording which SecPB (if any) a metadata block also lives in, and a
+//!    miss in another core's SecPB *migrates* the entry rather than
+//!    replicating it.
+//! 2. **Data replication** — a block may live in one core's SecPB while
+//!    other cores want it.  A remote *read* flushes the owner's entry to
+//!    PM and services the request in parallel; a remote *write* migrates
+//!    the entry to the requesting core.
+//!
+//! The paper evaluates a single core (Table I); this module implements the
+//! protocol so multi-core configurations are functionally correct, and its
+//! tests double as the protocol's specification.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use secpb_sim::addr::{Asid, BlockAddr};
+use secpb_sim::config::SecPbConfig;
+
+use crate::buffer::SecPb;
+use crate::entry::Entry;
+
+/// A directory mapping a key (data block or metadata block) to the single
+/// SecPB that currently owns it — the "no replication" invariant.
+#[derive(Debug, Clone, Default)]
+pub struct Directory<K: Eq + Hash> {
+    owner: HashMap<K, usize>,
+}
+
+impl<K: Eq + Hash + Copy> Directory<K> {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory { owner: HashMap::new() }
+    }
+
+    /// The current owner core, if any.
+    pub fn owner(&self, key: K) -> Option<usize> {
+        self.owner.get(&key).copied()
+    }
+
+    /// Claims ownership for `core`, returning the previous owner if the
+    /// key moved.
+    pub fn claim(&mut self, key: K, core: usize) -> Option<usize> {
+        let prev = self.owner.insert(key, core);
+        prev.filter(|&p| p != core)
+    }
+
+    /// Releases ownership (drain to PM).
+    pub fn release(&mut self, key: K) -> Option<usize> {
+        self.owner.remove(&key)
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+}
+
+/// What the coherence controller did to satisfy an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceAction {
+    /// The block was already in the requesting core's SecPB.
+    LocalHit,
+    /// The block was in no SecPB; a fresh entry was allocated locally.
+    Allocated,
+    /// A remote write request: the entry migrated from `from` to the
+    /// requester (metadata travels with it — eager schemes avoid
+    /// regenerating data-value-independent metadata, Section IV-C(c)).
+    MigratedFrom {
+        /// The previous owner core.
+        from: usize,
+    },
+    /// A remote read request: the owner's entry was flushed to PM and the
+    /// data serviced in parallel; the entry left all SecPBs.
+    FlushedFrom {
+        /// The core whose SecPB held (and flushed) the entry.
+        from: usize,
+    },
+}
+
+/// A bank of per-core SecPBs with the Section IV-C directory protocol.
+#[derive(Debug, Clone)]
+pub struct CoherenceController {
+    pbs: Vec<SecPb>,
+    directory: Directory<BlockAddr>,
+    /// Entries flushed to PM by remote reads, handed back for the system
+    /// model to complete functionally.
+    flushed: Vec<Entry>,
+}
+
+impl CoherenceController {
+    /// Creates `cores` SecPBs with identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize, config: SecPbConfig) -> Self {
+        assert!(cores > 0, "need at least one core");
+        CoherenceController {
+            pbs: (0..cores).map(|_| SecPb::new(config)).collect(),
+            directory: Directory::new(),
+            flushed: Vec::new(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.pbs.len()
+    }
+
+    /// A core's SecPB.
+    pub fn pb(&self, core: usize) -> &SecPb {
+        &self.pbs[core]
+    }
+
+    /// Mutable access to a core's SecPB (for applying coalesced stores to
+    /// a resident entry).
+    pub fn pb_mut(&mut self, core: usize) -> &mut SecPb {
+        &mut self.pbs[core]
+    }
+
+    /// Entries flushed by remote reads since the last take.
+    pub fn take_flushed(&mut self) -> Vec<Entry> {
+        std::mem::take(&mut self.flushed)
+    }
+
+    /// A store by `core` to `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the requesting core's SecPB is full when an allocation or
+    /// migration is needed (the caller must drain first, as in the
+    /// single-core flow).
+    pub fn write(&mut self, core: usize, block: BlockAddr, asid: Asid, base: [u8; 64]) -> CoherenceAction {
+        match self.directory.owner(block) {
+            Some(owner) if owner == core => {
+                self.pbs[core].note_persist();
+                CoherenceAction::LocalHit
+            }
+            Some(owner) => {
+                // Migrate: the entry moves wholesale; valid metadata moves
+                // with it so data-value-independent work is not redone.
+                let entry = self.pbs[owner].remove(block).expect("directory tracked entry");
+                assert!(!self.pbs[core].is_full(), "requesting SecPB full: drain first");
+                let e = self.pbs[core].allocate(block, entry.asid, entry.plaintext);
+                e.otp = entry.otp;
+                e.ciphertext = entry.ciphertext;
+                e.counter = entry.counter;
+                e.mac = entry.mac;
+                e.valid = entry.valid;
+                e.stores = entry.stores;
+                self.pbs[core].note_persist();
+                self.directory.claim(block, core);
+                CoherenceAction::MigratedFrom { from: owner }
+            }
+            None => {
+                assert!(!self.pbs[core].is_full(), "requesting SecPB full: drain first");
+                self.pbs[core].allocate(block, asid, base);
+                self.pbs[core].note_persist();
+                self.directory.claim(block, core);
+                CoherenceAction::Allocated
+            }
+        }
+    }
+
+    /// A load by `core` of `block`.  Remote hits flush the owner's entry
+    /// (it is handed to [`take_flushed`](Self::take_flushed) for the
+    /// system model to persist) and the datum is serviced in parallel.
+    pub fn read(&mut self, core: usize, block: BlockAddr) -> Option<CoherenceAction> {
+        match self.directory.owner(block) {
+            Some(owner) if owner == core => Some(CoherenceAction::LocalHit),
+            Some(owner) => {
+                let entry = self.pbs[owner].remove(block).expect("directory tracked entry");
+                self.flushed.push(entry);
+                self.directory.release(block);
+                Some(CoherenceAction::FlushedFrom { from: owner })
+            }
+            None => None,
+        }
+    }
+
+    /// Removes a drained entry from its owner's SecPB and the directory.
+    pub fn drain(&mut self, block: BlockAddr) -> Option<Entry> {
+        let owner = self.directory.release(block)?;
+        self.pbs[owner].remove(block)
+    }
+
+    /// Checks the no-replication invariant: every block lives in at most
+    /// one SecPB and the directory agrees.
+    pub fn replication_free(&self) -> bool {
+        let mut seen: HashMap<BlockAddr, usize> = HashMap::new();
+        for (core, pb) in self.pbs.iter().enumerate() {
+            for e in pb.iter() {
+                if seen.insert(e.block, core).is_some() {
+                    return false;
+                }
+                if self.directory.owner(e.block) != Some(core) {
+                    return false;
+                }
+            }
+        }
+        seen.len() == self.directory.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> CoherenceController {
+        CoherenceController::new(2, SecPbConfig::default())
+    }
+
+    #[test]
+    fn local_write_allocates_once() {
+        let mut c = controller();
+        assert_eq!(c.write(0, BlockAddr(1), Asid(0), [0; 64]), CoherenceAction::Allocated);
+        assert_eq!(c.write(0, BlockAddr(1), Asid(0), [0; 64]), CoherenceAction::LocalHit);
+        assert_eq!(c.pb(0).occupancy(), 1);
+        assert!(c.replication_free());
+    }
+
+    #[test]
+    fn remote_write_migrates_entry_and_metadata() {
+        let mut c = controller();
+        c.write(0, BlockAddr(1), Asid(0), [7; 64]);
+        // Mark some metadata valid on core 0's entry.
+        // (Simulating an eager scheme having done early work.)
+        {
+            let pb = &mut c.pbs[0];
+            let e = pb.entry_mut(BlockAddr(1)).unwrap();
+            e.valid.counter = true;
+            e.counter.minor = 3;
+        }
+        let action = c.write(1, BlockAddr(1), Asid(0), [0; 64]);
+        assert_eq!(action, CoherenceAction::MigratedFrom { from: 0 });
+        assert_eq!(c.pb(0).occupancy(), 0);
+        assert_eq!(c.pb(1).occupancy(), 1);
+        let e = c.pb(1).entry(BlockAddr(1)).unwrap();
+        assert!(e.valid.counter, "data-value-independent metadata travels with the entry");
+        assert_eq!(e.counter.minor, 3);
+        assert_eq!(e.plaintext, [7; 64]);
+        assert!(c.replication_free());
+    }
+
+    #[test]
+    fn remote_read_flushes_owner_entry() {
+        let mut c = controller();
+        c.write(0, BlockAddr(1), Asid(0), [9; 64]);
+        let action = c.read(1, BlockAddr(1));
+        assert_eq!(action, Some(CoherenceAction::FlushedFrom { from: 0 }));
+        assert_eq!(c.pb(0).occupancy(), 0, "owner entry flushed to PM");
+        let flushed = c.take_flushed();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].plaintext, [9; 64]);
+        assert!(c.replication_free());
+    }
+
+    #[test]
+    fn local_read_hits_without_flush() {
+        let mut c = controller();
+        c.write(0, BlockAddr(1), Asid(0), [0; 64]);
+        assert_eq!(c.read(0, BlockAddr(1)), Some(CoherenceAction::LocalHit));
+        assert_eq!(c.pb(0).occupancy(), 1);
+    }
+
+    #[test]
+    fn read_of_untracked_block_is_none() {
+        let mut c = controller();
+        assert_eq!(c.read(0, BlockAddr(5)), None);
+    }
+
+    #[test]
+    fn drain_releases_directory() {
+        let mut c = controller();
+        c.write(0, BlockAddr(1), Asid(0), [0; 64]);
+        let entry = c.drain(BlockAddr(1));
+        assert!(entry.is_some());
+        assert!(c.replication_free());
+        assert!(c.drain(BlockAddr(1)).is_none());
+    }
+
+    #[test]
+    fn ping_pong_migration_never_replicates() {
+        let mut c = controller();
+        for i in 0..20 {
+            let core = i % 2;
+            c.write(core, BlockAddr(7), Asid(0), [0; 64]);
+            assert!(c.replication_free(), "iteration {i}");
+        }
+        assert_eq!(c.pb(0).occupancy() + c.pb(1).occupancy(), 1);
+    }
+
+    #[test]
+    fn directory_claim_and_release() {
+        let mut d: Directory<BlockAddr> = Directory::new();
+        assert!(d.is_empty());
+        assert_eq!(d.claim(BlockAddr(1), 0), None);
+        assert_eq!(d.claim(BlockAddr(1), 0), None, "re-claim by same owner is silent");
+        assert_eq!(d.claim(BlockAddr(1), 1), Some(0), "movement reports previous owner");
+        assert_eq!(d.owner(BlockAddr(1)), Some(1));
+        assert_eq!(d.release(BlockAddr(1)), Some(1));
+        assert_eq!(d.owner(BlockAddr(1)), None);
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        CoherenceController::new(0, SecPbConfig::default());
+    }
+}

@@ -1,0 +1,220 @@
+//! Crash handling and post-crash recovery (Sections III-B and IV of the
+//! paper).
+//!
+//! On a crash the battery powers two phases: *draining* (SecPB entries
+//! flow to the memory controller) and *sec-sync* (the remaining memory-
+//! tuple work completes and is flushed to the PM).  The crash observer is
+//! kept away from the inconsistent intermediate state by either a
+//! [`ObserverPolicy::Blocking`] policy or a [`ObserverPolicy::Warning`]
+//! policy.  Application crashes may drain either the whole buffer
+//! ([`DrainPolicy::DrainAll`], the paper's choice) or only the faulting
+//! process's entries ([`DrainPolicy::DrainProcess`], which requires ASID
+//! tags).
+//!
+//! [`RecoveryReport`] is produced by actually *decrypting* the persisted
+//! ciphertext, verifying every block MAC, and rebuilding the BMT to check
+//! the persisted root — the functional counterpart of the paper's
+//! crash-recoverability invariants.
+
+use secpb_sim::addr::{Asid, BlockAddr};
+use secpb_sim::cycle::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// What kind of crash occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// Power loss: detected, battery drains everything.
+    PowerLoss,
+    /// Hardware or system-software failure: treated like power loss.
+    HardwareFailure,
+    /// An application crash (segfault, divide-by-zero, ...); the system
+    /// survives and only the SecPB handling differs by [`DrainPolicy`].
+    ApplicationCrash(Asid),
+}
+
+/// How an application crash drains the SecPB (Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DrainPolicy {
+    /// Drain every entry regardless of owner — the paper's choice: no
+    /// ASID tags needed, and application crashes are rare.
+    #[default]
+    DrainAll,
+    /// Drain only the faulting process's entries (requires ASID tags in
+    /// each entry; other processes keep coalescing).
+    DrainProcess,
+}
+
+/// How the crash observer is kept from seeing inconsistent state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ObserverPolicy {
+    /// The observer is blocked until draining and sec-sync complete.
+    #[default]
+    Blocking,
+    /// The observer may look immediately but is warned to wait until the
+    /// persistent state reaches crash consistency.
+    Warning,
+}
+
+/// Work performed on battery power during a crash drain, in units the
+/// energy model converts to joules (Table III).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainWork {
+    /// SecPB entries drained.
+    pub entries: u64,
+    /// Bytes moved from the SecPB to the memory controller.
+    pub bytes_pb_to_mc: u64,
+    /// Data/metadata bytes written from the MC to the PM.
+    pub bytes_mc_to_pm: u64,
+    /// Counter blocks fetched from PM (counter-cache misses during
+    /// sec-sync).
+    pub counter_fetches: u64,
+    /// BMT nodes hashed.
+    pub bmt_node_hashes: u64,
+    /// BMT nodes fetched from PM.
+    pub bmt_node_fetches: u64,
+    /// OTPs generated.
+    pub otps: u64,
+    /// MACs computed.
+    pub macs: u64,
+    /// Ciphertext XORs (single-cycle; negligible energy, counted anyway).
+    pub ciphertexts: u64,
+}
+
+/// The outcome of a crash: when each battery-powered phase finished and
+/// how much work it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// The crash kind handled.
+    pub kind: CrashKind,
+    /// Cycle at which the crash was detected.
+    pub at: Cycle,
+    /// Cycle at which the SecPB finished draining (the *draining gap*
+    /// closed).
+    pub drain_complete_at: Cycle,
+    /// Cycle at which all security metadata was updated and persisted
+    /// (the *sec-sync gap* closed); the observable state is consistent
+    /// from here on.
+    pub secsync_complete_at: Cycle,
+    /// Battery-powered work performed.
+    pub work: DrainWork,
+}
+
+impl CrashReport {
+    /// What an observer looking at the persistent state at `when` is
+    /// allowed to see under `policy`.
+    pub fn observe(&self, policy: ObserverPolicy, when: Cycle) -> ObserverView {
+        if when >= self.secsync_complete_at {
+            ObserverView::Consistent
+        } else {
+            match policy {
+                ObserverPolicy::Blocking => {
+                    ObserverView::Blocked { until: self.secsync_complete_at }
+                }
+                ObserverPolicy::Warning => {
+                    ObserverView::Warned { consistent_at: self.secsync_complete_at }
+                }
+            }
+        }
+    }
+}
+
+/// The observer's view of the post-crash persistent state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverView {
+    /// Draining and sec-sync are complete; the state is crash consistent.
+    Consistent,
+    /// Blocking policy: the observer may not look before `until`.
+    Blocked {
+        /// Cycle at which the state becomes observable.
+        until: Cycle,
+    },
+    /// Warning policy: the observer may look, with a warning that the
+    /// state is only consistent from `consistent_at`.
+    Warned {
+        /// Cycle at which the state becomes consistent.
+        consistent_at: Cycle,
+    },
+}
+
+/// The outcome of post-crash recovery: decryption, MAC verification, and
+/// BMT root reconstruction over the entire persisted state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Whether the rebuilt BMT root matches the persisted root register.
+    pub root_ok: bool,
+    /// Number of data blocks checked.
+    pub blocks_checked: u64,
+    /// Blocks whose MAC failed verification.
+    pub mac_failures: Vec<BlockAddr>,
+    /// Blocks whose decrypted plaintext differs from the architecturally
+    /// expected post-crash value.
+    pub plaintext_mismatches: Vec<BlockAddr>,
+}
+
+impl RecoveryReport {
+    /// Whether recovery succeeded completely: root verified, every MAC
+    /// verified, every block decrypted to the expected plaintext.
+    pub fn is_consistent(&self) -> bool {
+        self.root_ok && self.mac_failures.is_empty() && self.plaintext_mismatches.is_empty()
+    }
+
+    /// Whether integrity verification (MACs + root) passed, regardless of
+    /// plaintext expectations (used by tamper tests, where a *detected*
+    /// attack means verification must fail).
+    pub fn integrity_ok(&self) -> bool {
+        self.root_ok && self.mac_failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CrashReport {
+        CrashReport {
+            kind: CrashKind::PowerLoss,
+            at: Cycle(100),
+            drain_complete_at: Cycle(500),
+            secsync_complete_at: Cycle(900),
+            work: DrainWork::default(),
+        }
+    }
+
+    #[test]
+    fn blocking_observer_blocked_until_secsync() {
+        let r = report();
+        assert_eq!(
+            r.observe(ObserverPolicy::Blocking, Cycle(600)),
+            ObserverView::Blocked { until: Cycle(900) }
+        );
+        assert_eq!(r.observe(ObserverPolicy::Blocking, Cycle(900)), ObserverView::Consistent);
+    }
+
+    #[test]
+    fn warning_observer_is_warned_early() {
+        let r = report();
+        assert_eq!(
+            r.observe(ObserverPolicy::Warning, Cycle(600)),
+            ObserverView::Warned { consistent_at: Cycle(900) }
+        );
+        assert_eq!(r.observe(ObserverPolicy::Warning, Cycle(1000)), ObserverView::Consistent);
+    }
+
+    #[test]
+    fn recovery_report_consistency() {
+        let mut r = RecoveryReport { root_ok: true, blocks_checked: 5, ..Default::default() };
+        assert!(r.is_consistent());
+        assert!(r.integrity_ok());
+        r.plaintext_mismatches.push(BlockAddr(1));
+        assert!(!r.is_consistent());
+        assert!(r.integrity_ok(), "plaintext mismatch is not an integrity failure");
+        r.mac_failures.push(BlockAddr(2));
+        assert!(!r.integrity_ok());
+    }
+
+    #[test]
+    fn default_policies_match_paper() {
+        assert_eq!(DrainPolicy::default(), DrainPolicy::DrainAll);
+        assert_eq!(ObserverPolicy::default(), ObserverPolicy::Blocking);
+    }
+}

@@ -1,0 +1,196 @@
+//! One SecPB entry (Figure 5 of the paper).
+//!
+//! Each entry tracks a 64-byte persistent block and the portion of its
+//! memory tuple that the active scheme generates eagerly:
+//!
+//! * `Dp` — the data plaintext (64 B, always valid once allocated),
+//! * `O`  — the precomputed one-time pad (64 B),
+//! * `Dc` — the data ciphertext (64 B),
+//! * `C`  — the incremented split counter (8 bits in hardware; we keep the
+//!   logical `SplitCounter` for the functional model),
+//! * `B`  — the BMT-root-update acknowledgement (1 bit),
+//! * `M`  — the MAC (512 bits).
+//!
+//! Every field except `B` carries a valid bit; when all the fields the
+//! scheme requires are valid, the entry's security persist is complete and
+//! the entry is *drainable* (Section IV-B).
+
+use secpb_crypto::counter::SplitCounter;
+use secpb_crypto::sha512::Digest;
+use secpb_sim::addr::{Asid, BlockAddr};
+
+use crate::scheme::EarlyWork;
+
+/// The valid bits of a SecPB entry's tuple fields.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ValidBits {
+    /// `O` field holds the pad for the current counter.
+    pub otp: bool,
+    /// `Dc` field reflects the current plaintext.
+    pub ciphertext: bool,
+    /// `C` field holds the incremented counter.
+    pub counter: bool,
+    /// BMT root has been updated for this entry's counter (the `B` bit).
+    pub bmt: bool,
+    /// `M` field holds the MAC of the current ciphertext.
+    pub mac: bool,
+}
+
+impl ValidBits {
+    /// Whether all fields demanded by `required` are valid — the
+    /// "security persist complete" condition that unblocks draining for
+    /// eager schemes.
+    pub fn satisfies(&self, required: EarlyWork) -> bool {
+        (!required.counter || self.counter)
+            && (!required.otp || self.otp)
+            && (!required.bmt || self.bmt)
+            && (!required.ciphertext || self.ciphertext)
+            && (!required.mac || self.mac)
+    }
+}
+
+/// One SecPB entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// The 64-byte block this entry shadows.
+    pub block: BlockAddr,
+    /// Owning address space (drain-process crash policy).
+    pub asid: Asid,
+    /// `Dp`: current plaintext of the block.
+    pub plaintext: [u8; 64],
+    /// `O`: precomputed pad (meaningful when `valid.otp`).
+    pub otp: [u8; 64],
+    /// `Dc`: ciphertext (meaningful when `valid.ciphertext`).
+    pub ciphertext: [u8; 64],
+    /// `C`: the incremented counter (meaningful when `valid.counter`).
+    pub counter: SplitCounter,
+    /// `M`: the MAC (meaningful when `valid.mac`).
+    pub mac: Option<Digest>,
+    /// Field valid bits.
+    pub valid: ValidBits,
+    /// Number of stores coalesced into this entry (drives NWPE).
+    pub stores: u64,
+    /// Allocation sequence number: drains proceed oldest-first.
+    pub seq: u64,
+}
+
+impl Entry {
+    /// Creates a fresh entry for `block` with the given allocation
+    /// sequence number.  The plaintext starts from the block's current
+    /// memory contents (`base`), onto which stores are coalesced.
+    pub fn new(block: BlockAddr, asid: Asid, base: [u8; 64], seq: u64) -> Self {
+        Entry {
+            block,
+            asid,
+            plaintext: base,
+            otp: [0u8; 64],
+            ciphertext: [0u8; 64],
+            counter: SplitCounter::default(),
+            mac: None,
+            valid: ValidBits::default(),
+            stores: 0,
+            seq,
+        }
+    }
+
+    /// Applies a store of `size` bytes of `value` at byte offset `offset`
+    /// and invalidates the data-value-dependent fields (`Dc`, `M`), which
+    /// must track every plaintext change (Section IV-A).  Data-value-
+    /// *independent* fields (`C`, `O`, `B`) stay valid: the counter is
+    /// incremented once per dirty block, not once per store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write would cross the 64-byte block boundary.
+    pub fn apply_store(&mut self, offset: usize, value: u64, size: usize) {
+        assert!((1..=8).contains(&size), "store size must be 1..=8 bytes");
+        assert!(offset + size <= 64, "store crosses block boundary");
+        let bytes = value.to_le_bytes();
+        self.plaintext[offset..offset + size].copy_from_slice(&bytes[..size]);
+        self.stores += 1;
+        self.valid.ciphertext = false;
+        self.valid.mac = false;
+        self.mac = None;
+    }
+
+    /// Whether this entry's security persist is complete with respect to
+    /// the scheme's early-work demands.
+    pub fn persist_complete(&self, required: EarlyWork) -> bool {
+        self.valid.satisfies(required)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+
+    fn entry() -> Entry {
+        Entry::new(BlockAddr(5), Asid(0), [0u8; 64], 1)
+    }
+
+    #[test]
+    fn fresh_entry_has_no_valid_fields() {
+        let e = entry();
+        assert_eq!(e.valid, ValidBits::default());
+        assert_eq!(e.stores, 0);
+        assert!(e.persist_complete(Scheme::Cobcm.early_work()), "COBCM demands nothing");
+        assert!(!e.persist_complete(Scheme::Obcm.early_work()));
+    }
+
+    #[test]
+    fn store_updates_plaintext_bytes() {
+        let mut e = entry();
+        e.apply_store(8, 0x1122_3344_5566_7788, 8);
+        assert_eq!(&e.plaintext[8..16], &0x1122_3344_5566_7788u64.to_le_bytes());
+        assert_eq!(e.stores, 1);
+    }
+
+    #[test]
+    fn partial_width_store() {
+        let mut e = entry();
+        e.apply_store(62, 0xAABB, 2);
+        assert_eq!(e.plaintext[62], 0xBB);
+        assert_eq!(e.plaintext[63], 0xAA);
+    }
+
+    #[test]
+    fn store_invalidates_value_dependent_fields_only() {
+        let mut e = entry();
+        e.valid =
+            ValidBits { otp: true, ciphertext: true, counter: true, bmt: true, mac: true };
+        e.apply_store(0, 1, 8);
+        assert!(e.valid.counter, "counter is data-value independent");
+        assert!(e.valid.otp, "OTP is data-value independent");
+        assert!(e.valid.bmt, "BMT ack is data-value independent");
+        assert!(!e.valid.ciphertext, "ciphertext must track the new value");
+        assert!(!e.valid.mac, "MAC must track the new value");
+    }
+
+    #[test]
+    fn satisfies_matches_scheme_demands() {
+        let mut v = ValidBits::default();
+        assert!(v.satisfies(Scheme::Cobcm.early_work()));
+        v.counter = true;
+        assert!(v.satisfies(Scheme::Obcm.early_work()));
+        assert!(!v.satisfies(Scheme::Bcm.early_work()));
+        v.otp = true;
+        assert!(v.satisfies(Scheme::Bcm.early_work()));
+        v.bmt = true;
+        v.ciphertext = true;
+        v.mac = true;
+        assert!(v.satisfies(Scheme::NoGap.early_work()));
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses block boundary")]
+    fn cross_block_store_panics() {
+        entry().apply_store(60, 0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "store size")]
+    fn oversized_store_panics() {
+        entry().apply_store(0, 0, 9);
+    }
+}

@@ -1,0 +1,62 @@
+//! # secpb-core — secure battery-backed persist buffers
+//!
+//! The paper's primary contribution: a battery-backed persist buffer
+//! (SecPB) that aligns the *security point of persistency* (SPoP) with the
+//! *point of persistency* (PoP) next to the core, plus the spectrum of six
+//! metadata-persistence schemes that trade runtime overhead against
+//! battery capacity.
+//!
+//! * [`scheme`] — the design spectrum: `NoGap`, `M`, `CM`, `BCM`, `OBCM`,
+//!   `COBCM`, plus the `bbb` (insecure) and `SP` (SPoP-at-MC) baselines,
+//! * [`entry`] — one SecPB entry with the `Dp/O/Dc/C/B/M` fields and their
+//!   valid bits (Figure 5),
+//! * [`buffer`] — the SecPB itself: coalescing, watermarks, FIFO drain
+//!   order, and NWPE bookkeeping,
+//! * [`drain`] — the background drain engine that empties the buffer to
+//!   the memory controller,
+//! * [`system`] — the whole machine: core + caches + SecPB + metadata
+//!   caches + WPQ + NVM, with both a timing model and a functional
+//!   (actually encrypted and integrity-protected) persistent state,
+//! * [`crash`] — crash kinds, drain policies (drain-all/drain-process),
+//!   observer policies (blocking/warning), the battery-powered drain, and
+//!   post-crash recovery with real decryption + MAC + BMT verification,
+//! * [`coherence`] — the metadata directory and SecPB-to-SecPB migration
+//!   protocol of Section IV-C for multi-core configurations,
+//! * [`metrics`] — run results and the derived statistics the paper
+//!   reports (IPC, PPTI, NWPE, BMT root updates).
+//!
+//! # Example
+//!
+//! ```
+//! use secpb_core::scheme::Scheme;
+//! use secpb_core::system::SecureSystem;
+//! use secpb_sim::config::SystemConfig;
+//! use secpb_sim::trace::{Access, TraceItem};
+//! use secpb_sim::addr::Address;
+//!
+//! let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 1);
+//! let trace = vec![TraceItem::then(10, Access::store(Address(0x1000), 7))];
+//! let result = sys.run_trace(trace.iter().copied());
+//! assert!(result.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod coherence;
+pub mod crash;
+pub mod drain;
+pub mod eadr;
+pub mod entry;
+pub mod metrics;
+pub mod multicore;
+pub mod scheme;
+pub mod system;
+pub mod tree;
+
+pub use buffer::SecPb;
+pub use crash::{CrashKind, DrainPolicy, ObserverPolicy, RecoveryReport};
+pub use metrics::RunResult;
+pub use scheme::Scheme;
+pub use system::SecureSystem;

@@ -1,0 +1,161 @@
+//! Run results and the derived statistics the paper reports.
+//!
+//! The evaluation section leans on three derived metrics: instructions per
+//! cycle (IPC), *persists per thousand instructions* (PPTI — stores
+//! accepted by the SecPB per kilo-instruction), and *number of writes per
+//! SecPB entry* (NWPE — the coalescing factor).  [`RunResult`] wraps the
+//! raw counters with accessors for each, plus slowdown computation against
+//! a baseline run.
+
+use serde::{Deserialize, Serialize};
+use secpb_sim::stats::Stats;
+
+use crate::scheme::Scheme;
+
+/// Well-known counter names emitted by the system model.
+pub mod counters {
+    /// Total instructions retired.
+    pub const INSTRUCTIONS: &str = "core.instructions";
+    /// Loads executed.
+    pub const LOADS: &str = "core.loads";
+    /// Stores executed.
+    pub const STORES: &str = "core.stores";
+    /// Stores accepted by the SecPB (persists).
+    pub const PERSISTS: &str = "secpb.persists";
+    /// SecPB entry allocations.
+    pub const ALLOCATIONS: &str = "secpb.allocations";
+    /// Entries drained.
+    pub const DRAINS: &str = "secpb.drains";
+    /// Cycles the core spent stalled on a full SecPB (COBCM backflow).
+    pub const FULL_STALL_CYCLES: &str = "secpb.full_stall_cycles";
+    /// BMT root updates performed (early or at drain).
+    pub const BMT_ROOT_UPDATES: &str = "bmt.root_updates";
+    /// BMT node hashes performed.
+    pub const BMT_NODE_HASHES: &str = "bmt.node_hashes";
+    /// OTPs generated.
+    pub const OTPS: &str = "crypto.otps";
+    /// MACs computed.
+    pub const MACS: &str = "crypto.macs";
+    /// Ciphertexts generated (pad XORs).
+    pub const CIPHERTEXTS: &str = "crypto.ciphertexts";
+    /// Counter increments.
+    pub const COUNTER_INCREMENTS: &str = "crypto.counter_increments";
+    /// Counter-cache misses on the early counter-fetch path.
+    pub const COUNTER_MISSES: &str = "metadata.counter_misses";
+    /// Encryption-page overflows (page re-encryption events).
+    pub const PAGE_OVERFLOWS: &str = "crypto.page_overflows";
+}
+
+/// The result of replaying one trace on one scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The scheme that produced this result.
+    pub scheme: Scheme,
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// All raw counters.
+    pub stats: Stats,
+}
+
+impl RunResult {
+    /// Instructions retired.
+    pub fn instructions(&self) -> u64 {
+        self.stats.get(counters::INSTRUCTIONS)
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Persists (SecPB-accepted stores) per thousand instructions.
+    pub fn ppti(&self) -> f64 {
+        self.stats.ratio(counters::PERSISTS, counters::INSTRUCTIONS) * 1000.0
+    }
+
+    /// Mean writes per SecPB entry, over drained entries.
+    pub fn nwpe(&self) -> f64 {
+        self.stats.ratio(counters::PERSISTS, counters::ALLOCATIONS)
+    }
+
+    /// BMT root updates per SecPB-accepted store — Figure 8's metric when
+    /// normalized to the per-store (`sec_wt`) policy, where it would be
+    /// exactly 1.0.
+    pub fn bmt_updates_per_store(&self) -> f64 {
+        self.stats.ratio(counters::BMT_ROOT_UPDATES, counters::PERSISTS)
+    }
+
+    /// Execution-time ratio of `self` to `baseline` (e.g. 1.713 = 71.3%
+    /// overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two runs retired different instruction counts (they
+    /// would not be comparable).
+    pub fn slowdown_vs(&self, baseline: &RunResult) -> f64 {
+        assert_eq!(
+            self.instructions(),
+            baseline.instructions(),
+            "cannot compare runs over different instruction counts"
+        );
+        assert!(baseline.cycles > 0, "baseline ran zero cycles");
+        self.cycles as f64 / baseline.cycles as f64
+    }
+
+    /// Overhead versus baseline as a percentage (71.3 for a 1.713×
+    /// slowdown).
+    pub fn overhead_pct_vs(&self, baseline: &RunResult) -> f64 {
+        (self.slowdown_vs(baseline) - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(scheme: Scheme, cycles: u64, instrs: u64, persists: u64, allocs: u64) -> RunResult {
+        let mut stats = Stats::new();
+        stats.bump_by(counters::INSTRUCTIONS, instrs);
+        stats.bump_by(counters::PERSISTS, persists);
+        stats.bump_by(counters::ALLOCATIONS, allocs);
+        stats.bump_by(counters::BMT_ROOT_UPDATES, allocs);
+        RunResult { scheme, cycles, stats }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = result(Scheme::Cm, 2000, 1000, 50, 10);
+        assert!((r.ipc() - 0.5).abs() < 1e-12);
+        assert!((r.ppti() - 50.0).abs() < 1e-12);
+        assert!((r.nwpe() - 5.0).abs() < 1e-12);
+        assert!((r.bmt_updates_per_store() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_vs_baseline() {
+        let base = result(Scheme::Bbb, 1000, 1000, 50, 10);
+        let cm = result(Scheme::Cm, 1713, 1000, 50, 10);
+        assert!((cm.slowdown_vs(&base) - 1.713).abs() < 1e-9);
+        assert!((cm.overhead_pct_vs(&base) - 71.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "different instruction counts")]
+    fn mismatched_runs_cannot_compare() {
+        let base = result(Scheme::Bbb, 1000, 999, 50, 10);
+        let cm = result(Scheme::Cm, 1713, 1000, 50, 10);
+        cm.slowdown_vs(&base);
+    }
+
+    #[test]
+    fn zero_cycle_edge_cases() {
+        let r = result(Scheme::Bbb, 0, 0, 0, 0);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.ppti(), 0.0);
+        assert_eq!(r.nwpe(), 0.0);
+    }
+}

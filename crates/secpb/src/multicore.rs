@@ -1,0 +1,427 @@
+//! Multi-core SecPB system (Section IV-C of the paper, made runnable).
+//!
+//! The paper evaluates one core (Table I) but specifies how per-core
+//! SecPBs must behave in a multi-core machine: a directory prevents
+//! metadata/data replication, remote writes *migrate* entries (carrying
+//! their data-value-independent metadata so it is not regenerated), and
+//! remote reads *flush* the owner's entry to PM while servicing the data
+//! in parallel.  [`MultiCoreSystem`] wires the
+//! [`CoherenceController`] to the
+//! functional secure-memory state so multi-threaded store streams can be
+//! replayed, crashed, and recovered end to end.
+//!
+//! Timing here is event-cost based (per-event constants for migrations,
+//! flushes, and drains) rather than the single-core model's full
+//! pipeline: the goal is protocol correctness plus first-order costs
+//! (migration counts, flush counts, per-core cycle totals).
+
+use std::collections::HashMap;
+
+use secpb_crypto::counter::CounterBlock;
+use secpb_crypto::mac::BlockMac;
+use secpb_crypto::otp::OtpEngine;
+use secpb_crypto::sha512::Sha512;
+use secpb_mem::store::NvmStore;
+use secpb_sim::addr::BlockAddr;
+use secpb_sim::config::SystemConfig;
+use secpb_sim::cycle::Cycle;
+use secpb_sim::stats::Stats;
+use secpb_sim::trace::Access;
+
+use crate::coherence::{CoherenceAction, CoherenceController};
+use crate::crash::RecoveryReport;
+use crate::entry::Entry;
+use crate::scheme::Scheme;
+use crate::tree::{IntegrityTree, TreeKind};
+
+/// Cycles charged for migrating a SecPB entry between cores (an L2-to-L2
+/// class transfer).
+const MIGRATION_LATENCY: u64 = 40;
+
+/// Cycles charged to the reader for a remote flush-and-forward.
+const REMOTE_READ_LATENCY: u64 = 60;
+
+/// A store observed by one core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreStore {
+    /// Which core issues the store.
+    pub core: usize,
+    /// The access itself (must be a store).
+    pub access: Access,
+}
+
+/// The multi-core secure-PM system.
+pub struct MultiCoreSystem {
+    cfg: SystemConfig,
+    scheme: Scheme,
+    coherence: CoherenceController,
+    core_now: Vec<Cycle>,
+    // Shared functional state.
+    golden: HashMap<BlockAddr, [u8; 64]>,
+    counters: HashMap<u64, CounterBlock>,
+    nvm: NvmStore,
+    otp_engine: OtpEngine,
+    mac_engine: BlockMac,
+    tree: IntegrityTree,
+    seed: u64,
+    stats: Stats,
+}
+
+impl std::fmt::Debug for MultiCoreSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiCoreSystem")
+            .field("cores", &self.core_now.len())
+            .field("scheme", &self.scheme)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MultiCoreSystem {
+    /// Creates a system with `cores` cores, each with its own SecPB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or the scheme does not use a SecPB.
+    pub fn new(cfg: SystemConfig, scheme: Scheme, cores: usize, key_seed: u64) -> Self {
+        assert!(scheme.uses_secpb(), "multi-core model requires a SecPB scheme");
+        let mut aes_key = [0u8; 24];
+        for (i, b) in aes_key.iter_mut().enumerate() {
+            *b = (key_seed.rotate_left(i as u32) ^ (i as u64 * 0x517C)) as u8;
+        }
+        MultiCoreSystem {
+            coherence: CoherenceController::new(cores, cfg.secpb),
+            core_now: vec![Cycle::ZERO; cores],
+            golden: HashMap::new(),
+            counters: HashMap::new(),
+            nvm: NvmStore::new(),
+            otp_engine: OtpEngine::new(&aes_key),
+            mac_engine: BlockMac::new(&key_seed.to_le_bytes()),
+            tree: IntegrityTree::new(
+                TreeKind::Monolithic,
+                &(key_seed ^ 0xC0_FFEE).to_le_bytes(),
+                8,
+                cfg.security.bmt_levels,
+            ),
+            seed: key_seed,
+            stats: Stats::new(),
+            scheme,
+            cfg,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.core_now.len()
+    }
+
+    /// A core's local clock.
+    pub fn core_time(&self, core: usize) -> Cycle {
+        self.core_now[core]
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The coherence controller (for invariant checks in tests).
+    pub fn coherence(&self) -> &CoherenceController {
+        &self.coherence
+    }
+
+    /// The durable state (for tamper injection in tests).
+    pub fn nvm_store_mut(&mut self) -> &mut NvmStore {
+        &mut self.nvm
+    }
+
+    /// The architecturally expected plaintext of a block.
+    pub fn expected_plaintext(&self, block: BlockAddr) -> [u8; 64] {
+        self.golden.get(&block).copied().unwrap_or([0u8; 64])
+    }
+
+    fn apply_golden(&mut self, access: Access) {
+        let block = access.addr.block();
+        let entry = self.golden.entry(block).or_insert([0u8; 64]);
+        let off = access.addr.block_offset();
+        let size = usize::from(access.size);
+        entry[off..off + size].copy_from_slice(&access.value.to_le_bytes()[..size]);
+    }
+
+    /// Executes one store from a core, handling coherence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access is not a store or the core index is out of
+    /// range.
+    pub fn store(&mut self, store: CoreStore) {
+        assert!(store.access.is_store(), "store() requires a store access");
+        let core = store.core;
+        let block = store.access.addr.block();
+        self.apply_golden(store.access);
+        self.stats.bump("mc.stores");
+
+        // Make room in the requesting core's SecPB first.
+        while self.coherence.pb(core).is_full()
+            && !self.coherence.pb(core).contains(block)
+        {
+            let victim = self.coherence.pb(core).oldest().expect("full PB has entries");
+            let entry = self.coherence.drain(victim).expect("victim tracked");
+            self.flush_entry(entry);
+            self.stats.bump("mc.capacity_drains");
+            self.core_now[core] += 8;
+        }
+
+        let base = self.expected_plaintext(block);
+        let action = self.coherence.write(core, block, store.access.asid, base);
+        let latency = match action {
+            CoherenceAction::LocalHit => self.cfg.secpb.access_latency,
+            CoherenceAction::Allocated => {
+                self.stats.bump("mc.allocations");
+                self.cfg.secpb.access_latency
+            }
+            CoherenceAction::MigratedFrom { .. } => {
+                self.stats.bump("mc.migrations");
+                self.cfg.secpb.access_latency + MIGRATION_LATENCY
+            }
+            CoherenceAction::FlushedFrom { .. } => unreachable!("writes never flush"),
+        };
+        // Apply the store to the (now-local) entry.
+        let pb_core = core;
+        let entry = self
+            .coherence
+            .pb_mut(pb_core)
+            .entry_mut(block)
+            .expect("entry resident after write");
+        entry.apply_store(
+            store.access.addr.block_offset(),
+            store.access.value,
+            usize::from(store.access.size),
+        );
+        self.core_now[core] += latency;
+    }
+
+    /// Executes one load from a core: remote hits flush the owner's entry
+    /// to PM (the paper's read rule) and the reader gets the fresh value.
+    pub fn load(&mut self, core: usize, block: BlockAddr) -> [u8; 64] {
+        self.stats.bump("mc.loads");
+        match self.coherence.read(core, block) {
+            Some(CoherenceAction::FlushedFrom { .. }) => {
+                for entry in self.coherence.take_flushed() {
+                    self.flush_entry(entry);
+                }
+                self.stats.bump("mc.remote_read_flushes");
+                self.core_now[core] += REMOTE_READ_LATENCY;
+            }
+            Some(CoherenceAction::LocalHit) => {
+                self.core_now[core] += self.cfg.secpb.access_latency;
+            }
+            _ => {
+                self.core_now[core] += self.cfg.l1.access_latency;
+            }
+        }
+        self.expected_plaintext(block)
+    }
+
+    /// Full crash: every core's SecPB drains and all metadata completes.
+    pub fn crash(&mut self) -> u64 {
+        let mut drained = 0;
+        for core in 0..self.cores() {
+            while let Some(block) = self.coherence.pb(core).oldest() {
+                let entry = self.coherence.drain(block).expect("tracked entry");
+                self.flush_entry(entry);
+                drained += 1;
+            }
+        }
+        self.nvm.set_bmt_root(self.tree.root());
+        self.stats.bump_by("mc.crash_drains", drained);
+        drained
+    }
+
+    /// Post-crash recovery over the shared persistent image.
+    pub fn recover(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let mut rebuilt = IntegrityTree::new(
+            TreeKind::Monolithic,
+            &(self.seed ^ 0xC0_FFEE).to_le_bytes(),
+            8,
+            self.cfg.security.bmt_levels,
+        );
+        let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
+        pages.sort_unstable();
+        for page in pages {
+            let cb = self.nvm.read_counters(page);
+            rebuilt.update_leaf(page, Sha512::digest(&cb.to_bytes()));
+        }
+        report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
+        for block in self.nvm.data_blocks() {
+            report.blocks_checked += 1;
+            let page = NvmStore::page_of(block);
+            let slot = NvmStore::page_slot_of(block);
+            let ctr = self.nvm.read_counters(page).counter_of(slot);
+            let ct = self.nvm.read_data(block);
+            if !self.mac_engine.verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
+            {
+                report.mac_failures.push(block);
+                continue;
+            }
+            let pt = self.otp_engine.decrypt(&ct, block.index(), ctr);
+            if pt != self.expected_plaintext(block) {
+                report.plaintext_mismatches.push(block);
+            }
+        }
+        report
+    }
+
+    fn flush_entry(&mut self, mut entry: Entry) {
+        let block = entry.block;
+        let page = NvmStore::page_of(block);
+        let slot = NvmStore::page_slot_of(block);
+        if !entry.valid.counter {
+            let cb = self.counters.entry(page).or_default();
+            cb.increment(slot);
+            entry.counter = cb.counter_of(slot);
+        }
+        let ctr = entry.counter;
+        let pad = if entry.valid.otp {
+            entry.otp
+        } else {
+            self.otp_engine.generate(block.index(), ctr)
+        };
+        let ct = if entry.valid.ciphertext {
+            entry.ciphertext
+        } else {
+            OtpEngine::apply_pad(&entry.plaintext, &pad)
+        };
+        let mac = match entry.mac {
+            Some(m) if entry.valid.mac => m,
+            _ => self.mac_engine.compute(&ct, block.index(), ctr),
+        };
+        self.nvm.write_data(block, ct);
+        self.nvm.write_mac(block, mac.truncate_u64());
+        let mut cb = self.nvm.read_counters(page);
+        cb.set_counter(slot, ctr);
+        self.nvm.write_counters(page, cb.clone());
+        self.tree.update_leaf(page, Sha512::digest(&cb.to_bytes()));
+        self.nvm.set_bmt_root(self.tree.root());
+        self.stats.bump("mc.flushes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpb_sim::addr::{Address, Asid};
+
+    fn sys(cores: usize) -> MultiCoreSystem {
+        MultiCoreSystem::new(SystemConfig::default(), Scheme::Cobcm, cores, 1234)
+    }
+
+    fn st(core: usize, addr: u64, value: u64) -> CoreStore {
+        CoreStore { core, access: Access::store(Address(addr), value).with_asid(Asid(core as u16)) }
+    }
+
+    #[test]
+    fn independent_cores_do_not_interact() {
+        let mut m = sys(2);
+        m.store(st(0, 0x10_0000, 1));
+        m.store(st(1, 0x20_0000, 2));
+        assert_eq!(m.stats().get("mc.migrations"), 0);
+        assert!(m.coherence().replication_free());
+    }
+
+    #[test]
+    fn write_sharing_migrates() {
+        let mut m = sys(2);
+        m.store(st(0, 0x10_0000, 1));
+        m.store(st(1, 0x10_0000, 2));
+        assert_eq!(m.stats().get("mc.migrations"), 1);
+        assert!(m.coherence().replication_free());
+        // The final value is core 1's store.
+        assert_eq!(m.expected_plaintext(Address(0x10_0000).block())[..8], 2u64.to_le_bytes());
+    }
+
+    #[test]
+    fn remote_read_flushes_and_returns_fresh_value() {
+        let mut m = sys(2);
+        m.store(st(0, 0x10_0000, 7));
+        let v = m.load(1, Address(0x10_0000).block());
+        assert_eq!(v[..8], 7u64.to_le_bytes());
+        assert_eq!(m.stats().get("mc.remote_read_flushes"), 1);
+        // The flushed block is already durable and verifiable.
+        assert!(m.coherence().replication_free());
+    }
+
+    #[test]
+    fn crash_recovery_across_cores_is_consistent() {
+        let mut m = sys(4);
+        for i in 0..200u64 {
+            let core = (i % 4) as usize;
+            m.store(st(core, 0x10_0000 + (i % 37) * 64, i));
+        }
+        // Some cross-core traffic too.
+        m.store(st(0, 0x10_0000, 999));
+        m.store(st(3, 0x10_0000, 1000));
+        let drained = m.crash();
+        assert!(drained > 0);
+        let rec = m.recover();
+        assert!(
+            rec.is_consistent(),
+            "root_ok={} macs={} mismatches={}",
+            rec.root_ok,
+            rec.mac_failures.len(),
+            rec.plaintext_mismatches.len()
+        );
+    }
+
+    #[test]
+    fn capacity_drains_free_slots() {
+        let mut m = MultiCoreSystem::new(
+            {
+                let mut cfg = SystemConfig::default();
+                cfg.secpb.entries = 4;
+                cfg
+            },
+            Scheme::Cobcm,
+            1,
+            7,
+        );
+        for i in 0..20u64 {
+            m.store(st(0, 0x10_0000 + i * 64, i));
+        }
+        assert!(m.stats().get("mc.capacity_drains") > 0);
+        m.crash();
+        assert!(m.recover().is_consistent());
+    }
+
+    #[test]
+    fn tamper_after_multicore_crash_is_detected() {
+        let mut m = sys(2);
+        m.store(st(0, 0x10_0000, 1));
+        m.store(st(1, 0x20_0000, 2));
+        m.crash();
+        let victim = Address(0x10_0000).block();
+        m.nvm_store_mut().tamper_data(victim, 0, 0);
+        assert!(!m.recover().integrity_ok());
+    }
+
+    #[test]
+    fn ping_pong_many_migrations_stay_consistent() {
+        let mut m = sys(2);
+        for i in 0..50u64 {
+            m.store(st((i % 2) as usize, 0x10_0000, i));
+        }
+        assert_eq!(m.stats().get("mc.migrations"), 49);
+        m.crash();
+        assert!(m.recover().is_consistent());
+        assert_eq!(m.expected_plaintext(Address(0x10_0000).block())[..8], 49u64.to_le_bytes());
+    }
+
+    #[test]
+    fn core_clocks_advance_independently() {
+        let mut m = sys(2);
+        for i in 0..10u64 {
+            m.store(st(0, 0x10_0000 + i * 64, i));
+        }
+        assert!(m.core_time(0) > m.core_time(1));
+    }
+}

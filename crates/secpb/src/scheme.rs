@@ -1,0 +1,258 @@
+//! The SecPB design spectrum (Section IV, Figure 4 of the paper).
+//!
+//! Each scheme names the security-metadata steps performed *late* (post
+//! crash): the longer the name, the lazier the scheme.  The letters stand
+//! for **C**ounter increment, **O**TP generation, **B**MT root update,
+//! **C**iphertext generation, and **M**AC generation, reading the
+//! dependency chain of Figure 4 from its tail:
+//!
+//! | Scheme  | Early (at store persist)                       | Late (post crash) |
+//! |---------|------------------------------------------------|-------------------|
+//! | NoGap   | counter, OTP, BMT, ciphertext, MAC             | —                 |
+//! | M       | counter, OTP, BMT, ciphertext                  | MAC               |
+//! | CM      | counter, OTP, BMT                              | ciphertext, MAC   |
+//! | BCM     | counter, OTP                                   | BMT, …            |
+//! | OBCM    | counter                                        | OTP, …            |
+//! | COBCM   | — (data write only)                            | everything        |
+//!
+//! Two baselines complete the evaluated set (Table II): `Bbb`, the
+//! insecure battery-backed buffer of Alshboul et al., and `Sp`, strict
+//! persistency with the SPoP at the memory controller (PLP, MICRO'20).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Which security-metadata steps a scheme performs *early*, i.e. at store
+/// persist time in the SecPB.
+///
+/// The steps form the dependency chain of Figure 4:
+/// `counter → {OTP → ciphertext → MAC, BMT}` — so a legal assignment is a
+/// prefix of that chain, which is exactly what the six named schemes are.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EarlyWork {
+    /// Fetch and increment the block's split counter.
+    pub counter: bool,
+    /// Generate the one-time pad.
+    pub otp: bool,
+    /// Update the BMT from leaf to root.
+    pub bmt: bool,
+    /// XOR the plaintext with the pad.
+    pub ciphertext: bool,
+    /// Compute the per-block MAC.
+    pub mac: bool,
+}
+
+impl EarlyWork {
+    /// No early work at all (COBCM / bbb).
+    pub const NONE: EarlyWork =
+        EarlyWork { counter: false, otp: false, bmt: false, ciphertext: false, mac: false };
+
+    /// All metadata generated eagerly (NoGap).
+    pub const ALL: EarlyWork =
+        EarlyWork { counter: true, otp: true, bmt: true, ciphertext: true, mac: true };
+
+    /// Whether the assignment respects the Figure 4 dependency chain
+    /// (each early step's producers are also early).
+    #[allow(clippy::nonminimal_bool)] // mirrors the Figure 4 edges one-to-one
+    pub fn respects_dependencies(&self) -> bool {
+        // otp needs counter; bmt needs counter; ciphertext needs otp;
+        // mac needs ciphertext.
+        (!self.otp || self.counter)
+            && (!self.bmt || self.counter)
+            && (!self.ciphertext || self.otp)
+            && (!self.mac || self.ciphertext)
+    }
+}
+
+/// An evaluated persistence scheme (Table II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Battery-backed buffer with no security mechanisms (the insecure
+    /// baseline every result is normalized to).
+    Bbb,
+    /// Strict persistency with SPoP at the memory controller (PLP): every
+    /// store persists its full memory tuple through the MC before the next
+    /// store may persist.  No SecPB.
+    Sp,
+    /// Only the data write enters the SecPB; all metadata is post-crash.
+    Cobcm,
+    /// Counter fetched/incremented early; everything else post-crash.
+    Obcm,
+    /// Counter + OTP early.
+    Bcm,
+    /// Counter + OTP + BMT root update early.
+    Cm,
+    /// Counter + OTP + BMT + ciphertext early; only the MAC is post-crash.
+    M,
+    /// Everything early; the sec-sync gap is eliminated entirely.
+    NoGap,
+}
+
+impl Scheme {
+    /// All schemes in Table II order (baselines first, then laziest to
+    /// most eager).
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Bbb,
+        Scheme::Sp,
+        Scheme::Cobcm,
+        Scheme::Obcm,
+        Scheme::Bcm,
+        Scheme::Cm,
+        Scheme::M,
+        Scheme::NoGap,
+    ];
+
+    /// The six SecPB schemes (no baselines), laziest first.
+    pub const SECPB_SCHEMES: [Scheme; 6] =
+        [Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm, Scheme::Cm, Scheme::M, Scheme::NoGap];
+
+    /// The early-work assignment of this scheme.
+    ///
+    /// `Bbb` performs no security work at all; `Sp` performs all of it,
+    /// but at the memory controller rather than in a SecPB.
+    pub fn early_work(self) -> EarlyWork {
+        match self {
+            Scheme::Bbb => EarlyWork::NONE,
+            Scheme::Sp => EarlyWork::ALL,
+            Scheme::Cobcm => EarlyWork::NONE,
+            Scheme::Obcm => EarlyWork { counter: true, ..EarlyWork::NONE },
+            Scheme::Bcm => EarlyWork { counter: true, otp: true, ..EarlyWork::NONE },
+            Scheme::Cm => EarlyWork { counter: true, otp: true, bmt: true, ..EarlyWork::NONE },
+            Scheme::M => EarlyWork { mac: false, ..EarlyWork::ALL },
+            Scheme::NoGap => EarlyWork::ALL,
+        }
+    }
+
+    /// Whether this scheme secures memory at all (everything but `Bbb`).
+    pub fn is_secure(self) -> bool {
+        self != Scheme::Bbb
+    }
+
+    /// Whether this scheme uses a SecPB (everything but the baselines).
+    pub fn uses_secpb(self) -> bool {
+        !matches!(self, Scheme::Sp)
+    }
+
+    /// The scheme's lowercase display name as used in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Bbb => "bbb",
+            Scheme::Sp => "sp",
+            Scheme::Cobcm => "cobcm",
+            Scheme::Obcm => "obcm",
+            Scheme::Bcm => "bcm",
+            Scheme::Cm => "cm",
+            Scheme::M => "m",
+            Scheme::NoGap => "nogap",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown scheme name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError(String);
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown scheme name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "bbb" => Ok(Scheme::Bbb),
+            "sp" => Ok(Scheme::Sp),
+            "cobcm" => Ok(Scheme::Cobcm),
+            "obcm" => Ok(Scheme::Obcm),
+            "bcm" => Ok(Scheme::Bcm),
+            "cm" => Ok(Scheme::Cm),
+            "m" => Ok(Scheme::M),
+            "nogap" => Ok(Scheme::NoGap),
+            other => Err(ParseSchemeError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemes_are_nested_prefixes() {
+        // Each SecPB scheme's early set must contain the previous one's.
+        let works: Vec<EarlyWork> =
+            Scheme::SECPB_SCHEMES.iter().map(|s| s.early_work()).collect();
+        let count = |w: &EarlyWork| {
+            [w.counter, w.otp, w.bmt, w.ciphertext, w.mac].iter().filter(|&&b| b).count()
+        };
+        for pair in works.windows(2) {
+            assert!(count(&pair[0]) < count(&pair[1]), "{pair:?}");
+        }
+    }
+
+    #[test]
+    fn all_schemes_respect_dependency_chain() {
+        for s in Scheme::ALL {
+            assert!(s.early_work().respects_dependencies(), "{s} violates Figure 4");
+        }
+    }
+
+    #[test]
+    fn dependency_checker_catches_violations() {
+        let bad = EarlyWork { counter: false, otp: true, ..EarlyWork::NONE };
+        assert!(!bad.respects_dependencies());
+        let bad2 = EarlyWork { counter: true, otp: true, ciphertext: true, mac: false, bmt: false };
+        assert!(bad2.respects_dependencies());
+        let bad3 = EarlyWork { mac: true, ..EarlyWork::NONE };
+        assert!(!bad3.respects_dependencies());
+    }
+
+    #[test]
+    fn table_ii_assignments() {
+        assert_eq!(Scheme::Cobcm.early_work(), EarlyWork::NONE);
+        assert_eq!(Scheme::Obcm.early_work(), EarlyWork { counter: true, ..EarlyWork::NONE });
+        assert!(Scheme::Bcm.early_work().otp && !Scheme::Bcm.early_work().bmt);
+        assert!(Scheme::Cm.early_work().bmt && !Scheme::Cm.early_work().ciphertext);
+        assert!(Scheme::M.early_work().ciphertext && !Scheme::M.early_work().mac);
+        assert_eq!(Scheme::NoGap.early_work(), EarlyWork::ALL);
+    }
+
+    #[test]
+    fn baselines() {
+        assert!(!Scheme::Bbb.is_secure());
+        assert!(Scheme::Sp.is_secure());
+        assert!(!Scheme::Sp.uses_secpb());
+        assert!(Scheme::Cobcm.uses_secpb());
+        assert!(Scheme::Bbb.uses_secpb(), "bbb uses the (insecure) persist buffer");
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in Scheme::ALL {
+            assert_eq!(s.name().parse::<Scheme>().unwrap(), s);
+        }
+        assert_eq!("NoGap".parse::<Scheme>().unwrap(), Scheme::NoGap);
+        assert!("bogus".parse::<Scheme>().is_err());
+        let err = "bogus".parse::<Scheme>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Scheme::Cobcm.to_string(), "cobcm");
+        assert_eq!(format!("{}", Scheme::NoGap), "nogap");
+    }
+}

@@ -1,0 +1,178 @@
+//! Physical addresses and cache-block arithmetic.
+//!
+//! The entire model uses 64-byte cache blocks, matching Table I of the
+//! paper (all caches and the SecPB operate on 64 B blocks).  A
+//! [`BlockAddr`] is an address with the block-offset bits stripped; using a
+//! distinct type prevents the classic bug of indexing a cache with a byte
+//! address.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Cache block (line) size in bytes used throughout the model.
+pub const BLOCK_SIZE: usize = 64;
+
+/// Log2 of [`BLOCK_SIZE`].
+pub const BLOCK_SHIFT: u32 = 6;
+
+/// A byte-granularity physical address.
+///
+/// # Example
+///
+/// ```
+/// use secpb_sim::addr::{Address, BLOCK_SIZE};
+///
+/// let a = Address(0x1234);
+/// assert_eq!(a.block().base().0, 0x1200);
+/// assert_eq!(a.block_offset(), 0x34);
+/// assert!(a.block_offset() < BLOCK_SIZE);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// The cache block containing this address.
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_SHIFT)
+    }
+
+    /// The byte offset of this address within its cache block.
+    pub fn block_offset(self) -> usize {
+        (self.0 & (BLOCK_SIZE as u64 - 1)) as usize
+    }
+
+    /// Returns the address `bytes` bytes past this one.
+    pub fn offset(self, bytes: u64) -> Address {
+        Address(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(v: u64) -> Self {
+        Address(v)
+    }
+}
+
+/// A block-granularity address: the physical address shifted right by
+/// [`BLOCK_SHIFT`], i.e. a 64-byte block number.
+///
+/// # Example
+///
+/// ```
+/// use secpb_sim::addr::{Address, BlockAddr};
+///
+/// let b = Address(0x1240).block();
+/// assert_eq!(b, BlockAddr(0x49));
+/// assert_eq!(b.base(), Address(0x1240));
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// The byte address of the first byte of this block.
+    pub fn base(self) -> Address {
+        Address(self.0 << BLOCK_SHIFT)
+    }
+
+    /// The block number as a raw integer (useful as a map key or for set
+    /// indexing).
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The `n`-th block after this one.
+    pub fn step(self, n: u64) -> BlockAddr {
+        BlockAddr(self.0 + n)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {:#x}", self.0)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(v: u64) -> Self {
+        BlockAddr(v)
+    }
+}
+
+/// An address-space identifier, used by the SecPB `drain-process` crash
+/// policy (Section III-B of the paper) to tag buffer entries with the owning
+/// process.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Asid(pub u16);
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid {}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_strips_offset_bits() {
+        assert_eq!(Address(0).block(), BlockAddr(0));
+        assert_eq!(Address(63).block(), BlockAddr(0));
+        assert_eq!(Address(64).block(), BlockAddr(1));
+        assert_eq!(Address(0xFFFF).block(), BlockAddr(0x3FF));
+    }
+
+    #[test]
+    fn base_round_trips() {
+        for raw in [0u64, 64, 4096, 0xDEAD_BEC0] {
+            let a = Address(raw);
+            assert_eq!(a.block().base().0, raw & !63);
+        }
+    }
+
+    #[test]
+    fn offset_within_block() {
+        assert_eq!(Address(0x41).block_offset(), 1);
+        assert_eq!(Address(0x7F).block_offset(), 63);
+        assert_eq!(Address(0x80).block_offset(), 0);
+    }
+
+    #[test]
+    fn step_advances_blocks() {
+        let b = BlockAddr(10);
+        assert_eq!(b.step(3), BlockAddr(13));
+        assert_eq!(b.step(0), b);
+    }
+
+    #[test]
+    fn address_offset() {
+        assert_eq!(Address(10).offset(54), Address(64));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Address(255)), "0xff");
+        assert_eq!(format!("{}", BlockAddr(4)), "block 0x4");
+        assert_eq!(format!("{}", Asid(3)), "asid 3");
+        assert_eq!(format!("{:x}", Address(255)), "ff");
+    }
+}

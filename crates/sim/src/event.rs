@@ -1,0 +1,161 @@
+//! A small deterministic event wheel.
+//!
+//! The timing model is mostly timestamp-algebraic (each operation computes
+//! its completion cycle directly), but the SecPB drain engine and the NVM
+//! queues need a place to park "this entry finishes draining at cycle T"
+//! events.  [`EventWheel`] is a binary-heap scheduler with a deterministic
+//! FIFO tie-break for events scheduled at the same cycle.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::cycle::Cycle;
+
+/// A scheduled event: a payload that becomes due at a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Scheduled<T> {
+    due: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T: Eq> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (due, seq) pops
+        // first.
+        other.due.cmp(&self.due).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events scheduled for the same cycle pop in insertion order.
+///
+/// # Example
+///
+/// ```
+/// use secpb_sim::cycle::Cycle;
+/// use secpb_sim::event::EventWheel;
+///
+/// let mut w = EventWheel::new();
+/// w.schedule(Cycle(20), "late");
+/// w.schedule(Cycle(10), "early");
+/// assert_eq!(w.pop_due(Cycle(15)), Some((Cycle(10), "early")));
+/// assert_eq!(w.pop_due(Cycle(15)), None);
+/// assert_eq!(w.pop_due(Cycle(25)), Some((Cycle(20), "late")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventWheel<T> {
+    heap: BinaryHeap<Scheduled<T>>,
+    next_seq: u64,
+}
+
+impl<T: Eq> Default for EventWheel<T> {
+    fn default() -> Self {
+        EventWheel { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<T: Eq> EventWheel<T> {
+    /// Creates an empty wheel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` to become due at `due`.
+    pub fn schedule(&mut self, due: Cycle, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { due, seq, payload });
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, T)> {
+        if self.heap.peek().is_some_and(|s| s.due <= now) {
+            let s = self.heap.pop().expect("peeked");
+            Some((s.due, s.payload))
+        } else {
+            None
+        }
+    }
+
+    /// Pops the earliest event unconditionally.
+    pub fn pop(&mut self) -> Option<(Cycle, T)> {
+        self.heap.pop().map(|s| (s.due, s.payload))
+    }
+
+    /// The due time of the earliest event, if any.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.heap.peek().map(|s| s.due)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the wheel holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = EventWheel::new();
+        w.schedule(Cycle(30), 'c');
+        w.schedule(Cycle(10), 'a');
+        w.schedule(Cycle(20), 'b');
+        assert_eq!(w.pop(), Some((Cycle(10), 'a')));
+        assert_eq!(w.pop(), Some((Cycle(20), 'b')));
+        assert_eq!(w.pop(), Some((Cycle(30), 'c')));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_cycle() {
+        let mut w = EventWheel::new();
+        for i in 0..10u32 {
+            w.schedule(Cycle(5), i);
+        }
+        for i in 0..10u32 {
+            assert_eq!(w.pop(), Some((Cycle(5), i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut w = EventWheel::new();
+        w.schedule(Cycle(100), ());
+        assert_eq!(w.pop_due(Cycle(99)), None);
+        assert_eq!(w.pop_due(Cycle(100)), Some((Cycle(100), ())));
+    }
+
+    #[test]
+    fn next_due_and_len() {
+        let mut w = EventWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.next_due(), None);
+        w.schedule(Cycle(7), 1u8);
+        w.schedule(Cycle(3), 2u8);
+        assert_eq!(w.next_due(), Some(Cycle(3)));
+        assert_eq!(w.len(), 2);
+        w.clear();
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,349 @@
+//! Named counters and histograms for simulation statistics.
+//!
+//! The evaluation section of the paper reports derived statistics such as
+//! *persists per thousand instructions* (PPTI) and *number of writes per
+//! SecPB entry* (NWPE).  [`Stats`] is a string-keyed registry of
+//! [`Counter`]s plus a few [`Histogram`]s; model components increment
+//! counters by well-known names and the bench harness derives the reported
+//! metrics at the end of a run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter.
+///
+/// # Example
+///
+/// ```
+/// use secpb_sim::stats::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// Buckets are caller-supplied upper bounds; a final implicit overflow
+/// bucket catches everything else.
+///
+/// # Example
+///
+/// ```
+/// use secpb_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(&[10, 100]);
+/// h.record(5);
+/// h.record(50);
+/// h.record(5000);
+/// assert_eq!(h.counts(), &[1, 1, 1]);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u128,
+    total: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given inclusive bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.sum += u128::from(value);
+        self.total += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Per-bucket sample counts (`bounds.len() + 1` entries, last is
+    /// overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Arithmetic mean of the samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample seen, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+}
+
+/// String-keyed statistics registry.
+///
+/// Counter names are free-form; the model crates use a dotted convention
+/// (`"secpb.persists"`, `"bmt.root_updates"`, `"l1.miss"`, ...).
+///
+/// # Example
+///
+/// ```
+/// use secpb_sim::stats::Stats;
+///
+/// let mut s = Stats::new();
+/// s.bump("secpb.persists");
+/// s.bump_by("core.instructions", 1000);
+/// assert_eq!(s.get("secpb.persists"), 1);
+/// // Persists per thousand instructions:
+/// assert!((s.ratio("secpb.persists", "core.instructions") * 1000.0 - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stats {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Increments the named counter by one, creating it at zero first if
+    /// needed.
+    pub fn bump(&mut self, name: &str) {
+        self.bump_by(name, 1);
+    }
+
+    /// Increments the named counter by `n`.
+    pub fn bump_by(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            c.add(n);
+        } else {
+            let mut c = Counter::default();
+            c.add(n);
+            self.counters.insert(name.to_owned(), c);
+        }
+    }
+
+    /// Returns the counter's value, or 0 if it was never bumped.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or_default().get()
+    }
+
+    /// `numerator / denominator` over two counters; 0.0 if the denominator
+    /// is zero.
+    pub fn ratio(&self, numerator: &str, denominator: &str) -> f64 {
+        let d = self.get(denominator);
+        if d == 0 {
+            0.0
+        } else {
+            self.get(numerator) as f64 / d as f64
+        }
+    }
+
+    /// Records a sample into the named histogram, creating it with the
+    /// given bounds on first use.
+    pub fn record(&mut self, name: &str, bounds: &[u64], value: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    }
+
+    /// Returns the named histogram if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over `(name, value)` for all counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+    }
+
+    /// Merges another registry into this one (counters add, histograms of
+    /// the same name must have identical bounds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram name collides with different bucket bounds.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            self.bump_by(k, v.get());
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+                Some(mine) => {
+                    assert_eq!(mine.bounds, h.bounds, "histogram bound mismatch for {k}");
+                    for (m, o) in mine.counts.iter_mut().zip(&h.counts) {
+                        *m += o;
+                    }
+                    mine.sum += h.sum;
+                    mine.total += h.total;
+                    mine.max = mine.max.max(h.max);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in self.iter() {
+            writeln!(f, "{k:<40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::default();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn bump_creates_and_accumulates() {
+        let mut s = Stats::new();
+        assert_eq!(s.get("x"), 0);
+        s.bump("x");
+        s.bump_by("x", 4);
+        assert_eq!(s.get("x"), 5);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut s = Stats::new();
+        s.bump_by("a", 10);
+        assert_eq!(s.ratio("a", "missing"), 0.0);
+        s.bump_by("b", 4);
+        assert!((s.ratio("a", "b") - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new(&[1, 2, 4]);
+        for v in [0, 1, 2, 3, 4, 5, 100] {
+            h.record(v);
+        }
+        // <=1: {0,1}; <=2: {2}; <=4: {3,4}; overflow: {5,100}
+        assert_eq!(h.counts(), &[2, 1, 2, 2]);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - (115.0 / 7.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_bad_bounds() {
+        Histogram::new(&[5, 5]);
+    }
+
+    #[test]
+    fn stats_histograms_via_record() {
+        let mut s = Stats::new();
+        s.record("h", &[10], 3);
+        s.record("h", &[10], 30);
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.counts(), &[1, 1]);
+        assert!(s.histogram("absent").is_none());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = Stats::new();
+        a.bump_by("n", 2);
+        a.record("h", &[10], 5);
+        let mut b = Stats::new();
+        b.bump_by("n", 3);
+        b.bump("only_b");
+        b.record("h", &[10], 50);
+        a.merge(&b);
+        assert_eq!(a.get("n"), 5);
+        assert_eq!(a.get("only_b"), 1);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.max(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound mismatch")]
+    fn merge_rejects_mismatched_histograms() {
+        let mut a = Stats::new();
+        a.record("h", &[10], 5);
+        let mut b = Stats::new();
+        b.record("h", &[20], 5);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn display_lists_counters() {
+        let mut s = Stats::new();
+        s.bump("z.second");
+        s.bump("a.first");
+        let text = s.to_string();
+        let a = text.find("a.first").unwrap();
+        let z = text.find("z.second").unwrap();
+        assert!(a < z, "counters should print in name order");
+    }
+}

@@ -1,0 +1,194 @@
+//! Trace record types.
+//!
+//! The workload generator (`secpb-workloads`) produces a stream of
+//! [`TraceItem`]s; the system model (`secpb-core`) replays them.  A trace
+//! item bundles a burst of non-memory instructions with an optional memory
+//! access, which keeps traces compact while still expressing per-thousand-
+//! instruction rates such as PPTI precisely.
+//!
+//! Stores carry their written value so that the *functional* layer of the
+//! model (real encryption, MACs, and BMT hashing) can verify post-crash
+//! recovery byte-for-byte.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{Address, Asid};
+
+/// Whether a memory access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load (read).
+    Load,
+    /// A store (write); stores to the persistent region reach the SecPB.
+    Store,
+}
+
+/// One memory access in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Access {
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Byte address of the access.
+    pub addr: Address,
+    /// Access size in bytes (1..=8; stores are word-granular within a
+    /// 64-byte block, as in the paper's PB coalescing description).
+    pub size: u8,
+    /// The value written (stores) or expected (loads, for functional
+    /// checking; ignored when zero).
+    pub value: u64,
+    /// Owning address space, for the drain-process crash policy.
+    pub asid: Asid,
+}
+
+impl Access {
+    /// A convenience constructor for a store of `value` at `addr`.
+    pub fn store(addr: Address, value: u64) -> Self {
+        Access { kind: AccessKind::Store, addr, size: 8, value, asid: Asid(0) }
+    }
+
+    /// A convenience constructor for a load at `addr`.
+    pub fn load(addr: Address) -> Self {
+        Access { kind: AccessKind::Load, addr, size: 8, value: 0, asid: Asid(0) }
+    }
+
+    /// Returns a copy tagged with an address-space identifier.
+    pub fn with_asid(mut self, asid: Asid) -> Self {
+        self.asid = asid;
+        self
+    }
+
+    /// Whether this access is a store.
+    pub fn is_store(&self) -> bool {
+        self.kind == AccessKind::Store
+    }
+}
+
+/// One trace record: a run of non-memory instructions followed by an
+/// optional memory access (which also counts as one instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceItem {
+    /// Number of non-memory instructions retired before the access.
+    pub non_mem_instrs: u32,
+    /// The memory access, if any.
+    pub access: Option<Access>,
+}
+
+impl TraceItem {
+    /// A record of `n` non-memory instructions with no access.
+    pub fn compute(n: u32) -> Self {
+        TraceItem { non_mem_instrs: n, access: None }
+    }
+
+    /// A record of `n` non-memory instructions followed by `access`.
+    pub fn then(n: u32, access: Access) -> Self {
+        TraceItem { non_mem_instrs: n, access: Some(access) }
+    }
+
+    /// Total instructions this record represents.
+    pub fn instructions(&self) -> u64 {
+        u64::from(self.non_mem_instrs) + u64::from(self.access.is_some())
+    }
+}
+
+/// Summary statistics of a trace, used to validate that synthetic workloads
+/// hit their target profiles (PPTI, store share, footprint).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// Total instructions represented.
+    pub instructions: u64,
+    /// Number of loads.
+    pub loads: u64,
+    /// Number of stores.
+    pub stores: u64,
+    /// Number of distinct 64-byte blocks touched by stores.
+    pub store_blocks: u64,
+}
+
+impl TraceSummary {
+    /// Computes the summary of a trace.
+    pub fn of(items: &[TraceItem]) -> Self {
+        use std::collections::HashSet;
+        let mut s = TraceSummary::default();
+        let mut blocks = HashSet::new();
+        for item in items {
+            s.instructions += item.instructions();
+            if let Some(a) = item.access {
+                match a.kind {
+                    AccessKind::Load => s.loads += 1,
+                    AccessKind::Store => {
+                        s.stores += 1;
+                        blocks.insert(a.addr.block());
+                    }
+                }
+            }
+        }
+        s.store_blocks = blocks.len() as u64;
+        s
+    }
+
+    /// Stores per thousand instructions.
+    pub fn stores_per_kilo_instr(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.stores as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Mean stores per distinct store block — an upper bound on the
+    /// achievable NWPE (writes per SecPB entry) with an infinite buffer.
+    pub fn stores_per_block(&self) -> f64 {
+        if self.store_blocks == 0 {
+            0.0
+        } else {
+            self.stores as f64 / self.store_blocks as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let s = Access::store(Address(0x40), 7);
+        assert!(s.is_store());
+        assert_eq!(s.size, 8);
+        let l = Access::load(Address(0x40));
+        assert!(!l.is_store());
+        let tagged = l.with_asid(Asid(3));
+        assert_eq!(tagged.asid, Asid(3));
+    }
+
+    #[test]
+    fn item_instruction_counts() {
+        assert_eq!(TraceItem::compute(10).instructions(), 10);
+        assert_eq!(TraceItem::then(10, Access::load(Address(0))).instructions(), 11);
+    }
+
+    #[test]
+    fn summary_counts_and_blocks() {
+        let items = vec![
+            TraceItem::then(9, Access::store(Address(0), 1)),
+            TraceItem::then(9, Access::store(Address(8), 2)), // same block
+            TraceItem::then(9, Access::store(Address(64), 3)), // new block
+            TraceItem::then(9, Access::load(Address(128))),
+            TraceItem::compute(60),
+        ];
+        let s = TraceSummary::of(&items);
+        assert_eq!(s.instructions, 9 * 4 + 4 + 60);
+        assert_eq!(s.stores, 3);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.store_blocks, 2);
+        assert!((s.stores_per_block() - 1.5).abs() < 1e-12);
+        assert!(s.stores_per_kilo_instr() > 0.0);
+    }
+
+    #[test]
+    fn summary_of_empty_trace() {
+        let s = TraceSummary::of(&[]);
+        assert_eq!(s.stores_per_kilo_instr(), 0.0);
+        assert_eq!(s.stores_per_block(), 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! The deterministic trace generator.
+//!
+//! Given a [`WorkloadProfile`] and a seed, produces an instruction/access
+//! stream whose measured statistics (PPTI, store locality, load miss
+//! behaviour) match the profile's targets.  Generation is fully
+//! deterministic: the same `(profile, seed)` produces the same trace,
+//! which keeps experiment reruns and property tests stable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use secpb_sim::addr::Address;
+use secpb_sim::trace::{Access, TraceItem};
+
+use crate::profile::WorkloadProfile;
+
+/// Block-number base of the random-store region.
+const STORE_REGION_BASE: u64 = 1 << 24;
+/// Block-number base of the sequential-store stream.
+const SEQ_REGION_BASE: u64 = 1 << 26;
+/// Block-number base of the load regions.
+const LOAD_REGION_BASE: u64 = 1 << 28;
+/// Hot-load set size in blocks (sits comfortably in the L1).
+const HOT_LOAD_BLOCKS: u64 = 64;
+
+/// A deterministic trace generator.
+///
+/// # Example
+///
+/// ```
+/// use secpb_workloads::{TraceGenerator, WorkloadProfile};
+///
+/// let profile = WorkloadProfile::named("bzip2").unwrap();
+/// let a = TraceGenerator::new(profile.clone(), 7).generate(10_000);
+/// let b = TraceGenerator::new(profile, 7).generate(10_000);
+/// assert_eq!(a, b, "same profile + seed = same trace");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    rng: StdRng,
+    /// Ring of recently-written distinct blocks (reuse-distance model).
+    recent: Vec<u64>,
+    recent_pos: usize,
+    seq_cursor: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        profile.validate().expect("invalid workload profile");
+        TraceGenerator {
+            rng: StdRng::seed_from_u64(seed ^ 0x5EC9_B000),
+            recent: Vec::with_capacity(profile.rewrite_window),
+            recent_pos: 0,
+            seq_cursor: SEQ_REGION_BASE,
+            profile,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Generates a trace covering approximately `instructions`
+    /// instructions.
+    pub fn generate(&mut self, instructions: u64) -> Vec<TraceItem> {
+        let p = &self.profile;
+        let accesses_per_kilo = p.stores_per_kilo + p.loads_per_kilo;
+        if accesses_per_kilo <= 0.0 {
+            return vec![TraceItem::compute(instructions as u32)];
+        }
+        let store_share = p.stores_per_kilo / accesses_per_kilo;
+        // Non-memory instructions between consecutive accesses.
+        let gap = (1000.0 - accesses_per_kilo) / accesses_per_kilo;
+        let mut items = Vec::new();
+        let mut emitted: u64 = 0;
+        let mut gap_acc = 0.0f64;
+        while emitted < instructions {
+            gap_acc += gap;
+            let this_gap = gap_acc.floor() as u32;
+            gap_acc -= f64::from(this_gap);
+            let access = if self.rng.gen_bool(store_share) {
+                self.next_store()
+            } else {
+                self.next_load()
+            };
+            items.push(TraceItem::then(this_gap, access));
+            emitted += u64::from(this_gap) + 1;
+        }
+        items
+    }
+
+    fn remember(&mut self, block: u64) {
+        if self.recent.contains(&block) {
+            return;
+        }
+        if self.recent.len() < self.profile.rewrite_window {
+            self.recent.push(block);
+        } else {
+            self.recent[self.recent_pos] = block;
+            self.recent_pos = (self.recent_pos + 1) % self.recent.len();
+        }
+    }
+
+    fn next_store(&mut self) -> Access {
+        let r: f64 = self.rng.gen();
+        let block = if r < self.profile.rewrite_frac && !self.recent.is_empty() {
+            let idx = self.rng.gen_range(0..self.recent.len());
+            self.recent[idx]
+        } else if r < self.profile.rewrite_frac + self.profile.seq_frac {
+            let b = self.seq_cursor;
+            self.seq_cursor += 1;
+            b
+        } else {
+            STORE_REGION_BASE + self.rng.gen_range(0..self.profile.store_working_set_blocks)
+        };
+        self.remember(block);
+        let offset = 8 * self.rng.gen_range(0..8u64);
+        Access::store(Address(block * 64 + offset), self.rng.gen())
+    }
+
+    fn next_load(&mut self) -> Access {
+        let block = if self.rng.gen_bool(self.profile.load_hot_frac) {
+            LOAD_REGION_BASE + self.rng.gen_range(0..HOT_LOAD_BLOCKS)
+        } else {
+            LOAD_REGION_BASE
+                + HOT_LOAD_BLOCKS
+                + self.rng.gen_range(0..self.profile.load_working_set_blocks)
+        };
+        let offset = 8 * self.rng.gen_range(0..8u64);
+        Access::load(Address(block * 64 + offset))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpb_sim::trace::{AccessKind, TraceSummary};
+
+    fn summary_of(name: &str, instrs: u64) -> TraceSummary {
+        let profile = WorkloadProfile::named(name).unwrap();
+        let trace = TraceGenerator::new(profile, 1).generate(instrs);
+        TraceSummary::of(&trace)
+    }
+
+    #[test]
+    fn ppti_matches_profile_targets() {
+        for name in ["gamess", "povray", "mcf", "bwaves"] {
+            let profile = WorkloadProfile::named(name).unwrap();
+            let s = summary_of(name, 200_000);
+            let measured = s.stores_per_kilo_instr();
+            assert!(
+                (measured - profile.stores_per_kilo).abs() / profile.stores_per_kilo < 0.15,
+                "{name}: measured PPTI {measured}, target {}",
+                profile.stores_per_kilo
+            );
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let p = WorkloadProfile::named("gcc").unwrap();
+        let a = TraceGenerator::new(p.clone(), 9).generate(20_000);
+        let b = TraceGenerator::new(p, 9).generate(20_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = WorkloadProfile::named("gcc").unwrap();
+        let a = TraceGenerator::new(p.clone(), 1).generate(20_000);
+        let b = TraceGenerator::new(p, 2).generate(20_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn instruction_count_is_close() {
+        let trace =
+            TraceGenerator::new(WorkloadProfile::named("astar").unwrap(), 3).generate(100_000);
+        let s = TraceSummary::of(&trace);
+        assert!(s.instructions >= 100_000);
+        assert!(s.instructions < 101_000, "overshoot bounded by one gap");
+    }
+
+    #[test]
+    fn rewrite_heavy_profile_has_high_block_reuse() {
+        // povray: ~17 stores per distinct block; bwaves: streaming ~1.
+        let povray = summary_of("povray", 200_000);
+        assert!(povray.stores_per_block() > 8.0, "got {}", povray.stores_per_block());
+        let bwaves = summary_of("bwaves", 200_000);
+        assert!(bwaves.stores_per_block() < 2.5, "got {}", bwaves.stores_per_block());
+    }
+
+    #[test]
+    fn loads_and_stores_both_present() {
+        let trace =
+            TraceGenerator::new(WorkloadProfile::named("mcf").unwrap(), 5).generate(50_000);
+        let loads = trace
+            .iter()
+            .filter(|t| t.access.is_some_and(|a| a.kind == AccessKind::Load))
+            .count();
+        let stores = trace.iter().filter(|t| t.access.is_some_and(|a| a.is_store())).count();
+        assert!(loads > stores, "mcf is load-heavy");
+        assert!(stores > 0);
+    }
+
+    #[test]
+    fn store_and_load_regions_do_not_overlap() {
+        let trace =
+            TraceGenerator::new(WorkloadProfile::named("gobmk").unwrap(), 5).generate(50_000);
+        for t in &trace {
+            if let Some(a) = t.access {
+                let b = a.addr.block().index();
+                if a.is_store() {
+                    assert!(b < LOAD_REGION_BASE, "store into load region");
+                } else {
+                    assert!(b >= LOAD_REGION_BASE, "load from store region");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_access_profile_is_pure_compute() {
+        let p = WorkloadProfile {
+            name: "compute".into(),
+            stores_per_kilo: 0.0,
+            loads_per_kilo: 0.0,
+            rewrite_frac: 0.0,
+            rewrite_window: 1,
+            seq_frac: 0.0,
+            store_working_set_blocks: 1,
+            load_working_set_blocks: 1,
+            load_hot_frac: 1.0,
+        };
+        let trace = TraceGenerator::new(p, 1).generate(5_000);
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].instructions(), 5_000);
+    }
+}

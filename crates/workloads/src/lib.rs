@@ -1,0 +1,40 @@
+//! # secpb-workloads — synthetic workload and trace generation
+//!
+//! The paper evaluates 18 SPEC CPU2006 benchmarks over 250 M-instruction
+//! SimPoint regions.  SPEC traces are not redistributable, so this crate
+//! generates *synthetic* instruction/address streams parameterized to the
+//! statistics the paper reports as load-bearing — persists per thousand
+//! instructions (PPTI), writes per SecPB entry (NWPE), and store spatial
+//! locality — with one profile named after each benchmark (e.g. `gamess`:
+//! PPTI 47.4, NWPE 2.1; `povray`: PPTI 38.8, NWPE 17.6).
+//!
+//! * [`profile`] — the workload parameter set and the 18 named profiles,
+//! * [`generator`] — the deterministic trace generator,
+//! * [`micro`] — microbenchmark kernels (sequential writes, random
+//!   writes, pointer chasing) used by the examples and ablation benches.
+//!
+//! # Example
+//!
+//! ```
+//! use secpb_workloads::profile::WorkloadProfile;
+//! use secpb_workloads::generator::TraceGenerator;
+//! use secpb_sim::trace::TraceSummary;
+//!
+//! let profile = WorkloadProfile::named("gamess").unwrap();
+//! let trace = TraceGenerator::new(profile, 1).generate(100_000);
+//! let summary = TraceSummary::of(&trace);
+//! // PPTI lands near the paper's 47.4 for gamess.
+//! assert!((summary.stores_per_kilo_instr() - 47.4).abs() < 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod characterize;
+pub mod generator;
+pub mod micro;
+pub mod profile;
+pub mod trace_io;
+
+pub use generator::TraceGenerator;
+pub use profile::WorkloadProfile;

@@ -1,0 +1,176 @@
+//! Trace serialization: a compact binary format for saving generated
+//! traces and replaying them later (or feeding externally-produced
+//! traces into the simulator).
+//!
+//! Format (`SPB1`, little-endian):
+//!
+//! ```text
+//! magic "SPB1" | u64 item count | items...
+//! item: u32 non_mem | u8 kind (0 none, 1 load, 2 store)
+//!       [ u64 addr | u8 size | u64 value | u16 asid ]   (if kind != 0)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use secpb_sim::addr::{Address, Asid};
+use secpb_sim::trace::{Access, AccessKind, TraceItem};
+
+/// Format magic bytes.
+const MAGIC: &[u8; 4] = b"SPB1";
+
+/// Writes a trace to any [`Write`] sink (pass `&mut file` to keep the
+/// file usable afterwards).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_trace<W: Write>(mut sink: W, items: &[TraceItem]) -> io::Result<()> {
+    sink.write_all(MAGIC)?;
+    sink.write_all(&(items.len() as u64).to_le_bytes())?;
+    for item in items {
+        sink.write_all(&item.non_mem_instrs.to_le_bytes())?;
+        match item.access {
+            None => sink.write_all(&[0u8])?,
+            Some(a) => {
+                let kind = match a.kind {
+                    AccessKind::Load => 1u8,
+                    AccessKind::Store => 2u8,
+                };
+                sink.write_all(&[kind])?;
+                sink.write_all(&a.addr.0.to_le_bytes())?;
+                sink.write_all(&[a.size])?;
+                sink.write_all(&a.value.to_le_bytes())?;
+                sink.write_all(&a.asid.0.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace from any [`Read`] source.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a bad magic, truncated stream, or malformed
+/// item; propagates underlying I/O errors.
+pub fn read_trace<R: Read>(mut source: R) -> io::Result<Vec<TraceItem>> {
+    let mut magic = [0u8; 4];
+    source.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+    }
+    let mut count_bytes = [0u8; 8];
+    source.read_exact(&mut count_bytes)?;
+    let count = u64::from_le_bytes(count_bytes);
+    let mut items = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let mut non_mem = [0u8; 4];
+        source.read_exact(&mut non_mem)?;
+        let mut kind = [0u8; 1];
+        source.read_exact(&mut kind)?;
+        let access = match kind[0] {
+            0 => None,
+            k @ (1 | 2) => {
+                let mut addr = [0u8; 8];
+                source.read_exact(&mut addr)?;
+                let mut size = [0u8; 1];
+                source.read_exact(&mut size)?;
+                let mut value = [0u8; 8];
+                source.read_exact(&mut value)?;
+                let mut asid = [0u8; 2];
+                source.read_exact(&mut asid)?;
+                if size[0] == 0 || size[0] > 8 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("bad access size {}", size[0]),
+                    ));
+                }
+                Some(Access {
+                    kind: if k == 1 { AccessKind::Load } else { AccessKind::Store },
+                    addr: Address(u64::from_le_bytes(addr)),
+                    size: size[0],
+                    value: u64::from_le_bytes(value),
+                    asid: Asid(u16::from_le_bytes(asid)),
+                })
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad access kind {other}"),
+                ))
+            }
+        };
+        items.push(TraceItem { non_mem_instrs: u32::from_le_bytes(non_mem), access });
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::TraceGenerator;
+    use crate::profile::WorkloadProfile;
+
+    #[test]
+    fn round_trips_a_generated_trace() {
+        let profile = WorkloadProfile::named("gcc").unwrap();
+        let trace = TraceGenerator::new(profile, 7).generate(20_000);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn round_trips_edge_items() {
+        let trace = vec![
+            TraceItem::compute(0),
+            TraceItem::compute(u32::MAX),
+            TraceItem::then(5, Access::load(Address(u64::MAX))),
+            TraceItem::then(
+                0,
+                Access { size: 1, ..Access::store(Address(0), u64::MAX) }.with_asid(Asid(u16::MAX)),
+            ),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), trace);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOPE\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let trace = vec![TraceItem::then(1, Access::store(Address(64), 2))];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        for cut in [3, 11, 13, buf.len() - 1] {
+            assert!(read_trace(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_kind_and_size() {
+        let trace = vec![TraceItem::then(1, Access::store(Address(64), 2))];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let mut bad_kind = buf.clone();
+        bad_kind[16] = 9; // the kind byte of item 0
+        assert!(read_trace(&bad_kind[..]).is_err());
+        let mut bad_size = buf.clone();
+        bad_size[25] = 9; // the size byte
+        assert!(read_trace(&bad_size[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert_eq!(read_trace(&buf[..]).unwrap(), Vec::new());
+        assert_eq!(buf.len(), 12, "magic + count only");
+    }
+}

@@ -1,0 +1,64 @@
+//! Scheme explorer: run any benchmark on any scheme and SecPB size and
+//! inspect the full statistics — the interactive counterpart of the
+//! paper's Table IV / Figures 6-7.
+//!
+//! Run with:
+//! `cargo run --release --example scheme_explorer [benchmark] [scheme] [entries] [instructions]`
+//!
+//! e.g. `cargo run --release --example scheme_explorer povray cm 64 200000`
+
+use secpb::core::scheme::Scheme;
+use secpb::core::system::SecureSystem;
+use secpb::sim::config::SystemConfig;
+use secpb::workloads::{TraceGenerator, WorkloadProfile};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench = args.first().map(String::as_str).unwrap_or("gamess");
+    let scheme: Scheme = args
+        .get(1)
+        .map(|s| s.parse().expect("scheme: bbb|sp|cobcm|obcm|bcm|cm|m|nogap"))
+        .unwrap_or(Scheme::Cobcm);
+    let entries: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let instructions: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+
+    let profile = match WorkloadProfile::named(bench) {
+        Some(p) => p,
+        None => {
+            eprintln!(
+                "unknown benchmark `{bench}`; choose one of: {}",
+                WorkloadProfile::SPEC_NAMES.join(", ")
+            );
+            std::process::exit(1);
+        }
+    };
+    let cfg = SystemConfig::default().with_secpb_entries(entries);
+
+    println!("benchmark   : {bench}");
+    println!("scheme      : {scheme}");
+    println!("secpb       : {entries} entries (HWM {}, LWM {})",
+        cfg.secpb.high_watermark_entries(), cfg.secpb.low_watermark_entries());
+    println!("instructions: {instructions}\n");
+
+    // Baseline for normalization.
+    let mut results = Vec::new();
+    for s in [Scheme::Bbb, scheme] {
+        let trace = TraceGenerator::new(profile.clone(), 42).generate(instructions);
+        let mut sys = SecureSystem::new(cfg.clone(), s, 42);
+        results.push(sys.run_trace(trace));
+    }
+    let (bbb, run) = (&results[0], &results[1]);
+
+    println!("cycles      : {} (bbb: {})", run.cycles, bbb.cycles);
+    if scheme != Scheme::Bbb {
+        println!("slowdown    : {:.3}x ({:+.1}%)", run.slowdown_vs(bbb), run.overhead_pct_vs(bbb));
+    }
+    println!("ipc         : {:.3}", run.ipc());
+    println!("ppti        : {:.1}", run.ppti());
+    println!("nwpe        : {:.2}", run.nwpe());
+    println!("bmt/store   : {:.1}% of sec_wt", run.bmt_updates_per_store() * 100.0);
+    println!("\nraw counters:");
+    for (name, value) in run.stats.iter() {
+        println!("  {name:<36} {value}");
+    }
+}

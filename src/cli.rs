@@ -1,0 +1,253 @@
+//! The `secpb` command-line interface.
+//!
+//! A hand-rolled (dependency-free) dispatcher so the whole surface is
+//! unit-testable: [`dispatch`] takes argv and returns the output text or
+//! a usage error.
+//!
+//! ```text
+//! secpb run <bench> <scheme> [entries] [instructions]   simulate + metrics
+//! secpb crash <bench> <scheme> [instructions]           crash + verified recovery
+//! secpb battery [entries]                               battery sizing table
+//! secpb trace gen <bench> <file> [instructions]         save a trace
+//! secpb trace info <file>                               trace statistics
+//! secpb trace run <file> <scheme>                       replay a saved trace
+//! secpb list                                            benchmarks + schemes
+//! ```
+
+use std::fmt::Write as _;
+
+use secpb_core::crash::{CrashKind, DrainPolicy};
+use secpb_core::scheme::Scheme;
+use secpb_core::system::SecureSystem;
+use secpb_energy::battery::BatteryTech;
+use secpb_energy::drain::{secpb_drain_energy, SchemeKind};
+use secpb_sim::config::SystemConfig;
+use secpb_sim::trace::TraceSummary;
+use secpb_workloads::trace_io;
+use secpb_workloads::{TraceGenerator, WorkloadProfile};
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  secpb run <bench> <scheme> [entries] [instructions]
+  secpb crash <bench> <scheme> [instructions]
+  secpb battery [entries]
+  secpb trace gen <bench> <file> [instructions]
+  secpb trace info <file>
+  secpb trace run <file> <scheme>
+  secpb list";
+
+/// Executes one CLI invocation (argv without the program name).
+///
+/// # Errors
+///
+/// Returns a usage/diagnostic message on bad arguments or I/O failure.
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("crash") => cmd_crash(&args[1..]),
+        Some("battery") => cmd_battery(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("list") => Ok(cmd_list()),
+        _ => Err(USAGE.to_owned()),
+    }
+}
+
+fn parse_profile(name: &str) -> Result<WorkloadProfile, String> {
+    WorkloadProfile::named(name).ok_or_else(|| {
+        format!("unknown benchmark `{name}`; try: {}", WorkloadProfile::SPEC_NAMES.join(", "))
+    })
+}
+
+fn parse_scheme(name: &str) -> Result<Scheme, String> {
+    name.parse::<Scheme>().map_err(|e| e.to_string())
+}
+
+fn cmd_run(args: &[String]) -> Result<String, String> {
+    let bench = args.first().ok_or(USAGE)?;
+    let scheme = parse_scheme(args.get(1).ok_or(USAGE)?)?;
+    let entries: usize = args.get(2).map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(32);
+    let instructions: u64 =
+        args.get(3).map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(200_000);
+    let profile = parse_profile(bench)?;
+    let cfg = SystemConfig::default().with_secpb_entries(entries);
+    let trace = TraceGenerator::new(profile, 42).generate(instructions);
+    let mut sys = SecureSystem::new(cfg, scheme, 42);
+    let r = sys.run_trace(trace);
+    let mut out = String::new();
+    let _ = writeln!(out, "bench={bench} scheme={scheme} entries={entries}");
+    let _ = writeln!(out, "cycles       {}", r.cycles);
+    let _ = writeln!(out, "ipc          {:.3}", r.ipc());
+    let _ = writeln!(out, "ppti         {:.1}", r.ppti());
+    let _ = writeln!(out, "nwpe         {:.2}", r.nwpe());
+    let _ = writeln!(out, "bmt/store    {:.1}%", r.bmt_updates_per_store() * 100.0);
+    Ok(out)
+}
+
+fn cmd_crash(args: &[String]) -> Result<String, String> {
+    let bench = args.first().ok_or(USAGE)?;
+    let scheme = parse_scheme(args.get(1).ok_or(USAGE)?)?;
+    let instructions: u64 =
+        args.get(2).map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(100_000);
+    let profile = parse_profile(bench)?;
+    let trace = TraceGenerator::new(profile, 42).generate(instructions);
+    let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 42);
+    sys.run_trace(trace);
+    let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    let recovery = sys.recover();
+    let mut out = String::new();
+    let _ = writeln!(out, "crash at cycle {}", report.at.raw());
+    let _ = writeln!(out, "entries drained      {}", report.work.entries);
+    let _ = writeln!(out, "sec-sync complete    cycle {}", report.secsync_complete_at.raw());
+    let _ = writeln!(out, "macs on battery      {}", report.work.macs);
+    let _ = writeln!(out, "bmt hashes on battery {}", report.work.bmt_node_hashes);
+    let _ = writeln!(out, "blocks recovered     {}", recovery.blocks_checked);
+    let _ = writeln!(out, "estimated recovery   {} cycles", sys.estimated_recovery_cycles());
+    let _ = writeln!(out, "consistent           {}", recovery.is_consistent());
+    if !recovery.is_consistent() {
+        return Err(format!("recovery failed:\n{out}"));
+    }
+    Ok(out)
+}
+
+fn cmd_battery(args: &[String]) -> Result<String, String> {
+    let entries: usize =
+        args.first().map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(32);
+    let mut out = String::new();
+    let _ = writeln!(out, "battery sizing for a {entries}-entry SecPB:");
+    for kind in SchemeKind::ALL {
+        let joules = secpb_drain_energy(kind, entries);
+        let _ = writeln!(
+            out,
+            " {:<6} {:>10.2} uJ  SuperCap {:>8.3} mm3 ({:>5.1}% core)  Li-Thin {:>7.4} mm3",
+            kind.name(),
+            joules * 1e6,
+            BatteryTech::SuperCap.volume_mm3(joules),
+            BatteryTech::SuperCap.core_area_ratio_pct(joules),
+            BatteryTech::LiThin.volume_mm3(joules),
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_trace(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let bench = args.get(1).ok_or(USAGE)?;
+            let path = args.get(2).ok_or(USAGE)?;
+            let instructions: u64 =
+                args.get(3).map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(100_000);
+            let profile = parse_profile(bench)?;
+            let trace = TraceGenerator::new(profile, 42).generate(instructions);
+            let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+            trace_io::write_trace(std::io::BufWriter::new(file), &trace)
+                .map_err(|e| e.to_string())?;
+            Ok(format!("wrote {} items to {path}\n", trace.len()))
+        }
+        Some("info") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+            let trace =
+                trace_io::read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+            let s = TraceSummary::of(&trace);
+            let mut out = String::new();
+            let _ = writeln!(out, "items        {}", trace.len());
+            let _ = writeln!(out, "instructions {}", s.instructions);
+            let _ = writeln!(out, "loads        {}", s.loads);
+            let _ = writeln!(out, "stores       {}", s.stores);
+            let _ = writeln!(out, "store blocks {}", s.store_blocks);
+            let _ = writeln!(out, "ppti         {:.1}", s.stores_per_kilo_instr());
+            let _ = writeln!(out, "stores/block {:.2}", s.stores_per_block());
+            Ok(out)
+        }
+        Some("run") => {
+            let path = args.get(1).ok_or(USAGE)?;
+            let scheme = parse_scheme(args.get(2).ok_or(USAGE)?)?;
+            let file = std::fs::File::open(path).map_err(|e| e.to_string())?;
+            let trace =
+                trace_io::read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
+            let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 42);
+            let r = sys.run_trace(trace);
+            Ok(format!("scheme={scheme} cycles={} ipc={:.3} ppti={:.1}\n", r.cycles, r.ipc(), r.ppti()))
+        }
+        _ => Err(USAGE.to_owned()),
+    }
+}
+
+fn cmd_list() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "benchmarks: {}", WorkloadProfile::SPEC_NAMES.join(", "));
+    let schemes: Vec<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
+    let _ = writeln!(out, "schemes   : {}", schemes.join(", "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        dispatch(&v)
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        assert_eq!(run(&[]).unwrap_err(), USAGE);
+        assert_eq!(run(&["bogus"]).unwrap_err(), USAGE);
+    }
+
+    #[test]
+    fn list_enumerates() {
+        let out = run(&["list"]).unwrap();
+        assert!(out.contains("gamess"));
+        assert!(out.contains("cobcm"));
+    }
+
+    #[test]
+    fn run_produces_metrics() {
+        let out = run(&["run", "hmmer", "cobcm", "32", "20000"]).unwrap();
+        assert!(out.contains("ipc"));
+        assert!(out.contains("ppti"));
+    }
+
+    #[test]
+    fn run_rejects_unknowns() {
+        assert!(run(&["run", "nonesuch", "cobcm"]).unwrap_err().contains("unknown benchmark"));
+        assert!(run(&["run", "hmmer", "nonesuch"]).unwrap_err().contains("unknown scheme"));
+    }
+
+    #[test]
+    fn crash_reports_consistency() {
+        let out = run(&["crash", "sjeng", "bcm", "20000"]).unwrap();
+        assert!(out.contains("consistent           true"));
+        assert!(out.contains("blocks recovered"));
+    }
+
+    #[test]
+    fn battery_lists_all_schemes() {
+        let out = run(&["battery", "64"]).unwrap();
+        for name in ["cobcm", "nogap", "bbb"] {
+            assert!(out.contains(name), "{out}");
+        }
+    }
+
+    #[test]
+    fn trace_gen_info_run_round_trip() {
+        let dir = std::env::temp_dir().join("secpb_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.spb").to_string_lossy().into_owned();
+        let gen = run(&["trace", "gen", "milc", &path, "10000"]).unwrap();
+        assert!(gen.contains("wrote"));
+        let info = run(&["trace", "info", &path]).unwrap();
+        assert!(info.contains("stores"));
+        let replay = run(&["trace", "run", &path, "cobcm"]).unwrap();
+        assert!(replay.contains("cycles="));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_subcommand_usage() {
+        assert_eq!(run(&["trace"]).unwrap_err(), USAGE);
+        assert!(run(&["trace", "info", "/nonexistent/file"]).is_err());
+    }
+}

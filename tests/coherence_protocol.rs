@@ -1,0 +1,103 @@
+//! Property tests for the multi-SecPB coherence protocol (Section IV-C):
+//! the no-replication invariant must hold under arbitrary interleavings
+//! of reads, writes, and drains from multiple cores.
+
+use proptest::prelude::*;
+
+use secpb::core::coherence::{CoherenceAction, CoherenceController};
+use secpb::sim::addr::{Asid, BlockAddr};
+use secpb::sim::config::SecPbConfig;
+
+/// One protocol operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Write { core: usize, block: u64 },
+    Read { core: usize, block: u64 },
+    Drain { block: u64 },
+}
+
+fn arb_op(cores: usize, blocks: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..cores, 0..blocks).prop_map(|(core, block)| Op::Write { core, block }),
+        (0..cores, 0..blocks).prop_map(|(core, block)| Op::Read { core, block }),
+        (0..blocks).prop_map(|block| Op::Drain { block }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The directory never allows a block to live in two SecPBs.
+    #[test]
+    fn no_replication_under_random_interleavings(
+        ops in prop::collection::vec(arb_op(3, 12), 1..200)
+    ) {
+        // Generous capacity so the protocol (not capacity management) is
+        // what's exercised.
+        let cfg = SecPbConfig { entries: 64, ..SecPbConfig::default() };
+        let mut ctl = CoherenceController::new(3, cfg);
+        for op in ops {
+            match op {
+                Op::Write { core, block } => {
+                    ctl.write(core, BlockAddr(block), Asid(core as u16), [0u8; 64]);
+                }
+                Op::Read { core, block } => {
+                    ctl.read(core, BlockAddr(block));
+                }
+                Op::Drain { block } => {
+                    ctl.drain(BlockAddr(block));
+                }
+            }
+            prop_assert!(ctl.replication_free(), "replication after {op:?}");
+        }
+    }
+
+    /// After a write by core C, the block is owned by C's SecPB with the
+    /// latest coalesced state, regardless of history.
+    #[test]
+    fn writes_establish_ownership(
+        ops in prop::collection::vec(arb_op(2, 6), 0..60),
+        final_core in 0usize..2,
+        final_block in 0u64..6,
+    ) {
+        let cfg = SecPbConfig { entries: 64, ..SecPbConfig::default() };
+        let mut ctl = CoherenceController::new(2, cfg);
+        for op in ops {
+            match op {
+                Op::Write { core, block } => {
+                    ctl.write(core, BlockAddr(block), Asid(0), [0u8; 64]);
+                }
+                Op::Read { core, block } => {
+                    ctl.read(core, BlockAddr(block));
+                }
+                Op::Drain { block } => {
+                    ctl.drain(BlockAddr(block));
+                }
+            }
+        }
+        ctl.write(final_core, BlockAddr(final_block), Asid(0), [0u8; 64]);
+        prop_assert!(ctl.pb(final_core).contains(BlockAddr(final_block)));
+        prop_assert!(ctl.pb(1 - final_core).entry(BlockAddr(final_block)).is_none());
+    }
+
+    /// A remote read always removes the block from every SecPB (flushed
+    /// to PM) and surrenders the entry for persistence.
+    #[test]
+    fn remote_reads_flush(
+        owner in 0usize..3,
+        reader in 0usize..3,
+        block in 0u64..32,
+    ) {
+        prop_assume!(owner != reader);
+        let mut ctl = CoherenceController::new(3, SecPbConfig::default());
+        ctl.write(owner, BlockAddr(block), Asid(0), [7u8; 64]);
+        let action = ctl.read(reader, BlockAddr(block));
+        prop_assert_eq!(action, Some(CoherenceAction::FlushedFrom { from: owner }));
+        for core in 0..3 {
+            prop_assert!(!ctl.pb(core).contains(BlockAddr(block)));
+        }
+        let flushed = ctl.take_flushed();
+        prop_assert_eq!(flushed.len(), 1);
+        prop_assert_eq!(flushed[0].plaintext, [7u8; 64]);
+    }
+}

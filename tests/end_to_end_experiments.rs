@@ -1,0 +1,142 @@
+//! End-to-end experiment smoke tests: quick-scale versions of the
+//! paper's headline results, asserting the qualitative claims hold
+//! (who wins, by roughly what factor, where crossovers fall).
+
+use secpb_bench::experiments::{
+    fig7, fig8, fig9, geomean, run_benchmark, table4, table5, table6,
+};
+use secpb::core::scheme::Scheme;
+use secpb::core::tree::TreeKind;
+use secpb::sim::config::SystemConfig;
+use secpb::workloads::WorkloadProfile;
+
+const QUICK: u64 = 50_000;
+
+#[test]
+fn table4_qualitative_claims() {
+    let study = table4(QUICK);
+    let avg: std::collections::HashMap<Scheme, f64> = study.averages.iter().copied().collect();
+    // "COBCM ... incurs an average overhead of nearly-negligible 1.3%".
+    assert!(avg[&Scheme::Cobcm] < 1.10, "COBCM {}", avg[&Scheme::Cobcm]);
+    // "The most significant performance difference is going from BCM to CM".
+    let steps = [
+        avg[&Scheme::Obcm] - avg[&Scheme::Cobcm],
+        avg[&Scheme::Bcm] - avg[&Scheme::Obcm],
+        avg[&Scheme::Cm] - avg[&Scheme::Bcm],
+        avg[&Scheme::M] - avg[&Scheme::Cm],
+        avg[&Scheme::NoGap] - avg[&Scheme::M],
+    ];
+    let biggest = steps.iter().cloned().fold(f64::MIN, f64::max);
+    assert!((steps[2] - biggest).abs() < 1e-12, "BCM->CM must be the largest step: {steps:?}");
+    // "NoGap suffers the highest performance degradation".
+    assert!(avg[&Scheme::NoGap] > avg[&Scheme::M]);
+}
+
+#[test]
+fn gamess_is_the_write_intensity_outlier() {
+    let study = table4(QUICK);
+    let gamess = study.rows.iter().find(|r| r.name == "gamess").unwrap();
+    let cm_gamess = gamess.slowdowns.iter().find(|(s, _)| *s == Scheme::Cm).unwrap().1;
+    let others: Vec<f64> = study
+        .rows
+        .iter()
+        .filter(|r| r.name != "gamess")
+        .map(|r| r.slowdowns.iter().find(|(s, _)| *s == Scheme::Cm).unwrap().1)
+        .collect();
+    assert!(
+        cm_gamess > 2.0 * geomean(&others),
+        "gamess CM ({cm_gamess:.2}x) should dwarf the rest ({:.2}x)",
+        geomean(&others)
+    );
+    // And its statistics match the paper's report.
+    assert!((gamess.ppti - 47.4).abs() < 3.0, "gamess PPTI {}", gamess.ppti);
+    assert!((gamess.nwpe - 2.1).abs() < 0.5, "gamess NWPE {}", gamess.nwpe);
+}
+
+#[test]
+fn fig7_size_sweep_shape() {
+    let sweep = fig7(QUICK);
+    // Overheads shrink with capacity...
+    assert!(sweep.averages.first().unwrap() > sweep.averages.last().unwrap());
+    // ...with diminishing returns: the 8->32 gain dwarfs the 64->512 gain.
+    let early_gain = sweep.averages[0] - sweep.averages[2];
+    let late_gain = sweep.averages[3] - sweep.averages[6];
+    assert!(
+        early_gain > 2.0 * late_gain,
+        "early {early_gain:.3} vs late {late_gain:.3}"
+    );
+    // bwaves is insensitive to SecPB size (streaming, minimal NWPE change).
+    let bwaves = sweep.rows.iter().find(|(n, _)| n == "bwaves").unwrap();
+    let spread = bwaves.1.iter().cloned().fold(f64::MIN, f64::max)
+        - bwaves.1.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 0.25, "bwaves spread {spread}");
+    // gobmk keeps improving with capacity (reuse distance > 32).
+    let gobmk = sweep.rows.iter().find(|(n, _)| n == "gobmk").unwrap();
+    assert!(gobmk.1[1] > gobmk.1[5], "gobmk should improve from 16 to 256 entries");
+}
+
+#[test]
+fn fig8_bmt_updates_shrink_with_capacity() {
+    let study = fig8(QUICK);
+    assert!(study.averages[0] > study.averages[6]);
+    // Even the smallest SecPB coalesces meaningfully (well below 1 update
+    // per store).
+    assert!(study.averages[0] < 0.9);
+    // povray's heavy coalescing pushes it far down at 32+ entries.
+    let povray = study.rows.iter().find(|(n, _)| n == "povray").unwrap();
+    assert!(povray.1[2] < 0.15, "povray at 32 entries: {}", povray.1[2]);
+}
+
+#[test]
+fn fig9_bmf_ordering() {
+    let study = fig9(QUICK);
+    let avg: std::collections::HashMap<&str, f64> = study
+        .variants
+        .iter()
+        .map(String::as_str)
+        .zip(study.averages.iter().copied())
+        .collect();
+    // The paper's headline: SecPB+BMF beats SP+BMF across the board, and
+    // cm_sbmf even outperforms sp_dbmf.
+    assert!(avg["cm_dbmf"] < avg["sp_dbmf"]);
+    assert!(avg["cm_sbmf"] < avg["sp_sbmf"]);
+    assert!(avg["cm_sbmf"] < avg["sp_dbmf"]);
+    assert!(avg["cm_dbmf"] < avg["cm_sbmf"], "shallower forests are faster");
+}
+
+#[test]
+fn table5_and_table6_headline_ratios() {
+    let t5 = table5(32);
+    let find = |n: &str| t5.iter().find(|r| r.system == n).unwrap().volume_mm3.0;
+    // "753x decrease in the required battery capacity ... compared to
+    // s_eADR" — we assert the order of magnitude.
+    let ratio = find("s_eadr") / find("cobcm");
+    assert!(ratio > 100.0, "s_eadr/cobcm = {ratio}");
+    // "a significant drop in the battery required between the BCM and CM
+    // model by 6.5x".
+    let cliff = find("bcm") / find("cm");
+    assert!((4.0..12.0).contains(&cliff), "BCM/CM cliff = {cliff}");
+    // eADR needs a far larger source than BBB.
+    assert!(find("eadr") / find("bbb") > 1000.0);
+
+    // Table VI scales linearly.
+    let t6 = table6();
+    let first = &t6[0];
+    let last = &t6[6];
+    let scale = last.cobcm_mm3.0 / first.cobcm_mm3.0;
+    assert!((50.0..70.0).contains(&scale), "512/8 entries should scale ~64x, got {scale}");
+}
+
+#[test]
+fn sp_baseline_is_slower_than_any_secpb_scheme() {
+    // SP persists the full tuple per *store* (no coalescing at all); even
+    // NoGap, which persists everything eagerly, beats it because its
+    // data-value-independent work is once per dirty block.
+    let profile = WorkloadProfile::named("xalancbmk").unwrap();
+    let cfg = SystemConfig::default();
+    let bbb = run_benchmark(&profile, Scheme::Bbb, cfg.clone(), TreeKind::Monolithic, QUICK);
+    let sp = run_benchmark(&profile, Scheme::Sp, cfg.clone(), TreeKind::Monolithic, QUICK);
+    let nogap = run_benchmark(&profile, Scheme::NoGap, cfg, TreeKind::Monolithic, QUICK);
+    assert!(sp.slowdown_vs(&bbb) > nogap.slowdown_vs(&bbb));
+    assert!(sp.slowdown_vs(&bbb) > 2.0, "SP should be a multiple of the baseline");
+}

@@ -1,0 +1,132 @@
+//! Cross-scheme integration tests: every scheme must produce the *same
+//! functional* persistent state — they only differ in *when* security
+//! metadata is generated (Section IV), never in *what* recovery observes.
+
+use secpb::core::crash::{CrashKind, DrainPolicy};
+use secpb::core::metrics::counters;
+use secpb::core::scheme::Scheme;
+use secpb::core::system::SecureSystem;
+use secpb::sim::config::SystemConfig;
+use secpb::workloads::{TraceGenerator, WorkloadProfile};
+
+fn run_and_crash(scheme: Scheme, seed: u64) -> SecureSystem {
+    let profile = WorkloadProfile::named("gcc").unwrap();
+    let trace = TraceGenerator::new(profile, seed).generate(30_000);
+    let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 77);
+    sys.run_trace(trace);
+    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    sys
+}
+
+#[test]
+fn all_schemes_persist_identical_plaintext() {
+    let reference = run_and_crash(Scheme::Cobcm, 42);
+    let mut ref_blocks: Vec<_> = reference.nvm_store().data_blocks().collect();
+    ref_blocks.sort_unstable();
+    for scheme in Scheme::ALL {
+        let sys = run_and_crash(scheme, 42);
+        let mut blocks: Vec<_> = sys.nvm_store().data_blocks().collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, ref_blocks, "{scheme}: persisted block set differs");
+        for &b in &blocks {
+            assert_eq!(
+                sys.expected_plaintext(b),
+                reference.expected_plaintext(b),
+                "{scheme}: plaintext of {b} differs"
+            );
+        }
+        assert!(sys.recover().is_consistent(), "{scheme}: recovery failed");
+    }
+}
+
+#[test]
+fn secure_schemes_store_ciphertext_not_plaintext() {
+    for scheme in Scheme::SECPB_SCHEMES {
+        let sys = run_and_crash(scheme, 7);
+        let mut hits = 0;
+        for block in sys.nvm_store().data_blocks().take(50) {
+            let stored = sys.nvm_store().read_data(block);
+            let expected = sys.expected_plaintext(block);
+            if stored == expected {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 1, "{scheme}: NVM appears to hold plaintext ({hits} matches)");
+    }
+}
+
+#[test]
+fn insecure_bbb_stores_plaintext() {
+    let sys = run_and_crash(Scheme::Bbb, 7);
+    for block in sys.nvm_store().data_blocks().take(20) {
+        assert_eq!(sys.nvm_store().read_data(block), sys.expected_plaintext(block));
+    }
+}
+
+#[test]
+fn persists_equal_stores_for_buffer_schemes() {
+    for scheme in [Scheme::Bbb, Scheme::Cobcm, Scheme::Cm, Scheme::NoGap] {
+        let profile = WorkloadProfile::named("milc").unwrap();
+        let trace = TraceGenerator::new(profile, 3).generate(20_000);
+        let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 3);
+        let r = sys.run_trace(trace);
+        assert_eq!(
+            r.stats.get(counters::PERSISTS),
+            r.stats.get(counters::STORES),
+            "{scheme}: every store should persist at the PB"
+        );
+    }
+}
+
+#[test]
+fn scheme_cycle_ordering_on_realistic_workload() {
+    let profile = WorkloadProfile::named("astar").unwrap();
+    let mut cycles = std::collections::HashMap::new();
+    for scheme in Scheme::ALL {
+        let trace = TraceGenerator::new(profile.clone(), 5).generate(40_000);
+        let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 5);
+        cycles.insert(scheme, sys.run_trace(trace).cycles);
+    }
+    assert!(cycles[&Scheme::Bbb] <= cycles[&Scheme::Cobcm]);
+    assert!(cycles[&Scheme::Cobcm] <= cycles[&Scheme::Obcm]);
+    assert!(cycles[&Scheme::Obcm] < cycles[&Scheme::Cm]);
+    assert!(cycles[&Scheme::Cm] < cycles[&Scheme::NoGap]);
+    assert!(
+        cycles[&Scheme::Sp] > cycles[&Scheme::NoGap],
+        "SP without a SecPB must be the slowest secure configuration"
+    );
+}
+
+#[test]
+fn eager_schemes_do_more_runtime_crypto_work() {
+    let profile = WorkloadProfile::named("hmmer").unwrap();
+    let run = |scheme| {
+        let trace = TraceGenerator::new(profile.clone(), 9).generate(30_000);
+        let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 9);
+        sys.run_trace(trace)
+    };
+    let nogap = run(Scheme::NoGap);
+    let cobcm = run(Scheme::Cobcm);
+    // NoGap computes a MAC per store; COBCM only per drained entry.
+    assert!(
+        nogap.stats.get(counters::MACS) > 2 * cobcm.stats.get(counters::MACS),
+        "NoGap MACs {} vs COBCM {}",
+        nogap.stats.get(counters::MACS),
+        cobcm.stats.get(counters::MACS)
+    );
+}
+
+#[test]
+fn bmt_root_updates_match_drains_not_stores() {
+    // With the Section IV-A optimization, root updates track entry
+    // drains, not stores (Figure 8's foundation).
+    let profile = WorkloadProfile::named("povray").unwrap(); // heavy coalescing
+    let trace = TraceGenerator::new(profile, 9).generate(40_000);
+    let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cm, 9);
+    let r = sys.run_trace(trace);
+    let updates = r.stats.get(counters::BMT_ROOT_UPDATES);
+    let stores = r.stats.get(counters::STORES);
+    let drains = r.stats.get(counters::DRAINS);
+    assert!(updates <= drains + 2, "updates {updates} should track drains {drains}");
+    assert!(updates * 5 < stores, "coalescing should cut far below one per store");
+}
