@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repository CI gate: formatting, lints, and the tier-1 verify
+# (ROADMAP.md). Run from the repo root; fails fast on the first error.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -1,9 +1,8 @@
-//! Criterion microbenchmarks for the cryptographic substrate: the
-//! host-side cost of the operations the simulator models at 40 cycles
-//! (AES, MAC) and 320 cycles (BMT walk).
+//! Microbenchmarks for the cryptographic substrate: the host-side cost
+//! of the operations the simulator models at 40 cycles (AES, MAC) and
+//! 320 cycles (BMT walk).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use secpb_bench::micro::{bench, black_box};
 use secpb_crypto::aes::Aes;
 use secpb_crypto::bmt::BonsaiMerkleTree;
 use secpb_crypto::counter::{CounterBlock, SplitCounter};
@@ -12,89 +11,79 @@ use secpb_crypto::mac::BlockMac;
 use secpb_crypto::otp::OtpEngine;
 use secpb_crypto::sha512::Sha512;
 
-fn bench_aes(c: &mut Criterion) {
+fn bench_aes() {
     let aes = Aes::new_192(&[7u8; 24]);
     let block = [0x5Au8; 16];
-    c.bench_function("aes192_encrypt_block", |b| {
-        b.iter(|| aes.encrypt_block(black_box(&block)))
+    bench("aes192_encrypt_block", || {
+        aes.encrypt_block(black_box(&block))
     });
-    c.bench_function("aes192_decrypt_block", |b| {
-        let ct = aes.encrypt_block(&block);
-        b.iter(|| aes.decrypt_block(black_box(&ct)))
-    });
+    let ct = aes.encrypt_block(&block);
+    bench("aes192_decrypt_block", || aes.decrypt_block(black_box(&ct)));
 }
 
-fn bench_sha512(c: &mut Criterion) {
+fn bench_sha512() {
     let data = vec![0xA5u8; 64];
-    c.bench_function("sha512_64B", |b| b.iter(|| Sha512::digest(black_box(&data))));
+    bench("sha512_64B", || Sha512::digest(black_box(&data)));
     let big = vec![0xA5u8; 4096];
-    c.bench_function("sha512_4KB", |b| b.iter(|| Sha512::digest(black_box(&big))));
+    bench("sha512_4KB", || Sha512::digest(black_box(&big)));
 }
 
-fn bench_hmac_and_mac(c: &mut Criterion) {
+fn bench_hmac_and_mac() {
     let hmac = HmacSha512::new(b"bench-key");
     let data = [0x11u8; 64];
-    c.bench_function("hmac_sha512_64B", |b| b.iter(|| hmac.compute(black_box(&data))));
+    bench("hmac_sha512_64B", || hmac.compute(black_box(&data)));
 
     let mac = BlockMac::new(b"bench-key");
     let ctr = SplitCounter { major: 3, minor: 9 };
-    c.bench_function("block_mac_compute", |b| {
-        b.iter(|| mac.compute(black_box(&data), black_box(0x40), ctr))
+    bench("block_mac_compute", || {
+        mac.compute(black_box(&data), black_box(0x40), ctr)
     });
 }
 
-fn bench_otp(c: &mut Criterion) {
+fn bench_otp() {
     let engine = OtpEngine::new(&[9u8; 24]);
     let ctr = SplitCounter { major: 1, minor: 2 };
     let data = [0x42u8; 64];
-    c.bench_function("otp_generate_64B", |b| {
-        b.iter(|| engine.generate(black_box(1234), ctr))
-    });
-    c.bench_function("otp_encrypt_64B", |b| {
-        b.iter(|| engine.encrypt(black_box(&data), black_box(1234), ctr))
+    bench("otp_generate_64B", || engine.generate(black_box(1234), ctr));
+    bench("otp_encrypt_64B", || {
+        engine.encrypt(black_box(&data), black_box(1234), ctr)
     });
 }
 
-fn bench_bmt(c: &mut Criterion) {
-    c.bench_function("bmt8_update_leaf", |b| {
-        let mut tree = BonsaiMerkleTree::new(b"bench", 8, 8);
-        let digest = Sha512::digest(b"leaf");
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 1) % 4096;
-            tree.update_leaf(black_box(i), digest)
-        })
+fn bench_bmt() {
+    let mut tree = BonsaiMerkleTree::new(b"bench", 8, 8);
+    let digest = Sha512::digest(b"leaf");
+    let mut i = 0u64;
+    bench("bmt8_update_leaf", || {
+        i = (i + 1) % 4096;
+        tree.update_leaf(black_box(i), digest)
     });
-    c.bench_function("bmt8_prove_and_verify", |b| {
-        let mut tree = BonsaiMerkleTree::new(b"bench", 8, 8);
-        let digest = Sha512::digest(b"leaf");
-        tree.update_leaf(42, digest);
-        b.iter(|| {
-            let proof = tree.prove(black_box(42));
-            tree.verify_proof(&proof, digest)
-        })
+
+    let mut tree = BonsaiMerkleTree::new(b"bench", 8, 8);
+    tree.update_leaf(42, digest);
+    bench("bmt8_prove_and_verify", || {
+        let proof = tree.prove(black_box(42));
+        tree.verify_proof(&proof, digest)
     });
 }
 
-fn bench_counters(c: &mut Criterion) {
-    c.bench_function("counter_block_pack_unpack", |b| {
-        let mut cb = CounterBlock::new();
-        for i in 0..64 {
-            for _ in 0..(i % 11) {
-                cb.increment(i);
-            }
+fn bench_counters() {
+    let mut cb = CounterBlock::new();
+    for i in 0..64 {
+        for _ in 0..(i % 11) {
+            cb.increment(i);
         }
-        b.iter(|| CounterBlock::from_bytes(black_box(&cb.to_bytes())))
+    }
+    bench("counter_block_pack_unpack", || {
+        CounterBlock::from_bytes(black_box(&cb.to_bytes()))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_aes,
-    bench_sha512,
-    bench_hmac_and_mac,
-    bench_otp,
-    bench_bmt,
-    bench_counters
-);
-criterion_main!(benches);
+fn main() {
+    bench_aes();
+    bench_sha512();
+    bench_hmac_and_mac();
+    bench_otp();
+    bench_bmt();
+    bench_counters();
+}

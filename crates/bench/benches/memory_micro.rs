@@ -1,8 +1,7 @@
-//! Criterion microbenchmarks for the memory-system substrate: cache
-//! accesses, hierarchy traversals, WPQ and NVM model operations.
+//! Microbenchmarks for the memory-system substrate: cache accesses,
+//! hierarchy traversals, WPQ and NVM model operations.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use secpb_bench::micro::{bench, black_box};
 use secpb_mem::cache::{Cache, LineState};
 use secpb_mem::hierarchy::Hierarchy;
 use secpb_mem::metadata::{MetadataCaches, MetadataKind};
@@ -12,75 +11,70 @@ use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::{CacheConfig, NvmConfig, SystemConfig};
 use secpb_sim::cycle::Cycle;
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_hit_l1_geometry", |b| {
-        let mut cache = Cache::new(CacheConfig::new(64 << 10, 8, 64, 2));
-        cache.access(BlockAddr(1), LineState::Clean);
-        b.iter(|| cache.access(black_box(BlockAddr(1)), LineState::Clean))
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig::new(64 << 10, 8, 64, 2));
+    cache.access(BlockAddr(1), LineState::Clean);
+    bench("cache_hit_l1_geometry", || {
+        cache.access(black_box(BlockAddr(1)), LineState::Clean)
     });
-    c.bench_function("cache_miss_evict_stream", |b| {
-        let mut cache = Cache::new(CacheConfig::new(64 << 10, 8, 64, 2));
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            cache.access(black_box(BlockAddr(i)), LineState::PersistDirty)
-        })
+
+    let mut cache = Cache::new(CacheConfig::new(64 << 10, 8, 64, 2));
+    let mut i = 0u64;
+    bench("cache_miss_evict_stream", || {
+        i += 1;
+        cache.access(black_box(BlockAddr(i)), LineState::PersistDirty)
     });
 }
 
-fn bench_hierarchy(c: &mut Criterion) {
-    c.bench_function("hierarchy_l1_hit_load", |b| {
-        let mut h = Hierarchy::new(&SystemConfig::default());
-        h.load(BlockAddr(7));
-        b.iter(|| h.load(black_box(BlockAddr(7))))
-    });
-    c.bench_function("hierarchy_store_stream", |b| {
-        let mut h = Hierarchy::new(&SystemConfig::default());
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            h.store(black_box(BlockAddr(i % 100_000)), LineState::PersistDirty)
-        })
+fn bench_hierarchy() {
+    let mut h = Hierarchy::new(&SystemConfig::default());
+    h.load(BlockAddr(7));
+    bench("hierarchy_l1_hit_load", || h.load(black_box(BlockAddr(7))));
+
+    let mut h = Hierarchy::new(&SystemConfig::default());
+    let mut i = 0u64;
+    bench("hierarchy_store_stream", || {
+        i += 1;
+        h.store(black_box(BlockAddr(i % 100_000)), LineState::PersistDirty)
     });
 }
 
-fn bench_nvm_and_wpq(c: &mut Criterion) {
-    c.bench_function("nvm_write_timing", |b| {
-        let mut nvm = NvmTiming::new(NvmConfig::default());
-        let mut i = 0u64;
-        let mut now = Cycle::ZERO;
-        b.iter(|| {
-            i += 1;
-            now += 10;
-            nvm.write(black_box(BlockAddr(i)), now)
-        })
+fn bench_nvm_and_wpq() {
+    let mut nvm = NvmTiming::new(NvmConfig::default());
+    let mut i = 0u64;
+    let mut now = Cycle::ZERO;
+    bench("nvm_write_timing", || {
+        i += 1;
+        now += 10;
+        nvm.write(black_box(BlockAddr(i)), now)
     });
-    c.bench_function("wpq_enqueue", |b| {
-        let mut nvm = NvmTiming::new(NvmConfig::default());
-        let mut wpq = WritePendingQueue::new(32);
-        let mut i = 0u64;
-        let mut now = Cycle::ZERO;
-        b.iter(|| {
-            i += 1;
-            now += 20;
-            wpq.enqueue(black_box(BlockAddr(i)), now, &mut nvm)
-        })
+
+    let mut nvm = NvmTiming::new(NvmConfig::default());
+    let mut wpq = WritePendingQueue::new(32);
+    let mut i = 0u64;
+    let mut now = Cycle::ZERO;
+    bench("wpq_enqueue", || {
+        i += 1;
+        now += 20;
+        wpq.enqueue(black_box(BlockAddr(i)), now, &mut nvm)
     });
 }
 
-fn bench_metadata(c: &mut Criterion) {
-    c.bench_function("metadata_counter_hit", |b| {
-        let cfg = SystemConfig::default();
-        let mut nvm = NvmTiming::new(cfg.nvm);
-        let mut md = MetadataCaches::new(&cfg);
-        md.access(MetadataKind::Counter, 1, true, Cycle::ZERO, &mut nvm);
-        let mut now = Cycle::ZERO;
-        b.iter(|| {
-            now += 2;
-            md.access(MetadataKind::Counter, black_box(1), false, now, &mut nvm)
-        })
+fn bench_metadata() {
+    let cfg = SystemConfig::default();
+    let mut nvm = NvmTiming::new(cfg.nvm);
+    let mut md = MetadataCaches::new(&cfg);
+    md.access(MetadataKind::Counter, 1, true, Cycle::ZERO, &mut nvm);
+    let mut now = Cycle::ZERO;
+    bench("metadata_counter_hit", || {
+        now += 2;
+        md.access(MetadataKind::Counter, black_box(1), false, now, &mut nvm)
     });
 }
 
-criterion_group!(benches, bench_cache, bench_hierarchy, bench_nvm_and_wpq, bench_metadata);
-criterion_main!(benches);
+fn main() {
+    bench_cache();
+    bench_hierarchy();
+    bench_nvm_and_wpq();
+    bench_metadata();
+}

@@ -1,8 +1,7 @@
-//! Criterion microbenchmarks for the SecPB core: per-store simulation
-//! throughput under each scheme, drain costs, and crash/recovery walks.
+//! Microbenchmarks for the SecPB core: per-store simulation throughput
+//! under each scheme, drain costs, and crash/recovery walks.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use secpb_bench::micro::{bench, bench_once, black_box};
 use secpb_core::crash::{CrashKind, DrainPolicy};
 use secpb_core::scheme::Scheme;
 use secpb_core::system::SecureSystem;
@@ -11,82 +10,62 @@ use secpb_sim::config::SystemConfig;
 use secpb_sim::trace::{Access, TraceItem};
 use secpb_workloads::{TraceGenerator, WorkloadProfile};
 
-fn bench_store_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulated_store");
+fn bench_store_throughput() {
     for scheme in [Scheme::Bbb, Scheme::Cobcm, Scheme::Cm, Scheme::NoGap] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.name()),
-            &scheme,
-            |b, &scheme| {
-                let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 1);
-                let mut i = 0u64;
-                b.iter(|| {
-                    i += 1;
-                    // 16-block hot set: mostly coalescing hits.
-                    let addr = Address(0x10_0000 + (i % 16) * 64);
-                    sys.step(black_box(TraceItem::then(9, Access::store(addr, i))));
-                })
-            },
-        );
+        let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 1);
+        let mut i = 0u64;
+        bench(&format!("simulated_store/{}", scheme.name()), || {
+            i += 1;
+            // 16-block hot set: mostly coalescing hits.
+            let addr = Address(0x10_0000 + (i % 16) * 64);
+            sys.step(black_box(TraceItem::then(9, Access::store(addr, i))));
+        });
     }
-    group.finish();
 }
 
-fn bench_workload_replay(c: &mut Criterion) {
-    let mut group = c.benchmark_group("replay_10k_instructions");
-    group.sample_size(10);
+fn bench_workload_replay() {
     for scheme in [Scheme::Bbb, Scheme::Cobcm, Scheme::NoGap] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(scheme.name()),
-            &scheme,
-            |b, &scheme| {
-                let profile = WorkloadProfile::named("gcc").unwrap();
-                b.iter(|| {
-                    let trace = TraceGenerator::new(profile.clone(), 3).generate(10_000);
-                    let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 3);
-                    sys.run_trace(black_box(trace))
-                })
+        let profile = WorkloadProfile::named("gcc").unwrap();
+        bench_once(
+            &format!("replay_10k_instructions/{}", scheme.name()),
+            10,
+            || {
+                let trace = TraceGenerator::new(profile.clone(), 3).generate(10_000);
+                let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 3);
+                sys.run_trace(black_box(trace))
             },
         );
     }
-    group.finish();
 }
 
-fn bench_crash_recovery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("crash_and_recover");
-    group.sample_size(10);
-    group.bench_function("cobcm_2k_blocks", |b| {
-        b.iter(|| {
-            let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 9);
-            let trace: Vec<TraceItem> = (0..2000u64)
-                .map(|i| TraceItem::then(4, Access::store(Address(0x10_0000 + i * 64), i)))
-                .collect();
-            sys.run_trace(trace);
-            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
-            let report = sys.recover();
-            assert!(report.is_consistent());
-            report.blocks_checked
-        })
-    });
-    group.finish();
-}
-
-fn bench_trace_generation(c: &mut Criterion) {
-    c.bench_function("generate_100k_instructions", |b| {
-        let profile = WorkloadProfile::named("gamess").unwrap();
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            TraceGenerator::new(profile.clone(), seed).generate(100_000).len()
-        })
+fn bench_crash_recovery() {
+    bench_once("crash_and_recover/cobcm_2k_blocks", 10, || {
+        let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 9);
+        let trace: Vec<TraceItem> = (0..2000u64)
+            .map(|i| TraceItem::then(4, Access::store(Address(0x10_0000 + i * 64), i)))
+            .collect();
+        sys.run_trace(trace);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        let report = sys.recover();
+        assert!(report.is_consistent());
+        report.blocks_checked
     });
 }
 
-criterion_group!(
-    benches,
-    bench_store_throughput,
-    bench_workload_replay,
-    bench_crash_recovery,
-    bench_trace_generation
-);
-criterion_main!(benches);
+fn bench_trace_generation() {
+    let profile = WorkloadProfile::named("gamess").unwrap();
+    let mut seed = 0u64;
+    bench("generate_100k_instructions", || {
+        seed += 1;
+        TraceGenerator::new(profile.clone(), seed)
+            .generate(100_000)
+            .len()
+    });
+}
+
+fn main() {
+    bench_store_throughput();
+    bench_workload_replay();
+    bench_crash_recovery();
+    bench_trace_generation();
+}

@@ -32,7 +32,10 @@ fn main() {
         ]);
     }
     println!("ABLATION 1: value-independent coalescing (Section IV-A)");
-    println!("{}", render_table(&["scheme", "with (geomean)", "without", "benefit"], &rows));
+    println!(
+        "{}",
+        render_table(&["scheme", "with (geomean)", "without", "benefit"], &rows)
+    );
 
     // 2. BMT pipelining on the early path.
     let mut rows = Vec::new();
@@ -45,7 +48,10 @@ fn main() {
         ]);
     }
     println!("ABLATION 2: one in-flight BMT update vs pipelined (early path)");
-    println!("{}", render_table(&["scheme", "single", "pipelined"], &rows));
+    println!(
+        "{}",
+        render_table(&["scheme", "single", "pipelined"], &rows)
+    );
 
     // 3. Watermarks (COBCM lives off its drain engine).
     let pairs = [(0.9, 0.75), (0.75, 0.5), (0.5, 0.25)];
@@ -61,8 +67,15 @@ fn main() {
     let mut rows = Vec::new();
     for scheme in [Scheme::Cobcm, Scheme::Cm] {
         let (spec, blocking) = ablation_speculative_verification(scheme, instructions);
-        rows.push(vec![scheme.name().to_owned(), overhead_pct(spec), overhead_pct(blocking)]);
+        rows.push(vec![
+            scheme.name().to_owned(),
+            overhead_pct(spec),
+            overhead_pct(blocking),
+        ]);
     }
     println!("ABLATION 4: speculative vs blocking load verification");
-    println!("{}", render_table(&["scheme", "speculative", "blocking"], &rows));
+    println!(
+        "{}",
+        render_table(&["scheme", "speculative", "blocking"], &rows)
+    );
 }

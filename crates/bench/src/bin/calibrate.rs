@@ -27,7 +27,12 @@ fn main() {
 
     let mut rows = Vec::new();
     for (scheme, paper) in PAPER_TABLE4 {
-        let ours = study.averages.iter().find(|(s, _)| *s == scheme).map(|(_, v)| *v).unwrap();
+        let ours = study
+            .averages
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .map(|(_, v)| *v)
+            .unwrap();
         rows.push(vec![
             scheme.name().to_owned(),
             slowdown_label(ours),
@@ -35,12 +40,19 @@ fn main() {
             format!("{:.2}", ours / paper),
         ]);
     }
-    println!("{}", render_table(&["model", "measured", "paper", "ratio"], &rows));
+    println!(
+        "{}",
+        render_table(&["model", "measured", "paper", "ratio"], &rows)
+    );
 
     println!("per-benchmark slowdowns (vs bbb):");
     let mut detail = Vec::new();
     for row in &study.rows {
-        let mut cells = vec![row.name.clone(), format!("{:.1}", row.ppti), format!("{:.1}", row.nwpe)];
+        let mut cells = vec![
+            row.name.clone(),
+            format!("{:.1}", row.ppti),
+            format!("{:.1}", row.nwpe),
+        ];
         cells.extend(row.slowdowns.iter().map(|(_, v)| slowdown_label(*v)));
         detail.push(cells);
     }

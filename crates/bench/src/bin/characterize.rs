@@ -45,7 +45,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "ppti", "hit<=8", "hit<=32", "hit<=256", "nwpe pred@32", "nwpe sim@32"],
+            &[
+                "benchmark",
+                "ppti",
+                "hit<=8",
+                "hit<=32",
+                "hit<=256",
+                "nwpe pred@32",
+                "nwpe sim@32"
+            ],
             &rows
         )
     );

@@ -8,8 +8,10 @@ use secpb_bench::report::render_table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions =
-        args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRUCTIONS);
+    let instructions = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS);
     eprintln!("Figure 6 @ {instructions} instructions/benchmark");
     let study = fig6(instructions);
 
@@ -17,8 +19,11 @@ fn main() {
     headers.extend(study.schemes.iter().map(|s| s.name()));
     let mut rows = Vec::new();
     for row in &study.rows {
-        let mut cells =
-            vec![row.name.clone(), format!("{:.1}", row.ppti), format!("{:.1}", row.nwpe)];
+        let mut cells = vec![
+            row.name.clone(),
+            format!("{:.1}", row.ppti),
+            format!("{:.1}", row.nwpe),
+        ];
         cells.extend(row.slowdowns.iter().map(|(_, v)| format!("{v:.3}")));
         rows.push(cells);
     }
@@ -30,8 +35,7 @@ fn main() {
 
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, serde_json::to_string_pretty(&study).expect("serialize"))
-            .expect("write json");
+        std::fs::write(path, study.to_json().to_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -8,8 +8,10 @@ use secpb_bench::report::render_table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions =
-        args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRUCTIONS);
+    let instructions = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS);
     eprintln!("Figure 7 @ {instructions} instructions/benchmark (CM model)");
     let sweep = fig7(instructions);
 
@@ -27,12 +29,13 @@ fn main() {
     rows.push(mean);
     println!("FIGURE 7: CM execution time normalized to bbb, by SecPB size");
     println!("{}", render_table(&header_refs, &rows));
-    println!("paper anchors: ~2.12x at 8 entries, ~1.24x at 512 entries; diminishing returns past 32-64");
+    println!(
+        "paper anchors: ~2.12x at 8 entries, ~1.24x at 512 entries; diminishing returns past 32-64"
+    );
 
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, serde_json::to_string_pretty(&sweep).expect("serialize"))
-            .expect("write json");
+        std::fs::write(path, sweep.to_json().to_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -9,8 +9,10 @@ use secpb_bench::report::render_table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions =
-        args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRUCTIONS);
+    let instructions = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS);
     eprintln!("Figure 8 @ {instructions} instructions/benchmark (CM model)");
     let study = fig8(instructions);
 
@@ -32,8 +34,7 @@ fn main() {
 
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, serde_json::to_string_pretty(&study).expect("serialize"))
-            .expect("write json");
+        std::fs::write(path, study.to_json().to_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

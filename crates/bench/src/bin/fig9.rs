@@ -9,8 +9,10 @@ use secpb_bench::report::{bar_chart, render_table, slowdown_label};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions =
-        args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRUCTIONS);
+    let instructions = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS);
     eprintln!("Figure 9 @ {instructions} instructions/benchmark");
     let study = fig9(instructions);
 
@@ -27,8 +29,12 @@ fn main() {
     rows.push(mean);
     println!("FIGURE 9: BMF study, execution time normalized to bbb");
     println!("{}", render_table(&headers, &rows));
-    let bars: Vec<(String, f64)> =
-        study.variants.iter().cloned().zip(study.averages.iter().copied()).collect();
+    let bars: Vec<(String, f64)> = study
+        .variants
+        .iter()
+        .cloned()
+        .zip(study.averages.iter().copied())
+        .collect();
     println!("geomean normalized execution time:");
     println!("{}", bar_chart(&bars, 48));
     println!("paper anchors: sp_dbmf 88.9%, sp_sbmf 3.43x, cm_dbmf 33.3%, cm_sbmf 56.6%");
@@ -36,8 +42,7 @@ fn main() {
 
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, serde_json::to_string_pretty(&study).expect("serialize"))
-            .expect("write json");
+        std::fs::write(path, study.to_json().to_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

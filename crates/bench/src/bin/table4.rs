@@ -8,8 +8,10 @@ use secpb_bench::report::{bar_chart, overhead_pct, render_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions =
-        args.first().and_then(|s| s.parse().ok()).unwrap_or(DEFAULT_INSTRUCTIONS);
+    let instructions = args
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS);
     eprintln!("Table IV @ {instructions} instructions/benchmark (paper: 250M on Gem5)");
     let study = table4(instructions);
 
@@ -27,16 +29,21 @@ fn main() {
         })
         .collect();
     println!("TABLE IV: performance overheads, 32-entry SecPB (geometric mean)");
-    println!("{}", render_table(&["model", "slowdown (ours)", "slowdown (paper)"], &rows));
-    let bars: Vec<(String, f64)> =
-        study.averages.iter().map(|(s, v)| (s.name().to_owned(), *v)).collect();
+    println!(
+        "{}",
+        render_table(&["model", "slowdown (ours)", "slowdown (paper)"], &rows)
+    );
+    let bars: Vec<(String, f64)> = study
+        .averages
+        .iter()
+        .map(|(s, v)| (s.name().to_owned(), *v))
+        .collect();
     println!("normalized execution time (1.0 = bbb):");
     println!("{}", bar_chart(&bars, 48));
 
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, serde_json::to_string_pretty(&study).expect("serialize"))
-            .expect("write json");
+        std::fs::write(path, study.to_json().to_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["system", "SuperCap mm3", "Li-Thin mm3", "SuperCap %core", "Li-Thin %core"],
+            &[
+                "system",
+                "SuperCap mm3",
+                "Li-Thin mm3",
+                "SuperCap %core",
+                "Li-Thin %core"
+            ],
             &table
         )
     );
@@ -34,8 +40,11 @@ fn main() {
 
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serialize"))
-            .expect("write json");
+        std::fs::write(
+            path,
+            secpb_bench::experiments::battery_rows_to_json(&rows).to_pretty(),
+        )
+        .expect("write json");
         eprintln!("wrote {path}");
     }
 }

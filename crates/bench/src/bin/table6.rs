@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["entries", "COBCM SuperCap", "COBCM Li-Thin", "NoGap SuperCap", "NoGap Li-Thin"],
+            &[
+                "entries",
+                "COBCM SuperCap",
+                "COBCM Li-Thin",
+                "NoGap SuperCap",
+                "NoGap Li-Thin"
+            ],
             &table
         )
     );
@@ -33,8 +39,11 @@ fn main() {
 
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, serde_json::to_string_pretty(&rows).expect("serialize"))
-            .expect("write json");
+        std::fs::write(
+            path,
+            secpb_bench::experiments::battery_sweep_to_json(&rows).to_pretty(),
+        )
+        .expect("write json");
         eprintln!("wrote {path}");
     }
 }

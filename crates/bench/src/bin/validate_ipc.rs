@@ -42,7 +42,17 @@ fn main() {
     println!("Analytical IPC model vs simulator (NoGap):");
     println!(
         "{}",
-        render_table(&["benchmark", "ppti", "nwpe", "est ipc", "measured ipc", "ratio"], &rows)
+        render_table(
+            &[
+                "benchmark",
+                "ppti",
+                "nwpe",
+                "est ipc",
+                "measured ipc",
+                "ratio"
+            ],
+            &rows
+        )
     );
     println!("paper anchor: gamess est 0.11, measured 0.13 (ratio 1.18);");
     println!("measured should exceed the estimate slightly (MAC/BMT overlap).");

@@ -22,4 +22,5 @@
 
 pub mod analytic;
 pub mod experiments;
+pub mod micro;
 pub mod report;

@@ -29,7 +29,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
     }
     let mut out = String::new();
-    let rule: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let rule: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     let render_row = |cells: &[String]| -> String {
         cells
             .iter()
@@ -98,7 +102,11 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
         } else {
             0
         };
-        let _ = writeln!(out, " {label:<label_w$} |{} {value:.3}", "#".repeat(bar_len));
+        let _ = writeln!(
+            out,
+            " {label:<label_w$} |{} {value:.3}",
+            "#".repeat(bar_len)
+        );
     }
     out
 }
@@ -125,7 +133,11 @@ pub fn grouped_chart(series: &[&str], rows: &[(String, Vec<f64>)], width: usize)
             } else {
                 0
             };
-            let _ = writeln!(out, "   {name:<label_w$} |{} {value:.3}", "#".repeat(bar_len));
+            let _ = writeln!(
+                out,
+                "   {name:<label_w$} |{} {value:.3}",
+                "#".repeat(bar_len)
+            );
         }
     }
     out
@@ -139,7 +151,10 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["a", "long_header"],
-            &[vec!["xxxxx".into(), "1".into()], vec!["y".into(), "2".into()]],
+            &[
+                vec!["xxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -189,7 +204,10 @@ mod tests {
     fn grouped_chart_lists_series_per_row() {
         let chart = grouped_chart(
             &["8e", "32e"],
-            &[("gcc".into(), vec![2.0, 1.0]), ("mcf".into(), vec![1.0, 1.0])],
+            &[
+                ("gcc".into(), vec![2.0, 1.0]),
+                ("mcf".into(), vec![1.0, 1.0]),
+            ],
             8,
         );
         assert!(chart.contains("gcc:"));

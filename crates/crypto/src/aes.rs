@@ -126,7 +126,9 @@ pub struct Aes {
 impl fmt::Debug for Aes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Never print key material.
-        f.debug_struct("Aes").field("size", &self.size).finish_non_exhaustive()
+        f.debug_struct("Aes")
+            .field("size", &self.size)
+            .finish_non_exhaustive()
     }
 }
 
@@ -291,7 +293,10 @@ mod tests {
     use super::*;
 
     fn hex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     #[test]
@@ -340,8 +345,9 @@ mod tests {
 
     #[test]
     fn fips197_appendix_c2_aes192() {
-        let key: [u8; 24] =
-            hex("000102030405060708090a0b0c0d0e0f1011121314151617").try_into().unwrap();
+        let key: [u8; 24] = hex("000102030405060708090a0b0c0d0e0f1011121314151617")
+            .try_into()
+            .unwrap();
         let pt: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
         let aes = Aes::new_192(&key);
         let ct = aes.encrypt_block(&pt);
@@ -351,10 +357,9 @@ mod tests {
 
     #[test]
     fn fips197_appendix_c3_aes256() {
-        let key: [u8; 32] =
-            hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
-                .try_into()
-                .unwrap();
+        let key: [u8; 32] = hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+            .try_into()
+            .unwrap();
         let pt: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
         let aes = Aes::new_256(&key);
         let ct = aes.encrypt_block(&pt);
@@ -387,7 +392,10 @@ mod tests {
         let aes = Aes::new_128(&[0x77; 16]);
         let dbg = format!("{aes:?}");
         assert!(dbg.contains("Aes"));
-        assert!(!dbg.contains("77, 77"), "round keys must not leak into Debug output");
+        assert!(
+            !dbg.contains("77, 77"),
+            "round keys must not leak into Debug output"
+        );
     }
 
     #[test]

@@ -106,7 +106,10 @@ impl BonsaiMerkleForest {
             sub_levels < full_levels,
             "subtree height {sub_levels} must be below the full tree height {full_levels}"
         );
-        assert!(root_cache_entries > 0, "root cache needs at least one entry");
+        assert!(
+            root_cache_entries > 0,
+            "root cache needs at least one entry"
+        );
         let upper = BonsaiMerkleTree::new(key, arity, full_levels - sub_levels);
         BonsaiMerkleForest {
             key: key.to_vec(),
@@ -178,7 +181,10 @@ impl BonsaiMerkleForest {
     ///
     /// Panics if `leaf_index` exceeds [`capacity`](Self::capacity).
     pub fn update_leaf(&mut self, leaf_index: u64, leaf_digest: Digest) -> u64 {
-        assert!(leaf_index < self.capacity(), "leaf {leaf_index} out of range");
+        assert!(
+            leaf_index < self.capacity(),
+            "leaf {leaf_index} out of range"
+        );
         let subtree_id = leaf_index / self.subtree_capacity();
         let local_index = leaf_index % self.subtree_capacity();
         let mut hashes = 0u64;
@@ -191,8 +197,11 @@ impl BonsaiMerkleForest {
             if self.cache.len() == self.cache_capacity {
                 // Fold the evicted subtree's root into the upper tree.
                 let victim = self.cache.pop_front().expect("cache full");
-                let victim_root =
-                    self.subtrees.get(&victim).map(|t| t.root()).expect("cached subtree exists");
+                let victim_root = self
+                    .subtrees
+                    .get(&victim)
+                    .map(|t| t.root())
+                    .expect("cached subtree exists");
                 hashes += u64::from(self.upper.update_leaf(victim, victim_root));
                 self.stats.evictions += 1;
             }
@@ -217,7 +226,11 @@ impl BonsaiMerkleForest {
     pub fn sync_all(&mut self) -> u64 {
         let mut hashes = 0u64;
         while let Some(subtree_id) = self.cache.pop_front() {
-            let root = self.subtrees.get(&subtree_id).expect("cached subtree").root();
+            let root = self
+                .subtrees
+                .get(&subtree_id)
+                .expect("cached subtree")
+                .root();
             hashes += u64::from(self.upper.update_leaf(subtree_id, root));
         }
         self.stats.node_hashes += hashes;
@@ -326,7 +339,10 @@ mod tests {
         f.update_leaf(16, Sha512::digest(b"one"));
         f.update_leaf(32, Sha512::digest(b"two"));
         assert!(!f.is_cached(0));
-        assert!(f.verify_leaf(0, d0), "evicted subtree verifies via upper tree");
+        assert!(
+            f.verify_leaf(0, d0),
+            "evicted subtree verifies via upper tree"
+        );
         assert!(!f.verify_leaf(0, Sha512::digest(b"forged")));
     }
 
@@ -367,7 +383,10 @@ mod tests {
     fn sbmf_mode_works_with_8_levels() {
         let mut f = BonsaiMerkleForest::new(b"k", 2, 8, BmfMode::Sbmf, 4);
         let h = f.update_leaf(0, Sha512::digest(b"x"));
-        assert_eq!(h, 5, "SBMF miss with empty cache hashes only subtree levels");
+        assert_eq!(
+            h, 5,
+            "SBMF miss with empty cache hashes only subtree levels"
+        );
         let h2 = f.update_leaf(1, Sha512::digest(b"y"));
         assert_eq!(h2, 5);
     }

@@ -139,7 +139,10 @@ impl BonsaiMerkleTree {
     }
 
     fn node_digest(&self, level: usize, index: u64) -> Digest {
-        self.nodes[level].get(&index).copied().unwrap_or(self.defaults[level])
+        self.nodes[level]
+            .get(&index)
+            .copied()
+            .unwrap_or(self.defaults[level])
     }
 
     /// Writes a new leaf digest and walks the update to the root.
@@ -151,7 +154,10 @@ impl BonsaiMerkleTree {
     ///
     /// Panics if `leaf_index` is outside the tree's capacity.
     pub fn update_leaf(&mut self, leaf_index: u64, leaf_digest: Digest) -> u32 {
-        assert!(leaf_index < self.capacity(), "leaf {leaf_index} out of range");
+        assert!(
+            leaf_index < self.capacity(),
+            "leaf {leaf_index} out of range"
+        );
         self.nodes[0].insert(leaf_index, leaf_digest);
         let mut index = leaf_index;
         let mut scratch: Vec<Digest> = Vec::with_capacity(self.arity);
@@ -183,14 +189,18 @@ impl BonsaiMerkleTree {
 
     /// Produces an authentication path for a leaf.
     pub fn prove(&self, leaf_index: u64) -> MerkleProof {
-        assert!(leaf_index < self.capacity(), "leaf {leaf_index} out of range");
+        assert!(
+            leaf_index < self.capacity(),
+            "leaf {leaf_index} out of range"
+        );
         let mut levels = Vec::with_capacity(self.levels as usize);
         let mut index = leaf_index;
         for level in 0..self.levels as usize {
             let parent = index / self.arity as u64;
             let first_child = parent * self.arity as u64;
-            let children: Vec<Digest> =
-                (0..self.arity as u64).map(|c| self.node_digest(level, first_child + c)).collect();
+            let children: Vec<Digest> = (0..self.arity as u64)
+                .map(|c| self.node_digest(level, first_child + c))
+                .collect();
             levels.push(children);
             index = parent;
         }
@@ -276,8 +286,9 @@ mod tests {
     fn same_leaves_same_root_regardless_of_order() {
         let mut a = tree();
         let mut b = tree();
-        let items: Vec<(u64, Digest)> =
-            (0..10).map(|i| (i * 6 % 64, Sha512::digest(&[i as u8]))).collect();
+        let items: Vec<(u64, Digest)> = (0..10)
+            .map(|i| (i * 6 % 64, Sha512::digest(&[i as u8])))
+            .collect();
         for (i, d) in &items {
             a.update_leaf(*i, *d);
         }
@@ -312,7 +323,10 @@ mod tests {
         t.update_leaf(3, d1);
         let proof = t.prove(3);
         t.update_leaf(3, Sha512::digest(b"v2"));
-        assert!(!t.verify_proof(&proof, d1), "replayed old state must be rejected");
+        assert!(
+            !t.verify_proof(&proof, d1),
+            "replayed old state must be rejected"
+        );
     }
 
     #[test]
@@ -331,8 +345,9 @@ mod tests {
     #[test]
     fn rebuild_matches_incremental() {
         let mut incr = tree();
-        let leaves: Vec<(u64, Digest)> =
-            (0..20).map(|i| (i as u64 * 3 % 64, Sha512::digest(&[i as u8, 1]))).collect();
+        let leaves: Vec<(u64, Digest)> = (0..20)
+            .map(|i| (i as u64 * 3 % 64, Sha512::digest(&[i as u8, 1])))
+            .collect();
         for (i, d) in &leaves {
             incr.update_leaf(*i, *d);
         }

@@ -9,8 +9,6 @@
 //! Section IV-A notes that SecPB's once-per-dirty-block increments delay
 //! this overflow.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of 64-byte data blocks covered by one counter block (one 4 KB
 /// encryption page).
 pub const BLOCKS_PER_PAGE: usize = 64;
@@ -20,9 +18,7 @@ pub const MINOR_MAX: u8 = 0x7F;
 
 /// The logical encryption counter of one data block: the page's major
 /// counter paired with the block's minor counter.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SplitCounter {
     /// Page-shared major counter.
     pub major: u64,
@@ -72,7 +68,10 @@ pub struct CounterBlock {
 
 impl Default for CounterBlock {
     fn default() -> Self {
-        CounterBlock { major: 0, minors: [0; BLOCKS_PER_PAGE] }
+        CounterBlock {
+            major: 0,
+            minors: [0; BLOCKS_PER_PAGE],
+        }
     }
 }
 
@@ -93,7 +92,10 @@ impl CounterBlock {
     ///
     /// Panics if `idx >= BLOCKS_PER_PAGE`.
     pub fn counter_of(&self, idx: usize) -> SplitCounter {
-        SplitCounter { major: self.major, minor: self.minors[idx] }
+        SplitCounter {
+            major: self.major,
+            minor: self.minors[idx],
+        }
     }
 
     /// Increments block `idx`'s minor counter, handling overflow.
@@ -217,7 +219,11 @@ mod tests {
         assert!(seen.insert(cb.counter_of(2)));
         for _ in 0..300 {
             cb.increment(2);
-            assert!(seen.insert(cb.counter_of(2)), "counter repeated: {:?}", cb.counter_of(2));
+            assert!(
+                seen.insert(cb.counter_of(2)),
+                "counter repeated: {:?}",
+                cb.counter_of(2)
+            );
         }
     }
 
@@ -257,7 +263,10 @@ mod tests {
 
     #[test]
     fn nonce_embeds_major_and_minor() {
-        let c = SplitCounter { major: 0x0102_0304_0506_0708, minor: 0x5A };
+        let c = SplitCounter {
+            major: 0x0102_0304_0506_0708,
+            minor: 0x5A,
+        };
         let n = c.nonce_bytes();
         assert_eq!(u64::from_le_bytes(n[..8].try_into().unwrap()), c.major);
         assert_eq!(n[8], 0x5A);

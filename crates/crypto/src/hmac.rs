@@ -55,7 +55,10 @@ impl HmacSha512 {
             inner_pad[i] = key_block[i] ^ IPAD;
             outer_pad[i] = key_block[i] ^ OPAD;
         }
-        HmacSha512 { inner_pad, outer_pad }
+        HmacSha512 {
+            inner_pad,
+            outer_pad,
+        }
     }
 
     /// Computes the HMAC tag of `message`.

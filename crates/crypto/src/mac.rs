@@ -37,7 +37,9 @@ pub struct BlockMac {
 impl BlockMac {
     /// Creates a MAC engine from a key.
     pub fn new(key: &[u8]) -> Self {
-        BlockMac { hmac: HmacSha512::new(key) }
+        BlockMac {
+            hmac: HmacSha512::new(key),
+        }
     }
 
     /// Computes the MAC of a ciphertext block at `block_addr` with counter
@@ -110,7 +112,10 @@ mod tests {
         let m = mac();
         let ct = [7u8; 64];
         let tag = m.compute(&ct, 10, ctr(0, 1));
-        assert!(!m.verify(&ct, 11, ctr(0, 1), &tag), "same data at wrong address must fail");
+        assert!(
+            !m.verify(&ct, 11, ctr(0, 1), &tag),
+            "same data at wrong address must fail"
+        );
     }
 
     #[test]

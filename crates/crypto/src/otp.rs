@@ -42,7 +42,9 @@ impl OtpEngine {
     /// Creates an engine with an AES-192 key, matching the paper's
     /// Table III energy model (AES-192 for data encryption).
     pub fn new(key: &[u8; 24]) -> Self {
-        OtpEngine { aes: Aes::new_192(key) }
+        OtpEngine {
+            aes: Aes::new_192(key),
+        }
     }
 
     /// Generates the 64-byte pad for a block at `block_addr` (a 64-byte
@@ -150,7 +152,11 @@ mod tests {
         let good = SplitCounter { major: 4, minor: 4 };
         let stale = SplitCounter { major: 4, minor: 3 };
         let ct = e.encrypt(&pt, 100, good);
-        assert_ne!(e.decrypt(&ct, 100, stale), pt, "stale counter must not decrypt");
+        assert_ne!(
+            e.decrypt(&ct, 100, stale),
+            pt,
+            "stale counter must not decrypt"
+        );
     }
 
     #[test]

@@ -86,7 +86,13 @@ impl SgxCounterTree {
         self.root
     }
 
-    fn node_mac(&self, level: usize, index: u64, counters: &[u64; ARITY], parent_counter: u64) -> u64 {
+    fn node_mac(
+        &self,
+        level: usize,
+        index: u64,
+        counters: &[u64; ARITY],
+        parent_counter: u64,
+    ) -> u64 {
         let mut msg = Vec::with_capacity(8 * (ARITY + 3));
         msg.extend_from_slice(&(level as u64).to_le_bytes());
         msg.extend_from_slice(&index.to_le_bytes());
@@ -152,7 +158,10 @@ impl SgxCounterTree {
     pub fn leaf_version(&self, leaf: u64) -> u64 {
         let node_index = leaf / ARITY as u64;
         let slot = (leaf % ARITY as u64) as usize;
-        self.nodes[0].get(&node_index).map(|n| n.counters[slot]).unwrap_or(0)
+        self.nodes[0]
+            .get(&node_index)
+            .map(|n| n.counters[slot])
+            .unwrap_or(0)
     }
 
     /// Verifies that `claimed_version` is the leaf's current version by

@@ -104,7 +104,9 @@ fn cube_le(x: u128, target: U256) -> bool {
 
 /// `x² ≤ target`, treating overflow as "greater".
 fn square_le(x: u128, target: U256) -> bool {
-    U256::from_u128(x).checked_mul_u128(x).is_some_and(|x2| x2 <= target)
+    U256::from_u128(x)
+        .checked_mul_u128(x)
+        .is_some_and(|x2| x2 <= target)
 }
 
 /// Largest `x` in `[lo, hi)` with `pred(x)` true, assuming `pred` is
@@ -233,7 +235,12 @@ impl Sha512 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
         let (_, h) = constants();
-        Sha512 { state: *h, buffer: [0u8; 128], buffered: 0, length_bytes: 0 }
+        Sha512 {
+            state: *h,
+            buffer: [0u8; 128],
+            buffered: 0,
+            length_bytes: 0,
+        }
     }
 
     /// One-shot convenience: hashes `data` and returns the digest.
@@ -414,7 +421,10 @@ mod tests {
         let a = Sha512::digest(b"the quick brown fox");
         let b = Sha512::digest(b"the quick brown foy");
         let differing_bits: u32 =
-            a.0.iter().zip(b.0.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+            a.0.iter()
+                .zip(b.0.iter())
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum();
         // Expect ~256 of 512 bits to flip; anything above 150 shows strong
         // diffusion.
         assert!(differing_bits > 150, "only {differing_bits} bits differ");

@@ -50,7 +50,10 @@ pub struct XtsAes {
 impl XtsAes {
     /// Creates an XTS instance from the data key and the tweak key.
     pub fn new(data_key: &[u8; 16], tweak_key: &[u8; 16]) -> Self {
-        XtsAes { data_cipher: Aes::new_128(data_key), tweak_cipher: Aes::new_128(tweak_key) }
+        XtsAes {
+            data_cipher: Aes::new_128(data_key),
+            tweak_cipher: Aes::new_128(tweak_key),
+        }
     }
 
     fn initial_tweak(&self, block_addr: u64) -> [u8; 16] {
@@ -178,8 +181,14 @@ mod tests {
         let pad = engine.generate(77, ctr); // before data exists
         let data_a = [0xAAu8; 64];
         let data_b = [0xBBu8; 64];
-        assert_eq!(OtpEngine::apply_pad(&data_a, &pad), engine.encrypt(&data_a, 77, ctr));
-        assert_eq!(OtpEngine::apply_pad(&data_b, &pad), engine.encrypt(&data_b, 77, ctr));
+        assert_eq!(
+            OtpEngine::apply_pad(&data_a, &pad),
+            engine.encrypt(&data_a, 77, ctr)
+        );
+        assert_eq!(
+            OtpEngine::apply_pad(&data_b, &pad),
+            engine.encrypt(&data_b, 77, ctr)
+        );
 
         // XTS: a one-byte plaintext change avalanches through the unit —
         // there is no data-independent component to precompute.
@@ -188,7 +197,14 @@ mod tests {
         data_c[0] ^= 1;
         let ct_a = x.encrypt_block(&data_a, 77);
         let ct_c = x.encrypt_block(&data_c, 77);
-        let differing = ct_a[..16].iter().zip(&ct_c[..16]).filter(|(a, b)| a != b).count();
-        assert!(differing > 8, "XTS unit must avalanche, {differing} bytes differ");
+        let differing = ct_a[..16]
+            .iter()
+            .zip(&ct_c[..16])
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(
+            differing > 8,
+            "XTS unit must avalanche, {differing} bytes differ"
+        );
     }
 }

@@ -3,14 +3,10 @@
 //! The paper assumes a cubic battery; its footprint is one face of the
 //! cube, compared against a 5.37 mm² client-class core.
 
-use serde::{Deserialize, Serialize};
-
-use crate::constants::{
-    CORE_AREA_MM2, JOULES_PER_WH, LI_THIN_WH_PER_CM3, SUPERCAP_WH_PER_CM3,
-};
+use crate::constants::{CORE_AREA_MM2, JOULES_PER_WH, LI_THIN_WH_PER_CM3, SUPERCAP_WH_PER_CM3};
 
 /// An energy-source technology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BatteryTech {
     /// Carbon-based supercapacitor (10⁻⁴ Wh/cm³).
     SuperCap,

@@ -17,8 +17,6 @@
 //! early work; eagerly generated metadata enlarges the entry that must be
 //! moved instead.
 
-use serde::{Deserialize, Serialize};
-
 use crate::constants::{
     cache_bytes, entry_bytes, AES192_PER_BYTE, BLOCK_BYTES, BMT_LEVELS, MOVE_MC_TO_PM_PER_BYTE,
     MOVE_PB_TO_PM_PER_BYTE, SHA512_PER_BYTE,
@@ -26,7 +24,7 @@ use crate::constants::{
 
 /// The scheme whose battery is being sized (energy-model view; decoupled
 /// from `secpb-core` so this crate stays dependency-free).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SchemeKind {
     /// Insecure battery-backed buffer.
     Bbb,
@@ -153,8 +151,7 @@ pub fn eadr_energy() -> f64 {
 /// Drain energy (J) of *secure* eADR: every dirty line additionally needs
 /// its full memory tuple generated under the worst-case assumptions.
 pub fn secure_eadr_energy() -> f64 {
-    let lines =
-        (cache_bytes::L1 + cache_bytes::L2 + cache_bytes::L3) / BLOCK_BYTES;
+    let lines = (cache_bytes::L1 + cache_bytes::L2 + cache_bytes::L3) / BLOCK_BYTES;
     let per_line_security =
         counter_fetch_energy() + otp_energy() + bmt_update_energy() + mac_energy();
     eadr_energy() + lines as f64 * per_line_security
@@ -199,7 +196,8 @@ mod tests {
     #[test]
     fn bcm_to_cm_is_the_big_cliff() {
         // Table V: moving the BMT update off the battery shrinks it ~6.5x.
-        let ratio = per_entry_drain_energy(SchemeKind::Bcm) / per_entry_drain_energy(SchemeKind::Cm);
+        let ratio =
+            per_entry_drain_energy(SchemeKind::Bcm) / per_entry_drain_energy(SchemeKind::Cm);
         assert!(ratio > 5.0 && ratio < 10.0, "got {ratio}");
     }
 

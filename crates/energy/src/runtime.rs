@@ -5,8 +5,6 @@
 //! shows the provisioning headroom — the measured energy must never
 //! exceed the provisioned energy, which the integration tests assert.
 
-use serde::{Deserialize, Serialize};
-
 use crate::constants::{
     AES192_PER_BYTE, BLOCK_BYTES, MOVE_MC_TO_PM_PER_BYTE, MOVE_PB_TO_PM_PER_BYTE, SHA512_PER_BYTE,
 };
@@ -14,7 +12,7 @@ use crate::constants::{
 /// The measured work of one crash drain, mirroring
 /// `secpb_core::crash::DrainWork` field-for-field (kept separate so the
 /// energy crate has no dependency on the system model).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct MeasuredWork {
     /// SecPB entries drained.
     pub entries: u64,
@@ -76,14 +74,26 @@ mod tests {
         };
         let measured = measured_energy(&w);
         let provisioned = per_entry_drain_energy(SchemeKind::Cobcm);
-        assert!(measured <= provisioned * 1.001, "{measured} > {provisioned}");
-        assert!(measured > provisioned * 0.95, "should be close to worst case");
+        assert!(
+            measured <= provisioned * 1.001,
+            "{measured} > {provisioned}"
+        );
+        assert!(
+            measured > provisioned * 0.95,
+            "should be close to worst case"
+        );
     }
 
     #[test]
     fn xors_are_free() {
-        let a = MeasuredWork { ciphertexts: 0, ..MeasuredWork::default() };
-        let b = MeasuredWork { ciphertexts: 1_000_000, ..MeasuredWork::default() };
+        let a = MeasuredWork {
+            ciphertexts: 0,
+            ..MeasuredWork::default()
+        };
+        let b = MeasuredWork {
+            ciphertexts: 1_000_000,
+            ..MeasuredWork::default()
+        };
         assert_eq!(measured_energy(&a), measured_energy(&b));
     }
 
@@ -102,11 +112,26 @@ mod tests {
         };
         let e0 = measured_energy(&base);
         for bump in [
-            MeasuredWork { bytes_pb_to_mc: 128, ..base },
-            MeasuredWork { bytes_mc_to_pm: 128, ..base },
-            MeasuredWork { counter_fetches: 2, ..base },
-            MeasuredWork { bmt_node_hashes: 2, ..base },
-            MeasuredWork { bmt_node_fetches: 2, ..base },
+            MeasuredWork {
+                bytes_pb_to_mc: 128,
+                ..base
+            },
+            MeasuredWork {
+                bytes_mc_to_pm: 128,
+                ..base
+            },
+            MeasuredWork {
+                counter_fetches: 2,
+                ..base
+            },
+            MeasuredWork {
+                bmt_node_hashes: 2,
+                ..base
+            },
+            MeasuredWork {
+                bmt_node_fetches: 2,
+                ..base
+            },
             MeasuredWork { otps: 2, ..base },
             MeasuredWork { macs: 2, ..base },
         ] {

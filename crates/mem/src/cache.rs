@@ -101,7 +101,12 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
         let sets = vec![vec![None; config.ways]; config.sets()];
-        Cache { config, sets, use_clock: 0, stats: CacheStats::default() }
+        Cache {
+            config,
+            sets,
+            use_clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -153,7 +158,10 @@ impl Cache {
                 line.state = fill_state;
             }
             self.stats.hits += 1;
-            return AccessOutcome { hit: true, evicted: None };
+            return AccessOutcome {
+                hit: true,
+                evicted: None,
+            };
         }
 
         self.stats.misses += 1;
@@ -161,8 +169,15 @@ impl Cache {
         // Fill path: free way if available.
         let set = &mut self.sets[set_idx];
         if let Some(slot) = set.iter_mut().find(|w| w.is_none()) {
-            *slot = Some(Line { tag, state: fill_state, last_use: clock });
-            return AccessOutcome { hit: false, evicted: None };
+            *slot = Some(Line {
+                tag,
+                state: fill_state,
+                last_use: clock,
+            });
+            return AccessOutcome {
+                hit: false,
+                evicted: None,
+            };
         }
 
         // Evict the LRU way.
@@ -173,14 +188,21 @@ impl Cache {
             .map(|(i, _)| i)
             .expect("non-empty set");
         let victim = set[victim_way].take().expect("victim present");
-        set[victim_way] = Some(Line { tag, state: fill_state, last_use: clock });
+        set[victim_way] = Some(Line {
+            tag,
+            state: fill_state,
+            last_use: clock,
+        });
         if victim.state.needs_writeback() {
             self.stats.dirty_evictions += 1;
         } else {
             self.stats.silent_evictions += 1;
         }
         let evicted_block = self.block_from(set_idx, victim.tag);
-        AccessOutcome { hit: false, evicted: Some((evicted_block, victim.state)) }
+        AccessOutcome {
+            hit: false,
+            evicted: Some((evicted_block, victim.state)),
+        }
     }
 
     /// Returns the state of `block` if resident, without touching LRU or
@@ -188,7 +210,11 @@ impl Cache {
     pub fn probe(&self, block: BlockAddr) -> Option<LineState> {
         let set_idx = self.set_index(block);
         let tag = self.tag(block);
-        self.sets[set_idx].iter().flatten().find(|l| l.tag == tag).map(|l| l.state)
+        self.sets[set_idx]
+            .iter()
+            .flatten()
+            .find(|l| l.tag == tag)
+            .map(|l| l.state)
     }
 
     /// Removes `block` if resident, returning its state.
@@ -207,8 +233,10 @@ impl Cache {
     pub fn set_state(&mut self, block: BlockAddr, state: LineState) {
         let set_idx = self.set_index(block);
         let tag = self.tag(block);
-        if let Some(line) =
-            self.sets[set_idx].iter_mut().flatten().find(|l| l.tag == tag)
+        if let Some(line) = self.sets[set_idx]
+            .iter_mut()
+            .flatten()
+            .find(|l| l.tag == tag)
         {
             line.state = state;
         }
@@ -221,11 +249,14 @@ impl Cache {
 
     /// Iterates over all resident blocks and their states.
     pub fn resident(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
-        self.sets.iter().enumerate().flat_map(move |(set_idx, ways)| {
-            ways.iter()
-                .flatten()
-                .map(move |l| (self.block_from(set_idx, l.tag), l.state))
-        })
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(move |(set_idx, ways)| {
+                ways.iter()
+                    .flatten()
+                    .map(move |l| (self.block_from(set_idx, l.tag), l.state))
+            })
     }
 
     /// Drops every line (used when modelling a power cycle of volatile
@@ -341,7 +372,10 @@ mod tests {
         resident.sort_by_key(|(b, _)| b.index());
         assert_eq!(
             resident,
-            vec![(BlockAddr(0), LineState::Clean), (BlockAddr(1), LineState::Dirty)]
+            vec![
+                (BlockAddr(0), LineState::Clean),
+                (BlockAddr(1), LineState::Dirty)
+            ]
         );
     }
 

@@ -10,6 +10,8 @@
 
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::SystemConfig;
+use secpb_sim::cycle::Cycle;
+use secpb_sim::tracer::{Phase, Tracer};
 
 use crate::cache::{Cache, LineState};
 
@@ -38,6 +40,33 @@ pub struct HierarchyOutcome {
     pub writebacks: Vec<BlockAddr>,
 }
 
+/// Per-level access counts accumulated by the hierarchy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Accesses satisfied by the L1.
+    pub l1_hits: u64,
+    /// Accesses satisfied by the L2.
+    pub l2_hits: u64,
+    /// Accesses satisfied by the LLC.
+    pub l3_hits: u64,
+    /// Accesses that missed every level.
+    pub memory_accesses: u64,
+    /// Truly-dirty LLC victims handed back for NVM write-back.
+    pub writebacks: u64,
+}
+
+impl HierarchyStats {
+    fn note(&mut self, outcome: &HierarchyOutcome) {
+        match outcome.hit_level {
+            HitLevel::L1 => self.l1_hits += 1,
+            HitLevel::L2 => self.l2_hits += 1,
+            HitLevel::L3 => self.l3_hits += 1,
+            HitLevel::Memory => self.memory_accesses += 1,
+        }
+        self.writebacks += outcome.writebacks.len() as u64;
+    }
+}
+
 /// The L1/L2/L3 stack.
 ///
 /// # Example
@@ -53,18 +82,36 @@ pub struct HierarchyOutcome {
 /// let warm = h.load(BlockAddr(7));
 /// assert_eq!(warm.hit_level, HitLevel::L1);
 /// assert_eq!(warm.latency, 2);
+/// assert_eq!(h.stats().l1_hits, 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Hierarchy {
     l1: Cache,
     l2: Cache,
     l3: Cache,
+    stats: HierarchyStats,
 }
 
 impl Hierarchy {
     /// Builds the hierarchy from the system configuration.
     pub fn new(cfg: &SystemConfig) -> Self {
-        Hierarchy { l1: Cache::new(cfg.l1), l2: Cache::new(cfg.l2), l3: Cache::new(cfg.l3) }
+        Hierarchy {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            l3: Cache::new(cfg.l3),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Per-level hit statistics accumulated so far.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Zeroes the per-level statistics (measurement-region boundary);
+    /// cache contents stay warm.
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::default();
     }
 
     /// The L1 cache (for statistics).
@@ -113,6 +160,12 @@ impl Hierarchy {
     }
 
     fn access(&mut self, block: BlockAddr, state: LineState) -> HierarchyOutcome {
+        let outcome = self.access_inner(block, state);
+        self.stats.note(&outcome);
+        outcome
+    }
+
+    fn access_inner(&mut self, block: BlockAddr, state: LineState) -> HierarchyOutcome {
         let mut writebacks = Vec::new();
         let mut latency = self.l1.config().access_latency;
 
@@ -121,7 +174,11 @@ impl Hierarchy {
             self.spill(1, v, s, &mut writebacks);
         }
         if l1_out.hit {
-            return HierarchyOutcome { hit_level: HitLevel::L1, latency, writebacks };
+            return HierarchyOutcome {
+                hit_level: HitLevel::L1,
+                latency,
+                writebacks,
+            };
         }
 
         // Deeper levels take clean copies: the dirty (write-allocated)
@@ -133,7 +190,11 @@ impl Hierarchy {
             self.spill(2, v, s, &mut writebacks);
         }
         if l2_out.hit {
-            return HierarchyOutcome { hit_level: HitLevel::L2, latency, writebacks };
+            return HierarchyOutcome {
+                hit_level: HitLevel::L2,
+                latency,
+                writebacks,
+            };
         }
 
         latency += self.l3.config().access_latency;
@@ -142,15 +203,36 @@ impl Hierarchy {
             self.spill(3, v, s, &mut writebacks);
         }
         if l3_out.hit {
-            return HierarchyOutcome { hit_level: HitLevel::L3, latency, writebacks };
+            return HierarchyOutcome {
+                hit_level: HitLevel::L3,
+                latency,
+                writebacks,
+            };
         }
 
-        HierarchyOutcome { hit_level: HitLevel::Memory, latency, writebacks }
+        HierarchyOutcome {
+            hit_level: HitLevel::Memory,
+            latency,
+            writebacks,
+        }
     }
 
     /// A load: fills all levels clean (unless already dirty).
     pub fn load(&mut self, block: BlockAddr) -> HierarchyOutcome {
         self.access(block, LineState::Clean)
+    }
+
+    /// A load that also emits a [`Phase::MemRead`] span covering the
+    /// cache-walk latency, for cycle-attribution traces.
+    pub fn load_traced(
+        &mut self,
+        block: BlockAddr,
+        now: Cycle,
+        tracer: &mut Tracer,
+    ) -> HierarchyOutcome {
+        let outcome = self.load(block);
+        tracer.span(Phase::MemRead, now, now + outcome.latency);
+        outcome
     }
 
     /// A store: installs/upgrades the line with `state` (the persistent-
@@ -240,7 +322,10 @@ mod tests {
             let out = h.store(BlockAddr(i * 4), LineState::PersistDirty);
             wb.extend(out.writebacks);
         }
-        assert!(wb.is_empty(), "persist-dirty LLC victims are silently discarded");
+        assert!(
+            wb.is_empty(),
+            "persist-dirty LLC victims are silently discarded"
+        );
     }
 
     #[test]
@@ -248,7 +333,7 @@ mod tests {
         let mut h = tiny();
         h.store(BlockAddr(0), LineState::PersistDirty);
         h.store(BlockAddr(2), LineState::PersistDirty); // evicts 0 from L1
-        // Block 0 should now live in L2 still marked persist-dirty.
+                                                        // Block 0 should now live in L2 still marked persist-dirty.
         assert_eq!(h.l2().probe(BlockAddr(0)), Some(LineState::PersistDirty));
     }
 
@@ -269,7 +354,47 @@ mod tests {
         h.store(BlockAddr(0), LineState::Dirty);
         h.clear();
         assert_eq!(h.load(BlockAddr(0)).hit_level, HitLevel::Memory);
-        assert!(h.dirty_blocks().iter().all(|(b, _)| b.index() != 0) || h.dirty_blocks().is_empty());
+        assert!(
+            h.dirty_blocks().iter().all(|(b, _)| b.index() != 0) || h.dirty_blocks().is_empty()
+        );
+    }
+
+    #[test]
+    fn stats_count_hits_per_level() {
+        let mut h = tiny();
+        h.load(BlockAddr(0)); // memory
+        h.load(BlockAddr(0)); // L1
+        h.load(BlockAddr(2)); // memory, evicts 0 to L2
+        h.load(BlockAddr(0)); // L2
+        let s = h.stats();
+        assert_eq!(s.memory_accesses, 2);
+        assert_eq!(s.l1_hits, 1);
+        assert_eq!(s.l2_hits, 1);
+        assert_eq!(s.l3_hits, 0);
+        h.reset_stats();
+        assert_eq!(h.stats(), HierarchyStats::default());
+    }
+
+    #[test]
+    fn stats_count_writebacks() {
+        let mut h = tiny();
+        for i in 0..8u64 {
+            h.store(BlockAddr(i * 4), LineState::Dirty);
+        }
+        assert!(h.stats().writebacks > 0);
+    }
+
+    #[test]
+    fn load_traced_emits_mem_read_span() {
+        let mut h = Hierarchy::new(&SystemConfig::default());
+        let mut t = Tracer::with_capture(16);
+        let out = h.load_traced(BlockAddr(3), Cycle(100), &mut t);
+        assert_eq!(out.hit_level, HitLevel::Memory);
+        assert_eq!(t.count(Phase::MemRead), 1);
+        assert_eq!(t.cycles(Phase::MemRead), out.latency);
+        let ev = &t.events()[0];
+        assert_eq!(ev.begin, 100);
+        assert_eq!(ev.duration, out.latency);
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl MetadataCaches {
 
     /// Creates the caches from explicit geometries (for sweeps).
     pub fn with_configs(counter: CacheConfig, mac: CacheConfig, bmt: CacheConfig) -> Self {
-        MetadataCaches { counter: Cache::new(counter), mac: Cache::new(mac), bmt: Cache::new(bmt) }
+        MetadataCaches {
+            counter: Cache::new(counter),
+            mac: Cache::new(mac),
+            bmt: Cache::new(bmt),
+        }
     }
 
     fn cache_mut(&mut self, kind: MetadataKind) -> &mut Cache {
@@ -125,10 +129,17 @@ impl MetadataCaches {
         let block = Self::region_block(kind, index);
         let cache = self.cache_mut(kind);
         let hit_latency = cache.config().access_latency;
-        let state = if write { LineState::PersistDirty } else { LineState::Clean };
+        let state = if write {
+            LineState::PersistDirty
+        } else {
+            LineState::Clean
+        };
         let outcome = cache.access(block, state);
         if outcome.hit {
-            MetadataAccess { hit: true, done: now + hit_latency }
+            MetadataAccess {
+                hit: true,
+                done: now + hit_latency,
+            }
         } else {
             // Persist-dirty/clean evictions are silent; a plain Dirty
             // eviction (only possible via mark_dirty) writes back.
@@ -166,7 +177,10 @@ mod tests {
     use secpb_sim::config::{NvmConfig, SystemConfig};
 
     fn setup() -> (MetadataCaches, NvmTiming) {
-        (MetadataCaches::new(&SystemConfig::default()), NvmTiming::new(NvmConfig::default()))
+        (
+            MetadataCaches::new(&SystemConfig::default()),
+            NvmTiming::new(NvmConfig::default()),
+        )
     }
 
     #[test]
@@ -217,11 +231,19 @@ mod tests {
     #[test]
     fn clear_empties_all_species() {
         let (mut md, mut nvm) = setup();
-        for kind in [MetadataKind::Counter, MetadataKind::Mac, MetadataKind::BmtNode] {
+        for kind in [
+            MetadataKind::Counter,
+            MetadataKind::Mac,
+            MetadataKind::BmtNode,
+        ] {
             md.access(kind, 0, true, Cycle(0), &mut nvm);
         }
         md.clear();
-        for kind in [MetadataKind::Counter, MetadataKind::Mac, MetadataKind::BmtNode] {
+        for kind in [
+            MetadataKind::Counter,
+            MetadataKind::Mac,
+            MetadataKind::BmtNode,
+        ] {
             assert_eq!(md.cache(kind).occupancy(), 0);
         }
     }
@@ -237,6 +259,10 @@ mod tests {
         for i in 0..(ways + 4) {
             md.access(MetadataKind::Counter, i * sets, true, Cycle(0), &mut nvm);
         }
-        assert_eq!(nvm.stats().writes, writes_before, "persist-dirty evictions are silent");
+        assert_eq!(
+            nvm.stats().writes,
+            writes_before,
+            "persist-dirty evictions are silent"
+        );
     }
 }

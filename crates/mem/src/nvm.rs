@@ -160,7 +160,11 @@ mod tests {
         assert_eq!(n.all_idle_at(), Cycle::ZERO);
         n.read(BlockAddr(0), Cycle(0));
         n.write(BlockAddr(1), Cycle(0));
-        assert_eq!(n.earliest_free(), Cycle::ZERO, "untouched banks remain free");
+        assert_eq!(
+            n.earliest_free(),
+            Cycle::ZERO,
+            "untouched banks remain free"
+        );
         assert_eq!(n.all_idle_at(), Cycle(600));
     }
 

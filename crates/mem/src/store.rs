@@ -197,7 +197,10 @@ mod tests {
         let d = s.read_data(BlockAddr(0));
         assert_eq!(d[5], 1 << 3);
         assert_eq!(d.iter().filter(|&&b| b != 0).count(), 1);
-        assert!(!s.tamper_data(BlockAddr(99), 0, 0), "absent block cannot be tampered");
+        assert!(
+            !s.tamper_data(BlockAddr(99), 0, 0),
+            "absent block cannot be tampered"
+        );
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
             for l in 0..16 {
                 let p = sg.map(l);
                 assert!(p <= 16, "physical {p} beyond spare");
-                assert!(seen.insert(p), "collision at step {step}: logical {l} -> {p}");
+                assert!(
+                    seen.insert(p),
+                    "collision at step {step}: logical {l} -> {p}"
+                );
             }
             sg.on_write(step % 16);
         }

@@ -7,8 +7,8 @@
 //! *backpressure*: when full, an incoming block must wait for the oldest
 //! in-flight NVM write to complete.
 
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::cycle::Cycle;
@@ -116,7 +116,11 @@ impl WritePendingQueue {
 
     /// The cycle by which every queued write has reached the NVM.
     pub fn drained_at(&self) -> Cycle {
-        self.inflight.iter().map(|Reverse(c)| *c).max().unwrap_or(Cycle::ZERO)
+        self.inflight
+            .iter()
+            .map(|Reverse(c)| *c)
+            .max()
+            .unwrap_or(Cycle::ZERO)
     }
 }
 
@@ -126,7 +130,10 @@ mod tests {
     use secpb_sim::config::NvmConfig;
 
     fn setup() -> (WritePendingQueue, NvmTiming) {
-        (WritePendingQueue::new(2), NvmTiming::new(NvmConfig::default()))
+        (
+            WritePendingQueue::new(2),
+            NvmTiming::new(NvmConfig::default()),
+        )
     }
 
     #[test]

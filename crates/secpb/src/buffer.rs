@@ -20,6 +20,9 @@ pub struct SecPbStats {
     pub drained_entries: u64,
     /// Total stores carried by drained entries (NWPE's numerator).
     pub drained_stores: u64,
+    /// Highest occupancy ever reached (battery sizing interest: the
+    /// worst-case drain obligation actually observed).
+    pub peak_occupancy: u64,
 }
 
 impl SecPbStats {
@@ -59,7 +62,12 @@ pub struct SecPb {
 impl SecPb {
     /// Creates an empty buffer.
     pub fn new(config: SecPbConfig) -> Self {
-        SecPb { config, entries: HashMap::new(), next_seq: 0, stats: SecPbStats::default() }
+        SecPb {
+            config,
+            entries: HashMap::new(),
+            next_seq: 0,
+            stats: SecPbStats::default(),
+        }
     }
 
     /// The buffer configuration.
@@ -122,11 +130,17 @@ impl SecPb {
     /// callers must drain first and must coalesce hits.
     pub fn allocate(&mut self, block: BlockAddr, asid: Asid, base: [u8; 64]) -> &mut Entry {
         assert!(!self.is_full(), "SecPB is full; drain before allocating");
-        assert!(!self.contains(block), "{block} already resident; coalesce instead");
+        assert!(
+            !self.contains(block),
+            "{block} already resident; coalesce instead"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.allocations += 1;
-        self.entries.entry(block).or_insert(Entry::new(block, asid, base, seq))
+        self.entries
+            .insert(block, Entry::new(block, asid, base, seq));
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.entries.len() as u64);
+        self.entries.get_mut(&block).expect("just inserted")
     }
 
     /// Removes and returns an entry (drain or migration), updating NWPE
@@ -145,7 +159,11 @@ impl SecPb {
 
     /// The oldest resident entry matching `filter` (drain-process policy).
     pub fn oldest_matching(&self, filter: impl Fn(&Entry) -> bool) -> Option<BlockAddr> {
-        self.entries.values().filter(|e| filter(e)).min_by_key(|e| e.seq).map(|e| e.block)
+        self.entries
+            .values()
+            .filter(|e| filter(e))
+            .min_by_key(|e| e.seq)
+            .map(|e| e.block)
     }
 
     /// Blocks of all resident entries, oldest first.
@@ -173,7 +191,10 @@ mod tests {
     use super::*;
 
     fn pb(entries: usize) -> SecPb {
-        SecPb::new(SecPbConfig { entries, ..SecPbConfig::default() })
+        SecPb::new(SecPbConfig {
+            entries,
+            ..SecPbConfig::default()
+        })
     }
 
     #[test]
@@ -259,6 +280,16 @@ mod tests {
     #[test]
     fn nwpe_of_nothing_is_zero() {
         assert_eq!(SecPbStats::default().nwpe(), 0.0);
+    }
+
+    #[test]
+    fn peak_occupancy_tracks_high_water() {
+        let mut b = pb(4);
+        b.allocate(BlockAddr(0), Asid(0), [0u8; 64]);
+        b.allocate(BlockAddr(1), Asid(0), [0u8; 64]);
+        b.remove(BlockAddr(0));
+        b.allocate(BlockAddr(2), Asid(0), [0u8; 64]);
+        assert_eq!(b.stats().peak_occupancy, 2, "peak was two resident entries");
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub struct Directory<K: Eq + Hash> {
 impl<K: Eq + Hash + Copy> Directory<K> {
     /// Creates an empty directory.
     pub fn new() -> Self {
-        Directory { owner: HashMap::new() }
+        Directory {
+            owner: HashMap::new(),
+        }
     }
 
     /// The current owner core, if any.
@@ -141,7 +143,13 @@ impl CoherenceController {
     /// Panics if the requesting core's SecPB is full when an allocation or
     /// migration is needed (the caller must drain first, as in the
     /// single-core flow).
-    pub fn write(&mut self, core: usize, block: BlockAddr, asid: Asid, base: [u8; 64]) -> CoherenceAction {
+    pub fn write(
+        &mut self,
+        core: usize,
+        block: BlockAddr,
+        asid: Asid,
+        base: [u8; 64],
+    ) -> CoherenceAction {
         match self.directory.owner(block) {
             Some(owner) if owner == core => {
                 self.pbs[core].note_persist();
@@ -150,8 +158,13 @@ impl CoherenceController {
             Some(owner) => {
                 // Migrate: the entry moves wholesale; valid metadata moves
                 // with it so data-value-independent work is not redone.
-                let entry = self.pbs[owner].remove(block).expect("directory tracked entry");
-                assert!(!self.pbs[core].is_full(), "requesting SecPB full: drain first");
+                let entry = self.pbs[owner]
+                    .remove(block)
+                    .expect("directory tracked entry");
+                assert!(
+                    !self.pbs[core].is_full(),
+                    "requesting SecPB full: drain first"
+                );
                 let e = self.pbs[core].allocate(block, entry.asid, entry.plaintext);
                 e.otp = entry.otp;
                 e.ciphertext = entry.ciphertext;
@@ -164,7 +177,10 @@ impl CoherenceController {
                 CoherenceAction::MigratedFrom { from: owner }
             }
             None => {
-                assert!(!self.pbs[core].is_full(), "requesting SecPB full: drain first");
+                assert!(
+                    !self.pbs[core].is_full(),
+                    "requesting SecPB full: drain first"
+                );
                 self.pbs[core].allocate(block, asid, base);
                 self.pbs[core].note_persist();
                 self.directory.claim(block, core);
@@ -180,7 +196,9 @@ impl CoherenceController {
         match self.directory.owner(block) {
             Some(owner) if owner == core => Some(CoherenceAction::LocalHit),
             Some(owner) => {
-                let entry = self.pbs[owner].remove(block).expect("directory tracked entry");
+                let entry = self.pbs[owner]
+                    .remove(block)
+                    .expect("directory tracked entry");
                 self.flushed.push(entry);
                 self.directory.release(block);
                 Some(CoherenceAction::FlushedFrom { from: owner })
@@ -224,8 +242,14 @@ mod tests {
     #[test]
     fn local_write_allocates_once() {
         let mut c = controller();
-        assert_eq!(c.write(0, BlockAddr(1), Asid(0), [0; 64]), CoherenceAction::Allocated);
-        assert_eq!(c.write(0, BlockAddr(1), Asid(0), [0; 64]), CoherenceAction::LocalHit);
+        assert_eq!(
+            c.write(0, BlockAddr(1), Asid(0), [0; 64]),
+            CoherenceAction::Allocated
+        );
+        assert_eq!(
+            c.write(0, BlockAddr(1), Asid(0), [0; 64]),
+            CoherenceAction::LocalHit
+        );
         assert_eq!(c.pb(0).occupancy(), 1);
         assert!(c.replication_free());
     }
@@ -247,7 +271,10 @@ mod tests {
         assert_eq!(c.pb(0).occupancy(), 0);
         assert_eq!(c.pb(1).occupancy(), 1);
         let e = c.pb(1).entry(BlockAddr(1)).unwrap();
-        assert!(e.valid.counter, "data-value-independent metadata travels with the entry");
+        assert!(
+            e.valid.counter,
+            "data-value-independent metadata travels with the entry"
+        );
         assert_eq!(e.counter.minor, 3);
         assert_eq!(e.plaintext, [7; 64]);
         assert!(c.replication_free());
@@ -306,8 +333,16 @@ mod tests {
         let mut d: Directory<BlockAddr> = Directory::new();
         assert!(d.is_empty());
         assert_eq!(d.claim(BlockAddr(1), 0), None);
-        assert_eq!(d.claim(BlockAddr(1), 0), None, "re-claim by same owner is silent");
-        assert_eq!(d.claim(BlockAddr(1), 1), Some(0), "movement reports previous owner");
+        assert_eq!(
+            d.claim(BlockAddr(1), 0),
+            None,
+            "re-claim by same owner is silent"
+        );
+        assert_eq!(
+            d.claim(BlockAddr(1), 1),
+            Some(0),
+            "movement reports previous owner"
+        );
         assert_eq!(d.owner(BlockAddr(1)), Some(1));
         assert_eq!(d.release(BlockAddr(1)), Some(1));
         assert_eq!(d.owner(BlockAddr(1)), None);

@@ -18,7 +18,6 @@
 
 use secpb_sim::addr::{Asid, BlockAddr};
 use secpb_sim::cycle::Cycle;
-use serde::{Deserialize, Serialize};
 
 /// What kind of crash occurred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -57,7 +56,7 @@ pub enum ObserverPolicy {
 
 /// Work performed on battery power during a crash drain, in units the
 /// energy model converts to joules (Table III).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DrainWork {
     /// SecPB entries drained.
     pub entries: u64,
@@ -107,12 +106,12 @@ impl CrashReport {
             ObserverView::Consistent
         } else {
             match policy {
-                ObserverPolicy::Blocking => {
-                    ObserverView::Blocked { until: self.secsync_complete_at }
-                }
-                ObserverPolicy::Warning => {
-                    ObserverView::Warned { consistent_at: self.secsync_complete_at }
-                }
+                ObserverPolicy::Blocking => ObserverView::Blocked {
+                    until: self.secsync_complete_at,
+                },
+                ObserverPolicy::Warning => ObserverView::Warned {
+                    consistent_at: self.secsync_complete_at,
+                },
             }
         }
     }
@@ -187,7 +186,10 @@ mod tests {
             r.observe(ObserverPolicy::Blocking, Cycle(600)),
             ObserverView::Blocked { until: Cycle(900) }
         );
-        assert_eq!(r.observe(ObserverPolicy::Blocking, Cycle(900)), ObserverView::Consistent);
+        assert_eq!(
+            r.observe(ObserverPolicy::Blocking, Cycle(900)),
+            ObserverView::Consistent
+        );
     }
 
     #[test]
@@ -195,19 +197,31 @@ mod tests {
         let r = report();
         assert_eq!(
             r.observe(ObserverPolicy::Warning, Cycle(600)),
-            ObserverView::Warned { consistent_at: Cycle(900) }
+            ObserverView::Warned {
+                consistent_at: Cycle(900)
+            }
         );
-        assert_eq!(r.observe(ObserverPolicy::Warning, Cycle(1000)), ObserverView::Consistent);
+        assert_eq!(
+            r.observe(ObserverPolicy::Warning, Cycle(1000)),
+            ObserverView::Consistent
+        );
     }
 
     #[test]
     fn recovery_report_consistency() {
-        let mut r = RecoveryReport { root_ok: true, blocks_checked: 5, ..Default::default() };
+        let mut r = RecoveryReport {
+            root_ok: true,
+            blocks_checked: 5,
+            ..Default::default()
+        };
         assert!(r.is_consistent());
         assert!(r.integrity_ok());
         r.plaintext_mismatches.push(BlockAddr(1));
         assert!(!r.is_consistent());
-        assert!(r.integrity_ok(), "plaintext mismatch is not an integrity failure");
+        assert!(
+            r.integrity_ok(),
+            "plaintext mismatch is not an integrity failure"
+        );
         r.mac_failures.push(BlockAddr(2));
         assert!(!r.integrity_ok());
     }

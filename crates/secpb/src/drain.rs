@@ -21,6 +21,22 @@ pub struct DrainStats {
     /// Total cycles from issue request to pipeline acceptance
     /// (initiation-interval queueing).
     pub issue_delay_cycles: u64,
+    /// Total end-to-end drain latency (issue request to slot free),
+    /// summed over issued drains.
+    pub latency_cycles: u64,
+    /// Longest single drain observed.
+    pub max_latency_cycles: u64,
+}
+
+impl DrainStats {
+    /// Mean end-to-end latency of a drain, or 0.0 before any issue.
+    pub fn mean_latency(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.latency_cycles as f64 / self.issued as f64
+        }
+    }
 }
 
 /// Models the MC-side drain pipeline: bounded in-flight drains with a
@@ -57,7 +73,11 @@ impl Default for DrainEngine {
 impl DrainEngine {
     /// Creates an idle engine.
     pub fn new() -> Self {
-        DrainEngine { inflight: EventWheel::new(), next_issue: Cycle::ZERO, stats: DrainStats::default() }
+        DrainEngine {
+            inflight: EventWheel::new(),
+            next_issue: Cycle::ZERO,
+            stats: DrainStats::default(),
+        }
     }
 
     /// Statistics so far.
@@ -75,6 +95,9 @@ impl DrainEngine {
         let completion = start + latency;
         self.inflight.schedule(completion, ());
         self.stats.issued += 1;
+        let end_to_end = completion.since(now);
+        self.stats.latency_cycles += end_to_end;
+        self.stats.max_latency_cycles = self.stats.max_latency_cycles.max(end_to_end);
         completion
     }
 
@@ -127,6 +150,18 @@ mod tests {
         let c2 = e.issue(Cycle(5), 40, 360);
         assert_eq!(c2, Cycle(400), "second drain issues at cycle 40");
         assert_eq!(e.stats().issue_delay_cycles, 35);
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let mut e = DrainEngine::new();
+        e.issue(Cycle(0), 40, 100); // end-to-end 100
+        e.issue(Cycle(0), 40, 100); // queued to 40, end-to-end 140
+        let s = e.stats();
+        assert_eq!(s.latency_cycles, 240);
+        assert_eq!(s.max_latency_cycles, 140);
+        assert!((s.mean_latency() - 120.0).abs() < 1e-12);
+        assert_eq!(DrainStats::default().mean_latency(), 0.0);
     }
 
     #[test]

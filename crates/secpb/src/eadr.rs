@@ -27,7 +27,7 @@ use secpb_sim::stats::Stats;
 use secpb_sim::trace::{Access, AccessKind, TraceItem};
 
 use crate::crash::{DrainWork, RecoveryReport};
-use crate::metrics::{counters, RunResult};
+use crate::metrics::{counters, CycleBreakdown, RunResult};
 use crate::scheme::Scheme;
 use crate::tree::{IntegrityTree, TreeKind};
 
@@ -49,7 +49,9 @@ pub struct EadrSystem {
 
 impl std::fmt::Debug for EadrSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EadrSystem").field("now", &self.now).finish_non_exhaustive()
+        f.debug_struct("EadrSystem")
+            .field("now", &self.now)
+            .finish_non_exhaustive()
     }
 }
 
@@ -110,7 +112,8 @@ impl EadrSystem {
     pub fn run_trace<I: IntoIterator<Item = TraceItem>>(&mut self, items: I) -> RunResult {
         for item in items {
             if item.non_mem_instrs > 0 {
-                self.stats.bump_by(counters::INSTRUCTIONS, u64::from(item.non_mem_instrs));
+                self.stats
+                    .bump_by(counters::INSTRUCTIONS, u64::from(item.non_mem_instrs));
                 self.advance(
                     f64::from(item.non_mem_instrs) / f64::from(self.cfg.core.retire_width),
                 );
@@ -124,7 +127,17 @@ impl EadrSystem {
                 }
             }
         }
-        RunResult { scheme: Scheme::Bbb, cycles: self.now.raw(), stats: self.stats.clone() }
+        RunResult {
+            scheme: Scheme::Bbb,
+            cycles: self.now.raw(),
+            // The eADR model has no persist path: everything the core does
+            // is plain retirement/exposure work.
+            breakdown: CycleBreakdown {
+                retire: self.now.raw(),
+                ..CycleBreakdown::default()
+            },
+            stats: self.stats.clone(),
+        }
     }
 
     fn do_load(&mut self, access: Access) {
@@ -175,7 +188,8 @@ impl EadrSystem {
         let mut persisted = self.nvm.read_counters(page);
         persisted.set_counter(slot, ctr);
         self.nvm.write_counters(page, persisted.clone());
-        self.tree.update_leaf(page, Sha512::digest(&persisted.to_bytes()));
+        self.tree
+            .update_leaf(page, Sha512::digest(&persisted.to_bytes()));
         self.nvm.set_bmt_root(self.tree.root());
         self.stats.bump(counters::MACS);
         self.stats.bump(counters::OTPS);
@@ -187,8 +201,12 @@ impl EadrSystem {
     /// model — this is the measured counterpart of Table V's `s_eADR`
     /// worst case.
     pub fn crash(&mut self) -> DrainWork {
-        let dirty: Vec<BlockAddr> =
-            self.hierarchy.dirty_blocks().into_iter().map(|(b, _)| b).collect();
+        let dirty: Vec<BlockAddr> = self
+            .hierarchy
+            .dirty_blocks()
+            .into_iter()
+            .map(|(b, _)| b)
+            .collect();
         let levels = u64::from(self.cfg.security.bmt_levels);
         for &block in &dirty {
             self.persist_tuple(block);
@@ -231,7 +249,9 @@ impl EadrSystem {
             let slot = NvmStore::page_slot_of(block);
             let ctr = self.nvm.read_counters(page).counter_of(slot);
             let ct = self.nvm.read_data(block);
-            if !self.mac_engine.verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
+            if !self
+                .mac_engine
+                .verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
             {
                 report.mac_failures.push(block);
                 continue;
@@ -251,7 +271,9 @@ mod tests {
     use secpb_sim::addr::Address;
 
     fn store_trace(n: u64) -> Vec<TraceItem> {
-        (0..n).map(|i| TraceItem::then(9, Access::store(Address(0x10_0000 + i * 64), i))).collect()
+        (0..n)
+            .map(|i| TraceItem::then(9, Access::store(Address(0x10_0000 + i * 64), i)))
+            .collect()
     }
 
     #[test]
@@ -260,7 +282,11 @@ mod tests {
         let r = sys.run_trace(store_trace(2_000));
         // Durable at L1: no persist-buffer serialization at all.
         assert_eq!(r.stats.get(counters::PERSISTS), 2_000);
-        assert_eq!(r.stats.get("eadr.writebacks"), 0, "nothing left the 4MB LLC");
+        assert_eq!(
+            r.stats.get("eadr.writebacks"),
+            0,
+            "nothing left the 4MB LLC"
+        );
         assert!(r.ipc() > 2.0, "IPC {}", r.ipc());
     }
 
@@ -285,10 +311,12 @@ mod tests {
         eadr.run_trace(trace.clone());
         let ew = eadr.crash();
 
-        let mut secpb =
-            crate::system::SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 3);
+        let mut secpb = crate::system::SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 3);
         secpb.run_trace(trace);
-        let sr = secpb.crash(crate::crash::CrashKind::PowerLoss, crate::crash::DrainPolicy::DrainAll);
+        let sr = secpb.crash(
+            crate::crash::CrashKind::PowerLoss,
+            crate::crash::DrainPolicy::DrainAll,
+        );
 
         let convert = |w: DrainWork| MeasuredWork {
             entries: w.entries,

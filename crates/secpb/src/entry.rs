@@ -18,6 +18,7 @@
 use secpb_crypto::counter::SplitCounter;
 use secpb_crypto::sha512::Digest;
 use secpb_sim::addr::{Asid, BlockAddr};
+use secpb_sim::cycle::Cycle;
 
 use crate::scheme::EarlyWork;
 
@@ -72,6 +73,8 @@ pub struct Entry {
     pub stores: u64,
     /// Allocation sequence number: drains proceed oldest-first.
     pub seq: u64,
+    /// Allocation cycle (drives the entry-lifetime distribution).
+    pub born: Cycle,
 }
 
 impl Entry {
@@ -90,6 +93,7 @@ impl Entry {
             valid: ValidBits::default(),
             stores: 0,
             seq,
+            born: Cycle::ZERO,
         }
     }
 
@@ -134,7 +138,10 @@ mod tests {
         let e = entry();
         assert_eq!(e.valid, ValidBits::default());
         assert_eq!(e.stores, 0);
-        assert!(e.persist_complete(Scheme::Cobcm.early_work()), "COBCM demands nothing");
+        assert!(
+            e.persist_complete(Scheme::Cobcm.early_work()),
+            "COBCM demands nothing"
+        );
         assert!(!e.persist_complete(Scheme::Obcm.early_work()));
     }
 
@@ -157,8 +164,13 @@ mod tests {
     #[test]
     fn store_invalidates_value_dependent_fields_only() {
         let mut e = entry();
-        e.valid =
-            ValidBits { otp: true, ciphertext: true, counter: true, bmt: true, mac: true };
+        e.valid = ValidBits {
+            otp: true,
+            ciphertext: true,
+            counter: true,
+            bmt: true,
+            mac: true,
+        };
         e.apply_store(0, 1, 8);
         assert!(e.valid.counter, "counter is data-value independent");
         assert!(e.valid.otp, "OTP is data-value independent");

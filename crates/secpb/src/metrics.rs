@@ -7,7 +7,7 @@
 //! raw counters with accessors for each, plus slowdown computation against
 //! a baseline run.
 
-use serde::{Deserialize, Serialize};
+use secpb_sim::json::Json;
 use secpb_sim::stats::Stats;
 
 use crate::scheme::Scheme;
@@ -44,15 +44,93 @@ pub mod counters {
     pub const COUNTER_MISSES: &str = "metadata.counter_misses";
     /// Encryption-page overflows (page re-encryption events).
     pub const PAGE_OVERFLOWS: &str = "crypto.page_overflows";
+    /// Loads that missed every cache level.
+    pub const LOAD_MISSES: &str = "mem.load_misses";
+    /// Loads satisfied by the L1.
+    pub const L1_HITS: &str = "mem.l1_hits";
+    /// Loads satisfied by the L2.
+    pub const L2_HITS: &str = "mem.l2_hits";
+    /// Loads satisfied by the LLC.
+    pub const L3_HITS: &str = "mem.l3_hits";
+    /// Memory loads that paid blocking decrypt-and-verify latency.
+    pub const BLOCKING_VERIFICATIONS: &str = "mem.blocking_verifications";
+    /// Cycles the core spent stalled on a full store buffer.
+    pub const SB_STALL_CYCLES: &str = "core.sb_stall_cycles";
+    /// BMT walks performed eagerly at store-accept time.
+    pub const EARLY_BMT_WALKS: &str = "bmt.early_walks";
+    /// BMT node hashes charged to the drain (battery) budget.
+    pub const LATE_BMT_NODE_HASHES: &str = "bmt.late_node_hashes";
+}
+
+/// Well-known histogram names emitted by the system model.
+pub mod histograms {
+    /// SecPB occupancy sampled at every accepted persist.
+    pub const OCCUPANCY: &str = "secpb.occupancy";
+    /// End-to-end drain latency (issue request to slot free), per drain.
+    pub const DRAIN_LATENCY: &str = "secpb.drain_latency";
+    /// Cycles an entry spent resident, allocation to drain.
+    pub const ENTRY_LIFETIME: &str = "secpb.entry_lifetime";
+    /// Stores coalesced into each drained entry (the NWPE distribution).
+    pub const WRITES_PER_ENTRY: &str = "secpb.writes_per_entry";
+}
+
+/// Where the measured cycles went: every advance of the core clock is
+/// attributed to exactly one category, so the fields sum to the run's
+/// `cycles` exactly (the residual between the last retired instruction
+/// and the final store-buffer/SecPB completion lands in `drain_wait`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Instruction retirement at the core's retire width.
+    pub retire: u64,
+    /// Exposed load latency (cache walk, NVM reads, blocking verification).
+    pub load: u64,
+    /// Exposed store-acceptance latency (early metadata work).
+    pub store_accept: u64,
+    /// Full store buffer back-pressure.
+    pub sb_stall: u64,
+    /// NoGap serialization on the previous persist's completion.
+    pub nogap_wait: u64,
+    /// Trailing wait for outstanding persists after the last instruction.
+    pub drain_wait: u64,
+}
+
+impl CycleBreakdown {
+    /// The categories as `(name, cycles)` pairs, in a stable order.
+    pub fn entries(&self) -> [(&'static str, u64); 6] {
+        [
+            ("retire", self.retire),
+            ("load", self.load),
+            ("store_accept", self.store_accept),
+            ("sb_stall", self.sb_stall),
+            ("nogap_wait", self.nogap_wait),
+            ("drain_wait", self.drain_wait),
+        ]
+    }
+
+    /// Sum over all categories; equals the run's `cycles`.
+    pub fn total(&self) -> u64 {
+        self.entries().iter().map(|(_, v)| v).sum()
+    }
+
+    /// JSON object keyed by category name.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        for (name, v) in self.entries() {
+            obj = obj.field(name, v);
+        }
+        obj
+    }
 }
 
 /// The result of replaying one trace on one scheme.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// The scheme that produced this result.
     pub scheme: Scheme,
     /// Total execution cycles.
     pub cycles: u64,
+    /// Where those cycles went; `breakdown.total() == cycles`.
+    pub breakdown: CycleBreakdown,
     /// All raw counters.
     pub stats: Stats,
 }
@@ -86,7 +164,8 @@ impl RunResult {
     /// normalized to the per-store (`sec_wt`) policy, where it would be
     /// exactly 1.0.
     pub fn bmt_updates_per_store(&self) -> f64 {
-        self.stats.ratio(counters::BMT_ROOT_UPDATES, counters::PERSISTS)
+        self.stats
+            .ratio(counters::BMT_ROOT_UPDATES, counters::PERSISTS)
     }
 
     /// Execution-time ratio of `self` to `baseline` (e.g. 1.713 = 71.3%
@@ -111,6 +190,20 @@ impl RunResult {
     pub fn overhead_pct_vs(&self, baseline: &RunResult) -> f64 {
         (self.slowdown_vs(baseline) - 1.0) * 100.0
     }
+
+    /// Full JSON dump: scheme, cycles, derived metrics, cycle breakdown,
+    /// and every raw counter and histogram (the `--stats-json` payload).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("scheme", self.scheme.to_string())
+            .field("cycles", self.cycles)
+            .field("instructions", self.instructions())
+            .field("ipc", self.ipc())
+            .field("ppti", self.ppti())
+            .field("nwpe", self.nwpe())
+            .field("breakdown", self.breakdown.to_json())
+            .field("stats", self.stats.to_json())
+    }
 }
 
 #[cfg(test)]
@@ -123,7 +216,15 @@ mod tests {
         stats.bump_by(counters::PERSISTS, persists);
         stats.bump_by(counters::ALLOCATIONS, allocs);
         stats.bump_by(counters::BMT_ROOT_UPDATES, allocs);
-        RunResult { scheme, cycles, stats }
+        RunResult {
+            scheme,
+            cycles,
+            breakdown: CycleBreakdown {
+                retire: cycles,
+                ..CycleBreakdown::default()
+            },
+            stats,
+        }
     }
 
     #[test]
@@ -149,6 +250,40 @@ mod tests {
         let base = result(Scheme::Bbb, 1000, 999, 50, 10);
         let cm = result(Scheme::Cm, 1713, 1000, 50, 10);
         cm.slowdown_vs(&base);
+    }
+
+    #[test]
+    fn breakdown_sums_and_serializes() {
+        let b = CycleBreakdown {
+            retire: 10,
+            load: 5,
+            store_accept: 3,
+            sb_stall: 2,
+            nogap_wait: 1,
+            drain_wait: 4,
+        };
+        assert_eq!(b.total(), 25);
+        let j = b.to_json();
+        assert_eq!(j.get("load").and_then(Json::as_u64), Some(5));
+        assert_eq!(j.get("drain_wait").and_then(Json::as_u64), Some(4));
+    }
+
+    #[test]
+    fn run_result_json_carries_everything() {
+        let r = result(Scheme::Cm, 2000, 1000, 50, 10);
+        let j = r.to_json();
+        assert_eq!(j.get("scheme").and_then(Json::as_str), Some("cm"));
+        assert_eq!(j.get("cycles").and_then(Json::as_u64), Some(2000));
+        let bd = j.get("breakdown").expect("breakdown present");
+        assert_eq!(bd.get("retire").and_then(Json::as_u64), Some(2000));
+        let stats = j.get("stats").expect("stats present");
+        assert_eq!(
+            stats
+                .get("counters")
+                .and_then(|c| c.get(counters::PERSISTS))
+                .and_then(Json::as_u64),
+            Some(50)
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl MultiCoreSystem {
     ///
     /// Panics if `cores` is zero or the scheme does not use a SecPB.
     pub fn new(cfg: SystemConfig, scheme: Scheme, cores: usize, key_seed: u64) -> Self {
-        assert!(scheme.uses_secpb(), "multi-core model requires a SecPB scheme");
+        assert!(
+            scheme.uses_secpb(),
+            "multi-core model requires a SecPB scheme"
+        );
         let mut aes_key = [0u8; 24];
         for (i, b) in aes_key.iter_mut().enumerate() {
             *b = (key_seed.rotate_left(i as u32) ^ (i as u64 * 0x517C)) as u8;
@@ -161,10 +164,12 @@ impl MultiCoreSystem {
         self.stats.bump("mc.stores");
 
         // Make room in the requesting core's SecPB first.
-        while self.coherence.pb(core).is_full()
-            && !self.coherence.pb(core).contains(block)
-        {
-            let victim = self.coherence.pb(core).oldest().expect("full PB has entries");
+        while self.coherence.pb(core).is_full() && !self.coherence.pb(core).contains(block) {
+            let victim = self
+                .coherence
+                .pb(core)
+                .oldest()
+                .expect("full PB has entries");
             let entry = self.coherence.drain(victim).expect("victim tracked");
             self.flush_entry(entry);
             self.stats.bump("mc.capacity_drains");
@@ -259,7 +264,9 @@ impl MultiCoreSystem {
             let slot = NvmStore::page_slot_of(block);
             let ctr = self.nvm.read_counters(page).counter_of(slot);
             let ct = self.nvm.read_data(block);
-            if !self.mac_engine.verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
+            if !self
+                .mac_engine
+                .verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
             {
                 report.mac_failures.push(block);
                 continue;
@@ -317,7 +324,10 @@ mod tests {
     }
 
     fn st(core: usize, addr: u64, value: u64) -> CoreStore {
-        CoreStore { core, access: Access::store(Address(addr), value).with_asid(Asid(core as u16)) }
+        CoreStore {
+            core,
+            access: Access::store(Address(addr), value).with_asid(Asid(core as u16)),
+        }
     }
 
     #[test]
@@ -337,7 +347,10 @@ mod tests {
         assert_eq!(m.stats().get("mc.migrations"), 1);
         assert!(m.coherence().replication_free());
         // The final value is core 1's store.
-        assert_eq!(m.expected_plaintext(Address(0x10_0000).block())[..8], 2u64.to_le_bytes());
+        assert_eq!(
+            m.expected_plaintext(Address(0x10_0000).block())[..8],
+            2u64.to_le_bytes()
+        );
     }
 
     #[test]
@@ -413,7 +426,10 @@ mod tests {
         assert_eq!(m.stats().get("mc.migrations"), 49);
         m.crash();
         assert!(m.recover().is_consistent());
-        assert_eq!(m.expected_plaintext(Address(0x10_0000).block())[..8], 49u64.to_le_bytes());
+        assert_eq!(
+            m.expected_plaintext(Address(0x10_0000).block())[..8],
+            49u64.to_le_bytes()
+        );
     }
 
     #[test]

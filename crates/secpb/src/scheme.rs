@@ -22,15 +22,13 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 /// Which security-metadata steps a scheme performs *early*, i.e. at store
 /// persist time in the SecPB.
 ///
 /// The steps form the dependency chain of Figure 4:
 /// `counter → {OTP → ciphertext → MAC, BMT}` — so a legal assignment is a
 /// prefix of that chain, which is exactly what the six named schemes are.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EarlyWork {
     /// Fetch and increment the block's split counter.
     pub counter: bool,
@@ -46,12 +44,22 @@ pub struct EarlyWork {
 
 impl EarlyWork {
     /// No early work at all (COBCM / bbb).
-    pub const NONE: EarlyWork =
-        EarlyWork { counter: false, otp: false, bmt: false, ciphertext: false, mac: false };
+    pub const NONE: EarlyWork = EarlyWork {
+        counter: false,
+        otp: false,
+        bmt: false,
+        ciphertext: false,
+        mac: false,
+    };
 
     /// All metadata generated eagerly (NoGap).
-    pub const ALL: EarlyWork =
-        EarlyWork { counter: true, otp: true, bmt: true, ciphertext: true, mac: true };
+    pub const ALL: EarlyWork = EarlyWork {
+        counter: true,
+        otp: true,
+        bmt: true,
+        ciphertext: true,
+        mac: true,
+    };
 
     /// Whether the assignment respects the Figure 4 dependency chain
     /// (each early step's producers are also early).
@@ -67,7 +75,7 @@ impl EarlyWork {
 }
 
 /// An evaluated persistence scheme (Table II of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Scheme {
     /// Battery-backed buffer with no security mechanisms (the insecure
     /// baseline every result is normalized to).
@@ -105,8 +113,14 @@ impl Scheme {
     ];
 
     /// The six SecPB schemes (no baselines), laziest first.
-    pub const SECPB_SCHEMES: [Scheme; 6] =
-        [Scheme::Cobcm, Scheme::Obcm, Scheme::Bcm, Scheme::Cm, Scheme::M, Scheme::NoGap];
+    pub const SECPB_SCHEMES: [Scheme; 6] = [
+        Scheme::Cobcm,
+        Scheme::Obcm,
+        Scheme::Bcm,
+        Scheme::Cm,
+        Scheme::M,
+        Scheme::NoGap,
+    ];
 
     /// The early-work assignment of this scheme.
     ///
@@ -117,10 +131,25 @@ impl Scheme {
             Scheme::Bbb => EarlyWork::NONE,
             Scheme::Sp => EarlyWork::ALL,
             Scheme::Cobcm => EarlyWork::NONE,
-            Scheme::Obcm => EarlyWork { counter: true, ..EarlyWork::NONE },
-            Scheme::Bcm => EarlyWork { counter: true, otp: true, ..EarlyWork::NONE },
-            Scheme::Cm => EarlyWork { counter: true, otp: true, bmt: true, ..EarlyWork::NONE },
-            Scheme::M => EarlyWork { mac: false, ..EarlyWork::ALL },
+            Scheme::Obcm => EarlyWork {
+                counter: true,
+                ..EarlyWork::NONE
+            },
+            Scheme::Bcm => EarlyWork {
+                counter: true,
+                otp: true,
+                ..EarlyWork::NONE
+            },
+            Scheme::Cm => EarlyWork {
+                counter: true,
+                otp: true,
+                bmt: true,
+                ..EarlyWork::NONE
+            },
+            Scheme::M => EarlyWork {
+                mac: false,
+                ..EarlyWork::ALL
+            },
             Scheme::NoGap => EarlyWork::ALL,
         }
     }
@@ -193,10 +222,15 @@ mod tests {
     #[test]
     fn schemes_are_nested_prefixes() {
         // Each SecPB scheme's early set must contain the previous one's.
-        let works: Vec<EarlyWork> =
-            Scheme::SECPB_SCHEMES.iter().map(|s| s.early_work()).collect();
+        let works: Vec<EarlyWork> = Scheme::SECPB_SCHEMES
+            .iter()
+            .map(|s| s.early_work())
+            .collect();
         let count = |w: &EarlyWork| {
-            [w.counter, w.otp, w.bmt, w.ciphertext, w.mac].iter().filter(|&&b| b).count()
+            [w.counter, w.otp, w.bmt, w.ciphertext, w.mac]
+                .iter()
+                .filter(|&&b| b)
+                .count()
         };
         for pair in works.windows(2) {
             assert!(count(&pair[0]) < count(&pair[1]), "{pair:?}");
@@ -206,24 +240,46 @@ mod tests {
     #[test]
     fn all_schemes_respect_dependency_chain() {
         for s in Scheme::ALL {
-            assert!(s.early_work().respects_dependencies(), "{s} violates Figure 4");
+            assert!(
+                s.early_work().respects_dependencies(),
+                "{s} violates Figure 4"
+            );
         }
     }
 
     #[test]
     fn dependency_checker_catches_violations() {
-        let bad = EarlyWork { counter: false, otp: true, ..EarlyWork::NONE };
+        let bad = EarlyWork {
+            counter: false,
+            otp: true,
+            ..EarlyWork::NONE
+        };
         assert!(!bad.respects_dependencies());
-        let bad2 = EarlyWork { counter: true, otp: true, ciphertext: true, mac: false, bmt: false };
+        let bad2 = EarlyWork {
+            counter: true,
+            otp: true,
+            ciphertext: true,
+            mac: false,
+            bmt: false,
+        };
         assert!(bad2.respects_dependencies());
-        let bad3 = EarlyWork { mac: true, ..EarlyWork::NONE };
+        let bad3 = EarlyWork {
+            mac: true,
+            ..EarlyWork::NONE
+        };
         assert!(!bad3.respects_dependencies());
     }
 
     #[test]
     fn table_ii_assignments() {
         assert_eq!(Scheme::Cobcm.early_work(), EarlyWork::NONE);
-        assert_eq!(Scheme::Obcm.early_work(), EarlyWork { counter: true, ..EarlyWork::NONE });
+        assert_eq!(
+            Scheme::Obcm.early_work(),
+            EarlyWork {
+                counter: true,
+                ..EarlyWork::NONE
+            }
+        );
         assert!(Scheme::Bcm.early_work().otp && !Scheme::Bcm.early_work().bmt);
         assert!(Scheme::Cm.early_work().bmt && !Scheme::Cm.early_work().ciphertext);
         assert!(Scheme::M.early_work().ciphertext && !Scheme::M.early_work().mac);
@@ -236,7 +292,10 @@ mod tests {
         assert!(Scheme::Sp.is_secure());
         assert!(!Scheme::Sp.uses_secpb());
         assert!(Scheme::Cobcm.uses_secpb());
-        assert!(Scheme::Bbb.uses_secpb(), "bbb uses the (insecure) persist buffer");
+        assert!(
+            Scheme::Bbb.uses_secpb(),
+            "bbb uses the (insecure) persist buffer"
+        );
     }
 
     #[test]

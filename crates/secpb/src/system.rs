@@ -36,18 +36,96 @@ use secpb_mem::wpq::WritePendingQueue;
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::SystemConfig;
 use secpb_sim::cycle::Cycle;
-use secpb_sim::stats::Stats;
+use secpb_sim::stats::{HistId, StatId, Stats};
 use secpb_sim::trace::{Access, AccessKind, TraceItem};
+use secpb_sim::tracer::{Phase, Tracer};
 
 use crate::buffer::SecPb;
 use crate::crash::{CrashKind, CrashReport, DrainPolicy, DrainWork, RecoveryReport};
 use crate::drain::DrainEngine;
-use crate::metrics::{counters, RunResult};
+use crate::metrics::{counters, histograms, CycleBreakdown, RunResult};
 use crate::scheme::Scheme;
 use crate::tree::{IntegrityTree, TreeKind};
 
 /// BMT arity used throughout (8-ary, 8 levels covers 16 M pages).
 const BMT_ARITY: usize = 8;
+
+/// Typed handles for every hot-path counter and histogram, resolved once
+/// at construction so the store/drain paths never hash a counter name.
+#[derive(Debug, Clone, Copy)]
+struct StatHandles {
+    instructions: StatId,
+    loads: StatId,
+    stores: StatId,
+    persists: StatId,
+    allocations: StatId,
+    drains: StatId,
+    full_stall_cycles: StatId,
+    bmt_root_updates: StatId,
+    bmt_node_hashes: StatId,
+    otps: StatId,
+    macs: StatId,
+    ciphertexts: StatId,
+    counter_increments: StatId,
+    counter_misses: StatId,
+    page_overflows: StatId,
+    load_misses: StatId,
+    l1_hits: StatId,
+    l2_hits: StatId,
+    l3_hits: StatId,
+    blocking_verifications: StatId,
+    sb_stall_cycles: StatId,
+    early_bmt_walks: StatId,
+    late_bmt_node_hashes: StatId,
+    occupancy: HistId,
+    drain_latency: HistId,
+    entry_lifetime: HistId,
+    writes_per_entry: HistId,
+}
+
+impl StatHandles {
+    fn register(stats: &mut Stats) -> Self {
+        StatHandles {
+            instructions: stats.counter(counters::INSTRUCTIONS),
+            loads: stats.counter(counters::LOADS),
+            stores: stats.counter(counters::STORES),
+            persists: stats.counter(counters::PERSISTS),
+            allocations: stats.counter(counters::ALLOCATIONS),
+            drains: stats.counter(counters::DRAINS),
+            full_stall_cycles: stats.counter(counters::FULL_STALL_CYCLES),
+            bmt_root_updates: stats.counter(counters::BMT_ROOT_UPDATES),
+            bmt_node_hashes: stats.counter(counters::BMT_NODE_HASHES),
+            otps: stats.counter(counters::OTPS),
+            macs: stats.counter(counters::MACS),
+            ciphertexts: stats.counter(counters::CIPHERTEXTS),
+            counter_increments: stats.counter(counters::COUNTER_INCREMENTS),
+            counter_misses: stats.counter(counters::COUNTER_MISSES),
+            page_overflows: stats.counter(counters::PAGE_OVERFLOWS),
+            load_misses: stats.counter(counters::LOAD_MISSES),
+            l1_hits: stats.counter(counters::L1_HITS),
+            l2_hits: stats.counter(counters::L2_HITS),
+            l3_hits: stats.counter(counters::L3_HITS),
+            blocking_verifications: stats.counter(counters::BLOCKING_VERIFICATIONS),
+            sb_stall_cycles: stats.counter(counters::SB_STALL_CYCLES),
+            early_bmt_walks: stats.counter(counters::EARLY_BMT_WALKS),
+            late_bmt_node_hashes: stats.counter(counters::LATE_BMT_NODE_HASHES),
+            occupancy: stats.histogram_id(histograms::OCCUPANCY),
+            drain_latency: stats.histogram_id(histograms::DRAIN_LATENCY),
+            entry_lifetime: stats.histogram_id(histograms::ENTRY_LIFETIME),
+            writes_per_entry: stats.histogram_id(histograms::WRITES_PER_ENTRY),
+        }
+    }
+}
+
+/// Attribution target for one core-clock advance (see [`CycleBreakdown`]).
+#[derive(Debug, Clone, Copy)]
+enum Attr {
+    Retire,
+    Load,
+    StoreAccept,
+    SbStall,
+    NogapWait,
+}
 
 /// The complete simulated system.
 pub struct SecureSystem {
@@ -81,6 +159,9 @@ pub struct SecureSystem {
     tree: IntegrityTree,
 
     stats: Stats,
+    h: StatHandles,
+    tracer: Tracer,
+    breakdown: CycleBreakdown,
 }
 
 impl std::fmt::Debug for SecureSystem {
@@ -104,7 +185,12 @@ impl SecureSystem {
 
     /// Builds a system with an explicit integrity-tree organisation
     /// (Figure 9's DBMF/SBMF variants).
-    pub fn with_tree(cfg: SystemConfig, scheme: Scheme, tree_kind: TreeKind, key_seed: u64) -> Self {
+    pub fn with_tree(
+        cfg: SystemConfig,
+        scheme: Scheme,
+        tree_kind: TreeKind,
+        key_seed: u64,
+    ) -> Self {
         let mut aes_key = [0u8; 24];
         for (i, b) in aes_key.iter_mut().enumerate() {
             *b = (key_seed.rotate_left(i as u32) ^ (i as u64 * 0x9E37)) as u8;
@@ -112,6 +198,8 @@ impl SecureSystem {
         let mac_key = key_seed.to_le_bytes();
         let tree_key = (key_seed ^ 0xB111_7AB1E).to_le_bytes();
         let tree = IntegrityTree::new(tree_kind, &tree_key, BMT_ARITY, cfg.security.bmt_levels);
+        let mut stats = Stats::new();
+        let h = StatHandles::register(&mut stats);
         SecureSystem {
             hierarchy: Hierarchy::new(&cfg),
             metadata: MetadataCaches::new(&cfg),
@@ -125,7 +213,10 @@ impl SecureSystem {
             otp_engine: OtpEngine::new(&aes_key),
             mac_engine: BlockMac::new(&mac_key),
             tree,
-            stats: Stats::new(),
+            stats,
+            h,
+            tracer: Tracer::new(),
+            breakdown: CycleBreakdown::default(),
             now: Cycle::ZERO,
             measure_from: Cycle::ZERO,
             frac: 0.0,
@@ -152,6 +243,30 @@ impl SecureSystem {
     /// Raw statistics accumulated so far.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// The cycle-attribution tracer (span aggregates, and captured events
+    /// when capture is enabled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Enables span-event capture (for Chrome-trace export) with the given
+    /// buffer capacity; aggregates are always maintained regardless.
+    /// Discards anything traced so far.
+    pub fn enable_trace_capture(&mut self, capacity: usize) {
+        self.tracer = Tracer::with_capture(capacity);
+    }
+
+    /// Where the measured cycles have gone so far.  `drain_wait` is only
+    /// computed when a run completes, so this in-progress view omits it.
+    pub fn cycle_breakdown(&self) -> CycleBreakdown {
+        self.breakdown
+    }
+
+    /// Per-level hit counts from the data-cache hierarchy.
+    pub fn hierarchy_stats(&self) -> secpb_mem::hierarchy::HierarchyStats {
+        self.hierarchy.stats()
     }
 
     /// The SecPB (for occupancy inspection in tests).
@@ -187,9 +302,12 @@ impl SecureSystem {
             self.step(item);
         }
         let end = self.finish_time();
+        let mut breakdown = self.breakdown;
+        breakdown.drain_wait = end.since(self.now.max(self.measure_from));
         RunResult {
             scheme: self.scheme,
             cycles: end.since(self.measure_from),
+            breakdown,
             stats: self.stats.clone(),
         }
     }
@@ -200,18 +318,25 @@ impl SecureSystem {
     /// paper's fast-forward to a representative SimPoint region.
     pub fn reset_measurement(&mut self) {
         self.measure_from = self.finish_time();
-        self.stats = Stats::new();
+        self.stats.reset();
+        self.tracer.reset();
+        self.breakdown = CycleBreakdown::default();
+        self.hierarchy.reset_stats();
     }
 
     /// Executes a single trace item.
     pub fn step(&mut self, item: TraceItem) {
         if item.non_mem_instrs > 0 {
-            self.stats.bump_by(counters::INSTRUCTIONS, u64::from(item.non_mem_instrs));
-            self.advance(f64::from(item.non_mem_instrs) / f64::from(self.cfg.core.retire_width));
+            self.stats
+                .add(self.h.instructions, u64::from(item.non_mem_instrs));
+            self.advance(
+                f64::from(item.non_mem_instrs) / f64::from(self.cfg.core.retire_width),
+                Attr::Retire,
+            );
         }
         if let Some(access) = item.access {
-            self.stats.bump(counters::INSTRUCTIONS);
-            self.advance(1.0 / f64::from(self.cfg.core.retire_width));
+            self.stats.inc(self.h.instructions);
+            self.advance(1.0 / f64::from(self.cfg.core.retire_width), Attr::Retire);
             match access.kind {
                 AccessKind::Load => self.do_load(access),
                 AccessKind::Store => self.do_store(access),
@@ -226,38 +351,67 @@ impl SecureSystem {
         self.now.max(self.pb_busy_until).max(sb_tail)
     }
 
-    fn advance(&mut self, cycles: f64) {
+    fn advance(&mut self, cycles: f64, attr: Attr) {
         self.frac += cycles;
         let whole = self.frac.floor();
         if whole >= 1.0 {
+            let old = self.now;
             self.now += whole as u64;
             self.frac -= whole;
+            self.attribute(attr, old);
+        }
+    }
+
+    /// Credits the clock movement from `old` to `self.now` to `attr`,
+    /// clipped to the measurement region so the breakdown sums exactly to
+    /// the measured cycles.
+    fn attribute(&mut self, attr: Attr, old: Cycle) {
+        let delta = self
+            .now
+            .max(self.measure_from)
+            .since(old.max(self.measure_from));
+        if delta == 0 {
+            return;
+        }
+        match attr {
+            Attr::Retire => self.breakdown.retire += delta,
+            Attr::Load => self.breakdown.load += delta,
+            Attr::StoreAccept => self.breakdown.store_accept += delta,
+            Attr::SbStall => self.breakdown.sb_stall += delta,
+            Attr::NogapWait => self.breakdown.nogap_wait += delta,
         }
     }
 
     fn do_load(&mut self, access: Access) {
-        self.stats.bump(counters::LOADS);
+        self.stats.inc(self.h.loads);
         let block = access.addr.block();
-        let out = self.hierarchy.load(block);
+        let out = self
+            .hierarchy
+            .load_traced(block, self.now, &mut self.tracer);
         let mut extra = out.latency.saturating_sub(self.cfg.l1.access_latency);
-        if out.hit_level == HitLevel::Memory {
-            let done = self.nvm_timing.read(block, self.now);
-            extra += done.since(self.now);
-            self.stats.bump("mem.load_misses");
-            if self.scheme.is_secure() && !self.cfg.security.speculative_verification {
-                // Blocking verification: decrypt + MAC check before use.
-                extra += self.cfg.security.otp_latency + self.cfg.security.mac_latency;
-                self.stats.bump("mem.blocking_verifications");
+        match out.hit_level {
+            HitLevel::L1 => self.stats.inc(self.h.l1_hits),
+            HitLevel::L2 => self.stats.inc(self.h.l2_hits),
+            HitLevel::L3 => self.stats.inc(self.h.l3_hits),
+            HitLevel::Memory => {
+                let done = self.nvm_timing.read(block, self.now);
+                extra += done.since(self.now);
+                self.stats.inc(self.h.load_misses);
+                if self.scheme.is_secure() && !self.cfg.security.speculative_verification {
+                    // Blocking verification: decrypt + MAC check before use.
+                    extra += self.cfg.security.otp_latency + self.cfg.security.mac_latency;
+                    self.stats.inc(self.h.blocking_verifications);
+                }
             }
         }
         for wb in out.writebacks {
             self.wpq.enqueue(wb, self.now, &mut self.nvm_timing);
         }
-        self.advance(self.cfg.core.load_exposure * extra as f64);
+        self.advance(self.cfg.core.load_exposure * extra as f64, Attr::Load);
     }
 
     fn do_store(&mut self, access: Access) {
-        self.stats.bump(counters::STORES);
+        self.stats.inc(self.h.stores);
         let block = access.addr.block();
         // Architectural effect.
         let entry = self.golden.entry(block).or_insert([0u8; 64]);
@@ -288,7 +442,9 @@ impl SecureSystem {
             // of the full metadata persist (Section IV-B): the store
             // buffer cannot accept a new store until then, so the
             // previous persist serializes with the core directly.
+            let old = self.now;
             self.now = self.now.max(self.pb_busy_until);
+            self.attribute(Attr::NogapWait, old);
         }
         let mut release = self.now.max(self.pb_busy_until);
         self.drain_engine.retire(release);
@@ -302,7 +458,7 @@ impl SecureSystem {
             let e = self.pb.entry_mut(block).expect("present");
             e.apply_store(offset, access.value, size);
             self.pb.note_persist();
-            self.stats.bump(counters::PERSISTS);
+            self.stats.inc(self.h.persists);
             let mut t = release + pb_lat;
             if secure && !self.cfg.security.value_independent_coalescing && ew.counter {
                 // Ablation: redo value-independent metadata on every store.
@@ -331,9 +487,10 @@ impl SecureSystem {
             let base = self.base_plaintext(block);
             let e = self.pb.allocate(block, access.asid, base);
             e.apply_store(offset, access.value, size);
+            e.born = release;
             self.pb.note_persist();
-            self.stats.bump(counters::PERSISTS);
-            self.stats.bump(counters::ALLOCATIONS);
+            self.stats.inc(self.h.persists);
+            self.stats.inc(self.h.allocations);
 
             let mut t = release + pb_lat;
             if self.scheme == Scheme::Obcm {
@@ -358,7 +515,11 @@ impl SecureSystem {
                     }
                 }
             }
-            let bmt_done = if secure && ew.bmt { self.early_bmt_walk(block, t) } else { t };
+            let bmt_done = if secure && ew.bmt {
+                self.early_bmt_walk(block, t)
+            } else {
+                t
+            };
             accept_end = data_done.max(bmt_done);
 
             if self.pb.above_high_watermark() {
@@ -367,9 +528,15 @@ impl SecureSystem {
         }
 
         self.pb_busy_until = accept_end;
+        self.tracer.span(Phase::StorePersist, release, accept_end);
+        self.stats
+            .record(self.h.occupancy, self.pb.occupancy() as u64);
         let work = accept_end.since(release + pb_lat);
         self.push_store_buffer(accept_end);
-        self.advance(self.cfg.core.store_exposure * work as f64);
+        self.advance(
+            self.cfg.core.store_exposure * work as f64,
+            Attr::StoreAccept,
+        );
     }
 
     /// The plaintext a fresh SecPB entry starts from: the block's current
@@ -385,8 +552,10 @@ impl SecureSystem {
         if self.store_buffer.len() >= self.cfg.core.store_buffer_entries {
             let oldest = self.store_buffer.pop_front().expect("full buffer");
             let stall = oldest.since(self.now);
-            self.stats.bump_by("core.sb_stall_cycles", stall);
+            self.stats.add(self.h.sb_stall_cycles, stall);
+            let old = self.now;
             self.now = self.now.max(oldest);
+            self.attribute(Attr::SbStall, old);
         }
         self.store_buffer.push_back(accept_end);
     }
@@ -402,8 +571,12 @@ impl SecureSystem {
                 self.issue_drains(release, 1);
                 continue;
             }
-            let c = self.drain_engine.next_completion().expect("in-flight drain");
-            self.stats.bump_by(counters::FULL_STALL_CYCLES, c.since(release));
+            let c = self
+                .drain_engine
+                .next_completion()
+                .expect("in-flight drain");
+            self.stats.add(self.h.full_stall_cycles, c.since(release));
+            self.tracer.span(Phase::FullStall, release, c);
             release = release.max(c);
             self.drain_engine.retire(release);
         }
@@ -435,8 +608,14 @@ impl SecureSystem {
         let entry = self.pb.remove(block).expect("drain target resident");
         let (ii, latency) = self.drain_timing(&entry, now);
         let completion = self.drain_engine.issue(now, ii, latency);
+        self.tracer.span(Phase::Drain, now, completion);
+        self.stats
+            .record(self.h.drain_latency, completion.since(now));
+        self.stats
+            .record(self.h.entry_lifetime, now.since(entry.born));
+        self.stats.record(self.h.writes_per_entry, entry.stores);
         self.flush_entry(entry);
-        self.stats.bump(counters::DRAINS);
+        self.stats.inc(self.h.drains);
         completion
     }
 
@@ -456,20 +635,31 @@ impl SecureSystem {
 
         if self.scheme.is_secure() {
             if !entry.valid.counter {
-                let md = self.metadata.access(MetadataKind::Counter, page, true, t, &mut self.nvm_timing);
+                let md = self.metadata.access(
+                    MetadataKind::Counter,
+                    page,
+                    true,
+                    t,
+                    &mut self.nvm_timing,
+                );
                 if !md.hit {
-                    self.stats.bump(counters::COUNTER_MISSES);
+                    self.stats.inc(self.h.counter_misses);
                 }
+                self.tracer.span(Phase::CounterFetch, t, md.done + 1);
                 t = md.done + 1;
             }
             let mut data_t = t;
             if !entry.valid.otp {
+                self.tracer
+                    .span(Phase::OtpGen, data_t, data_t + sec.otp_latency);
                 data_t += sec.otp_latency;
             }
             if !entry.valid.ciphertext {
                 data_t += 1;
             }
             if !entry.valid.mac {
+                self.tracer
+                    .span(Phase::Mac, data_t, data_t + sec.mac_latency);
                 data_t += sec.mac_latency;
             }
             let mut bmt_t = t;
@@ -478,10 +668,16 @@ impl SecureSystem {
                 let mut walk = bmt_t;
                 for lvl in 1..=hashes {
                     let idx = (lvl << 32) | (page >> (3 * lvl as u32).min(63));
-                    let md =
-                        self.metadata.access(MetadataKind::BmtNode, idx, true, walk, &mut self.nvm_timing);
+                    let md = self.metadata.access(
+                        MetadataKind::BmtNode,
+                        idx,
+                        true,
+                        walk,
+                        &mut self.nvm_timing,
+                    );
                     walk = md.done + sec.bmt_hash_latency;
                 }
+                self.tracer.span(Phase::BmtUpdate, bmt_t, walk);
                 bmt_t = walk;
             }
             t = data_t.max(bmt_t);
@@ -513,10 +709,13 @@ impl SecureSystem {
     /// counter cache; function through the logical counter state).
     fn early_counter_increment(&mut self, block: BlockAddr, t: Cycle) -> (Cycle, SplitCounter) {
         let page = NvmStore::page_of(block);
-        let md = self.metadata.access(MetadataKind::Counter, page, true, t, &mut self.nvm_timing);
+        let md = self
+            .metadata
+            .access(MetadataKind::Counter, page, true, t, &mut self.nvm_timing);
         if !md.hit {
-            self.stats.bump(counters::COUNTER_MISSES);
+            self.stats.inc(self.h.counter_misses);
         }
+        self.tracer.span(Phase::CounterFetch, t, md.done + 1);
         let ctr = self.increment_logical(block);
         (md.done + 1, ctr)
     }
@@ -528,7 +727,9 @@ impl SecureSystem {
         let e = self.pb.entry_mut(block).expect("present");
         e.otp = pad;
         e.valid.otp = true;
-        self.stats.bump(counters::OTPS);
+        self.stats.inc(self.h.otps);
+        self.tracer
+            .span(Phase::OtpGen, t, t + self.cfg.security.otp_latency);
         t + self.cfg.security.otp_latency
     }
 
@@ -537,18 +738,22 @@ impl SecureSystem {
         debug_assert!(e.valid.otp, "ciphertext requires a valid pad (Figure 4)");
         e.ciphertext = OtpEngine::apply_pad(&e.plaintext, &e.otp);
         e.valid.ciphertext = true;
-        self.stats.bump(counters::CIPHERTEXTS);
+        self.stats.inc(self.h.ciphertexts);
         t + 1
     }
 
     fn early_mac(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
         let e = self.pb.entry(block).expect("present");
         debug_assert!(e.valid.ciphertext, "MAC requires the ciphertext (Figure 4)");
-        let mac = self.mac_engine.compute(&e.ciphertext, block.index(), e.counter);
+        let mac = self
+            .mac_engine
+            .compute(&e.ciphertext, block.index(), e.counter);
         let e = self.pb.entry_mut(block).expect("present");
         e.mac = Some(mac);
         e.valid.mac = true;
-        self.stats.bump(counters::MACS);
+        self.stats.inc(self.h.macs);
+        self.tracer
+            .span(Phase::Mac, t, t + self.cfg.security.mac_latency);
         t + self.cfg.security.mac_latency
     }
 
@@ -558,20 +763,25 @@ impl SecureSystem {
     fn early_bmt_walk(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
         let page = NvmStore::page_of(block);
         let sec = &self.cfg.security;
-        let start =
-            if sec.single_inflight_bmt { t.max(self.bmt_busy_until) } else { t };
+        let start = if sec.single_inflight_bmt {
+            t.max(self.bmt_busy_until)
+        } else {
+            t
+        };
         let hashes = self.tree.update_cost_hashes(page);
         let mut walk = start;
         for lvl in 1..=hashes {
             let idx = (lvl << 32) | (page >> (3 * lvl as u32).min(63));
             let md =
-                self.metadata.access(MetadataKind::BmtNode, idx, true, walk, &mut self.nvm_timing);
+                self.metadata
+                    .access(MetadataKind::BmtNode, idx, true, walk, &mut self.nvm_timing);
             walk = md.done + sec.bmt_hash_latency;
         }
         if sec.single_inflight_bmt {
             self.bmt_busy_until = walk;
         }
-        self.stats.bump("bmt.early_walks");
+        self.stats.inc(self.h.early_bmt_walks);
+        self.tracer.span(Phase::BmtUpdate, start, walk);
         if let Some(e) = self.pb.entry_mut(block) {
             e.valid.bmt = true;
         }
@@ -585,17 +795,20 @@ impl SecureSystem {
         let slot = NvmStore::page_slot_of(block);
         let cb = self.counters.entry(page).or_default();
         let outcome = cb.increment(slot);
-        self.stats.bump(counters::COUNTER_INCREMENTS);
+        self.stats.inc(self.h.counter_increments);
         if outcome == IncrementOutcome::PageOverflow {
             self.reencrypt_page(page);
         }
-        self.counters.get(&page).expect("just inserted").counter_of(slot)
+        self.counters
+            .get(&page)
+            .expect("just inserted")
+            .counter_of(slot)
     }
 
     /// Page re-encryption after a minor-counter overflow (Section IV-A
     /// notes SecPB's once-per-dirty-block increments delay this).
     fn reencrypt_page(&mut self, page: u64) {
-        self.stats.bump(counters::PAGE_OVERFLOWS);
+        self.stats.inc(self.h.page_overflows);
         let old_cb = self.nvm.read_counters(page);
         let new_cb = self.counters.get(&page).expect("page exists").clone();
         let blocks: Vec<BlockAddr> = self
@@ -613,16 +826,16 @@ impl SecureSystem {
             let new_mac = self.mac_engine.compute(&new_ct, block.index(), new_ctr);
             self.nvm.write_data(block, new_ct);
             self.nvm.write_mac(block, new_mac.truncate_u64());
-            self.stats.bump(counters::OTPS);
-            self.stats.bump(counters::CIPHERTEXTS);
-            self.stats.bump(counters::MACS);
+            self.stats.inc(self.h.otps);
+            self.stats.inc(self.h.ciphertexts);
+            self.stats.inc(self.h.macs);
         }
         // Persist the fresh counter block and fold it into the tree.
         self.nvm.write_counters(page, new_cb.clone());
         let digest = Sha512::digest(&new_cb.to_bytes());
         let hashes = self.tree.update_leaf(page, digest);
-        self.stats.bump(counters::BMT_ROOT_UPDATES);
-        self.stats.bump_by(counters::BMT_NODE_HASHES, hashes);
+        self.stats.inc(self.h.bmt_root_updates);
+        self.stats.add(self.h.bmt_node_hashes, hashes);
         self.nvm.set_bmt_root(self.tree.root());
         // Refresh in-flight SecPB entries of the page: their recorded
         // counters are stale after the major bump.
@@ -668,19 +881,19 @@ impl SecureSystem {
         let pad = if entry.valid.otp {
             entry.otp
         } else {
-            self.stats.bump(counters::OTPS);
+            self.stats.inc(self.h.otps);
             self.otp_engine.generate(block.index(), ctr)
         };
         let ct = if entry.valid.ciphertext {
             entry.ciphertext
         } else {
-            self.stats.bump(counters::CIPHERTEXTS);
+            self.stats.inc(self.h.ciphertexts);
             OtpEngine::apply_pad(&entry.plaintext, &pad)
         };
         let mac = match entry.mac {
             Some(m) if entry.valid.mac => m,
             _ => {
-                self.stats.bump(counters::MACS);
+                self.stats.inc(self.h.macs);
                 self.mac_engine.compute(&ct, block.index(), ctr)
             }
         };
@@ -692,13 +905,13 @@ impl SecureSystem {
         self.nvm.write_counters(page, cb.clone());
         let digest = Sha512::digest(&cb.to_bytes());
         let hashes = self.tree.update_leaf(page, digest);
-        self.stats.bump(counters::BMT_ROOT_UPDATES);
-        self.stats.bump_by(counters::BMT_NODE_HASHES, hashes);
+        self.stats.inc(self.h.bmt_root_updates);
+        self.stats.add(self.h.bmt_node_hashes, hashes);
         if !entry.valid.bmt {
             // Only schemes that left the BMT update *late* charge these
             // hashes to the drain (battery) budget; eager schemes already
             // paid at store time.
-            self.stats.bump_by("bmt.late_node_hashes", hashes);
+            self.stats.add(self.h.late_bmt_node_hashes, hashes);
         }
         self.nvm.set_bmt_root(self.tree.root());
     }
@@ -717,19 +930,28 @@ impl SecureSystem {
         // Counter fetch + increment (per store: no coalescing).
         let (t, ctr) = {
             let page = NvmStore::page_of(block);
-            let md =
-                self.metadata.access(MetadataKind::Counter, page, true, release, &mut self.nvm_timing);
+            let md = self.metadata.access(
+                MetadataKind::Counter,
+                page,
+                true,
+                release,
+                &mut self.nvm_timing,
+            );
             if !md.hit {
-                self.stats.bump(counters::COUNTER_MISSES);
+                self.stats.inc(self.h.counter_misses);
             }
+            self.tracer.span(Phase::CounterFetch, release, md.done + 1);
             (md.done + 1, self.increment_logical(block))
         };
 
         // Data-dependent chain and BMT walk in parallel.
         let data_done = t + sec.otp_latency + 1 + sec.mac_latency;
-        self.stats.bump(counters::OTPS);
-        self.stats.bump(counters::CIPHERTEXTS);
-        self.stats.bump(counters::MACS);
+        self.stats.inc(self.h.otps);
+        self.stats.inc(self.h.ciphertexts);
+        self.stats.inc(self.h.macs);
+        self.tracer.span(Phase::OtpGen, t, t + sec.otp_latency);
+        self.tracer
+            .span(Phase::Mac, t + sec.otp_latency + 1, data_done);
         let bmt_done = self.sp_bmt_walk(block, t);
 
         let mut done = data_done.max(bmt_done);
@@ -744,9 +966,13 @@ impl SecureSystem {
         done = a1.max(a2);
 
         self.pb_busy_until = done;
-        self.stats.bump(counters::PERSISTS);
+        self.stats.inc(self.h.persists);
+        self.tracer.span(Phase::StorePersist, release, done);
         self.push_store_buffer(done);
-        self.advance(self.cfg.core.store_exposure * done.since(release) as f64);
+        self.advance(
+            self.cfg.core.store_exposure * done.since(release) as f64,
+            Attr::StoreAccept,
+        );
 
         // Functional: persist the tuple immediately.
         let pt = self.golden.get(&block).copied().unwrap_or([0u8; 64]);
@@ -760,26 +986,32 @@ impl SecureSystem {
         self.nvm.write_counters(page, cb.clone());
         let digest = Sha512::digest(&cb.to_bytes());
         let hashes = self.tree.update_leaf(page, digest);
-        self.stats.bump(counters::BMT_ROOT_UPDATES);
-        self.stats.bump_by(counters::BMT_NODE_HASHES, hashes);
+        self.stats.inc(self.h.bmt_root_updates);
+        self.stats.add(self.h.bmt_node_hashes, hashes);
         self.nvm.set_bmt_root(self.tree.root());
     }
 
     fn sp_bmt_walk(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
         let page = NvmStore::page_of(block);
         let sec = &self.cfg.security;
-        let start = if sec.single_inflight_bmt { t.max(self.bmt_busy_until) } else { t };
+        let start = if sec.single_inflight_bmt {
+            t.max(self.bmt_busy_until)
+        } else {
+            t
+        };
         let hashes = self.tree.update_cost_hashes(page);
         let mut walk = start;
         for lvl in 1..=hashes {
             let idx = (lvl << 32) | (page >> (3 * lvl as u32).min(63));
             let md =
-                self.metadata.access(MetadataKind::BmtNode, idx, true, walk, &mut self.nvm_timing);
+                self.metadata
+                    .access(MetadataKind::BmtNode, idx, true, walk, &mut self.nvm_timing);
             walk = md.done + sec.bmt_hash_latency;
         }
         if sec.single_inflight_bmt {
             self.bmt_busy_until = walk;
         }
+        self.tracer.span(Phase::BmtUpdate, start, walk);
         walk
     }
 
@@ -813,7 +1045,7 @@ impl SecureSystem {
         secsync = secsync.max(self.wpq.drained_at());
         // Fold any cached BMF subtree roots into the upper root.
         let sync_hashes = self.tree.sync();
-        self.stats.bump_by(counters::BMT_NODE_HASHES, sync_hashes);
+        self.stats.add(self.h.bmt_node_hashes, sync_hashes);
         secsync += sync_hashes * self.cfg.security.bmt_hash_latency;
         if self.scheme.is_secure() {
             self.nvm.set_bmt_root(self.tree.root());
@@ -846,14 +1078,20 @@ impl SecureSystem {
             // covered by `bytes_pb_to_mc`; nothing extra accrues here.
             bytes_mc_to_pm: 0,
             counter_fetches: delta(counters::COUNTER_MISSES),
-            bmt_node_hashes: delta("bmt.late_node_hashes"),
-            bmt_node_fetches: delta("bmt.late_node_hashes"),
+            bmt_node_hashes: delta(counters::LATE_BMT_NODE_HASHES),
+            bmt_node_fetches: delta(counters::LATE_BMT_NODE_HASHES),
             otps: delta(counters::OTPS),
             macs: delta(counters::MACS),
             ciphertexts: delta(counters::CIPHERTEXTS),
         };
 
-        CrashReport { kind, at, drain_complete_at, secsync_complete_at: secsync, work }
+        CrashReport {
+            kind,
+            at,
+            drain_complete_at,
+            secsync_complete_at: secsync,
+            work,
+        }
     }
 
     /// Estimated post-crash recovery latency in cycles: fetching every
@@ -901,8 +1139,12 @@ impl SecureSystem {
 
         // Rebuild the tree from the persisted counter blocks.
         let tree_key = (self.key_seed ^ 0xB111_7AB1E).to_le_bytes();
-        let mut rebuilt =
-            IntegrityTree::new(self.tree_kind, &tree_key, BMT_ARITY, self.cfg.security.bmt_levels);
+        let mut rebuilt = IntegrityTree::new(
+            self.tree_kind,
+            &tree_key,
+            BMT_ARITY,
+            self.cfg.security.bmt_levels,
+        );
         let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
         pages.sort_unstable();
         for page in pages {
@@ -918,7 +1160,9 @@ impl SecureSystem {
             let slot = NvmStore::page_slot_of(block);
             let ctr = self.nvm.read_counters(page).counter_of(slot);
             let ct = self.nvm.read_data(block);
-            if !self.mac_engine.verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
+            if !self
+                .mac_engine
+                .verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
             {
                 report.mac_failures.push(block);
                 continue;
@@ -991,7 +1235,13 @@ mod tests {
             })
             .collect();
         let mut results = Vec::new();
-        for scheme in [Scheme::Bbb, Scheme::Cobcm, Scheme::Bcm, Scheme::Cm, Scheme::NoGap] {
+        for scheme in [
+            Scheme::Bbb,
+            Scheme::Cobcm,
+            Scheme::Bcm,
+            Scheme::Cm,
+            Scheme::NoGap,
+        ] {
             let mut sys = system(scheme);
             results.push((scheme, sys.run_trace(trace.clone()).cycles));
         }
@@ -1081,7 +1331,10 @@ mod tests {
         let mut sys = system(Scheme::Cobcm);
         sys.run_trace(store_trace(500, 64));
         assert!(sys.persist_buffer().occupancy() <= sys.config().secpb.entries);
-        assert!(sys.stats().get(counters::DRAINS) > 0, "watermark drains must fire");
+        assert!(
+            sys.stats().get(counters::DRAINS) > 0,
+            "watermark drains must fire"
+        );
     }
 
     #[test]
@@ -1094,7 +1347,10 @@ mod tests {
             .collect();
         let r = sys.run_trace(trace);
         let updates = r.stats.get(counters::ALLOCATIONS);
-        assert!(updates < 40, "400 stores to 4 blocks should allocate rarely, got {updates}");
+        assert!(
+            updates < 40,
+            "400 stores to 4 blocks should allocate rarely, got {updates}"
+        );
     }
 
     #[test]
@@ -1125,9 +1381,15 @@ mod tests {
         // the minor counters climb past 127.
         let mut trace = Vec::new();
         for i in 0..600u64 {
-            trace.push(TraceItem::then(0, Access::store(Address(0x40000 + (i % 2) * 64), i)));
+            trace.push(TraceItem::then(
+                0,
+                Access::store(Address(0x40000 + (i % 2) * 64), i),
+            ));
             // Interleave stores to other pages to force drains (thrash).
-            trace.push(TraceItem::then(0, Access::store(Address(0x80000 + (i % 8) * 4096), i)));
+            trace.push(TraceItem::then(
+                0,
+                Access::store(Address(0x80000 + (i % 8) * 4096), i),
+            ));
         }
         let r = sys.run_trace(trace);
         assert!(
@@ -1156,7 +1418,10 @@ mod tests {
         let small = measure(20);
         let large = measure(400);
         assert!(small > 0);
-        assert!(large > 5 * small, "recovery time must scale: {small} vs {large}");
+        assert!(
+            large > 5 * small,
+            "recovery time must scale: {small} vs {large}"
+        );
     }
 
     #[test]
@@ -1178,7 +1443,12 @@ mod tests {
         };
         let spec = run(true);
         let blocking = run(false);
-        assert!(blocking.cycles > spec.cycles, "{} !> {}", blocking.cycles, spec.cycles);
+        assert!(
+            blocking.cycles > spec.cycles,
+            "{} !> {}",
+            blocking.cycles,
+            spec.cycles
+        );
         assert_eq!(blocking.stats.get("mem.blocking_verifications"), 500);
         assert_eq!(spec.stats.get("mem.blocking_verifications"), 0);
     }
@@ -1190,7 +1460,10 @@ mod tests {
         sys.reset_measurement();
         let r = sys.run_trace(store_trace(50, 64));
         assert_eq!(r.stats.get(counters::STORES), 50, "stats restart at zero");
-        assert!(r.cycles > 0 && r.cycles < 100_000, "cycles measured from the region start");
+        assert!(
+            r.cycles > 0 && r.cycles < 100_000,
+            "cycles measured from the region start"
+        );
     }
 
     #[test]
@@ -1208,10 +1481,55 @@ mod tests {
     }
 
     #[test]
+    fn breakdown_sums_to_cycles_for_all_schemes() {
+        for scheme in Scheme::ALL {
+            let mut sys = system(scheme);
+            let r = sys.run_trace(store_trace(300, 64));
+            assert_eq!(r.breakdown.total(), r.cycles, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn breakdown_sums_after_measurement_reset() {
+        for scheme in Scheme::ALL {
+            let mut sys = system(scheme);
+            sys.run_trace(store_trace(100, 64));
+            sys.reset_measurement();
+            let r = sys.run_trace(store_trace(200, 64));
+            assert_eq!(r.breakdown.total(), r.cycles, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn histograms_and_spans_populate() {
+        let mut sys = system(Scheme::Cobcm);
+        sys.enable_trace_capture(1 << 16);
+        let r = sys.run_trace(store_trace(500, 64));
+        let occ = r
+            .stats
+            .histogram(histograms::OCCUPANCY)
+            .expect("occupancy recorded");
+        assert_eq!(occ.total(), r.stats.get(counters::PERSISTS));
+        let wpe = r
+            .stats
+            .histogram(histograms::WRITES_PER_ENTRY)
+            .expect("NWPE recorded");
+        assert_eq!(wpe.total(), r.stats.get(counters::DRAINS));
+        let lat = r
+            .stats
+            .histogram(histograms::DRAIN_LATENCY)
+            .expect("latency recorded");
+        assert_eq!(lat.total(), r.stats.get(counters::DRAINS));
+        assert_eq!(sys.tracer().count(Phase::StorePersist), 500);
+        assert!(sys.tracer().count(Phase::Drain) > 0);
+        assert!(sys.tracer().cycles(Phase::Drain) > 0);
+        assert!(!sys.tracer().events().is_empty(), "capture was enabled");
+    }
+
+    #[test]
     fn sp_works_with_forest_trees() {
         for kind in [TreeKind::Dbmf, TreeKind::Sbmf] {
-            let mut sys =
-                SecureSystem::with_tree(SystemConfig::default(), Scheme::Sp, kind, 5);
+            let mut sys = SecureSystem::with_tree(SystemConfig::default(), Scheme::Sp, kind, 5);
             sys.run_trace(store_trace(40, 4096));
             sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
             assert!(sys.recover().is_consistent(), "{kind:?}");

@@ -151,8 +151,9 @@ mod tests {
     fn rebuild_equivalence_for_recovery() {
         // Same leaves => same post-sync root, regardless of update order,
         // which is what recovery relies on.
-        let leaves: Vec<(u64, _)> =
-            (0..20u64).map(|i| (i * 37 % 500, Sha512::digest(&[i as u8]))).collect();
+        let leaves: Vec<(u64, _)> = (0..20u64)
+            .map(|i| (i * 37 % 500, Sha512::digest(&[i as u8])))
+            .collect();
         let mut a = IntegrityTree::new(TreeKind::Dbmf, b"k", 8, 8);
         let mut b = IntegrityTree::new(TreeKind::Dbmf, b"k", 8, 8);
         for (l, d) in &leaves {

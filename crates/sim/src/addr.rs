@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Cache block (line) size in bytes used throughout the model.
 pub const BLOCK_SIZE: usize = 64;
 
@@ -28,9 +26,7 @@ pub const BLOCK_SHIFT: u32 = 6;
 /// assert_eq!(a.block_offset(), 0x34);
 /// assert!(a.block_offset() < BLOCK_SIZE);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Address(pub u64);
 
 impl Address {
@@ -80,9 +76,7 @@ impl From<u64> for Address {
 /// assert_eq!(b, BlockAddr(0x49));
 /// assert_eq!(b.base(), Address(0x1240));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockAddr(pub u64);
 
 impl BlockAddr {
@@ -118,9 +112,7 @@ impl From<u64> for BlockAddr {
 /// An address-space identifier, used by the SecPB `drain-process` crash
 /// policy (Section III-B of the paper) to tag buffer entries with the owning
 /// process.
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Asid(pub u16);
 
 impl fmt::Display for Asid {

@@ -7,12 +7,10 @@
 //! exactly; experiment sweeps mutate individual fields through the builder
 //! methods.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cycle::{ns_to_cycles, Cycle};
 
 /// Geometry and access latency of one set-associative cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -32,15 +30,26 @@ impl CacheConfig {
     /// Panics if the geometry is degenerate (zero sizes, capacity not a
     /// multiple of `ways * block_bytes`, or non-power-of-two set count).
     pub fn new(size_bytes: usize, ways: usize, block_bytes: usize, access_latency: u64) -> Self {
-        assert!(size_bytes > 0 && ways > 0 && block_bytes > 0, "degenerate cache geometry");
+        assert!(
+            size_bytes > 0 && ways > 0 && block_bytes > 0,
+            "degenerate cache geometry"
+        );
         assert_eq!(
             size_bytes % (ways * block_bytes),
             0,
             "capacity must be a whole number of sets"
         );
         let sets = size_bytes / (ways * block_bytes);
-        assert!(sets.is_power_of_two(), "set count must be a power of two, got {sets}");
-        CacheConfig { size_bytes, ways, block_bytes, access_latency }
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
+        CacheConfig {
+            size_bytes,
+            ways,
+            block_bytes,
+            access_latency,
+        }
     }
 
     /// Number of sets.
@@ -60,7 +69,7 @@ impl CacheConfig {
 /// abstract core is characterised by a retire width, a base CPI for
 /// non-memory instructions, and a store buffer that backpressures the core
 /// when the SecPB stalls.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CoreConfig {
     /// Core clock frequency in Hz (4.00 GHz in Table I).
     pub freq_hz: f64,
@@ -93,7 +102,7 @@ impl Default for CoreConfig {
 }
 
 /// SecPB configuration (Table I, "SecPB" section).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SecPbConfig {
     /// Number of entries (default 32; swept over 8..=512 in Section VI-D).
     pub entries: usize,
@@ -133,7 +142,7 @@ impl SecPbConfig {
 }
 
 /// Security-mechanism latencies (Table I, "Security Mechanisms").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SecurityConfig {
     /// Bonsai Merkle Tree height in levels (8 in Table I).
     pub bmt_levels: u32,
@@ -175,7 +184,7 @@ impl Default for SecurityConfig {
 }
 
 /// NVM (PCM) timing model parameters (Table I, "NVM").
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NvmConfig {
     /// Capacity in bytes (8 GB).
     pub size_bytes: u64,
@@ -211,7 +220,7 @@ impl Default for NvmConfig {
 }
 
 /// The complete machine configuration (Table I).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemConfig {
     /// Core model.
     pub core: CoreConfig,
@@ -390,5 +399,4 @@ mod tests {
     fn watermark_builder_validates() {
         SystemConfig::default().with_watermarks(0.2, 0.8);
     }
-
 }

@@ -10,8 +10,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// An absolute point in simulated time, measured in core clock cycles.
 ///
 /// `Cycle` is a transparent newtype over `u64`; it exists so that absolute
@@ -28,9 +26,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(done, Cycle(140));
 /// assert_eq!(done - start, 40);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Cycle(pub u64);
 
 impl Cycle {

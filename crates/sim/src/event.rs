@@ -23,7 +23,10 @@ impl<T: Eq> Ord for Scheduled<T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (due, seq) pops
         // first.
-        other.due.cmp(&self.due).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -58,7 +61,10 @@ pub struct EventWheel<T> {
 
 impl<T: Eq> Default for EventWheel<T> {
     fn default() -> Self {
-        EventWheel { heap: BinaryHeap::new(), next_seq: 0 }
+        EventWheel {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 }
 

@@ -9,8 +9,10 @@
 //!   (64-byte blocks throughout, per the paper's Table I),
 //! * [`config`] — the full system configuration from Table I of the paper
 //!   with a builder for sweeps,
-//! * [`stats`] — named counters and histograms used for PPTI/NWPE style
-//!   measurements,
+//! * [`stats`] — typed-handle counters and log-2 histograms used for
+//!   PPTI/NWPE style measurements,
+//! * [`tracer`] — cycle-attribution spans with Chrome trace-event export,
+//! * [`json`] — the dependency-free JSON value used by every exporter,
 //! * [`event`] — a small deterministic event wheel used by the drain engine,
 //! * [`rng`] — a seedable SplitMix64/xoshiro256** generator so simulations
 //!   are reproducible without pulling `rand` into the model crates,
@@ -35,11 +37,15 @@ pub mod addr;
 pub mod config;
 pub mod cycle;
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+pub mod tracer;
 
 pub use addr::{Address, BlockAddr, BLOCK_SIZE};
 pub use config::SystemConfig;
 pub use cycle::Cycle;
+pub use json::Json;
 pub use stats::Stats;
+pub use tracer::{Phase, Tracer};

@@ -3,11 +3,9 @@
 //! The model crates (caches, SecPB, recovery) must be reproducible from a
 //! seed so that property tests and experiment reruns are stable.  We use
 //! xoshiro256** seeded via SplitMix64 — the standard, well-analysed
-//! combination — implemented here directly so the model crates do not need
-//! the `rand` facade (workload *generation* does use `rand`, in
-//! `secpb-workloads`).
-
-use serde::{Deserialize, Serialize};
+//! combination — implemented here directly so no crate in the workspace
+//! needs the `rand` facade (the workspace builds with zero external
+//! dependencies).
 
 /// SplitMix64 step, used to expand a 64-bit seed into xoshiro state.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -29,7 +27,7 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// let mut b = Rng::seed_from(42);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Rng {
     s: [u64; 4],
 }

@@ -1,110 +1,133 @@
-//! Named counters and histograms for simulation statistics.
+//! Typed counters and log-2 histograms for simulation statistics.
 //!
 //! The evaluation section of the paper reports derived statistics such as
 //! *persists per thousand instructions* (PPTI) and *number of writes per
-//! SecPB entry* (NWPE).  [`Stats`] is a string-keyed registry of
-//! [`Counter`]s plus a few [`Histogram`]s; model components increment
-//! counters by well-known names and the bench harness derives the reported
-//! metrics at the end of a run.
+//! SecPB entry* (NWPE).  [`Stats`] is a registry of counters and
+//! [`Log2Histogram`]s with two access paths:
+//!
+//! * **Typed handles** — model components call [`Stats::counter`] /
+//!   [`Stats::histogram_id`] once at construction to resolve a name to a
+//!   dense slot ([`StatId`] / [`HistId`]), then increment through the
+//!   handle on the hot path.  An increment is a single indexed add — no
+//!   string hashing or tree walk per event.
+//! * **String names** — [`Stats::bump`] / [`Stats::get`] look the name up
+//!   (registering it on first use) and are kept for cold paths, tests,
+//!   and ad-hoc counters.
+//!
+//! Names use the dotted convention (`"secpb.persists"`,
+//! `"bmt.root_updates"`, ...).  The name→id map is consulted only at
+//! registration and reporting time; [`Stats::reset`] zeroes every value
+//! while keeping registrations, so handles resolved before a measurement
+//! reset stay valid.
+//!
+//! # Example
+//!
+//! ```
+//! use secpb_sim::stats::Stats;
+//!
+//! let mut s = Stats::new();
+//! let persists = s.counter("secpb.persists");
+//! let instrs = s.counter("core.instructions");
+//! s.inc(persists);
+//! s.add(instrs, 1000);
+//! assert_eq!(s.value(persists), 1);
+//! assert_eq!(s.get("secpb.persists"), 1);
+//! // Persists per thousand instructions:
+//! assert!((s.ratio("secpb.persists", "core.instructions") * 1000.0 - 1.0).abs() < 1e-12);
+//! ```
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::json::Json;
 
-/// A monotonically increasing event counter.
+/// A dense handle to a registered counter.
+///
+/// Obtained from [`Stats::counter`]; valid for the lifetime of the
+/// registry that issued it (including across [`Stats::reset`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatId(u32);
+
+/// A dense handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistId(u32);
+
+/// A histogram with power-of-two bucket boundaries.
+///
+/// Bucket 0 holds only the value 0; bucket *i* (for *i* ≥ 1) holds values
+/// in `[2^(i-1), 2^i - 1]`.  This covers the full `u64` range in at most
+/// 65 buckets with no configuration, which suits the quantities the
+/// simulator distributes (occupancy, latencies in cycles, per-entry
+/// write counts): precise at the low end, logarithmic at the tail.
 ///
 /// # Example
 ///
 /// ```
-/// use secpb_sim::stats::Counter;
+/// use secpb_sim::stats::Log2Histogram;
 ///
-/// let mut c = Counter::default();
-/// c.add(3);
-/// c.inc();
-/// assert_eq!(c.get(), 4);
-/// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Counter(u64);
-
-impl Counter {
-    /// Increments by one.
-    pub fn inc(&mut self) {
-        self.0 += 1;
-    }
-
-    /// Increments by `n`.
-    pub fn add(&mut self, n: u64) {
-        self.0 += n;
-    }
-
-    /// Current value.
-    pub fn get(self) -> u64 {
-        self.0
-    }
-}
-
-impl fmt::Display for Counter {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
-    }
-}
-
-/// A fixed-bucket histogram of `u64` samples.
-///
-/// Buckets are caller-supplied upper bounds; a final implicit overflow
-/// bucket catches everything else.
-///
-/// # Example
-///
-/// ```
-/// use secpb_sim::stats::Histogram;
-///
-/// let mut h = Histogram::new(&[10, 100]);
-/// h.record(5);
-/// h.record(50);
-/// h.record(5000);
-/// assert_eq!(h.counts(), &[1, 1, 1]);
+/// let mut h = Log2Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(6);  // bucket [4, 7]
+/// assert_eq!(h.counts(), &[1, 1, 0, 1]);
 /// assert_eq!(h.total(), 3);
+/// assert_eq!(Log2Histogram::bucket_range(3), (4, 7));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Histogram {
-    bounds: Vec<u64>,
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    /// Per-bucket counts, truncated after the last non-empty bucket.
     counts: Vec<u64>,
-    sum: u128,
     total: u64,
+    sum: u128,
+    min: u64,
     max: u64,
 }
 
-impl Histogram {
-    /// Creates a histogram with the given inclusive bucket upper bounds.
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into: 0 for 0, else `1 + ⌊log2 v⌋`.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive `(lo, hi)` range of bucket `index`.
     ///
     /// # Panics
     ///
-    /// Panics if `bounds` is empty or not strictly increasing.
-    pub fn new(bounds: &[u64]) -> Self {
-        assert!(!bounds.is_empty(), "histogram needs at least one bound");
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must be strictly increasing");
-        Histogram {
-            bounds: bounds.to_vec(),
-            counts: vec![0; bounds.len() + 1],
-            sum: 0,
-            total: 0,
-            max: 0,
+    /// Panics if `index > 64` (no such bucket).
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index <= 64, "log2 bucket index out of range");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
         }
     }
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let idx = self.bounds.partition_point(|&b| b < value);
+        let idx = Self::bucket_index(value);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
         self.counts[idx] += 1;
-        self.sum += u128::from(value);
         self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
 
-    /// Per-bucket sample counts (`bounds.len() + 1` entries, last is
-    /// overflow).
+    /// Per-bucket counts, ending at the last non-empty bucket.
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
@@ -112,6 +135,11 @@ impl Histogram {
     /// Number of samples recorded.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Arithmetic mean of the samples, or 0.0 if empty.
@@ -123,33 +151,130 @@ impl Histogram {
         }
     }
 
+    /// Smallest sample seen, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
     /// Largest sample seen, or 0 if empty.
     pub fn max(&self) -> u64 {
         self.max
     }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Serializes to JSON (`{"total", "sum", "min", "max", "mean",
+    /// "buckets"}` with one `{"bucket", "lo", "hi", "count"}` entry per
+    /// non-empty bucket).
+    ///
+    /// JSON numbers are `f64`, so `sum`/`min`/`max` round-trip exactly
+    /// only below 2⁵³ — far beyond any quantity the simulator records
+    /// (the `bucket` index, not `lo`/`hi`, is what [`Self::from_json`]
+    /// keys on, so the bucket shape itself is exact at any magnitude).
+    pub fn to_json(&self) -> Json {
+        let buckets = Json::Arr(
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| {
+                    let (lo, hi) = Self::bucket_range(i);
+                    Json::obj()
+                        .field("bucket", i)
+                        .field("lo", lo)
+                        .field("hi", hi)
+                        .field("count", c)
+                })
+                .collect(),
+        );
+        Json::obj()
+            .field("total", self.total)
+            .field("sum", self.sum as u64)
+            .field("min", self.min())
+            .field("max", self.max)
+            .field("mean", self.mean())
+            .field("buckets", buckets)
+    }
+
+    /// Reconstructs a histogram from [`Self::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let field = |name: &str| {
+            j.get(name)
+                .and_then(Json::as_u64)
+                .ok_or(format!("bad field {name}"))
+        };
+        let mut h = Log2Histogram::new();
+        for b in j.get("buckets").ok_or("missing buckets")?.items() {
+            let idx = b
+                .get("bucket")
+                .and_then(Json::as_u64)
+                .ok_or("bad bucket index")?;
+            let count = b
+                .get("count")
+                .and_then(Json::as_u64)
+                .ok_or("bad bucket count")?;
+            if idx > 64 {
+                return Err(format!("bucket index {idx} out of range"));
+            }
+            let idx = idx as usize;
+            if idx >= h.counts.len() {
+                h.counts.resize(idx + 1, 0);
+            }
+            h.counts[idx] = count;
+        }
+        h.total = field("total")?;
+        h.sum = u128::from(field("sum")?);
+        h.max = field("max")?;
+        h.min = if h.total == 0 {
+            u64::MAX
+        } else {
+            field("min")?
+        };
+        Ok(h)
+    }
 }
 
-/// String-keyed statistics registry.
-///
-/// Counter names are free-form; the model crates use a dotted convention
-/// (`"secpb.persists"`, `"bmt.root_updates"`, `"l1.miss"`, ...).
-///
-/// # Example
-///
-/// ```
-/// use secpb_sim::stats::Stats;
-///
-/// let mut s = Stats::new();
-/// s.bump("secpb.persists");
-/// s.bump_by("core.instructions", 1000);
-/// assert_eq!(s.get("secpb.persists"), 1);
-/// // Persists per thousand instructions:
-/// assert!((s.ratio("secpb.persists", "core.instructions") * 1000.0 - 1.0).abs() < 1e-12);
-/// ```
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+/// The statistics registry: typed-handle fast path over dense slots, with
+/// a name→id map kept for registration, merging, and reporting.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct Stats {
-    counters: BTreeMap<String, Counter>,
-    histograms: BTreeMap<String, Histogram>,
+    /// `name → StatId.0`; consulted only at registration/report time.
+    counter_ids: BTreeMap<String, u32>,
+    /// Dense counter values, indexed by `StatId`.
+    values: Vec<u64>,
+    /// `name → HistId.0`.
+    hist_ids: BTreeMap<String, u32>,
+    /// Dense histograms, indexed by `HistId`.
+    hists: Vec<Log2Histogram>,
 }
 
 impl Stats {
@@ -158,30 +283,90 @@ impl Stats {
         Stats::default()
     }
 
-    /// Increments the named counter by one, creating it at zero first if
-    /// needed.
+    // ----- registration ---------------------------------------------
+
+    /// Resolves `name` to a counter handle, registering it at zero on
+    /// first use.  Call once per counter, outside the hot loop.
+    pub fn counter(&mut self, name: &str) -> StatId {
+        if let Some(&id) = self.counter_ids.get(name) {
+            return StatId(id);
+        }
+        let id = u32::try_from(self.values.len()).expect("too many counters");
+        self.values.push(0);
+        self.counter_ids.insert(name.to_owned(), id);
+        StatId(id)
+    }
+
+    /// Resolves `name` to a histogram handle, registering an empty
+    /// log-2 histogram on first use.
+    pub fn histogram_id(&mut self, name: &str) -> HistId {
+        if let Some(&id) = self.hist_ids.get(name) {
+            return HistId(id);
+        }
+        let id = u32::try_from(self.hists.len()).expect("too many histograms");
+        self.hists.push(Log2Histogram::new());
+        self.hist_ids.insert(name.to_owned(), id);
+        HistId(id)
+    }
+
+    // ----- typed fast path ------------------------------------------
+
+    /// Increments a registered counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: StatId) {
+        self.values[id.0 as usize] += 1;
+    }
+
+    /// Increments a registered counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: StatId, n: u64) {
+        self.values[id.0 as usize] += n;
+    }
+
+    /// A registered counter's current value.
+    #[inline]
+    pub fn value(&self, id: StatId) -> u64 {
+        self.values[id.0 as usize]
+    }
+
+    /// Records a sample into a registered histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistId, value: u64) {
+        self.hists[id.0 as usize].record(value);
+    }
+
+    /// A registered histogram.
+    #[inline]
+    pub fn hist(&self, id: HistId) -> &Log2Histogram {
+        &self.hists[id.0 as usize]
+    }
+
+    // ----- string-keyed slow path -----------------------------------
+
+    /// Increments the named counter by one, registering it if needed.
+    ///
+    /// Cold-path convenience: resolves the name on every call.  Hot
+    /// loops should hold a [`StatId`] and use [`Self::inc`].
     pub fn bump(&mut self, name: &str) {
         self.bump_by(name, 1);
     }
 
-    /// Increments the named counter by `n`.
+    /// Increments the named counter by `n` (slow path; see [`Self::bump`]).
     pub fn bump_by(&mut self, name: &str, n: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            c.add(n);
-        } else {
-            let mut c = Counter::default();
-            c.add(n);
-            self.counters.insert(name.to_owned(), c);
-        }
+        let id = self.counter(name);
+        self.add(id, n);
     }
 
-    /// Returns the counter's value, or 0 if it was never bumped.
+    /// Returns the named counter's value, or 0 if it was never
+    /// registered.
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or_default().get()
+        self.counter_ids
+            .get(name)
+            .map_or(0, |&id| self.values[id as usize])
     }
 
-    /// `numerator / denominator` over two counters; 0.0 if the denominator
-    /// is zero.
+    /// `numerator / denominator` over two counters; 0.0 if the
+    /// denominator is zero.
     pub fn ratio(&self, numerator: &str, denominator: &str) -> f64 {
         let d = self.get(denominator);
         if d == 0 {
@@ -191,51 +376,69 @@ impl Stats {
         }
     }
 
-    /// Records a sample into the named histogram, creating it with the
-    /// given bounds on first use.
-    pub fn record(&mut self, name: &str, bounds: &[u64], value: u64) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_insert_with(|| Histogram::new(bounds))
-            .record(value);
+    /// The named histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&Log2Histogram> {
+        self.hist_ids.get(name).map(|&id| &self.hists[id as usize])
     }
 
-    /// Returns the named histogram if any samples were recorded.
-    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+    // ----- lifecycle ------------------------------------------------
+
+    /// Zeroes every counter and histogram while keeping all
+    /// registrations, so previously issued handles stay valid.  Used at
+    /// measurement-region boundaries (warm-up → measure).
+    pub fn reset(&mut self) {
+        for v in &mut self.values {
+            *v = 0;
+        }
+        for h in &mut self.hists {
+            h.reset();
+        }
     }
 
     /// Iterates over `(name, value)` for all counters in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, v)| (k.as_str(), v.get()))
+        self.counter_ids
+            .iter()
+            .map(|(k, &id)| (k.as_str(), self.values[id as usize]))
     }
 
-    /// Merges another registry into this one (counters add, histograms of
-    /// the same name must have identical bounds).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a histogram name collides with different bucket bounds.
+    /// Iterates over `(name, histogram)` in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Log2Histogram)> {
+        self.hist_ids
+            .iter()
+            .map(|(k, &id)| (k.as_str(), &self.hists[id as usize]))
+    }
+
+    /// Merges another registry into this one by name: counters add,
+    /// histograms merge bucket-wise.
     pub fn merge(&mut self, other: &Stats) {
-        for (k, v) in &other.counters {
-            self.bump_by(k, v.get());
-        }
-        for (k, h) in &other.histograms {
-            match self.histograms.get_mut(k) {
-                None => {
-                    self.histograms.insert(k.clone(), h.clone());
-                }
-                Some(mine) => {
-                    assert_eq!(mine.bounds, h.bounds, "histogram bound mismatch for {k}");
-                    for (m, o) in mine.counts.iter_mut().zip(&h.counts) {
-                        *m += o;
-                    }
-                    mine.sum += h.sum;
-                    mine.total += h.total;
-                    mine.max = mine.max.max(h.max);
-                }
+        for (name, value) in other.iter() {
+            if value > 0 {
+                self.bump_by(name, value);
+            } else {
+                self.counter(name);
             }
         }
+        for (name, h) in other.histograms() {
+            let id = self.histogram_id(name);
+            self.hists[id.0 as usize].merge(h);
+        }
+    }
+
+    /// Serializes counters and histograms to a JSON object
+    /// (`{"counters": {...}, "histograms": {...}}`, keys in name order).
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (name, value) in self.iter() {
+            counters = counters.field(name, value);
+        }
+        let mut hists = Json::obj();
+        for (name, h) in self.histograms() {
+            hists = hists.field(name, h.to_json());
+        }
+        Json::obj()
+            .field("counters", counters)
+            .field("histograms", hists)
     }
 }
 
@@ -243,6 +446,16 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (k, v) in self.iter() {
             writeln!(f, "{k:<40} {v}")?;
+        }
+        for (k, h) in self.histograms() {
+            writeln!(
+                f,
+                "{k:<40} n={} mean={:.2} min={} max={}",
+                h.total(),
+                h.mean(),
+                h.min(),
+                h.max()
+            )?;
         }
         Ok(())
     }
@@ -253,12 +466,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn counter_basics() {
-        let mut c = Counter::default();
-        assert_eq!(c.get(), 0);
-        c.inc();
-        c.add(9);
-        assert_eq!(c.get(), 10);
+    fn typed_counters_are_dense_and_stable() {
+        let mut s = Stats::new();
+        let a = s.counter("a");
+        let b = s.counter("b");
+        assert_ne!(a, b);
+        assert_eq!(s.counter("a"), a, "re-registration returns the same id");
+        s.inc(a);
+        s.add(b, 7);
+        assert_eq!(s.value(a), 1);
+        assert_eq!(s.value(b), 7);
+        assert_eq!(s.get("a"), 1);
+        assert_eq!(s.get("b"), 7);
     }
 
     #[test]
@@ -271,6 +490,16 @@ mod tests {
     }
 
     #[test]
+    fn string_and_typed_paths_share_slots() {
+        let mut s = Stats::new();
+        let id = s.counter("n");
+        s.bump_by("n", 3);
+        s.add(id, 2);
+        assert_eq!(s.value(id), 5);
+        assert_eq!(s.get("n"), 5);
+    }
+
+    #[test]
     fn ratio_handles_zero_denominator() {
         let mut s = Stats::new();
         s.bump_by("a", 10);
@@ -280,31 +509,129 @@ mod tests {
     }
 
     #[test]
-    fn histogram_bucketing() {
-        let mut h = Histogram::new(&[1, 2, 4]);
-        for v in [0, 1, 2, 3, 4, 5, 100] {
+    fn reset_keeps_registrations() {
+        let mut s = Stats::new();
+        let c = s.counter("c");
+        let h = s.histogram_id("h");
+        s.add(c, 9);
+        s.record(h, 5);
+        s.reset();
+        assert_eq!(s.value(c), 0);
+        assert_eq!(s.hist(h).total(), 0);
+        // Handles issued before the reset still index the same slots.
+        s.inc(c);
+        s.record(h, 2);
+        assert_eq!(s.get("c"), 1);
+        assert_eq!(s.histogram("h").unwrap().total(), 1);
+    }
+
+    #[test]
+    fn log2_bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(1023), 10);
+        assert_eq!(Log2Histogram::bucket_index(1024), 11);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..=64 {
+            let (lo, hi) = Log2Histogram::bucket_range(i);
+            assert_eq!(Log2Histogram::bucket_index(lo), i);
+            assert_eq!(Log2Histogram::bucket_index(hi), i);
+            if i < 64 {
+                assert_eq!(Log2Histogram::bucket_index(hi + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn log2_record_and_summary() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 8, 9, 1000] {
             h.record(v);
         }
-        // <=1: {0,1}; <=2: {2}; <=4: {3,4}; overflow: {5,100}
-        assert_eq!(h.counts(), &[2, 1, 2, 2]);
+        assert_eq!(h.counts(), &[1, 1, 2, 0, 2, 0, 0, 0, 0, 0, 1]);
         assert_eq!(h.total(), 7);
-        assert_eq!(h.max(), 100);
-        assert!((h.mean() - (115.0 / 7.0)).abs() < 1e-9);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - (1023.0 / 7.0)).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
-    fn histogram_rejects_bad_bounds() {
-        Histogram::new(&[5, 5]);
+    fn log2_empty_summary_is_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.counts().is_empty());
     }
 
     #[test]
-    fn stats_histograms_via_record() {
+    fn log2_merge_adds_bucketwise() {
+        let mut a = Log2Histogram::new();
+        a.record(1);
+        a.record(100);
+        let mut b = Log2Histogram::new();
+        b.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.counts()[Log2Histogram::bucket_index(1)], 2);
+        assert_eq!(a.counts()[Log2Histogram::bucket_index(3)], 1);
+        assert_eq!(a.counts()[Log2Histogram::bucket_index(100)], 1);
+    }
+
+    #[test]
+    fn log2_json_round_trip() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 5, 5, 70_000, 1 << 45] {
+            h.record(v);
+        }
+        let back = Log2Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+        // Through actual text, too.
+        let text = h.to_json().to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(Log2Histogram::from_json(&parsed).unwrap(), h);
+    }
+
+    #[test]
+    fn log2_empty_json_round_trip() {
+        let h = Log2Histogram::new();
+        let back = Log2Histogram::from_json(&h.to_json()).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn log2_from_json_rejects_garbage() {
+        assert!(Log2Histogram::from_json(&Json::obj()).is_err());
+        let bad_idx = Json::obj()
+            .field("total", 1u64)
+            .field("sum", 3u64)
+            .field("min", 3u64)
+            .field("max", 3u64)
+            .field(
+                "buckets",
+                Json::arr([Json::obj().field("bucket", 99u64).field("count", 1u64)]),
+            );
+        assert!(
+            Log2Histogram::from_json(&bad_idx).is_err(),
+            "bucket 99 does not exist"
+        );
+    }
+
+    #[test]
+    fn stats_histograms_by_name() {
         let mut s = Stats::new();
-        s.record("h", &[10], 3);
-        s.record("h", &[10], 30);
-        let h = s.histogram("h").unwrap();
-        assert_eq!(h.counts(), &[1, 1]);
+        let h = s.histogram_id("h");
+        s.record(h, 3);
+        s.record(h, 30);
+        let got = s.histogram("h").unwrap();
+        assert_eq!(got.total(), 2);
         assert!(s.histogram("absent").is_none());
     }
 
@@ -312,32 +639,29 @@ mod tests {
     fn merge_adds_counters_and_histograms() {
         let mut a = Stats::new();
         a.bump_by("n", 2);
-        a.record("h", &[10], 5);
+        let ha = a.histogram_id("h");
+        a.record(ha, 5);
         let mut b = Stats::new();
         b.bump_by("n", 3);
         b.bump("only_b");
-        b.record("h", &[10], 50);
+        b.counter("zero_in_b");
+        let hb = b.histogram_id("h");
+        b.record(hb, 50);
         a.merge(&b);
         assert_eq!(a.get("n"), 5);
         assert_eq!(a.get("only_b"), 1);
+        assert_eq!(a.get("zero_in_b"), 0);
+        assert!(
+            a.iter().any(|(k, _)| k == "zero_in_b"),
+            "registration survives merge"
+        );
         let h = a.histogram("h").unwrap();
-        assert_eq!(h.counts(), &[1, 1]);
         assert_eq!(h.total(), 2);
         assert_eq!(h.max(), 50);
     }
 
     #[test]
-    #[should_panic(expected = "bound mismatch")]
-    fn merge_rejects_mismatched_histograms() {
-        let mut a = Stats::new();
-        a.record("h", &[10], 5);
-        let mut b = Stats::new();
-        b.record("h", &[20], 5);
-        a.merge(&b);
-    }
-
-    #[test]
-    fn display_lists_counters() {
+    fn display_lists_counters_in_name_order() {
         let mut s = Stats::new();
         s.bump("z.second");
         s.bump("a.first");
@@ -345,5 +669,31 @@ mod tests {
         let a = text.find("a.first").unwrap();
         let z = text.find("z.second").unwrap();
         assert!(a < z, "counters should print in name order");
+    }
+
+    #[test]
+    fn to_json_is_ordered_and_complete() {
+        let mut s = Stats::new();
+        s.bump_by("b.two", 2);
+        s.bump("a.one");
+        let h = s.histogram_id("lat");
+        s.record(h, 4);
+        let j = s.to_json();
+        let counters = j.get("counters").unwrap();
+        assert_eq!(counters.get("a.one").unwrap().as_u64(), Some(1));
+        assert_eq!(counters.get("b.two").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            j.get("histograms")
+                .unwrap()
+                .get("lat")
+                .unwrap()
+                .get("total")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        // Name order in the serialized text.
+        let text = j.to_string();
+        assert!(text.find("a.one").unwrap() < text.find("b.two").unwrap());
     }
 }

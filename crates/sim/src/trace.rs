@@ -10,12 +10,10 @@
 //! model (real encryption, MACs, and BMT hashing) can verify post-crash
 //! recovery byte-for-byte.
 
-use serde::{Deserialize, Serialize};
-
 use crate::addr::{Address, Asid};
 
 /// Whether a memory access reads or writes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load (read).
     Load,
@@ -24,7 +22,7 @@ pub enum AccessKind {
 }
 
 /// One memory access in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Access {
     /// Read or write.
     pub kind: AccessKind,
@@ -43,12 +41,24 @@ pub struct Access {
 impl Access {
     /// A convenience constructor for a store of `value` at `addr`.
     pub fn store(addr: Address, value: u64) -> Self {
-        Access { kind: AccessKind::Store, addr, size: 8, value, asid: Asid(0) }
+        Access {
+            kind: AccessKind::Store,
+            addr,
+            size: 8,
+            value,
+            asid: Asid(0),
+        }
     }
 
     /// A convenience constructor for a load at `addr`.
     pub fn load(addr: Address) -> Self {
-        Access { kind: AccessKind::Load, addr, size: 8, value: 0, asid: Asid(0) }
+        Access {
+            kind: AccessKind::Load,
+            addr,
+            size: 8,
+            value: 0,
+            asid: Asid(0),
+        }
     }
 
     /// Returns a copy tagged with an address-space identifier.
@@ -65,7 +75,7 @@ impl Access {
 
 /// One trace record: a run of non-memory instructions followed by an
 /// optional memory access (which also counts as one instruction).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceItem {
     /// Number of non-memory instructions retired before the access.
     pub non_mem_instrs: u32,
@@ -76,12 +86,18 @@ pub struct TraceItem {
 impl TraceItem {
     /// A record of `n` non-memory instructions with no access.
     pub fn compute(n: u32) -> Self {
-        TraceItem { non_mem_instrs: n, access: None }
+        TraceItem {
+            non_mem_instrs: n,
+            access: None,
+        }
     }
 
     /// A record of `n` non-memory instructions followed by `access`.
     pub fn then(n: u32, access: Access) -> Self {
-        TraceItem { non_mem_instrs: n, access: Some(access) }
+        TraceItem {
+            non_mem_instrs: n,
+            access: Some(access),
+        }
     }
 
     /// Total instructions this record represents.
@@ -92,7 +108,7 @@ impl TraceItem {
 
 /// Summary statistics of a trace, used to validate that synthetic workloads
 /// hit their target profiles (PPTI, store share, footprint).
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct TraceSummary {
     /// Total instructions represented.
     pub instructions: u64,
@@ -164,7 +180,10 @@ mod tests {
     #[test]
     fn item_instruction_counts() {
         assert_eq!(TraceItem::compute(10).instructions(), 10);
-        assert_eq!(TraceItem::then(10, Access::load(Address(0))).instructions(), 11);
+        assert_eq!(
+            TraceItem::then(10, Access::load(Address(0))).instructions(),
+            11
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl ReuseProfile {
     /// Panics if `bounds` is empty or not strictly increasing.
     pub fn of(items: &[TraceItem], bounds: &[u64]) -> Self {
         assert!(!bounds.is_empty(), "need at least one bucket");
-        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must increase"
+        );
         // LRU stack of store blocks: index = reuse distance.
         let mut stack: Vec<BlockAddr> = Vec::new();
         let mut profile = ReuseProfile {

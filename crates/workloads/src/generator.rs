@@ -6,10 +6,8 @@
 //! deterministic: the same `(profile, seed)` produces the same trace,
 //! which keeps experiment reruns and property tests stable.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use secpb_sim::addr::Address;
+use secpb_sim::rng::Rng;
 use secpb_sim::trace::{Access, TraceItem};
 
 use crate::profile::WorkloadProfile;
@@ -38,7 +36,7 @@ const HOT_LOAD_BLOCKS: u64 = 64;
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     profile: WorkloadProfile,
-    rng: StdRng,
+    rng: Rng,
     /// Ring of recently-written distinct blocks (reuse-distance model).
     recent: Vec<u64>,
     recent_pos: usize,
@@ -54,7 +52,7 @@ impl TraceGenerator {
     pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
         profile.validate().expect("invalid workload profile");
         TraceGenerator {
-            rng: StdRng::seed_from_u64(seed ^ 0x5EC9_B000),
+            rng: Rng::seed_from(seed ^ 0x5EC9_B000),
             recent: Vec::with_capacity(profile.rewrite_window),
             recent_pos: 0,
             seq_cursor: SEQ_REGION_BASE,
@@ -85,7 +83,7 @@ impl TraceGenerator {
             gap_acc += gap;
             let this_gap = gap_acc.floor() as u32;
             gap_acc -= f64::from(this_gap);
-            let access = if self.rng.gen_bool(store_share) {
+            let access = if self.rng.chance(store_share) {
                 self.next_store()
             } else {
                 self.next_load()
@@ -109,31 +107,31 @@ impl TraceGenerator {
     }
 
     fn next_store(&mut self) -> Access {
-        let r: f64 = self.rng.gen();
+        let r = self.rng.next_f64();
         let block = if r < self.profile.rewrite_frac && !self.recent.is_empty() {
-            let idx = self.rng.gen_range(0..self.recent.len());
+            let idx = self.rng.below(self.recent.len() as u64) as usize;
             self.recent[idx]
         } else if r < self.profile.rewrite_frac + self.profile.seq_frac {
             let b = self.seq_cursor;
             self.seq_cursor += 1;
             b
         } else {
-            STORE_REGION_BASE + self.rng.gen_range(0..self.profile.store_working_set_blocks)
+            STORE_REGION_BASE + self.rng.below(self.profile.store_working_set_blocks)
         };
         self.remember(block);
-        let offset = 8 * self.rng.gen_range(0..8u64);
-        Access::store(Address(block * 64 + offset), self.rng.gen())
+        let offset = 8 * self.rng.below(8);
+        Access::store(Address(block * 64 + offset), self.rng.next_u64())
     }
 
     fn next_load(&mut self) -> Access {
-        let block = if self.rng.gen_bool(self.profile.load_hot_frac) {
-            LOAD_REGION_BASE + self.rng.gen_range(0..HOT_LOAD_BLOCKS)
+        let block = if self.rng.chance(self.profile.load_hot_frac) {
+            LOAD_REGION_BASE + self.rng.below(HOT_LOAD_BLOCKS)
         } else {
             LOAD_REGION_BASE
                 + HOT_LOAD_BLOCKS
-                + self.rng.gen_range(0..self.profile.load_working_set_blocks)
+                + self.rng.below(self.profile.load_working_set_blocks)
         };
-        let offset = 8 * self.rng.gen_range(0..8u64);
+        let offset = 8 * self.rng.below(8);
         Access::load(Address(block * 64 + offset))
     }
 }
@@ -192,20 +190,30 @@ mod tests {
     fn rewrite_heavy_profile_has_high_block_reuse() {
         // povray: ~17 stores per distinct block; bwaves: streaming ~1.
         let povray = summary_of("povray", 200_000);
-        assert!(povray.stores_per_block() > 8.0, "got {}", povray.stores_per_block());
+        assert!(
+            povray.stores_per_block() > 8.0,
+            "got {}",
+            povray.stores_per_block()
+        );
         let bwaves = summary_of("bwaves", 200_000);
-        assert!(bwaves.stores_per_block() < 2.5, "got {}", bwaves.stores_per_block());
+        assert!(
+            bwaves.stores_per_block() < 2.5,
+            "got {}",
+            bwaves.stores_per_block()
+        );
     }
 
     #[test]
     fn loads_and_stores_both_present() {
-        let trace =
-            TraceGenerator::new(WorkloadProfile::named("mcf").unwrap(), 5).generate(50_000);
+        let trace = TraceGenerator::new(WorkloadProfile::named("mcf").unwrap(), 5).generate(50_000);
         let loads = trace
             .iter()
             .filter(|t| t.access.is_some_and(|a| a.kind == AccessKind::Load))
             .count();
-        let stores = trace.iter().filter(|t| t.access.is_some_and(|a| a.is_store())).count();
+        let stores = trace
+            .iter()
+            .filter(|t| t.access.is_some_and(|a| a.is_store()))
+            .count();
         assert!(loads > stores, "mcf is load-heavy");
         assert!(stores > 0);
     }

@@ -8,10 +8,8 @@
 //! (controlled by `rewrite_frac` and `rewrite_window`), and the streaming
 //! share that produces fresh-block allocations.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of one synthetic workload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
     /// Profile name (a SPEC benchmark for the paper's 18, or a custom
     /// label).
@@ -174,10 +172,16 @@ mod tests {
     fn paper_anchor_statistics() {
         let gamess = WorkloadProfile::named("gamess").unwrap();
         assert!((gamess.stores_per_kilo - 47.4).abs() < 1e-9);
-        assert!((gamess.nwpe_estimate() - 2.1).abs() < 0.2, "gamess NWPE ≈ 2.1");
+        assert!(
+            (gamess.nwpe_estimate() - 2.1).abs() < 0.2,
+            "gamess NWPE ≈ 2.1"
+        );
         let povray = WorkloadProfile::named("povray").unwrap();
         assert!((povray.stores_per_kilo - 38.8).abs() < 1e-9);
-        assert!((povray.nwpe_estimate() - 17.6).abs() < 2.0, "povray NWPE ≈ 17.6");
+        assert!(
+            (povray.nwpe_estimate() - 17.6).abs() < 2.0,
+            "povray NWPE ≈ 17.6"
+        );
     }
 
     #[test]
@@ -220,7 +224,10 @@ mod tests {
         // The suite-wide mean allocation rate drives the Table IV
         // averages; it should sit in the low single digits.
         let suite = WorkloadProfile::spec_suite();
-        let mean: f64 = suite.iter().map(|p| p.allocations_per_kilo_estimate()).sum::<f64>()
+        let mean: f64 = suite
+            .iter()
+            .map(|p| p.allocations_per_kilo_estimate())
+            .sum::<f64>()
             / suite.len() as f64;
         assert!(mean > 1.0 && mean < 15.0, "mean allocations/kilo = {mean}");
     }

@@ -57,7 +57,10 @@ pub fn read_trace<R: Read>(mut source: R) -> io::Result<Vec<TraceItem>> {
     let mut magic = [0u8; 4];
     source.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad trace magic",
+        ));
     }
     let mut count_bytes = [0u8; 8];
     source.read_exact(&mut count_bytes)?;
@@ -86,7 +89,11 @@ pub fn read_trace<R: Read>(mut source: R) -> io::Result<Vec<TraceItem>> {
                     ));
                 }
                 Some(Access {
-                    kind: if k == 1 { AccessKind::Load } else { AccessKind::Store },
+                    kind: if k == 1 {
+                        AccessKind::Load
+                    } else {
+                        AccessKind::Store
+                    },
                     addr: Address(u64::from_le_bytes(addr)),
                     size: size[0],
                     value: u64::from_le_bytes(value),
@@ -100,7 +107,10 @@ pub fn read_trace<R: Read>(mut source: R) -> io::Result<Vec<TraceItem>> {
                 ))
             }
         };
-        items.push(TraceItem { non_mem_instrs: u32::from_le_bytes(non_mem), access });
+        items.push(TraceItem {
+            non_mem_instrs: u32::from_le_bytes(non_mem),
+            access,
+        });
     }
     Ok(items)
 }
@@ -129,7 +139,11 @@ mod tests {
             TraceItem::then(5, Access::load(Address(u64::MAX))),
             TraceItem::then(
                 0,
-                Access { size: 1, ..Access::store(Address(0), u64::MAX) }.with_asid(Asid(u16::MAX)),
+                Access {
+                    size: 1,
+                    ..Access::store(Address(0), u64::MAX)
+                }
+                .with_asid(Asid(u16::MAX)),
             ),
         ];
         let mut buf = Vec::new();

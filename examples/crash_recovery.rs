@@ -95,7 +95,10 @@ fn attack_detection() {
     let victim = sys.nvm_store().data_blocks().next().unwrap();
     sys.nvm_store_mut().tamper_data(victim, 13, 5);
     let r = sys.recover();
-    println!("  bit flip on {victim}: integrity_ok={} (MAC catches it)", r.integrity_ok());
+    println!(
+        "  bit flip on {victim}: integrity_ok={} (MAC catches it)",
+        r.integrity_ok()
+    );
     assert!(!r.integrity_ok());
 
     // 2. Splicing a valid tuple to another address.
@@ -114,9 +117,13 @@ fn attack_detection() {
     // 3. Rolling a page's counters back to an older version.
     let mut sys = build();
     let page = sys.nvm_store().counter_pages().next().unwrap();
-    sys.nvm_store_mut().rollback_counters(page, Default::default());
+    sys.nvm_store_mut()
+        .rollback_counters(page, Default::default());
     let r = sys.recover();
-    println!("  counter rollback on page {page}: root_ok={} (BMT catches it)", r.root_ok);
+    println!(
+        "  counter rollback on page {page}: root_ok={} (BMT catches it)",
+        r.root_ok
+    );
     assert!(!r.root_ok);
 
     println!("  all three attacks detected.");

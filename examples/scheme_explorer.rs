@@ -36,8 +36,11 @@ fn main() {
 
     println!("benchmark   : {bench}");
     println!("scheme      : {scheme}");
-    println!("secpb       : {entries} entries (HWM {}, LWM {})",
-        cfg.secpb.high_watermark_entries(), cfg.secpb.low_watermark_entries());
+    println!(
+        "secpb       : {entries} entries (HWM {}, LWM {})",
+        cfg.secpb.high_watermark_entries(),
+        cfg.secpb.low_watermark_entries()
+    );
     println!("instructions: {instructions}\n");
 
     // Baseline for normalization.
@@ -51,12 +54,19 @@ fn main() {
 
     println!("cycles      : {} (bbb: {})", run.cycles, bbb.cycles);
     if scheme != Scheme::Bbb {
-        println!("slowdown    : {:.3}x ({:+.1}%)", run.slowdown_vs(bbb), run.overhead_pct_vs(bbb));
+        println!(
+            "slowdown    : {:.3}x ({:+.1}%)",
+            run.slowdown_vs(bbb),
+            run.overhead_pct_vs(bbb)
+        );
     }
     println!("ipc         : {:.3}", run.ipc());
     println!("ppti        : {:.1}", run.ppti());
     println!("nwpe        : {:.2}", run.nwpe());
-    println!("bmt/store   : {:.1}% of sec_wt", run.bmt_updates_per_store() * 100.0);
+    println!(
+        "bmt/store   : {:.1}% of sec_wt",
+        run.bmt_updates_per_store() * 100.0
+    );
     println!("\nraw counters:");
     for (name, value) in run.stats.iter() {
         println!("  {name:<36} {value}");

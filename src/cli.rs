@@ -54,7 +54,10 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
 
 fn parse_profile(name: &str) -> Result<WorkloadProfile, String> {
     WorkloadProfile::named(name).ok_or_else(|| {
-        format!("unknown benchmark `{name}`; try: {}", WorkloadProfile::SPEC_NAMES.join(", "))
+        format!(
+            "unknown benchmark `{name}`; try: {}",
+            WorkloadProfile::SPEC_NAMES.join(", ")
+        )
     })
 }
 
@@ -65,9 +68,16 @@ fn parse_scheme(name: &str) -> Result<Scheme, String> {
 fn cmd_run(args: &[String]) -> Result<String, String> {
     let bench = args.first().ok_or(USAGE)?;
     let scheme = parse_scheme(args.get(1).ok_or(USAGE)?)?;
-    let entries: usize = args.get(2).map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(32);
-    let instructions: u64 =
-        args.get(3).map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(200_000);
+    let entries: usize = args
+        .get(2)
+        .map(|s| s.parse().map_err(|_| USAGE))
+        .transpose()?
+        .unwrap_or(32);
+    let instructions: u64 = args
+        .get(3)
+        .map(|s| s.parse().map_err(|_| USAGE))
+        .transpose()?
+        .unwrap_or(200_000);
     let profile = parse_profile(bench)?;
     let cfg = SystemConfig::default().with_secpb_entries(entries);
     let trace = TraceGenerator::new(profile, 42).generate(instructions);
@@ -79,15 +89,22 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     let _ = writeln!(out, "ipc          {:.3}", r.ipc());
     let _ = writeln!(out, "ppti         {:.1}", r.ppti());
     let _ = writeln!(out, "nwpe         {:.2}", r.nwpe());
-    let _ = writeln!(out, "bmt/store    {:.1}%", r.bmt_updates_per_store() * 100.0);
+    let _ = writeln!(
+        out,
+        "bmt/store    {:.1}%",
+        r.bmt_updates_per_store() * 100.0
+    );
     Ok(out)
 }
 
 fn cmd_crash(args: &[String]) -> Result<String, String> {
     let bench = args.first().ok_or(USAGE)?;
     let scheme = parse_scheme(args.get(1).ok_or(USAGE)?)?;
-    let instructions: u64 =
-        args.get(2).map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(100_000);
+    let instructions: u64 = args
+        .get(2)
+        .map(|s| s.parse().map_err(|_| USAGE))
+        .transpose()?
+        .unwrap_or(100_000);
     let profile = parse_profile(bench)?;
     let trace = TraceGenerator::new(profile, 42).generate(instructions);
     let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 42);
@@ -97,11 +114,19 @@ fn cmd_crash(args: &[String]) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(out, "crash at cycle {}", report.at.raw());
     let _ = writeln!(out, "entries drained      {}", report.work.entries);
-    let _ = writeln!(out, "sec-sync complete    cycle {}", report.secsync_complete_at.raw());
+    let _ = writeln!(
+        out,
+        "sec-sync complete    cycle {}",
+        report.secsync_complete_at.raw()
+    );
     let _ = writeln!(out, "macs on battery      {}", report.work.macs);
     let _ = writeln!(out, "bmt hashes on battery {}", report.work.bmt_node_hashes);
     let _ = writeln!(out, "blocks recovered     {}", recovery.blocks_checked);
-    let _ = writeln!(out, "estimated recovery   {} cycles", sys.estimated_recovery_cycles());
+    let _ = writeln!(
+        out,
+        "estimated recovery   {} cycles",
+        sys.estimated_recovery_cycles()
+    );
     let _ = writeln!(out, "consistent           {}", recovery.is_consistent());
     if !recovery.is_consistent() {
         return Err(format!("recovery failed:\n{out}"));
@@ -110,8 +135,11 @@ fn cmd_crash(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_battery(args: &[String]) -> Result<String, String> {
-    let entries: usize =
-        args.first().map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(32);
+    let entries: usize = args
+        .first()
+        .map(|s| s.parse().map_err(|_| USAGE))
+        .transpose()?
+        .unwrap_or(32);
     let mut out = String::new();
     let _ = writeln!(out, "battery sizing for a {entries}-entry SecPB:");
     for kind in SchemeKind::ALL {
@@ -134,8 +162,11 @@ fn cmd_trace(args: &[String]) -> Result<String, String> {
         Some("gen") => {
             let bench = args.get(1).ok_or(USAGE)?;
             let path = args.get(2).ok_or(USAGE)?;
-            let instructions: u64 =
-                args.get(3).map(|s| s.parse().map_err(|_| USAGE)).transpose()?.unwrap_or(100_000);
+            let instructions: u64 = args
+                .get(3)
+                .map(|s| s.parse().map_err(|_| USAGE))
+                .transpose()?
+                .unwrap_or(100_000);
             let profile = parse_profile(bench)?;
             let trace = TraceGenerator::new(profile, 42).generate(instructions);
             let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
@@ -167,7 +198,12 @@ fn cmd_trace(args: &[String]) -> Result<String, String> {
                 trace_io::read_trace(std::io::BufReader::new(file)).map_err(|e| e.to_string())?;
             let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 42);
             let r = sys.run_trace(trace);
-            Ok(format!("scheme={scheme} cycles={} ipc={:.3} ppti={:.1}\n", r.cycles, r.ipc(), r.ppti()))
+            Ok(format!(
+                "scheme={scheme} cycles={} ipc={:.3} ppti={:.1}\n",
+                r.cycles,
+                r.ipc(),
+                r.ppti()
+            ))
         }
         _ => Err(USAGE.to_owned()),
     }
@@ -175,7 +211,11 @@ fn cmd_trace(args: &[String]) -> Result<String, String> {
 
 fn cmd_list() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "benchmarks: {}", WorkloadProfile::SPEC_NAMES.join(", "));
+    let _ = writeln!(
+        out,
+        "benchmarks: {}",
+        WorkloadProfile::SPEC_NAMES.join(", ")
+    );
     let schemes: Vec<&str> = Scheme::ALL.iter().map(|s| s.name()).collect();
     let _ = writeln!(out, "schemes   : {}", schemes.join(", "));
     out
@@ -212,8 +252,12 @@ mod tests {
 
     #[test]
     fn run_rejects_unknowns() {
-        assert!(run(&["run", "nonesuch", "cobcm"]).unwrap_err().contains("unknown benchmark"));
-        assert!(run(&["run", "hmmer", "nonesuch"]).unwrap_err().contains("unknown scheme"));
+        assert!(run(&["run", "nonesuch", "cobcm"])
+            .unwrap_err()
+            .contains("unknown benchmark"));
+        assert!(run(&["run", "hmmer", "nonesuch"])
+            .unwrap_err()
+            .contains("unknown scheme"));
     }
 
     #[test]

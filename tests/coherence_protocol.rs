@@ -1,12 +1,16 @@
 //! Property tests for the multi-SecPB coherence protocol (Section IV-C):
 //! the no-replication invariant must hold under arbitrary interleavings
 //! of reads, writes, and drains from multiple cores.
-
-use proptest::prelude::*;
+//!
+//! Interleavings are drawn from a seeded [`Rng`] stream, so runs are
+//! deterministic and failures reproduce by case index.
 
 use secpb::core::coherence::{CoherenceAction, CoherenceController};
 use secpb::sim::addr::{Asid, BlockAddr};
 use secpb::sim::config::SecPbConfig;
+use secpb::sim::rng::Rng;
+
+const CASES: usize = 64;
 
 /// One protocol operation.
 #[derive(Debug, Clone, Copy)]
@@ -16,88 +20,118 @@ enum Op {
     Drain { block: u64 },
 }
 
-fn arb_op(cores: usize, blocks: u64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..cores, 0..blocks).prop_map(|(core, block)| Op::Write { core, block }),
-        (0..cores, 0..blocks).prop_map(|(core, block)| Op::Read { core, block }),
-        (0..blocks).prop_map(|block| Op::Drain { block }),
-    ]
+fn random_op(rng: &mut Rng, cores: usize, blocks: u64) -> Op {
+    match rng.below(3) {
+        0 => Op::Write {
+            core: rng.below(cores as u64) as usize,
+            block: rng.below(blocks),
+        },
+        1 => Op::Read {
+            core: rng.below(cores as u64) as usize,
+            block: rng.below(blocks),
+        },
+        _ => Op::Drain {
+            block: rng.below(blocks),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn apply(ctl: &mut CoherenceController, op: Op, asid_by_core: bool) {
+    match op {
+        Op::Write { core, block } => {
+            let asid = if asid_by_core {
+                Asid(core as u16)
+            } else {
+                Asid(0)
+            };
+            ctl.write(core, BlockAddr(block), asid, [0u8; 64]);
+        }
+        Op::Read { core, block } => {
+            ctl.read(core, BlockAddr(block));
+        }
+        Op::Drain { block } => {
+            ctl.drain(BlockAddr(block));
+        }
+    }
+}
 
-    /// The directory never allows a block to live in two SecPBs.
-    #[test]
-    fn no_replication_under_random_interleavings(
-        ops in prop::collection::vec(arb_op(3, 12), 1..200)
-    ) {
+/// The directory never allows a block to live in two SecPBs.
+#[test]
+fn no_replication_under_random_interleavings() {
+    let mut rng = Rng::seed_from(0xC0_0001);
+    for case in 0..CASES {
         // Generous capacity so the protocol (not capacity management) is
         // what's exercised.
-        let cfg = SecPbConfig { entries: 64, ..SecPbConfig::default() };
+        let cfg = SecPbConfig {
+            entries: 64,
+            ..SecPbConfig::default()
+        };
         let mut ctl = CoherenceController::new(3, cfg);
-        for op in ops {
-            match op {
-                Op::Write { core, block } => {
-                    ctl.write(core, BlockAddr(block), Asid(core as u16), [0u8; 64]);
-                }
-                Op::Read { core, block } => {
-                    ctl.read(core, BlockAddr(block));
-                }
-                Op::Drain { block } => {
-                    ctl.drain(BlockAddr(block));
-                }
-            }
-            prop_assert!(ctl.replication_free(), "replication after {op:?}");
+        for _ in 0..rng.range(1, 199) {
+            let op = random_op(&mut rng, 3, 12);
+            apply(&mut ctl, op, true);
+            assert!(
+                ctl.replication_free(),
+                "case {case}: replication after {op:?}"
+            );
         }
     }
+}
 
-    /// After a write by core C, the block is owned by C's SecPB with the
-    /// latest coalesced state, regardless of history.
-    #[test]
-    fn writes_establish_ownership(
-        ops in prop::collection::vec(arb_op(2, 6), 0..60),
-        final_core in 0usize..2,
-        final_block in 0u64..6,
-    ) {
-        let cfg = SecPbConfig { entries: 64, ..SecPbConfig::default() };
+/// After a write by core C, the block is owned by C's SecPB with the
+/// latest coalesced state, regardless of history.
+#[test]
+fn writes_establish_ownership() {
+    let mut rng = Rng::seed_from(0xC0_0002);
+    for case in 0..CASES {
+        let cfg = SecPbConfig {
+            entries: 64,
+            ..SecPbConfig::default()
+        };
         let mut ctl = CoherenceController::new(2, cfg);
-        for op in ops {
-            match op {
-                Op::Write { core, block } => {
-                    ctl.write(core, BlockAddr(block), Asid(0), [0u8; 64]);
-                }
-                Op::Read { core, block } => {
-                    ctl.read(core, BlockAddr(block));
-                }
-                Op::Drain { block } => {
-                    ctl.drain(BlockAddr(block));
-                }
-            }
+        for _ in 0..rng.below(60) {
+            let op = random_op(&mut rng, 2, 6);
+            apply(&mut ctl, op, false);
         }
+        let final_core = rng.below(2) as usize;
+        let final_block = rng.below(6);
         ctl.write(final_core, BlockAddr(final_block), Asid(0), [0u8; 64]);
-        prop_assert!(ctl.pb(final_core).contains(BlockAddr(final_block)));
-        prop_assert!(ctl.pb(1 - final_core).entry(BlockAddr(final_block)).is_none());
+        assert!(
+            ctl.pb(final_core).contains(BlockAddr(final_block)),
+            "case {case}"
+        );
+        assert!(
+            ctl.pb(1 - final_core)
+                .entry(BlockAddr(final_block))
+                .is_none(),
+            "case {case}"
+        );
     }
+}
 
-    /// A remote read always removes the block from every SecPB (flushed
-    /// to PM) and surrenders the entry for persistence.
-    #[test]
-    fn remote_reads_flush(
-        owner in 0usize..3,
-        reader in 0usize..3,
-        block in 0u64..32,
-    ) {
-        prop_assume!(owner != reader);
+/// A remote read always removes the block from every SecPB (flushed
+/// to PM) and surrenders the entry for persistence.
+#[test]
+fn remote_reads_flush() {
+    let mut rng = Rng::seed_from(0xC0_0003);
+    let mut checked = 0;
+    while checked < CASES {
+        let owner = rng.below(3) as usize;
+        let reader = rng.below(3) as usize;
+        if owner == reader {
+            continue;
+        }
+        checked += 1;
+        let block = rng.below(32);
         let mut ctl = CoherenceController::new(3, SecPbConfig::default());
         ctl.write(owner, BlockAddr(block), Asid(0), [7u8; 64]);
         let action = ctl.read(reader, BlockAddr(block));
-        prop_assert_eq!(action, Some(CoherenceAction::FlushedFrom { from: owner }));
+        assert_eq!(action, Some(CoherenceAction::FlushedFrom { from: owner }));
         for core in 0..3 {
-            prop_assert!(!ctl.pb(core).contains(BlockAddr(block)));
+            assert!(!ctl.pb(core).contains(BlockAddr(block)));
         }
         let flushed = ctl.take_flushed();
-        prop_assert_eq!(flushed.len(), 1);
-        prop_assert_eq!(flushed[0].plaintext, [7u8; 64]);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].plaintext, [7u8; 64]);
     }
 }

@@ -77,13 +77,25 @@ fn drain_process_preserves_and_later_recovers_other_process() {
     let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 2);
     let mut trace = Vec::new();
     for i in 0..10u64 {
-        trace.push(TraceItem::then(9, Access::store(Address(0x10_0000 + i * 64), i).with_asid(Asid(1))));
-        trace.push(TraceItem::then(9, Access::store(Address(0x20_0000 + i * 64), 100 + i).with_asid(Asid(2))));
+        trace.push(TraceItem::then(
+            9,
+            Access::store(Address(0x10_0000 + i * 64), i).with_asid(Asid(1)),
+        ));
+        trace.push(TraceItem::then(
+            9,
+            Access::store(Address(0x20_0000 + i * 64), 100 + i).with_asid(Asid(2)),
+        ));
     }
     sys.run_trace(trace);
     // Process 1 crashes; only its entries drain.
-    sys.crash(CrashKind::ApplicationCrash(Asid(1)), DrainPolicy::DrainProcess);
-    assert!(sys.persist_buffer().occupancy() > 0, "process 2 keeps coalescing");
+    sys.crash(
+        CrashKind::ApplicationCrash(Asid(1)),
+        DrainPolicy::DrainProcess,
+    );
+    assert!(
+        sys.persist_buffer().occupancy() > 0,
+        "process 2 keeps coalescing"
+    );
     // Later, power is lost: everything drains and recovery covers both.
     sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
     assert_eq!(sys.persist_buffer().occupancy(), 0);
@@ -104,7 +116,9 @@ fn observer_timeline_is_ordered() {
 
     // The blocking observer transitions exactly at sec-sync completion.
     let before = report.observe(ObserverPolicy::Blocking, report.at);
-    assert!(matches!(before, ObserverView::Blocked { .. }) || report.secsync_complete_at == report.at);
+    assert!(
+        matches!(before, ObserverView::Blocked { .. }) || report.secsync_complete_at == report.at
+    );
     let after = report.observe(ObserverPolicy::Blocking, report.secsync_complete_at);
     assert_eq!(after, ObserverView::Consistent);
 }
@@ -112,10 +126,16 @@ fn observer_timeline_is_ordered() {
 #[test]
 fn execution_can_continue_after_application_crash() {
     let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Bcm, 8);
-    sys.run_trace(vec![TraceItem::then(9, Access::store(Address(0x8000), 1).with_asid(Asid(1)))]);
+    sys.run_trace(vec![TraceItem::then(
+        9,
+        Access::store(Address(0x8000), 1).with_asid(Asid(1)),
+    )]);
     sys.crash(CrashKind::ApplicationCrash(Asid(1)), DrainPolicy::DrainAll);
     // The system keeps running new work after an app crash.
-    sys.run_trace(vec![TraceItem::then(9, Access::store(Address(0x8000), 2).with_asid(Asid(2)))]);
+    sys.run_trace(vec![TraceItem::then(
+        9,
+        Access::store(Address(0x8000), 2).with_asid(Asid(2)),
+    )]);
     sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
     let rec = sys.recover();
     assert!(rec.is_consistent());
@@ -133,7 +153,10 @@ fn nogap_crash_needs_no_secsync_work() {
     sys.run_trace((0..8).map(store));
     let before_macs = sys.stats().get("crypto.macs");
     let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
-    assert_eq!(report.work.macs, 0, "NoGap computes MACs early, not on battery");
+    assert_eq!(
+        report.work.macs, 0,
+        "NoGap computes MACs early, not on battery"
+    );
     assert_eq!(report.work.otps, 0);
     assert!(before_macs >= 8);
 }
@@ -147,5 +170,8 @@ fn cobcm_crash_does_all_work_on_battery() {
     assert_eq!(report.work.entries, 8);
     assert_eq!(report.work.macs, 8, "one MAC per drained entry");
     assert_eq!(report.work.otps, 8);
-    assert!(report.work.bmt_node_hashes >= 8, "at least one hash per root update");
+    assert!(
+        report.work.bmt_node_hashes >= 8,
+        "at least one hash per root update"
+    );
 }

@@ -2,13 +2,11 @@
 //! paper's headline results, asserting the qualitative claims hold
 //! (who wins, by roughly what factor, where crossovers fall).
 
-use secpb_bench::experiments::{
-    fig7, fig8, fig9, geomean, run_benchmark, table4, table5, table6,
-};
 use secpb::core::scheme::Scheme;
 use secpb::core::tree::TreeKind;
 use secpb::sim::config::SystemConfig;
 use secpb::workloads::WorkloadProfile;
+use secpb_bench::experiments::{fig7, fig8, fig9, geomean, run_benchmark, table4, table5, table6};
 
 const QUICK: u64 = 50_000;
 
@@ -27,7 +25,10 @@ fn table4_qualitative_claims() {
         avg[&Scheme::NoGap] - avg[&Scheme::M],
     ];
     let biggest = steps.iter().cloned().fold(f64::MIN, f64::max);
-    assert!((steps[2] - biggest).abs() < 1e-12, "BCM->CM must be the largest step: {steps:?}");
+    assert!(
+        (steps[2] - biggest).abs() < 1e-12,
+        "BCM->CM must be the largest step: {steps:?}"
+    );
     // "NoGap suffers the highest performance degradation".
     assert!(avg[&Scheme::NoGap] > avg[&Scheme::M]);
 }
@@ -36,12 +37,23 @@ fn table4_qualitative_claims() {
 fn gamess_is_the_write_intensity_outlier() {
     let study = table4(QUICK);
     let gamess = study.rows.iter().find(|r| r.name == "gamess").unwrap();
-    let cm_gamess = gamess.slowdowns.iter().find(|(s, _)| *s == Scheme::Cm).unwrap().1;
+    let cm_gamess = gamess
+        .slowdowns
+        .iter()
+        .find(|(s, _)| *s == Scheme::Cm)
+        .unwrap()
+        .1;
     let others: Vec<f64> = study
         .rows
         .iter()
         .filter(|r| r.name != "gamess")
-        .map(|r| r.slowdowns.iter().find(|(s, _)| *s == Scheme::Cm).unwrap().1)
+        .map(|r| {
+            r.slowdowns
+                .iter()
+                .find(|(s, _)| *s == Scheme::Cm)
+                .unwrap()
+                .1
+        })
         .collect();
     assert!(
         cm_gamess > 2.0 * geomean(&others),
@@ -49,8 +61,16 @@ fn gamess_is_the_write_intensity_outlier() {
         geomean(&others)
     );
     // And its statistics match the paper's report.
-    assert!((gamess.ppti - 47.4).abs() < 3.0, "gamess PPTI {}", gamess.ppti);
-    assert!((gamess.nwpe - 2.1).abs() < 0.5, "gamess NWPE {}", gamess.nwpe);
+    assert!(
+        (gamess.ppti - 47.4).abs() < 3.0,
+        "gamess PPTI {}",
+        gamess.ppti
+    );
+    assert!(
+        (gamess.nwpe - 2.1).abs() < 0.5,
+        "gamess NWPE {}",
+        gamess.nwpe
+    );
 }
 
 #[test]
@@ -72,7 +92,10 @@ fn fig7_size_sweep_shape() {
     assert!(spread < 0.25, "bwaves spread {spread}");
     // gobmk keeps improving with capacity (reuse distance > 32).
     let gobmk = sweep.rows.iter().find(|(n, _)| n == "gobmk").unwrap();
-    assert!(gobmk.1[1] > gobmk.1[5], "gobmk should improve from 16 to 256 entries");
+    assert!(
+        gobmk.1[1] > gobmk.1[5],
+        "gobmk should improve from 16 to 256 entries"
+    );
 }
 
 #[test]
@@ -101,7 +124,10 @@ fn fig9_bmf_ordering() {
     assert!(avg["cm_dbmf"] < avg["sp_dbmf"]);
     assert!(avg["cm_sbmf"] < avg["sp_sbmf"]);
     assert!(avg["cm_sbmf"] < avg["sp_dbmf"]);
-    assert!(avg["cm_dbmf"] < avg["cm_sbmf"], "shallower forests are faster");
+    assert!(
+        avg["cm_dbmf"] < avg["cm_sbmf"],
+        "shallower forests are faster"
+    );
 }
 
 #[test]
@@ -124,7 +150,10 @@ fn table5_and_table6_headline_ratios() {
     let first = &t6[0];
     let last = &t6[6];
     let scale = last.cobcm_mm3.0 / first.cobcm_mm3.0;
-    assert!((50.0..70.0).contains(&scale), "512/8 entries should scale ~64x, got {scale}");
+    assert!(
+        (50.0..70.0).contains(&scale),
+        "512/8 entries should scale ~64x, got {scale}"
+    );
 }
 
 #[test]
@@ -134,9 +163,24 @@ fn sp_baseline_is_slower_than_any_secpb_scheme() {
     // data-value-independent work is once per dirty block.
     let profile = WorkloadProfile::named("xalancbmk").unwrap();
     let cfg = SystemConfig::default();
-    let bbb = run_benchmark(&profile, Scheme::Bbb, cfg.clone(), TreeKind::Monolithic, QUICK);
-    let sp = run_benchmark(&profile, Scheme::Sp, cfg.clone(), TreeKind::Monolithic, QUICK);
+    let bbb = run_benchmark(
+        &profile,
+        Scheme::Bbb,
+        cfg.clone(),
+        TreeKind::Monolithic,
+        QUICK,
+    );
+    let sp = run_benchmark(
+        &profile,
+        Scheme::Sp,
+        cfg.clone(),
+        TreeKind::Monolithic,
+        QUICK,
+    );
     let nogap = run_benchmark(&profile, Scheme::NoGap, cfg, TreeKind::Monolithic, QUICK);
     assert!(sp.slowdown_vs(&bbb) > nogap.slowdown_vs(&bbb));
-    assert!(sp.slowdown_vs(&bbb) > 2.0, "SP should be a multiple of the baseline");
+    assert!(
+        sp.slowdown_vs(&bbb) > 2.0,
+        "SP should be a multiple of the baseline"
+    );
 }

@@ -1,0 +1,261 @@
+//! Integration tests for the observability layer: log-2 histogram
+//! semantics, JSON round-trips, the cycle-attribution invariant, and
+//! the determinism of the `--stats-json` / `--trace-out` exports.
+
+use secpb::core::scheme::Scheme;
+use secpb::core::tree::TreeKind;
+use secpb::sim::config::SystemConfig;
+use secpb::sim::json::Json;
+use secpb::sim::stats::{Log2Histogram, Stats};
+use secpb::sim::tracer::{merge_chrome_traces, Phase, Tracer};
+use secpb_bench::experiments::run_benchmark_instrumented;
+use secpb_workloads::WorkloadProfile;
+
+#[test]
+fn histogram_bucket_boundaries_are_log2() {
+    // Bucket 0 holds exactly {0}; bucket i holds [2^(i-1), 2^i - 1].
+    assert_eq!(Log2Histogram::bucket_index(0), 0);
+    assert_eq!(Log2Histogram::bucket_index(1), 1);
+    assert_eq!(Log2Histogram::bucket_index(2), 2);
+    assert_eq!(Log2Histogram::bucket_index(3), 2);
+    assert_eq!(Log2Histogram::bucket_index(4), 3);
+    assert_eq!(Log2Histogram::bucket_index(7), 3);
+    assert_eq!(Log2Histogram::bucket_index(8), 4);
+    assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+
+    for index in 0..=64 {
+        let (lo, hi) = Log2Histogram::bucket_range(index);
+        assert_eq!(
+            Log2Histogram::bucket_index(lo),
+            index,
+            "lo of bucket {index}"
+        );
+        assert_eq!(
+            Log2Histogram::bucket_index(hi),
+            index,
+            "hi of bucket {index}"
+        );
+        if lo > 0 {
+            assert_eq!(Log2Histogram::bucket_index(lo - 1), index - 1);
+        }
+        if hi < u64::MAX {
+            assert_eq!(Log2Histogram::bucket_index(hi + 1), index + 1);
+        }
+    }
+}
+
+#[test]
+fn histogram_merge_matches_recording_everything_in_one() {
+    let values_a = [0u64, 1, 5, 9, 1000, 65_536];
+    let values_b = [2u64, 2, 3, 1 << 40];
+    let mut a = Log2Histogram::new();
+    let mut b = Log2Histogram::new();
+    let mut both = Log2Histogram::new();
+    for v in values_a {
+        a.record(v);
+        both.record(v);
+    }
+    for v in values_b {
+        b.record(v);
+        both.record(v);
+    }
+    a.merge(&b);
+    assert_eq!(a, both);
+    assert_eq!(a.total(), 10);
+    assert_eq!(a.min(), 0);
+    assert_eq!(a.max(), 1 << 40);
+    assert_eq!(a.sum(), both.sum());
+}
+
+#[test]
+fn histogram_json_round_trips() {
+    // JSON numbers are f64, so values stay below 2^53 (the documented
+    // exact-round-trip range).
+    let mut h = Log2Histogram::new();
+    for v in [0u64, 1, 3, 3, 900, 1 << 50] {
+        h.record(v);
+    }
+    let j = h.to_json();
+    let back = Log2Histogram::from_json(&j).expect("round trip");
+    assert_eq!(back, h);
+    // And through the text form too.
+    let text = j.to_string();
+    let parsed = Json::parse(&text).expect("parse");
+    assert_eq!(Log2Histogram::from_json(&parsed).expect("reparse"), h);
+}
+
+#[test]
+fn stats_json_carries_counters_and_histograms() {
+    let mut stats = Stats::new();
+    let c = stats.counter("test.counter");
+    let h = stats.histogram_id("test.hist");
+    stats.add(c, 7);
+    stats.record(h, 12);
+    let j = stats.to_json();
+    assert_eq!(
+        j.get("counters")
+            .and_then(|c| c.get("test.counter"))
+            .and_then(Json::as_u64),
+        Some(7)
+    );
+    let hist = j
+        .get("histograms")
+        .and_then(|h| h.get("test.hist"))
+        .expect("histogram dumped");
+    assert_eq!(Log2Histogram::from_json(hist).expect("parse").total(), 1);
+}
+
+#[test]
+fn tracer_phase_accounting_and_chrome_export() {
+    use secpb::sim::cycle::Cycle;
+    let mut t = Tracer::with_capture(16);
+    t.span(Phase::Mac, Cycle(10), Cycle(50));
+    t.span(Phase::Mac, Cycle(60), Cycle(100));
+    t.span(Phase::Drain, Cycle(0), Cycle(5));
+    assert_eq!(t.count(Phase::Mac), 2);
+    assert_eq!(t.cycles(Phase::Mac), 80);
+    assert_eq!(t.count(Phase::Drain), 1);
+    assert_eq!(t.events().len(), 3);
+
+    let trace = t.chrome_trace("cm", 3);
+    let events = trace.get("traceEvents").expect("traceEvents");
+    let Json::Arr(items) = events else {
+        panic!("traceEvents must be an array")
+    };
+    // Metadata events name the process and threads; X events carry spans.
+    let complete: Vec<&Json> = items
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .collect();
+    assert_eq!(complete.len(), 3);
+    for ev in &complete {
+        assert_eq!(ev.get("pid").and_then(Json::as_u64), Some(3));
+        assert!(ev.get("ts").is_some() && ev.get("dur").is_some());
+    }
+
+    // Merging keeps every scheme's events in one valid document.
+    let merged = merge_chrome_traces([trace.clone(), trace]);
+    let Some(Json::Arr(all)) = merged.get("traceEvents") else {
+        panic!("merged array")
+    };
+    assert_eq!(
+        all.iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .count(),
+        6
+    );
+}
+
+/// The paper-facing acceptance check, in-process: for every scheme the
+/// cycle breakdown attributes each measured cycle exactly once.
+#[test]
+fn breakdown_accounts_for_every_cycle() {
+    let profile = WorkloadProfile::named("gcc").expect("profile");
+    for scheme in Scheme::ALL {
+        let (r, _) = run_benchmark_instrumented(
+            &profile,
+            scheme,
+            SystemConfig::default(),
+            TreeKind::Monolithic,
+            20_000,
+            1 << 16,
+        );
+        assert_eq!(
+            r.breakdown.total(),
+            r.cycles,
+            "{scheme}: breakdown must sum to cycles"
+        );
+    }
+}
+
+/// Two identical instrumented runs must produce byte-identical stats
+/// JSON — the determinism guarantee behind `--stats-json` diffing.
+#[test]
+fn identical_runs_export_identical_json() {
+    let profile = WorkloadProfile::named("povray").expect("profile");
+    let run = || {
+        let mut dumps = Vec::new();
+        let mut traces = Vec::new();
+        for (pid, scheme) in [Scheme::Bbb, Scheme::Cobcm, Scheme::NoGap]
+            .into_iter()
+            .enumerate()
+        {
+            let (r, sys) = run_benchmark_instrumented(
+                &profile,
+                scheme,
+                SystemConfig::default(),
+                TreeKind::Monolithic,
+                15_000,
+                1 << 16,
+            );
+            dumps.push(r.to_json());
+            traces.push(sys.tracer().chrome_trace(scheme.name(), pid as u32 + 1));
+        }
+        let stats = Json::Arr(dumps).to_pretty();
+        let trace = merge_chrome_traces(traces).to_pretty();
+        (stats, trace)
+    };
+    let (stats_a, trace_a) = run();
+    let (stats_b, trace_b) = run();
+    assert_eq!(
+        stats_a, stats_b,
+        "stats JSON must be byte-identical across runs"
+    );
+    assert_eq!(
+        trace_a, trace_b,
+        "Chrome trace must be byte-identical across runs"
+    );
+}
+
+/// A scheme's instrumented run populates the SecPB histograms and spans.
+#[test]
+fn instrumented_run_populates_histograms() {
+    let profile = WorkloadProfile::named("gcc").expect("profile");
+    let (r, sys) = run_benchmark_instrumented(
+        &profile,
+        Scheme::Cobcm,
+        SystemConfig::default(),
+        TreeKind::Monolithic,
+        20_000,
+        1 << 16,
+    );
+    let occ = r
+        .stats
+        .histogram("secpb.occupancy")
+        .expect("occupancy histogram");
+    assert_eq!(occ.total(), r.stats.get("secpb.persists"));
+    let wpe = r
+        .stats
+        .histogram("secpb.writes_per_entry")
+        .expect("writes-per-entry histogram");
+    assert_eq!(wpe.total(), r.stats.get("secpb.drains"));
+    assert!(sys.tracer().count(Phase::StorePersist) > 0);
+    assert!(sys.tracer().count(Phase::Drain) > 0);
+}
+
+/// `SecureSystem` keeps typed-handle and string-keyed reads coherent.
+#[test]
+fn typed_and_string_counter_views_agree() {
+    let profile = WorkloadProfile::named("gcc").expect("profile");
+    let (r, _) = run_benchmark_instrumented(
+        &profile,
+        Scheme::Cm,
+        SystemConfig::default(),
+        TreeKind::Monolithic,
+        10_000,
+        1 << 14,
+    );
+    // Every counter surfaced by iter() is readable by name with the
+    // same value; the JSON dump agrees too.
+    let j = r.stats.to_json();
+    for (name, value) in r.stats.iter() {
+        assert_eq!(r.stats.get(name), value);
+        assert_eq!(
+            j.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Json::as_u64),
+            Some(value),
+            "{name} diverges in JSON"
+        );
+    }
+}

@@ -7,23 +7,35 @@
 //! 2. **Persist order** — the recovery observer sees exactly the stores
 //!    executed before the crash point: no earlier store missing, no later
 //!    store visible.
-
-use proptest::prelude::*;
+//!
+//! Store streams and crash points are drawn from a seeded [`Rng`]
+//! stream, so runs are deterministic and failures reproduce by case
+//! index.
 
 use secpb::core::crash::{CrashKind, DrainPolicy};
 use secpb::core::scheme::Scheme;
 use secpb::core::system::SecureSystem;
 use secpb::sim::addr::Address;
 use secpb::sim::config::SystemConfig;
+use secpb::sim::rng::Rng;
 use secpb::sim::trace::{Access, TraceItem};
 
+const CASES: usize = 24;
+
 /// A compact encoding of a store stream: (block selector, value).
-fn arb_store_stream() -> impl Strategy<Value = Vec<(u8, u64)>> {
-    prop::collection::vec((any::<u8>(), any::<u64>()), 1..120)
+fn random_store_stream(rng: &mut Rng) -> Vec<(u8, u64)> {
+    let len = rng.range(1, 119) as usize;
+    (0..len)
+        .map(|_| (rng.next_u64() as u8, rng.next_u64()))
+        .collect()
 }
 
-fn arb_scheme() -> impl Strategy<Value = Scheme> {
-    prop::sample::select(Scheme::ALL.to_vec())
+fn random_scheme(rng: &mut Rng) -> Scheme {
+    Scheme::ALL[rng.below(Scheme::ALL.len() as u64) as usize]
+}
+
+fn random_secpb_scheme(rng: &mut Rng) -> Scheme {
+    Scheme::SECPB_SCHEMES[rng.below(Scheme::SECPB_SCHEMES.len() as u64) as usize]
 }
 
 fn trace_from(stream: &[(u8, u64)]) -> Vec<TraceItem> {
@@ -38,43 +50,40 @@ fn trace_from(stream: &[(u8, u64)]) -> Vec<TraceItem> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Invariant 1: tuple atomicity for every scheme at every crash
-    /// point.
-    #[test]
-    fn crash_recovery_is_always_consistent(
-        stream in arb_store_stream(),
-        scheme in arb_scheme(),
-        crash_at_frac in 0.0f64..1.0,
-    ) {
+/// Invariant 1: tuple atomicity for every scheme at every crash point.
+#[test]
+fn crash_recovery_is_always_consistent() {
+    let mut rng = Rng::seed_from(0xEC0_0001);
+    for case in 0..CASES {
+        let stream = random_store_stream(&mut rng);
+        let scheme = random_scheme(&mut rng);
         let trace = trace_from(&stream);
-        let crash_at = ((trace.len() as f64 * crash_at_frac) as usize).min(trace.len());
+        let crash_at = ((trace.len() as f64 * rng.next_f64()) as usize).min(trace.len());
         let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 1234);
         for item in &trace[..crash_at] {
             sys.step(*item);
         }
         sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
         let report = sys.recover();
-        prop_assert!(
+        assert!(
             report.is_consistent(),
-            "{scheme}: root_ok={} macs={} mismatches={}",
+            "case {case} {scheme}: root_ok={} macs={} mismatches={}",
             report.root_ok,
             report.mac_failures.len(),
             report.plaintext_mismatches.len()
         );
     }
+}
 
-    /// Invariant 2: the observer sees exactly the pre-crash stores.
-    #[test]
-    fn observer_sees_exact_prefix(
-        stream in arb_store_stream(),
-        scheme in arb_scheme(),
-        crash_at_frac in 0.0f64..1.0,
-    ) {
+/// Invariant 2: the observer sees exactly the pre-crash stores.
+#[test]
+fn observer_sees_exact_prefix() {
+    let mut rng = Rng::seed_from(0xEC0_0002);
+    for case in 0..CASES {
+        let stream = random_store_stream(&mut rng);
+        let scheme = random_scheme(&mut rng);
         let trace = trace_from(&stream);
-        let crash_at = ((trace.len() as f64 * crash_at_frac) as usize).min(trace.len());
+        let crash_at = ((trace.len() as f64 * rng.next_f64()) as usize).min(trace.len());
         let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 99);
         for item in &trace[..crash_at] {
             sys.step(*item);
@@ -92,69 +101,89 @@ proptest! {
         }
         // Every expected block decrypts to the expected bytes...
         let report = sys.recover();
-        prop_assert!(report.is_consistent());
+        assert!(report.is_consistent(), "case {case} {scheme}");
         for (&blk, bytes) in &expected {
-            prop_assert_eq!(
+            assert_eq!(
                 &sys.expected_plaintext(secpb::sim::addr::BlockAddr(blk)),
                 bytes,
-                "block {} diverged", blk
+                "case {case} {scheme}: block {blk} diverged"
             );
         }
         // ...and nothing beyond the prefix is visible: the persisted
         // image holds no blocks outside the expected set.
         for block in sys.nvm_store().data_blocks() {
-            prop_assert!(
+            assert!(
                 expected.contains_key(&block.index()),
-                "phantom block {block} visible after crash"
+                "case {case} {scheme}: phantom block {block} visible after crash"
             );
         }
     }
+}
 
-    /// Tampering with any persisted byte is detected by recovery, for
-    /// every secure scheme.
-    #[test]
-    fn any_tamper_is_detected(
-        stream in arb_store_stream(),
-        scheme in prop::sample::select(Scheme::SECPB_SCHEMES.to_vec()),
-        victim_sel in any::<u16>(),
-        byte in 0usize..64,
-        bit in 0u8..8,
-    ) {
+/// Tampering with any persisted byte is detected by recovery, for
+/// every secure scheme.
+#[test]
+fn any_tamper_is_detected() {
+    let mut rng = Rng::seed_from(0xEC0_0003);
+    let mut checked = 0;
+    while checked < CASES {
+        let stream = random_store_stream(&mut rng);
+        let scheme = random_secpb_scheme(&mut rng);
+        let victim_sel = rng.next_u64() as u16;
+        let byte = rng.below(64) as usize;
+        let bit = rng.below(8) as u8;
         let trace = trace_from(&stream);
         let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 7);
         sys.run_trace(trace);
         sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
         let blocks: Vec<_> = sys.nvm_store().data_blocks().collect();
-        prop_assume!(!blocks.is_empty());
+        if blocks.is_empty() {
+            continue;
+        }
+        checked += 1;
         let victim = blocks[victim_sel as usize % blocks.len()];
         sys.nvm_store_mut().tamper_data(victim, byte, bit);
         let report = sys.recover();
-        prop_assert!(!report.is_consistent(), "tamper of {victim} went unnoticed");
-        prop_assert!(
+        assert!(
+            !report.is_consistent(),
+            "{scheme}: tamper of {victim} went unnoticed"
+        );
+        assert!(
             report.mac_failures.contains(&victim) || report.plaintext_mismatches.contains(&victim)
         );
     }
+}
 
-    /// Rolling back a page's counter block is caught by the BMT root.
-    #[test]
-    fn counter_rollback_is_detected(
-        stream in arb_store_stream(),
-        scheme in prop::sample::select(Scheme::SECPB_SCHEMES.to_vec()),
-    ) {
+/// Rolling back a page's counter block is caught by the BMT root.
+#[test]
+fn counter_rollback_is_detected() {
+    let mut rng = Rng::seed_from(0xEC0_0004);
+    let mut checked = 0;
+    while checked < CASES {
+        let stream = random_store_stream(&mut rng);
+        let scheme = random_secpb_scheme(&mut rng);
         let trace = trace_from(&stream);
         let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 11);
         sys.run_trace(trace.clone());
         sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
         let pages: Vec<u64> = sys.nvm_store().counter_pages().collect();
-        prop_assume!(!pages.is_empty());
+        if pages.is_empty() {
+            continue;
+        }
         let page = pages[0];
         let current = sys.nvm_store().read_counters(page);
         // Roll the whole page's counters back to fresh zeros.
         let stale = secpb::crypto::counter::CounterBlock::default();
-        prop_assume!(current != stale);
+        if current == stale {
+            continue;
+        }
+        checked += 1;
         sys.nvm_store_mut().rollback_counters(page, stale);
         let report = sys.recover();
-        prop_assert!(!report.root_ok, "counter rollback must break the BMT root");
+        assert!(
+            !report.root_ok,
+            "{scheme}: counter rollback must break the BMT root"
+        );
     }
 }
 

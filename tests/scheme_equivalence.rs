@@ -51,7 +51,10 @@ fn secure_schemes_store_ciphertext_not_plaintext() {
                 hits += 1;
             }
         }
-        assert!(hits <= 1, "{scheme}: NVM appears to hold plaintext ({hits} matches)");
+        assert!(
+            hits <= 1,
+            "{scheme}: NVM appears to hold plaintext ({hits} matches)"
+        );
     }
 }
 
@@ -59,7 +62,10 @@ fn secure_schemes_store_ciphertext_not_plaintext() {
 fn insecure_bbb_stores_plaintext() {
     let sys = run_and_crash(Scheme::Bbb, 7);
     for block in sys.nvm_store().data_blocks().take(20) {
-        assert_eq!(sys.nvm_store().read_data(block), sys.expected_plaintext(block));
+        assert_eq!(
+            sys.nvm_store().read_data(block),
+            sys.expected_plaintext(block)
+        );
     }
 }
 
@@ -127,6 +133,12 @@ fn bmt_root_updates_match_drains_not_stores() {
     let updates = r.stats.get(counters::BMT_ROOT_UPDATES);
     let stores = r.stats.get(counters::STORES);
     let drains = r.stats.get(counters::DRAINS);
-    assert!(updates <= drains + 2, "updates {updates} should track drains {drains}");
-    assert!(updates * 5 < stores, "coalescing should cut far below one per store");
+    assert!(
+        updates <= drains + 2,
+        "updates {updates} should track drains {drains}"
+    );
+    assert!(
+        updates * 5 < stores,
+        "coalescing should cut far below one per store"
+    );
 }
