@@ -16,4 +16,13 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> grid determinism smoke (2 workloads x 2 schemes, serial vs parallel)"
+# bench_grid exits nonzero if the parallel grid diverges from the serial
+# one; --smoke keeps this to a few seconds.
+./target/release/bench_grid 50000 --jobs 4 --smoke --json /tmp/bench_grid_smoke.json
+rm -f /tmp/bench_grid_smoke.json
+
+echo "==> regenerate BENCH_grid.json (full grid wall-clock baseline)"
+./target/release/bench_grid 200000 --jobs 4
+
 echo "CI OK"

@@ -61,6 +61,44 @@ fn bench_trace_generation() {
             .generate(100_000)
             .len()
     });
+    // The streaming path feeds run_trace without materializing a Vec —
+    // the delta vs the bench above is the allocation/copy cost saved per
+    // experiment cell.
+    let mut seed = 0u64;
+    bench("stream_100k_instructions", || {
+        seed += 1;
+        TraceGenerator::new(profile.clone(), seed)
+            .stream(100_000)
+            .count()
+    });
+    let mut seed = 0u64;
+    bench("replay_streamed_10k/cobcm", || {
+        seed += 1;
+        let mut generator = TraceGenerator::new(profile.clone(), seed);
+        let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, seed);
+        sys.run_trace(generator.stream(10_000)).cycles
+    });
+}
+
+fn bench_grid_engine() {
+    use secpb_bench::experiments::{run_grid, GridCell};
+    let cells: Vec<GridCell> = ["gamess", "povray", "milc", "soplex"]
+        .iter()
+        .flat_map(|n| {
+            [Scheme::Bbb, Scheme::Cobcm, Scheme::Cm, Scheme::NoGap]
+                .into_iter()
+                .map(|s| GridCell::new(WorkloadProfile::named(n).unwrap(), s, 20_000))
+        })
+        .collect();
+    let serial_ns = bench_once("grid_16_cells/serial", 3, || run_grid(&cells, 1).len());
+    let jobs = secpb_sim::pool::default_jobs();
+    let parallel_ns = bench_once(&format!("grid_16_cells/{jobs}_jobs"), 3, || {
+        run_grid(&cells, jobs).len()
+    });
+    println!(
+        "\ngrid speedup at {jobs} jobs: {:.2}x",
+        serial_ns / parallel_ns.max(0.01)
+    );
 }
 
 fn main() {
@@ -68,4 +106,5 @@ fn main() {
     bench_workload_replay();
     bench_crash_recovery();
     bench_trace_generation();
+    bench_grid_engine();
 }

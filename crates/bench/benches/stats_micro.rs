@@ -37,4 +37,41 @@ fn main() {
         "\nstring-keyed bump is {:.1}x the cost of a typed-handle add",
         string_ns / typed_ns.max(0.01)
     );
+
+    bench_hashers();
+}
+
+/// SipHash (`std` default) vs the in-repo FxHash on the block-address
+/// keyed maps the memory model hammers — the reason the hot-path maps
+/// switched to [`secpb_sim::fxhash::FxHashMap`].
+fn bench_hashers() {
+    use secpb_sim::fxhash::FxHashMap;
+    use std::collections::HashMap;
+
+    let keys: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E37) >> 2).collect();
+
+    let mut sip: HashMap<u64, u64> = HashMap::new();
+    for &k in &keys {
+        sip.insert(k, k);
+    }
+    let mut i = 0usize;
+    let sip_ns = bench("map_lookup/siphash_std", || {
+        i = (i + 1) & 4095;
+        *sip.get(black_box(&keys[i])).unwrap()
+    });
+
+    let mut fx: FxHashMap<u64, u64> = FxHashMap::default();
+    for &k in &keys {
+        fx.insert(k, k);
+    }
+    let mut i = 0usize;
+    let fx_ns = bench("map_lookup/fxhash", || {
+        i = (i + 1) & 4095;
+        *fx.get(black_box(&keys[i])).unwrap()
+    });
+
+    println!(
+        "\nSipHash lookup is {:.1}x the cost of an FxHash lookup",
+        sip_ns / fx_ns.max(0.01)
+    );
 }

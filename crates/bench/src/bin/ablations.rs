@@ -4,8 +4,9 @@
 //! 2. single vs pipelined in-flight BMT root updates (early path),
 //! 3. drain watermark placement.
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin ablations [instructions]`
+//! Usage: `cargo run --release -p secpb-bench --bin ablations [instructions] [--jobs N]`
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::{
     ablation_bmt_pipelining, ablation_coalescing, ablation_speculative_verification,
     ablation_watermarks, DEFAULT_INSTRUCTIONS,
@@ -14,16 +15,14 @@ use secpb_bench::report::{overhead_pct, render_table};
 use secpb_core::scheme::Scheme;
 
 fn main() {
-    let instructions = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS / 4);
-    eprintln!("ablations @ {instructions} instructions/benchmark");
+    let args = RunnerArgs::from_env(DEFAULT_INSTRUCTIONS / 4);
+    let (instructions, jobs) = (args.instructions, args.jobs);
+    eprintln!("ablations @ {instructions} instructions/benchmark, {jobs} jobs");
 
     // 1. Coalescing (most impactful for the eager schemes, Section IV-A).
     let mut rows = Vec::new();
     for scheme in [Scheme::Cm, Scheme::M, Scheme::NoGap] {
-        let (on, off) = ablation_coalescing(scheme, instructions);
+        let (on, off) = ablation_coalescing(scheme, instructions, jobs);
         rows.push(vec![
             scheme.name().to_owned(),
             overhead_pct(on),
@@ -40,7 +39,7 @@ fn main() {
     // 2. BMT pipelining on the early path.
     let mut rows = Vec::new();
     for scheme in [Scheme::Cm, Scheme::NoGap] {
-        let (single, pipelined) = ablation_bmt_pipelining(scheme, instructions);
+        let (single, pipelined) = ablation_bmt_pipelining(scheme, instructions, jobs);
         rows.push(vec![
             scheme.name().to_owned(),
             overhead_pct(single),
@@ -55,7 +54,7 @@ fn main() {
 
     // 3. Watermarks (COBCM lives off its drain engine).
     let pairs = [(0.9, 0.75), (0.75, 0.5), (0.5, 0.25)];
-    let results = ablation_watermarks(Scheme::Cobcm, &pairs, instructions);
+    let results = ablation_watermarks(Scheme::Cobcm, &pairs, instructions, jobs);
     let rows: Vec<Vec<String>> = results
         .iter()
         .map(|((h, l), v)| vec![format!("{h:.2}/{l:.2}"), overhead_pct(*v)])
@@ -66,7 +65,7 @@ fn main() {
     // 4. Speculative vs blocking load verification (Section V-A).
     let mut rows = Vec::new();
     for scheme in [Scheme::Cobcm, Scheme::Cm] {
-        let (spec, blocking) = ablation_speculative_verification(scheme, instructions);
+        let (spec, blocking) = ablation_speculative_verification(scheme, instructions, jobs);
         rows.push(vec![
             scheme.name().to_owned(),
             overhead_pct(spec),

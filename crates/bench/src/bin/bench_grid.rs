@@ -1,0 +1,136 @@
+//! Grid-scale wall-clock benchmark of the parallel experiment engine.
+//!
+//! Runs the same scheme×workload grid serially and with `--jobs N`
+//! workers, verifies the two result sets are **identical** (the engine's
+//! determinism contract), and reports wall-clock speedup plus per-cell
+//! simulated instructions per second.  Writes `BENCH_grid.json`.
+//!
+//! Usage:
+//! `cargo run --release -p secpb-bench --bin bench_grid [instructions] [--jobs N] [--json out.json] [--smoke]`
+//!
+//! `--smoke` shrinks the grid to 2 workloads × 2 schemes (the CI
+//! determinism gate); the default grid is the full Table IV workload
+//! suite × all SecPB schemes.  Exits nonzero if parallel results diverge
+//! from serial.
+
+use std::time::Instant;
+
+use secpb_bench::experiments::{run_grid, GridCell};
+use secpb_core::scheme::Scheme;
+use secpb_sim::json::Json;
+use secpb_sim::pool;
+use secpb_workloads::WorkloadProfile;
+
+fn build_grid(smoke: bool, instructions: u64) -> Vec<GridCell> {
+    let (profiles, schemes): (Vec<WorkloadProfile>, Vec<Scheme>) = if smoke {
+        (
+            ["gamess", "povray"]
+                .iter()
+                .map(|n| WorkloadProfile::named(n).expect("known"))
+                .collect(),
+            vec![Scheme::Bbb, Scheme::Cobcm],
+        )
+    } else {
+        (
+            WorkloadProfile::spec_suite(),
+            std::iter::once(Scheme::Bbb)
+                .chain(Scheme::SECPB_SCHEMES)
+                .collect(),
+        )
+    };
+    profiles
+        .iter()
+        .flat_map(|p| {
+            schemes
+                .iter()
+                .map(|&s| GridCell::new(p.clone(), s, instructions))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = raw.iter().any(|a| a == "--smoke");
+    raw.retain(|a| a != "--smoke");
+    let args = match secpb_bench::args::RunnerArgs::parse(&raw, 200_000) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("usage: bench_grid [instructions] [--jobs N] [--json out.json] [--smoke]");
+            std::process::exit(2);
+        }
+    };
+    let jobs = if args.jobs > 1 {
+        args.jobs
+    } else {
+        pool::default_jobs().max(2)
+    };
+
+    let cores = pool::default_jobs();
+    let cells = build_grid(smoke, args.instructions);
+    eprintln!(
+        "grid: {} cells ({}) @ {} instructions, serial vs {jobs} jobs on {cores} core(s)",
+        cells.len(),
+        if smoke { "smoke" } else { "full" },
+        args.instructions
+    );
+    if cores < 2 {
+        eprintln!(
+            "note: single-core host — expect no wall-clock speedup, only the determinism check"
+        );
+    }
+
+    let t0 = Instant::now();
+    let serial = run_grid(&cells, 1);
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = run_grid(&cells, jobs);
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    if serial != parallel {
+        eprintln!("DETERMINISM VIOLATION: parallel grid results differ from serial");
+        std::process::exit(1);
+    }
+
+    let speedup = serial_s / parallel_s;
+    // Simulated instructions per wall-clock second: every cell simulates
+    // warm-up + measurement; count only measured instructions (stable
+    // across warm-up policy changes) for a conservative throughput.
+    let simulated: u64 = cells.iter().map(|c| c.instructions).sum();
+    let serial_ips = simulated as f64 / serial_s;
+    let parallel_ips = simulated as f64 / parallel_s;
+
+    println!("cells                 {}", cells.len());
+    println!("serial                {serial_s:.3} s ({serial_ips:.0} instr/s)");
+    println!("parallel ({jobs} jobs)     {parallel_s:.3} s ({parallel_ips:.0} instr/s)");
+    println!("speedup               {speedup:.2}x");
+    println!(
+        "determinism           parallel == serial ({} cells)",
+        cells.len()
+    );
+
+    let per_cell = cells.iter().zip(&serial).map(|(c, r)| {
+        Json::obj()
+            .field("workload", c.profile.name.as_str())
+            .field("scheme", c.scheme.name())
+            .field("cycles", r.cycles)
+            .field("ipc", r.ipc())
+    });
+    let payload = Json::obj()
+        .field("grid", if smoke { "smoke" } else { "full" })
+        .field("cells", cells.len())
+        .field("instructions_per_cell", args.instructions)
+        .field("jobs", jobs)
+        .field("host_cores", cores)
+        .field("serial_seconds", serial_s)
+        .field("parallel_seconds", parallel_s)
+        .field("speedup", speedup)
+        .field("serial_instructions_per_second", serial_ips)
+        .field("parallel_instructions_per_second", parallel_ips)
+        .field("deterministic", true)
+        .field("results", Json::Arr(per_cell.collect()));
+    let path = args.json.as_deref().unwrap_or("BENCH_grid.json");
+    std::fs::write(path, payload.to_pretty()).expect("write json");
+    eprintln!("wrote {path}");
+}

@@ -1,8 +1,9 @@
 //! Calibration: prints Table IV-style averages next to the paper's
 //! values, plus per-benchmark detail, so model parameters can be tuned.
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin calibrate [instructions]`
+//! Usage: `cargo run --release -p secpb-bench --bin calibrate [instructions] [--jobs N]`
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::{table4, DEFAULT_INSTRUCTIONS};
 use secpb_bench::report::{render_table, slowdown_label};
 use secpb_core::scheme::Scheme;
@@ -18,12 +19,13 @@ const PAPER_TABLE4: [(Scheme, f64); 6] = [
 ];
 
 fn main() {
-    let instructions: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS);
-    eprintln!("running Table IV calibration at {instructions} instructions per benchmark...");
-    let study = table4(instructions);
+    let args = RunnerArgs::from_env(DEFAULT_INSTRUCTIONS);
+    let instructions = args.instructions;
+    eprintln!(
+        "running Table IV calibration at {instructions} instructions per benchmark, {} jobs...",
+        args.jobs
+    );
+    let study = table4(instructions, args.jobs);
 
     let mut rows = Vec::new();
     for (scheme, paper) in PAPER_TABLE4 {

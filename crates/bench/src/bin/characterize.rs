@@ -3,24 +3,29 @@
 //! from an actual COBCM run — showing that the analytical reuse profile
 //! predicts the simulator's coalescing.
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin characterize [instructions]`
+//! Usage: `cargo run --release -p secpb-bench --bin characterize [instructions] [--jobs N]`
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::{run_benchmark, DEFAULT_INSTRUCTIONS};
 use secpb_bench::report::render_table;
 use secpb_core::scheme::Scheme;
 use secpb_core::tree::TreeKind;
 use secpb_sim::config::SystemConfig;
+use secpb_sim::pool;
 use secpb_workloads::characterize::ReuseProfile;
 use secpb_workloads::{TraceGenerator, WorkloadProfile};
 
 fn main() {
-    let instructions: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS / 5);
-    eprintln!("characterizing @ {instructions} instructions/benchmark");
-    let mut rows = Vec::new();
-    for name in WorkloadProfile::SPEC_NAMES {
+    let args = RunnerArgs::from_env(DEFAULT_INSTRUCTIONS / 5);
+    let instructions = args.instructions;
+    eprintln!(
+        "characterizing @ {instructions} instructions/benchmark, {} jobs",
+        args.jobs
+    );
+    // Each workload's (reuse analysis + COBCM run) is an independent cell.
+    let names = WorkloadProfile::SPEC_NAMES;
+    let rows = pool::run_indexed(names.len(), args.jobs, |i| {
+        let name = names[i];
         let profile = WorkloadProfile::named(name).expect("known");
         let trace = TraceGenerator::new(profile.clone(), 1).generate(instructions);
         let reuse = ReuseProfile::of(&trace, &ReuseProfile::SECPB_BUCKETS);
@@ -31,7 +36,7 @@ fn main() {
             TreeKind::Monolithic,
             instructions,
         );
-        rows.push(vec![
+        vec![
             name.to_owned(),
             format!("{:.1}", run.ppti()),
             format!("{:.0}%", reuse.hit_fraction_within(8) * 100.0),
@@ -39,8 +44,8 @@ fn main() {
             format!("{:.0}%", reuse.hit_fraction_within(256) * 100.0),
             format!("{:.1}", reuse.predicted_nwpe(32)),
             format!("{:.1}", run.nwpe()),
-        ]);
-    }
+        ]
+    });
     println!("workload characterization (reuse distances of the store stream):");
     println!(
         "{}",

@@ -1,19 +1,20 @@
 //! Regenerates **Figure 6**: per-benchmark execution time of every SecPB
 //! scheme with a 32-entry SecPB, normalized to the bbb baseline.
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin fig6 [instructions] [--json out.json]`
+//! Usage: `cargo run --release -p secpb-bench --bin fig6 [instructions] [--jobs N] [--json out.json]`
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::{fig6, DEFAULT_INSTRUCTIONS};
 use secpb_bench::report::render_table;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS);
-    eprintln!("Figure 6 @ {instructions} instructions/benchmark");
-    let study = fig6(instructions);
+    let args = RunnerArgs::from_env(DEFAULT_INSTRUCTIONS);
+    let instructions = args.instructions;
+    eprintln!(
+        "Figure 6 @ {instructions} instructions/benchmark, {} jobs",
+        args.jobs
+    );
+    let study = fig6(instructions, args.jobs);
 
     let mut headers = vec!["benchmark", "ppti", "nwpe"];
     headers.extend(study.schemes.iter().map(|s| s.name()));
@@ -33,9 +34,5 @@ fn main() {
     println!("FIGURE 6: execution time normalized to bbb (32-entry SecPB)");
     println!("{}", render_table(&headers, &rows));
 
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, study.to_json().to_pretty()).expect("write json");
-        eprintln!("wrote {path}");
-    }
+    args.write_json(&study.to_json());
 }

@@ -1,19 +1,20 @@
 //! Regenerates **Figure 7**: execution time of the CM model across SecPB
 //! sizes (8..=512 entries), normalized to a same-size bbb baseline.
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin fig7 [instructions] [--json out.json]`
+//! Usage: `cargo run --release -p secpb-bench --bin fig7 [instructions] [--jobs N] [--json out.json]`
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::{fig7, DEFAULT_INSTRUCTIONS};
 use secpb_bench::report::render_table;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS);
-    eprintln!("Figure 7 @ {instructions} instructions/benchmark (CM model)");
-    let sweep = fig7(instructions);
+    let args = RunnerArgs::from_env(DEFAULT_INSTRUCTIONS);
+    let instructions = args.instructions;
+    eprintln!(
+        "Figure 7 @ {instructions} instructions/benchmark, {} jobs (CM model)",
+        args.jobs
+    );
+    let sweep = fig7(instructions, args.jobs);
 
     let mut headers: Vec<String> = vec!["benchmark".into()];
     headers.extend(sweep.sizes.iter().map(|s| format!("{s}e")));
@@ -33,9 +34,5 @@ fn main() {
         "paper anchors: ~2.12x at 8 entries, ~1.24x at 512 entries; diminishing returns past 32-64"
     );
 
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, sweep.to_json().to_pretty()).expect("write json");
-        eprintln!("wrote {path}");
-    }
+    args.write_json(&sweep.to_json());
 }

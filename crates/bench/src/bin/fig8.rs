@@ -2,19 +2,20 @@
 //! normalized to `sec_wt` (a secure write-through policy that updates the
 //! root once per store).
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin fig8 [instructions] [--json out.json]`
+//! Usage: `cargo run --release -p secpb-bench --bin fig8 [instructions] [--jobs N] [--json out.json]`
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::{fig8, DEFAULT_INSTRUCTIONS};
 use secpb_bench::report::render_table;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS);
-    eprintln!("Figure 8 @ {instructions} instructions/benchmark (CM model)");
-    let study = fig8(instructions);
+    let args = RunnerArgs::from_env(DEFAULT_INSTRUCTIONS);
+    let instructions = args.instructions;
+    eprintln!(
+        "Figure 8 @ {instructions} instructions/benchmark, {} jobs (CM model)",
+        args.jobs
+    );
+    let study = fig8(instructions, args.jobs);
 
     let mut headers: Vec<String> = vec!["benchmark".into()];
     headers.extend(study.sizes.iter().map(|s| format!("{s}e")));
@@ -32,9 +33,5 @@ fn main() {
     println!("{}", render_table(&header_refs, &rows));
     println!("paper anchors: 12.7% at 8 entries, 1.8% at 512 entries");
 
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, study.to_json().to_pretty()).expect("write json");
-        eprintln!("wrote {path}");
-    }
+    args.write_json(&study.to_json());
 }

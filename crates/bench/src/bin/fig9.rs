@@ -2,19 +2,20 @@
 //! SBMF Bonsai-Merkle-Forest height-reduction mechanisms, against the SP
 //! baseline with the same mechanisms.  All normalized to bbb.
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin fig9 [instructions] [--json out.json]`
+//! Usage: `cargo run --release -p secpb-bench --bin fig9 [instructions] [--jobs N] [--json out.json]`
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::{fig9, DEFAULT_INSTRUCTIONS};
 use secpb_bench::report::{bar_chart, render_table, slowdown_label};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS);
-    eprintln!("Figure 9 @ {instructions} instructions/benchmark");
-    let study = fig9(instructions);
+    let args = RunnerArgs::from_env(DEFAULT_INSTRUCTIONS);
+    let instructions = args.instructions;
+    eprintln!(
+        "Figure 9 @ {instructions} instructions/benchmark, {} jobs",
+        args.jobs
+    );
+    let study = fig9(instructions, args.jobs);
 
     let mut headers: Vec<&str> = vec!["benchmark"];
     headers.extend(study.variants.iter().map(String::as_str));
@@ -40,9 +41,5 @@ fn main() {
     println!("paper anchors: sp_dbmf 88.9%, sp_sbmf 3.43x, cm_dbmf 33.3%, cm_sbmf 56.6%");
     println!("expected shape: cm_dbmf < cm_sbmf < sp_dbmf < sp_sbmf");
 
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, study.to_json().to_pretty()).expect("write json");
-        eprintln!("wrote {path}");
-    }
+    args.write_json(&study.to_json());
 }

@@ -1,19 +1,20 @@
 //! Regenerates **Table IV**: average performance overheads of all SecPB
 //! schemes with a 32-entry SecPB, normalized to the insecure bbb baseline.
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin table4 [instructions] [--json out.json]`
+//! Usage: `cargo run --release -p secpb-bench --bin table4 [instructions] [--jobs N] [--json out.json]`
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::{table4, DEFAULT_INSTRUCTIONS};
 use secpb_bench::report::{bar_chart, overhead_pct, render_table};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let instructions = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS);
-    eprintln!("Table IV @ {instructions} instructions/benchmark (paper: 250M on Gem5)");
-    let study = table4(instructions);
+    let args = RunnerArgs::from_env(DEFAULT_INSTRUCTIONS);
+    let instructions = args.instructions;
+    eprintln!(
+        "Table IV @ {instructions} instructions/benchmark, {} jobs (paper: 250M on Gem5)",
+        args.jobs
+    );
+    let study = table4(instructions, args.jobs);
 
     let paper = [1.3, 1.5, 14.8, 71.3, 73.8, 118.4];
     let rows: Vec<Vec<String>> = study
@@ -41,9 +42,5 @@ fn main() {
     println!("normalized execution time (1.0 = bbb):");
     println!("{}", bar_chart(&bars, 48));
 
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(path, study.to_json().to_pretty()).expect("write json");
-        eprintln!("wrote {path}");
-    }
+    args.write_json(&study.to_json());
 }

@@ -1,13 +1,16 @@
 //! Regenerates **Table V**: energy-source size estimates for every scheme
 //! with a 32-entry SecPB, compared to secure eADR, bbb, and plain eADR.
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin table5 [--json out.json]`
+//! Usage: `cargo run --release -p secpb-bench --bin table5 [--jobs N] [--json out.json]`
+//! (`--jobs` is accepted for a uniform runner surface; the table is
+//! analytic, so there is no grid to fan out.)
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::table5;
 use secpb_bench::report::{mm3, render_table};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = RunnerArgs::from_env(0);
     let rows = table5(32);
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -38,13 +41,5 @@ fn main() {
     println!("paper anchors: cobcm 4.89/0.049, bcm 4.72/0.047, nogap 0.28/0.003,");
     println!("               s_eadr 3706/37.06, bbb 0.07/0.001, eadr 149.32/1.490");
 
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(
-            path,
-            secpb_bench::experiments::battery_rows_to_json(&rows).to_pretty(),
-        )
-        .expect("write json");
-        eprintln!("wrote {path}");
-    }
+    args.write_json(&secpb_bench::experiments::battery_rows_to_json(&rows));
 }

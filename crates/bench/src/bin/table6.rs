@@ -1,13 +1,16 @@
 //! Regenerates **Table VI**: supercapacitor/battery capacity for varying
 //! SecPB sizes under the COBCM and NoGap models.
 //!
-//! Usage: `cargo run --release -p secpb-bench --bin table6 [--json out.json]`
+//! Usage: `cargo run --release -p secpb-bench --bin table6 [--jobs N] [--json out.json]`
+//! (`--jobs` is accepted for a uniform runner surface; the table is
+//! analytic, so there is no grid to fan out.)
 
+use secpb_bench::args::RunnerArgs;
 use secpb_bench::experiments::table6;
 use secpb_bench::report::{mm3, render_table};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = RunnerArgs::from_env(0);
     let rows = table6();
     let table: Vec<Vec<String>> = rows
         .iter()
@@ -37,13 +40,5 @@ fn main() {
     );
     println!("paper anchors @32: COBCM 4.89/0.049, NoGap 0.28/0.003; @512: COBCM 76.10/0.761, NoGap 4.35/0.044");
 
-    if let Some(pos) = args.iter().position(|a| a == "--json") {
-        let path = args.get(pos + 1).expect("--json needs a path");
-        std::fs::write(
-            path,
-            secpb_bench::experiments::battery_sweep_to_json(&rows).to_pretty(),
-        )
-        .expect("write json");
-        eprintln!("wrote {path}");
-    }
+    args.write_json(&secpb_bench::experiments::battery_sweep_to_json(&rows));
 }

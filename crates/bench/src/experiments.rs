@@ -16,7 +16,9 @@ use secpb_core::tree::TreeKind;
 use secpb_energy::battery::BatteryTech;
 use secpb_energy::drain::{eadr_energy, secpb_drain_energy, secure_eadr_energy, SchemeKind};
 use secpb_sim::config::SystemConfig;
+use secpb_sim::fxhash::derive_seed;
 use secpb_sim::json::Json;
+use secpb_sim::pool;
 use secpb_workloads::{TraceGenerator, WorkloadProfile};
 
 /// Default per-benchmark instruction budget.
@@ -28,7 +30,27 @@ pub const DEFAULT_INSTRUCTIONS: u64 = 1_000_000;
 /// Short exploratory runs warm proportionally (2× the measured length).
 pub const WARMUP_INSTRUCTIONS: u64 = 600_000;
 
-/// The warm-up length used for a given measurement length.
+/// The warm-up length used for a given measurement length:
+/// `min(WARMUP_INSTRUCTIONS, 2 × instructions)`.
+///
+/// The contract, including its deliberate asymmetry for tiny exploratory
+/// runs:
+///
+/// * **Short runs** (`instructions < 300_000`) warm *twice* the measured
+///   length.  A cold hierarchy inflates the first few thousand cycles; a
+///   warm-up shorter than the measurement region would leave quick runs
+///   dominated by compulsory misses and mis-rank the schemes.
+/// * **At the boundary** (`instructions == 300_000`) both expressions
+///   agree at exactly 600 000.
+/// * **Long runs** (`instructions > 300_000`) cap at
+///   [`WARMUP_INSTRUCTIONS`]: the working sets fit long before that, and
+///   warming proportionally forever would double every full-scale
+///   experiment for no statistical gain.
+///
+/// Note the quirk this implies: warm-up as a *fraction* of total work
+/// peaks at 2× for every run up to 300 K instructions, then decays — a
+/// 50 K-instruction exploratory cell simulates 150 K instructions, while
+/// the paper-scale 1 M-instruction cell simulates 1.6 M.
 pub fn warmup_for(instructions: u64) -> u64 {
     WARMUP_INSTRUCTIONS.min(instructions * 2)
 }
@@ -36,8 +58,33 @@ pub fn warmup_for(instructions: u64) -> u64 {
 /// Deterministic seed base for all experiments.
 pub const SEED: u64 = 0x5EC9_B0A2;
 
+/// The trace seed for a workload: `SEED ⊕ hash(workload)`.
+///
+/// Depends on the *workload only*, so every scheme — including the `bbb`
+/// baseline a slowdown is normalized against — replays the identical
+/// instruction stream.  Deriving per-workload (rather than sharing `SEED`
+/// verbatim) decorrelates the workloads' random address streams from one
+/// another.
+pub fn trace_seed(workload: &str) -> u64 {
+    derive_seed(SEED, &[workload])
+}
+
+/// The per-cell system seed: `SEED ⊕ hash(scheme, workload)`.
+///
+/// Each grid cell derives its own seed instead of sharing one global RNG,
+/// which is what makes cells pure functions of their coordinates: a
+/// parallel grid is **byte-identical** to a serial one regardless of
+/// worker count or scheduling.  The system seed only derives crypto keys,
+/// so it may safely differ between a scheme run and its baseline.
+pub fn cell_seed(scheme: Scheme, workload: &str) -> u64 {
+    derive_seed(SEED, &[scheme.name(), workload])
+}
+
 /// Runs one benchmark under one scheme: warm up, reset measurement,
 /// measure.
+///
+/// Both regions are *streamed* straight from the generator into
+/// `run_trace` — no warm-up or measurement `Vec` is ever materialized.
 pub fn run_benchmark(
     profile: &WorkloadProfile,
     scheme: Scheme,
@@ -45,11 +92,11 @@ pub fn run_benchmark(
     tree: TreeKind,
     instructions: u64,
 ) -> RunResult {
-    let mut generator = TraceGenerator::new(profile.clone(), SEED);
-    let mut sys = SecureSystem::with_tree(cfg, scheme, tree, SEED);
-    sys.run_trace(generator.generate(warmup_for(instructions)));
+    let mut generator = TraceGenerator::new(profile.clone(), trace_seed(&profile.name));
+    let mut sys = SecureSystem::with_tree(cfg, scheme, tree, cell_seed(scheme, &profile.name));
+    sys.run_trace(generator.stream(warmup_for(instructions)));
     sys.reset_measurement();
-    sys.run_trace(generator.generate(instructions))
+    sys.run_trace(generator.stream(instructions))
 }
 
 /// Like [`run_benchmark`] but enables span capture for the measurement
@@ -63,13 +110,80 @@ pub fn run_benchmark_instrumented(
     instructions: u64,
     capture: usize,
 ) -> (RunResult, SecureSystem) {
-    let mut generator = TraceGenerator::new(profile.clone(), SEED);
-    let mut sys = SecureSystem::with_tree(cfg, scheme, tree, SEED);
-    sys.run_trace(generator.generate(warmup_for(instructions)));
+    let mut generator = TraceGenerator::new(profile.clone(), trace_seed(&profile.name));
+    let mut sys = SecureSystem::with_tree(cfg, scheme, tree, cell_seed(scheme, &profile.name));
+    sys.run_trace(generator.stream(warmup_for(instructions)));
     sys.reset_measurement();
     sys.enable_trace_capture(capture);
-    let r = sys.run_trace(generator.generate(instructions));
+    let r = sys.run_trace(generator.stream(instructions));
     (r, sys)
+}
+
+// ------------------------------------------------------------------
+// The deterministic parallel experiment engine
+// ------------------------------------------------------------------
+
+/// One cell of an experiment grid: a `(workload, scheme, config, tree,
+/// budget)` coordinate whose result is a pure function of its fields.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// The workload to replay.
+    pub profile: WorkloadProfile,
+    /// The metadata-persistence scheme.
+    pub scheme: Scheme,
+    /// The system configuration (SecPB size, watermarks, …).
+    pub cfg: SystemConfig,
+    /// The integrity-tree organisation.
+    pub tree: TreeKind,
+    /// Measurement-region instruction budget.
+    pub instructions: u64,
+}
+
+impl GridCell {
+    /// A cell with the default configuration and monolithic tree.
+    pub fn new(profile: WorkloadProfile, scheme: Scheme, instructions: u64) -> Self {
+        GridCell {
+            profile,
+            scheme,
+            cfg: SystemConfig::default(),
+            tree: TreeKind::Monolithic,
+            instructions,
+        }
+    }
+
+    /// Replaces the system configuration.
+    pub fn with_cfg(mut self, cfg: SystemConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Replaces the tree organisation.
+    pub fn with_tree(mut self, tree: TreeKind) -> Self {
+        self.tree = tree;
+        self
+    }
+
+    /// Runs this cell (the pure function the pool fans out).
+    pub fn run(&self) -> RunResult {
+        run_benchmark(
+            &self.profile,
+            self.scheme,
+            self.cfg.clone(),
+            self.tree,
+            self.instructions,
+        )
+    }
+}
+
+/// Runs a grid of cells across `jobs` worker threads, returning results
+/// in cell order.
+///
+/// Because every cell seeds its own generator and system from
+/// [`cell_seed`]/[`trace_seed`], the output is byte-identical for every
+/// `jobs` value — `run_grid(cells, 1)` is the serial engine, and the
+/// table/figure runners' reports do not change under `--jobs N`.
+pub fn run_grid(cells: &[GridCell], jobs: usize) -> Vec<RunResult> {
+    pool::run_indexed(cells.len(), jobs, |i| cells[i].run())
 }
 
 /// Geometric mean of a non-empty slice.
@@ -108,19 +222,20 @@ pub struct SlowdownStudy {
 }
 
 /// Runs the Figure 6 study: all benchmarks, all SecPB schemes, 32-entry
-/// SecPB, normalized to bbb.
-pub fn fig6(instructions: u64) -> SlowdownStudy {
+/// SecPB, normalized to bbb, fanned across `jobs` workers.
+pub fn fig6(instructions: u64, jobs: usize) -> SlowdownStudy {
     slowdown_study(
         SystemConfig::default(),
         &Scheme::SECPB_SCHEMES,
         instructions,
+        jobs,
     )
 }
 
 /// Table IV is Figure 6's geometric means (the paper tabulates the same
 /// run).
-pub fn table4(instructions: u64) -> SlowdownStudy {
-    fig6(instructions)
+pub fn table4(instructions: u64, jobs: usize) -> SlowdownStudy {
+    fig6(instructions, jobs)
 }
 
 impl SlowdownStudy {
@@ -149,36 +264,46 @@ impl SlowdownStudy {
     }
 }
 
-/// Generic slowdown study over the SPEC suite.
-pub fn slowdown_study(cfg: SystemConfig, schemes: &[Scheme], instructions: u64) -> SlowdownStudy {
+/// Generic slowdown study over the SPEC suite, fanned across `jobs`
+/// workers.
+///
+/// The grid is `suite × (bbb baseline + schemes)`, laid out row-major so
+/// each benchmark's baseline and scheme cells are adjacent; results come
+/// back from [`run_grid`] in that canonical order regardless of `jobs`.
+pub fn slowdown_study(
+    cfg: SystemConfig,
+    schemes: &[Scheme],
+    instructions: u64,
+    jobs: usize,
+) -> SlowdownStudy {
     let suite = WorkloadProfile::spec_suite();
-    let mut rows = Vec::new();
+    let stride = 1 + schemes.len();
+    let mut cells = Vec::with_capacity(suite.len() * stride);
     for profile in &suite {
-        let base = run_benchmark(
-            profile,
-            Scheme::Bbb,
-            cfg.clone(),
-            TreeKind::Monolithic,
-            instructions,
-        );
-        let mut slowdowns = Vec::new();
+        cells.push(GridCell::new(profile.clone(), Scheme::Bbb, instructions).with_cfg(cfg.clone()));
         for &scheme in schemes {
-            let r = run_benchmark(
-                profile,
-                scheme,
-                cfg.clone(),
-                TreeKind::Monolithic,
-                instructions,
-            );
-            slowdowns.push((scheme, r.slowdown_vs(&base)));
+            cells.push(GridCell::new(profile.clone(), scheme, instructions).with_cfg(cfg.clone()));
         }
-        rows.push(BenchmarkRow {
-            name: profile.name.clone(),
-            slowdowns,
-            ppti: base.ppti(),
-            nwpe: base.nwpe(),
-        });
     }
+    let results = run_grid(&cells, jobs);
+    let rows: Vec<BenchmarkRow> = suite
+        .iter()
+        .zip(results.chunks_exact(stride))
+        .map(|(profile, chunk)| {
+            let base = &chunk[0];
+            let slowdowns = schemes
+                .iter()
+                .zip(&chunk[1..])
+                .map(|(&scheme, r)| (scheme, r.slowdown_vs(base)))
+                .collect();
+            BenchmarkRow {
+                name: profile.name.clone(),
+                slowdowns,
+                ppti: base.ppti(),
+                nwpe: base.nwpe(),
+            }
+        })
+        .collect();
     let averages = schemes
         .iter()
         .enumerate()
@@ -349,30 +474,31 @@ pub struct SizeSweep {
     pub rows: Vec<(String, Vec<f64>)>,
 }
 
-/// Runs the Figure 7 sweep: CM with SecPB sizes 8..=512.
-pub fn fig7(instructions: u64) -> SizeSweep {
+/// Runs the Figure 7 sweep: CM with SecPB sizes 8..=512, fanned across
+/// `jobs` workers.  The whole `size × benchmark × {bbb, cm}` grid is one
+/// flat fan-out, so every cell of every size runs concurrently.
+pub fn fig7(instructions: u64, jobs: usize) -> SizeSweep {
     let sizes = vec![8usize, 16, 32, 64, 128, 256, 512];
     let suite = WorkloadProfile::spec_suite();
-    let mut rows: Vec<(String, Vec<f64>)> =
-        suite.iter().map(|p| (p.name.clone(), Vec::new())).collect();
+    let mut cells = Vec::with_capacity(sizes.len() * suite.len() * 2);
     for &size in &sizes {
         let cfg = SystemConfig::default().with_secpb_entries(size);
-        for (profile, row) in suite.iter().zip(rows.iter_mut()) {
-            let base = run_benchmark(
-                profile,
-                Scheme::Bbb,
-                cfg.clone(),
-                TreeKind::Monolithic,
-                instructions,
+        for profile in &suite {
+            cells.push(
+                GridCell::new(profile.clone(), Scheme::Bbb, instructions).with_cfg(cfg.clone()),
             );
-            let cm = run_benchmark(
-                profile,
-                Scheme::Cm,
-                cfg.clone(),
-                TreeKind::Monolithic,
-                instructions,
+            cells.push(
+                GridCell::new(profile.clone(), Scheme::Cm, instructions).with_cfg(cfg.clone()),
             );
-            row.1.push(cm.slowdown_vs(&base));
+        }
+    }
+    let results = run_grid(&cells, jobs);
+    let mut rows: Vec<(String, Vec<f64>)> =
+        suite.iter().map(|p| (p.name.clone(), Vec::new())).collect();
+    for (si, _) in sizes.iter().enumerate() {
+        for (pi, row) in rows.iter_mut().enumerate() {
+            let pair = &results[(si * suite.len() + pi) * 2..][..2];
+            row.1.push(pair[1].slowdown_vs(&pair[0]));
         }
     }
     let averages = (0..sizes.len())
@@ -439,24 +565,28 @@ impl BmtUpdateStudy {
     }
 }
 
-/// Runs the Figure 8 study under the CM model.
-pub fn fig8(instructions: u64) -> BmtUpdateStudy {
+/// Runs the Figure 8 study under the CM model, fanned across `jobs`
+/// workers.
+pub fn fig8(instructions: u64, jobs: usize) -> BmtUpdateStudy {
     let sizes = vec![8usize, 16, 32, 64, 128, 256, 512];
     let suite = WorkloadProfile::spec_suite();
-    let mut rows: Vec<(String, Vec<f64>)> =
-        suite.iter().map(|p| (p.name.clone(), Vec::new())).collect();
+    let mut cells = Vec::with_capacity(sizes.len() * suite.len());
     for &size in &sizes {
         let cfg = SystemConfig::default().with_secpb_entries(size);
-        for (profile, row) in suite.iter().zip(rows.iter_mut()) {
-            let cm = run_benchmark(
-                profile,
-                Scheme::Cm,
-                cfg.clone(),
-                TreeKind::Monolithic,
-                instructions,
+        for profile in &suite {
+            cells.push(
+                GridCell::new(profile.clone(), Scheme::Cm, instructions).with_cfg(cfg.clone()),
             );
+        }
+    }
+    let results = run_grid(&cells, jobs);
+    let mut rows: Vec<(String, Vec<f64>)> =
+        suite.iter().map(|p| (p.name.clone(), Vec::new())).collect();
+    for (si, _) in sizes.iter().enumerate() {
+        for (pi, row) in rows.iter_mut().enumerate() {
             // sec_wt would update the root once per persisted store.
-            row.1.push(cm.bmt_updates_per_store());
+            row.1
+                .push(results[si * suite.len() + pi].bmt_updates_per_store());
         }
     }
     let averages = (0..sizes.len())
@@ -499,8 +629,9 @@ impl BmfStudy {
     }
 }
 
-/// Runs the Figure 9 study: `sp_dbmf`, `sp_sbmf`, `cm_dbmf`, `cm_sbmf`.
-pub fn fig9(instructions: u64) -> BmfStudy {
+/// Runs the Figure 9 study: `sp_dbmf`, `sp_sbmf`, `cm_dbmf`, `cm_sbmf`,
+/// fanned across `jobs` workers.
+pub fn fig9(instructions: u64, jobs: usize) -> BmfStudy {
     let variants: Vec<(String, Scheme, TreeKind)> = vec![
         ("sp_dbmf".into(), Scheme::Sp, TreeKind::Dbmf),
         ("sp_sbmf".into(), Scheme::Sp, TreeKind::Sbmf),
@@ -509,22 +640,28 @@ pub fn fig9(instructions: u64) -> BmfStudy {
     ];
     let cfg = SystemConfig::default();
     let suite = WorkloadProfile::spec_suite();
-    let mut rows = Vec::new();
+    let stride = 1 + variants.len();
+    let mut cells = Vec::with_capacity(suite.len() * stride);
     for profile in &suite {
-        let base = run_benchmark(
-            profile,
-            Scheme::Bbb,
-            cfg.clone(),
-            TreeKind::Monolithic,
-            instructions,
-        );
-        let mut vals = Vec::new();
+        cells.push(GridCell::new(profile.clone(), Scheme::Bbb, instructions).with_cfg(cfg.clone()));
         for (_, scheme, tree) in &variants {
-            let r = run_benchmark(profile, *scheme, cfg.clone(), *tree, instructions);
-            vals.push(r.slowdown_vs(&base));
+            cells.push(
+                GridCell::new(profile.clone(), *scheme, instructions)
+                    .with_cfg(cfg.clone())
+                    .with_tree(*tree),
+            );
         }
-        rows.push((profile.name.clone(), vals));
     }
+    let results = run_grid(&cells, jobs);
+    let rows: Vec<(String, Vec<f64>)> = suite
+        .iter()
+        .zip(results.chunks_exact(stride))
+        .map(|(profile, chunk)| {
+            let base = &chunk[0];
+            let vals = chunk[1..].iter().map(|r| r.slowdown_vs(base)).collect();
+            (profile.name.clone(), vals)
+        })
+        .collect();
     let averages = (0..variants.len())
         .map(|i| geomean(&rows.iter().map(|r| r.1[i]).collect::<Vec<_>>()))
         .collect();
@@ -542,12 +679,13 @@ pub fn fig9(instructions: u64) -> BmfStudy {
 /// Ablation: the Section IV-A value-independent coalescing optimization
 /// on vs off, for a given scheme.  Returns (on, off) geometric-mean
 /// slowdowns vs bbb.
-pub fn ablation_coalescing(scheme: Scheme, instructions: u64) -> (f64, f64) {
-    let on = slowdown_study(SystemConfig::default(), &[scheme], instructions).averages[0].1;
+pub fn ablation_coalescing(scheme: Scheme, instructions: u64, jobs: usize) -> (f64, f64) {
+    let on = slowdown_study(SystemConfig::default(), &[scheme], instructions, jobs).averages[0].1;
     let off = slowdown_study(
         SystemConfig::default().with_value_independent_coalescing(false),
         &[scheme],
         instructions,
+        jobs,
     )
     .averages[0]
         .1;
@@ -556,12 +694,14 @@ pub fn ablation_coalescing(scheme: Scheme, instructions: u64) -> (f64, f64) {
 
 /// Ablation: single in-flight BMT update vs pipelined, for a given
 /// scheme.  Returns (single, pipelined) geometric-mean slowdowns.
-pub fn ablation_bmt_pipelining(scheme: Scheme, instructions: u64) -> (f64, f64) {
-    let single = slowdown_study(SystemConfig::default(), &[scheme], instructions).averages[0].1;
+pub fn ablation_bmt_pipelining(scheme: Scheme, instructions: u64, jobs: usize) -> (f64, f64) {
+    let single =
+        slowdown_study(SystemConfig::default(), &[scheme], instructions, jobs).averages[0].1;
     let pipelined = slowdown_study(
         SystemConfig::default().with_pipelined_bmt(true),
         &[scheme],
         instructions,
+        jobs,
     )
     .averages[0]
         .1;
@@ -571,12 +711,17 @@ pub fn ablation_bmt_pipelining(scheme: Scheme, instructions: u64) -> (f64, f64) 
 /// Ablation: speculative vs blocking load verification (Section V-A
 /// assumes speculation).  Returns (speculative, blocking) geometric-mean
 /// slowdowns.
-pub fn ablation_speculative_verification(scheme: Scheme, instructions: u64) -> (f64, f64) {
-    let spec = slowdown_study(SystemConfig::default(), &[scheme], instructions).averages[0].1;
+pub fn ablation_speculative_verification(
+    scheme: Scheme,
+    instructions: u64,
+    jobs: usize,
+) -> (f64, f64) {
+    let spec = slowdown_study(SystemConfig::default(), &[scheme], instructions, jobs).averages[0].1;
     let blocking = slowdown_study(
         SystemConfig::default().with_speculative_verification(false),
         &[scheme],
         instructions,
+        jobs,
     )
     .averages[0]
         .1;
@@ -589,6 +734,7 @@ pub fn ablation_watermarks(
     scheme: Scheme,
     pairs: &[(f64, f64)],
     instructions: u64,
+    jobs: usize,
 ) -> Vec<((f64, f64), f64)> {
     pairs
         .iter()
@@ -597,6 +743,7 @@ pub fn ablation_watermarks(
                 SystemConfig::default().with_watermarks(h, l),
                 &[scheme],
                 instructions,
+                jobs,
             );
             ((h, l), s.averages[0].1)
         })
@@ -635,8 +782,56 @@ mod tests {
     }
 
     #[test]
+    fn warmup_contract_at_the_boundary() {
+        // Below the crossover: proportional warm-up, 2× the measurement.
+        assert_eq!(warmup_for(299_999), 599_998);
+        assert_eq!(warmup_for(50_000), 100_000);
+        assert_eq!(warmup_for(0), 0);
+        // Exactly at the crossover both expressions agree.
+        assert_eq!(warmup_for(300_000), 600_000);
+        assert_eq!(warmup_for(300_000), WARMUP_INSTRUCTIONS);
+        // Above it: capped at the fixed budget.
+        assert_eq!(warmup_for(300_001), 600_000);
+        assert_eq!(warmup_for(DEFAULT_INSTRUCTIONS), WARMUP_INSTRUCTIONS);
+        assert_eq!(warmup_for(u64::MAX / 4), WARMUP_INSTRUCTIONS);
+    }
+
+    #[test]
+    fn seeds_differ_per_cell_but_traces_are_paired() {
+        // System seeds: unique per (scheme, workload) coordinate.
+        assert_ne!(
+            cell_seed(Scheme::Cm, "gamess"),
+            cell_seed(Scheme::Cm, "povray")
+        );
+        assert_ne!(
+            cell_seed(Scheme::Cm, "gamess"),
+            cell_seed(Scheme::Bbb, "gamess")
+        );
+        // Trace seeds: a scheme run and its bbb baseline replay the SAME
+        // trace (workload-only derivation), but workloads differ.
+        assert_ne!(trace_seed("gamess"), trace_seed("povray"));
+        assert_ne!(trace_seed("gamess"), cell_seed(Scheme::Bbb, "gamess"));
+    }
+
+    #[test]
+    fn grid_results_are_identical_for_any_job_count() {
+        let profiles = ["gamess", "povray"];
+        let cells: Vec<GridCell> = profiles
+            .iter()
+            .flat_map(|p| {
+                [Scheme::Bbb, Scheme::Cm]
+                    .into_iter()
+                    .map(|s| GridCell::new(WorkloadProfile::named(p).unwrap(), s, 20_000))
+            })
+            .collect();
+        let serial = run_grid(&cells, 1);
+        let parallel = run_grid(&cells, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
     fn table4_scheme_ordering_holds() {
-        let study = table4(QUICK);
+        let study = table4(QUICK, secpb_sim::pool::default_jobs());
         let avg: std::collections::HashMap<Scheme, f64> = study.averages.iter().copied().collect();
         assert!(avg[&Scheme::Cobcm] < avg[&Scheme::Bcm]);
         assert!(avg[&Scheme::Obcm] < avg[&Scheme::Bcm]);

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod args;
 pub mod experiments;
 pub mod micro;
 pub mod report;

@@ -14,8 +14,9 @@
 //! (energy) and root updates, plus root-cache hit/miss counts used by the
 //! Figure 9 timing model.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
+
+use secpb_sim::fxhash::FxHashMap;
 
 use crate::bmt::BonsaiMerkleTree;
 use crate::sha512::Digest;
@@ -77,7 +78,7 @@ pub struct BonsaiMerkleForest {
     sub_levels: u32,
     /// Upper tree over subtree roots: `full_levels - sub_levels` levels.
     upper: BonsaiMerkleTree,
-    subtrees: HashMap<u64, BonsaiMerkleTree>,
+    subtrees: FxHashMap<u64, BonsaiMerkleTree>,
     /// Subtree ids whose roots are currently in the secure root cache,
     /// in LRU order (front = oldest).
     cache: VecDeque<u64>,
@@ -116,7 +117,7 @@ impl BonsaiMerkleForest {
             arity,
             sub_levels,
             upper,
-            subtrees: HashMap::new(),
+            subtrees: FxHashMap::default(),
             cache: VecDeque::new(),
             cache_capacity: root_cache_entries,
             stats: BmfStats::default(),

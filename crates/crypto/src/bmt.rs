@@ -16,13 +16,86 @@
 //! the number of *root updates* (Figure 8) and the number of *node hashes*
 //! (the energy model's per-update cost).
 
-use std::collections::HashMap;
+use secpb_sim::fxhash::FxHashMap;
 
 use crate::hmac::HmacSha512;
 use crate::sha512::Digest;
 
 /// Default tree arity (children per interior node).
 pub const DEFAULT_ARITY: usize = 8;
+
+/// Digests per storage chunk of a [`NodeLevel`] (4 KB of digests).
+///
+/// A power of two at least as large as any practical arity, so a node's
+/// whole sibling group lives in one chunk whenever the arity is a power
+/// of two ≤ 64 — the per-level child gather is then a single map lookup
+/// plus dense index arithmetic instead of `arity` independent lookups.
+const LEVEL_CHUNK: u64 = 64;
+
+/// Sparse-dense storage for one tree level: touched regions are dense
+/// 64-digest chunks, untouched regions read as the level's default
+/// digest.
+///
+/// A fully dense array per level would be byte-exact for the top levels
+/// but infeasible at the leaves (the paper's 8-level, 8-ary tree covers
+/// 16 M leaves), and workloads touch widely separated index bands (store,
+/// sequential, and load regions).  Chunking keeps the dense-array index
+/// arithmetic on the hot update walk while bounding memory by the
+/// *touched* footprint.
+#[derive(Debug, Clone)]
+struct NodeLevel {
+    default: Digest,
+    chunks: FxHashMap<u64, Box<[Digest]>>,
+}
+
+impl NodeLevel {
+    fn new(default: Digest) -> Self {
+        NodeLevel {
+            default,
+            chunks: FxHashMap::default(),
+        }
+    }
+
+    /// The digest at `index` (the level default if never written).
+    #[inline]
+    fn get(&self, index: u64) -> Digest {
+        match self.chunks.get(&(index / LEVEL_CHUNK)) {
+            Some(chunk) => chunk[(index % LEVEL_CHUNK) as usize],
+            None => self.default,
+        }
+    }
+
+    /// Writes the digest at `index`, materializing its chunk on first
+    /// touch.
+    #[inline]
+    fn set(&mut self, index: u64, digest: Digest) {
+        let default = self.default;
+        let chunk = self
+            .chunks
+            .entry(index / LEVEL_CHUNK)
+            .or_insert_with(|| vec![default; LEVEL_CHUNK as usize].into_boxed_slice());
+        chunk[(index % LEVEL_CHUNK) as usize] = digest;
+    }
+
+    /// Copies the digests of the contiguous sibling group
+    /// `first..first + count` into `out`.
+    ///
+    /// Fast path: when the group does not straddle a chunk boundary (any
+    /// power-of-two arity ≤ [`LEVEL_CHUNK`], since `first` is
+    /// arity-aligned), this is one map lookup and a slice copy.
+    fn siblings(&self, first: u64, count: usize, out: &mut Vec<Digest>) {
+        out.clear();
+        let offset = (first % LEVEL_CHUNK) as usize;
+        if offset + count <= LEVEL_CHUNK as usize {
+            match self.chunks.get(&(first / LEVEL_CHUNK)) {
+                Some(chunk) => out.extend_from_slice(&chunk[offset..offset + count]),
+                None => out.resize(count, self.default),
+            }
+        } else {
+            out.extend((0..count as u64).map(|c| self.get(first + c)));
+        }
+    }
+}
 
 /// A leaf-to-root authentication path, as produced by
 /// [`BonsaiMerkleTree::prove`] and checked by
@@ -55,10 +128,10 @@ pub struct BonsaiMerkleTree {
     hasher: HmacSha512,
     arity: usize,
     levels: u32,
-    /// `nodes[l]` maps node index at level `l` (0 = leaves) to its digest.
-    nodes: Vec<HashMap<u64, Digest>>,
-    /// Per-level digest of a fully-default subtree.
-    defaults: Vec<Digest>,
+    /// `nodes[l]` holds the written digests at level `l` (0 = leaves) in
+    /// chunked sparse-dense storage; absent nodes read as the level's
+    /// default digest.
+    nodes: Vec<NodeLevel>,
     root: Digest,
     root_updates: u64,
     node_hashes: u64,
@@ -92,8 +165,10 @@ impl BonsaiMerkleTree {
             hasher,
             arity,
             levels,
-            nodes: (0..levels).map(|_| HashMap::new()).collect(),
-            defaults,
+            nodes: defaults[..levels as usize]
+                .iter()
+                .map(|&d| NodeLevel::new(d))
+                .collect(),
             root,
             root_updates: 0,
             node_hashes: 0,
@@ -139,10 +214,7 @@ impl BonsaiMerkleTree {
     }
 
     fn node_digest(&self, level: usize, index: u64) -> Digest {
-        self.nodes[level]
-            .get(&index)
-            .copied()
-            .unwrap_or(self.defaults[level])
+        self.nodes[level].get(index)
     }
 
     /// Writes a new leaf digest and walks the update to the root.
@@ -158,23 +230,20 @@ impl BonsaiMerkleTree {
             leaf_index < self.capacity(),
             "leaf {leaf_index} out of range"
         );
-        self.nodes[0].insert(leaf_index, leaf_digest);
+        self.nodes[0].set(leaf_index, leaf_digest);
         let mut index = leaf_index;
         let mut scratch: Vec<Digest> = Vec::with_capacity(self.arity);
         for level in 0..self.levels as usize {
             let parent = index / self.arity as u64;
             let first_child = parent * self.arity as u64;
-            scratch.clear();
-            for c in 0..self.arity as u64 {
-                scratch.push(self.node_digest(level, first_child + c));
-            }
+            self.nodes[level].siblings(first_child, self.arity, &mut scratch);
             let parts: Vec<&[u8]> = scratch.iter().map(|d| d.as_ref()).collect();
             let parent_digest = self.hasher.compute_parts(&parts);
             self.node_hashes += 1;
             if level + 1 == self.levels as usize {
                 self.root = parent_digest;
             } else {
-                self.nodes[level + 1].insert(parent, parent_digest);
+                self.nodes[level + 1].set(parent, parent_digest);
             }
             index = parent;
         }

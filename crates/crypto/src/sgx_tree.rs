@@ -15,7 +15,7 @@
 //! rather than a hash over 64 bytes of digests, and the freshness
 //! argument is counter-based rather than collision-resistance-based.
 
-use std::collections::HashMap;
+use secpb_sim::fxhash::FxHashMap;
 
 use crate::hmac::HmacSha512;
 
@@ -47,7 +47,7 @@ pub struct SgxCounterTree {
     hmac: HmacSha512,
     levels: u32,
     /// `nodes[l]` maps node index at level `l` (0 = leaf-parent level).
-    nodes: Vec<HashMap<u64, Node>>,
+    nodes: Vec<FxHashMap<u64, Node>>,
     /// On-chip trusted top-level counters (the "root").
     root: [u64; ARITY],
     updates: u64,
@@ -65,7 +65,7 @@ impl SgxCounterTree {
         SgxCounterTree {
             hmac: HmacSha512::new(key),
             levels,
-            nodes: (0..levels).map(|_| HashMap::new()).collect(),
+            nodes: (0..levels).map(|_| FxHashMap::default()).collect(),
             root: [0; ARITY],
             updates: 0,
         }

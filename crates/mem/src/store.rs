@@ -11,11 +11,10 @@
 //! tests to demonstrate that post-crash integrity verification catches
 //! data tampering, counter rollback, and MAC splicing.
 
-use std::collections::HashMap;
-
 use secpb_crypto::counter::CounterBlock;
 use secpb_crypto::sha512::Digest;
 use secpb_sim::addr::BlockAddr;
+use secpb_sim::fxhash::FxHashMap;
 
 /// The number of data blocks per encryption page (counter-block
 /// granularity).
@@ -36,9 +35,9 @@ pub const BLOCKS_PER_PAGE: u64 = secpb_crypto::counter::BLOCKS_PER_PAGE as u64;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct NvmStore {
-    data: HashMap<BlockAddr, [u8; 64]>,
-    counters: HashMap<u64, CounterBlock>,
-    macs: HashMap<BlockAddr, u64>,
+    data: FxHashMap<BlockAddr, [u8; 64]>,
+    counters: FxHashMap<u64, CounterBlock>,
+    macs: FxHashMap<BlockAddr, u64>,
     bmt_root: Option<Digest>,
 }
 

@@ -8,10 +8,11 @@
 //! in-flight NVM write to complete.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::cycle::Cycle;
+use secpb_sim::fxhash::FxHashMap;
 
 use crate::nvm::NvmTiming;
 
@@ -50,7 +51,7 @@ pub struct WritePendingQueue {
     inflight: BinaryHeap<Reverse<Cycle>>,
     /// Pending completion per block, for write coalescing: a second write
     /// to a block still queued merges into the existing entry.
-    pending: HashMap<BlockAddr, Cycle>,
+    pending: FxHashMap<BlockAddr, Cycle>,
     stats: WpqStats,
 }
 
@@ -65,7 +66,7 @@ impl WritePendingQueue {
         WritePendingQueue {
             capacity,
             inflight: BinaryHeap::new(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             stats: WpqStats::default(),
         }
     }

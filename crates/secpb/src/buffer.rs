@@ -2,10 +2,9 @@
 //! [`Entry`]s with store coalescing, drain watermarks, and oldest-first
 //! drain order (Sections III-B and IV-B of the paper).
 
-use std::collections::HashMap;
-
 use secpb_sim::addr::{Asid, BlockAddr};
 use secpb_sim::config::SecPbConfig;
+use secpb_sim::fxhash::FxHashMap;
 
 use crate::entry::Entry;
 
@@ -54,7 +53,7 @@ impl SecPbStats {
 #[derive(Debug, Clone)]
 pub struct SecPb {
     config: SecPbConfig,
-    entries: HashMap<BlockAddr, Entry>,
+    entries: FxHashMap<BlockAddr, Entry>,
     next_seq: u64,
     stats: SecPbStats,
 }
@@ -64,7 +63,7 @@ impl SecPb {
     pub fn new(config: SecPbConfig) -> Self {
         SecPb {
             config,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             next_seq: 0,
             stats: SecPbStats::default(),
         }

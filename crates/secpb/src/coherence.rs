@@ -16,11 +16,11 @@
 //! protocol so multi-core configurations are functionally correct, and its
 //! tests double as the protocol's specification.
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
 use secpb_sim::addr::{Asid, BlockAddr};
 use secpb_sim::config::SecPbConfig;
+use secpb_sim::fxhash::FxHashMap;
 
 use crate::buffer::SecPb;
 use crate::entry::Entry;
@@ -29,14 +29,14 @@ use crate::entry::Entry;
 /// SecPB that currently owns it — the "no replication" invariant.
 #[derive(Debug, Clone, Default)]
 pub struct Directory<K: Eq + Hash> {
-    owner: HashMap<K, usize>,
+    owner: FxHashMap<K, usize>,
 }
 
 impl<K: Eq + Hash + Copy> Directory<K> {
     /// Creates an empty directory.
     pub fn new() -> Self {
         Directory {
-            owner: HashMap::new(),
+            owner: FxHashMap::default(),
         }
     }
 
@@ -216,7 +216,7 @@ impl CoherenceController {
     /// Checks the no-replication invariant: every block lives in at most
     /// one SecPB and the directory agrees.
     pub fn replication_free(&self) -> bool {
-        let mut seen: HashMap<BlockAddr, usize> = HashMap::new();
+        let mut seen: FxHashMap<BlockAddr, usize> = FxHashMap::default();
         for (core, pb) in self.pbs.iter().enumerate() {
             for e in pb.iter() {
                 if seen.insert(e.block, core).is_some() {

@@ -11,8 +11,6 @@
 //! comparable to the SecPB systems, and the crash-drain work the energy
 //! model prices for Table V.
 
-use std::collections::HashMap;
-
 use secpb_crypto::counter::CounterBlock;
 use secpb_crypto::mac::BlockMac;
 use secpb_crypto::otp::OtpEngine;
@@ -23,6 +21,7 @@ use secpb_mem::store::NvmStore;
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::SystemConfig;
 use secpb_sim::cycle::Cycle;
+use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::Stats;
 use secpb_sim::trace::{Access, AccessKind, TraceItem};
 
@@ -37,8 +36,8 @@ pub struct EadrSystem {
     now: Cycle,
     frac: f64,
     hierarchy: Hierarchy,
-    golden: HashMap<BlockAddr, [u8; 64]>,
-    counters: HashMap<u64, CounterBlock>,
+    golden: FxHashMap<BlockAddr, [u8; 64]>,
+    counters: FxHashMap<u64, CounterBlock>,
     nvm: NvmStore,
     otp_engine: OtpEngine,
     mac_engine: BlockMac,
@@ -64,8 +63,8 @@ impl EadrSystem {
         }
         EadrSystem {
             hierarchy: Hierarchy::new(&cfg),
-            golden: HashMap::new(),
-            counters: HashMap::new(),
+            golden: FxHashMap::default(),
+            counters: FxHashMap::default(),
             nvm: NvmStore::new(),
             otp_engine: OtpEngine::new(&aes_key),
             mac_engine: BlockMac::new(&key_seed.to_le_bytes()),

@@ -15,8 +15,6 @@
 //! pipeline: the goal is protocol correctness plus first-order costs
 //! (migration counts, flush counts, per-core cycle totals).
 
-use std::collections::HashMap;
-
 use secpb_crypto::counter::CounterBlock;
 use secpb_crypto::mac::BlockMac;
 use secpb_crypto::otp::OtpEngine;
@@ -25,6 +23,7 @@ use secpb_mem::store::NvmStore;
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::SystemConfig;
 use secpb_sim::cycle::Cycle;
+use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::Stats;
 use secpb_sim::trace::Access;
 
@@ -57,8 +56,8 @@ pub struct MultiCoreSystem {
     coherence: CoherenceController,
     core_now: Vec<Cycle>,
     // Shared functional state.
-    golden: HashMap<BlockAddr, [u8; 64]>,
-    counters: HashMap<u64, CounterBlock>,
+    golden: FxHashMap<BlockAddr, [u8; 64]>,
+    counters: FxHashMap<u64, CounterBlock>,
     nvm: NvmStore,
     otp_engine: OtpEngine,
     mac_engine: BlockMac,
@@ -94,8 +93,8 @@ impl MultiCoreSystem {
         MultiCoreSystem {
             coherence: CoherenceController::new(cores, cfg.secpb),
             core_now: vec![Cycle::ZERO; cores],
-            golden: HashMap::new(),
-            counters: HashMap::new(),
+            golden: FxHashMap::default(),
+            counters: FxHashMap::default(),
             nvm: NvmStore::new(),
             otp_engine: OtpEngine::new(&aes_key),
             mac_engine: BlockMac::new(&key_seed.to_le_bytes()),

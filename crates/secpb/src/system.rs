@@ -21,7 +21,7 @@
 //! produces the COBCM "backflow" stalls the paper reports for
 //! write-intensive workloads.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use secpb_crypto::counter::{CounterBlock, IncrementOutcome, SplitCounter};
 use secpb_crypto::mac::BlockMac;
@@ -36,6 +36,7 @@ use secpb_mem::wpq::WritePendingQueue;
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::SystemConfig;
 use secpb_sim::cycle::Cycle;
+use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::{HistId, StatId, Stats};
 use secpb_sim::trace::{Access, AccessKind, TraceItem};
 use secpb_sim::tracer::{Phase, Tracer};
@@ -151,8 +152,8 @@ pub struct SecureSystem {
 
     // ---- functional state ----
     pb: SecPb,
-    golden: HashMap<BlockAddr, [u8; 64]>,
-    counters: HashMap<u64, CounterBlock>,
+    golden: FxHashMap<BlockAddr, [u8; 64]>,
+    counters: FxHashMap<u64, CounterBlock>,
     nvm: NvmStore,
     otp_engine: OtpEngine,
     mac_engine: BlockMac,
@@ -207,8 +208,8 @@ impl SecureSystem {
             nvm_timing: NvmTiming::new(cfg.nvm),
             drain_engine: DrainEngine::new(),
             pb: SecPb::new(cfg.secpb),
-            golden: HashMap::new(),
-            counters: HashMap::new(),
+            golden: FxHashMap::default(),
+            counters: FxHashMap::default(),
             nvm: NvmStore::new(),
             otp_engine: OtpEngine::new(&aes_key),
             mac_engine: BlockMac::new(&mac_key),
@@ -1245,7 +1246,7 @@ mod tests {
             let mut sys = system(scheme);
             results.push((scheme, sys.run_trace(trace.clone()).cycles));
         }
-        let cycles: HashMap<Scheme, u64> = results.into_iter().collect();
+        let cycles: FxHashMap<Scheme, u64> = results.into_iter().collect();
         assert!(cycles[&Scheme::Cobcm] >= cycles[&Scheme::Bbb]);
         assert!(cycles[&Scheme::Bcm] > cycles[&Scheme::Cobcm]);
         assert!(cycles[&Scheme::Cm] > cycles[&Scheme::Bcm]);

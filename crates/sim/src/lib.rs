@@ -14,6 +14,11 @@
 //! * [`tracer`] — cycle-attribution spans with Chrome trace-event export,
 //! * [`json`] — the dependency-free JSON value used by every exporter,
 //! * [`event`] — a small deterministic event wheel used by the drain engine,
+//! * [`fxhash`] — a deterministic multiply-rotate hasher (`FxHashMap`) for
+//!   the trusted-key hot-path maps, also the basis of per-cell seed
+//!   derivation,
+//! * [`pool`] — a dependency-free work-stealing scoped-thread pool that
+//!   fans index spaces out and reassembles results in canonical order,
 //! * [`rng`] — a seedable SplitMix64/xoshiro256** generator so simulations
 //!   are reproducible without pulling `rand` into the model crates,
 //! * [`trace`] — the trace record types produced by `secpb-workloads` and
@@ -37,7 +42,9 @@ pub mod addr;
 pub mod config;
 pub mod cycle;
 pub mod event;
+pub mod fxhash;
 pub mod json;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -46,6 +53,7 @@ pub mod tracer;
 pub use addr::{Address, BlockAddr, BLOCK_SIZE};
 pub use config::SystemConfig;
 pub use cycle::Cycle;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use json::Json;
 pub use stats::Stats;
 pub use tracer::{Phase, Tracer};

@@ -5,6 +5,11 @@
 //! behaviour) match the profile's targets.  Generation is fully
 //! deterministic: the same `(profile, seed)` produces the same trace,
 //! which keeps experiment reruns and property tests stable.
+//!
+//! Traces can be *materialized* ([`TraceGenerator::generate`], a `Vec`)
+//! or *streamed* ([`TraceGenerator::stream`], an iterator feeding
+//! `run_trace` directly with no intermediate allocation).  Both shapes
+//! share one implementation and are item-for-item identical.
 
 use secpb_sim::addr::Address;
 use secpb_sim::rng::Rng;
@@ -66,32 +71,45 @@ impl TraceGenerator {
     }
 
     /// Generates a trace covering approximately `instructions`
-    /// instructions.
+    /// instructions, materialized as a `Vec`.
+    ///
+    /// This is exactly `self.stream(instructions).collect()`: the
+    /// streaming and materialized paths share one implementation, so they
+    /// are item-for-item identical and advance the RNG identically.
+    /// Prefer [`stream`](Self::stream) when the consumer accepts an
+    /// iterator (e.g. `SecureSystem::run_trace`) — a 1 M-instruction
+    /// measurement region then never allocates the ~100 K-item buffer.
     pub fn generate(&mut self, instructions: u64) -> Vec<TraceItem> {
+        self.stream(instructions).collect()
+    }
+
+    /// Streams a trace covering approximately `instructions` instructions
+    /// without materializing it.
+    ///
+    /// The iterator borrows the generator mutably (it advances the shared
+    /// RNG and reuse-distance state), so consecutive `stream` calls
+    /// continue the same instruction stream — warm-up followed by
+    /// measurement replays exactly what two `generate` calls produced.
+    pub fn stream(&mut self, instructions: u64) -> TraceStream<'_> {
         let p = &self.profile;
         let accesses_per_kilo = p.stores_per_kilo + p.loads_per_kilo;
-        if accesses_per_kilo <= 0.0 {
-            return vec![TraceItem::compute(instructions as u32)];
+        let (store_share, gap) = if accesses_per_kilo <= 0.0 {
+            (0.0, 0.0)
+        } else {
+            (
+                p.stores_per_kilo / accesses_per_kilo,
+                (1000.0 - accesses_per_kilo) / accesses_per_kilo,
+            )
+        };
+        TraceStream {
+            pure_compute: accesses_per_kilo <= 0.0,
+            generator: self,
+            instructions,
+            emitted: 0,
+            gap_acc: 0.0,
+            store_share,
+            gap,
         }
-        let store_share = p.stores_per_kilo / accesses_per_kilo;
-        // Non-memory instructions between consecutive accesses.
-        let gap = (1000.0 - accesses_per_kilo) / accesses_per_kilo;
-        let mut items = Vec::new();
-        let mut emitted: u64 = 0;
-        let mut gap_acc = 0.0f64;
-        while emitted < instructions {
-            gap_acc += gap;
-            let this_gap = gap_acc.floor() as u32;
-            gap_acc -= f64::from(this_gap);
-            let access = if self.rng.chance(store_share) {
-                self.next_store()
-            } else {
-                self.next_load()
-            };
-            items.push(TraceItem::then(this_gap, access));
-            emitted += u64::from(this_gap) + 1;
-        }
-        items
     }
 
     fn remember(&mut self, block: u64) {
@@ -136,6 +154,79 @@ impl TraceGenerator {
     }
 }
 
+/// A bounded, lazily-generated trace: the streaming counterpart of
+/// [`TraceGenerator::generate`].
+///
+/// Produced by [`TraceGenerator::stream`]; yields [`TraceItem`]s until the
+/// requested instruction budget is covered.  Feeding this directly into
+/// `run_trace`'s `IntoIterator` bound eliminates the per-cell warm-up and
+/// measurement `Vec`s (over a million items per experiment cell at the
+/// paper's default scale).
+///
+/// # Example
+///
+/// ```
+/// use secpb_workloads::{TraceGenerator, WorkloadProfile};
+///
+/// let profile = WorkloadProfile::named("bzip2").unwrap();
+/// let materialized = TraceGenerator::new(profile.clone(), 7).generate(10_000);
+/// let streamed: Vec<_> = TraceGenerator::new(profile, 7).stream(10_000).collect();
+/// assert_eq!(materialized, streamed, "one implementation, two shapes");
+/// ```
+#[derive(Debug)]
+pub struct TraceStream<'g> {
+    generator: &'g mut TraceGenerator,
+    /// Instruction budget for this region.
+    instructions: u64,
+    /// Instructions covered by items yielded so far.
+    emitted: u64,
+    /// Fractional-gap accumulator (resets per region, as `generate` did).
+    gap_acc: f64,
+    /// Probability that the next access is a store.
+    store_share: f64,
+    /// Mean non-memory instructions between consecutive accesses.
+    gap: f64,
+    /// Whether the profile performs no memory accesses at all.
+    pure_compute: bool,
+}
+
+impl Iterator for TraceStream<'_> {
+    type Item = TraceItem;
+
+    fn next(&mut self) -> Option<TraceItem> {
+        if self.emitted >= self.instructions {
+            return None;
+        }
+        if self.pure_compute {
+            self.emitted = self.instructions;
+            return Some(TraceItem::compute(self.instructions as u32));
+        }
+        self.gap_acc += self.gap;
+        let this_gap = self.gap_acc.floor() as u32;
+        self.gap_acc -= f64::from(this_gap);
+        let access = if self.generator.rng.chance(self.store_share) {
+            self.generator.next_store()
+        } else {
+            self.generator.next_load()
+        };
+        self.emitted += u64::from(this_gap) + 1;
+        Some(TraceItem::then(this_gap, access))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.emitted >= self.instructions {
+            return (0, Some(0));
+        }
+        if self.pure_compute {
+            return (1, Some(1));
+        }
+        // Each item covers at least one instruction.
+        let remaining = self.instructions - self.emitted;
+        let mean_items = remaining as f64 / (1.0 + self.gap);
+        (mean_items as usize / 2, Some(remaining as usize))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +258,43 @@ mod tests {
         let a = TraceGenerator::new(p.clone(), 9).generate(20_000);
         let b = TraceGenerator::new(p, 9).generate(20_000);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_equals_generate_item_for_item() {
+        for name in ["gcc", "gamess", "bwaves", "mcf"] {
+            let p = WorkloadProfile::named(name).unwrap();
+            let materialized = TraceGenerator::new(p.clone(), 11).generate(30_000);
+            let mut streamer = TraceGenerator::new(p, 11);
+            let streamed: Vec<TraceItem> = streamer.stream(30_000).collect();
+            assert_eq!(materialized, streamed, "{name}");
+        }
+    }
+
+    #[test]
+    fn consecutive_streams_match_consecutive_generates() {
+        // Warm-up + measurement as two regions must replay identically
+        // whether each region is materialized or streamed.
+        let p = WorkloadProfile::named("povray").unwrap();
+        let mut via_generate = TraceGenerator::new(p.clone(), 4);
+        let warm_a = via_generate.generate(10_000);
+        let measure_a = via_generate.generate(25_000);
+        let mut via_stream = TraceGenerator::new(p, 4);
+        let warm_b: Vec<TraceItem> = via_stream.stream(10_000).collect();
+        let measure_b: Vec<TraceItem> = via_stream.stream(25_000).collect();
+        assert_eq!(warm_a, warm_b);
+        assert_eq!(measure_a, measure_b);
+    }
+
+    #[test]
+    fn stream_size_hint_brackets_actual_length() {
+        let p = WorkloadProfile::named("astar").unwrap();
+        let mut g = TraceGenerator::new(p, 2);
+        let stream = g.stream(50_000);
+        let (lo, hi) = stream.size_hint();
+        let n = stream.count();
+        assert!(lo <= n, "lower bound {lo} > actual {n}");
+        assert!(n <= hi.unwrap(), "actual {n} > upper bound {}", hi.unwrap());
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub mod micro;
 pub mod profile;
 pub mod trace_io;
 
-pub use generator::TraceGenerator;
+pub use generator::{TraceGenerator, TraceStream};
 pub use profile::WorkloadProfile;

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! secpb run <bench> <scheme> [entries] [instructions]   simulate + metrics
+//! secpb grid [instructions] [--jobs N]                  scheme×workload grid (Table IV)
 //! secpb crash <bench> <scheme> [instructions]           crash + verified recovery
 //! secpb battery [entries]                               battery sizing table
 //! secpb trace gen <bench> <file> [instructions]         save a trace
@@ -16,6 +17,7 @@
 
 use std::fmt::Write as _;
 
+use secpb_bench::experiments;
 use secpb_core::crash::{CrashKind, DrainPolicy};
 use secpb_core::scheme::Scheme;
 use secpb_core::system::SecureSystem;
@@ -29,6 +31,7 @@ use secpb_workloads::{TraceGenerator, WorkloadProfile};
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
   secpb run <bench> <scheme> [entries] [instructions]
+  secpb grid [instructions] [--jobs N]
   secpb crash <bench> <scheme> [instructions]
   secpb battery [entries]
   secpb trace gen <bench> <file> [instructions]
@@ -44,6 +47,7 @@ pub const USAGE: &str = "usage:
 pub fn dispatch(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("grid") => cmd_grid(&args[1..]),
         Some("crash") => cmd_crash(&args[1..]),
         Some("battery") => cmd_battery(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
@@ -94,6 +98,22 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
         "bmt/store    {:.1}%",
         r.bmt_updates_per_store() * 100.0
     );
+    Ok(out)
+}
+
+fn cmd_grid(args: &[String]) -> Result<String, String> {
+    let parsed =
+        secpb_bench::args::RunnerArgs::parse(args, 100_000).map_err(|e| format!("{e}\n{USAGE}"))?;
+    let study = experiments::table4(parsed.instructions, parsed.jobs);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scheme×workload grid @ {} instructions, {} jobs (slowdown vs bbb, geomean)",
+        parsed.instructions, parsed.jobs
+    );
+    for (scheme, v) in &study.averages {
+        let _ = writeln!(out, " {:<6} {v:.3}", scheme.name());
+    }
     Ok(out)
 }
 
@@ -258,6 +278,25 @@ mod tests {
         assert!(run(&["run", "hmmer", "nonesuch"])
             .unwrap_err()
             .contains("unknown scheme"));
+    }
+
+    #[test]
+    fn grid_reports_all_schemes_and_ignores_job_count() {
+        let serial = run(&["grid", "20000", "--jobs", "1"]).unwrap();
+        let parallel = run(&["grid", "20000", "--jobs", "4"]).unwrap();
+        for name in ["cobcm", "nogap", "cm"] {
+            assert!(serial.contains(name), "{serial}");
+        }
+        // Byte-identical numbers regardless of worker count (only the
+        // header line reports the job count itself).
+        let rows = |s: &str| s.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert_eq!(rows(&serial), rows(&parallel));
+    }
+
+    #[test]
+    fn grid_rejects_bad_arguments() {
+        assert!(run(&["grid", "--jobs"]).is_err());
+        assert!(run(&["grid", "notanumber"]).is_err());
     }
 
     #[test]

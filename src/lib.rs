@@ -47,6 +47,7 @@
 
 pub mod cli;
 
+pub use secpb_bench as bench;
 pub use secpb_core as core;
 pub use secpb_crypto as crypto;
 pub use secpb_energy as energy;
