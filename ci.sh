@@ -16,6 +16,12 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> eager-vs-lazy metadata equivalence smoke (all schemes)"
+# equiv_smoke exits nonzero if the lazy metadata engine's observable
+# outputs (grid JSON, crash report, persisted root, stats, recovery)
+# diverge from the eager engine's on a fuzzed trace.
+./target/release/equiv_smoke 10000
+
 echo "==> grid determinism smoke (2 workloads x 2 schemes, serial vs parallel)"
 # bench_grid exits nonzero if the parallel grid diverges from the serial
 # one; --smoke keeps this to a few seconds.

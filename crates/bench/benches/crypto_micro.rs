@@ -8,6 +8,7 @@ use secpb_crypto::bmt::BonsaiMerkleTree;
 use secpb_crypto::counter::{CounterBlock, SplitCounter};
 use secpb_crypto::hmac::HmacSha512;
 use secpb_crypto::mac::BlockMac;
+use secpb_crypto::memo::DigestMemo;
 use secpb_crypto::otp::OtpEngine;
 use secpb_crypto::sha512::Sha512;
 
@@ -67,6 +68,64 @@ fn bench_bmt() {
     });
 }
 
+/// Lazy vs eager metadata engine: N coalescing `update_leaf` calls plus
+/// the observation-point fold, against the same N calls folded eagerly.
+fn bench_lazy_bmt() {
+    const UPDATES: u64 = 64;
+    let digest = Sha512::digest(b"leaf");
+
+    let mut eager = BonsaiMerkleTree::new(b"bench", 8, 8);
+    bench("bmt8_eager_64_updates", || {
+        for i in 0..UPDATES {
+            eager.update_leaf(black_box(i % 8), digest);
+        }
+        eager.root()
+    });
+
+    let mut lazy = BonsaiMerkleTree::new(b"bench", 8, 8);
+    lazy.set_lazy(true);
+    bench("bmt8_lazy_64_updates_fold", || {
+        for i in 0..UPDATES {
+            lazy.update_leaf(black_box(i % 8), digest);
+        }
+        lazy.fold();
+        lazy.root()
+    });
+}
+
+/// Pad-cache hit vs miss vs uncached generation, plus the counter-block
+/// digest memo — the memoization layer on the simulated-store hot path.
+fn bench_memo() {
+    let ctr = SplitCounter { major: 4, minor: 7 };
+
+    let uncached = OtpEngine::new(&[9u8; 24]);
+    bench("otp_generate_uncached", || {
+        uncached.generate(black_box(0x40), ctr)
+    });
+
+    let cached = OtpEngine::with_pad_cache(&[9u8; 24], 4096);
+    cached.generate(0x40, ctr); // warm the single hot entry
+    bench("otp_generate_cache_hit", || {
+        cached.generate(black_box(0x40), ctr)
+    });
+
+    let mut addr = 0u64;
+    bench("otp_generate_cache_miss", || {
+        addr += 0x40;
+        cached.generate(black_box(addr), ctr)
+    });
+
+    let memo = DigestMemo::new(4096);
+    let block = [0x3Cu8; 64];
+    memo.digest(7, &block);
+    bench("digest_memo_hit", || memo.digest(black_box(7), &block));
+    let mut key = 0u64;
+    bench("digest_memo_miss", || {
+        key += 1;
+        memo.digest(black_box(key), &block)
+    });
+}
+
 fn bench_counters() {
     let mut cb = CounterBlock::new();
     for i in 0..64 {
@@ -85,5 +144,7 @@ fn main() {
     bench_hmac_and_mac();
     bench_otp();
     bench_bmt();
+    bench_lazy_bmt();
+    bench_memo();
     bench_counters();
 }

@@ -1,27 +1,37 @@
 //! Grid-scale wall-clock benchmark of the parallel experiment engine.
 //!
-//! Runs the same scheme×workload grid serially and with `--jobs N`
-//! workers, verifies the two result sets are **identical** (the engine's
-//! determinism contract), and reports wall-clock speedup plus per-cell
-//! simulated instructions per second.  Writes `BENCH_grid.json`.
+//! Runs the same scheme×workload grid serially (timing each cell) and
+//! with `--jobs N` workers, verifies the two result sets are
+//! **identical** (the engine's determinism contract), and reports
+//! wall-clock speedup plus per-cell simulated instructions per second
+//! and host nanoseconds per simulated store.  Writes `BENCH_grid.json`.
 //!
 //! Usage:
-//! `cargo run --release -p secpb-bench --bin bench_grid [instructions] [--jobs N] [--json out.json] [--smoke]`
+//! `cargo run --release -p secpb-bench --bin bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] [--mode eager|lazy]`
 //!
 //! `--smoke` shrinks the grid to 2 workloads × 2 schemes (the CI
 //! determinism gate); the default grid is the full Table IV workload
-//! suite × all SecPB schemes.  Exits nonzero if parallel results diverge
+//! suite × all SecPB schemes.  `--mode` selects the security-metadata
+//! engine (default: lazy).  Exits nonzero if parallel results diverge
 //! from serial.
+//!
+//! On a single-core host the parallel pass still runs (it is the
+//! determinism check), but its wall-clock time says nothing about the
+//! engine, so `speedup` is reported as `null` and
+//! `parallel_timing_valid` as `false` rather than shipping a
+//! misleading sub-1x figure.
 
 use std::time::Instant;
 
 use secpb_bench::experiments::{run_grid, GridCell};
+use secpb_core::metrics::counters;
 use secpb_core::scheme::Scheme;
+use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::json::Json;
 use secpb_sim::pool;
 use secpb_workloads::WorkloadProfile;
 
-fn build_grid(smoke: bool, instructions: u64) -> Vec<GridCell> {
+fn build_grid(smoke: bool, instructions: u64, mode: MetadataMode) -> Vec<GridCell> {
     let (profiles, schemes): (Vec<WorkloadProfile>, Vec<Scheme>) = if smoke {
         (
             ["gamess", "povray"]
@@ -38,12 +48,13 @@ fn build_grid(smoke: bool, instructions: u64) -> Vec<GridCell> {
                 .collect(),
         )
     };
+    let cfg = SystemConfig::default().with_metadata_mode(mode);
     profiles
         .iter()
         .flat_map(|p| {
             schemes
                 .iter()
-                .map(|&s| GridCell::new(p.clone(), s, instructions))
+                .map(|&s| GridCell::new(p.clone(), s, instructions).with_cfg(cfg.clone()))
         })
         .collect()
 }
@@ -52,11 +63,31 @@ fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let smoke = raw.iter().any(|a| a == "--smoke");
     raw.retain(|a| a != "--smoke");
+    let mode = match raw.iter().position(|a| a == "--mode") {
+        Some(i) => {
+            if i + 1 >= raw.len() {
+                eprintln!("error: --mode requires a value (eager|lazy)");
+                std::process::exit(2);
+            }
+            let parsed = raw[i + 1].parse::<MetadataMode>();
+            raw.drain(i..=i + 1);
+            match parsed {
+                Ok(m) => m,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => MetadataMode::default(),
+    };
     let args = match secpb_bench::args::RunnerArgs::parse(&raw, 200_000) {
         Ok(a) => a,
         Err(msg) => {
             eprintln!("error: {msg}");
-            eprintln!("usage: bench_grid [instructions] [--jobs N] [--json out.json] [--smoke]");
+            eprintln!(
+                "usage: bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] [--mode eager|lazy]"
+            );
             std::process::exit(2);
         }
     };
@@ -67,21 +98,33 @@ fn main() {
     };
 
     let cores = pool::default_jobs();
-    let cells = build_grid(smoke, args.instructions);
+    let parallel_timing_valid = cores >= 2;
+    let cells = build_grid(smoke, args.instructions, mode);
     eprintln!(
-        "grid: {} cells ({}) @ {} instructions, serial vs {jobs} jobs on {cores} core(s)",
+        "grid: {} cells ({}) @ {} instructions, {} metadata, serial vs {jobs} jobs on {cores} core(s)",
         cells.len(),
         if smoke { "smoke" } else { "full" },
-        args.instructions
+        args.instructions,
+        mode.name(),
     );
-    if cores < 2 {
+    if !parallel_timing_valid {
         eprintln!(
-            "note: single-core host — expect no wall-clock speedup, only the determinism check"
+            "note: single-core host — parallel pass is determinism-check only; speedup not reported"
         );
     }
 
+    // Serial pass, timing each cell so per-cell host cost (ns per
+    // simulated store) lands in the report alongside the simulated
+    // numbers.
     let t0 = Instant::now();
-    let serial = run_grid(&cells, 1);
+    let (serial, cell_seconds): (Vec<_>, Vec<_>) = cells
+        .iter()
+        .map(|c| {
+            let t = Instant::now();
+            let r = c.run();
+            (r, t.elapsed().as_secs_f64())
+        })
+        .unzip();
     let serial_s = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -100,34 +143,71 @@ fn main() {
     let simulated: u64 = cells.iter().map(|c| c.instructions).sum();
     let serial_ips = simulated as f64 / serial_s;
     let parallel_ips = simulated as f64 / parallel_s;
+    let total_stores: u64 = serial.iter().map(|r| r.stats.get(counters::STORES)).sum();
+    let serial_ns_per_store = serial_s * 1e9 / total_stores.max(1) as f64;
 
     println!("cells                 {}", cells.len());
+    println!("metadata mode         {}", mode.name());
     println!("serial                {serial_s:.3} s ({serial_ips:.0} instr/s)");
-    println!("parallel ({jobs} jobs)     {parallel_s:.3} s ({parallel_ips:.0} instr/s)");
-    println!("speedup               {speedup:.2}x");
+    println!("serial ns/store       {serial_ns_per_store:.1}");
+    if parallel_timing_valid {
+        println!("parallel ({jobs} jobs)     {parallel_s:.3} s ({parallel_ips:.0} instr/s)");
+        println!("speedup               {speedup:.2}x");
+    } else {
+        println!("parallel ({jobs} jobs)     n/a (single-core host; determinism check only)");
+    }
     println!(
         "determinism           parallel == serial ({} cells)",
         cells.len()
     );
 
-    let per_cell = cells.iter().zip(&serial).map(|(c, r)| {
-        Json::obj()
-            .field("workload", c.profile.name.as_str())
-            .field("scheme", c.scheme.name())
-            .field("cycles", r.cycles)
-            .field("ipc", r.ipc())
-    });
+    let per_cell = cells
+        .iter()
+        .zip(serial.iter().zip(&cell_seconds))
+        .map(|(c, (r, secs))| {
+            let stores = r.stats.get(counters::STORES);
+            Json::obj()
+                .field("workload", c.profile.name.as_str())
+                .field("scheme", c.scheme.name())
+                .field("cycles", r.cycles)
+                .field("ipc", r.ipc())
+                .field("ns_per_store", secs * 1e9 / stores.max(1) as f64)
+        });
     let payload = Json::obj()
         .field("grid", if smoke { "smoke" } else { "full" })
         .field("cells", cells.len())
         .field("instructions_per_cell", args.instructions)
+        .field("metadata_mode", mode.name())
         .field("jobs", jobs)
         .field("host_cores", cores)
         .field("serial_seconds", serial_s)
-        .field("parallel_seconds", parallel_s)
-        .field("speedup", speedup)
+        .field(
+            "parallel_seconds",
+            if parallel_timing_valid {
+                Json::from(parallel_s)
+            } else {
+                Json::Null
+            },
+        )
+        .field(
+            "speedup",
+            if parallel_timing_valid {
+                Json::from(speedup)
+            } else {
+                Json::Null
+            },
+        )
+        .field("parallel_timing_valid", parallel_timing_valid)
         .field("serial_instructions_per_second", serial_ips)
-        .field("parallel_instructions_per_second", parallel_ips)
+        .field(
+            "parallel_instructions_per_second",
+            if parallel_timing_valid {
+                Json::from(parallel_ips)
+            } else {
+                Json::Null
+            },
+        )
+        .field("serial_ns_per_store", serial_ns_per_store)
         .field("deterministic", true)
         .field("results", Json::Arr(per_cell.collect()));
     let path = args.json.as_deref().unwrap_or("BENCH_grid.json");

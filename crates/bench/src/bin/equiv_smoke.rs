@@ -1,0 +1,80 @@
+//! Eager-vs-lazy metadata-engine equivalence gate (CI smoke).
+//!
+//! For every scheme, runs a short fuzzed trace through both metadata
+//! engines and asserts the observable outputs are identical: the
+//! byte-exact grid JSON report, the crash report, the persisted BMT
+//! root, the full stats JSON, and the recovery report.  Exits nonzero
+//! on the first divergence — this is the cheap standing proof that the
+//! lazy engine (deferred BMT folding + pad/digest memoization) never
+//! changes a paper-reported number.
+//!
+//! Usage: `equiv_smoke [instructions]` (default 10_000).
+
+use secpb_bench::experiments::run_benchmark;
+use secpb_core::crash::{CrashKind, DrainPolicy};
+use secpb_core::scheme::Scheme;
+use secpb_core::system::SecureSystem;
+use secpb_core::tree::TreeKind;
+use secpb_sim::config::{MetadataMode, SystemConfig};
+use secpb_workloads::{TraceGenerator, WorkloadProfile};
+
+fn cfg_with(mode: MetadataMode) -> SystemConfig {
+    SystemConfig::default().with_metadata_mode(mode)
+}
+
+fn main() {
+    let instructions: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("instructions must be a number"))
+        .unwrap_or(10_000);
+    let profile = WorkloadProfile::named("milc").expect("known workload");
+    let mut failures = 0u32;
+
+    for scheme in Scheme::ALL {
+        // Grid-style report: the bytes the benchmark tables are built from.
+        let grid = |mode| {
+            run_benchmark(
+                &profile,
+                scheme,
+                cfg_with(mode),
+                TreeKind::Monolithic,
+                instructions,
+            )
+            .to_json()
+            .to_pretty()
+        };
+        if grid(MetadataMode::Eager) != grid(MetadataMode::Lazy) {
+            eprintln!("FAIL {scheme}: grid JSON diverged between eager and lazy");
+            failures += 1;
+        }
+
+        // Crash + recovery on a fuzzed trace: roots, reports, stats.
+        let run = |mode| {
+            let trace = TraceGenerator::new(profile.clone(), 0xE9).generate(instructions);
+            let mut sys = SecureSystem::new(cfg_with(mode), scheme, 0xE9);
+            sys.run_trace(trace);
+            let crash = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+            let root = sys.nvm_store().bmt_root();
+            let stats = sys.stats().to_json().to_pretty();
+            let recovery = sys.recover();
+            (crash, root, stats, recovery)
+        };
+        let eager = run(MetadataMode::Eager);
+        let lazy = run(MetadataMode::Lazy);
+        if eager != lazy {
+            eprintln!("FAIL {scheme}: crash/recovery observables diverged");
+            failures += 1;
+        } else if !lazy.3.is_consistent() {
+            eprintln!("FAIL {scheme}: recovery inconsistent");
+            failures += 1;
+        } else {
+            println!("ok   {scheme}: eager == lazy (grid JSON, crash, root, stats, recovery)");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("equivalence smoke: {failures} divergence(s)");
+        std::process::exit(1);
+    }
+    println!("equivalence smoke: all schemes byte-identical across metadata modes");
+}

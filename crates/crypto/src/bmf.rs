@@ -84,6 +84,11 @@ pub struct BonsaiMerkleForest {
     cache: VecDeque<u64>,
     cache_capacity: usize,
     stats: BmfStats,
+    /// Lazy folding, propagated to the upper tree and every subtree (see
+    /// [`crate::bmt`]).  Root-cache bookkeeping (and thus the analytic
+    /// hash counts) is identical in both modes; only *when* the HMACs
+    /// run differs.
+    lazy: bool,
 }
 
 impl BonsaiMerkleForest {
@@ -121,7 +126,39 @@ impl BonsaiMerkleForest {
             cache: VecDeque::new(),
             cache_capacity: root_cache_entries,
             stats: BmfStats::default(),
+            lazy: false,
         }
+    }
+
+    /// Switches the whole forest (upper tree + subtrees) between eager
+    /// and lazy folding.  Turning lazy off folds all pending work.
+    pub fn set_lazy(&mut self, lazy: bool) {
+        self.lazy = lazy;
+        self.upper.set_lazy(lazy);
+        for subtree in self.subtrees.values_mut() {
+            subtree.set_lazy(lazy);
+        }
+    }
+
+    /// Whether updates defer their hashing to folds.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// Whether any tree in the forest has un-folded updates.
+    pub fn has_pending(&self) -> bool {
+        self.upper.has_pending() || self.subtrees.values().any(|t| t.has_pending())
+    }
+
+    /// Hashes actually performed by folds across the forest (performance
+    /// metric; the analytic counts live in [`stats`](Self::stats)).
+    pub fn fold_hashes(&self) -> u64 {
+        self.upper.fold_hashes()
+            + self
+                .subtrees
+                .values()
+                .map(BonsaiMerkleTree::fold_hashes)
+                .sum::<u64>()
     }
 
     /// Leaves per subtree.
@@ -197,12 +234,16 @@ impl BonsaiMerkleForest {
             self.stats.cache_misses += 1;
             if self.cache.len() == self.cache_capacity {
                 // Fold the evicted subtree's root into the upper tree.
+                // A lazy victim must materialize its root first; the
+                // upper-tree update itself may stay deferred (its
+                // analytic cost is the same either way).
                 let victim = self.cache.pop_front().expect("cache full");
-                let victim_root = self
+                let victim_sub = self
                     .subtrees
-                    .get(&victim)
-                    .map(|t| t.root())
+                    .get_mut(&victim)
                     .expect("cached subtree exists");
+                victim_sub.fold();
+                let victim_root = victim_sub.root();
                 hashes += u64::from(self.upper.update_leaf(victim, victim_root));
                 self.stats.evictions += 1;
             }
@@ -211,11 +252,13 @@ impl BonsaiMerkleForest {
 
         let arity = self.arity;
         let sub_levels = self.sub_levels;
+        let lazy = self.lazy;
         let key = self.key.clone();
-        let subtree = self
-            .subtrees
-            .entry(subtree_id)
-            .or_insert_with(|| BonsaiMerkleTree::new(&key, arity, sub_levels));
+        let subtree = self.subtrees.entry(subtree_id).or_insert_with(|| {
+            let mut t = BonsaiMerkleTree::new(&key, arity, sub_levels);
+            t.set_lazy(lazy);
+            t
+        });
         hashes += u64::from(subtree.update_leaf(local_index, leaf_digest));
         self.stats.node_hashes += hashes;
         hashes
@@ -227,12 +270,13 @@ impl BonsaiMerkleForest {
     pub fn sync_all(&mut self) -> u64 {
         let mut hashes = 0u64;
         while let Some(subtree_id) = self.cache.pop_front() {
-            let root = self
-                .subtrees
-                .get(&subtree_id)
-                .expect("cached subtree")
-                .root();
+            let subtree = self.subtrees.get_mut(&subtree_id).expect("cached subtree");
+            subtree.fold();
+            let root = subtree.root();
             hashes += u64::from(self.upper.update_leaf(subtree_id, root));
+        }
+        if self.lazy {
+            self.upper.fold();
         }
         self.stats.node_hashes += hashes;
         hashes
@@ -378,6 +422,64 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_update_panics() {
         forest().update_leaf(256, Sha512::digest(b"x"));
+    }
+
+    #[test]
+    fn lazy_forest_matches_eager_after_sync() {
+        let mut eager = forest();
+        let mut lazy = forest();
+        lazy.set_lazy(true);
+        // Enough updates to exercise hits, misses, and evictions.
+        let pattern: &[u64] = &[0, 1, 16, 2, 32, 17, 0, 48, 33, 1];
+        for (i, &leaf) in pattern.iter().enumerate() {
+            let d = Sha512::digest(format!("v{i}").as_bytes());
+            let he = eager.update_leaf(leaf, d);
+            let hl = lazy.update_leaf(leaf, d);
+            assert_eq!(he, hl, "analytic hash counts match per update");
+        }
+        assert_eq!(eager.stats(), lazy.stats());
+        let he = eager.sync_all();
+        let hl = lazy.sync_all();
+        assert_eq!(he, hl);
+        assert!(!lazy.has_pending(), "sync folds all deferred work");
+        assert_eq!(eager.upper_root(), lazy.upper_root());
+    }
+    #[test]
+    fn lazy_eviction_materializes_victim_root() {
+        let mut eager = forest();
+        let mut lazy = forest();
+        lazy.set_lazy(true);
+        // Three subtrees with a 2-entry cache: subtree 0 is evicted while
+        // it still has deferred updates; its root must fold first.
+        for f in [&mut eager, &mut lazy] {
+            f.update_leaf(0, Sha512::digest(b"a"));
+            f.update_leaf(1, Sha512::digest(b"b"));
+            f.update_leaf(16, Sha512::digest(b"c"));
+            f.update_leaf(32, Sha512::digest(b"d"));
+        }
+        assert_eq!(eager.stats().evictions, 1);
+        assert_eq!(eager.stats(), lazy.stats());
+        eager.sync_all();
+        lazy.sync_all();
+        assert_eq!(eager.upper_root(), lazy.upper_root());
+    }
+
+    #[test]
+    fn lazy_fold_hashes_below_analytic_on_coalescing_trace() {
+        let mut lazy = forest();
+        lazy.set_lazy(true);
+        // Hammer one subtree: analytic charges 2 hashes per update, the
+        // fold pays the walk once.
+        for i in 0..32u64 {
+            lazy.update_leaf(i % 4, Sha512::digest(&i.to_le_bytes()));
+        }
+        lazy.sync_all();
+        assert!(
+            lazy.fold_hashes() * 2 <= lazy.stats().node_hashes,
+            "fold hashes {} should be at most half the analytic {}",
+            lazy.fold_hashes(),
+            lazy.stats().node_hashes
+        );
     }
 
     #[test]

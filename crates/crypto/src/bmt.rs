@@ -15,6 +15,20 @@
 //! The tree also keeps the two statistics the paper's evaluation leans on:
 //! the number of *root updates* (Figure 8) and the number of *node hashes*
 //! (the energy model's per-update cost).
+//!
+//! ## Lazy folding
+//!
+//! In [lazy mode](BonsaiMerkleTree::set_lazy) an update writes only the
+//! leaf digest and records the leaf in a dirty set; the HMAC leaf-to-root
+//! walk is deferred until [`fold`](BonsaiMerkleTree::fold) batches every
+//! pending path level by level.  N updates under one page coalesce into a
+//! single walk and shared interior nodes are hashed once per fold instead
+//! of once per update — the PLP-style coalescing the paper's Section IV-A
+//! rests on.  The statistics stay *analytic*: `update_leaf` counts the
+//! hashes the modeled hardware would perform, identical to eager mode, so
+//! Figure 8 and the energy model cannot tell the modes apart.  The hashes
+//! a fold actually performs are tracked separately in
+//! [`fold_hashes`](BonsaiMerkleTree::fold_hashes).
 
 use secpb_sim::fxhash::FxHashMap;
 
@@ -135,6 +149,16 @@ pub struct BonsaiMerkleTree {
     root: Digest,
     root_updates: u64,
     node_hashes: u64,
+    /// Lazy mode: defer the leaf-to-root walk to [`fold`](Self::fold).
+    lazy: bool,
+    /// Leaves updated since the last fold (may hold duplicates; sorted
+    /// and deduplicated at fold time for determinism).
+    dirty: Vec<u64>,
+    /// Hashes actually performed by folds (performance metric only —
+    /// never part of the analytic `node_hashes` statistic).
+    fold_hashes: u64,
+    /// Number of folds performed.
+    folds: u64,
 }
 
 impl BonsaiMerkleTree {
@@ -172,7 +196,82 @@ impl BonsaiMerkleTree {
             root,
             root_updates: 0,
             node_hashes: 0,
+            lazy: false,
+            dirty: Vec::new(),
+            fold_hashes: 0,
+            folds: 0,
         }
+    }
+
+    /// Switches between eager and lazy folding.  Turning lazy *off*
+    /// folds any pending updates first, so the tree is always observable
+    /// afterwards.
+    pub fn set_lazy(&mut self, lazy: bool) {
+        if !lazy {
+            self.fold();
+        }
+        self.lazy = lazy;
+    }
+
+    /// Whether updates defer their leaf-to-root walk.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// Whether any updates are pending a fold.  The root (and any
+    /// interior node) is only authoritative when this is `false`.
+    pub fn has_pending(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Hashes actually computed by folds (a pure performance metric:
+    /// the analytic [`node_hashes`](Self::node_hashes) statistic is what
+    /// the timing/energy models consume).
+    pub fn fold_hashes(&self) -> u64 {
+        self.fold_hashes
+    }
+
+    /// Number of [`fold`](Self::fold) calls that performed work.
+    pub fn folds(&self) -> u64 {
+        self.folds
+    }
+
+    /// Folds every pending leaf update into the tree in one batched,
+    /// level-by-level walk: each dirty interior node is hashed exactly
+    /// once no matter how many dirty leaves sit beneath it.  Returns the
+    /// hashes performed (0 when nothing is pending).  A no-op in eager
+    /// mode, where updates fold as they happen.
+    pub fn fold(&mut self) -> u64 {
+        if self.dirty.is_empty() {
+            return 0;
+        }
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        let mut frontier = std::mem::take(&mut self.dirty);
+        let mut scratch: Vec<Digest> = Vec::with_capacity(self.arity);
+        let mut hashes = 0u64;
+        for level in 0..self.levels as usize {
+            // Parents of a sorted frontier are sorted; dedup collapses
+            // siblings so shared ancestors hash once.
+            let mut parents: Vec<u64> = frontier.iter().map(|&i| i / self.arity as u64).collect();
+            parents.dedup();
+            for &parent in &parents {
+                let first_child = parent * self.arity as u64;
+                self.nodes[level].siblings(first_child, self.arity, &mut scratch);
+                let parts: Vec<&[u8]> = scratch.iter().map(|d| d.as_ref()).collect();
+                let digest = self.hasher.compute_parts(&parts);
+                hashes += 1;
+                if level + 1 == self.levels as usize {
+                    self.root = digest;
+                } else {
+                    self.nodes[level + 1].set(parent, digest);
+                }
+            }
+            frontier = parents;
+        }
+        self.fold_hashes += hashes;
+        self.folds += 1;
+        hashes
     }
 
     /// Number of levels above the leaves.
@@ -191,7 +290,14 @@ impl BonsaiMerkleTree {
     }
 
     /// The current root digest (the paper's non-volatile root register).
+    ///
+    /// In lazy mode the root is an observation point: callers must
+    /// [`fold`](Self::fold) first (debug builds assert this).
     pub fn root(&self) -> Digest {
+        debug_assert!(
+            self.dirty.is_empty(),
+            "lazy BMT observed with pending updates: fold() first"
+        );
         self.root
     }
 
@@ -217,10 +323,14 @@ impl BonsaiMerkleTree {
         self.nodes[level].get(index)
     }
 
-    /// Writes a new leaf digest and walks the update to the root.
+    /// Writes a new leaf digest and walks the update to the root (eager
+    /// mode), or records the leaf for a later [`fold`](Self::fold) (lazy
+    /// mode).
     ///
-    /// Returns the number of node hashes performed (== `levels`), which the
-    /// timing model multiplies by the per-hash latency.
+    /// Returns the number of node hashes the modeled hardware performs
+    /// (== `levels`), which the timing model multiplies by the per-hash
+    /// latency.  The count is *analytic*: it is identical in both modes,
+    /// so statistics cannot distinguish them.
     ///
     /// # Panics
     ///
@@ -231,6 +341,12 @@ impl BonsaiMerkleTree {
             "leaf {leaf_index} out of range"
         );
         self.nodes[0].set(leaf_index, leaf_digest);
+        self.root_updates += 1;
+        self.node_hashes += u64::from(self.levels);
+        if self.lazy {
+            self.dirty.push(leaf_index);
+            return self.levels;
+        }
         let mut index = leaf_index;
         let mut scratch: Vec<Digest> = Vec::with_capacity(self.arity);
         for level in 0..self.levels as usize {
@@ -239,7 +355,6 @@ impl BonsaiMerkleTree {
             self.nodes[level].siblings(first_child, self.arity, &mut scratch);
             let parts: Vec<&[u8]> = scratch.iter().map(|d| d.as_ref()).collect();
             let parent_digest = self.hasher.compute_parts(&parts);
-            self.node_hashes += 1;
             if level + 1 == self.levels as usize {
                 self.root = parent_digest;
             } else {
@@ -247,7 +362,6 @@ impl BonsaiMerkleTree {
             }
             index = parent;
         }
-        self.root_updates += 1;
         self.levels
     }
 
@@ -257,10 +371,16 @@ impl BonsaiMerkleTree {
     }
 
     /// Produces an authentication path for a leaf.
+    ///
+    /// An observation point: in lazy mode, [`fold`](Self::fold) first.
     pub fn prove(&self, leaf_index: u64) -> MerkleProof {
         assert!(
             leaf_index < self.capacity(),
             "leaf {leaf_index} out of range"
+        );
+        debug_assert!(
+            self.dirty.is_empty(),
+            "lazy BMT observed with pending updates: fold() first"
         );
         let mut levels = Vec::with_capacity(self.levels as usize);
         let mut index = leaf_index;
@@ -297,7 +417,7 @@ impl BonsaiMerkleTree {
             current = self.hasher.compute_parts(&parts);
             index /= self.arity as u64;
         }
-        current == self.root
+        current == self.root()
     }
 
     /// Rebuilds a tree from scratch over the given `(leaf_index, digest)`
@@ -438,6 +558,87 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn update_out_of_range_panics() {
         tree().update_leaf(64, Sha512::digest(b"x"));
+    }
+
+    #[test]
+    fn lazy_fold_matches_eager_root_and_stats() {
+        let mut eager = tree();
+        let mut lazy = tree();
+        lazy.set_lazy(true);
+        let items: Vec<(u64, Digest)> = (0..50)
+            .map(|i| (i * 13 % 64, Sha512::digest(&[i as u8, 7])))
+            .collect();
+        for (i, d) in &items {
+            eager.update_leaf(*i, *d);
+            lazy.update_leaf(*i, *d);
+        }
+        assert!(lazy.has_pending());
+        // Analytic statistics agree before any fold happens.
+        assert_eq!(lazy.root_updates(), eager.root_updates());
+        assert_eq!(lazy.node_hashes(), eager.node_hashes());
+        let folded = lazy.fold();
+        assert!(!lazy.has_pending());
+        assert_eq!(lazy.root(), eager.root());
+        assert_eq!(lazy.fold_hashes(), folded);
+        // Coalescing: the batched fold does strictly less hashing than
+        // the eager per-update walks (50 updates over <=50 distinct
+        // leaves in a 3-level tree).
+        assert!(folded < eager.node_hashes());
+        // Interior nodes are byte-identical too: proofs verify cross-tree.
+        for (i, _) in &items {
+            assert!(eager.verify_proof(&lazy.prove(*i), lazy.leaf(*i)));
+        }
+    }
+
+    #[test]
+    fn lazy_repeated_updates_coalesce_to_one_walk() {
+        let mut t = tree();
+        t.set_lazy(true);
+        let mut last = Sha512::digest(b"x");
+        for i in 0..100u8 {
+            last = Sha512::digest(&[i]);
+            t.update_leaf(5, last);
+        }
+        let folded = t.fold();
+        assert_eq!(folded, u64::from(t.levels()), "one walk for 100 updates");
+        let mut eager = tree();
+        eager.update_leaf(5, last);
+        assert_eq!(t.root(), eager.root());
+    }
+
+    #[test]
+    fn fold_is_noop_when_clean() {
+        let mut t = tree();
+        t.set_lazy(true);
+        assert_eq!(t.fold(), 0);
+        assert_eq!(t.folds(), 0);
+        t.update_leaf(0, Sha512::digest(b"a"));
+        assert!(t.fold() > 0);
+        assert_eq!(t.folds(), 1);
+        assert_eq!(t.fold(), 0, "second fold has nothing to do");
+    }
+
+    #[test]
+    fn disabling_lazy_folds_pending_work() {
+        let mut t = tree();
+        t.set_lazy(true);
+        t.update_leaf(9, Sha512::digest(b"p"));
+        t.set_lazy(false);
+        assert!(!t.has_pending());
+        assert!(!t.is_lazy());
+        let mut eager = tree();
+        eager.update_leaf(9, Sha512::digest(b"p"));
+        assert_eq!(t.root(), eager.root());
+    }
+
+    #[test]
+    #[should_panic(expected = "fold() first")]
+    #[cfg(debug_assertions)]
+    fn lazy_root_observation_without_fold_asserts() {
+        let mut t = tree();
+        t.set_lazy(true);
+        t.update_leaf(0, Sha512::digest(b"a"));
+        let _ = t.root();
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Memoization caches for data-value-independent crypto.
+//!
+//! Two observations from the paper's Section IV-A drive this module: the
+//! OTP pad is a pure function of (block address, split counter) and a
+//! counter block's integrity digest is a pure function of its 64 bytes —
+//! neither depends on the data being stored.  Re-stores to the same block
+//! under the same counter, page re-encryption, and post-crash replay all
+//! recompute identical values, so caching them cannot change any output.
+//!
+//! Both caches use interior mutability (`RefCell`/`Cell`): the hot callers
+//! (`decrypt` during recovery, pad generation during drains) hold `&self`.
+//! They are bounded deterministically: when a cache reaches capacity it is
+//! cleared in one step (an "epoch reset") rather than evicting by any
+//! recency order, so hit/miss sequences are a pure function of the access
+//! trace — a requirement of the engine's determinism contract.
+
+use std::cell::{Cell, RefCell};
+
+use secpb_sim::fxhash::FxHashMap;
+
+use crate::counter::SplitCounter;
+use crate::otp::Otp;
+use crate::sha512::{Digest, Sha512};
+
+/// Default capacity for pad/digest caches (entries before an epoch reset).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Hit/miss/reset counters shared by both cache types.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then cached the result).
+    pub misses: u64,
+    /// Whole-cache clears on reaching capacity.
+    pub resets: u64,
+}
+
+/// A bounded memo of OTP pads keyed by (block address, split counter).
+///
+/// # Example
+///
+/// ```
+/// use secpb_crypto::counter::SplitCounter;
+/// use secpb_crypto::memo::PadCache;
+///
+/// let cache = PadCache::new(16);
+/// let c = SplitCounter { major: 1, minor: 2 };
+/// let pad = cache.get_or_insert_with(7, c, || [0xABu8; 64]);
+/// let again = cache.get_or_insert_with(7, c, || unreachable!("cached"));
+/// assert_eq!(pad, again);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+#[derive(Clone)]
+pub struct PadCache {
+    map: RefCell<FxHashMap<(u64, SplitCounter), Otp>>,
+    capacity: usize,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    resets: Cell<u64>,
+}
+
+impl std::fmt::Debug for PadCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PadCache")
+            .field("len", &self.map.borrow().len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PadCache {
+    /// Creates a cache that epoch-resets upon reaching `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "pad cache needs capacity");
+        PadCache {
+            map: RefCell::new(FxHashMap::default()),
+            capacity,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            resets: Cell::new(0),
+        }
+    }
+
+    /// Returns the cached pad for `(block_addr, counter)`, computing and
+    /// caching it via `compute` on a miss.
+    pub fn get_or_insert_with(
+        &self,
+        block_addr: u64,
+        counter: SplitCounter,
+        compute: impl FnOnce() -> Otp,
+    ) -> Otp {
+        let mut map = self.map.borrow_mut();
+        if let Some(pad) = map.get(&(block_addr, counter)) {
+            self.hits.set(self.hits.get() + 1);
+            return *pad;
+        }
+        self.misses.set(self.misses.get() + 1);
+        if map.len() >= self.capacity {
+            map.clear();
+            self.resets.set(self.resets.get() + 1);
+        }
+        let pad = compute();
+        map.insert((block_addr, counter), pad);
+        pad
+    }
+
+    /// Current number of cached pads.
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// Whether the cache holds no pads.
+    pub fn is_empty(&self) -> bool {
+        self.map.borrow().is_empty()
+    }
+
+    /// Hit/miss/reset counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            resets: self.resets.get(),
+        }
+    }
+
+    /// Drops every cached pad (counters are preserved).
+    pub fn clear(&self) {
+        self.map.borrow_mut().clear();
+    }
+}
+
+/// A bounded memo of SHA-512 digests of 64-byte counter blocks, keyed by
+/// an identifier (e.g. the encryption-page number) and validated against
+/// the block bytes so a changed counter block can never return a stale
+/// digest.
+///
+/// # Example
+///
+/// ```
+/// use secpb_crypto::memo::DigestMemo;
+/// use secpb_crypto::sha512::Sha512;
+///
+/// let memo = DigestMemo::new(16);
+/// let bytes = [3u8; 64];
+/// assert_eq!(memo.digest(9, &bytes), Sha512::digest(&bytes));
+/// assert_eq!(memo.digest(9, &bytes), Sha512::digest(&bytes));
+/// assert_eq!(memo.stats().hits, 1);
+/// ```
+#[derive(Clone)]
+pub struct DigestMemo {
+    map: RefCell<FxHashMap<u64, ([u8; 64], Digest)>>,
+    capacity: usize,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    resets: Cell<u64>,
+}
+
+impl std::fmt::Debug for DigestMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DigestMemo")
+            .field("len", &self.map.borrow().len())
+            .field("capacity", &self.capacity)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DigestMemo {
+    /// Creates a memo that epoch-resets upon reaching `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "digest memo needs capacity");
+        DigestMemo {
+            map: RefCell::new(FxHashMap::default()),
+            capacity,
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+            resets: Cell::new(0),
+        }
+    }
+
+    /// The SHA-512 digest of `bytes`, served from the memo when `key` was
+    /// last seen with identical bytes.
+    pub fn digest(&self, key: u64, bytes: &[u8; 64]) -> Digest {
+        let mut map = self.map.borrow_mut();
+        if let Some((stored, digest)) = map.get(&key) {
+            if stored == bytes {
+                self.hits.set(self.hits.get() + 1);
+                return *digest;
+            }
+        }
+        self.misses.set(self.misses.get() + 1);
+        if map.len() >= self.capacity {
+            map.clear();
+            self.resets.set(self.resets.get() + 1);
+        }
+        let digest = Sha512::digest(bytes);
+        map.insert(key, (*bytes, digest));
+        digest
+    }
+
+    /// Current number of memoized digests.
+    pub fn len(&self) -> usize {
+        self.map.borrow().len()
+    }
+
+    /// Whether the memo holds no digests.
+    pub fn is_empty(&self) -> bool {
+        self.map.borrow().is_empty()
+    }
+
+    /// Hit/miss/reset counters.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            resets: self.resets.get(),
+        }
+    }
+
+    /// Drops every memoized digest (counters are preserved).
+    pub fn clear(&self) {
+        self.map.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_cache_hits_after_first_compute() {
+        let cache = PadCache::new(8);
+        let c = SplitCounter { major: 2, minor: 5 };
+        let mut computes = 0;
+        for _ in 0..3 {
+            cache.get_or_insert_with(42, c, || {
+                computes += 1;
+                [0x5Au8; 64]
+            });
+        }
+        assert_eq!(computes, 1);
+        assert_eq!(
+            cache.stats(),
+            MemoStats {
+                hits: 2,
+                misses: 1,
+                resets: 0
+            }
+        );
+    }
+
+    #[test]
+    fn pad_cache_distinguishes_counters_and_addresses() {
+        let cache = PadCache::new(8);
+        let c1 = SplitCounter { major: 1, minor: 0 };
+        let c2 = SplitCounter { major: 1, minor: 1 };
+        cache.get_or_insert_with(1, c1, || [1u8; 64]);
+        let p2 = cache.get_or_insert_with(1, c2, || [2u8; 64]);
+        let p3 = cache.get_or_insert_with(2, c1, || [3u8; 64]);
+        assert_eq!(p2, [2u8; 64]);
+        assert_eq!(p3, [3u8; 64]);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn pad_cache_epoch_reset_at_capacity() {
+        let cache = PadCache::new(2);
+        let c = SplitCounter::default();
+        cache.get_or_insert_with(0, c, || [0u8; 64]);
+        cache.get_or_insert_with(1, c, || [1u8; 64]);
+        assert_eq!(cache.len(), 2);
+        // Third distinct key clears the map first, then inserts.
+        cache.get_or_insert_with(2, c, || [2u8; 64]);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().resets, 1);
+        // The evicted entry recomputes (still correct, just slower).
+        let p = cache.get_or_insert_with(0, c, || [0u8; 64]);
+        assert_eq!(p, [0u8; 64]);
+    }
+
+    #[test]
+    fn digest_memo_matches_sha512() {
+        let memo = DigestMemo::new(4);
+        let a = [7u8; 64];
+        let b = [8u8; 64];
+        assert_eq!(memo.digest(1, &a), Sha512::digest(&a));
+        assert_eq!(memo.digest(1, &a), Sha512::digest(&a));
+        assert_eq!(memo.digest(2, &b), Sha512::digest(&b));
+        assert_eq!(memo.stats().hits, 1);
+        assert_eq!(memo.stats().misses, 2);
+    }
+
+    #[test]
+    fn digest_memo_detects_changed_bytes() {
+        let memo = DigestMemo::new(4);
+        let old = [1u8; 64];
+        let mut new = old;
+        new[63] = 2;
+        memo.digest(5, &old);
+        // Same key, different bytes: must recompute, never serve stale.
+        assert_eq!(memo.digest(5, &new), Sha512::digest(&new));
+        assert_eq!(memo.stats().hits, 0);
+        assert_eq!(memo.stats().misses, 2);
+        // And the entry now reflects the new bytes.
+        assert_eq!(memo.digest(5, &new), Sha512::digest(&new));
+        assert_eq!(memo.stats().hits, 1);
+    }
+
+    #[test]
+    fn digest_memo_epoch_reset_at_capacity() {
+        let memo = DigestMemo::new(2);
+        memo.digest(0, &[0u8; 64]);
+        memo.digest(1, &[1u8; 64]);
+        memo.digest(2, &[2u8; 64]);
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.stats().resets, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_pad_cache_panics() {
+        PadCache::new(0);
+    }
+}

@@ -51,6 +51,14 @@ pub struct SgxCounterTree {
     /// On-chip trusted top-level counters (the "root").
     root: [u64; ARITY],
     updates: u64,
+    /// Lazy mode: counter increments stay eager (they are the semantic
+    /// state), but embedded-MAC recomputation is deferred to
+    /// [`fold`](Self::fold).  A node's MAC depends only on its final
+    /// counters and the parent counter, so batching is order-independent.
+    lazy: bool,
+    /// `(level, node_index)` pairs whose MACs are stale.
+    dirty: Vec<(usize, u64)>,
+    fold_macs: u64,
 }
 
 impl SgxCounterTree {
@@ -68,7 +76,56 @@ impl SgxCounterTree {
             nodes: (0..levels).map(|_| FxHashMap::default()).collect(),
             root: [0; ARITY],
             updates: 0,
+            lazy: false,
+            dirty: Vec::new(),
+            fold_macs: 0,
         }
+    }
+
+    /// Switches between eager per-update MAC recomputation and deferred
+    /// batch recomputation.  Turning lazy off folds all pending work.
+    pub fn set_lazy(&mut self, lazy: bool) {
+        if !lazy {
+            self.fold();
+        }
+        self.lazy = lazy;
+    }
+
+    /// Whether MAC recomputation is deferred to folds.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
+    }
+
+    /// Whether any node MACs are pending recomputation.
+    pub fn has_pending(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// MACs actually recomputed by folds (performance metric).
+    pub fn fold_macs(&self) -> u64 {
+        self.fold_macs
+    }
+
+    /// Recomputes every stale embedded MAC.  Repeated updates along a
+    /// shared path coalesce: each distinct node is MACed once per fold.
+    /// Returns the number of MACs computed.
+    pub fn fold(&mut self) -> u64 {
+        if self.dirty.is_empty() {
+            return 0;
+        }
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        let pending = std::mem::take(&mut self.dirty);
+        let mut macs = 0u64;
+        for &(level, idx) in &pending {
+            let parent_counter = self.parent_counter(level, idx);
+            let counters = self.nodes[level].get(&idx).expect("dirty node").counters;
+            let mac = self.node_mac(level, idx, &counters, parent_counter);
+            self.nodes[level].get_mut(&idx).expect("present").mac = mac;
+            macs += 1;
+        }
+        self.fold_macs += macs;
+        macs
     }
 
     /// Leaves covered.
@@ -141,6 +198,16 @@ impl SgxCounterTree {
         }
         // Top-level counter (on-chip).
         self.root[(child % ARITY as u64) as usize] += 1;
+        if self.lazy {
+            // Defer MAC recomputation: record the path and let the next
+            // fold MAC each distinct node once.
+            let mut idx = leaf / ARITY as u64;
+            for level in 0..self.levels as usize {
+                self.dirty.push((level, idx));
+                idx /= ARITY as u64;
+            }
+            return new_version;
+        }
         // Recompute embedded MACs bottom-up now that every parent counter
         // has its final value.
         let mut idx = leaf / ARITY as u64;
@@ -168,6 +235,10 @@ impl SgxCounterTree {
     /// walking the path and checking every embedded MAC against the
     /// parent counters, ending at the trusted root.
     pub fn verify_leaf(&self, leaf: u64, claimed_version: u64) -> bool {
+        debug_assert!(
+            self.dirty.is_empty(),
+            "lazy counter tree observed with pending MACs: fold() first"
+        );
         if leaf >= self.capacity() {
             return false;
         }
@@ -281,6 +352,67 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_update_panics() {
         SgxCounterTree::new(b"k", 1).update_leaf(8);
+    }
+
+    #[test]
+    fn lazy_fold_matches_eager_macs() {
+        let mut eager = SgxCounterTree::new(b"k", 3);
+        let mut lazy = SgxCounterTree::new(b"k", 3);
+        lazy.set_lazy(true);
+        for leaf in [0u64, 1, 9, 0, 64, 0, 9] {
+            assert_eq!(eager.update_leaf(leaf), lazy.update_leaf(leaf));
+        }
+        assert!(lazy.has_pending());
+        lazy.fold();
+        assert!(!lazy.has_pending());
+        assert_eq!(eager.root(), lazy.root());
+        for level in 0..3 {
+            for idx in [0u64, 1, 8] {
+                assert_eq!(
+                    eager.snapshot_node(level, idx),
+                    lazy.snapshot_node(level, idx),
+                    "node ({level}, {idx})"
+                );
+            }
+        }
+        for leaf in [0u64, 1, 9, 64, 2] {
+            let v = lazy.leaf_version(leaf);
+            assert!(lazy.verify_leaf(leaf, v));
+        }
+    }
+
+    #[test]
+    fn lazy_coalesces_repeated_path_macs() {
+        let mut t = SgxCounterTree::new(b"k", 3);
+        t.set_lazy(true);
+        for _ in 0..16 {
+            t.update_leaf(5);
+        }
+        let macs = t.fold();
+        assert_eq!(macs, 3, "16 updates to one leaf MAC the 3-node path once");
+        assert_eq!(t.fold_macs(), 3);
+        assert_eq!(t.fold(), 0, "clean tree folds for free");
+    }
+
+    #[test]
+    fn disabling_lazy_folds_pending_macs() {
+        let mut t = SgxCounterTree::new(b"k", 2);
+        t.set_lazy(true);
+        t.update_leaf(0);
+        assert!(t.has_pending());
+        t.set_lazy(false);
+        assert!(!t.has_pending());
+        assert!(t.verify_leaf(0, 1));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "fold() first")]
+    fn lazy_verify_without_fold_asserts() {
+        let mut t = SgxCounterTree::new(b"k", 2);
+        t.set_lazy(true);
+        t.update_leaf(0);
+        t.verify_leaf(0, 1);
     }
 
     #[test]

@@ -13,13 +13,14 @@
 
 use secpb_crypto::counter::CounterBlock;
 use secpb_crypto::mac::BlockMac;
+use secpb_crypto::memo::DigestMemo;
 use secpb_crypto::otp::OtpEngine;
-use secpb_crypto::sha512::Sha512;
+use secpb_crypto::sha512::{Digest, Sha512};
 use secpb_mem::cache::LineState;
 use secpb_mem::hierarchy::{Hierarchy, HitLevel};
 use secpb_mem::store::NvmStore;
 use secpb_sim::addr::BlockAddr;
-use secpb_sim::config::SystemConfig;
+use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::cycle::Cycle;
 use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::Stats;
@@ -42,6 +43,8 @@ pub struct EadrSystem {
     otp_engine: OtpEngine,
     mac_engine: BlockMac,
     tree: IntegrityTree,
+    mode: MetadataMode,
+    ctr_digests: DigestMemo,
     seed: u64,
     stats: Stats,
 }
@@ -61,19 +64,28 @@ impl EadrSystem {
         for (i, b) in aes_key.iter_mut().enumerate() {
             *b = (key_seed.rotate_left(i as u32) ^ (i as u64 * 0xEAD2)) as u8;
         }
+        let mode = cfg.security.metadata_mode;
+        let mut tree = IntegrityTree::new(
+            TreeKind::Monolithic,
+            &(key_seed ^ 0xEAD2).to_le_bytes(),
+            8,
+            cfg.security.bmt_levels,
+        );
+        let mut otp_engine = OtpEngine::new(&aes_key);
+        if mode == MetadataMode::Lazy {
+            tree.set_lazy(true);
+            otp_engine.enable_pad_cache(secpb_crypto::memo::DEFAULT_CAPACITY);
+        }
         EadrSystem {
             hierarchy: Hierarchy::new(&cfg),
             golden: FxHashMap::default(),
             counters: FxHashMap::default(),
             nvm: NvmStore::new(),
-            otp_engine: OtpEngine::new(&aes_key),
+            otp_engine,
             mac_engine: BlockMac::new(&key_seed.to_le_bytes()),
-            tree: IntegrityTree::new(
-                TreeKind::Monolithic,
-                &(key_seed ^ 0xEAD2).to_le_bytes(),
-                8,
-                cfg.security.bmt_levels,
-            ),
+            tree,
+            mode,
+            ctr_digests: DigestMemo::new(secpb_crypto::memo::DEFAULT_CAPACITY),
             seed: key_seed,
             now: Cycle::ZERO,
             frac: 0.0,
@@ -95,6 +107,15 @@ impl EadrSystem {
     /// The architecturally expected plaintext of a block.
     pub fn expected_plaintext(&self, block: BlockAddr) -> [u8; 64] {
         self.golden.get(&block).copied().unwrap_or([0u8; 64])
+    }
+
+    /// The SHA-512 digest of a counter block, memoized in lazy mode.
+    fn counter_digest(&self, page: u64, cb: &CounterBlock) -> Digest {
+        let bytes = cb.to_bytes();
+        match self.mode {
+            MetadataMode::Eager => Sha512::digest(&bytes),
+            MetadataMode::Lazy => self.ctr_digests.digest(page, &bytes),
+        }
     }
 
     fn advance(&mut self, cycles: f64) {
@@ -187,9 +208,11 @@ impl EadrSystem {
         let mut persisted = self.nvm.read_counters(page);
         persisted.set_counter(slot, ctr);
         self.nvm.write_counters(page, persisted.clone());
-        self.tree
-            .update_leaf(page, Sha512::digest(&persisted.to_bytes()));
-        self.nvm.set_bmt_root(self.tree.root());
+        let digest = self.counter_digest(page, &persisted);
+        self.tree.update_leaf(page, digest);
+        if self.mode == MetadataMode::Eager {
+            self.nvm.set_bmt_root(self.tree.root());
+        }
         self.stats.bump(counters::MACS);
         self.stats.bump(counters::OTPS);
         self.stats.bump(counters::BMT_ROOT_UPDATES);
@@ -210,6 +233,10 @@ impl EadrSystem {
         for &block in &dirty {
             self.persist_tuple(block);
         }
+        // Observation point: fold all deferred tree work and persist the
+        // root (a no-op for the eager engine, which persisted per tuple).
+        self.tree.sync();
+        self.nvm.set_bmt_root(self.tree.root());
         self.hierarchy.clear();
         let n = dirty.len() as u64;
         self.stats.bump_by("eadr.crash_lines", n);
@@ -235,12 +262,16 @@ impl EadrSystem {
             8,
             self.cfg.security.bmt_levels,
         );
+        if self.mode == MetadataMode::Lazy {
+            rebuilt.set_lazy(true);
+        }
         let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
         pages.sort_unstable();
         for page in pages {
             let cb = self.nvm.read_counters(page);
-            rebuilt.update_leaf(page, Sha512::digest(&cb.to_bytes()));
+            rebuilt.update_leaf(page, self.counter_digest(page, &cb));
         }
+        rebuilt.sync();
         report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
         for block in self.nvm.data_blocks() {
             report.blocks_checked += 1;

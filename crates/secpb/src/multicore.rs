@@ -17,11 +17,12 @@
 
 use secpb_crypto::counter::CounterBlock;
 use secpb_crypto::mac::BlockMac;
+use secpb_crypto::memo::DigestMemo;
 use secpb_crypto::otp::OtpEngine;
-use secpb_crypto::sha512::Sha512;
+use secpb_crypto::sha512::{Digest, Sha512};
 use secpb_mem::store::NvmStore;
 use secpb_sim::addr::BlockAddr;
-use secpb_sim::config::SystemConfig;
+use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::cycle::Cycle;
 use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::Stats;
@@ -62,6 +63,8 @@ pub struct MultiCoreSystem {
     otp_engine: OtpEngine,
     mac_engine: BlockMac,
     tree: IntegrityTree,
+    mode: MetadataMode,
+    ctr_digests: DigestMemo,
     seed: u64,
     stats: Stats,
 }
@@ -90,20 +93,29 @@ impl MultiCoreSystem {
         for (i, b) in aes_key.iter_mut().enumerate() {
             *b = (key_seed.rotate_left(i as u32) ^ (i as u64 * 0x517C)) as u8;
         }
+        let mode = cfg.security.metadata_mode;
+        let mut tree = IntegrityTree::new(
+            TreeKind::Monolithic,
+            &(key_seed ^ 0xC0_FFEE).to_le_bytes(),
+            8,
+            cfg.security.bmt_levels,
+        );
+        let mut otp_engine = OtpEngine::new(&aes_key);
+        if mode == MetadataMode::Lazy {
+            tree.set_lazy(true);
+            otp_engine.enable_pad_cache(secpb_crypto::memo::DEFAULT_CAPACITY);
+        }
         MultiCoreSystem {
             coherence: CoherenceController::new(cores, cfg.secpb),
             core_now: vec![Cycle::ZERO; cores],
             golden: FxHashMap::default(),
             counters: FxHashMap::default(),
             nvm: NvmStore::new(),
-            otp_engine: OtpEngine::new(&aes_key),
+            otp_engine,
             mac_engine: BlockMac::new(&key_seed.to_le_bytes()),
-            tree: IntegrityTree::new(
-                TreeKind::Monolithic,
-                &(key_seed ^ 0xC0_FFEE).to_le_bytes(),
-                8,
-                cfg.security.bmt_levels,
-            ),
+            tree,
+            mode,
+            ctr_digests: DigestMemo::new(secpb_crypto::memo::DEFAULT_CAPACITY),
             seed: key_seed,
             stats: Stats::new(),
             scheme,
@@ -236,6 +248,9 @@ impl MultiCoreSystem {
                 drained += 1;
             }
         }
+        // Observation point: fold any deferred tree work before reading
+        // and persisting the root (a no-op for the eager engine).
+        self.tree.sync();
         self.nvm.set_bmt_root(self.tree.root());
         self.stats.bump_by("mc.crash_drains", drained);
         drained
@@ -250,12 +265,16 @@ impl MultiCoreSystem {
             8,
             self.cfg.security.bmt_levels,
         );
+        if self.mode == MetadataMode::Lazy {
+            rebuilt.set_lazy(true);
+        }
         let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
         pages.sort_unstable();
         for page in pages {
             let cb = self.nvm.read_counters(page);
-            rebuilt.update_leaf(page, Sha512::digest(&cb.to_bytes()));
+            rebuilt.update_leaf(page, self.counter_digest(page, &cb));
         }
+        rebuilt.sync();
         report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
         for block in self.nvm.data_blocks() {
             report.blocks_checked += 1;
@@ -307,9 +326,21 @@ impl MultiCoreSystem {
         let mut cb = self.nvm.read_counters(page);
         cb.set_counter(slot, ctr);
         self.nvm.write_counters(page, cb.clone());
-        self.tree.update_leaf(page, Sha512::digest(&cb.to_bytes()));
-        self.nvm.set_bmt_root(self.tree.root());
+        let digest = self.counter_digest(page, &cb);
+        self.tree.update_leaf(page, digest);
+        if self.mode == MetadataMode::Eager {
+            self.nvm.set_bmt_root(self.tree.root());
+        }
         self.stats.bump("mc.flushes");
+    }
+
+    /// The SHA-512 digest of a counter block, memoized in lazy mode.
+    fn counter_digest(&self, page: u64, cb: &CounterBlock) -> Digest {
+        let bytes = cb.to_bytes();
+        match self.mode {
+            MetadataMode::Eager => Sha512::digest(&bytes),
+            MetadataMode::Lazy => self.ctr_digests.digest(page, &bytes),
+        }
     }
 }
 

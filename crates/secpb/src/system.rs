@@ -25,8 +25,9 @@ use std::collections::VecDeque;
 
 use secpb_crypto::counter::{CounterBlock, IncrementOutcome, SplitCounter};
 use secpb_crypto::mac::BlockMac;
+use secpb_crypto::memo::DigestMemo;
 use secpb_crypto::otp::OtpEngine;
-use secpb_crypto::sha512::Sha512;
+use secpb_crypto::sha512::{Digest, Sha512};
 use secpb_mem::cache::LineState;
 use secpb_mem::hierarchy::{Hierarchy, HitLevel};
 use secpb_mem::metadata::{MetadataCaches, MetadataKind};
@@ -34,7 +35,7 @@ use secpb_mem::nvm::NvmTiming;
 use secpb_mem::store::NvmStore;
 use secpb_mem::wpq::WritePendingQueue;
 use secpb_sim::addr::BlockAddr;
-use secpb_sim::config::SystemConfig;
+use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::cycle::Cycle;
 use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::{HistId, StatId, Stats};
@@ -158,6 +159,11 @@ pub struct SecureSystem {
     otp_engine: OtpEngine,
     mac_engine: BlockMac,
     tree: IntegrityTree,
+    /// Eager or lazy security-metadata engine (see [`MetadataMode`]).
+    mode: MetadataMode,
+    /// Counter-block digest memo, active in lazy mode (digests are pure
+    /// functions of the 64 counter bytes).
+    ctr_digests: DigestMemo,
 
     stats: Stats,
     h: StatHandles,
@@ -198,7 +204,13 @@ impl SecureSystem {
         }
         let mac_key = key_seed.to_le_bytes();
         let tree_key = (key_seed ^ 0xB111_7AB1E).to_le_bytes();
-        let tree = IntegrityTree::new(tree_kind, &tree_key, BMT_ARITY, cfg.security.bmt_levels);
+        let mut tree = IntegrityTree::new(tree_kind, &tree_key, BMT_ARITY, cfg.security.bmt_levels);
+        let mode = cfg.security.metadata_mode;
+        let mut otp_engine = OtpEngine::new(&aes_key);
+        if mode == MetadataMode::Lazy {
+            tree.set_lazy(true);
+            otp_engine.enable_pad_cache(secpb_crypto::memo::DEFAULT_CAPACITY);
+        }
         let mut stats = Stats::new();
         let h = StatHandles::register(&mut stats);
         SecureSystem {
@@ -211,9 +223,11 @@ impl SecureSystem {
             golden: FxHashMap::default(),
             counters: FxHashMap::default(),
             nvm: NvmStore::new(),
-            otp_engine: OtpEngine::new(&aes_key),
+            otp_engine,
             mac_engine: BlockMac::new(&mac_key),
             tree,
+            mode,
+            ctr_digests: DigestMemo::new(secpb_crypto::memo::DEFAULT_CAPACITY),
             stats,
             h,
             tracer: Tracer::new(),
@@ -239,6 +253,53 @@ impl SecureSystem {
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.cfg
+    }
+
+    /// Whether the security-metadata engine is eager or lazy.
+    pub fn metadata_mode(&self) -> MetadataMode {
+        self.mode
+    }
+
+    /// The integrity tree (for inspecting fold statistics).
+    pub fn integrity_tree(&self) -> &IntegrityTree {
+        &self.tree
+    }
+
+    /// Pad-cache hit/miss statistics, when the lazy engine is active.
+    pub fn pad_cache_stats(&self) -> Option<secpb_crypto::memo::MemoStats> {
+        self.otp_engine.pad_cache().map(|c| c.stats())
+    }
+
+    /// The SHA-512 digest of a counter block, memoized in lazy mode.
+    fn counter_digest(&self, page: u64, cb: &CounterBlock) -> Digest {
+        let bytes = cb.to_bytes();
+        match self.mode {
+            MetadataMode::Eager => Sha512::digest(&bytes),
+            MetadataMode::Lazy => self.ctr_digests.digest(page, &bytes),
+        }
+    }
+
+    /// Persists the tree root into NVM after a drain-time leaf update.
+    /// The lazy engine skips this: the root register is only *read* at
+    /// recovery, which always follows [`sync_metadata`](Self::sync_metadata)
+    /// (via [`crash`](Self::crash)), where the folded root is persisted.
+    fn persist_root(&mut self) {
+        if self.mode == MetadataMode::Eager {
+            self.nvm.set_bmt_root(self.tree.root());
+        }
+    }
+
+    /// Folds all deferred integrity-tree work and persists the root —
+    /// the observation point that makes lazy and eager states identical.
+    /// Returns the analytic hash count charged to the sec-sync gap (BMF
+    /// root-cache folds; zero for a monolithic tree in both modes).
+    pub fn sync_metadata(&mut self) -> u64 {
+        let sync_hashes = self.tree.sync();
+        self.stats.add(self.h.bmt_node_hashes, sync_hashes);
+        if self.scheme.is_secure() {
+            self.nvm.set_bmt_root(self.tree.root());
+        }
+        sync_hashes
     }
 
     /// Raw statistics accumulated so far.
@@ -833,11 +894,11 @@ impl SecureSystem {
         }
         // Persist the fresh counter block and fold it into the tree.
         self.nvm.write_counters(page, new_cb.clone());
-        let digest = Sha512::digest(&new_cb.to_bytes());
+        let digest = self.counter_digest(page, &new_cb);
         let hashes = self.tree.update_leaf(page, digest);
         self.stats.inc(self.h.bmt_root_updates);
         self.stats.add(self.h.bmt_node_hashes, hashes);
-        self.nvm.set_bmt_root(self.tree.root());
+        self.persist_root();
         // Refresh in-flight SecPB entries of the page: their recorded
         // counters are stale after the major bump.
         let resident: Vec<BlockAddr> = self
@@ -904,7 +965,7 @@ impl SecureSystem {
         let mut cb = self.nvm.read_counters(page);
         cb.set_counter(slot, ctr);
         self.nvm.write_counters(page, cb.clone());
-        let digest = Sha512::digest(&cb.to_bytes());
+        let digest = self.counter_digest(page, &cb);
         let hashes = self.tree.update_leaf(page, digest);
         self.stats.inc(self.h.bmt_root_updates);
         self.stats.add(self.h.bmt_node_hashes, hashes);
@@ -914,7 +975,7 @@ impl SecureSystem {
             // paid at store time.
             self.stats.add(self.h.late_bmt_node_hashes, hashes);
         }
-        self.nvm.set_bmt_root(self.tree.root());
+        self.persist_root();
     }
 
     // ---------------------------------------------------------------
@@ -985,11 +1046,11 @@ impl SecureSystem {
         let mut cb = self.nvm.read_counters(page);
         cb.set_counter(slot, ctr);
         self.nvm.write_counters(page, cb.clone());
-        let digest = Sha512::digest(&cb.to_bytes());
+        let digest = self.counter_digest(page, &cb);
         let hashes = self.tree.update_leaf(page, digest);
         self.stats.inc(self.h.bmt_root_updates);
         self.stats.add(self.h.bmt_node_hashes, hashes);
-        self.nvm.set_bmt_root(self.tree.root());
+        self.persist_root();
     }
 
     fn sp_bmt_walk(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
@@ -1044,13 +1105,10 @@ impl SecureSystem {
         let drain_complete_at = last_drain_issue;
         let mut secsync = self.drain_engine.all_complete_at().max(drain_complete_at);
         secsync = secsync.max(self.wpq.drained_at());
-        // Fold any cached BMF subtree roots into the upper root.
-        let sync_hashes = self.tree.sync();
-        self.stats.add(self.h.bmt_node_hashes, sync_hashes);
+        // Fold any cached BMF subtree roots (and, in lazy mode, all
+        // deferred tree updates) into the persisted root.
+        let sync_hashes = self.sync_metadata();
         secsync += sync_hashes * self.cfg.security.bmt_hash_latency;
-        if self.scheme.is_secure() {
-            self.nvm.set_bmt_root(self.tree.root());
-        }
 
         let full_power_cycle = !matches!(kind, CrashKind::ApplicationCrash(_));
         if full_power_cycle {
@@ -1146,11 +1204,16 @@ impl SecureSystem {
             BMT_ARITY,
             self.cfg.security.bmt_levels,
         );
+        if self.mode == MetadataMode::Lazy {
+            // The rebuild is itself an N-update batch folded once at the
+            // end — the lazy engine's sweet spot.
+            rebuilt.set_lazy(true);
+        }
         let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
         pages.sort_unstable();
         for page in pages {
             let cb = self.nvm.read_counters(page);
-            rebuilt.update_leaf(page, Sha512::digest(&cb.to_bytes()));
+            rebuilt.update_leaf(page, self.counter_digest(page, &cb));
         }
         rebuilt.sync();
         report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
