@@ -22,6 +22,12 @@ echo "==> eager-vs-lazy metadata equivalence smoke (all schemes)"
 # diverge from the eager engine's on a fuzzed trace.
 ./target/release/equiv_smoke 10000
 
+echo "==> fault-injection storm smoke (crash storms, brown-outs, bit flips)"
+# fault_storm exits nonzero on any panic, silent corruption, accounting
+# mismatch, or undetected bit flip across all schemes, both metadata
+# engines, and both drain policies; --quick keeps this to a few seconds.
+./target/release/fault_storm --quick
+
 echo "==> grid determinism smoke (2 workloads x 2 schemes, serial vs parallel)"
 # bench_grid exits nonzero if the parallel grid diverges from the serial
 # one; --smoke keeps this to a few seconds.

@@ -45,7 +45,8 @@ fn bench_crash_recovery() {
             .map(|i| TraceItem::then(4, Access::store(Address(0x10_0000 + i * 64), i)))
             .collect();
         sys.run_trace(trace);
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         let report = sys.recover();
         assert!(report.is_consistent());
         report.blocks_checked

@@ -115,17 +115,20 @@ fn main() {
 
     // Serial pass, timing each cell so per-cell host cost (ns per
     // simulated store) lands in the report alongside the simulated
-    // numbers.
+    // numbers.  Each serial cell is also crash-tested (power loss, full
+    // drain, verified recovery) so a cell that persists garbage fails
+    // the grid instead of silently reporting timing only.
     let t0 = Instant::now();
-    let (serial, cell_seconds): (Vec<_>, Vec<_>) = cells
+    let (serial_checked, cell_seconds): (Vec<_>, Vec<_>) = cells
         .iter()
         .map(|c| {
             let t = Instant::now();
-            let r = c.run();
-            (r, t.elapsed().as_secs_f64())
+            let (r, check) = c.run_with_recovery();
+            ((r, check), t.elapsed().as_secs_f64())
         })
         .unzip();
     let serial_s = t0.elapsed().as_secs_f64();
+    let (serial, recovery): (Vec<_>, Vec<_>) = serial_checked.into_iter().unzip();
 
     let t1 = Instant::now();
     let parallel = run_grid(&cells, jobs);
@@ -161,10 +164,33 @@ fn main() {
         cells.len()
     );
 
+    let recovery_failures: Vec<String> = cells
+        .iter()
+        .zip(&recovery)
+        .filter_map(|(c, check)| {
+            check
+                .failure
+                .as_ref()
+                .map(|why| format!("{}/{}: {why}", c.profile.name, c.scheme.name()))
+        })
+        .collect();
+    let recovery_blocks: u64 = recovery.iter().map(|c| c.blocks_checked).sum();
+    if recovery_failures.is_empty() {
+        println!(
+            "recovery              all {} cells consistent ({recovery_blocks} blocks verified)",
+            cells.len()
+        );
+    } else {
+        for f in &recovery_failures {
+            eprintln!("RECOVERY FAILURE: {f}");
+        }
+    }
+
     let per_cell = cells
         .iter()
         .zip(serial.iter().zip(&cell_seconds))
-        .map(|(c, (r, secs))| {
+        .zip(&recovery)
+        .map(|((c, (r, secs)), check)| {
             let stores = r.stats.get(counters::STORES);
             Json::obj()
                 .field("workload", c.profile.name.as_str())
@@ -172,6 +198,15 @@ fn main() {
                 .field("cycles", r.cycles)
                 .field("ipc", r.ipc())
                 .field("ns_per_store", secs * 1e9 / stores.max(1) as f64)
+                .field("recovery_ok", check.ok())
+                .field("recovery_blocks", check.blocks_checked)
+                .field(
+                    "recovery_failure",
+                    match &check.failure {
+                        Some(why) => Json::from(why.as_str()),
+                        None => Json::Null,
+                    },
+                )
         });
     let payload = Json::obj()
         .field("grid", if smoke { "smoke" } else { "full" })
@@ -209,8 +244,17 @@ fn main() {
         )
         .field("serial_ns_per_store", serial_ns_per_store)
         .field("deterministic", true)
+        .field("recovery_ok", recovery_failures.is_empty())
+        .field("recovery_blocks_verified", recovery_blocks)
         .field("results", Json::Arr(per_cell.collect()));
     let path = args.json.as_deref().unwrap_or("BENCH_grid.json");
     std::fs::write(path, payload.to_pretty()).expect("write json");
     eprintln!("wrote {path}");
+    if !recovery_failures.is_empty() {
+        eprintln!(
+            "bench_grid: {} cell(s) failed recovery checks",
+            recovery_failures.len()
+        );
+        std::process::exit(1);
+    }
 }

@@ -53,7 +53,9 @@ fn main() {
             let trace = TraceGenerator::new(profile.clone(), 0xE9).generate(instructions);
             let mut sys = SecureSystem::new(cfg_with(mode), scheme, 0xE9);
             sys.run_trace(trace);
-            let crash = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+            let crash = sys
+                .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+                .expect("crash drain");
             let root = sys.nvm_store().bmt_root();
             let stats = sys.stats().to_json().to_pretty();
             let recovery = sys.recover();

@@ -25,3 +25,4 @@ pub mod args;
 pub mod experiments;
 pub mod micro;
 pub mod report;
+pub mod storm;

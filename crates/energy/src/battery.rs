@@ -5,6 +5,28 @@
 
 use crate::constants::{CORE_AREA_MM2, JOULES_PER_WH, LI_THIN_WH_PER_CM3, SUPERCAP_WH_PER_CM3};
 
+/// Rejected battery-sizing input.
+///
+/// Sizing arithmetic never panics: the checked entry points return this,
+/// and the plain accessors saturate to a safe value instead of aborting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EnergyError {
+    /// A negative or non-finite energy was requested.
+    InvalidEnergy(f64),
+}
+
+impl std::fmt::Display for EnergyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnergyError::InvalidEnergy(j) => {
+                write!(f, "battery energy must be finite and non-negative, got {j}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnergyError {}
+
 /// An energy-source technology.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BatteryTech {
@@ -34,12 +56,25 @@ impl BatteryTech {
         }
     }
 
-    /// Smallest battery volume (mm³) that stores `joules`.
-    pub fn volume_mm3(self, joules: f64) -> f64 {
-        assert!(joules >= 0.0, "energy cannot be negative");
+    /// Smallest battery volume (mm³) that stores `joules`, or an error
+    /// for a negative / non-finite request.
+    pub fn try_volume_mm3(self, joules: f64) -> Result<f64, EnergyError> {
+        if !joules.is_finite() || joules < 0.0 {
+            return Err(EnergyError::InvalidEnergy(joules));
+        }
         let wh = joules / JOULES_PER_WH;
         let cm3 = wh / self.wh_per_cm3();
-        cm3 * 1000.0
+        Ok(cm3 * 1000.0)
+    }
+
+    /// Smallest battery volume (mm³) that stores `joules`.
+    ///
+    /// Saturating: a negative or non-finite `joules` (e.g. from a
+    /// subtraction underflow in a caller's budget arithmetic) sizes a
+    /// zero-volume battery rather than aborting the run.  Use
+    /// [`BatteryTech::try_volume_mm3`] to surface the error instead.
+    pub fn volume_mm3(self, joules: f64) -> f64 {
+        self.try_volume_mm3(joules).unwrap_or(0.0)
     }
 
     /// Footprint area (mm²) of a cubic battery of the given volume.
@@ -100,9 +135,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "negative")]
-    fn negative_energy_rejected() {
-        BatteryTech::LiThin.volume_mm3(-1.0);
+    fn negative_energy_saturates_not_panics() {
+        assert_eq!(BatteryTech::LiThin.volume_mm3(-1.0), 0.0);
+        assert_eq!(BatteryTech::SuperCap.volume_mm3(f64::NAN), 0.0);
+        assert_eq!(BatteryTech::SuperCap.volume_mm3(f64::NEG_INFINITY), 0.0);
+        assert!(matches!(
+            BatteryTech::LiThin.try_volume_mm3(-1.0),
+            Err(EnergyError::InvalidEnergy(_))
+        ));
+        let msg = BatteryTech::LiThin
+            .try_volume_mm3(-1.0)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("non-negative"), "got {msg}");
     }
 
     #[test]

@@ -104,20 +104,17 @@ pub fn counter_fetch_energy() -> f64 {
 
 /// Worst-case drain energy (J) of a single SecPB entry under `scheme`.
 pub fn per_entry_drain_energy(scheme: SchemeKind) -> f64 {
-    let move_entry = scheme.entry_footprint_bytes() as f64 * MOVE_PB_TO_PM_PER_BYTE;
-    if scheme == SchemeKind::Bbb {
-        return move_entry;
-    }
-    let mut e = move_entry;
-    // Late work = complement of the scheme's early work.
+    let mut e = scheme.entry_footprint_bytes() as f64 * MOVE_PB_TO_PM_PER_BYTE;
+    // Late work = complement of the scheme's early work.  BBB is the
+    // insecure baseline: no metadata exists, so nothing is ever late.
     let (counter_late, otp_late, bmt_late, mac_late) = match scheme {
+        SchemeKind::Bbb => (false, false, false, false),
         SchemeKind::Cobcm => (true, true, true, true),
         SchemeKind::Obcm => (false, true, true, true),
         SchemeKind::Bcm => (false, false, true, true),
         SchemeKind::Cm => (false, false, false, true),
         SchemeKind::M => (false, false, false, true),
         SchemeKind::NoGap => (false, false, false, false),
-        SchemeKind::Bbb => unreachable!(),
     };
     if counter_late {
         e += counter_fetch_energy();
@@ -139,6 +136,26 @@ pub fn per_entry_drain_energy(scheme: SchemeKind) -> f64 {
 /// pending (Section V-B assumptions 1–6).
 pub fn secpb_drain_energy(scheme: SchemeKind, entries: usize) -> f64 {
     per_entry_drain_energy(scheme) * entries as f64
+}
+
+/// How many SecPB entries a battery holding `budget_joules` can drain
+/// under `scheme`'s worst-case per-entry energy — the truncation point of
+/// a brown-out (a battery that browns out mid-drain completes exactly
+/// this many oldest-first entries).
+///
+/// Saturating: a non-positive or non-finite budget drains nothing, and a
+/// budget covering more than `u64::MAX` entries clamps.
+pub fn entries_within_budget(scheme: SchemeKind, budget_joules: f64) -> u64 {
+    let per = per_entry_drain_energy(scheme);
+    if !budget_joules.is_finite() || budget_joules <= 0.0 || per <= 0.0 {
+        return 0;
+    }
+    let n = (budget_joules / per).floor();
+    if n >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        n as u64
+    }
 }
 
 /// Drain energy (J) of insecure eADR: every cache line in the hierarchy
@@ -246,6 +263,31 @@ mod tests {
             let ratio = e64 / e32;
             assert!(ratio > 1.8 && ratio < 2.1, "{s:?}: {ratio}");
         }
+    }
+
+    #[test]
+    fn budget_truncation_is_exact_and_saturating() {
+        for s in SchemeKind::ALL {
+            let per = per_entry_drain_energy(s);
+            // A budget of exactly 7 entries (with float headroom) drains 7;
+            // a hair under 7 drains 6.
+            assert_eq!(entries_within_budget(s, per * 7.0 * (1.0 + 1e-12)), 7);
+            assert_eq!(entries_within_budget(s, per * 6.999), 6);
+            assert_eq!(entries_within_budget(s, 0.0), 0);
+            assert_eq!(entries_within_budget(s, -1.0), 0);
+            assert_eq!(entries_within_budget(s, f64::NAN), 0);
+        }
+        assert_eq!(
+            entries_within_budget(SchemeKind::Bbb, f64::INFINITY),
+            0,
+            "non-finite budgets are rejected, not treated as unlimited"
+        );
+        // Lazier schemes drain fewer entries from the same battery.
+        let budget = secpb_drain_energy(SchemeKind::Cobcm, 32);
+        assert!(
+            entries_within_budget(SchemeKind::NoGap, budget)
+                > entries_within_budget(SchemeKind::Cobcm, budget)
+        );
     }
 
     #[test]

@@ -113,6 +113,11 @@ impl NvmStore {
         self.data.len()
     }
 
+    /// Whether a data block was ever written.
+    pub fn contains_data(&self, block: BlockAddr) -> bool {
+        self.data.contains_key(&block)
+    }
+
     // ---- Tamper injection (attack modelling for recovery tests) ----
 
     /// Flips one bit of a stored data block (tampering attack).  Returns
@@ -120,6 +125,43 @@ impl NvmStore {
     pub fn tamper_data(&mut self, block: BlockAddr, byte: usize, bit: u8) -> bool {
         if let Some(d) = self.data.get_mut(&block) {
             d[byte % 64] ^= 1 << (bit % 8);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flips one bit of a stored counter block's packed 64-byte image
+    /// (NVM cell failure / tampering).  Self-inverse: flipping the same
+    /// bit again restores the original block.  Returns `false` if the
+    /// page has no stored counters.
+    pub fn tamper_counters(&mut self, page: u64, byte: usize, bit: u8) -> bool {
+        if let Some(cb) = self.counters.get_mut(&page) {
+            let mut bytes = cb.to_bytes();
+            bytes[byte % 64] ^= 1 << (bit % 8);
+            *cb = CounterBlock::from_bytes(&bytes);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flips one bit of a stored truncated MAC.  Returns `false` if the
+    /// block has no stored MAC.
+    pub fn tamper_mac(&mut self, block: BlockAddr, bit: u8) -> bool {
+        if let Some(m) = self.macs.get_mut(&block) {
+            *m ^= 1u64 << (bit % 64);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flips one bit of the persisted BMT root register.  Returns
+    /// `false` if no root was ever persisted.
+    pub fn tamper_root(&mut self, byte: usize, bit: u8) -> bool {
+        if let Some(root) = self.bmt_root.as_mut() {
+            root.0[byte % 64] ^= 1 << (bit % 8);
             true
         } else {
             false
@@ -200,6 +242,40 @@ mod tests {
             !s.tamper_data(BlockAddr(99), 0, 0),
             "absent block cannot be tampered"
         );
+    }
+
+    #[test]
+    fn tamper_counters_is_self_inverse() {
+        let mut s = NvmStore::new();
+        let mut cb = CounterBlock::default();
+        cb.increment(3);
+        cb.increment(3);
+        cb.increment(17);
+        s.write_counters(2, cb.clone());
+        assert!(s.tamper_counters(2, 11, 5));
+        assert_ne!(s.read_counters(2), cb, "flip must change the block");
+        assert!(s.tamper_counters(2, 11, 5));
+        assert_eq!(s.read_counters(2), cb, "second flip restores it");
+        assert!(!s.tamper_counters(9, 0, 0), "absent page");
+    }
+
+    #[test]
+    fn tamper_mac_and_root_are_self_inverse() {
+        let mut s = NvmStore::new();
+        s.write_mac(BlockAddr(3), 0xABCD);
+        assert!(s.tamper_mac(BlockAddr(3), 70)); // bit taken mod 64
+        assert_eq!(s.read_mac(BlockAddr(3)), 0xABCD ^ (1 << 6));
+        assert!(s.tamper_mac(BlockAddr(3), 70));
+        assert_eq!(s.read_mac(BlockAddr(3)), 0xABCD);
+        assert!(!s.tamper_mac(BlockAddr(4), 0), "absent mac");
+
+        assert!(!s.tamper_root(0, 0), "no root persisted yet");
+        let d = secpb_crypto::sha512::Sha512::digest(b"r");
+        s.set_bmt_root(d);
+        assert!(s.tamper_root(63, 7));
+        assert_ne!(s.bmt_root(), Some(d));
+        assert!(s.tamper_root(63, 7));
+        assert_eq!(s.bmt_root(), Some(d));
     }
 
     #[test]

@@ -16,8 +16,51 @@
 //! the persisted root — the functional counterpart of the paper's
 //! crash-recoverability invariants.
 
+use std::fmt;
+
 use secpb_sim::addr::{Asid, BlockAddr};
 use secpb_sim::cycle::Cycle;
+
+/// A structural inconsistency discovered while handling a crash or
+/// running recovery.  These used to be panics; the fault-injection
+/// engine requires them to surface as values so a storm can distinguish
+/// "the model detected a broken invariant" from "the model aborted".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// A block scheduled for draining was not resident in the SecPB.
+    MissingPbEntry(BlockAddr),
+    /// A block's encryption page had no tracked counter state.
+    MissingPage(u64),
+    /// A store-buffer entry expected to be present was absent.
+    MissingBufferEntry(BlockAddr),
+    /// The drain engine reported in-flight work but produced no
+    /// completion event.
+    DrainEngineInconsistent,
+    /// A multi-core SecPB entry was not tracked by the directory.
+    UntrackedEntry(BlockAddr),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::MissingPbEntry(b) => {
+                write!(f, "drain target not resident in SecPB: block {}", b.index())
+            }
+            RecoveryError::MissingPage(p) => write!(f, "no counter state for page {p}"),
+            RecoveryError::MissingBufferEntry(b) => {
+                write!(f, "store-buffer entry missing for block {}", b.index())
+            }
+            RecoveryError::DrainEngineInconsistent => {
+                write!(f, "drain engine in-flight but produced no completion")
+            }
+            RecoveryError::UntrackedEntry(b) => {
+                write!(f, "SecPB entry untracked by directory: block {}", b.index())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// What kind of crash occurred.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,7 +124,7 @@ pub struct DrainWork {
 
 /// The outcome of a crash: when each battery-powered phase finished and
 /// how much work it did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrashReport {
     /// The crash kind handled.
     pub kind: CrashKind,
@@ -96,6 +139,23 @@ pub struct CrashReport {
     pub secsync_complete_at: Cycle,
     /// Battery-powered work performed.
     pub work: DrainWork,
+    /// Blocks that could *not* be drained because the battery budget ran
+    /// out (brown-out).  Empty on a fully provisioned battery.  The
+    /// durable images of these blocks are stale; recovery classifies
+    /// them as [`BlockVerdict::LostStale`], not as corruption.
+    pub lost_blocks: Vec<BlockAddr>,
+}
+
+impl CrashReport {
+    /// Blocks lost to a brown-out (battery exhausted mid-drain).
+    pub fn lost_block_count(&self) -> u64 {
+        self.lost_blocks.len() as u64
+    }
+
+    /// Whether the drain ran to completion (no brown-out truncation).
+    pub fn drain_was_complete(&self) -> bool {
+        self.lost_blocks.is_empty()
+    }
 }
 
 impl CrashReport {
@@ -135,6 +195,40 @@ pub enum ObserverView {
     },
 }
 
+/// The per-block verdict recovery assigns after decrypting and
+/// verifying a persisted data block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockVerdict {
+    /// MAC verified and plaintext matches the architectural expectation.
+    Verified,
+    /// MAC verification failed — tampering/corruption *detected*.
+    MacMismatch,
+    /// MAC verified but the plaintext differs from the expectation with
+    /// no accounted reason — the dangerous case.
+    PlaintextMismatch,
+    /// The block was lost to a battery brown-out; its durable image is
+    /// legitimately stale and was accounted in
+    /// [`CrashReport::lost_blocks`].
+    LostStale,
+    /// The block was still SecPB-resident at the crash (e.g. a
+    /// [`DrainPolicy::DrainProcess`] drain kept other processes'
+    /// entries buffered); its durable image is legitimately stale.
+    InFlightStale,
+}
+
+impl BlockVerdict {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockVerdict::Verified => "verified",
+            BlockVerdict::MacMismatch => "mac-mismatch",
+            BlockVerdict::PlaintextMismatch => "plaintext-mismatch",
+            BlockVerdict::LostStale => "lost-stale",
+            BlockVerdict::InFlightStale => "in-flight-stale",
+        }
+    }
+}
+
 /// The outcome of post-crash recovery: decryption, MAC verification, and
 /// BMT root reconstruction over the entire persisted state.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -146,13 +240,23 @@ pub struct RecoveryReport {
     /// Blocks whose MAC failed verification.
     pub mac_failures: Vec<BlockAddr>,
     /// Blocks whose decrypted plaintext differs from the architecturally
-    /// expected post-crash value.
+    /// expected post-crash value *without* an accounted reason.
     pub plaintext_mismatches: Vec<BlockAddr>,
+    /// Blocks whose stale durable image is accounted for by a brown-out
+    /// (they appear in the crash report's `lost_blocks`).
+    pub lost_stale: Vec<BlockAddr>,
+    /// Blocks whose stale durable image is accounted for by entries
+    /// still resident in the SecPB at the crash.
+    pub in_flight_stale: Vec<BlockAddr>,
+    /// Per-block verdicts in block-address order, for storm forensics.
+    pub verdicts: Vec<(BlockAddr, BlockVerdict)>,
 }
 
 impl RecoveryReport {
     /// Whether recovery succeeded completely: root verified, every MAC
     /// verified, every block decrypted to the expected plaintext.
+    /// Accounted staleness (`lost_stale`, `in_flight_stale`) does not
+    /// break consistency — those blocks are *known* old.
     pub fn is_consistent(&self) -> bool {
         self.root_ok && self.mac_failures.is_empty() && self.plaintext_mismatches.is_empty()
     }
@@ -162,6 +266,48 @@ impl RecoveryReport {
     /// attack means verification must fail).
     pub fn integrity_ok(&self) -> bool {
         self.root_ok && self.mac_failures.is_empty()
+    }
+}
+
+/// The storm-level classification of one fault-injection episode
+/// (inject → crash → recover → verify).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultOutcome {
+    /// Integrity verification caught the injected fault (MAC or root
+    /// mismatch reported).  The paper's required behaviour.
+    DetectedAndRejected,
+    /// No fault reached the persistent footprint and recovery verified
+    /// everything (or all staleness was accounted).
+    Recovered,
+    /// A fault (or an unexplained mismatch) slipped past integrity
+    /// verification.  Always a test failure.
+    SilentCorruption,
+}
+
+impl FaultOutcome {
+    /// Classifies a recovery report.  `fault_injected` says whether a
+    /// corruption actually landed in the persistent footprint; an
+    /// injected fault that passes integrity verification is silent
+    /// corruption even when the plaintext happens to read back clean —
+    /// accepting unauthenticated modified state is the failure.
+    pub fn classify(fault_injected: bool, report: &RecoveryReport) -> FaultOutcome {
+        if !report.integrity_ok() {
+            return FaultOutcome::DetectedAndRejected;
+        }
+        if fault_injected || !report.plaintext_mismatches.is_empty() {
+            FaultOutcome::SilentCorruption
+        } else {
+            FaultOutcome::Recovered
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::DetectedAndRejected => "detected-and-rejected",
+            FaultOutcome::Recovered => "recovered",
+            FaultOutcome::SilentCorruption => "silent-corruption",
+        }
     }
 }
 
@@ -176,6 +322,7 @@ mod tests {
             drain_complete_at: Cycle(500),
             secsync_complete_at: Cycle(900),
             work: DrainWork::default(),
+            lost_blocks: Vec::new(),
         }
     }
 
@@ -230,5 +377,90 @@ mod tests {
     fn default_policies_match_paper() {
         assert_eq!(DrainPolicy::default(), DrainPolicy::DrainAll);
         assert_eq!(ObserverPolicy::default(), ObserverPolicy::Blocking);
+    }
+
+    #[test]
+    fn lost_block_accounting() {
+        let mut r = report();
+        assert!(r.drain_was_complete());
+        assert_eq!(r.lost_block_count(), 0);
+        r.lost_blocks.push(BlockAddr(9));
+        assert!(!r.drain_was_complete());
+        assert_eq!(r.lost_block_count(), 1);
+    }
+
+    #[test]
+    fn accounted_staleness_keeps_consistency() {
+        let r = RecoveryReport {
+            root_ok: true,
+            blocks_checked: 3,
+            lost_stale: vec![BlockAddr(1)],
+            in_flight_stale: vec![BlockAddr(2)],
+            verdicts: vec![
+                (BlockAddr(0), BlockVerdict::Verified),
+                (BlockAddr(1), BlockVerdict::LostStale),
+                (BlockAddr(2), BlockVerdict::InFlightStale),
+            ],
+            ..Default::default()
+        };
+        assert!(r.is_consistent(), "accounted staleness is not corruption");
+        assert!(r.integrity_ok());
+    }
+
+    #[test]
+    fn fault_outcome_classification() {
+        let clean = RecoveryReport {
+            root_ok: true,
+            blocks_checked: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            FaultOutcome::classify(false, &clean),
+            FaultOutcome::Recovered
+        );
+        assert_eq!(
+            FaultOutcome::classify(true, &clean),
+            FaultOutcome::SilentCorruption,
+            "an injected fault that passes integrity is silent corruption"
+        );
+        let detected = RecoveryReport {
+            root_ok: false,
+            blocks_checked: 1,
+            ..Default::default()
+        };
+        assert_eq!(
+            FaultOutcome::classify(true, &detected),
+            FaultOutcome::DetectedAndRejected
+        );
+        let silent = RecoveryReport {
+            root_ok: true,
+            blocks_checked: 1,
+            plaintext_mismatches: vec![BlockAddr(3)],
+            ..Default::default()
+        };
+        assert_eq!(
+            FaultOutcome::classify(false, &silent),
+            FaultOutcome::SilentCorruption
+        );
+    }
+
+    #[test]
+    fn recovery_error_display() {
+        assert_eq!(
+            RecoveryError::MissingPbEntry(BlockAddr(7)).to_string(),
+            "drain target not resident in SecPB: block 7"
+        );
+        assert!(RecoveryError::DrainEngineInconsistent
+            .to_string()
+            .contains("drain engine"));
+        assert!(RecoveryError::MissingPage(3).to_string().contains("page 3"));
+        assert!(RecoveryError::MissingBufferEntry(BlockAddr(1))
+            .to_string()
+            .contains("store-buffer"));
+        assert!(RecoveryError::UntrackedEntry(BlockAddr(2))
+            .to_string()
+            .contains("untracked"));
+        assert_eq!(BlockVerdict::LostStale.name(), "lost-stale");
+        assert_eq!(FaultOutcome::Recovered.name(), "recovered");
     }
 }

@@ -26,7 +26,7 @@ use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::Stats;
 use secpb_sim::trace::{Access, AccessKind, TraceItem};
 
-use crate::crash::{DrainWork, RecoveryReport};
+use crate::crash::{BlockVerdict, DrainWork, RecoveryReport};
 use crate::metrics::{counters, CycleBreakdown, RunResult};
 use crate::scheme::Scheme;
 use crate::tree::{IntegrityTree, TreeKind};
@@ -223,12 +223,32 @@ impl EadrSystem {
     /// model — this is the measured counterpart of Table V's `s_eADR`
     /// worst case.
     pub fn crash(&mut self) -> DrainWork {
-        let dirty: Vec<BlockAddr> = self
+        self.crash_with_budget(None).0
+    }
+
+    /// [`crash`](Self::crash) under a battery budget: at most
+    /// `max_drain_entries` dirty lines complete their tuples; the rest
+    /// are *lost* with the cache contents and returned for accounting.
+    /// The s_eADR worst case makes this the most brown-out-exposed
+    /// design: megabytes of dirty lines compete for the same joules.
+    pub fn crash_with_budget(
+        &mut self,
+        max_drain_entries: Option<u64>,
+    ) -> (DrainWork, Vec<BlockAddr>) {
+        let mut dirty: Vec<BlockAddr> = self
             .hierarchy
             .dirty_blocks()
             .into_iter()
             .map(|(b, _)| b)
             .collect();
+        // Deterministic drain (and therefore loss) order.
+        dirty.sort_unstable();
+        let budget = usize::try_from(max_drain_entries.unwrap_or(u64::MAX)).unwrap_or(usize::MAX);
+        let lost: Vec<BlockAddr> = if dirty.len() > budget {
+            dirty.split_off(budget)
+        } else {
+            Vec::new()
+        };
         let levels = u64::from(self.cfg.security.bmt_levels);
         for &block in &dirty {
             self.persist_tuple(block);
@@ -240,7 +260,8 @@ impl EadrSystem {
         self.hierarchy.clear();
         let n = dirty.len() as u64;
         self.stats.bump_by("eadr.crash_lines", n);
-        DrainWork {
+        self.stats.bump_by("eadr.lost_lines", lost.len() as u64);
+        let work = DrainWork {
             entries: n,
             bytes_pb_to_mc: n * 64,
             bytes_mc_to_pm: 0,
@@ -250,11 +271,19 @@ impl EadrSystem {
             otps: n,
             macs: n,
             ciphertexts: n,
-        }
+        };
+        (work, lost)
     }
 
     /// Post-crash recovery, identical in spirit to the SecPB systems'.
     pub fn recover(&self) -> RecoveryReport {
+        self.recover_with(&[])
+    }
+
+    /// [`recover`](Self::recover) with lost-line accounting: blocks in
+    /// `lost` (from [`crash_with_budget`](Self::crash_with_budget)) read
+    /// back stale by construction and get [`BlockVerdict::LostStale`].
+    pub fn recover_with(&self, lost: &[BlockAddr]) -> RecoveryReport {
         let mut report = RecoveryReport::default();
         let mut rebuilt = IntegrityTree::new(
             TreeKind::Monolithic,
@@ -273,24 +302,54 @@ impl EadrSystem {
         }
         rebuilt.sync();
         report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
-        for block in self.nvm.data_blocks() {
+        let mut blocks: Vec<BlockAddr> = self.nvm.data_blocks().collect();
+        blocks.sort_unstable();
+        for block in blocks {
             report.blocks_checked += 1;
             let page = NvmStore::page_of(block);
             let slot = NvmStore::page_slot_of(block);
             let ctr = self.nvm.read_counters(page).counter_of(slot);
             let ct = self.nvm.read_data(block);
-            if !self
-                .mac_engine
-                .verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
-            {
+            let verdict = if !self.mac_engine.verify_truncated(
+                &ct,
+                block.index(),
+                ctr,
+                self.nvm.read_mac(block),
+            ) {
                 report.mac_failures.push(block);
-                continue;
-            }
-            if self.otp_engine.decrypt(&ct, block.index(), ctr) != self.expected_plaintext(block) {
+                BlockVerdict::MacMismatch
+            } else if self.otp_engine.decrypt(&ct, block.index(), ctr)
+                == self.expected_plaintext(block)
+            {
+                BlockVerdict::Verified
+            } else if lost.contains(&block) {
+                report.lost_stale.push(block);
+                BlockVerdict::LostStale
+            } else {
                 report.plaintext_mismatches.push(block);
-            }
+                BlockVerdict::PlaintextMismatch
+            };
+            report.verdicts.push((block, verdict));
         }
         report
+    }
+
+    /// Re-reads the durable image of brown-out-lost lines back into the
+    /// architectural expectation so a storm can continue past the crash.
+    pub fn resync_lost_golden(&mut self, lost: &[BlockAddr]) {
+        for &block in lost {
+            if !self.nvm.contains_data(block) {
+                self.golden.remove(&block);
+                continue;
+            }
+            let page = NvmStore::page_of(block);
+            let slot = NvmStore::page_slot_of(block);
+            let ctr = self.nvm.read_counters(page).counter_of(slot);
+            let pt = self
+                .otp_engine
+                .decrypt(&self.nvm.read_data(block), block.index(), ctr);
+            self.golden.insert(block, pt);
+        }
     }
 }
 
@@ -343,10 +402,12 @@ mod tests {
 
         let mut secpb = crate::system::SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 3);
         secpb.run_trace(trace);
-        let sr = secpb.crash(
-            crate::crash::CrashKind::PowerLoss,
-            crate::crash::DrainPolicy::DrainAll,
-        );
+        let sr = secpb
+            .crash(
+                crate::crash::CrashKind::PowerLoss,
+                crate::crash::DrainPolicy::DrainAll,
+            )
+            .unwrap();
 
         let convert = |w: DrainWork| MeasuredWork {
             entries: w.entries,
@@ -365,6 +426,20 @@ mod tests {
             e_eadr > 20.0 * e_secpb,
             "eADR {e_eadr} J should dwarf SecPB {e_secpb} J"
         );
+    }
+
+    #[test]
+    fn eadr_brown_out_loses_youngest_lines_with_accounting() {
+        let mut sys = EadrSystem::new(SystemConfig::default(), 9);
+        sys.run_trace(store_trace(200));
+        let (work, lost) = sys.crash_with_budget(Some(50));
+        assert_eq!(work.entries, 50);
+        assert_eq!(lost.len(), 150);
+        let rec = sys.recover_with(&lost);
+        assert!(rec.integrity_ok(), "partial eADR drain keeps tuples sound");
+        assert!(rec.is_consistent(), "lost lines are accounted, not corrupt");
+        sys.resync_lost_golden(&lost);
+        assert!(sys.recover().is_consistent());
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub mod counters {
     pub const EARLY_BMT_WALKS: &str = "bmt.early_walks";
     /// BMT node hashes charged to the drain (battery) budget.
     pub const LATE_BMT_NODE_HASHES: &str = "bmt.late_node_hashes";
+    /// Broken internal invariants survived gracefully (e.g. a metadata
+    /// step found its SecPB entry evicted).  Always zero on a healthy
+    /// model; the fault-injection storms assert on it.
+    pub const ANOMALIES: &str = "fault.anomalies";
 }
 
 /// Well-known histogram names emitted by the system model.

@@ -29,7 +29,7 @@ use secpb_sim::stats::Stats;
 use secpb_sim::trace::Access;
 
 use crate::coherence::{CoherenceAction, CoherenceController};
-use crate::crash::RecoveryReport;
+use crate::crash::{BlockVerdict, RecoveryError, RecoveryReport};
 use crate::entry::Entry;
 use crate::scheme::Scheme;
 use crate::tree::{IntegrityTree, TreeKind};
@@ -176,12 +176,16 @@ impl MultiCoreSystem {
 
         // Make room in the requesting core's SecPB first.
         while self.coherence.pb(core).is_full() && !self.coherence.pb(core).contains(block) {
-            let victim = self
-                .coherence
-                .pb(core)
-                .oldest()
-                .expect("full PB has entries");
-            let entry = self.coherence.drain(victim).expect("victim tracked");
+            let Some(victim) = self.coherence.pb(core).oldest() else {
+                // A full PB with no oldest entry is a broken invariant;
+                // survive it and let the storm see the anomaly counter.
+                self.stats.bump("mc.anomalies");
+                break;
+            };
+            let Some(entry) = self.coherence.drain(victim) else {
+                self.stats.bump("mc.anomalies");
+                break;
+            };
             self.flush_entry(entry);
             self.stats.bump("mc.capacity_drains");
             self.core_now[core] += 8;
@@ -199,20 +203,23 @@ impl MultiCoreSystem {
                 self.stats.bump("mc.migrations");
                 self.cfg.secpb.access_latency + MIGRATION_LATENCY
             }
-            CoherenceAction::FlushedFrom { .. } => unreachable!("writes never flush"),
+            CoherenceAction::FlushedFrom { .. } => {
+                // Writes never flush under the protocol; tolerate a
+                // misbehaving controller instead of aborting.
+                self.stats.bump("mc.anomalies");
+                self.cfg.secpb.access_latency
+            }
         };
         // Apply the store to the (now-local) entry.
         let pb_core = core;
-        let entry = self
-            .coherence
-            .pb_mut(pb_core)
-            .entry_mut(block)
-            .expect("entry resident after write");
-        entry.apply_store(
-            store.access.addr.block_offset(),
-            store.access.value,
-            usize::from(store.access.size),
-        );
+        match self.coherence.pb_mut(pb_core).entry_mut(block) {
+            Some(entry) => entry.apply_store(
+                store.access.addr.block_offset(),
+                store.access.value,
+                usize::from(store.access.size),
+            ),
+            None => self.stats.bump("mc.anomalies"),
+        }
         self.core_now[core] += latency;
     }
 
@@ -239,13 +246,36 @@ impl MultiCoreSystem {
     }
 
     /// Full crash: every core's SecPB drains and all metadata completes.
-    pub fn crash(&mut self) -> u64 {
-        let mut drained = 0;
+    /// Returns the number of entries drained.
+    pub fn crash(&mut self) -> Result<u64, RecoveryError> {
+        self.crash_with_budget(None).map(|(drained, _)| drained)
+    }
+
+    /// [`crash`](Self::crash) under a battery budget: at most
+    /// `max_drain_entries` entries drain across all cores (core 0 first,
+    /// oldest first within a core — the shared battery powers the drain
+    /// network serially); the rest are *lost* with the buffers and
+    /// returned for accounting.
+    pub fn crash_with_budget(
+        &mut self,
+        max_drain_entries: Option<u64>,
+    ) -> Result<(u64, Vec<BlockAddr>), RecoveryError> {
+        let budget = max_drain_entries.unwrap_or(u64::MAX);
+        let mut drained = 0u64;
+        let mut lost = Vec::new();
         for core in 0..self.cores() {
             while let Some(block) = self.coherence.pb(core).oldest() {
-                let entry = self.coherence.drain(block).expect("tracked entry");
-                self.flush_entry(entry);
-                drained += 1;
+                let entry = self
+                    .coherence
+                    .drain(block)
+                    .ok_or(RecoveryError::UntrackedEntry(block))?;
+                if drained < budget {
+                    self.flush_entry(entry);
+                    drained += 1;
+                } else {
+                    // Battery dead: the entry evaporates undrained.
+                    lost.push(block);
+                }
             }
         }
         // Observation point: fold any deferred tree work before reading
@@ -253,11 +283,19 @@ impl MultiCoreSystem {
         self.tree.sync();
         self.nvm.set_bmt_root(self.tree.root());
         self.stats.bump_by("mc.crash_drains", drained);
-        drained
+        self.stats.bump_by("mc.lost_entries", lost.len() as u64);
+        Ok((drained, lost))
     }
 
     /// Post-crash recovery over the shared persistent image.
     pub fn recover(&self) -> RecoveryReport {
+        self.recover_with(&[])
+    }
+
+    /// [`recover`](Self::recover) with lost-entry accounting: blocks in
+    /// `lost` (from [`crash_with_budget`](Self::crash_with_budget)) read
+    /// back stale by construction and get [`BlockVerdict::LostStale`].
+    pub fn recover_with(&self, lost: &[BlockAddr]) -> RecoveryReport {
         let mut report = RecoveryReport::default();
         let mut rebuilt = IntegrityTree::new(
             TreeKind::Monolithic,
@@ -276,25 +314,54 @@ impl MultiCoreSystem {
         }
         rebuilt.sync();
         report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
-        for block in self.nvm.data_blocks() {
+        let mut blocks: Vec<BlockAddr> = self.nvm.data_blocks().collect();
+        blocks.sort_unstable();
+        for block in blocks {
             report.blocks_checked += 1;
             let page = NvmStore::page_of(block);
             let slot = NvmStore::page_slot_of(block);
             let ctr = self.nvm.read_counters(page).counter_of(slot);
             let ct = self.nvm.read_data(block);
-            if !self
-                .mac_engine
-                .verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
-            {
+            let verdict = if !self.mac_engine.verify_truncated(
+                &ct,
+                block.index(),
+                ctr,
+                self.nvm.read_mac(block),
+            ) {
                 report.mac_failures.push(block);
-                continue;
-            }
-            let pt = self.otp_engine.decrypt(&ct, block.index(), ctr);
-            if pt != self.expected_plaintext(block) {
+                BlockVerdict::MacMismatch
+            } else if self.otp_engine.decrypt(&ct, block.index(), ctr)
+                == self.expected_plaintext(block)
+            {
+                BlockVerdict::Verified
+            } else if lost.contains(&block) {
+                report.lost_stale.push(block);
+                BlockVerdict::LostStale
+            } else {
                 report.plaintext_mismatches.push(block);
-            }
+                BlockVerdict::PlaintextMismatch
+            };
+            report.verdicts.push((block, verdict));
         }
         report
+    }
+
+    /// Re-reads the durable image of brown-out-lost entries back into
+    /// the architectural expectation so replay can continue.
+    pub fn resync_lost_golden(&mut self, lost: &[BlockAddr]) {
+        for &block in lost {
+            if !self.nvm.contains_data(block) {
+                self.golden.remove(&block);
+                continue;
+            }
+            let page = NvmStore::page_of(block);
+            let slot = NvmStore::page_slot_of(block);
+            let ctr = self.nvm.read_counters(page).counter_of(slot);
+            let pt = self
+                .otp_engine
+                .decrypt(&self.nvm.read_data(block), block.index(), ctr);
+            self.golden.insert(block, pt);
+        }
     }
 
     fn flush_entry(&mut self, mut entry: Entry) {
@@ -404,7 +471,7 @@ mod tests {
         // Some cross-core traffic too.
         m.store(st(0, 0x10_0000, 999));
         m.store(st(3, 0x10_0000, 1000));
-        let drained = m.crash();
+        let drained = m.crash().unwrap();
         assert!(drained > 0);
         let rec = m.recover();
         assert!(
@@ -432,7 +499,23 @@ mod tests {
             m.store(st(0, 0x10_0000 + i * 64, i));
         }
         assert!(m.stats().get("mc.capacity_drains") > 0);
-        m.crash();
+        m.crash().unwrap();
+        assert!(m.recover().is_consistent());
+    }
+
+    #[test]
+    fn multicore_brown_out_accounts_lost_entries() {
+        let mut m = sys(4);
+        for i in 0..40u64 {
+            m.store(st((i % 4) as usize, 0x10_0000 + i * 64, i));
+        }
+        let (drained, lost) = m.crash_with_budget(Some(10)).unwrap();
+        assert_eq!(drained, 10);
+        assert_eq!(lost.len(), 30);
+        let rec = m.recover_with(&lost);
+        assert!(rec.integrity_ok());
+        assert!(rec.is_consistent(), "lost entries are accounted");
+        m.resync_lost_golden(&lost);
         assert!(m.recover().is_consistent());
     }
 
@@ -441,7 +524,7 @@ mod tests {
         let mut m = sys(2);
         m.store(st(0, 0x10_0000, 1));
         m.store(st(1, 0x20_0000, 2));
-        m.crash();
+        m.crash().unwrap();
         let victim = Address(0x10_0000).block();
         m.nvm_store_mut().tamper_data(victim, 0, 0);
         assert!(!m.recover().integrity_ok());
@@ -454,7 +537,7 @@ mod tests {
             m.store(st((i % 2) as usize, 0x10_0000, i));
         }
         assert_eq!(m.stats().get("mc.migrations"), 49);
-        m.crash();
+        m.crash().unwrap();
         assert!(m.recover().is_consistent());
         assert_eq!(
             m.expected_plaintext(Address(0x10_0000).block())[..8],

@@ -43,7 +43,9 @@ use secpb_sim::trace::{Access, AccessKind, TraceItem};
 use secpb_sim::tracer::{Phase, Tracer};
 
 use crate::buffer::SecPb;
-use crate::crash::{CrashKind, CrashReport, DrainPolicy, DrainWork, RecoveryReport};
+use crate::crash::{
+    BlockVerdict, CrashKind, CrashReport, DrainPolicy, DrainWork, RecoveryError, RecoveryReport,
+};
 use crate::drain::DrainEngine;
 use crate::metrics::{counters, histograms, CycleBreakdown, RunResult};
 use crate::scheme::Scheme;
@@ -79,6 +81,7 @@ struct StatHandles {
     sb_stall_cycles: StatId,
     early_bmt_walks: StatId,
     late_bmt_node_hashes: StatId,
+    anomalies: StatId,
     occupancy: HistId,
     drain_latency: HistId,
     entry_lifetime: HistId,
@@ -111,6 +114,7 @@ impl StatHandles {
             sb_stall_cycles: stats.counter(counters::SB_STALL_CYCLES),
             early_bmt_walks: stats.counter(counters::EARLY_BMT_WALKS),
             late_bmt_node_hashes: stats.counter(counters::LATE_BMT_NODE_HASHES),
+            anomalies: stats.counter(counters::ANOMALIES),
             occupancy: stats.histogram_id(histograms::OCCUPANCY),
             drain_latency: stats.histogram_id(histograms::DRAIN_LATENCY),
             entry_lifetime: stats.histogram_id(histograms::ENTRY_LIFETIME),
@@ -517,8 +521,10 @@ impl SecureSystem {
         let accept_end;
         if self.pb.contains(block) {
             // Coalescing hit.
-            let e = self.pb.entry_mut(block).expect("present");
-            e.apply_store(offset, access.value, size);
+            match self.pb.entry_mut(block) {
+                Some(e) => e.apply_store(offset, access.value, size),
+                None => self.stats.inc(self.h.anomalies),
+            }
             self.pb.note_persist();
             self.stats.inc(self.h.persists);
             let mut t = release + pb_lat;
@@ -526,9 +532,12 @@ impl SecureSystem {
                 // Ablation: redo value-independent metadata on every store.
                 let (done, ctr) = self.early_counter_increment(block, t);
                 t = done;
-                let e = self.pb.entry_mut(block).expect("present");
-                e.counter = ctr;
-                e.valid.counter = true;
+                if let Some(e) = self.pb.entry_mut(block) {
+                    e.counter = ctr;
+                    e.valid.counter = true;
+                } else {
+                    self.stats.inc(self.h.anomalies);
+                }
                 if ew.otp {
                     t = self.early_otp(block, t);
                 }
@@ -563,9 +572,12 @@ impl SecureSystem {
             if secure && ew.counter {
                 let (done, ctr) = self.early_counter_increment(block, t);
                 t = done;
-                let e = self.pb.entry_mut(block).expect("present");
-                e.counter = ctr;
-                e.valid.counter = true;
+                if let Some(e) = self.pb.entry_mut(block) {
+                    e.counter = ctr;
+                    e.valid.counter = true;
+                } else {
+                    self.stats.inc(self.h.anomalies);
+                }
             }
             let mut data_done = t;
             if secure && ew.otp {
@@ -612,12 +624,13 @@ impl SecureSystem {
             self.store_buffer.pop_front();
         }
         if self.store_buffer.len() >= self.cfg.core.store_buffer_entries {
-            let oldest = self.store_buffer.pop_front().expect("full buffer");
-            let stall = oldest.since(self.now);
-            self.stats.add(self.h.sb_stall_cycles, stall);
-            let old = self.now;
-            self.now = self.now.max(oldest);
-            self.attribute(Attr::SbStall, old);
+            if let Some(oldest) = self.store_buffer.pop_front() {
+                let stall = oldest.since(self.now);
+                self.stats.add(self.h.sb_stall_cycles, stall);
+                let old = self.now;
+                self.now = self.now.max(oldest);
+                self.attribute(Attr::SbStall, old);
+            }
         }
         self.store_buffer.push_back(accept_end);
     }
@@ -629,18 +642,23 @@ impl SecureSystem {
             if self.pb.occupancy() + in_flight < self.cfg.secpb.entries {
                 return release;
             }
-            if self.drain_engine.next_completion().is_none() {
-                self.issue_drains(release, 1);
-                continue;
+            match self.drain_engine.next_completion() {
+                None => {
+                    if !self.issue_drains(release, 1) {
+                        // Nothing drainable and nothing in flight: the
+                        // buffer cannot make progress — accept the store
+                        // rather than deadlock, and flag the anomaly.
+                        self.stats.inc(self.h.anomalies);
+                        return release;
+                    }
+                }
+                Some(c) => {
+                    self.stats.add(self.h.full_stall_cycles, c.since(release));
+                    self.tracer.span(Phase::FullStall, release, c);
+                    release = release.max(c);
+                    self.drain_engine.retire(release);
+                }
             }
-            let c = self
-                .drain_engine
-                .next_completion()
-                .expect("in-flight drain");
-            self.stats.add(self.h.full_stall_cycles, c.since(release));
-            self.tracer.span(Phase::FullStall, release, c);
-            release = release.max(c);
-            self.drain_engine.retire(release);
         }
     }
 
@@ -658,16 +676,26 @@ impl SecureSystem {
         let mut any = false;
         for _ in 0..n {
             let Some(block) = self.pb.oldest() else { break };
-            self.drain_one(block, now);
-            any = true;
+            match self.drain_one(block, now) {
+                Ok(_) => any = true,
+                Err(_) => {
+                    // `oldest` said the block was resident but `remove`
+                    // disagreed; count it and stop issuing this round.
+                    self.stats.inc(self.h.anomalies);
+                    break;
+                }
+            }
         }
         any
     }
 
     /// Drains one entry: timing through the drain engine, function through
     /// [`flush_entry`](Self::flush_entry).
-    fn drain_one(&mut self, block: BlockAddr, now: Cycle) -> Cycle {
-        let entry = self.pb.remove(block).expect("drain target resident");
+    fn drain_one(&mut self, block: BlockAddr, now: Cycle) -> Result<Cycle, RecoveryError> {
+        let entry = self
+            .pb
+            .remove(block)
+            .ok_or(RecoveryError::MissingPbEntry(block))?;
         let (ii, latency) = self.drain_timing(&entry, now);
         let completion = self.drain_engine.issue(now, ii, latency);
         self.tracer.span(Phase::Drain, now, completion);
@@ -678,7 +706,7 @@ impl SecureSystem {
         self.stats.record(self.h.writes_per_entry, entry.stores);
         self.flush_entry(entry);
         self.stats.inc(self.h.drains);
-        completion
+        Ok(completion)
     }
 
     /// Computes (initiation interval, latency) of draining `entry` at
@@ -783,12 +811,16 @@ impl SecureSystem {
     }
 
     fn early_otp(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
-        let e = self.pb.entry(block).expect("present");
+        let Some(e) = self.pb.entry(block) else {
+            self.stats.inc(self.h.anomalies);
+            return t;
+        };
         let ctr = e.counter;
         let pad = self.otp_engine.generate(block.index(), ctr);
-        let e = self.pb.entry_mut(block).expect("present");
-        e.otp = pad;
-        e.valid.otp = true;
+        if let Some(e) = self.pb.entry_mut(block) {
+            e.otp = pad;
+            e.valid.otp = true;
+        }
         self.stats.inc(self.h.otps);
         self.tracer
             .span(Phase::OtpGen, t, t + self.cfg.security.otp_latency);
@@ -796,7 +828,10 @@ impl SecureSystem {
     }
 
     fn early_ciphertext(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
-        let e = self.pb.entry_mut(block).expect("present");
+        let Some(e) = self.pb.entry_mut(block) else {
+            self.stats.inc(self.h.anomalies);
+            return t;
+        };
         debug_assert!(e.valid.otp, "ciphertext requires a valid pad (Figure 4)");
         e.ciphertext = OtpEngine::apply_pad(&e.plaintext, &e.otp);
         e.valid.ciphertext = true;
@@ -805,14 +840,18 @@ impl SecureSystem {
     }
 
     fn early_mac(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
-        let e = self.pb.entry(block).expect("present");
+        let Some(e) = self.pb.entry(block) else {
+            self.stats.inc(self.h.anomalies);
+            return t;
+        };
         debug_assert!(e.valid.ciphertext, "MAC requires the ciphertext (Figure 4)");
         let mac = self
             .mac_engine
             .compute(&e.ciphertext, block.index(), e.counter);
-        let e = self.pb.entry_mut(block).expect("present");
-        e.mac = Some(mac);
-        e.valid.mac = true;
+        if let Some(e) = self.pb.entry_mut(block) {
+            e.mac = Some(mac);
+            e.valid.mac = true;
+        }
         self.stats.inc(self.h.macs);
         self.tracer
             .span(Phase::Mac, t, t + self.cfg.security.mac_latency);
@@ -861,10 +900,13 @@ impl SecureSystem {
         if outcome == IncrementOutcome::PageOverflow {
             self.reencrypt_page(page);
         }
-        self.counters
-            .get(&page)
-            .expect("just inserted")
-            .counter_of(slot)
+        match self.counters.get(&page) {
+            Some(cb) => cb.counter_of(slot),
+            None => {
+                self.stats.inc(self.h.anomalies);
+                SplitCounter::default()
+            }
+        }
     }
 
     /// Page re-encryption after a minor-counter overflow (Section IV-A
@@ -872,7 +914,10 @@ impl SecureSystem {
     fn reencrypt_page(&mut self, page: u64) {
         self.stats.inc(self.h.page_overflows);
         let old_cb = self.nvm.read_counters(page);
-        let new_cb = self.counters.get(&page).expect("page exists").clone();
+        let Some(new_cb) = self.counters.get(&page).cloned() else {
+            self.stats.inc(self.h.anomalies);
+            return;
+        };
         let blocks: Vec<BlockAddr> = self
             .nvm
             .data_blocks()
@@ -910,7 +955,10 @@ impl SecureSystem {
         for block in resident {
             let slot = NvmStore::page_slot_of(block);
             let fresh = new_cb.counter_of(slot);
-            let e = self.pb.entry_mut(block).expect("resident");
+            let Some(e) = self.pb.entry_mut(block) else {
+                self.stats.inc(self.h.anomalies);
+                continue;
+            };
             if e.valid.counter {
                 e.counter = fresh;
             }
@@ -1084,23 +1132,55 @@ impl SecureSystem {
     /// Handles a crash: the battery drains the SecPB (per `policy` for
     /// application crashes) and completes all security metadata, closing
     /// the draining and sec-sync gaps.
-    pub fn crash(&mut self, kind: CrashKind, policy: DrainPolicy) -> CrashReport {
+    pub fn crash(
+        &mut self,
+        kind: CrashKind,
+        policy: DrainPolicy,
+    ) -> Result<CrashReport, RecoveryError> {
+        self.crash_with_budget(kind, policy, None)
+    }
+
+    /// [`crash`](Self::crash) under a battery budget: at most
+    /// `max_drain_entries` entries drain (oldest first, the drain order);
+    /// anything younger is *lost* — dropped undrained and reported in
+    /// [`CrashReport::lost_blocks`] — modelling a brown-out where the
+    /// provisioned energy runs out mid-drain.  `None` means a fully
+    /// provisioned battery.
+    pub fn crash_with_budget(
+        &mut self,
+        kind: CrashKind,
+        policy: DrainPolicy,
+        max_drain_entries: Option<u64>,
+    ) -> Result<CrashReport, RecoveryError> {
         let at = self.finish_time();
         let before = self.stats.clone();
 
-        let blocks: Vec<BlockAddr> = match (kind, policy) {
+        let mut blocks: Vec<BlockAddr> = match (kind, policy) {
             (CrashKind::ApplicationCrash(asid), DrainPolicy::DrainProcess) => {
                 self.pb.blocks_of_asid(asid)
             }
             _ => self.pb.blocks_oldest_first(),
         };
+        let budget = usize::try_from(max_drain_entries.unwrap_or(u64::MAX)).unwrap_or(usize::MAX);
+        let lost_blocks: Vec<BlockAddr> = if blocks.len() > budget {
+            blocks.split_off(budget)
+        } else {
+            Vec::new()
+        };
         let entries = blocks.len() as u64;
         let mut last_drain_issue = at;
         for block in blocks {
-            let completion = self.drain_one(block, last_drain_issue);
+            let completion = self.drain_one(block, last_drain_issue)?;
             // The PB-to-MC move itself is quick; track pipeline occupancy
             // through the drain engine.
             last_drain_issue = last_drain_issue.max(completion.min(last_drain_issue + 8));
+        }
+        // Battery exhausted: the remaining entries never leave the SecPB,
+        // and with power gone the buffer contents evaporate.
+        for &block in &lost_blocks {
+            if self.pb.remove(block).is_none() {
+                return Err(RecoveryError::MissingPbEntry(block));
+            }
         }
         let drain_complete_at = last_drain_issue;
         let mut secsync = self.drain_engine.all_complete_at().max(drain_complete_at);
@@ -1144,13 +1224,21 @@ impl SecureSystem {
             ciphertexts: delta(counters::CIPHERTEXTS),
         };
 
-        CrashReport {
+        Ok(CrashReport {
             kind,
             at,
             drain_complete_at,
             secsync_complete_at: secsync,
             work,
-        }
+            lost_blocks,
+        })
+    }
+
+    /// Whether background drains are currently in flight (issued but not
+    /// retired) — the [`secpb_sim::fault::CrashTrigger::MidDrain`]
+    /// observation point.
+    pub fn drains_in_flight(&self) -> bool {
+        self.drain_engine.next_completion().is_some()
     }
 
     /// Estimated post-crash recovery latency in cycles: fetching every
@@ -1183,15 +1271,47 @@ impl SecureSystem {
     /// every data block, and checks the plaintext against the
     /// architecturally expected post-crash state.
     pub fn recover(&self) -> RecoveryReport {
+        self.recover_with(&[])
+    }
+
+    /// [`recover`](Self::recover) with lost-block accounting: blocks
+    /// listed in `lost` (a brown-out crash report's
+    /// [`CrashReport::lost_blocks`]) and blocks still SecPB-resident
+    /// (e.g. survivors of a [`DrainPolicy::DrainProcess`] drain) are
+    /// *expected* to read back stale — they get
+    /// [`BlockVerdict::LostStale`] / [`BlockVerdict::InFlightStale`]
+    /// verdicts instead of counting as plaintext mismatches.
+    pub fn recover_with(&self, lost: &[BlockAddr]) -> RecoveryReport {
         let mut report = RecoveryReport::default();
+        let stale_verdict = |block: BlockAddr| {
+            if lost.contains(&block) {
+                BlockVerdict::LostStale
+            } else if self.pb.contains(block) {
+                BlockVerdict::InFlightStale
+            } else {
+                BlockVerdict::PlaintextMismatch
+            }
+        };
+        let mut blocks: Vec<BlockAddr> = self.nvm.data_blocks().collect();
+        blocks.sort_unstable();
+
         if !self.scheme.is_secure() {
             report.root_ok = true;
-            for block in self.nvm.data_blocks() {
+            for block in blocks {
                 report.blocks_checked += 1;
                 let pt = self.nvm.read_data(block);
-                if pt != self.expected_plaintext(block) {
-                    report.plaintext_mismatches.push(block);
+                let verdict = if pt == self.expected_plaintext(block) {
+                    BlockVerdict::Verified
+                } else {
+                    stale_verdict(block)
+                };
+                match verdict {
+                    BlockVerdict::PlaintextMismatch => report.plaintext_mismatches.push(block),
+                    BlockVerdict::LostStale => report.lost_stale.push(block),
+                    BlockVerdict::InFlightStale => report.in_flight_stale.push(block),
+                    _ => {}
                 }
+                report.verdicts.push((block, verdict));
             }
             return report;
         }
@@ -1218,27 +1338,63 @@ impl SecureSystem {
         rebuilt.sync();
         report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
 
-        for block in self.nvm.data_blocks() {
+        for block in blocks {
             report.blocks_checked += 1;
             let page = NvmStore::page_of(block);
             let slot = NvmStore::page_slot_of(block);
             let ctr = self.nvm.read_counters(page).counter_of(slot);
             let ct = self.nvm.read_data(block);
-            if !self
-                .mac_engine
-                .verify_truncated(&ct, block.index(), ctr, self.nvm.read_mac(block))
-            {
+            let verdict = if !self.mac_engine.verify_truncated(
+                &ct,
+                block.index(),
+                ctr,
+                self.nvm.read_mac(block),
+            ) {
                 report.mac_failures.push(block);
+                BlockVerdict::MacMismatch
+            } else {
+                let pt = self.otp_engine.decrypt(&ct, block.index(), ctr);
+                if pt == self.expected_plaintext(block) {
+                    BlockVerdict::Verified
+                } else {
+                    let v = stale_verdict(block);
+                    match v {
+                        BlockVerdict::PlaintextMismatch => report.plaintext_mismatches.push(block),
+                        BlockVerdict::LostStale => report.lost_stale.push(block),
+                        BlockVerdict::InFlightStale => report.in_flight_stale.push(block),
+                        _ => {}
+                    }
+                    v
+                }
+            };
+            report.verdicts.push((block, verdict));
+        }
+        report
+    }
+
+    /// Re-reads the durable image of brown-out-lost blocks back into the
+    /// architectural expectation, modelling the application observing
+    /// what actually persisted before continuing.  Without this a storm
+    /// could not keep running after a brown-out: the golden state would
+    /// remember stores whose entries evaporated with the battery.
+    pub fn resync_lost_golden(&mut self, lost: &[BlockAddr]) {
+        for &block in lost {
+            if !self.nvm.contains_data(block) {
+                // Never persisted at all: the durable view is zeros.
+                self.golden.remove(&block);
                 continue;
             }
-            let pt = self.otp_engine.decrypt(&ct, block.index(), ctr);
-            if pt != self.expected_plaintext(block) {
-                report.plaintext_mismatches.push(block);
-            }
+            let pt = if self.scheme.is_secure() {
+                let page = NvmStore::page_of(block);
+                let slot = NvmStore::page_slot_of(block);
+                let ctr = self.nvm.read_counters(page).counter_of(slot);
+                self.otp_engine
+                    .decrypt(&self.nvm.read_data(block), block.index(), ctr)
+            } else {
+                self.nvm.read_data(block)
+            };
+            self.golden.insert(block, pt);
         }
-        report.mac_failures.sort_unstable();
-        report.plaintext_mismatches.sort_unstable();
-        report
     }
 }
 
@@ -1321,7 +1477,8 @@ mod tests {
         for scheme in Scheme::ALL {
             let mut sys = system(scheme);
             sys.run_trace(store_trace(200, 64));
-            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+                .unwrap();
             let rec = sys.recover();
             assert!(
                 rec.is_consistent(),
@@ -1338,7 +1495,8 @@ mod tests {
     fn tampering_is_detected_after_crash() {
         let mut sys = system(Scheme::Cobcm);
         sys.run_trace(store_trace(50, 64));
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         let victim = sys.nvm_store().data_blocks().next().unwrap();
         sys.nvm_store_mut().tamper_data(victim, 0, 0);
         let rec = sys.recover();
@@ -1352,12 +1510,14 @@ mod tests {
         let block = Address(0x10000).block();
         // First round: persist version 1 everywhere.
         sys.run_trace(vec![TraceItem::then(9, Access::store(Address(0x10000), 1))]);
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         let old_data = sys.nvm_store().read_data(block);
         let old_mac = sys.nvm_store().read_mac(block);
         // Second round: overwrite with version 2.
         sys.run_trace(vec![TraceItem::then(9, Access::store(Address(0x10000), 2))]);
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         // Replay the whole old (data, MAC) tuple; the stale counter in the
         // tuple no longer matches the persisted counter block.
         sys.nvm_store_mut().replay_tuple(block, old_data, old_mac);
@@ -1374,7 +1534,9 @@ mod tests {
         let t2 = TraceItem::then(9, Access::store(Address(0x20000), 2).with_asid(a2));
         sys.run_trace(vec![t1, t2]);
         assert_eq!(sys.persist_buffer().occupancy(), 2);
-        let report = sys.crash(CrashKind::ApplicationCrash(a1), DrainPolicy::DrainProcess);
+        let report = sys
+            .crash(CrashKind::ApplicationCrash(a1), DrainPolicy::DrainProcess)
+            .unwrap();
         assert_eq!(report.work.entries, 1);
         assert_eq!(sys.persist_buffer().occupancy(), 1);
         assert!(sys.persist_buffer().contains(Address(0x20000).block()));
@@ -1386,8 +1548,84 @@ mod tests {
         let t1 = TraceItem::then(9, Access::store(Address(0x10000), 1).with_asid(Asid(1)));
         let t2 = TraceItem::then(9, Access::store(Address(0x20000), 2).with_asid(Asid(2)));
         sys.run_trace(vec![t1, t2]);
-        sys.crash(CrashKind::ApplicationCrash(Asid(1)), DrainPolicy::DrainAll);
+        sys.crash(CrashKind::ApplicationCrash(Asid(1)), DrainPolicy::DrainAll)
+            .unwrap();
         assert_eq!(sys.persist_buffer().occupancy(), 0);
+    }
+
+    #[test]
+    fn brown_out_crash_accounts_every_lost_block() {
+        let mut sys = system(Scheme::Cobcm);
+        // Round 1: persist version 1 of every block so lost blocks have
+        // an *older* durable image to fall back to.
+        sys.run_trace(store_trace(40, 4096));
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
+        // Round 2: overwrite with different values, then brown out
+        // mid-drain.
+        sys.run_trace(
+            (0..40u64)
+                .map(|i| TraceItem::then(9, Access::store(Address(0x10000 + i * 4096), i + 500))),
+        );
+        let occupancy = sys.persist_buffer().occupancy() as u64;
+        assert!(occupancy > 4, "need buffered entries to lose");
+        let budget = 3u64;
+        let report = sys
+            .crash_with_budget(CrashKind::PowerLoss, DrainPolicy::DrainAll, Some(budget))
+            .unwrap();
+        assert_eq!(report.work.entries, budget);
+        assert_eq!(report.lost_block_count(), occupancy - budget);
+        assert!(!report.drain_was_complete());
+        assert_eq!(sys.persist_buffer().occupancy(), 0, "power loss empties PB");
+
+        // Recovery with accounting: integrity holds, lost blocks read
+        // back stale but are classified, not reported as corruption.
+        let rec = sys.recover_with(&report.lost_blocks);
+        assert!(rec.integrity_ok(), "partial drain keeps tuple consistent");
+        assert!(rec.is_consistent(), "lost staleness is accounted");
+        assert!(
+            !rec.lost_stale.is_empty(),
+            "at least one lost block had an older durable image"
+        );
+        // Without accounting the same state shows plaintext mismatches.
+        let unaccounted = sys.recover();
+        assert_eq!(unaccounted.plaintext_mismatches.len(), rec.lost_stale.len());
+
+        // Resync golden to the durable image; now everything verifies.
+        let lost = report.lost_blocks.clone();
+        sys.resync_lost_golden(&lost);
+        assert!(sys.recover().is_consistent());
+    }
+
+    #[test]
+    fn budgeted_crash_with_enough_budget_loses_nothing() {
+        let mut sys = system(Scheme::Cobcm);
+        sys.run_trace(store_trace(30, 4096));
+        let occupancy = sys.persist_buffer().occupancy() as u64;
+        let report = sys
+            .crash_with_budget(CrashKind::PowerLoss, DrainPolicy::DrainAll, Some(occupancy))
+            .unwrap();
+        assert!(report.drain_was_complete());
+        assert_eq!(report.work.entries, occupancy);
+        assert!(sys.recover().is_consistent());
+    }
+
+    #[test]
+    fn recovery_verdicts_cover_every_checked_block() {
+        let mut sys = system(Scheme::Cobcm);
+        sys.run_trace(store_trace(60, 64));
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
+        let rec = sys.recover();
+        assert_eq!(rec.verdicts.len() as u64, rec.blocks_checked);
+        assert!(rec
+            .verdicts
+            .iter()
+            .all(|(_, v)| *v == BlockVerdict::Verified));
+        let blocks: Vec<_> = rec.verdicts.iter().map(|(b, _)| b.index()).collect();
+        let mut sorted = blocks.clone();
+        sorted.sort_unstable();
+        assert_eq!(blocks, sorted, "verdicts are in block order");
     }
 
     #[test]
@@ -1423,7 +1661,8 @@ mod tests {
         let r = sys.run_trace(store_trace(20, 64));
         assert_eq!(r.stats.get(counters::PERSISTS), 20);
         assert_eq!(r.stats.get(counters::BMT_ROOT_UPDATES), 20);
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         assert!(sys.recover().is_consistent());
     }
 
@@ -1431,7 +1670,9 @@ mod tests {
     fn observer_sees_gap_timing() {
         let mut sys = system(Scheme::Cobcm);
         sys.run_trace(store_trace(100, 64));
-        let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        let report = sys
+            .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         assert!(report.secsync_complete_at >= report.drain_complete_at);
         assert!(report.drain_complete_at >= report.at);
     }
@@ -1460,7 +1701,8 @@ mod tests {
             r.stats.get(counters::PAGE_OVERFLOWS) > 0,
             "expected at least one minor-counter overflow"
         );
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         assert!(sys.recover().is_consistent());
     }
 
@@ -1476,7 +1718,8 @@ mod tests {
         let measure = |stores: u64| {
             let mut sys = system(Scheme::Cobcm);
             sys.run_trace(store_trace(stores, 4096));
-            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+                .unwrap();
             sys.estimated_recovery_cycles()
         };
         let small = measure(20);
@@ -1595,7 +1838,8 @@ mod tests {
         for kind in [TreeKind::Dbmf, TreeKind::Sbmf] {
             let mut sys = SecureSystem::with_tree(SystemConfig::default(), Scheme::Sp, kind, 5);
             sys.run_trace(store_trace(40, 4096));
-            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+                .unwrap();
             assert!(sys.recover().is_consistent(), "{kind:?}");
         }
     }
@@ -1605,7 +1849,8 @@ mod tests {
         for kind in [TreeKind::Dbmf, TreeKind::Sbmf] {
             let mut sys = SecureSystem::with_tree(SystemConfig::default(), Scheme::Cm, kind, 6);
             sys.run_trace(store_trace(120, 4096));
-            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+                .unwrap();
             assert!(sys.recover().is_consistent(), "{kind:?}");
         }
     }

@@ -14,6 +14,8 @@
 //! * [`tracer`] — cycle-attribution spans with Chrome trace-event export,
 //! * [`json`] — the dependency-free JSON value used by every exporter,
 //! * [`event`] — a small deterministic event wheel used by the drain engine,
+//! * [`fault`] — deterministic fault-injection plans (crash triggers,
+//!   battery brown-outs, NVM bit flips) interpreted by the model crates,
 //! * [`fxhash`] — a deterministic multiply-rotate hasher (`FxHashMap`) for
 //!   the trusted-key hot-path maps, also the basis of per-cell seed
 //!   derivation,
@@ -42,6 +44,7 @@ pub mod addr;
 pub mod config;
 pub mod cycle;
 pub mod event;
+pub mod fault;
 pub mod fxhash;
 pub mod json;
 pub mod pool;

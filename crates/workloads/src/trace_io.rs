@@ -18,6 +18,44 @@ use secpb_sim::trace::{Access, AccessKind, TraceItem};
 /// Format magic bytes.
 const MAGIC: &[u8; 4] = b"SPB1";
 
+/// A located trace-parse failure: which item record was malformed and
+/// the absolute byte offset where parsing stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// Zero-based index of the item record being parsed (the trace
+    /// format's "line number"); `None` while parsing the header.
+    pub item: Option<u64>,
+    /// Absolute byte offset into the stream where the error was found.
+    pub offset: u64,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.item {
+            Some(i) => write!(
+                f,
+                "malformed trace at item {i} (byte offset {}): {}",
+                self.offset, self.reason
+            ),
+            None => write!(
+                f,
+                "malformed trace header (byte offset {}): {}",
+                self.offset, self.reason
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl From<TraceParseError> for io::Error {
+    fn from(e: TraceParseError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e)
+    }
+}
+
 /// Writes a trace to any [`Write`] sink (pass `&mut file` to keep the
 /// file usable afterwards).
 ///
@@ -47,46 +85,69 @@ pub fn write_trace<W: Write>(mut sink: W, items: &[TraceItem]) -> io::Result<()>
     Ok(())
 }
 
+/// Bounded-read cursor: tracks the absolute byte offset so parse errors
+/// can say exactly where the stream went wrong.
+struct Cursor<R> {
+    source: R,
+    offset: u64,
+}
+
+impl<R: Read> Cursor<R> {
+    fn take<const N: usize>(&mut self, item: Option<u64>, what: &str) -> io::Result<[u8; N]> {
+        let mut buf = [0u8; N];
+        match self.source.read_exact(&mut buf) {
+            Ok(()) => {
+                self.offset += N as u64;
+                Ok(buf)
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(TraceParseError {
+                item,
+                offset: self.offset,
+                reason: format!("truncated while reading {what}"),
+            }
+            .into()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn fail<T>(&self, item: Option<u64>, reason: String) -> io::Result<T> {
+        Err(TraceParseError {
+            item,
+            offset: self.offset,
+            reason,
+        }
+        .into())
+    }
+}
+
 /// Reads a trace from any [`Read`] source.
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on a bad magic, truncated stream, or malformed
-/// item; propagates underlying I/O errors.
-pub fn read_trace<R: Read>(mut source: R) -> io::Result<Vec<TraceItem>> {
-    let mut magic = [0u8; 4];
-    source.read_exact(&mut magic)?;
+/// Returns `InvalidData` wrapping a [`TraceParseError`] — which names
+/// the malformed item index and byte offset — on a bad magic, truncated
+/// stream, or malformed item; propagates underlying I/O errors.
+pub fn read_trace<R: Read>(source: R) -> io::Result<Vec<TraceItem>> {
+    let mut cur = Cursor { source, offset: 0 };
+    let magic: [u8; 4] = cur.take(None, "magic")?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad trace magic",
-        ));
+        return cur.fail(None, format!("bad trace magic {magic:02x?}"));
     }
-    let mut count_bytes = [0u8; 8];
-    source.read_exact(&mut count_bytes)?;
-    let count = u64::from_le_bytes(count_bytes);
+    let count = u64::from_le_bytes(cur.take(None, "item count")?);
     let mut items = Vec::with_capacity(count.min(1 << 24) as usize);
-    for _ in 0..count {
-        let mut non_mem = [0u8; 4];
-        source.read_exact(&mut non_mem)?;
-        let mut kind = [0u8; 1];
-        source.read_exact(&mut kind)?;
-        let access = match kind[0] {
+    for i in 0..count {
+        let item = Some(i);
+        let non_mem = cur.take::<4>(item, "instruction burst")?;
+        let [kind] = cur.take::<1>(item, "access kind")?;
+        let access = match kind {
             0 => None,
             k @ (1 | 2) => {
-                let mut addr = [0u8; 8];
-                source.read_exact(&mut addr)?;
-                let mut size = [0u8; 1];
-                source.read_exact(&mut size)?;
-                let mut value = [0u8; 8];
-                source.read_exact(&mut value)?;
-                let mut asid = [0u8; 2];
-                source.read_exact(&mut asid)?;
-                if size[0] == 0 || size[0] > 8 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("bad access size {}", size[0]),
-                    ));
+                let addr = cur.take::<8>(item, "address")?;
+                let [size] = cur.take::<1>(item, "access size")?;
+                let value = cur.take::<8>(item, "value")?;
+                let asid = cur.take::<2>(item, "asid")?;
+                if size == 0 || size > 8 {
+                    return cur.fail(item, format!("bad access size {size} (want 1..=8)"));
                 }
                 Some(Access {
                     kind: if k == 1 {
@@ -95,16 +156,13 @@ pub fn read_trace<R: Read>(mut source: R) -> io::Result<Vec<TraceItem>> {
                         AccessKind::Store
                     },
                     addr: Address(u64::from_le_bytes(addr)),
-                    size: size[0],
+                    size,
                     value: u64::from_le_bytes(value),
                     asid: Asid(u16::from_le_bytes(asid)),
                 })
             }
             other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad access kind {other}"),
-                ))
+                return cur.fail(item, format!("bad access kind {other} (want 0, 1, or 2)"));
             }
         };
         items.push(TraceItem {
@@ -178,6 +236,49 @@ mod tests {
         let mut bad_size = buf.clone();
         bad_size[25] = 9; // the size byte
         assert!(read_trace(&bad_size[..]).is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_item_and_offset() {
+        let trace = vec![
+            TraceItem::compute(1),
+            TraceItem::then(1, Access::store(Address(64), 2)),
+        ];
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        // Item 0 is 5 bytes (burst + kind 0); item 1's kind byte is at
+        // 12 + 5 + 4 = 21.
+        let mut bad_kind = buf.clone();
+        bad_kind[21] = 9;
+        let err = read_trace(&bad_kind[..]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("item 1"), "got {msg}");
+        assert!(msg.contains("access kind 9"), "got {msg}");
+
+        let err = read_trace(&buf[..buf.len() - 1]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("item 1"), "got {msg}");
+        assert!(msg.contains("truncated"), "got {msg}");
+
+        let err = read_trace(&b"NOPE\0\0\0\0\0\0\0\0"[..]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("header"), "got {msg}");
+        assert!(msg.contains("magic"), "got {msg}");
+
+        // The typed error is recoverable from the io::Error.
+        let e = TraceParseError {
+            item: Some(3),
+            offset: 40,
+            reason: "x".into(),
+        };
+        let io_err: io::Error = e.clone().into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(
+            io_err
+                .get_ref()
+                .and_then(|r| r.downcast_ref::<TraceParseError>()),
+            Some(&e)
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ fn power_loss_and_observer() {
     for item in trace.iter().take(trace.len() / 2) {
         sys.step(*item);
     }
-    let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    let report = sys
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .expect("crash drain");
     println!(
         "  draining gap closed at {}, sec-sync gap closed at {}",
         report.drain_complete_at, report.secsync_complete_at
@@ -69,7 +71,9 @@ fn application_crash_policies() {
         }
         sys.run_trace(trace);
         let before = sys.persist_buffer().occupancy();
-        let report = sys.crash(CrashKind::ApplicationCrash(Asid(1)), policy);
+        let report = sys
+            .crash(CrashKind::ApplicationCrash(Asid(1)), policy)
+            .expect("crash drain");
         println!(
             "  {policy:?}: {before} entries before, drained {}, {} remain",
             report.work.entries,
@@ -86,7 +90,8 @@ fn attack_detection() {
         let trace = TraceGenerator::new(profile, 3).generate(50_000);
         let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Bcm, 3);
         sys.run_trace(trace);
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .expect("crash drain");
         sys
     };
 

@@ -46,7 +46,9 @@ fn main() {
     // 3. Crash the COBCM system: the battery drains the SecPB and
     //    finishes all security metadata (sec-sync).
     let (_, _, ref mut system) = results[1];
-    let report = system.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    let report = system
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .expect("crash drain");
     println!(
         "crash at {}: drained {} entries; sec-sync complete at {}",
         report.at, report.work.entries, report.secsync_complete_at

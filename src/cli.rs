@@ -8,6 +8,7 @@
 //! secpb run <bench> <scheme> [entries] [instructions]   simulate + metrics
 //! secpb grid [instructions] [--jobs N]                  scheme×workload grid (Table IV)
 //! secpb crash <bench> <scheme> [instructions]           crash + verified recovery
+//! secpb storm [--quick] [--seed N] [--brown-out F]      crash-storm fault injection
 //! secpb battery [entries]                               battery sizing table
 //! secpb trace gen <bench> <file> [instructions]         save a trace
 //! secpb trace info <file>                               trace statistics
@@ -33,6 +34,7 @@ pub const USAGE: &str = "usage:
   secpb run <bench> <scheme> [entries] [instructions]
   secpb grid [instructions] [--jobs N]
   secpb crash <bench> <scheme> [instructions]
+  secpb storm [--quick] [--seed N] [--brown-out F]
   secpb battery [entries]
   secpb trace gen <bench> <file> [instructions]
   secpb trace info <file>
@@ -49,6 +51,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some("run") => cmd_run(&args[1..]),
         Some("grid") => cmd_grid(&args[1..]),
         Some("crash") => cmd_crash(&args[1..]),
+        Some("storm") => cmd_storm(&args[1..]),
         Some("battery") => cmd_battery(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("list") => Ok(cmd_list()),
@@ -129,7 +132,9 @@ fn cmd_crash(args: &[String]) -> Result<String, String> {
     let trace = TraceGenerator::new(profile, 42).generate(instructions);
     let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 42);
     sys.run_trace(trace);
-    let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    let report = sys
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .map_err(|e| format!("crash drain failed: {e}"))?;
     let recovery = sys.recover();
     let mut out = String::new();
     let _ = writeln!(out, "crash at cycle {}", report.at.raw());
@@ -152,6 +157,53 @@ fn cmd_crash(args: &[String]) -> Result<String, String> {
         return Err(format!("recovery failed:\n{out}"));
     }
     Ok(out)
+}
+
+fn cmd_storm(args: &[String]) -> Result<String, String> {
+    let mut quick = false;
+    let mut seed: u64 = 0x5EC9_B0A2;
+    let mut brown_out: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--seed takes a number")?;
+            }
+            "--brown-out" => {
+                i += 1;
+                let f: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--brown-out takes a fraction in (0, 1]")?;
+                if !(0.0..=1.0).contains(&f) || f == 0.0 {
+                    return Err("--brown-out takes a fraction in (0, 1]".to_owned());
+                }
+                brown_out = Some(f);
+            }
+            other => return Err(format!("unknown storm flag `{other}`\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let mut cfg = if quick {
+        secpb_bench::storm::StormConfig::quick(seed)
+    } else {
+        secpb_bench::storm::StormConfig::full(seed)
+    };
+    if let Some(f) = brown_out {
+        cfg = cfg.with_brown_out(f);
+    }
+    let report = secpb_bench::storm::run_storm(&cfg);
+    let text = report.render_text();
+    if report.passed() {
+        Ok(text)
+    } else {
+        Err(format!("fault storm failed:\n{text}"))
+    }
 }
 
 fn cmd_battery(args: &[String]) -> Result<String, String> {
@@ -304,6 +356,32 @@ mod tests {
         let out = run(&["crash", "sjeng", "bcm", "20000"]).unwrap();
         assert!(out.contains("consistent           true"));
         assert!(out.contains("blocks recovered"));
+    }
+
+    #[test]
+    fn storm_quick_passes_and_rejects_bad_flags() {
+        let out = run(&["storm", "--quick", "--seed", "3"]).unwrap();
+        assert!(out.contains("PASS"), "{out}");
+        assert!(out.contains("cobcm/lazy"), "{out}");
+        assert!(run(&["storm", "--seed"]).is_err());
+        assert!(run(&["storm", "--brown-out", "2.0"]).is_err());
+        assert!(run(&["storm", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn storm_quick_brown_out_reports_losses() {
+        let out = run(&["storm", "--quick", "--brown-out", "0.25"]).unwrap();
+        let lost: u64 = out
+            .lines()
+            .find(|l| l.starts_with("storm:"))
+            .and_then(|l| {
+                l.split(',')
+                    .find(|p| p.contains("entries lost"))
+                    .and_then(|p| p.split_whitespace().next())
+                    .and_then(|n| n.parse().ok())
+            })
+            .unwrap_or(0);
+        assert!(lost > 0, "brown-out storm should lose entries:\n{out}");
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! assert!(result.ipc() > 0.0);
 //!
 //! // Crash, then verify the persisted state recovers byte-for-byte.
-//! system.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+//! system.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll).expect("crash drain");
 //! assert!(system.recover().is_consistent());
 //! ```
 

@@ -32,7 +32,9 @@ fn measured_crash_energy_within_provisioned_budget() {
         let trace = TraceGenerator::new(profile, 5).generate(40_000);
         let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 5);
         sys.run_trace(trace);
-        let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        let report = sys
+            .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
 
         let w = report.work;
         let measured = measured_energy(&MeasuredWork {
@@ -64,8 +66,12 @@ fn crash_work_scales_with_buffer_occupancy() {
     let store = |i: u64| TraceItem::then(50, Access::store(Address(0x10_0000 + i * 64), i));
     small.run_trace((0..3).map(store));
     large.run_trace((0..20).map(store));
-    let rs = small.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
-    let rl = large.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    let rs = small
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
+    let rl = large
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     assert_eq!(rs.work.entries, 3);
     assert_eq!(rl.work.entries, 20);
     assert!(rl.work.macs > rs.work.macs);
@@ -91,13 +97,15 @@ fn drain_process_preserves_and_later_recovers_other_process() {
     sys.crash(
         CrashKind::ApplicationCrash(Asid(1)),
         DrainPolicy::DrainProcess,
-    );
+    )
+    .unwrap();
     assert!(
         sys.persist_buffer().occupancy() > 0,
         "process 2 keeps coalescing"
     );
     // Later, power is lost: everything drains and recovery covers both.
-    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     assert_eq!(sys.persist_buffer().occupancy(), 0);
     let rec = sys.recover();
     assert!(rec.is_consistent());
@@ -110,7 +118,9 @@ fn observer_timeline_is_ordered() {
     let trace = TraceGenerator::new(profile, 4).generate(30_000);
     let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 4);
     sys.run_trace(trace);
-    let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    let report = sys
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     assert!(report.at <= report.drain_complete_at);
     assert!(report.drain_complete_at <= report.secsync_complete_at);
 
@@ -130,13 +140,15 @@ fn execution_can_continue_after_application_crash() {
         9,
         Access::store(Address(0x8000), 1).with_asid(Asid(1)),
     )]);
-    sys.crash(CrashKind::ApplicationCrash(Asid(1)), DrainPolicy::DrainAll);
+    sys.crash(CrashKind::ApplicationCrash(Asid(1)), DrainPolicy::DrainAll)
+        .unwrap();
     // The system keeps running new work after an app crash.
     sys.run_trace(vec![TraceItem::then(
         9,
         Access::store(Address(0x8000), 2).with_asid(Asid(2)),
     )]);
-    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     let rec = sys.recover();
     assert!(rec.is_consistent());
     // The final value is the second store's.
@@ -152,7 +164,9 @@ fn nogap_crash_needs_no_secsync_work() {
     let store = |i: u64| TraceItem::then(50, Access::store(Address(0x10_0000 + i * 64), i));
     sys.run_trace((0..8).map(store));
     let before_macs = sys.stats().get("crypto.macs");
-    let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    let report = sys
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     assert_eq!(
         report.work.macs, 0,
         "NoGap computes MACs early, not on battery"
@@ -166,7 +180,9 @@ fn cobcm_crash_does_all_work_on_battery() {
     let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 9);
     let store = |i: u64| TraceItem::then(50, Access::store(Address(0x10_0000 + i * 64), i));
     sys.run_trace((0..8).map(store));
-    let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    let report = sys
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     assert_eq!(report.work.entries, 8);
     assert_eq!(report.work.macs, 8, "one MAC per drained entry");
     assert_eq!(report.work.otps, 8);

@@ -71,7 +71,9 @@ fn fuzzed_crashes_agree_on_roots_reports_and_stats() {
                 let trace = TraceGenerator::new(profile.clone(), fuzz).generate(15_000);
                 let mut sys = SecureSystem::new(cfg_with(mode), scheme, fuzz ^ 0xA5);
                 sys.run_trace(trace);
-                let report = sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+                let report = sys
+                    .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+                    .unwrap();
                 (report, sys)
             };
             let (er, esys) = run(MetadataMode::Eager);
@@ -103,7 +105,9 @@ fn application_crash_policies_agree_across_modes() {
             let trace = TraceGenerator::new(profile.clone(), 5).generate(12_000);
             let mut sys = SecureSystem::new(cfg_with(mode), Scheme::Cobcm, 5);
             sys.run_trace(trace);
-            let report = sys.crash(CrashKind::ApplicationCrash(Asid(0)), policy);
+            let report = sys
+                .crash(CrashKind::ApplicationCrash(Asid(0)), policy)
+                .unwrap();
             (report, sys)
         };
         let (er, esys) = run(MetadataMode::Eager);
@@ -158,7 +162,7 @@ fn multicore_system_agrees_across_modes() {
         for i in 0..50u64 {
             sys.load(3, Address(0x30_0000 + i * 64).block());
         }
-        let drained = sys.crash();
+        let drained = sys.crash().unwrap();
         (drained, sys)
     };
     let (ed, esys) = run(MetadataMode::Eager);
@@ -179,7 +183,8 @@ fn lazy_engine_at_least_halves_hmac_invocations() {
     let trace = TraceGenerator::new(profile, 13).generate(30_000);
     let mut sys = SecureSystem::new(cfg_with(MetadataMode::Lazy), Scheme::Cobcm, 13);
     sys.run_trace(trace);
-    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     let analytic = sys.stats().get(counters::BMT_NODE_HASHES);
     let actual = sys.integrity_tree().fold_hashes();
     assert!(analytic > 0 && actual > 0);

@@ -63,7 +63,8 @@ fn crash_recovery_is_always_consistent() {
         for item in &trace[..crash_at] {
             sys.step(*item);
         }
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         let report = sys.recover();
         assert!(
             report.is_consistent(),
@@ -88,7 +89,8 @@ fn observer_sees_exact_prefix() {
         for item in &trace[..crash_at] {
             sys.step(*item);
         }
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
 
         // Replay the same prefix architecturally.
         let mut expected = std::collections::HashMap::<u64, [u8; 64]>::new();
@@ -135,7 +137,8 @@ fn any_tamper_is_detected() {
         let trace = trace_from(&stream);
         let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 7);
         sys.run_trace(trace);
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         let blocks: Vec<_> = sys.nvm_store().data_blocks().collect();
         if blocks.is_empty() {
             continue;
@@ -165,7 +168,8 @@ fn counter_rollback_is_detected() {
         let trace = trace_from(&stream);
         let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 11);
         sys.run_trace(trace.clone());
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+            .unwrap();
         let pages: Vec<u64> = sys.nvm_store().counter_pages().collect();
         if pages.is_empty() {
             continue;
@@ -190,7 +194,8 @@ fn counter_rollback_is_detected() {
 #[test]
 fn recovery_of_empty_system_is_trivially_consistent() {
     let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 5);
-    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     let report = sys.recover();
     assert!(report.is_consistent());
     assert_eq!(report.blocks_checked, 0);
@@ -200,9 +205,11 @@ fn recovery_of_empty_system_is_trivially_consistent() {
 fn double_crash_is_idempotent() {
     let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Bcm, 6);
     sys.run_trace(vec![TraceItem::then(4, Access::store(Address(0x8000), 1))]);
-    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     let first = sys.recover();
-    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     let second = sys.recover();
     assert!(first.is_consistent());
     assert!(second.is_consistent());

@@ -14,7 +14,8 @@ fn run_and_crash(scheme: Scheme, seed: u64) -> SecureSystem {
     let trace = TraceGenerator::new(profile, seed).generate(30_000);
     let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 77);
     sys.run_trace(trace);
-    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll);
+    sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
     sys
 }
 
