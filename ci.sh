@@ -1,14 +1,29 @@
 #!/usr/bin/env bash
-# Repository CI gate: formatting, lints, and the tier-1 verify
+# Repository CI gate: formatting, lints, docs, and the tier-1 verify
 # (ROADMAP.md). Run from the repo root; fails fast on the first error.
+#
+# Flags:
+#   --update-baseline   write the full-grid report to the checked-in
+#                       BENCH_grid.json (default: temp dir, tree stays clean)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+UPDATE_BASELINE=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE_BASELINE=1 ;;
+    *) echo "ci.sh: unknown flag '$arg'" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
 echo "==> tier-1: cargo build --release"
 cargo build --release
@@ -34,7 +49,12 @@ echo "==> grid determinism smoke (2 workloads x 2 schemes, serial vs parallel)"
 ./target/release/bench_grid 50000 --jobs 4 --smoke --json /tmp/bench_grid_smoke.json
 rm -f /tmp/bench_grid_smoke.json
 
-echo "==> regenerate BENCH_grid.json (full grid wall-clock baseline)"
-./target/release/bench_grid 200000 --jobs 4
+if [ "$UPDATE_BASELINE" = 1 ]; then
+  echo "==> regenerate BENCH_grid.json (full grid wall-clock baseline)"
+  ./target/release/bench_grid 200000 --jobs 4 --update-baseline
+else
+  echo "==> full grid run (temp output; --update-baseline refreshes BENCH_grid.json)"
+  ./target/release/bench_grid 200000 --jobs 4
+fi
 
 echo "CI OK"

@@ -4,16 +4,21 @@
 //! with `--jobs N` workers, verifies the two result sets are
 //! **identical** (the engine's determinism contract), and reports
 //! wall-clock speedup plus per-cell simulated instructions per second
-//! and host nanoseconds per simulated store.  Writes `BENCH_grid.json`.
+//! and host nanoseconds per simulated store.
 //!
 //! Usage:
-//! `cargo run --release -p secpb-bench --bin bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] [--mode eager|lazy]`
+//! `cargo run --release -p secpb-bench --bin bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] [--mode eager|lazy] [--update-baseline]`
 //!
 //! `--smoke` shrinks the grid to 2 workloads × 2 schemes (the CI
 //! determinism gate); the default grid is the full Table IV workload
 //! suite × all SecPB schemes.  `--mode` selects the security-metadata
 //! engine (default: lazy).  Exits nonzero if parallel results diverge
 //! from serial.
+//!
+//! The JSON report lands in the temp directory by default so routine
+//! runs never dirty the working tree; `--update-baseline` writes the
+//! checked-in `BENCH_grid.json` instead, and `--json <path>` overrides
+//! both.
 //!
 //! On a single-core host the parallel pass still runs (it is the
 //! determinism check), but its wall-clock time says nothing about the
@@ -63,6 +68,8 @@ fn main() {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let smoke = raw.iter().any(|a| a == "--smoke");
     raw.retain(|a| a != "--smoke");
+    let update_baseline = raw.iter().any(|a| a == "--update-baseline");
+    raw.retain(|a| a != "--update-baseline");
     let mode = match raw.iter().position(|a| a == "--mode") {
         Some(i) => {
             if i + 1 >= raw.len() {
@@ -247,8 +254,17 @@ fn main() {
         .field("recovery_ok", recovery_failures.is_empty())
         .field("recovery_blocks_verified", recovery_blocks)
         .field("results", Json::Arr(per_cell.collect()));
-    let path = args.json.as_deref().unwrap_or("BENCH_grid.json");
-    std::fs::write(path, payload.to_pretty()).expect("write json");
+    // Routine runs must not dirty the working tree: the checked-in
+    // baseline is only touched when explicitly asked for.
+    let path = match args.json.as_deref() {
+        Some(p) => p.to_owned(),
+        None if update_baseline => "BENCH_grid.json".to_owned(),
+        None => std::env::temp_dir()
+            .join("BENCH_grid.json")
+            .to_string_lossy()
+            .into_owned(),
+    };
+    std::fs::write(&path, payload.to_pretty()).expect("write json");
     eprintln!("wrote {path}");
     if !recovery_failures.is_empty() {
         eprintln!(

@@ -3,8 +3,11 @@
 //! baselines), with optional Chrome-trace and JSON stats export.
 //!
 //! Usage:
-//!   cargo run --release -p secpb-bench --bin debug_one -- \
-//!       [bench] [instructions] [--trace-out trace.json] [--stats-json stats.json]
+//!
+//! ```text
+//! cargo run --release -p secpb-bench --bin debug_one -- \
+//!     [bench] [instructions] [--trace-out trace.json] [--stats-json stats.json]
+//! ```
 //!
 //! `--trace-out` writes a Chrome trace-event document (load it at
 //! `chrome://tracing` or in Perfetto); one trace process per scheme, one

@@ -10,6 +10,7 @@
 //! CM) are consistent with its reported averages.
 
 use secpb_core::crash::{CrashKind, DrainPolicy};
+use secpb_core::facade::PersistSystem;
 use secpb_core::metrics::{counters, RunResult};
 use secpb_core::scheme::Scheme;
 use secpb_core::system::SecureSystem;
@@ -192,6 +193,9 @@ impl GridCell {
         sys.run_trace(generator.stream(warmup_for(self.instructions)));
         sys.reset_measurement();
         let result = sys.run_trace(generator.stream(self.instructions));
+        // The crash check drives the shared facade surface — the same
+        // entry points the storm and CLI use for every front.
+        let sys: &mut dyn PersistSystem = &mut sys;
         let check = match sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll) {
             Err(e) => RecoveryCheck {
                 blocks_checked: 0,

@@ -1,7 +1,7 @@
 //! A minimal, dependency-free micro-benchmark harness.
 //!
 //! The `benches/*.rs` targets are `harness = false` binaries built on
-//! this module: each calls [`bench`] (or [`bench_once`] for heavyweight
+//! this module: each calls [`bench()`] (or [`bench_once`] for heavyweight
 //! experiment paths) and prints one aligned line per benchmark.  The
 //! harness auto-calibrates the batch size so cheap operations are timed
 //! over millions of iterations while expensive ones run just a few
@@ -71,7 +71,7 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> f64 {
 
 /// Times `f` over a fixed number of single-iteration samples and prints
 /// one report line — for experiment paths that take seconds per call,
-/// where [`bench`]'s calibration loop would be wasteful.
+/// where [`bench()`]'s calibration loop would be wasteful.
 pub fn bench_once<T>(name: &str, samples: u32, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..samples.max(1) {

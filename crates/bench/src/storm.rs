@@ -22,7 +22,9 @@
 //! deterministic reproducer.
 
 use secpb_core::crash::{CrashKind, DrainPolicy, FaultOutcome};
-use secpb_core::metrics::counters;
+use secpb_core::eadr::EadrSystem;
+use secpb_core::facade::PersistSystem;
+use secpb_core::multicore::MultiCoreSystem;
 use secpb_core::scheme::Scheme;
 use secpb_core::system::SecureSystem;
 use secpb_energy::drain::{entries_within_budget, secpb_drain_energy, SchemeKind};
@@ -46,6 +48,47 @@ pub fn energy_scheme(scheme: Scheme) -> SchemeKind {
         Scheme::Cm => SchemeKind::Cm,
         Scheme::M => SchemeKind::M,
         Scheme::NoGap | Scheme::Sp => SchemeKind::NoGap,
+    }
+}
+
+/// Which system front a storm cell drives through the
+/// [`PersistSystem`] facade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormFront {
+    /// The single-core SecPB system with the full timing pipeline.
+    SecPb,
+    /// The secure-eADR whole-hierarchy system.
+    Eadr,
+    /// The per-core-SecPB directory-coherence system with this many
+    /// cores (trace accesses are fanned out round-robin across them).
+    MultiCore(usize),
+}
+
+impl StormFront {
+    /// Deterministic salt discriminant for victim/bit derivation.
+    fn salt(self) -> u64 {
+        match self {
+            StormFront::SecPb => 0,
+            StormFront::Eadr => 1,
+            StormFront::MultiCore(n) => 2 + n as u64,
+        }
+    }
+}
+
+impl std::str::FromStr for StormFront {
+    type Err = String;
+
+    /// Parses `secpb`, `eadr`, or `mc<N>` (e.g. `mc4`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "secpb" => Ok(StormFront::SecPb),
+            "eadr" => Ok(StormFront::Eadr),
+            _ => s
+                .strip_prefix("mc")
+                .and_then(|n| n.parse::<usize>().ok())
+                .map(StormFront::MultiCore)
+                .ok_or_else(|| format!("unknown front `{s}`; try secpb, eadr, or mc<N>")),
+        }
     }
 }
 
@@ -150,6 +193,8 @@ impl StormConfig {
 /// pass over the trace).
 #[derive(Debug, Clone)]
 pub struct CellReport {
+    /// System front under storm.
+    pub front: StormFront,
     /// Scheme under storm.
     pub scheme: Scheme,
     /// Metadata engine under storm.
@@ -185,8 +230,15 @@ pub struct CellReport {
 }
 
 impl CellReport {
-    fn new(scheme: Scheme, mode: MetadataMode, policy: StormPolicy, trigger: &'static str) -> Self {
+    fn new(
+        front: StormFront,
+        scheme: Scheme,
+        mode: MetadataMode,
+        policy: StormPolicy,
+        trigger: &'static str,
+    ) -> Self {
         CellReport {
+            front,
             scheme,
             mode,
             policy,
@@ -215,19 +267,20 @@ impl CellReport {
             && self.flips_detected == self.flips_injected
     }
 
-    /// One-line cell label, e.g. `cobcm/lazy/drain-all/every-nth-store`.
+    /// One-line cell label, e.g. `cobcm/lazy/drain-all/every-nth-store`
+    /// (single-core SecPB), `eadr/lazy/drain-all/every-nth-store`, or
+    /// `mc4-cobcm/lazy/drain-all/every-nth-store`.
     pub fn label(&self) -> String {
         let mode = match self.mode {
             MetadataMode::Eager => "eager",
             MetadataMode::Lazy => "lazy",
         };
-        format!(
-            "{}/{}/{}/{}",
-            self.scheme.name(),
-            mode,
-            self.policy.name(),
-            self.trigger
-        )
+        let head = match self.front {
+            StormFront::SecPb => self.scheme.name().to_owned(),
+            StormFront::Eadr => "eadr".to_owned(),
+            StormFront::MultiCore(n) => format!("mc{n}-{}", self.scheme.name()),
+        };
+        format!("{head}/{mode}/{}/{}", self.policy.name(), self.trigger)
     }
 
     /// JSON object for machine consumption.
@@ -330,11 +383,11 @@ impl StormReport {
 
 /// Deterministic per-cell seed salt so different cells attack different
 /// victims/bits while staying replayable.
-fn cell_salt(scheme: Scheme, mode: MetadataMode, policy: StormPolicy) -> u64 {
+fn cell_salt(front: StormFront, scheme: Scheme, mode: MetadataMode, policy: StormPolicy) -> u64 {
     let s = Scheme::ALL.iter().position(|&x| x == scheme).unwrap_or(0) as u64;
     let m = matches!(mode, MetadataMode::Lazy) as u64;
     let p = matches!(policy, StormPolicy::AppCrashDrainProcess) as u64;
-    (s << 8) ^ (m << 4) ^ (p << 2)
+    (front.salt() << 16) ^ (s << 8) ^ (m << 4) ^ (p << 2)
 }
 
 /// Applies (or, called again with identical arguments, reverts) one
@@ -397,14 +450,14 @@ fn storm_trace(cfg: &StormConfig) -> Result<Vec<TraceItem>, String> {
 /// inject/verify/revert cycles, clean re-verification, and golden resync
 /// of lost blocks.
 fn crash_point(
-    sys: &mut SecureSystem,
+    sys: &mut dyn PersistSystem,
     cfg: &StormConfig,
     rep: &mut CellReport,
     salt: u64,
     injection: u64,
     budget_entries: Option<u64>,
 ) {
-    let occupancy = sys.persist_buffer().occupancy() as u64;
+    let occupancy = sys.occupancy();
     let (kind, policy) = rep.policy.crash_args();
     let report = match sys.crash_with_budget(kind, policy, budget_entries) {
         Ok(r) => r,
@@ -460,7 +513,7 @@ fn crash_point(
 
     // Flip storm: inject, demand detection, revert.  Insecure schemes
     // have no integrity metadata to attack, so flips are out of model.
-    if rep.scheme.is_secure() {
+    if sys.secure() {
         for f in 0..cfg.flips_per_crash {
             let idx = injection * cfg.flips_per_crash + f;
             let flip = BitFlip::derive(cfg.seed ^ salt, idx);
@@ -507,10 +560,30 @@ fn crash_point(
     }
 }
 
+/// Builds the system front a storm cell (or the CLI) drives through the
+/// facade.  Configuration rejections surface as the typed
+/// [`ConfigError`](secpb_core::crash::ConfigError)'s friendly message.
+pub fn build_front(
+    front: StormFront,
+    sys_cfg: SystemConfig,
+    scheme: Scheme,
+    key_seed: u64,
+) -> Result<Box<dyn PersistSystem>, String> {
+    match front {
+        StormFront::SecPb => Ok(Box::new(SecureSystem::new(sys_cfg, scheme, key_seed))),
+        StormFront::Eadr => Ok(Box::new(EadrSystem::new(sys_cfg, key_seed))),
+        StormFront::MultiCore(cores) => MultiCoreSystem::new(sys_cfg, scheme, cores, key_seed)
+            .map(|m| Box::new(m) as Box<dyn PersistSystem>)
+            .map_err(|e| format!("invalid configuration: {e}")),
+    }
+}
+
 /// Runs one storm cell: replays the trace, crashing at every trigger
-/// point on the same surviving system.
+/// point on the same surviving system, driven entirely through the
+/// [`PersistSystem`] facade.
 pub fn run_cell(
     cfg: &StormConfig,
+    front: StormFront,
     scheme: Scheme,
     mode: MetadataMode,
     policy: StormPolicy,
@@ -522,7 +595,7 @@ pub fn run_cell(
         CrashTrigger::EveryNthStore(_) => "every-nth-store",
         CrashTrigger::MidDrain => "mid-drain",
     };
-    let mut rep = CellReport::new(scheme, mode, policy, trigger_name);
+    let mut rep = CellReport::new(front, scheme, mode, policy, trigger_name);
     let trace = match storm_trace(cfg) {
         Ok(t) => t,
         Err(e) => {
@@ -530,17 +603,36 @@ pub fn run_cell(
             return rep;
         }
     };
-    let salt = cell_salt(scheme, mode, policy);
+    let salt = cell_salt(front, scheme, mode, policy);
     let sys_cfg = SystemConfig::default().with_metadata_mode(mode);
-    let mut sys = SecureSystem::new(sys_cfg, scheme, cfg.seed ^ salt);
+    let mut sys = match build_front(front, sys_cfg, scheme, cfg.seed ^ salt) {
+        Ok(s) => s,
+        Err(e) => {
+            rep.failures.push(e);
+            return rep;
+        }
+    };
     let mut clock = FaultClock::new(trigger);
     let budget_entries = cfg.brown_out_fraction.map(|fraction| {
         let kind = energy_scheme(scheme);
         let provisioned = secpb_drain_energy(kind, sys.config().secpb.entries);
         entries_within_budget(kind, provisioned * fraction)
     });
+    // The multi-core front fans the single-threaded trace out across its
+    // cores round-robin, so migrations and remote flushes actually fire.
+    let fan_out = match front {
+        StormFront::MultiCore(cores) => cores as u16,
+        _ => 1,
+    };
+    let mut access_idx = 0u16;
 
-    for item in trace {
+    for mut item in trace {
+        if fan_out > 1 {
+            if let Some(a) = &mut item.access {
+                a.asid = Asid(access_idx % fan_out);
+                access_idx = access_idx.wrapping_add(1);
+            }
+        }
         sys.step(item);
         if !item.access.is_some_and(|a| a.is_store()) {
             continue;
@@ -550,7 +642,7 @@ pub fn run_cell(
             continue;
         }
         crash_point(
-            &mut sys,
+            sys.as_mut(),
             cfg,
             &mut rep,
             salt,
@@ -565,15 +657,25 @@ pub fn run_cell(
     // Close out: a final full-power crash and clean verification, so the
     // trailing partial window is also covered.
     if rep.failures.is_empty() {
-        crash_point(&mut sys, cfg, &mut rep, salt, clock.crashes_fired(), None);
+        crash_point(
+            sys.as_mut(),
+            cfg,
+            &mut rep,
+            salt,
+            clock.crashes_fired(),
+            None,
+        );
     }
-    rep.anomalies = sys.stats().get(counters::ANOMALIES);
+    rep.anomalies = sys.anomalies();
     rep
 }
 
 /// Runs the full storm sweep: for every scheme × metadata mode, an
 /// every-nth-store crash storm under both drain policies plus a
-/// mid-drain single crash under drain-all.
+/// mid-drain single crash under drain-all — all on the single-core
+/// front — plus, per metadata mode, an every-nth-store drain-all cell
+/// on the eADR and 4-core fronts so every facade implementation faces
+/// the same flip storm.
 pub fn run_storm(cfg: &StormConfig) -> StormReport {
     let mut report = StormReport::default();
     for &scheme in &cfg.schemes {
@@ -581,6 +683,7 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
             for policy in StormPolicy::ALL {
                 report.cells.push(run_cell(
                     cfg,
+                    StormFront::SecPb,
                     scheme,
                     mode,
                     policy,
@@ -589,10 +692,23 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
             }
             report.cells.push(run_cell(
                 cfg,
+                StormFront::SecPb,
                 scheme,
                 mode,
                 StormPolicy::PowerLossDrainAll,
                 CrashTrigger::MidDrain,
+            ));
+        }
+    }
+    for &mode in &cfg.modes {
+        for front in [StormFront::Eadr, StormFront::MultiCore(4)] {
+            report.cells.push(run_cell(
+                cfg,
+                front,
+                Scheme::Cobcm,
+                mode,
+                StormPolicy::PowerLossDrainAll,
+                CrashTrigger::EveryNthStore(cfg.crash_every),
             ));
         }
     }
@@ -608,6 +724,7 @@ mod tests {
         let cfg = StormConfig::quick(0x5EC9_B0A2);
         let cell = run_cell(
             &cfg,
+            StormFront::SecPb,
             Scheme::Cobcm,
             MetadataMode::Eager,
             StormPolicy::PowerLossDrainAll,
@@ -624,6 +741,7 @@ mod tests {
         let cfg = StormConfig::quick(7).with_brown_out(0.10);
         let cell = run_cell(
             &cfg,
+            StormFront::SecPb,
             Scheme::Cobcm,
             MetadataMode::Eager,
             StormPolicy::PowerLossDrainAll,
@@ -639,6 +757,7 @@ mod tests {
         let cfg = StormConfig::quick(9);
         let cell = run_cell(
             &cfg,
+            StormFront::SecPb,
             Scheme::Bcm,
             MetadataMode::Lazy,
             StormPolicy::PowerLossDrainAll,
@@ -654,6 +773,7 @@ mod tests {
         let cfg = StormConfig::quick(11);
         let cell = run_cell(
             &cfg,
+            StormFront::SecPb,
             Scheme::Bbb,
             MetadataMode::Eager,
             StormPolicy::PowerLossDrainAll,
@@ -662,6 +782,56 @@ mod tests {
         assert!(cell.passed(), "{:?}", cell.failures);
         assert_eq!(cell.flips_injected, 0);
         assert!(cell.flips_skipped > 0);
+    }
+
+    #[test]
+    fn eadr_front_cell_passes() {
+        let cfg = StormConfig::quick(19);
+        let cell = run_cell(
+            &cfg,
+            StormFront::Eadr,
+            Scheme::Cobcm,
+            MetadataMode::Eager,
+            StormPolicy::PowerLossDrainAll,
+            CrashTrigger::EveryNthStore(cfg.crash_every),
+        );
+        assert!(cell.passed(), "{:?}", cell.failures);
+        assert!(cell.crashes > 1);
+        assert!(cell.flips_injected > 0, "eADR persists a secure image");
+        assert_eq!(cell.flips_detected, cell.flips_injected);
+        assert!(cell.label().starts_with("eadr/"));
+    }
+
+    #[test]
+    fn multicore_front_cell_passes() {
+        let cfg = StormConfig::quick(23);
+        let cell = run_cell(
+            &cfg,
+            StormFront::MultiCore(4),
+            Scheme::Cobcm,
+            MetadataMode::Lazy,
+            StormPolicy::PowerLossDrainAll,
+            CrashTrigger::EveryNthStore(cfg.crash_every),
+        );
+        assert!(cell.passed(), "{:?}", cell.failures);
+        assert!(cell.crashes > 1);
+        assert_eq!(cell.flips_detected, cell.flips_injected);
+        assert!(cell.label().starts_with("mc4-cobcm/"));
+    }
+
+    #[test]
+    fn bufferless_scheme_on_multicore_front_reports_config_error() {
+        let cfg = StormConfig::quick(29);
+        let cell = run_cell(
+            &cfg,
+            StormFront::MultiCore(2),
+            Scheme::Sp,
+            MetadataMode::Eager,
+            StormPolicy::PowerLossDrainAll,
+            CrashTrigger::Never,
+        );
+        assert!(!cell.passed());
+        assert!(cell.failures[0].contains("persist-buffer scheme"));
     }
 
     #[test]

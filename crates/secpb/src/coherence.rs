@@ -23,6 +23,7 @@ use secpb_sim::config::SecPbConfig;
 use secpb_sim::fxhash::FxHashMap;
 
 use crate::buffer::SecPb;
+use crate::crash::ConfigError;
 use crate::entry::Entry;
 
 /// A directory mapping a key (data block or metadata block) to the single
@@ -103,16 +104,18 @@ pub struct CoherenceController {
 impl CoherenceController {
     /// Creates `cores` SecPBs with identical configuration.
     ///
-    /// # Panics
-    ///
-    /// Panics if `cores` is zero.
-    pub fn new(cores: usize, config: SecPbConfig) -> Self {
-        assert!(cores > 0, "need at least one core");
-        CoherenceController {
+    /// Rejects a zero-core bank or degenerate SecPB geometry with a
+    /// typed [`ConfigError`] instead of panicking.
+    pub fn new(cores: usize, config: SecPbConfig) -> Result<Self, ConfigError> {
+        if cores == 0 {
+            return Err(ConfigError::ZeroCores);
+        }
+        ConfigError::check_secpb(&config)?;
+        Ok(CoherenceController {
             pbs: (0..cores).map(|_| SecPb::new(config)).collect(),
             directory: Directory::new(),
             flushed: Vec::new(),
-        }
+        })
     }
 
     /// Number of cores.
@@ -236,7 +239,7 @@ mod tests {
     use super::*;
 
     fn controller() -> CoherenceController {
-        CoherenceController::new(2, SecPbConfig::default())
+        CoherenceController::new(2, SecPbConfig::default()).unwrap()
     }
 
     #[test]
@@ -350,8 +353,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one core")]
     fn zero_cores_rejected() {
-        CoherenceController::new(0, SecPbConfig::default());
+        assert_eq!(
+            CoherenceController::new(0, SecPbConfig::default()).err(),
+            Some(ConfigError::ZeroCores)
+        );
     }
 }

@@ -21,6 +21,70 @@ use std::fmt;
 use secpb_sim::addr::{Asid, BlockAddr};
 use secpb_sim::cycle::Cycle;
 
+use crate::scheme::Scheme;
+
+/// A rejected system configuration.
+///
+/// These used to be documented constructor panics (`MultiCoreSystem::new`
+/// on zero cores or a bufferless scheme, the coherence controller's
+/// zero-core assert, degenerate SecPB geometry).  Surfacing them as
+/// values lets the CLI print a friendly message and lets sweeps skip an
+/// invalid cell instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// A multi-core configuration was requested with zero cores.
+    ZeroCores,
+    /// The scheme keeps no SecPB (`SP` persists at the memory
+    /// controller), so a per-core persist-buffer system cannot be built
+    /// from it.
+    BufferlessScheme(Scheme),
+    /// The SecPB was configured with zero entries.
+    ZeroSecPbEntries,
+    /// Drain watermarks must satisfy `0 <= low <= high <= 1`.
+    InvalidWatermarks {
+        /// The configured high watermark.
+        high: f64,
+        /// The configured low watermark.
+        low: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroCores => write!(f, "need at least one core"),
+            ConfigError::BufferlessScheme(s) => {
+                write!(
+                    f,
+                    "scheme '{s}' keeps no SecPB; pick a persist-buffer scheme"
+                )
+            }
+            ConfigError::ZeroSecPbEntries => write!(f, "SecPB needs at least one entry"),
+            ConfigError::InvalidWatermarks { high, low } => write!(
+                f,
+                "drain watermarks must satisfy 0 <= low <= high <= 1, got low={low} high={high}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl ConfigError {
+    /// Validates the SecPB geometry knobs shared by every front that
+    /// keeps a persist buffer.
+    pub fn check_secpb(cfg: &secpb_sim::config::SecPbConfig) -> Result<(), ConfigError> {
+        if cfg.entries == 0 {
+            return Err(ConfigError::ZeroSecPbEntries);
+        }
+        let (high, low) = (cfg.high_watermark, cfg.low_watermark);
+        if !((0.0..=1.0).contains(&low) && (0.0..=1.0).contains(&high) && low <= high) {
+            return Err(ConfigError::InvalidWatermarks { high, low });
+        }
+        Ok(())
+    }
+}
+
 /// A structural inconsistency discovered while handling a crash or
 /// running recovery.  These used to be panics; the fault-injection
 /// engine requires them to surface as values so a storm can distinguish
@@ -442,6 +506,42 @@ mod tests {
             FaultOutcome::classify(false, &silent),
             FaultOutcome::SilentCorruption
         );
+    }
+
+    #[test]
+    fn config_error_display_and_checks() {
+        use secpb_sim::config::SecPbConfig;
+        assert!(ConfigError::ZeroCores.to_string().contains("one core"));
+        assert!(ConfigError::BufferlessScheme(Scheme::Sp)
+            .to_string()
+            .contains("no SecPB"));
+        assert!(ConfigError::ZeroSecPbEntries
+            .to_string()
+            .contains("one entry"));
+        assert!(ConfigError::InvalidWatermarks {
+            high: 0.2,
+            low: 0.8
+        }
+        .to_string()
+        .contains("low=0.8"));
+        assert_eq!(ConfigError::check_secpb(&SecPbConfig::default()), Ok(()));
+        let zero = SecPbConfig {
+            entries: 0,
+            ..SecPbConfig::default()
+        };
+        assert_eq!(
+            ConfigError::check_secpb(&zero),
+            Err(ConfigError::ZeroSecPbEntries)
+        );
+        let inverted = SecPbConfig {
+            high_watermark: 0.2,
+            low_watermark: 0.8,
+            ..SecPbConfig::default()
+        };
+        assert!(matches!(
+            ConfigError::check_secpb(&inverted),
+            Err(ConfigError::InvalidWatermarks { .. })
+        ));
     }
 
     #[test]

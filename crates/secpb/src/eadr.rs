@@ -10,26 +10,26 @@
 //! tuple on power loss.  [`EadrSystem`] measures both: execution cycles
 //! comparable to the SecPB systems, and the crash-drain work the energy
 //! model prices for Table V.
+//!
+//! This front is a thin shell over the shared [`PersistDomain`] kernel:
+//! it owns only the cache hierarchy, the core clock, and the
+//! whole-hierarchy drain policy; the tuple pipeline, the durable image,
+//! and the recovery sweep are the domain's.
 
-use secpb_crypto::counter::CounterBlock;
-use secpb_crypto::mac::BlockMac;
-use secpb_crypto::memo::DigestMemo;
-use secpb_crypto::otp::OtpEngine;
-use secpb_crypto::sha512::{Digest, Sha512};
 use secpb_mem::cache::LineState;
 use secpb_mem::hierarchy::{Hierarchy, HitLevel};
 use secpb_mem::store::NvmStore;
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::cycle::Cycle;
-use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::Stats;
 use secpb_sim::trace::{Access, AccessKind, TraceItem};
 
-use crate::crash::{BlockVerdict, DrainWork, RecoveryReport};
+use crate::crash::{DrainWork, RecoveryReport};
+use crate::domain::{DomainKeys, PersistDomain};
 use crate::metrics::{counters, CycleBreakdown, RunResult};
 use crate::scheme::Scheme;
-use crate::tree::{IntegrityTree, TreeKind};
+use crate::tree::TreeKind;
 
 /// The secure-eADR machine.
 pub struct EadrSystem {
@@ -37,15 +37,7 @@ pub struct EadrSystem {
     now: Cycle,
     frac: f64,
     hierarchy: Hierarchy,
-    golden: FxHashMap<BlockAddr, [u8; 64]>,
-    counters: FxHashMap<u64, CounterBlock>,
-    nvm: NvmStore,
-    otp_engine: OtpEngine,
-    mac_engine: BlockMac,
-    tree: IntegrityTree,
-    mode: MetadataMode,
-    ctr_digests: DigestMemo,
-    seed: u64,
+    domain: PersistDomain,
     stats: Stats,
 }
 
@@ -60,33 +52,16 @@ impl std::fmt::Debug for EadrSystem {
 impl EadrSystem {
     /// Creates a secure-eADR system.
     pub fn new(cfg: SystemConfig, key_seed: u64) -> Self {
-        let mut aes_key = [0u8; 24];
-        for (i, b) in aes_key.iter_mut().enumerate() {
-            *b = (key_seed.rotate_left(i as u32) ^ (i as u64 * 0xEAD2)) as u8;
-        }
-        let mode = cfg.security.metadata_mode;
-        let mut tree = IntegrityTree::new(
+        let domain = PersistDomain::new(
+            DomainKeys::EADR,
             TreeKind::Monolithic,
-            &(key_seed ^ 0xEAD2).to_le_bytes(),
-            8,
             cfg.security.bmt_levels,
+            cfg.security.metadata_mode,
+            key_seed,
         );
-        let mut otp_engine = OtpEngine::new(&aes_key);
-        if mode == MetadataMode::Lazy {
-            tree.set_lazy(true);
-            otp_engine.enable_pad_cache(secpb_crypto::memo::DEFAULT_CAPACITY);
-        }
         EadrSystem {
             hierarchy: Hierarchy::new(&cfg),
-            golden: FxHashMap::default(),
-            counters: FxHashMap::default(),
-            nvm: NvmStore::new(),
-            otp_engine,
-            mac_engine: BlockMac::new(&key_seed.to_le_bytes()),
-            tree,
-            mode,
-            ctr_digests: DigestMemo::new(secpb_crypto::memo::DEFAULT_CAPACITY),
-            seed: key_seed,
+            domain,
             now: Cycle::ZERO,
             frac: 0.0,
             stats: Stats::new(),
@@ -99,23 +74,40 @@ impl EadrSystem {
         &self.stats
     }
 
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Whether the security-metadata engine is eager or lazy.
+    pub fn metadata_mode(&self) -> MetadataMode {
+        self.domain.mode
+    }
+
+    /// The core clock.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of dirty lines currently buffered in the cache hierarchy
+    /// (the persistence domain's exposure on a crash).
+    pub fn dirty_lines(&self) -> usize {
+        self.hierarchy.dirty_blocks().len()
+    }
+
     /// The durable state (for tamper injection in tests).
     pub fn nvm_store_mut(&mut self) -> &mut NvmStore {
-        &mut self.nvm
+        &mut self.domain.nvm
+    }
+
+    /// The durable state, read-only.
+    pub fn nvm_store(&self) -> &NvmStore {
+        &self.domain.nvm
     }
 
     /// The architecturally expected plaintext of a block.
     pub fn expected_plaintext(&self, block: BlockAddr) -> [u8; 64] {
-        self.golden.get(&block).copied().unwrap_or([0u8; 64])
-    }
-
-    /// The SHA-512 digest of a counter block, memoized in lazy mode.
-    fn counter_digest(&self, page: u64, cb: &CounterBlock) -> Digest {
-        let bytes = cb.to_bytes();
-        match self.mode {
-            MetadataMode::Eager => Sha512::digest(&bytes),
-            MetadataMode::Lazy => self.ctr_digests.digest(page, &bytes),
-        }
+        self.domain.expected_plaintext(block)
     }
 
     fn advance(&mut self, cycles: f64) {
@@ -127,26 +119,34 @@ impl EadrSystem {
         }
     }
 
+    /// Executes a single trace item.
+    pub fn step(&mut self, item: TraceItem) {
+        if item.non_mem_instrs > 0 {
+            self.stats
+                .bump_by(counters::INSTRUCTIONS, u64::from(item.non_mem_instrs));
+            self.advance(f64::from(item.non_mem_instrs) / f64::from(self.cfg.core.retire_width));
+        }
+        if let Some(access) = item.access {
+            self.stats.bump(counters::INSTRUCTIONS);
+            self.advance(1.0 / f64::from(self.cfg.core.retire_width));
+            match access.kind {
+                AccessKind::Load => self.do_load(access),
+                AccessKind::Store => self.do_store(access),
+            }
+        }
+    }
+
     /// Replays a trace.  Stores persist at L1 speed; security work only
     /// happens when dirty lines leave the LLC.
     pub fn run_trace<I: IntoIterator<Item = TraceItem>>(&mut self, items: I) -> RunResult {
         for item in items {
-            if item.non_mem_instrs > 0 {
-                self.stats
-                    .bump_by(counters::INSTRUCTIONS, u64::from(item.non_mem_instrs));
-                self.advance(
-                    f64::from(item.non_mem_instrs) / f64::from(self.cfg.core.retire_width),
-                );
-            }
-            if let Some(access) = item.access {
-                self.stats.bump(counters::INSTRUCTIONS);
-                self.advance(1.0 / f64::from(self.cfg.core.retire_width));
-                match access.kind {
-                    AccessKind::Load => self.do_load(access),
-                    AccessKind::Store => self.do_store(access),
-                }
-            }
+            self.step(item);
         }
+        self.run_result()
+    }
+
+    /// The run result so far (cycles, breakdown, statistics).
+    pub fn run_result(&self) -> RunResult {
         RunResult {
             scheme: Scheme::Bbb,
             cycles: self.now.raw(),
@@ -172,10 +172,7 @@ impl EadrSystem {
         self.stats.bump(counters::STORES);
         self.stats.bump(counters::PERSISTS); // durable at L1 insert
         let block = access.addr.block();
-        let entry = self.golden.entry(block).or_insert([0u8; 64]);
-        let off = access.addr.block_offset();
-        let size = usize::from(access.size);
-        entry[off..off + size].copy_from_slice(&access.value.to_le_bytes()[..size]);
+        self.domain.apply_store_golden(access);
         // Dirty (not persist-dirty): eADR lines must write back with
         // their tuples when they leave the LLC.
         let out = self.hierarchy.store(block, LineState::Dirty);
@@ -195,24 +192,7 @@ impl EadrSystem {
     }
 
     fn persist_tuple(&mut self, block: BlockAddr) {
-        let page = NvmStore::page_of(block);
-        let slot = NvmStore::page_slot_of(block);
-        let cb = self.counters.entry(page).or_default();
-        cb.increment(slot);
-        let ctr = cb.counter_of(slot);
-        let pt = self.golden.get(&block).copied().unwrap_or([0u8; 64]);
-        let ct = self.otp_engine.encrypt(&pt, block.index(), ctr);
-        let mac = self.mac_engine.compute(&ct, block.index(), ctr);
-        self.nvm.write_data(block, ct);
-        self.nvm.write_mac(block, mac.truncate_u64());
-        let mut persisted = self.nvm.read_counters(page);
-        persisted.set_counter(slot, ctr);
-        self.nvm.write_counters(page, persisted.clone());
-        let digest = self.counter_digest(page, &persisted);
-        self.tree.update_leaf(page, digest);
-        if self.mode == MetadataMode::Eager {
-            self.nvm.set_bmt_root(self.tree.root());
-        }
+        self.domain.persist_block(block);
         self.stats.bump(counters::MACS);
         self.stats.bump(counters::OTPS);
         self.stats.bump(counters::BMT_ROOT_UPDATES);
@@ -255,8 +235,7 @@ impl EadrSystem {
         }
         // Observation point: fold all deferred tree work and persist the
         // root (a no-op for the eager engine, which persisted per tuple).
-        self.tree.sync();
-        self.nvm.set_bmt_root(self.tree.root());
+        self.domain.sync_root(true);
         self.hierarchy.clear();
         let n = dirty.len() as u64;
         self.stats.bump_by("eadr.crash_lines", n);
@@ -282,74 +261,18 @@ impl EadrSystem {
 
     /// [`recover`](Self::recover) with lost-line accounting: blocks in
     /// `lost` (from [`crash_with_budget`](Self::crash_with_budget)) read
-    /// back stale by construction and get [`BlockVerdict::LostStale`].
+    /// back stale by construction and get
+    /// [`crate::crash::BlockVerdict::LostStale`].
     pub fn recover_with(&self, lost: &[BlockAddr]) -> RecoveryReport {
-        let mut report = RecoveryReport::default();
-        let mut rebuilt = IntegrityTree::new(
-            TreeKind::Monolithic,
-            &(self.seed ^ 0xEAD2).to_le_bytes(),
-            8,
-            self.cfg.security.bmt_levels,
-        );
-        if self.mode == MetadataMode::Lazy {
-            rebuilt.set_lazy(true);
-        }
-        let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
-        pages.sort_unstable();
-        for page in pages {
-            let cb = self.nvm.read_counters(page);
-            rebuilt.update_leaf(page, self.counter_digest(page, &cb));
-        }
-        rebuilt.sync();
-        report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
-        let mut blocks: Vec<BlockAddr> = self.nvm.data_blocks().collect();
-        blocks.sort_unstable();
-        for block in blocks {
-            report.blocks_checked += 1;
-            let page = NvmStore::page_of(block);
-            let slot = NvmStore::page_slot_of(block);
-            let ctr = self.nvm.read_counters(page).counter_of(slot);
-            let ct = self.nvm.read_data(block);
-            let verdict = if !self.mac_engine.verify_truncated(
-                &ct,
-                block.index(),
-                ctr,
-                self.nvm.read_mac(block),
-            ) {
-                report.mac_failures.push(block);
-                BlockVerdict::MacMismatch
-            } else if self.otp_engine.decrypt(&ct, block.index(), ctr)
-                == self.expected_plaintext(block)
-            {
-                BlockVerdict::Verified
-            } else if lost.contains(&block) {
-                report.lost_stale.push(block);
-                BlockVerdict::LostStale
-            } else {
-                report.plaintext_mismatches.push(block);
-                BlockVerdict::PlaintextMismatch
-            };
-            report.verdicts.push((block, verdict));
-        }
-        report
+        // eADR never leaves entries buffered across a crash: the whole
+        // hierarchy drains, so nothing is ever "in flight" at recovery.
+        self.domain.recover_report(lost, true, &|_| false)
     }
 
     /// Re-reads the durable image of brown-out-lost lines back into the
     /// architectural expectation so a storm can continue past the crash.
     pub fn resync_lost_golden(&mut self, lost: &[BlockAddr]) {
-        for &block in lost {
-            if !self.nvm.contains_data(block) {
-                self.golden.remove(&block);
-                continue;
-            }
-            let page = NvmStore::page_of(block);
-            let slot = NvmStore::page_slot_of(block);
-            let ctr = self.nvm.read_counters(page).counter_of(slot);
-            let pt = self
-                .otp_engine
-                .decrypt(&self.nvm.read_data(block), block.index(), ctr);
-            self.golden.insert(block, pt);
-        }
+        self.domain.resync_lost(lost, true);
     }
 }
 
@@ -462,6 +385,6 @@ mod tests {
             .collect();
         let r = sys.run_trace(trace);
         assert!(r.stats.get("eadr.writebacks") > 0);
-        assert!(sys.recover().blocks_checked > 0 || sys.nvm.data_block_count() > 0);
+        assert!(sys.recover().blocks_checked > 0 || sys.nvm_store().data_block_count() > 0);
     }
 }

@@ -14,14 +14,24 @@
 //!   order, and NWPE bookkeeping,
 //! * [`drain`] — the background drain engine that empties the buffer to
 //!   the memory controller,
+//! * [`domain`] — the shared security/persistence kernel
+//!   ([`PersistDomain`]) all three system fronts delegate to: golden
+//!   state, logical counters, NVM image, crypto engines, integrity tree,
 //! * [`system`] — the whole machine: core + caches + SecPB + metadata
 //!   caches + WPQ + NVM, with both a timing model and a functional
 //!   (actually encrypted and integrity-protected) persistent state,
+//! * [`pipeline`] — the per-store early-work path, driven entirely by the
+//!   scheme's [`scheme::EarlyWork`] flags,
+//! * [`recovery`] — the battery-powered crash drain and the post-crash
+//!   verdict kernel shared by all fronts,
 //! * [`crash`] — crash kinds, drain policies (drain-all/drain-process),
 //!   observer policies (blocking/warning), the battery-powered drain, and
 //!   post-crash recovery with real decryption + MAC + BMT verification,
 //! * [`coherence`] — the metadata directory and SecPB-to-SecPB migration
 //!   protocol of Section IV-C for multi-core configurations,
+//! * [`facade`] — the [`PersistSystem`] trait: the one driving surface
+//!   (replay, crash, recover, observe) every front implements, so storms
+//!   and benches are written once against `dyn PersistSystem`,
 //! * [`metrics`] — run results and the derived statistics the paper
 //!   reports (IPC, PPTI, NWPE, BMT root updates).
 //!
@@ -46,17 +56,23 @@
 pub mod buffer;
 pub mod coherence;
 pub mod crash;
+pub mod domain;
 pub mod drain;
 pub mod eadr;
 pub mod entry;
+pub mod facade;
 pub mod metrics;
 pub mod multicore;
+pub mod pipeline;
+pub mod recovery;
 pub mod scheme;
 pub mod system;
 pub mod tree;
 
 pub use buffer::SecPb;
-pub use crash::{CrashKind, DrainPolicy, ObserverPolicy, RecoveryReport};
+pub use crash::{ConfigError, CrashKind, DrainPolicy, ObserverPolicy, RecoveryReport};
+pub use domain::{DomainKeys, PersistDomain};
+pub use facade::PersistSystem;
 pub use metrics::RunResult;
 pub use scheme::Scheme;
 pub use system::SecureSystem;

@@ -6,33 +6,34 @@
 //! their data-value-independent metadata so it is not regenerated), and
 //! remote reads *flush* the owner's entry to PM while servicing the data
 //! in parallel.  [`MultiCoreSystem`] wires the
-//! [`CoherenceController`] to the
-//! functional secure-memory state so multi-threaded store streams can be
+//! [`CoherenceController`] to the shared
+//! [`PersistDomain`] kernel so multi-threaded store streams can be
 //! replayed, crashed, and recovered end to end.
 //!
 //! Timing here is event-cost based (per-event constants for migrations,
 //! flushes, and drains) rather than the single-core model's full
 //! pipeline: the goal is protocol correctness plus first-order costs
 //! (migration counts, flush counts, per-core cycle totals).
+//!
+//! This front is a thin shell over the [`PersistDomain`]: it owns only
+//! the per-core SecPB bank, the directory protocol, and the per-core
+//! clocks; the tuple pipeline, the durable image, and the recovery
+//! sweep are the domain's.
 
-use secpb_crypto::counter::CounterBlock;
-use secpb_crypto::mac::BlockMac;
-use secpb_crypto::memo::DigestMemo;
-use secpb_crypto::otp::OtpEngine;
-use secpb_crypto::sha512::{Digest, Sha512};
 use secpb_mem::store::NvmStore;
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::cycle::Cycle;
-use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::Stats;
-use secpb_sim::trace::Access;
+use secpb_sim::trace::{Access, AccessKind, TraceItem};
 
 use crate::coherence::{CoherenceAction, CoherenceController};
-use crate::crash::{BlockVerdict, RecoveryError, RecoveryReport};
+use crate::crash::{ConfigError, RecoveryError, RecoveryReport};
+use crate::domain::{DomainKeys, PersistDomain};
 use crate::entry::Entry;
+use crate::metrics::{counters, CycleBreakdown, RunResult};
 use crate::scheme::Scheme;
-use crate::tree::{IntegrityTree, TreeKind};
+use crate::tree::TreeKind;
 
 /// Cycles charged for migrating a SecPB entry between cores (an L2-to-L2
 /// class transfer).
@@ -56,16 +57,7 @@ pub struct MultiCoreSystem {
     scheme: Scheme,
     coherence: CoherenceController,
     core_now: Vec<Cycle>,
-    // Shared functional state.
-    golden: FxHashMap<BlockAddr, [u8; 64]>,
-    counters: FxHashMap<u64, CounterBlock>,
-    nvm: NvmStore,
-    otp_engine: OtpEngine,
-    mac_engine: BlockMac,
-    tree: IntegrityTree,
-    mode: MetadataMode,
-    ctr_digests: DigestMemo,
-    seed: u64,
+    domain: PersistDomain,
     stats: Stats,
 }
 
@@ -81,46 +73,32 @@ impl std::fmt::Debug for MultiCoreSystem {
 impl MultiCoreSystem {
     /// Creates a system with `cores` cores, each with its own SecPB.
     ///
-    /// # Panics
-    ///
-    /// Panics if `cores` is zero or the scheme does not use a SecPB.
-    pub fn new(cfg: SystemConfig, scheme: Scheme, cores: usize, key_seed: u64) -> Self {
-        assert!(
-            scheme.uses_secpb(),
-            "multi-core model requires a SecPB scheme"
-        );
-        let mut aes_key = [0u8; 24];
-        for (i, b) in aes_key.iter_mut().enumerate() {
-            *b = (key_seed.rotate_left(i as u32) ^ (i as u64 * 0x517C)) as u8;
+    /// Rejects zero cores, a scheme that keeps no SecPB, and degenerate
+    /// SecPB geometry with a typed [`ConfigError`].
+    pub fn new(
+        cfg: SystemConfig,
+        scheme: Scheme,
+        cores: usize,
+        key_seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if !scheme.uses_secpb() {
+            return Err(ConfigError::BufferlessScheme(scheme));
         }
-        let mode = cfg.security.metadata_mode;
-        let mut tree = IntegrityTree::new(
+        let domain = PersistDomain::new(
+            DomainKeys::MULTI_CORE,
             TreeKind::Monolithic,
-            &(key_seed ^ 0xC0_FFEE).to_le_bytes(),
-            8,
             cfg.security.bmt_levels,
+            cfg.security.metadata_mode,
+            key_seed,
         );
-        let mut otp_engine = OtpEngine::new(&aes_key);
-        if mode == MetadataMode::Lazy {
-            tree.set_lazy(true);
-            otp_engine.enable_pad_cache(secpb_crypto::memo::DEFAULT_CAPACITY);
-        }
-        MultiCoreSystem {
-            coherence: CoherenceController::new(cores, cfg.secpb),
+        Ok(MultiCoreSystem {
+            coherence: CoherenceController::new(cores, cfg.secpb)?,
             core_now: vec![Cycle::ZERO; cores],
-            golden: FxHashMap::default(),
-            counters: FxHashMap::default(),
-            nvm: NvmStore::new(),
-            otp_engine,
-            mac_engine: BlockMac::new(&key_seed.to_le_bytes()),
-            tree,
-            mode,
-            ctr_digests: DigestMemo::new(secpb_crypto::memo::DEFAULT_CAPACITY),
-            seed: key_seed,
+            domain,
             stats: Stats::new(),
             scheme,
             cfg,
-        }
+        })
     }
 
     /// Number of cores.
@@ -128,9 +106,24 @@ impl MultiCoreSystem {
         self.core_now.len()
     }
 
+    /// The scheme the per-core SecPBs run.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
     /// A core's local clock.
     pub fn core_time(&self, core: usize) -> Cycle {
         self.core_now[core]
+    }
+
+    /// Whether the security-metadata engine is eager or lazy.
+    pub fn metadata_mode(&self) -> MetadataMode {
+        self.domain.mode
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
     }
 
     /// Accumulated statistics.
@@ -143,22 +136,26 @@ impl MultiCoreSystem {
         &self.coherence
     }
 
+    /// Entries currently resident across every core's SecPB.
+    pub fn occupancy(&self) -> usize {
+        (0..self.cores())
+            .map(|c| self.coherence.pb(c).occupancy())
+            .sum()
+    }
+
     /// The durable state (for tamper injection in tests).
     pub fn nvm_store_mut(&mut self) -> &mut NvmStore {
-        &mut self.nvm
+        &mut self.domain.nvm
+    }
+
+    /// The durable state, read-only.
+    pub fn nvm_store(&self) -> &NvmStore {
+        &self.domain.nvm
     }
 
     /// The architecturally expected plaintext of a block.
     pub fn expected_plaintext(&self, block: BlockAddr) -> [u8; 64] {
-        self.golden.get(&block).copied().unwrap_or([0u8; 64])
-    }
-
-    fn apply_golden(&mut self, access: Access) {
-        let block = access.addr.block();
-        let entry = self.golden.entry(block).or_insert([0u8; 64]);
-        let off = access.addr.block_offset();
-        let size = usize::from(access.size);
-        entry[off..off + size].copy_from_slice(&access.value.to_le_bytes()[..size]);
+        self.domain.expected_plaintext(block)
     }
 
     /// Executes one store from a core, handling coherence.
@@ -171,7 +168,7 @@ impl MultiCoreSystem {
         assert!(store.access.is_store(), "store() requires a store access");
         let core = store.core;
         let block = store.access.addr.block();
-        self.apply_golden(store.access);
+        self.domain.apply_store_golden(store.access);
         self.stats.bump("mc.stores");
 
         // Make room in the requesting core's SecPB first.
@@ -245,6 +242,63 @@ impl MultiCoreSystem {
         self.expected_plaintext(block)
     }
 
+    /// Which core a trace access runs on: threads are identified by ASID
+    /// and pinned round-robin, so a single-core system replays exactly
+    /// the single-threaded stream.
+    fn route(&self, access: Access) -> usize {
+        usize::from(access.asid.0) % self.cores()
+    }
+
+    /// Executes a single trace item, routing by ASID.
+    pub fn step(&mut self, item: TraceItem) {
+        let core = item.access.map(|a| self.route(a)).unwrap_or(0);
+        if item.non_mem_instrs > 0 {
+            self.stats
+                .bump_by(counters::INSTRUCTIONS, u64::from(item.non_mem_instrs));
+            self.core_now[core] +=
+                u64::from(item.non_mem_instrs).div_ceil(u64::from(self.cfg.core.retire_width));
+        }
+        if let Some(access) = item.access {
+            self.stats.bump(counters::INSTRUCTIONS);
+            match access.kind {
+                AccessKind::Store => self.store(CoreStore { core, access }),
+                AccessKind::Load => {
+                    self.load(core, access.addr.block());
+                }
+            }
+        }
+    }
+
+    /// Replays a trace, routing each access to a core by ASID.
+    pub fn run_trace<I: IntoIterator<Item = TraceItem>>(&mut self, items: I) -> RunResult {
+        for item in items {
+            self.step(item);
+        }
+        self.run_result()
+    }
+
+    /// The run result so far: cycles are the slowest core's clock (the
+    /// parallel-section critical path).
+    pub fn run_result(&self) -> RunResult {
+        let cycles = self
+            .core_now
+            .iter()
+            .map(|c| c.raw())
+            .max()
+            .unwrap_or_default();
+        RunResult {
+            scheme: self.scheme,
+            cycles,
+            // The event-cost model has no pipeline attribution: everything
+            // is first-order retirement/event work.
+            breakdown: CycleBreakdown {
+                retire: cycles,
+                ..CycleBreakdown::default()
+            },
+            stats: self.stats.clone(),
+        }
+    }
+
     /// Full crash: every core's SecPB drains and all metadata completes.
     /// Returns the number of entries drained.
     pub fn crash(&mut self) -> Result<u64, RecoveryError> {
@@ -280,8 +334,7 @@ impl MultiCoreSystem {
         }
         // Observation point: fold any deferred tree work before reading
         // and persisting the root (a no-op for the eager engine).
-        self.tree.sync();
-        self.nvm.set_bmt_root(self.tree.root());
+        self.domain.sync_root(true);
         self.stats.bump_by("mc.crash_drains", drained);
         self.stats.bump_by("mc.lost_entries", lost.len() as u64);
         Ok((drained, lost))
@@ -294,120 +347,25 @@ impl MultiCoreSystem {
 
     /// [`recover`](Self::recover) with lost-entry accounting: blocks in
     /// `lost` (from [`crash_with_budget`](Self::crash_with_budget)) read
-    /// back stale by construction and get [`BlockVerdict::LostStale`].
+    /// back stale by construction and get
+    /// [`crate::crash::BlockVerdict::LostStale`]; blocks still resident
+    /// in *any* core's SecPB get
+    /// [`crate::crash::BlockVerdict::InFlightStale`].
     pub fn recover_with(&self, lost: &[BlockAddr]) -> RecoveryReport {
-        let mut report = RecoveryReport::default();
-        let mut rebuilt = IntegrityTree::new(
-            TreeKind::Monolithic,
-            &(self.seed ^ 0xC0_FFEE).to_le_bytes(),
-            8,
-            self.cfg.security.bmt_levels,
-        );
-        if self.mode == MetadataMode::Lazy {
-            rebuilt.set_lazy(true);
-        }
-        let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
-        pages.sort_unstable();
-        for page in pages {
-            let cb = self.nvm.read_counters(page);
-            rebuilt.update_leaf(page, self.counter_digest(page, &cb));
-        }
-        rebuilt.sync();
-        report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
-        let mut blocks: Vec<BlockAddr> = self.nvm.data_blocks().collect();
-        blocks.sort_unstable();
-        for block in blocks {
-            report.blocks_checked += 1;
-            let page = NvmStore::page_of(block);
-            let slot = NvmStore::page_slot_of(block);
-            let ctr = self.nvm.read_counters(page).counter_of(slot);
-            let ct = self.nvm.read_data(block);
-            let verdict = if !self.mac_engine.verify_truncated(
-                &ct,
-                block.index(),
-                ctr,
-                self.nvm.read_mac(block),
-            ) {
-                report.mac_failures.push(block);
-                BlockVerdict::MacMismatch
-            } else if self.otp_engine.decrypt(&ct, block.index(), ctr)
-                == self.expected_plaintext(block)
-            {
-                BlockVerdict::Verified
-            } else if lost.contains(&block) {
-                report.lost_stale.push(block);
-                BlockVerdict::LostStale
-            } else {
-                report.plaintext_mismatches.push(block);
-                BlockVerdict::PlaintextMismatch
-            };
-            report.verdicts.push((block, verdict));
-        }
-        report
+        self.domain.recover_report(lost, true, &|b| {
+            (0..self.cores()).any(|c| self.coherence.pb(c).contains(b))
+        })
     }
 
     /// Re-reads the durable image of brown-out-lost entries back into
     /// the architectural expectation so replay can continue.
     pub fn resync_lost_golden(&mut self, lost: &[BlockAddr]) {
-        for &block in lost {
-            if !self.nvm.contains_data(block) {
-                self.golden.remove(&block);
-                continue;
-            }
-            let page = NvmStore::page_of(block);
-            let slot = NvmStore::page_slot_of(block);
-            let ctr = self.nvm.read_counters(page).counter_of(slot);
-            let pt = self
-                .otp_engine
-                .decrypt(&self.nvm.read_data(block), block.index(), ctr);
-            self.golden.insert(block, pt);
-        }
+        self.domain.resync_lost(lost, true);
     }
 
-    fn flush_entry(&mut self, mut entry: Entry) {
-        let block = entry.block;
-        let page = NvmStore::page_of(block);
-        let slot = NvmStore::page_slot_of(block);
-        if !entry.valid.counter {
-            let cb = self.counters.entry(page).or_default();
-            cb.increment(slot);
-            entry.counter = cb.counter_of(slot);
-        }
-        let ctr = entry.counter;
-        let pad = if entry.valid.otp {
-            entry.otp
-        } else {
-            self.otp_engine.generate(block.index(), ctr)
-        };
-        let ct = if entry.valid.ciphertext {
-            entry.ciphertext
-        } else {
-            OtpEngine::apply_pad(&entry.plaintext, &pad)
-        };
-        let mac = match entry.mac {
-            Some(m) if entry.valid.mac => m,
-            _ => self.mac_engine.compute(&ct, block.index(), ctr),
-        };
-        self.nvm.write_data(block, ct);
-        self.nvm.write_mac(block, mac.truncate_u64());
-        let mut cb = self.nvm.read_counters(page);
-        cb.set_counter(slot, ctr);
-        self.nvm.write_counters(page, cb.clone());
-        let digest = self.counter_digest(page, &cb);
-        self.tree.update_leaf(page, digest);
-        if self.mode == MetadataMode::Eager {
-            self.nvm.set_bmt_root(self.tree.root());
-        }
+    fn flush_entry(&mut self, entry: Entry) {
+        self.domain.flush_entry(entry, true);
         self.stats.bump("mc.flushes");
-    }
-
-    /// The SHA-512 digest of a counter block, memoized in lazy mode.
-    fn counter_digest(&self, page: u64, cb: &CounterBlock) -> Digest {
-        let bytes = cb.to_bytes();
-        match self.mode {
-            MetadataMode::Eager => Sha512::digest(&bytes),
-            MetadataMode::Lazy => self.ctr_digests.digest(page, &bytes),
-        }
     }
 }
 
@@ -417,7 +375,7 @@ mod tests {
     use secpb_sim::addr::{Address, Asid};
 
     fn sys(cores: usize) -> MultiCoreSystem {
-        MultiCoreSystem::new(SystemConfig::default(), Scheme::Cobcm, cores, 1234)
+        MultiCoreSystem::new(SystemConfig::default(), Scheme::Cobcm, cores, 1234).unwrap()
     }
 
     fn st(core: usize, addr: u64, value: u64) -> CoreStore {
@@ -494,7 +452,8 @@ mod tests {
             Scheme::Cobcm,
             1,
             7,
-        );
+        )
+        .unwrap();
         for i in 0..20u64 {
             m.store(st(0, 0x10_0000 + i * 64, i));
         }
@@ -552,5 +511,44 @@ mod tests {
             m.store(st(0, 0x10_0000 + i * 64, i));
         }
         assert!(m.core_time(0) > m.core_time(1));
+    }
+
+    #[test]
+    fn invalid_configurations_are_typed_errors() {
+        assert_eq!(
+            MultiCoreSystem::new(SystemConfig::default(), Scheme::Cobcm, 0, 1)
+                .err()
+                .map(|e| e.to_string()),
+            Some(ConfigError::ZeroCores.to_string())
+        );
+        assert!(matches!(
+            MultiCoreSystem::new(SystemConfig::default(), Scheme::Sp, 2, 1).err(),
+            Some(ConfigError::BufferlessScheme(Scheme::Sp))
+        ));
+        let mut cfg = SystemConfig::default();
+        cfg.secpb.entries = 0;
+        assert!(matches!(
+            MultiCoreSystem::new(cfg, Scheme::Cobcm, 2, 1).err(),
+            Some(ConfigError::ZeroSecPbEntries)
+        ));
+    }
+
+    #[test]
+    fn trace_replay_routes_by_asid() {
+        let mut m = sys(2);
+        let trace: Vec<TraceItem> = (0..40u64)
+            .map(|i| {
+                TraceItem::then(
+                    3,
+                    Access::store(Address(0x10_0000 + i * 64), i).with_asid(Asid((i % 2) as u16)),
+                )
+            })
+            .collect();
+        let r = m.run_trace(trace);
+        assert_eq!(r.stats.get("mc.stores"), 40);
+        assert!(m.core_time(0) > Cycle::ZERO && m.core_time(1) > Cycle::ZERO);
+        assert!(r.cycles > 0);
+        m.crash().unwrap();
+        assert!(m.recover().is_consistent());
     }
 }

@@ -164,6 +164,34 @@ impl Scheme {
         !matches!(self, Scheme::Sp)
     }
 
+    /// Whether a store's release to the core serializes with the previous
+    /// persist's *completion* (Section IV-B: NoGap raises its unblocking
+    /// signal only when the full metadata persist finishes).
+    pub fn serializes_store_release(self) -> bool {
+        matches!(self, Scheme::NoGap)
+    }
+
+    /// Whether the scheme pays a second SecPB access on allocation to
+    /// check the counter valid bit before unblocking the L1D
+    /// (Section VI-B: OBCM's double buffer access).
+    pub fn double_buffer_check(self) -> bool {
+        matches!(self, Scheme::Obcm)
+    }
+
+    /// Bytes of entry state a battery-powered drain moves from the SecPB
+    /// to the memory controller per entry: only the fields the scheme
+    /// actually populates early (Figure 5's field table).
+    pub fn entry_footprint_bytes(self) -> u64 {
+        match self {
+            Scheme::Bbb => 64,
+            Scheme::Cobcm | Scheme::Obcm => 65,
+            Scheme::Bcm => 130,
+            Scheme::Cm => 131,
+            Scheme::M => 196,
+            Scheme::NoGap | Scheme::Sp => 260,
+        }
+    }
+
     /// The scheme's lowercase display name as used in the paper's tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -296,6 +324,28 @@ mod tests {
             Scheme::Bbb.uses_secpb(),
             "bbb uses the (insecure) persist buffer"
         );
+    }
+
+    #[test]
+    fn capability_predicates() {
+        assert!(Scheme::NoGap.serializes_store_release());
+        assert!(Scheme::ALL
+            .iter()
+            .all(|s| s.serializes_store_release() == (*s == Scheme::NoGap)));
+        assert!(Scheme::Obcm.double_buffer_check());
+        assert!(Scheme::ALL
+            .iter()
+            .all(|s| s.double_buffer_check() == (*s == Scheme::Obcm)));
+        // Footprints grow monotonically across the SecPB spectrum.
+        let fp: Vec<u64> = Scheme::SECPB_SCHEMES
+            .iter()
+            .map(|s| s.entry_footprint_bytes())
+            .collect();
+        for pair in fp.windows(2) {
+            assert!(pair[0] <= pair[1], "{fp:?}");
+        }
+        assert_eq!(Scheme::Bbb.entry_footprint_bytes(), 64);
+        assert_eq!(Scheme::NoGap.entry_footprint_bytes(), 260);
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! Table II schemes, producing both *timing* (execution cycles, the
 //! quantity behind Table IV and Figures 6/7/9) and *function* (a real
 //! encrypted, MAC'd, BMT-protected persistent image that post-crash
-//! recovery decrypts and verifies).
+//! recovery decrypts and verifies).  The functional state lives in the
+//! shared [`PersistDomain`] kernel; this module owns the timing state and
+//! the trace-replay loop, the per-store pipeline lives in
+//! [`pipeline`](crate::pipeline), and the crash/recovery kernel in
+//! [`recovery`](crate::recovery).
 //!
 //! ## Timing model
 //!
@@ -23,69 +27,57 @@
 
 use std::collections::VecDeque;
 
-use secpb_crypto::counter::{CounterBlock, IncrementOutcome, SplitCounter};
-use secpb_crypto::mac::BlockMac;
-use secpb_crypto::memo::DigestMemo;
-use secpb_crypto::otp::OtpEngine;
-use secpb_crypto::sha512::{Digest, Sha512};
-use secpb_mem::cache::LineState;
-use secpb_mem::hierarchy::{Hierarchy, HitLevel};
-use secpb_mem::metadata::{MetadataCaches, MetadataKind};
+use secpb_mem::hierarchy::Hierarchy;
+use secpb_mem::metadata::MetadataCaches;
 use secpb_mem::nvm::NvmTiming;
 use secpb_mem::store::NvmStore;
 use secpb_mem::wpq::WritePendingQueue;
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::cycle::Cycle;
-use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::stats::{HistId, StatId, Stats};
-use secpb_sim::trace::{Access, AccessKind, TraceItem};
-use secpb_sim::tracer::{Phase, Tracer};
+use secpb_sim::trace::{AccessKind, TraceItem};
+use secpb_sim::tracer::Tracer;
 
 use crate::buffer::SecPb;
-use crate::crash::{
-    BlockVerdict, CrashKind, CrashReport, DrainPolicy, DrainWork, RecoveryError, RecoveryReport,
-};
+use crate::domain::{DomainKeys, PersistDomain};
 use crate::drain::DrainEngine;
 use crate::metrics::{counters, histograms, CycleBreakdown, RunResult};
 use crate::scheme::Scheme;
 use crate::tree::{IntegrityTree, TreeKind};
 
-/// BMT arity used throughout (8-ary, 8 levels covers 16 M pages).
-const BMT_ARITY: usize = 8;
-
 /// Typed handles for every hot-path counter and histogram, resolved once
 /// at construction so the store/drain paths never hash a counter name.
 #[derive(Debug, Clone, Copy)]
-struct StatHandles {
-    instructions: StatId,
-    loads: StatId,
-    stores: StatId,
-    persists: StatId,
-    allocations: StatId,
-    drains: StatId,
-    full_stall_cycles: StatId,
-    bmt_root_updates: StatId,
-    bmt_node_hashes: StatId,
-    otps: StatId,
-    macs: StatId,
-    ciphertexts: StatId,
-    counter_increments: StatId,
-    counter_misses: StatId,
-    page_overflows: StatId,
-    load_misses: StatId,
-    l1_hits: StatId,
-    l2_hits: StatId,
-    l3_hits: StatId,
-    blocking_verifications: StatId,
-    sb_stall_cycles: StatId,
-    early_bmt_walks: StatId,
-    late_bmt_node_hashes: StatId,
-    anomalies: StatId,
-    occupancy: HistId,
-    drain_latency: HistId,
-    entry_lifetime: HistId,
-    writes_per_entry: HistId,
+pub(crate) struct StatHandles {
+    pub(crate) instructions: StatId,
+    pub(crate) loads: StatId,
+    pub(crate) stores: StatId,
+    pub(crate) persists: StatId,
+    pub(crate) allocations: StatId,
+    pub(crate) drains: StatId,
+    pub(crate) full_stall_cycles: StatId,
+    pub(crate) bmt_root_updates: StatId,
+    pub(crate) bmt_node_hashes: StatId,
+    pub(crate) otps: StatId,
+    pub(crate) macs: StatId,
+    pub(crate) ciphertexts: StatId,
+    pub(crate) counter_increments: StatId,
+    pub(crate) counter_misses: StatId,
+    pub(crate) page_overflows: StatId,
+    pub(crate) load_misses: StatId,
+    pub(crate) l1_hits: StatId,
+    pub(crate) l2_hits: StatId,
+    pub(crate) l3_hits: StatId,
+    pub(crate) blocking_verifications: StatId,
+    pub(crate) sb_stall_cycles: StatId,
+    pub(crate) early_bmt_walks: StatId,
+    pub(crate) late_bmt_node_hashes: StatId,
+    pub(crate) anomalies: StatId,
+    pub(crate) occupancy: HistId,
+    pub(crate) drain_latency: HistId,
+    pub(crate) entry_lifetime: HistId,
+    pub(crate) writes_per_entry: HistId,
 }
 
 impl StatHandles {
@@ -125,7 +117,7 @@ impl StatHandles {
 
 /// Attribution target for one core-clock advance (see [`CycleBreakdown`]).
 #[derive(Debug, Clone, Copy)]
-enum Attr {
+pub(crate) enum Attr {
     Retire,
     Load,
     StoreAccept,
@@ -135,44 +127,34 @@ enum Attr {
 
 /// The complete simulated system.
 pub struct SecureSystem {
-    cfg: SystemConfig,
-    scheme: Scheme,
-    tree_kind: TreeKind,
-    key_seed: u64,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) scheme: Scheme,
 
     // ---- timing state ----
-    now: Cycle,
+    pub(crate) now: Cycle,
     /// Cycle at which the current measurement region began (see
     /// [`reset_measurement`](Self::reset_measurement)).
-    measure_from: Cycle,
-    frac: f64,
-    pb_busy_until: Cycle,
-    bmt_busy_until: Cycle,
-    store_buffer: VecDeque<Cycle>,
-    hierarchy: Hierarchy,
-    metadata: MetadataCaches,
-    wpq: WritePendingQueue,
-    nvm_timing: NvmTiming,
-    drain_engine: DrainEngine,
+    pub(crate) measure_from: Cycle,
+    pub(crate) frac: f64,
+    pub(crate) pb_busy_until: Cycle,
+    pub(crate) bmt_busy_until: Cycle,
+    pub(crate) store_buffer: VecDeque<Cycle>,
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) metadata: MetadataCaches,
+    pub(crate) wpq: WritePendingQueue,
+    pub(crate) nvm_timing: NvmTiming,
+    pub(crate) drain_engine: DrainEngine,
 
     // ---- functional state ----
-    pb: SecPb,
-    golden: FxHashMap<BlockAddr, [u8; 64]>,
-    counters: FxHashMap<u64, CounterBlock>,
-    nvm: NvmStore,
-    otp_engine: OtpEngine,
-    mac_engine: BlockMac,
-    tree: IntegrityTree,
-    /// Eager or lazy security-metadata engine (see [`MetadataMode`]).
-    mode: MetadataMode,
-    /// Counter-block digest memo, active in lazy mode (digests are pure
-    /// functions of the 64 counter bytes).
-    ctr_digests: DigestMemo,
+    pub(crate) pb: SecPb,
+    /// The shared security/persistence kernel (golden state, counters,
+    /// NVM image, crypto engines, integrity tree).
+    pub(crate) domain: PersistDomain,
 
-    stats: Stats,
-    h: StatHandles,
-    tracer: Tracer,
-    breakdown: CycleBreakdown,
+    pub(crate) stats: Stats,
+    pub(crate) h: StatHandles,
+    pub(crate) tracer: Tracer,
+    pub(crate) breakdown: CycleBreakdown,
 }
 
 impl std::fmt::Debug for SecureSystem {
@@ -202,19 +184,13 @@ impl SecureSystem {
         tree_kind: TreeKind,
         key_seed: u64,
     ) -> Self {
-        let mut aes_key = [0u8; 24];
-        for (i, b) in aes_key.iter_mut().enumerate() {
-            *b = (key_seed.rotate_left(i as u32) ^ (i as u64 * 0x9E37)) as u8;
-        }
-        let mac_key = key_seed.to_le_bytes();
-        let tree_key = (key_seed ^ 0xB111_7AB1E).to_le_bytes();
-        let mut tree = IntegrityTree::new(tree_kind, &tree_key, BMT_ARITY, cfg.security.bmt_levels);
-        let mode = cfg.security.metadata_mode;
-        let mut otp_engine = OtpEngine::new(&aes_key);
-        if mode == MetadataMode::Lazy {
-            tree.set_lazy(true);
-            otp_engine.enable_pad_cache(secpb_crypto::memo::DEFAULT_CAPACITY);
-        }
+        let domain = PersistDomain::new(
+            DomainKeys::SECPB,
+            tree_kind,
+            cfg.security.bmt_levels,
+            cfg.security.metadata_mode,
+            key_seed,
+        );
         let mut stats = Stats::new();
         let h = StatHandles::register(&mut stats);
         SecureSystem {
@@ -224,14 +200,7 @@ impl SecureSystem {
             nvm_timing: NvmTiming::new(cfg.nvm),
             drain_engine: DrainEngine::new(),
             pb: SecPb::new(cfg.secpb),
-            golden: FxHashMap::default(),
-            counters: FxHashMap::default(),
-            nvm: NvmStore::new(),
-            otp_engine,
-            mac_engine: BlockMac::new(&mac_key),
-            tree,
-            mode,
-            ctr_digests: DigestMemo::new(secpb_crypto::memo::DEFAULT_CAPACITY),
+            domain,
             stats,
             h,
             tracer: Tracer::new(),
@@ -243,8 +212,6 @@ impl SecureSystem {
             bmt_busy_until: Cycle::ZERO,
             store_buffer: VecDeque::new(),
             scheme,
-            tree_kind,
-            key_seed,
             cfg,
         }
     }
@@ -261,36 +228,17 @@ impl SecureSystem {
 
     /// Whether the security-metadata engine is eager or lazy.
     pub fn metadata_mode(&self) -> MetadataMode {
-        self.mode
+        self.domain.mode
     }
 
     /// The integrity tree (for inspecting fold statistics).
     pub fn integrity_tree(&self) -> &IntegrityTree {
-        &self.tree
+        &self.domain.tree
     }
 
     /// Pad-cache hit/miss statistics, when the lazy engine is active.
     pub fn pad_cache_stats(&self) -> Option<secpb_crypto::memo::MemoStats> {
-        self.otp_engine.pad_cache().map(|c| c.stats())
-    }
-
-    /// The SHA-512 digest of a counter block, memoized in lazy mode.
-    fn counter_digest(&self, page: u64, cb: &CounterBlock) -> Digest {
-        let bytes = cb.to_bytes();
-        match self.mode {
-            MetadataMode::Eager => Sha512::digest(&bytes),
-            MetadataMode::Lazy => self.ctr_digests.digest(page, &bytes),
-        }
-    }
-
-    /// Persists the tree root into NVM after a drain-time leaf update.
-    /// The lazy engine skips this: the root register is only *read* at
-    /// recovery, which always follows [`sync_metadata`](Self::sync_metadata)
-    /// (via [`crash`](Self::crash)), where the folded root is persisted.
-    fn persist_root(&mut self) {
-        if self.mode == MetadataMode::Eager {
-            self.nvm.set_bmt_root(self.tree.root());
-        }
+        self.domain.otp_engine.pad_cache().map(|c| c.stats())
     }
 
     /// Folds all deferred integrity-tree work and persists the root —
@@ -298,11 +246,8 @@ impl SecureSystem {
     /// Returns the analytic hash count charged to the sec-sync gap (BMF
     /// root-cache folds; zero for a monolithic tree in both modes).
     pub fn sync_metadata(&mut self) -> u64 {
-        let sync_hashes = self.tree.sync();
+        let sync_hashes = self.domain.sync_root(self.scheme.is_secure());
         self.stats.add(self.h.bmt_node_hashes, sync_hashes);
-        if self.scheme.is_secure() {
-            self.nvm.set_bmt_root(self.tree.root());
-        }
         sync_hashes
     }
 
@@ -342,18 +287,18 @@ impl SecureSystem {
 
     /// The durable state (for tamper injection in recovery tests).
     pub fn nvm_store_mut(&mut self) -> &mut NvmStore {
-        &mut self.nvm
+        &mut self.domain.nvm
     }
 
     /// The durable state, read-only.
     pub fn nvm_store(&self) -> &NvmStore {
-        &self.nvm
+        &self.domain.nvm
     }
 
     /// The architecturally-expected plaintext of a block (all stores
     /// applied).
     pub fn expected_plaintext(&self, block: BlockAddr) -> [u8; 64] {
-        self.golden.get(&block).copied().unwrap_or([0u8; 64])
+        self.domain.expected_plaintext(block)
     }
 
     // ---------------------------------------------------------------
@@ -417,7 +362,7 @@ impl SecureSystem {
         self.now.max(self.pb_busy_until).max(sb_tail)
     }
 
-    fn advance(&mut self, cycles: f64, attr: Attr) {
+    pub(crate) fn advance(&mut self, cycles: f64, attr: Attr) {
         self.frac += cycles;
         let whole = self.frac.floor();
         if whole >= 1.0 {
@@ -431,7 +376,7 @@ impl SecureSystem {
     /// Credits the clock movement from `old` to `self.now` to `attr`,
     /// clipped to the measurement region so the breakdown sums exactly to
     /// the measured cycles.
-    fn attribute(&mut self, attr: Attr, old: Cycle) {
+    pub(crate) fn attribute(&mut self, attr: Attr, old: Cycle) {
         let delta = self
             .now
             .max(self.measure_from)
@@ -447,1411 +392,8 @@ impl SecureSystem {
             Attr::NogapWait => self.breakdown.nogap_wait += delta,
         }
     }
-
-    fn do_load(&mut self, access: Access) {
-        self.stats.inc(self.h.loads);
-        let block = access.addr.block();
-        let out = self
-            .hierarchy
-            .load_traced(block, self.now, &mut self.tracer);
-        let mut extra = out.latency.saturating_sub(self.cfg.l1.access_latency);
-        match out.hit_level {
-            HitLevel::L1 => self.stats.inc(self.h.l1_hits),
-            HitLevel::L2 => self.stats.inc(self.h.l2_hits),
-            HitLevel::L3 => self.stats.inc(self.h.l3_hits),
-            HitLevel::Memory => {
-                let done = self.nvm_timing.read(block, self.now);
-                extra += done.since(self.now);
-                self.stats.inc(self.h.load_misses);
-                if self.scheme.is_secure() && !self.cfg.security.speculative_verification {
-                    // Blocking verification: decrypt + MAC check before use.
-                    extra += self.cfg.security.otp_latency + self.cfg.security.mac_latency;
-                    self.stats.inc(self.h.blocking_verifications);
-                }
-            }
-        }
-        for wb in out.writebacks {
-            self.wpq.enqueue(wb, self.now, &mut self.nvm_timing);
-        }
-        self.advance(self.cfg.core.load_exposure * extra as f64, Attr::Load);
-    }
-
-    fn do_store(&mut self, access: Access) {
-        self.stats.inc(self.h.stores);
-        let block = access.addr.block();
-        // Architectural effect.
-        let entry = self.golden.entry(block).or_insert([0u8; 64]);
-        let offset = access.addr.block_offset();
-        let size = usize::from(access.size);
-        let bytes = access.value.to_le_bytes();
-        entry[offset..offset + size].copy_from_slice(&bytes[..size]);
-
-        if self.scheme == Scheme::Sp {
-            self.sp_store(access);
-        } else {
-            self.pb_store(access);
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // SecPB store path
-    // ---------------------------------------------------------------
-
-    fn pb_store(&mut self, access: Access) {
-        let block = access.addr.block();
-        let offset = access.addr.block_offset();
-        let size = usize::from(access.size);
-        self.hierarchy.store(block, LineState::PersistDirty);
-
-        if self.scheme == Scheme::NoGap {
-            // NoGap only raises its unblocking signal at the *completion*
-            // of the full metadata persist (Section IV-B): the store
-            // buffer cannot accept a new store until then, so the
-            // previous persist serializes with the core directly.
-            let old = self.now;
-            self.now = self.now.max(self.pb_busy_until);
-            self.attribute(Attr::NogapWait, old);
-        }
-        let mut release = self.now.max(self.pb_busy_until);
-        self.drain_engine.retire(release);
-        let ew = self.scheme.early_work();
-        let secure = self.scheme.is_secure();
-        let pb_lat = self.cfg.secpb.access_latency;
-
-        let accept_end;
-        if self.pb.contains(block) {
-            // Coalescing hit.
-            match self.pb.entry_mut(block) {
-                Some(e) => e.apply_store(offset, access.value, size),
-                None => self.stats.inc(self.h.anomalies),
-            }
-            self.pb.note_persist();
-            self.stats.inc(self.h.persists);
-            let mut t = release + pb_lat;
-            if secure && !self.cfg.security.value_independent_coalescing && ew.counter {
-                // Ablation: redo value-independent metadata on every store.
-                let (done, ctr) = self.early_counter_increment(block, t);
-                t = done;
-                if let Some(e) = self.pb.entry_mut(block) {
-                    e.counter = ctr;
-                    e.valid.counter = true;
-                } else {
-                    self.stats.inc(self.h.anomalies);
-                }
-                if ew.otp {
-                    t = self.early_otp(block, t);
-                }
-                if ew.bmt {
-                    t = self.early_bmt_walk(block, t);
-                }
-            }
-            if secure && ew.ciphertext {
-                t = self.early_ciphertext(block, t);
-            }
-            if secure && ew.mac {
-                t = self.early_mac(block, t);
-            }
-            accept_end = t;
-        } else {
-            // Allocation path: wait for a slot if necessary.
-            release = self.wait_for_slot(release);
-            let base = self.base_plaintext(block);
-            let e = self.pb.allocate(block, access.asid, base);
-            e.apply_store(offset, access.value, size);
-            e.born = release;
-            self.pb.note_persist();
-            self.stats.inc(self.h.persists);
-            self.stats.inc(self.h.allocations);
-
-            let mut t = release + pb_lat;
-            if self.scheme == Scheme::Obcm {
-                // OBCM pays a second SecPB access to check the counter
-                // valid bit before unblocking the L1D (Section VI-B).
-                t += pb_lat;
-            }
-            if secure && ew.counter {
-                let (done, ctr) = self.early_counter_increment(block, t);
-                t = done;
-                if let Some(e) = self.pb.entry_mut(block) {
-                    e.counter = ctr;
-                    e.valid.counter = true;
-                } else {
-                    self.stats.inc(self.h.anomalies);
-                }
-            }
-            let mut data_done = t;
-            if secure && ew.otp {
-                data_done = self.early_otp(block, data_done);
-                if ew.ciphertext {
-                    data_done = self.early_ciphertext(block, data_done);
-                    if ew.mac {
-                        data_done = self.early_mac(block, data_done);
-                    }
-                }
-            }
-            let bmt_done = if secure && ew.bmt {
-                self.early_bmt_walk(block, t)
-            } else {
-                t
-            };
-            accept_end = data_done.max(bmt_done);
-
-            if self.pb.above_high_watermark() {
-                self.issue_background_drains(accept_end);
-            }
-        }
-
-        self.pb_busy_until = accept_end;
-        self.tracer.span(Phase::StorePersist, release, accept_end);
-        self.stats
-            .record(self.h.occupancy, self.pb.occupancy() as u64);
-        let work = accept_end.since(release + pb_lat);
-        self.push_store_buffer(accept_end);
-        self.advance(
-            self.cfg.core.store_exposure * work as f64,
-            Attr::StoreAccept,
-        );
-    }
-
-    /// The plaintext a fresh SecPB entry starts from: the block's current
-    /// architectural value before this store.
-    fn base_plaintext(&self, block: BlockAddr) -> [u8; 64] {
-        self.golden.get(&block).copied().unwrap_or([0u8; 64])
-    }
-
-    fn push_store_buffer(&mut self, accept_end: Cycle) {
-        while self.store_buffer.front().is_some_and(|&c| c <= self.now) {
-            self.store_buffer.pop_front();
-        }
-        if self.store_buffer.len() >= self.cfg.core.store_buffer_entries {
-            if let Some(oldest) = self.store_buffer.pop_front() {
-                let stall = oldest.since(self.now);
-                self.stats.add(self.h.sb_stall_cycles, stall);
-                let old = self.now;
-                self.now = self.now.max(oldest);
-                self.attribute(Attr::SbStall, old);
-            }
-        }
-        self.store_buffer.push_back(accept_end);
-    }
-
-    /// Blocks until a SecPB slot is available, issuing drains as needed.
-    fn wait_for_slot(&mut self, mut release: Cycle) -> Cycle {
-        loop {
-            let in_flight = self.drain_engine.in_flight(release);
-            if self.pb.occupancy() + in_flight < self.cfg.secpb.entries {
-                return release;
-            }
-            match self.drain_engine.next_completion() {
-                None => {
-                    if !self.issue_drains(release, 1) {
-                        // Nothing drainable and nothing in flight: the
-                        // buffer cannot make progress — accept the store
-                        // rather than deadlock, and flag the anomaly.
-                        self.stats.inc(self.h.anomalies);
-                        return release;
-                    }
-                }
-                Some(c) => {
-                    self.stats.add(self.h.full_stall_cycles, c.since(release));
-                    self.tracer.span(Phase::FullStall, release, c);
-                    release = release.max(c);
-                    self.drain_engine.retire(release);
-                }
-            }
-        }
-    }
-
-    fn issue_background_drains(&mut self, now: Cycle) {
-        let target = self.cfg.secpb.low_watermark_entries();
-        while self.pb.occupancy() > target {
-            if !self.issue_drains(now, 1) {
-                break;
-            }
-        }
-    }
-
-    /// Issues up to `n` oldest-first drains; returns whether any issued.
-    fn issue_drains(&mut self, now: Cycle, n: usize) -> bool {
-        let mut any = false;
-        for _ in 0..n {
-            let Some(block) = self.pb.oldest() else { break };
-            match self.drain_one(block, now) {
-                Ok(_) => any = true,
-                Err(_) => {
-                    // `oldest` said the block was resident but `remove`
-                    // disagreed; count it and stop issuing this round.
-                    self.stats.inc(self.h.anomalies);
-                    break;
-                }
-            }
-        }
-        any
-    }
-
-    /// Drains one entry: timing through the drain engine, function through
-    /// [`flush_entry`](Self::flush_entry).
-    fn drain_one(&mut self, block: BlockAddr, now: Cycle) -> Result<Cycle, RecoveryError> {
-        let entry = self
-            .pb
-            .remove(block)
-            .ok_or(RecoveryError::MissingPbEntry(block))?;
-        let (ii, latency) = self.drain_timing(&entry, now);
-        let completion = self.drain_engine.issue(now, ii, latency);
-        self.tracer.span(Phase::Drain, now, completion);
-        self.stats
-            .record(self.h.drain_latency, completion.since(now));
-        self.stats
-            .record(self.h.entry_lifetime, now.since(entry.born));
-        self.stats.record(self.h.writes_per_entry, entry.stores);
-        self.flush_entry(entry);
-        self.stats.inc(self.h.drains);
-        Ok(completion)
-    }
-
-    /// Computes (initiation interval, latency) of draining `entry` at
-    /// `now`: the scheme's *late* work plus the PM writes.
-    fn drain_timing(&mut self, entry: &crate::entry::Entry, now: Cycle) -> (u64, u64) {
-        let block = entry.block;
-        let page = NvmStore::page_of(block);
-        let sec = &self.cfg.security;
-        let pb_lat = self.cfg.secpb.access_latency;
-        // The MC-side sec-sync pipeline overlaps drains (PLP-style
-        // pipelined tree updates): the initiation interval models the
-        // PB read port, with NVM write bandwidth applying backpressure
-        // through the WPQ below.
-        let ii = 8u64;
-        let mut t = now + pb_lat;
-
-        if self.scheme.is_secure() {
-            if !entry.valid.counter {
-                let md = self.metadata.access(
-                    MetadataKind::Counter,
-                    page,
-                    true,
-                    t,
-                    &mut self.nvm_timing,
-                );
-                if !md.hit {
-                    self.stats.inc(self.h.counter_misses);
-                }
-                self.tracer.span(Phase::CounterFetch, t, md.done + 1);
-                t = md.done + 1;
-            }
-            let mut data_t = t;
-            if !entry.valid.otp {
-                self.tracer
-                    .span(Phase::OtpGen, data_t, data_t + sec.otp_latency);
-                data_t += sec.otp_latency;
-            }
-            if !entry.valid.ciphertext {
-                data_t += 1;
-            }
-            if !entry.valid.mac {
-                self.tracer
-                    .span(Phase::Mac, data_t, data_t + sec.mac_latency);
-                data_t += sec.mac_latency;
-            }
-            let mut bmt_t = t;
-            if !entry.valid.bmt {
-                let hashes = self.tree.update_cost_hashes(page);
-                let mut walk = bmt_t;
-                for lvl in 1..=hashes {
-                    let idx = (lvl << 32) | (page >> (3 * lvl as u32).min(63));
-                    let md = self.metadata.access(
-                        MetadataKind::BmtNode,
-                        idx,
-                        true,
-                        walk,
-                        &mut self.nvm_timing,
-                    );
-                    walk = md.done + sec.bmt_hash_latency;
-                }
-                self.tracer.span(Phase::BmtUpdate, bmt_t, walk);
-                bmt_t = walk;
-            }
-            t = data_t.max(bmt_t);
-            // PM writes: data, counter block, MAC block.
-            let a1 = self.wpq.enqueue(block, t, &mut self.nvm_timing);
-            let a2 = self.wpq.enqueue(
-                MetadataCaches::region_block(MetadataKind::Counter, page),
-                t,
-                &mut self.nvm_timing,
-            );
-            let a3 = self.wpq.enqueue(
-                MetadataCaches::region_block(MetadataKind::Mac, block.index() / 8),
-                t,
-                &mut self.nvm_timing,
-            );
-            t = a1.max(a2).max(a3);
-        } else {
-            // Insecure bbb: just move the data block to the WPQ.
-            t = self.wpq.enqueue(block, t, &mut self.nvm_timing);
-        }
-        (ii, t.since(now))
-    }
-
-    // ---------------------------------------------------------------
-    // Early metadata work (timing + function)
-    // ---------------------------------------------------------------
-
-    /// Fetches and increments the block's counter (timing through the
-    /// counter cache; function through the logical counter state).
-    fn early_counter_increment(&mut self, block: BlockAddr, t: Cycle) -> (Cycle, SplitCounter) {
-        let page = NvmStore::page_of(block);
-        let md = self
-            .metadata
-            .access(MetadataKind::Counter, page, true, t, &mut self.nvm_timing);
-        if !md.hit {
-            self.stats.inc(self.h.counter_misses);
-        }
-        self.tracer.span(Phase::CounterFetch, t, md.done + 1);
-        let ctr = self.increment_logical(block);
-        (md.done + 1, ctr)
-    }
-
-    fn early_otp(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
-        let Some(e) = self.pb.entry(block) else {
-            self.stats.inc(self.h.anomalies);
-            return t;
-        };
-        let ctr = e.counter;
-        let pad = self.otp_engine.generate(block.index(), ctr);
-        if let Some(e) = self.pb.entry_mut(block) {
-            e.otp = pad;
-            e.valid.otp = true;
-        }
-        self.stats.inc(self.h.otps);
-        self.tracer
-            .span(Phase::OtpGen, t, t + self.cfg.security.otp_latency);
-        t + self.cfg.security.otp_latency
-    }
-
-    fn early_ciphertext(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
-        let Some(e) = self.pb.entry_mut(block) else {
-            self.stats.inc(self.h.anomalies);
-            return t;
-        };
-        debug_assert!(e.valid.otp, "ciphertext requires a valid pad (Figure 4)");
-        e.ciphertext = OtpEngine::apply_pad(&e.plaintext, &e.otp);
-        e.valid.ciphertext = true;
-        self.stats.inc(self.h.ciphertexts);
-        t + 1
-    }
-
-    fn early_mac(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
-        let Some(e) = self.pb.entry(block) else {
-            self.stats.inc(self.h.anomalies);
-            return t;
-        };
-        debug_assert!(e.valid.ciphertext, "MAC requires the ciphertext (Figure 4)");
-        let mac = self
-            .mac_engine
-            .compute(&e.ciphertext, block.index(), e.counter);
-        if let Some(e) = self.pb.entry_mut(block) {
-            e.mac = Some(mac);
-            e.valid.mac = true;
-        }
-        self.stats.inc(self.h.macs);
-        self.tracer
-            .span(Phase::Mac, t, t + self.cfg.security.mac_latency);
-        t + self.cfg.security.mac_latency
-    }
-
-    /// Walks the BMT from leaf to root for timing (the functional leaf
-    /// update happens at drain).  Serialized to one in flight when
-    /// configured.
-    fn early_bmt_walk(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
-        let page = NvmStore::page_of(block);
-        let sec = &self.cfg.security;
-        let start = if sec.single_inflight_bmt {
-            t.max(self.bmt_busy_until)
-        } else {
-            t
-        };
-        let hashes = self.tree.update_cost_hashes(page);
-        let mut walk = start;
-        for lvl in 1..=hashes {
-            let idx = (lvl << 32) | (page >> (3 * lvl as u32).min(63));
-            let md =
-                self.metadata
-                    .access(MetadataKind::BmtNode, idx, true, walk, &mut self.nvm_timing);
-            walk = md.done + sec.bmt_hash_latency;
-        }
-        if sec.single_inflight_bmt {
-            self.bmt_busy_until = walk;
-        }
-        self.stats.inc(self.h.early_bmt_walks);
-        self.tracer.span(Phase::BmtUpdate, start, walk);
-        if let Some(e) = self.pb.entry_mut(block) {
-            e.valid.bmt = true;
-        }
-        walk
-    }
-
-    /// Increments the logical counter of `block`, handling page overflow
-    /// (re-encryption).
-    fn increment_logical(&mut self, block: BlockAddr) -> SplitCounter {
-        let page = NvmStore::page_of(block);
-        let slot = NvmStore::page_slot_of(block);
-        let cb = self.counters.entry(page).or_default();
-        let outcome = cb.increment(slot);
-        self.stats.inc(self.h.counter_increments);
-        if outcome == IncrementOutcome::PageOverflow {
-            self.reencrypt_page(page);
-        }
-        match self.counters.get(&page) {
-            Some(cb) => cb.counter_of(slot),
-            None => {
-                self.stats.inc(self.h.anomalies);
-                SplitCounter::default()
-            }
-        }
-    }
-
-    /// Page re-encryption after a minor-counter overflow (Section IV-A
-    /// notes SecPB's once-per-dirty-block increments delay this).
-    fn reencrypt_page(&mut self, page: u64) {
-        self.stats.inc(self.h.page_overflows);
-        let old_cb = self.nvm.read_counters(page);
-        let Some(new_cb) = self.counters.get(&page).cloned() else {
-            self.stats.inc(self.h.anomalies);
-            return;
-        };
-        let blocks: Vec<BlockAddr> = self
-            .nvm
-            .data_blocks()
-            .filter(|b| NvmStore::page_of(*b) == page)
-            .collect();
-        for block in blocks {
-            let slot = NvmStore::page_slot_of(block);
-            let old_ctr = old_cb.counter_of(slot);
-            let new_ctr = new_cb.counter_of(slot);
-            let ct = self.nvm.read_data(block);
-            let pt = self.otp_engine.decrypt(&ct, block.index(), old_ctr);
-            let new_ct = self.otp_engine.encrypt(&pt, block.index(), new_ctr);
-            let new_mac = self.mac_engine.compute(&new_ct, block.index(), new_ctr);
-            self.nvm.write_data(block, new_ct);
-            self.nvm.write_mac(block, new_mac.truncate_u64());
-            self.stats.inc(self.h.otps);
-            self.stats.inc(self.h.ciphertexts);
-            self.stats.inc(self.h.macs);
-        }
-        // Persist the fresh counter block and fold it into the tree.
-        self.nvm.write_counters(page, new_cb.clone());
-        let digest = self.counter_digest(page, &new_cb);
-        let hashes = self.tree.update_leaf(page, digest);
-        self.stats.inc(self.h.bmt_root_updates);
-        self.stats.add(self.h.bmt_node_hashes, hashes);
-        self.persist_root();
-        // Refresh in-flight SecPB entries of the page: their recorded
-        // counters are stale after the major bump.
-        let resident: Vec<BlockAddr> = self
-            .pb
-            .iter()
-            .filter(|e| NvmStore::page_of(e.block) == page)
-            .map(|e| e.block)
-            .collect();
-        for block in resident {
-            let slot = NvmStore::page_slot_of(block);
-            let fresh = new_cb.counter_of(slot);
-            let Some(e) = self.pb.entry_mut(block) else {
-                self.stats.inc(self.h.anomalies);
-                continue;
-            };
-            if e.valid.counter {
-                e.counter = fresh;
-            }
-            e.valid.otp = false;
-            e.valid.ciphertext = false;
-            e.valid.mac = false;
-            e.mac = None;
-        }
-    }
-
-    // ---------------------------------------------------------------
-    // Functional flush (drain completion)
-    // ---------------------------------------------------------------
-
-    /// Applies an entry's full memory-tuple update to the durable state.
-    fn flush_entry(&mut self, mut entry: crate::entry::Entry) {
-        let block = entry.block;
-        if !self.scheme.is_secure() {
-            self.nvm.write_data(block, entry.plaintext);
-            return;
-        }
-        let page = NvmStore::page_of(block);
-        let slot = NvmStore::page_slot_of(block);
-
-        if !entry.valid.counter {
-            entry.counter = self.increment_logical(block);
-            entry.valid.counter = true;
-        }
-        let ctr = entry.counter;
-        let pad = if entry.valid.otp {
-            entry.otp
-        } else {
-            self.stats.inc(self.h.otps);
-            self.otp_engine.generate(block.index(), ctr)
-        };
-        let ct = if entry.valid.ciphertext {
-            entry.ciphertext
-        } else {
-            self.stats.inc(self.h.ciphertexts);
-            OtpEngine::apply_pad(&entry.plaintext, &pad)
-        };
-        let mac = match entry.mac {
-            Some(m) if entry.valid.mac => m,
-            _ => {
-                self.stats.inc(self.h.macs);
-                self.mac_engine.compute(&ct, block.index(), ctr)
-            }
-        };
-
-        self.nvm.write_data(block, ct);
-        self.nvm.write_mac(block, mac.truncate_u64());
-        let mut cb = self.nvm.read_counters(page);
-        cb.set_counter(slot, ctr);
-        self.nvm.write_counters(page, cb.clone());
-        let digest = self.counter_digest(page, &cb);
-        let hashes = self.tree.update_leaf(page, digest);
-        self.stats.inc(self.h.bmt_root_updates);
-        self.stats.add(self.h.bmt_node_hashes, hashes);
-        if !entry.valid.bmt {
-            // Only schemes that left the BMT update *late* charge these
-            // hashes to the drain (battery) budget; eager schemes already
-            // paid at store time.
-            self.stats.add(self.h.late_bmt_node_hashes, hashes);
-        }
-        self.persist_root();
-    }
-
-    // ---------------------------------------------------------------
-    // SP baseline (SPoP at the memory controller, no SecPB)
-    // ---------------------------------------------------------------
-
-    fn sp_store(&mut self, access: Access) {
-        let block = access.addr.block();
-        // Caches hold a clean copy (the store persists through the MC).
-        self.hierarchy.store(block, LineState::Clean);
-        let release = self.now.max(self.pb_busy_until);
-        let sec = self.cfg.security;
-
-        // Counter fetch + increment (per store: no coalescing).
-        let (t, ctr) = {
-            let page = NvmStore::page_of(block);
-            let md = self.metadata.access(
-                MetadataKind::Counter,
-                page,
-                true,
-                release,
-                &mut self.nvm_timing,
-            );
-            if !md.hit {
-                self.stats.inc(self.h.counter_misses);
-            }
-            self.tracer.span(Phase::CounterFetch, release, md.done + 1);
-            (md.done + 1, self.increment_logical(block))
-        };
-
-        // Data-dependent chain and BMT walk in parallel.
-        let data_done = t + sec.otp_latency + 1 + sec.mac_latency;
-        self.stats.inc(self.h.otps);
-        self.stats.inc(self.h.ciphertexts);
-        self.stats.inc(self.h.macs);
-        self.tracer.span(Phase::OtpGen, t, t + sec.otp_latency);
-        self.tracer
-            .span(Phase::Mac, t + sec.otp_latency + 1, data_done);
-        let bmt_done = self.sp_bmt_walk(block, t);
-
-        let mut done = data_done.max(bmt_done);
-        // Persist through the WPQ.
-        let page = NvmStore::page_of(block);
-        let a1 = self.wpq.enqueue(block, done, &mut self.nvm_timing);
-        let a2 = self.wpq.enqueue(
-            MetadataCaches::region_block(MetadataKind::Counter, page),
-            done,
-            &mut self.nvm_timing,
-        );
-        done = a1.max(a2);
-
-        self.pb_busy_until = done;
-        self.stats.inc(self.h.persists);
-        self.tracer.span(Phase::StorePersist, release, done);
-        self.push_store_buffer(done);
-        self.advance(
-            self.cfg.core.store_exposure * done.since(release) as f64,
-            Attr::StoreAccept,
-        );
-
-        // Functional: persist the tuple immediately.
-        let pt = self.golden.get(&block).copied().unwrap_or([0u8; 64]);
-        let ct = self.otp_engine.encrypt(&pt, block.index(), ctr);
-        let mac = self.mac_engine.compute(&ct, block.index(), ctr);
-        self.nvm.write_data(block, ct);
-        self.nvm.write_mac(block, mac.truncate_u64());
-        let slot = NvmStore::page_slot_of(block);
-        let mut cb = self.nvm.read_counters(page);
-        cb.set_counter(slot, ctr);
-        self.nvm.write_counters(page, cb.clone());
-        let digest = self.counter_digest(page, &cb);
-        let hashes = self.tree.update_leaf(page, digest);
-        self.stats.inc(self.h.bmt_root_updates);
-        self.stats.add(self.h.bmt_node_hashes, hashes);
-        self.persist_root();
-    }
-
-    fn sp_bmt_walk(&mut self, block: BlockAddr, t: Cycle) -> Cycle {
-        let page = NvmStore::page_of(block);
-        let sec = &self.cfg.security;
-        let start = if sec.single_inflight_bmt {
-            t.max(self.bmt_busy_until)
-        } else {
-            t
-        };
-        let hashes = self.tree.update_cost_hashes(page);
-        let mut walk = start;
-        for lvl in 1..=hashes {
-            let idx = (lvl << 32) | (page >> (3 * lvl as u32).min(63));
-            let md =
-                self.metadata
-                    .access(MetadataKind::BmtNode, idx, true, walk, &mut self.nvm_timing);
-            walk = md.done + sec.bmt_hash_latency;
-        }
-        if sec.single_inflight_bmt {
-            self.bmt_busy_until = walk;
-        }
-        self.tracer.span(Phase::BmtUpdate, start, walk);
-        walk
-    }
-
-    // ---------------------------------------------------------------
-    // Crash and recovery
-    // ---------------------------------------------------------------
-
-    /// Handles a crash: the battery drains the SecPB (per `policy` for
-    /// application crashes) and completes all security metadata, closing
-    /// the draining and sec-sync gaps.
-    pub fn crash(
-        &mut self,
-        kind: CrashKind,
-        policy: DrainPolicy,
-    ) -> Result<CrashReport, RecoveryError> {
-        self.crash_with_budget(kind, policy, None)
-    }
-
-    /// [`crash`](Self::crash) under a battery budget: at most
-    /// `max_drain_entries` entries drain (oldest first, the drain order);
-    /// anything younger is *lost* — dropped undrained and reported in
-    /// [`CrashReport::lost_blocks`] — modelling a brown-out where the
-    /// provisioned energy runs out mid-drain.  `None` means a fully
-    /// provisioned battery.
-    pub fn crash_with_budget(
-        &mut self,
-        kind: CrashKind,
-        policy: DrainPolicy,
-        max_drain_entries: Option<u64>,
-    ) -> Result<CrashReport, RecoveryError> {
-        let at = self.finish_time();
-        let before = self.stats.clone();
-
-        let mut blocks: Vec<BlockAddr> = match (kind, policy) {
-            (CrashKind::ApplicationCrash(asid), DrainPolicy::DrainProcess) => {
-                self.pb.blocks_of_asid(asid)
-            }
-            _ => self.pb.blocks_oldest_first(),
-        };
-        let budget = usize::try_from(max_drain_entries.unwrap_or(u64::MAX)).unwrap_or(usize::MAX);
-        let lost_blocks: Vec<BlockAddr> = if blocks.len() > budget {
-            blocks.split_off(budget)
-        } else {
-            Vec::new()
-        };
-        let entries = blocks.len() as u64;
-        let mut last_drain_issue = at;
-        for block in blocks {
-            let completion = self.drain_one(block, last_drain_issue)?;
-            // The PB-to-MC move itself is quick; track pipeline occupancy
-            // through the drain engine.
-            last_drain_issue = last_drain_issue.max(completion.min(last_drain_issue + 8));
-        }
-        // Battery exhausted: the remaining entries never leave the SecPB,
-        // and with power gone the buffer contents evaporate.
-        for &block in &lost_blocks {
-            if self.pb.remove(block).is_none() {
-                return Err(RecoveryError::MissingPbEntry(block));
-            }
-        }
-        let drain_complete_at = last_drain_issue;
-        let mut secsync = self.drain_engine.all_complete_at().max(drain_complete_at);
-        secsync = secsync.max(self.wpq.drained_at());
-        // Fold any cached BMF subtree roots (and, in lazy mode, all
-        // deferred tree updates) into the persisted root.
-        let sync_hashes = self.sync_metadata();
-        secsync += sync_hashes * self.cfg.security.bmt_hash_latency;
-
-        let full_power_cycle = !matches!(kind, CrashKind::ApplicationCrash(_));
-        if full_power_cycle {
-            self.hierarchy.clear();
-            self.metadata.clear();
-            self.store_buffer.clear();
-        }
-
-        let after = &self.stats;
-        let delta = |name: &str| after.get(name).saturating_sub(before.get(name));
-        // Bytes of entry state per drain: only the fields the scheme
-        // actually populates move to the MC (Figure 5's field table).
-        let entry_footprint: u64 = match self.scheme {
-            Scheme::Bbb => 64,
-            Scheme::Cobcm | Scheme::Obcm => 65,
-            Scheme::Bcm => 130,
-            Scheme::Cm => 131,
-            Scheme::M => 196,
-            Scheme::NoGap | Scheme::Sp => 260,
-        };
-        let work = DrainWork {
-            entries,
-            bytes_pb_to_mc: entries * entry_footprint,
-            // Table III's movement costs are end-to-end (SecPB *to PM*),
-            // so the PM delivery of the entry's own tuple is already
-            // covered by `bytes_pb_to_mc`; nothing extra accrues here.
-            bytes_mc_to_pm: 0,
-            counter_fetches: delta(counters::COUNTER_MISSES),
-            bmt_node_hashes: delta(counters::LATE_BMT_NODE_HASHES),
-            bmt_node_fetches: delta(counters::LATE_BMT_NODE_HASHES),
-            otps: delta(counters::OTPS),
-            macs: delta(counters::MACS),
-            ciphertexts: delta(counters::CIPHERTEXTS),
-        };
-
-        Ok(CrashReport {
-            kind,
-            at,
-            drain_complete_at,
-            secsync_complete_at: secsync,
-            work,
-            lost_blocks,
-        })
-    }
-
-    /// Whether background drains are currently in flight (issued but not
-    /// retired) — the [`secpb_sim::fault::CrashTrigger::MidDrain`]
-    /// observation point.
-    pub fn drains_in_flight(&self) -> bool {
-        self.drain_engine.next_completion().is_some()
-    }
-
-    /// Estimated post-crash recovery latency in cycles: fetching every
-    /// persisted counter block and folding it into the rebuilt BMT, then
-    /// fetching, decrypting, and MAC-verifying every data block.  NVM
-    /// reads pipeline across banks; crypto units pipeline at their
-    /// occupancy (one hash per `bmt_hash_latency`).
-    ///
-    /// This is the quantity recovery-time work like Anubis (Zubair &
-    /// Awad, ISCA'19 — the paper's \[74\]) optimizes; exposing it lets the
-    /// benches show how recovery time scales with the persistent
-    /// footprint.
-    pub fn estimated_recovery_cycles(&self) -> u64 {
-        let sec = &self.cfg.security;
-        let banks = self.cfg.nvm.banks.max(1) as u64;
-        let read = self.cfg.nvm.read_latency.raw();
-        let pages = self.nvm.counter_pages().count() as u64;
-        let blocks = self.nvm.data_block_count() as u64;
-        // Counter fetches and tree rebuild.
-        let counter_fetch = pages * read / banks + read.min(pages * read);
-        let tree_rebuild = pages * u64::from(sec.bmt_levels) * sec.bmt_hash_latency;
-        // Data fetch + decrypt + verify, pipelined.
-        let data_fetch = blocks * read / banks + if blocks > 0 { read } else { 0 };
-        let verify = blocks * sec.mac_latency.max(sec.otp_latency);
-        counter_fetch + tree_rebuild + data_fetch + verify
-    }
-
-    /// Post-crash recovery: rebuilds the integrity tree from the persisted
-    /// counters, verifies the root register, decrypts and MAC-verifies
-    /// every data block, and checks the plaintext against the
-    /// architecturally expected post-crash state.
-    pub fn recover(&self) -> RecoveryReport {
-        self.recover_with(&[])
-    }
-
-    /// [`recover`](Self::recover) with lost-block accounting: blocks
-    /// listed in `lost` (a brown-out crash report's
-    /// [`CrashReport::lost_blocks`]) and blocks still SecPB-resident
-    /// (e.g. survivors of a [`DrainPolicy::DrainProcess`] drain) are
-    /// *expected* to read back stale — they get
-    /// [`BlockVerdict::LostStale`] / [`BlockVerdict::InFlightStale`]
-    /// verdicts instead of counting as plaintext mismatches.
-    pub fn recover_with(&self, lost: &[BlockAddr]) -> RecoveryReport {
-        let mut report = RecoveryReport::default();
-        let stale_verdict = |block: BlockAddr| {
-            if lost.contains(&block) {
-                BlockVerdict::LostStale
-            } else if self.pb.contains(block) {
-                BlockVerdict::InFlightStale
-            } else {
-                BlockVerdict::PlaintextMismatch
-            }
-        };
-        let mut blocks: Vec<BlockAddr> = self.nvm.data_blocks().collect();
-        blocks.sort_unstable();
-
-        if !self.scheme.is_secure() {
-            report.root_ok = true;
-            for block in blocks {
-                report.blocks_checked += 1;
-                let pt = self.nvm.read_data(block);
-                let verdict = if pt == self.expected_plaintext(block) {
-                    BlockVerdict::Verified
-                } else {
-                    stale_verdict(block)
-                };
-                match verdict {
-                    BlockVerdict::PlaintextMismatch => report.plaintext_mismatches.push(block),
-                    BlockVerdict::LostStale => report.lost_stale.push(block),
-                    BlockVerdict::InFlightStale => report.in_flight_stale.push(block),
-                    _ => {}
-                }
-                report.verdicts.push((block, verdict));
-            }
-            return report;
-        }
-
-        // Rebuild the tree from the persisted counter blocks.
-        let tree_key = (self.key_seed ^ 0xB111_7AB1E).to_le_bytes();
-        let mut rebuilt = IntegrityTree::new(
-            self.tree_kind,
-            &tree_key,
-            BMT_ARITY,
-            self.cfg.security.bmt_levels,
-        );
-        if self.mode == MetadataMode::Lazy {
-            // The rebuild is itself an N-update batch folded once at the
-            // end — the lazy engine's sweet spot.
-            rebuilt.set_lazy(true);
-        }
-        let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
-        pages.sort_unstable();
-        for page in pages {
-            let cb = self.nvm.read_counters(page);
-            rebuilt.update_leaf(page, self.counter_digest(page, &cb));
-        }
-        rebuilt.sync();
-        report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
-
-        for block in blocks {
-            report.blocks_checked += 1;
-            let page = NvmStore::page_of(block);
-            let slot = NvmStore::page_slot_of(block);
-            let ctr = self.nvm.read_counters(page).counter_of(slot);
-            let ct = self.nvm.read_data(block);
-            let verdict = if !self.mac_engine.verify_truncated(
-                &ct,
-                block.index(),
-                ctr,
-                self.nvm.read_mac(block),
-            ) {
-                report.mac_failures.push(block);
-                BlockVerdict::MacMismatch
-            } else {
-                let pt = self.otp_engine.decrypt(&ct, block.index(), ctr);
-                if pt == self.expected_plaintext(block) {
-                    BlockVerdict::Verified
-                } else {
-                    let v = stale_verdict(block);
-                    match v {
-                        BlockVerdict::PlaintextMismatch => report.plaintext_mismatches.push(block),
-                        BlockVerdict::LostStale => report.lost_stale.push(block),
-                        BlockVerdict::InFlightStale => report.in_flight_stale.push(block),
-                        _ => {}
-                    }
-                    v
-                }
-            };
-            report.verdicts.push((block, verdict));
-        }
-        report
-    }
-
-    /// Re-reads the durable image of brown-out-lost blocks back into the
-    /// architectural expectation, modelling the application observing
-    /// what actually persisted before continuing.  Without this a storm
-    /// could not keep running after a brown-out: the golden state would
-    /// remember stores whose entries evaporated with the battery.
-    pub fn resync_lost_golden(&mut self, lost: &[BlockAddr]) {
-        for &block in lost {
-            if !self.nvm.contains_data(block) {
-                // Never persisted at all: the durable view is zeros.
-                self.golden.remove(&block);
-                continue;
-            }
-            let pt = if self.scheme.is_secure() {
-                let page = NvmStore::page_of(block);
-                let slot = NvmStore::page_slot_of(block);
-                let ctr = self.nvm.read_counters(page).counter_of(slot);
-                self.otp_engine
-                    .decrypt(&self.nvm.read_data(block), block.index(), ctr)
-            } else {
-                self.nvm.read_data(block)
-            };
-            self.golden.insert(block, pt);
-        }
-    }
 }
 
 #[cfg(test)]
-mod tests {
-    use super::*;
-    use secpb_sim::addr::{Address, Asid};
-
-    fn store_trace(n: u64, stride: u64) -> Vec<TraceItem> {
-        (0..n)
-            .map(|i| TraceItem::then(9, Access::store(Address(0x10000 + i * stride), i + 1)))
-            .collect()
-    }
-
-    fn system(scheme: Scheme) -> SecureSystem {
-        SecureSystem::new(SystemConfig::default(), scheme, 42)
-    }
-
-    #[test]
-    fn runs_a_simple_trace() {
-        let mut sys = system(Scheme::Cobcm);
-        let r = sys.run_trace(store_trace(100, 64));
-        assert_eq!(r.instructions(), 1000);
-        assert!(r.cycles > 0);
-        assert_eq!(r.stats.get(counters::STORES), 100);
-        assert_eq!(r.stats.get(counters::PERSISTS), 100);
-    }
-
-    #[test]
-    fn coalescing_reduces_allocations() {
-        let mut sys = system(Scheme::Cobcm);
-        // 100 stores to the same block: 1 allocation.
-        let r = sys.run_trace(store_trace(100, 8).into_iter().map(|mut t| {
-            if let Some(a) = &mut t.access {
-                a.addr = Address(0x10000 + (a.addr.0 - 0x10000) % 64);
-            }
-            t
-        }));
-        assert_eq!(r.stats.get(counters::ALLOCATIONS), 1);
-        assert_eq!(r.stats.get(counters::PERSISTS), 100);
-    }
-
-    #[test]
-    fn eager_schemes_cost_more_cycles() {
-        // Mix fresh blocks with reuse so both the allocation path (BMT,
-        // OTP) and the coalescing hit path (per-store MAC for NoGap)
-        // contribute.
-        let trace: Vec<TraceItem> = (0..600u64)
-            .map(|i| {
-                // Alternate fresh blocks (allocation path) with a 16-block
-                // hot set (coalescing hits).
-                let addr = if i % 2 == 0 {
-                    Address(0x100_0000 + i * 64)
-                } else {
-                    Address(0x10000 + (i % 16) * 64)
-                };
-                TraceItem::then(9, Access::store(addr, i))
-            })
-            .collect();
-        let mut results = Vec::new();
-        for scheme in [
-            Scheme::Bbb,
-            Scheme::Cobcm,
-            Scheme::Bcm,
-            Scheme::Cm,
-            Scheme::NoGap,
-        ] {
-            let mut sys = system(scheme);
-            results.push((scheme, sys.run_trace(trace.clone()).cycles));
-        }
-        let cycles: FxHashMap<Scheme, u64> = results.into_iter().collect();
-        assert!(cycles[&Scheme::Cobcm] >= cycles[&Scheme::Bbb]);
-        assert!(cycles[&Scheme::Bcm] > cycles[&Scheme::Cobcm]);
-        assert!(cycles[&Scheme::Cm] > cycles[&Scheme::Bcm]);
-        assert!(cycles[&Scheme::NoGap] > cycles[&Scheme::Cm]);
-    }
-
-    #[test]
-    fn crash_then_recover_is_consistent_for_all_schemes() {
-        for scheme in Scheme::ALL {
-            let mut sys = system(scheme);
-            sys.run_trace(store_trace(200, 64));
-            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-                .unwrap();
-            let rec = sys.recover();
-            assert!(
-                rec.is_consistent(),
-                "{scheme}: root_ok={} macs={:?} pts={:?}",
-                rec.root_ok,
-                rec.mac_failures.len(),
-                rec.plaintext_mismatches.len()
-            );
-            assert!(rec.blocks_checked > 0, "{scheme}: nothing persisted");
-        }
-    }
-
-    #[test]
-    fn tampering_is_detected_after_crash() {
-        let mut sys = system(Scheme::Cobcm);
-        sys.run_trace(store_trace(50, 64));
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-            .unwrap();
-        let victim = sys.nvm_store().data_blocks().next().unwrap();
-        sys.nvm_store_mut().tamper_data(victim, 0, 0);
-        let rec = sys.recover();
-        assert!(!rec.integrity_ok());
-        assert!(rec.mac_failures.contains(&victim));
-    }
-
-    #[test]
-    fn replayed_tuple_is_caught_by_tree() {
-        let mut sys = system(Scheme::Cobcm);
-        let block = Address(0x10000).block();
-        // First round: persist version 1 everywhere.
-        sys.run_trace(vec![TraceItem::then(9, Access::store(Address(0x10000), 1))]);
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-            .unwrap();
-        let old_data = sys.nvm_store().read_data(block);
-        let old_mac = sys.nvm_store().read_mac(block);
-        // Second round: overwrite with version 2.
-        sys.run_trace(vec![TraceItem::then(9, Access::store(Address(0x10000), 2))]);
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-            .unwrap();
-        // Replay the whole old (data, MAC) tuple; the stale counter in the
-        // tuple no longer matches the persisted counter block.
-        sys.nvm_store_mut().replay_tuple(block, old_data, old_mac);
-        let rec = sys.recover();
-        assert!(!rec.integrity_ok(), "replay must be detected");
-    }
-
-    #[test]
-    fn app_crash_drain_process_keeps_other_entries() {
-        let mut sys = system(Scheme::Cobcm);
-        let a1 = Asid(1);
-        let a2 = Asid(2);
-        let t1 = TraceItem::then(9, Access::store(Address(0x10000), 1).with_asid(a1));
-        let t2 = TraceItem::then(9, Access::store(Address(0x20000), 2).with_asid(a2));
-        sys.run_trace(vec![t1, t2]);
-        assert_eq!(sys.persist_buffer().occupancy(), 2);
-        let report = sys
-            .crash(CrashKind::ApplicationCrash(a1), DrainPolicy::DrainProcess)
-            .unwrap();
-        assert_eq!(report.work.entries, 1);
-        assert_eq!(sys.persist_buffer().occupancy(), 1);
-        assert!(sys.persist_buffer().contains(Address(0x20000).block()));
-    }
-
-    #[test]
-    fn drain_all_empties_buffer_on_app_crash() {
-        let mut sys = system(Scheme::Cobcm);
-        let t1 = TraceItem::then(9, Access::store(Address(0x10000), 1).with_asid(Asid(1)));
-        let t2 = TraceItem::then(9, Access::store(Address(0x20000), 2).with_asid(Asid(2)));
-        sys.run_trace(vec![t1, t2]);
-        sys.crash(CrashKind::ApplicationCrash(Asid(1)), DrainPolicy::DrainAll)
-            .unwrap();
-        assert_eq!(sys.persist_buffer().occupancy(), 0);
-    }
-
-    #[test]
-    fn brown_out_crash_accounts_every_lost_block() {
-        let mut sys = system(Scheme::Cobcm);
-        // Round 1: persist version 1 of every block so lost blocks have
-        // an *older* durable image to fall back to.
-        sys.run_trace(store_trace(40, 4096));
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-            .unwrap();
-        // Round 2: overwrite with different values, then brown out
-        // mid-drain.
-        sys.run_trace(
-            (0..40u64)
-                .map(|i| TraceItem::then(9, Access::store(Address(0x10000 + i * 4096), i + 500))),
-        );
-        let occupancy = sys.persist_buffer().occupancy() as u64;
-        assert!(occupancy > 4, "need buffered entries to lose");
-        let budget = 3u64;
-        let report = sys
-            .crash_with_budget(CrashKind::PowerLoss, DrainPolicy::DrainAll, Some(budget))
-            .unwrap();
-        assert_eq!(report.work.entries, budget);
-        assert_eq!(report.lost_block_count(), occupancy - budget);
-        assert!(!report.drain_was_complete());
-        assert_eq!(sys.persist_buffer().occupancy(), 0, "power loss empties PB");
-
-        // Recovery with accounting: integrity holds, lost blocks read
-        // back stale but are classified, not reported as corruption.
-        let rec = sys.recover_with(&report.lost_blocks);
-        assert!(rec.integrity_ok(), "partial drain keeps tuple consistent");
-        assert!(rec.is_consistent(), "lost staleness is accounted");
-        assert!(
-            !rec.lost_stale.is_empty(),
-            "at least one lost block had an older durable image"
-        );
-        // Without accounting the same state shows plaintext mismatches.
-        let unaccounted = sys.recover();
-        assert_eq!(unaccounted.plaintext_mismatches.len(), rec.lost_stale.len());
-
-        // Resync golden to the durable image; now everything verifies.
-        let lost = report.lost_blocks.clone();
-        sys.resync_lost_golden(&lost);
-        assert!(sys.recover().is_consistent());
-    }
-
-    #[test]
-    fn budgeted_crash_with_enough_budget_loses_nothing() {
-        let mut sys = system(Scheme::Cobcm);
-        sys.run_trace(store_trace(30, 4096));
-        let occupancy = sys.persist_buffer().occupancy() as u64;
-        let report = sys
-            .crash_with_budget(CrashKind::PowerLoss, DrainPolicy::DrainAll, Some(occupancy))
-            .unwrap();
-        assert!(report.drain_was_complete());
-        assert_eq!(report.work.entries, occupancy);
-        assert!(sys.recover().is_consistent());
-    }
-
-    #[test]
-    fn recovery_verdicts_cover_every_checked_block() {
-        let mut sys = system(Scheme::Cobcm);
-        sys.run_trace(store_trace(60, 64));
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-            .unwrap();
-        let rec = sys.recover();
-        assert_eq!(rec.verdicts.len() as u64, rec.blocks_checked);
-        assert!(rec
-            .verdicts
-            .iter()
-            .all(|(_, v)| *v == BlockVerdict::Verified));
-        let blocks: Vec<_> = rec.verdicts.iter().map(|(b, _)| b.index()).collect();
-        let mut sorted = blocks.clone();
-        sorted.sort_unstable();
-        assert_eq!(blocks, sorted, "verdicts are in block order");
-    }
-
-    #[test]
-    fn watermark_drains_keep_occupancy_bounded() {
-        let mut sys = system(Scheme::Cobcm);
-        sys.run_trace(store_trace(500, 64));
-        assert!(sys.persist_buffer().occupancy() <= sys.config().secpb.entries);
-        assert!(
-            sys.stats().get(counters::DRAINS) > 0,
-            "watermark drains must fire"
-        );
-    }
-
-    #[test]
-    fn bmt_updates_coalesce_with_buffer() {
-        // Repeated stores to few blocks: far fewer BMT root updates than
-        // stores (Figure 8's effect).
-        let mut sys = system(Scheme::Cm);
-        let trace: Vec<TraceItem> = (0..400u64)
-            .map(|i| TraceItem::then(9, Access::store(Address(0x10000 + (i % 4) * 64), i)))
-            .collect();
-        let r = sys.run_trace(trace);
-        let updates = r.stats.get(counters::ALLOCATIONS);
-        assert!(
-            updates < 40,
-            "400 stores to 4 blocks should allocate rarely, got {updates}"
-        );
-    }
-
-    #[test]
-    fn sp_persists_every_store() {
-        let mut sys = system(Scheme::Sp);
-        let r = sys.run_trace(store_trace(20, 64));
-        assert_eq!(r.stats.get(counters::PERSISTS), 20);
-        assert_eq!(r.stats.get(counters::BMT_ROOT_UPDATES), 20);
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-            .unwrap();
-        assert!(sys.recover().is_consistent());
-    }
-
-    #[test]
-    fn observer_sees_gap_timing() {
-        let mut sys = system(Scheme::Cobcm);
-        sys.run_trace(store_trace(100, 64));
-        let report = sys
-            .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-            .unwrap();
-        assert!(report.secsync_complete_at >= report.drain_complete_at);
-        assert!(report.drain_complete_at >= report.at);
-    }
-
-    #[test]
-    fn page_overflow_triggers_reencryption_and_stays_consistent() {
-        let mut cfg = SystemConfig::default();
-        cfg.secpb.entries = 4;
-        let mut sys = SecureSystem::new(cfg, Scheme::Cobcm, 7);
-        // Hammer two blocks in the same page so their entries thrash and
-        // the minor counters climb past 127.
-        let mut trace = Vec::new();
-        for i in 0..600u64 {
-            trace.push(TraceItem::then(
-                0,
-                Access::store(Address(0x40000 + (i % 2) * 64), i),
-            ));
-            // Interleave stores to other pages to force drains (thrash).
-            trace.push(TraceItem::then(
-                0,
-                Access::store(Address(0x80000 + (i % 8) * 4096), i),
-            ));
-        }
-        let r = sys.run_trace(trace);
-        assert!(
-            r.stats.get(counters::PAGE_OVERFLOWS) > 0,
-            "expected at least one minor-counter overflow"
-        );
-        sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-            .unwrap();
-        assert!(sys.recover().is_consistent());
-    }
-
-    #[test]
-    fn finish_time_waits_for_store_buffer() {
-        let mut sys = system(Scheme::NoGap);
-        sys.run_trace(store_trace(10, 64));
-        assert!(sys.finish_time() >= sys.now);
-    }
-
-    #[test]
-    fn recovery_time_grows_with_persistent_footprint() {
-        let measure = |stores: u64| {
-            let mut sys = system(Scheme::Cobcm);
-            sys.run_trace(store_trace(stores, 4096));
-            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-                .unwrap();
-            sys.estimated_recovery_cycles()
-        };
-        let small = measure(20);
-        let large = measure(400);
-        assert!(small > 0);
-        assert!(
-            large > 5 * small,
-            "recovery time must scale: {small} vs {large}"
-        );
-    }
-
-    #[test]
-    fn empty_system_recovers_instantly() {
-        let sys = system(Scheme::Cobcm);
-        assert_eq!(sys.estimated_recovery_cycles(), 0);
-    }
-
-    #[test]
-    fn blocking_verification_slows_memory_loads() {
-        // A load stream with no reuse: every load misses to memory.
-        let trace: Vec<TraceItem> = (0..500u64)
-            .map(|i| TraceItem::then(9, Access::load(Address(0x800_0000 + i * 4096))))
-            .collect();
-        let run = |speculative: bool| {
-            let cfg = SystemConfig::default().with_speculative_verification(speculative);
-            let mut sys = SecureSystem::new(cfg, Scheme::Cobcm, 3);
-            sys.run_trace(trace.clone())
-        };
-        let spec = run(true);
-        let blocking = run(false);
-        assert!(
-            blocking.cycles > spec.cycles,
-            "{} !> {}",
-            blocking.cycles,
-            spec.cycles
-        );
-        assert_eq!(blocking.stats.get("mem.blocking_verifications"), 500);
-        assert_eq!(spec.stats.get("mem.blocking_verifications"), 0);
-    }
-
-    #[test]
-    fn reset_measurement_starts_a_fresh_region() {
-        let mut sys = system(Scheme::Cobcm);
-        sys.run_trace(store_trace(100, 64));
-        sys.reset_measurement();
-        let r = sys.run_trace(store_trace(50, 64));
-        assert_eq!(r.stats.get(counters::STORES), 50, "stats restart at zero");
-        assert!(
-            r.cycles > 0 && r.cycles < 100_000,
-            "cycles measured from the region start"
-        );
-    }
-
-    #[test]
-    fn obcm_pays_double_buffer_access_on_allocation() {
-        // Pure allocation stream with counter-cache hits: OBCM's extra
-        // access is visible against BCM minus the OTP latency.
-        let mut obcm = system(Scheme::Obcm);
-        let r = obcm.run_trace(store_trace(100, 64));
-        assert_eq!(r.stats.get(counters::ALLOCATIONS), 100);
-        assert_eq!(r.stats.get(counters::COUNTER_INCREMENTS), 100);
-        // OBCM generates no OTPs at store time.
-        // (They appear only at drains.)
-        let drains = r.stats.get(counters::DRAINS);
-        assert_eq!(r.stats.get(counters::OTPS), drains);
-    }
-
-    #[test]
-    fn breakdown_sums_to_cycles_for_all_schemes() {
-        for scheme in Scheme::ALL {
-            let mut sys = system(scheme);
-            let r = sys.run_trace(store_trace(300, 64));
-            assert_eq!(r.breakdown.total(), r.cycles, "{scheme}");
-        }
-    }
-
-    #[test]
-    fn breakdown_sums_after_measurement_reset() {
-        for scheme in Scheme::ALL {
-            let mut sys = system(scheme);
-            sys.run_trace(store_trace(100, 64));
-            sys.reset_measurement();
-            let r = sys.run_trace(store_trace(200, 64));
-            assert_eq!(r.breakdown.total(), r.cycles, "{scheme}");
-        }
-    }
-
-    #[test]
-    fn histograms_and_spans_populate() {
-        let mut sys = system(Scheme::Cobcm);
-        sys.enable_trace_capture(1 << 16);
-        let r = sys.run_trace(store_trace(500, 64));
-        let occ = r
-            .stats
-            .histogram(histograms::OCCUPANCY)
-            .expect("occupancy recorded");
-        assert_eq!(occ.total(), r.stats.get(counters::PERSISTS));
-        let wpe = r
-            .stats
-            .histogram(histograms::WRITES_PER_ENTRY)
-            .expect("NWPE recorded");
-        assert_eq!(wpe.total(), r.stats.get(counters::DRAINS));
-        let lat = r
-            .stats
-            .histogram(histograms::DRAIN_LATENCY)
-            .expect("latency recorded");
-        assert_eq!(lat.total(), r.stats.get(counters::DRAINS));
-        assert_eq!(sys.tracer().count(Phase::StorePersist), 500);
-        assert!(sys.tracer().count(Phase::Drain) > 0);
-        assert!(sys.tracer().cycles(Phase::Drain) > 0);
-        assert!(!sys.tracer().events().is_empty(), "capture was enabled");
-    }
-
-    #[test]
-    fn sp_works_with_forest_trees() {
-        for kind in [TreeKind::Dbmf, TreeKind::Sbmf] {
-            let mut sys = SecureSystem::with_tree(SystemConfig::default(), Scheme::Sp, kind, 5);
-            sys.run_trace(store_trace(40, 4096));
-            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-                .unwrap();
-            assert!(sys.recover().is_consistent(), "{kind:?}");
-        }
-    }
-
-    #[test]
-    fn cm_with_forest_recovers() {
-        for kind in [TreeKind::Dbmf, TreeKind::Sbmf] {
-            let mut sys = SecureSystem::with_tree(SystemConfig::default(), Scheme::Cm, kind, 6);
-            sys.run_trace(store_trace(120, 4096));
-            sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-                .unwrap();
-            assert!(sys.recover().is_consistent(), "{kind:?}");
-        }
-    }
-}
+#[path = "system_tests.rs"]
+mod tests;

@@ -5,9 +5,9 @@
 //! a usage error.
 //!
 //! ```text
-//! secpb run <bench> <scheme> [entries] [instructions]   simulate + metrics
+//! secpb run <bench> <scheme> [entries] [instructions] [--front F]   simulate + metrics
 //! secpb grid [instructions] [--jobs N]                  scheme×workload grid (Table IV)
-//! secpb crash <bench> <scheme> [instructions]           crash + verified recovery
+//! secpb crash <bench> <scheme> [instructions] [--front F]  crash + verified recovery
 //! secpb storm [--quick] [--seed N] [--brown-out F]      crash-storm fault injection
 //! secpb battery [entries]                               battery sizing table
 //! secpb trace gen <bench> <file> [instructions]         save a trace
@@ -15,10 +15,16 @@
 //! secpb trace run <file> <scheme>                       replay a saved trace
 //! secpb list                                            benchmarks + schemes
 //! ```
+//!
+//! `--front` selects the system front (`secpb`, `eadr`, or `mc<N>` for
+//! an N-core machine); every front is driven through the
+//! [`PersistSystem`](secpb_core::facade::PersistSystem) facade, so
+//! `run` and `crash` are written once.
 
 use std::fmt::Write as _;
 
 use secpb_bench::experiments;
+use secpb_bench::storm::{build_front, StormFront};
 use secpb_core::crash::{CrashKind, DrainPolicy};
 use secpb_core::scheme::Scheme;
 use secpb_core::system::SecureSystem;
@@ -31,9 +37,9 @@ use secpb_workloads::{TraceGenerator, WorkloadProfile};
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
-  secpb run <bench> <scheme> [entries] [instructions]
+  secpb run <bench> <scheme> [entries] [instructions] [--front secpb|eadr|mc<N>]
   secpb grid [instructions] [--jobs N]
-  secpb crash <bench> <scheme> [instructions]
+  secpb crash <bench> <scheme> [instructions] [--front secpb|eadr|mc<N>]
   secpb storm [--quick] [--seed N] [--brown-out F]
   secpb battery [entries]
   secpb trace gen <bench> <file> [instructions]
@@ -72,7 +78,37 @@ fn parse_scheme(name: &str) -> Result<Scheme, String> {
     name.parse::<Scheme>().map_err(|e| e.to_string())
 }
 
+/// Extracts `--front <name>` from the argument list (defaulting to the
+/// single-core SecPB front), returning the front and remaining args.
+fn take_front(args: &[String]) -> Result<(StormFront, Vec<String>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut front = StormFront::SecPb;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--front" {
+            i += 1;
+            front = args
+                .get(i)
+                .ok_or("--front takes secpb, eadr, or mc<N>")?
+                .parse()?;
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    Ok((front, rest))
+}
+
+fn front_name(front: StormFront) -> String {
+    match front {
+        StormFront::SecPb => "secpb".to_owned(),
+        StormFront::Eadr => "eadr".to_owned(),
+        StormFront::MultiCore(n) => format!("mc{n}"),
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<String, String> {
+    let (front, args) = take_front(args)?;
     let bench = args.first().ok_or(USAGE)?;
     let scheme = parse_scheme(args.get(1).ok_or(USAGE)?)?;
     let entries: usize = args
@@ -88,10 +124,15 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     let profile = parse_profile(bench)?;
     let cfg = SystemConfig::default().with_secpb_entries(entries);
     let trace = TraceGenerator::new(profile, 42).generate(instructions);
-    let mut sys = SecureSystem::new(cfg, scheme, 42);
-    let r = sys.run_trace(trace);
+    let mut sys = build_front(front, cfg, scheme, 42)?;
+    let r = sys.run_trace(&trace);
     let mut out = String::new();
-    let _ = writeln!(out, "bench={bench} scheme={scheme} entries={entries}");
+    let _ = writeln!(
+        out,
+        "bench={bench} front={} scheme={} entries={entries}",
+        front_name(front),
+        sys.scheme()
+    );
     let _ = writeln!(out, "cycles       {}", r.cycles);
     let _ = writeln!(out, "ipc          {:.3}", r.ipc());
     let _ = writeln!(out, "ppti         {:.1}", r.ppti());
@@ -121,6 +162,7 @@ fn cmd_grid(args: &[String]) -> Result<String, String> {
 }
 
 fn cmd_crash(args: &[String]) -> Result<String, String> {
+    let (front, args) = take_front(args)?;
     let bench = args.first().ok_or(USAGE)?;
     let scheme = parse_scheme(args.get(1).ok_or(USAGE)?)?;
     let instructions: u64 = args
@@ -130,8 +172,8 @@ fn cmd_crash(args: &[String]) -> Result<String, String> {
         .unwrap_or(100_000);
     let profile = parse_profile(bench)?;
     let trace = TraceGenerator::new(profile, 42).generate(instructions);
-    let mut sys = SecureSystem::new(SystemConfig::default(), scheme, 42);
-    sys.run_trace(trace);
+    let mut sys = build_front(front, SystemConfig::default(), scheme, 42)?;
+    sys.run_trace(&trace);
     let report = sys
         .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
         .map_err(|e| format!("crash drain failed: {e}"))?;
@@ -320,6 +362,38 @@ mod tests {
         let out = run(&["run", "hmmer", "cobcm", "32", "20000"]).unwrap();
         assert!(out.contains("ipc"));
         assert!(out.contains("ppti"));
+    }
+
+    #[test]
+    fn run_drives_every_front_through_the_facade() {
+        for front in ["secpb", "eadr", "mc2"] {
+            let out = run(&["run", "hmmer", "cobcm", "32", "20000", "--front", front]).unwrap();
+            assert!(out.contains(&format!("front={front}")), "{out}");
+            assert!(out.contains("cycles"), "{out}");
+        }
+    }
+
+    #[test]
+    fn crash_recovers_on_every_front() {
+        for front in ["secpb", "eadr", "mc2"] {
+            let out = run(&["crash", "sjeng", "bcm", "20000", "--front", front]).unwrap();
+            assert!(out.contains("consistent           true"), "{front}: {out}");
+        }
+    }
+
+    #[test]
+    fn invalid_front_configs_get_friendly_messages() {
+        let err = run(&["crash", "sjeng", "sp", "20000", "--front", "mc2"]).unwrap_err();
+        assert!(
+            err.contains("invalid configuration") && err.contains("persist-buffer scheme"),
+            "{err}"
+        );
+        let err = run(&["run", "hmmer", "cobcm", "--front", "mc0"]).unwrap_err();
+        assert!(err.contains("invalid configuration"), "{err}");
+        let err = run(&["run", "hmmer", "cobcm", "--front", "warp"]).unwrap_err();
+        assert!(err.contains("unknown front"), "{err}");
+        let err = run(&["run", "hmmer", "cobcm", "--front"]).unwrap_err();
+        assert!(err.contains("--front takes"), "{err}");
     }
 
     #[test]

@@ -66,7 +66,7 @@ fn no_replication_under_random_interleavings() {
             entries: 64,
             ..SecPbConfig::default()
         };
-        let mut ctl = CoherenceController::new(3, cfg);
+        let mut ctl = CoherenceController::new(3, cfg).unwrap();
         for _ in 0..rng.range(1, 199) {
             let op = random_op(&mut rng, 3, 12);
             apply(&mut ctl, op, true);
@@ -88,7 +88,7 @@ fn writes_establish_ownership() {
             entries: 64,
             ..SecPbConfig::default()
         };
-        let mut ctl = CoherenceController::new(2, cfg);
+        let mut ctl = CoherenceController::new(2, cfg).unwrap();
         for _ in 0..rng.below(60) {
             let op = random_op(&mut rng, 2, 6);
             apply(&mut ctl, op, false);
@@ -123,7 +123,7 @@ fn remote_reads_flush() {
         }
         checked += 1;
         let block = rng.below(32);
-        let mut ctl = CoherenceController::new(3, SecPbConfig::default());
+        let mut ctl = CoherenceController::new(3, SecPbConfig::default()).unwrap();
         ctl.write(owner, BlockAddr(block), Asid(0), [7u8; 64]);
         let action = ctl.read(reader, BlockAddr(block));
         assert_eq!(action, Some(CoherenceAction::FlushedFrom { from: owner }));

@@ -149,7 +149,7 @@ fn eadr_system_agrees_across_modes() {
 #[test]
 fn multicore_system_agrees_across_modes() {
     let run = |mode| {
-        let mut sys = MultiCoreSystem::new(cfg_with(mode), Scheme::Cobcm, 4, 77);
+        let mut sys = MultiCoreSystem::new(cfg_with(mode), Scheme::Cobcm, 4, 77).unwrap();
         for i in 0..600u64 {
             let core = (i % 4) as usize;
             sys.store(CoreStore {
