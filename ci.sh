@@ -43,11 +43,31 @@ echo "==> fault-injection storm smoke (crash storms, brown-outs, bit flips)"
 # engines, and both drain policies; --quick keeps this to a few seconds.
 ./target/release/fault_storm --quick
 
-echo "==> grid determinism smoke (2 workloads x 2 schemes, serial vs parallel)"
+echo "==> grid determinism smoke (2 workloads x 2 schemes, serial vs parallel, telemetered)"
 # bench_grid exits nonzero if the parallel grid diverges from the serial
-# one; --smoke keeps this to a few seconds.
+# one; --smoke keeps this to a few seconds.  With --telemetry the serial
+# pass runs with live rings attached, so the determinism gate also
+# proves telemetry events observe without steering.
+./target/release/bench_grid 50000 --jobs 4 --smoke --json /tmp/bench_grid_smoke_tel.json --telemetry
 ./target/release/bench_grid 50000 --jobs 4 --smoke --json /tmp/bench_grid_smoke.json
-rm -f /tmp/bench_grid_smoke.json
+# Telemetry-on vs telemetry-off must produce byte-identical reports once
+# host-timing and ring-accounting fields are stripped: every simulated
+# number (cycles, ipc, recovery verdicts, recovery_cycles) is unchanged.
+normalize_grid() {
+  grep -vE '"(serial_seconds|parallel_seconds|speedup|serial_instructions_per_second|parallel_instructions_per_second|serial_ns_per_store|ns_per_store|telemetry|telemetry_events|telemetry_dropped)"' "$1"
+}
+if ! diff <(normalize_grid /tmp/bench_grid_smoke.json) <(normalize_grid /tmp/bench_grid_smoke_tel.json); then
+  echo "ci.sh: telemetry-on grid diverged from telemetry-off" >&2
+  exit 1
+fi
+rm -f /tmp/bench_grid_smoke.json /tmp/bench_grid_smoke_tel.json
+
+echo "==> live telemetry watch smoke (storm cell, snapshots + zero anomalies)"
+# secpb watch exits nonzero if it streams no snapshots, observes any
+# model-invariant anomaly, or a storm-mode recovery is inconsistent.
+WATCH_OUT=$(./target/release/secpb watch gamess cobcm --quick)
+echo "$WATCH_OUT" | grep -q '"seq":1' || { echo "ci.sh: watch streamed no snapshots" >&2; exit 1; }
+echo "$WATCH_OUT" | grep -q '^anomalies    0$' || { echo "ci.sh: watch reported anomalies" >&2; exit 1; }
 
 if [ "$UPDATE_BASELINE" = 1 ]; then
   echo "==> regenerate BENCH_grid.json (full grid wall-clock baseline)"

@@ -15,6 +15,13 @@
 //! engine (default: lazy).  Exits nonzero if parallel results diverge
 //! from serial.
 //!
+//! `--telemetry` attaches a live telemetry ring to every serial cell.
+//! Because events observe and never steer, the determinism gate then
+//! proves something stronger: the telemetered serial grid must still be
+//! identical to the plain parallel grid, i.e. watching a cell costs
+//! nothing in fidelity.  The report gains ring accounting
+//! (`telemetry_events`, `telemetry_dropped`).
+//!
 //! The JSON report lands in the temp directory by default so routine
 //! runs never dirty the working tree; `--update-baseline` writes the
 //! checked-in `BENCH_grid.json` instead, and `--json <path>` overrides
@@ -28,7 +35,7 @@
 
 use std::time::Instant;
 
-use secpb_bench::experiments::{run_grid, GridCell};
+use secpb_bench::experiments::{run_grid, GridCell, TelemetryDigest};
 use secpb_core::metrics::counters;
 use secpb_core::scheme::Scheme;
 use secpb_sim::config::{MetadataMode, SystemConfig};
@@ -70,6 +77,8 @@ fn main() {
     raw.retain(|a| a != "--smoke");
     let update_baseline = raw.iter().any(|a| a == "--update-baseline");
     raw.retain(|a| a != "--update-baseline");
+    let telemetry = raw.iter().any(|a| a == "--telemetry");
+    raw.retain(|a| a != "--telemetry");
     let mode = match raw.iter().position(|a| a == "--mode") {
         Some(i) => {
             if i + 1 >= raw.len() {
@@ -93,7 +102,7 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] [--mode eager|lazy]"
+                "usage: bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] [--mode eager|lazy] [--telemetry] [--update-baseline]"
             );
             std::process::exit(2);
         }
@@ -130,19 +139,38 @@ fn main() {
         .iter()
         .map(|c| {
             let t = Instant::now();
-            let (r, check) = c.run_with_recovery();
-            ((r, check), t.elapsed().as_secs_f64())
+            let (r, check, digest) = if telemetry {
+                c.run_with_recovery_telemetered(1 << 16)
+            } else {
+                let (r, check) = c.run_with_recovery();
+                (r, check, TelemetryDigest::default())
+            };
+            ((r, check, digest), t.elapsed().as_secs_f64())
         })
         .unzip();
     let serial_s = t0.elapsed().as_secs_f64();
-    let (serial, recovery): (Vec<_>, Vec<_>) = serial_checked.into_iter().unzip();
+    let mut serial = Vec::with_capacity(cells.len());
+    let mut recovery = Vec::with_capacity(cells.len());
+    let mut digests = Vec::with_capacity(cells.len());
+    for (r, check, digest) in serial_checked {
+        serial.push(r);
+        recovery.push(check);
+        digests.push(digest);
+    }
 
     let t1 = Instant::now();
     let parallel = run_grid(&cells, jobs);
     let parallel_s = t1.elapsed().as_secs_f64();
 
     if serial != parallel {
-        eprintln!("DETERMINISM VIOLATION: parallel grid results differ from serial");
+        if telemetry {
+            eprintln!(
+                "DETERMINISM VIOLATION: telemetered serial grid differs from plain parallel \
+                 (events must observe, never steer)"
+            );
+        } else {
+            eprintln!("DETERMINISM VIOLATION: parallel grid results differ from serial");
+        }
         std::process::exit(1);
     }
 
@@ -167,9 +195,15 @@ fn main() {
         println!("parallel ({jobs} jobs)     n/a (single-core host; determinism check only)");
     }
     println!(
-        "determinism           parallel == serial ({} cells)",
+        "determinism           parallel == serial{} ({} cells)",
+        if telemetry { " (telemetered)" } else { "" },
         cells.len()
     );
+    let telemetry_events: u64 = digests.iter().map(|d| d.events).sum();
+    let telemetry_dropped: u64 = digests.iter().map(|d| d.dropped).sum();
+    if telemetry {
+        println!("telemetry             {telemetry_events} events, {telemetry_dropped} dropped");
+    }
 
     let recovery_failures: Vec<String> = cells
         .iter()
@@ -182,9 +216,11 @@ fn main() {
         })
         .collect();
     let recovery_blocks: u64 = recovery.iter().map(|c| c.blocks_checked).sum();
+    let recovery_cycles_total: u64 = recovery.iter().map(|c| c.recovery_cycles).sum();
     if recovery_failures.is_empty() {
         println!(
-            "recovery              all {} cells consistent ({recovery_blocks} blocks verified)",
+            "recovery              all {} cells consistent ({recovery_blocks} blocks verified, \
+             {recovery_cycles_total} est. sweep cycles)",
             cells.len()
         );
     } else {
@@ -207,6 +243,7 @@ fn main() {
                 .field("ns_per_store", secs * 1e9 / stores.max(1) as f64)
                 .field("recovery_ok", check.ok())
                 .field("recovery_blocks", check.blocks_checked)
+                .field("recovery_cycles", check.recovery_cycles)
                 .field(
                     "recovery_failure",
                     match &check.failure {
@@ -253,6 +290,10 @@ fn main() {
         .field("deterministic", true)
         .field("recovery_ok", recovery_failures.is_empty())
         .field("recovery_blocks_verified", recovery_blocks)
+        .field("recovery_cycles_total", recovery_cycles_total)
+        .field("telemetry", telemetry)
+        .field("telemetry_events", telemetry_events)
+        .field("telemetry_dropped", telemetry_dropped)
         .field("results", Json::Arr(per_cell.collect()));
     // Routine runs must not dirty the working tree: the checked-in
     // baseline is only touched when explicitly asked for.

@@ -21,6 +21,7 @@ use secpb_sim::config::SystemConfig;
 use secpb_sim::fxhash::derive_seed;
 use secpb_sim::json::Json;
 use secpb_sim::pool;
+use secpb_sim::telemetry::{self, TelemetrySink};
 use secpb_workloads::{TraceGenerator, WorkloadProfile};
 
 /// Default per-benchmark instruction budget.
@@ -182,6 +183,39 @@ impl GridCell {
     /// [`RecoveryCheck`] carries the cell's recovery verdict so grid
     /// reports can surface failures instead of timing alone.
     pub fn run_with_recovery(&self) -> (RunResult, RecoveryCheck) {
+        self.run_checked(None)
+    }
+
+    /// [`run_with_recovery`](Self::run_with_recovery) with a live
+    /// telemetry ring of `ring_capacity` events attached for the whole
+    /// run (warm-up, measurement, crash, recovery).  The ring is drained
+    /// after the cell completes and summarized as a [`TelemetryDigest`];
+    /// the [`RunResult`] and [`RecoveryCheck`] are byte-identical to the
+    /// untelemetered path — events observe, never steer.
+    ///
+    /// Each call owns a private ring, so pool workers running many cells
+    /// concurrently each keep the single-producer contract.
+    pub fn run_with_recovery_telemetered(
+        &self,
+        ring_capacity: usize,
+    ) -> (RunResult, RecoveryCheck, TelemetryDigest) {
+        let (sink, mut reader) = telemetry::channel(ring_capacity);
+        let (result, check) = self.run_checked(Some(sink.clone()));
+        let mut events = 0u64;
+        while reader.pop().is_some() {
+            events += 1;
+        }
+        (
+            result,
+            check,
+            TelemetryDigest {
+                events,
+                dropped: sink.dropped(),
+            },
+        )
+    }
+
+    fn run_checked(&self, sink: Option<TelemetrySink>) -> (RunResult, RecoveryCheck) {
         let mut generator =
             TraceGenerator::new(self.profile.clone(), trace_seed(&self.profile.name));
         let mut sys = SecureSystem::with_tree(
@@ -190,6 +224,7 @@ impl GridCell {
             self.tree,
             cell_seed(self.scheme, &self.profile.name),
         );
+        sys.set_telemetry(sink);
         sys.run_trace(generator.stream(warmup_for(self.instructions)));
         sys.reset_measurement();
         let result = sys.run_trace(generator.stream(self.instructions));
@@ -199,12 +234,14 @@ impl GridCell {
         let check = match sys.crash(CrashKind::PowerLoss, DrainPolicy::DrainAll) {
             Err(e) => RecoveryCheck {
                 blocks_checked: 0,
+                recovery_cycles: 0,
                 failure: Some(format!("crash drain failed: {e}")),
             },
             Ok(_) => {
                 let rec = sys.recover();
                 RecoveryCheck {
                     blocks_checked: rec.blocks_checked,
+                    recovery_cycles: sys.estimated_recovery_cycles(),
                     failure: if rec.is_consistent() {
                         None
                     } else {
@@ -228,6 +265,11 @@ impl GridCell {
 pub struct RecoveryCheck {
     /// Data blocks recovery decrypted and verified.
     pub blocks_checked: u64,
+    /// Estimated recovery-sweep latency (cycles) for the cell's
+    /// post-crash persisted footprint — the quantity recovery-time work
+    /// like Anubis and Triad-NVM optimizes, surfaced per cell so grids
+    /// can chart it.  Zero when the crash drain itself failed.
+    pub recovery_cycles: u64,
     /// `None` when recovery was fully consistent; otherwise what failed.
     pub failure: Option<String>,
 }
@@ -237,6 +279,17 @@ impl RecoveryCheck {
     pub fn ok(&self) -> bool {
         self.failure.is_none()
     }
+}
+
+/// Transport accounting for one telemetered cell run: how many events
+/// flowed through the ring and how many the ring had to drop.  Dropped
+/// events are reported, never hidden — the no-silent-caps rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetryDigest {
+    /// Events drained from the ring after the cell completed.
+    pub events: u64,
+    /// Events discarded because the ring was full mid-run.
+    pub dropped: u64,
 }
 
 /// Runs a grid of cells across `jobs` worker threads, returning results

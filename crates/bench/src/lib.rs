@@ -26,3 +26,4 @@ pub mod experiments;
 pub mod micro;
 pub mod report;
 pub mod storm;
+pub mod watch;

@@ -73,6 +73,16 @@ impl StormFront {
             StormFront::MultiCore(n) => 2 + n as u64,
         }
     }
+
+    /// The stable front label used by the CLI and every report
+    /// (`secpb`, `eadr`, `mc<N>`) — the inverse of the `FromStr` parse.
+    pub fn name(self) -> String {
+        match self {
+            StormFront::SecPb => "secpb".to_string(),
+            StormFront::Eadr => "eadr".to_string(),
+            StormFront::MultiCore(n) => format!("mc{n}"),
+        }
+    }
 }
 
 impl std::str::FromStr for StormFront {

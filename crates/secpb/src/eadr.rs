@@ -23,6 +23,7 @@ use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::cycle::Cycle;
 use secpb_sim::stats::Stats;
+use secpb_sim::telemetry::TelemetrySink;
 use secpb_sim::trace::{Access, AccessKind, TraceItem};
 
 use crate::crash::{DrainWork, RecoveryReport};
@@ -72,6 +73,18 @@ impl EadrSystem {
     /// Accumulated statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
+    }
+
+    /// Attaches (or with `None` detaches) a live telemetry sink; stat
+    /// deltas and crash/recovery markers are mirrored into the ring.
+    /// Events observe, never steer.
+    pub fn set_telemetry(&mut self, sink: Option<TelemetrySink>) {
+        self.stats.set_sink(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.stats.sink()
     }
 
     /// The system configuration.

@@ -36,6 +36,7 @@ use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::SystemConfig;
 use secpb_sim::cycle::Cycle;
 use secpb_sim::stats::Stats;
+use secpb_sim::telemetry::{TelemetryEvent, TelemetrySink};
 use secpb_sim::trace::TraceItem;
 
 use crate::crash::{CrashKind, CrashReport, DrainPolicy, DrainWork, RecoveryError, RecoveryReport};
@@ -66,6 +67,17 @@ pub trait PersistSystem {
 
     /// Accumulated statistics.
     fn stats(&self) -> &Stats;
+
+    /// Attaches (or with `None` detaches) a live telemetry sink.
+    ///
+    /// While attached, the front mirrors stat deltas, histogram samples,
+    /// spans, and crash/drain/recovery markers into the sink's ring.
+    /// Telemetry observes and never steers: a run with a sink attached
+    /// is byte-identical to one without.
+    fn set_telemetry(&mut self, sink: Option<TelemetrySink>);
+
+    /// The attached telemetry sink, if any.
+    fn telemetry(&self) -> Option<&TelemetrySink>;
 
     /// Model-internal invariant violations observed so far (the storm
     /// fails a cell on any non-zero value).
@@ -183,6 +195,14 @@ impl PersistSystem for SecureSystem {
         SecureSystem::stats(self)
     }
 
+    fn set_telemetry(&mut self, sink: Option<TelemetrySink>) {
+        SecureSystem::set_telemetry(self, sink);
+    }
+
+    fn telemetry(&self) -> Option<&TelemetrySink> {
+        SecureSystem::telemetry(self)
+    }
+
     fn step(&mut self, item: TraceItem) {
         SecureSystem::step(self, item);
     }
@@ -252,6 +272,14 @@ impl PersistSystem for EadrSystem {
         EadrSystem::stats(self)
     }
 
+    fn set_telemetry(&mut self, sink: Option<TelemetrySink>) {
+        EadrSystem::set_telemetry(self, sink);
+    }
+
+    fn telemetry(&self) -> Option<&TelemetrySink> {
+        EadrSystem::telemetry(self)
+    }
+
     fn step(&mut self, item: TraceItem) {
         EadrSystem::step(self, item);
     }
@@ -276,6 +304,16 @@ impl PersistSystem for EadrSystem {
     ) -> Result<CrashReport, RecoveryError> {
         let at = self.now();
         let (work, lost_blocks) = EadrSystem::crash_with_budget(self, max_drain_entries);
+        if let Some(sink) = self.telemetry() {
+            sink.emit(&TelemetryEvent::CrashMarker {
+                power_loss: !matches!(kind, CrashKind::ApplicationCrash(_)),
+                cycle: at.raw(),
+            });
+            sink.emit(&TelemetryEvent::DrainMarker {
+                entries: work.entries,
+                cycle: at.raw(),
+            });
+        }
         // The eADR drain is not cycle-modelled (the whole hierarchy
         // flushes on battery); the gaps close at the crash instant.
         Ok(CrashReport {
@@ -289,7 +327,15 @@ impl PersistSystem for EadrSystem {
     }
 
     fn recover_with(&self, lost: &[BlockAddr]) -> RecoveryReport {
-        EadrSystem::recover_with(self, lost)
+        let report = EadrSystem::recover_with(self, lost);
+        if let Some(sink) = self.telemetry() {
+            sink.emit(&TelemetryEvent::RecoveryMarker {
+                consistent: report.is_consistent(),
+                blocks: report.blocks_checked,
+                cycle: self.now().raw(),
+            });
+        }
+        report
     }
 
     fn resync_lost_golden(&mut self, lost: &[BlockAddr]) {
@@ -332,6 +378,14 @@ impl PersistSystem for MultiCoreSystem {
         self.stats().get("mc.anomalies")
     }
 
+    fn set_telemetry(&mut self, sink: Option<TelemetrySink>) {
+        MultiCoreSystem::set_telemetry(self, sink);
+    }
+
+    fn telemetry(&self) -> Option<&TelemetrySink> {
+        MultiCoreSystem::telemetry(self)
+    }
+
     fn step(&mut self, item: TraceItem) {
         MultiCoreSystem::step(self, item);
     }
@@ -360,6 +414,16 @@ impl PersistSystem for MultiCoreSystem {
         let at = PersistSystem::finish_time(self);
         let footprint = MultiCoreSystem::scheme(self).entry_footprint_bytes();
         let (drained, lost_blocks) = MultiCoreSystem::crash_with_budget(self, max_drain_entries)?;
+        if let Some(sink) = self.telemetry() {
+            sink.emit(&TelemetryEvent::CrashMarker {
+                power_loss: !matches!(kind, CrashKind::ApplicationCrash(_)),
+                cycle: at.raw(),
+            });
+            sink.emit(&TelemetryEvent::DrainMarker {
+                entries: drained,
+                cycle: at.raw(),
+            });
+        }
         // The event-cost model tracks entry movement, not the per-phase
         // crypto deltas; only the movement fields are populated.
         let work = DrainWork {
@@ -378,7 +442,15 @@ impl PersistSystem for MultiCoreSystem {
     }
 
     fn recover_with(&self, lost: &[BlockAddr]) -> RecoveryReport {
-        MultiCoreSystem::recover_with(self, lost)
+        let report = MultiCoreSystem::recover_with(self, lost);
+        if let Some(sink) = self.telemetry() {
+            sink.emit(&TelemetryEvent::RecoveryMarker {
+                consistent: report.is_consistent(),
+                blocks: report.blocks_checked,
+                cycle: PersistSystem::finish_time(self).raw(),
+            });
+        }
+        report
     }
 
     fn resync_lost_golden(&mut self, lost: &[BlockAddr]) {

@@ -25,6 +25,7 @@ use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::cycle::Cycle;
 use secpb_sim::stats::Stats;
+use secpb_sim::telemetry::{TelemetryEvent, TelemetrySink};
 use secpb_sim::trace::{Access, AccessKind, TraceItem};
 
 use crate::coherence::{CoherenceAction, CoherenceController};
@@ -131,6 +132,32 @@ impl MultiCoreSystem {
         &self.stats
     }
 
+    /// Attaches (or with `None` detaches) a live telemetry sink; stat
+    /// deltas, anomaly transitions, and crash/recovery markers are
+    /// mirrored into the ring.  Events observe, never steer.
+    pub fn set_telemetry(&mut self, sink: Option<TelemetrySink>) {
+        self.stats.set_sink(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.stats.sink()
+    }
+
+    /// Records a model-invariant violation: bumps `mc.anomalies` and,
+    /// when a telemetry sink is attached, emits an anomaly-transition
+    /// marker carrying the new cumulative count.
+    fn note_anomaly(&mut self) {
+        self.stats.bump("mc.anomalies");
+        if let Some(sink) = self.stats.sink() {
+            let cycle = self.core_now.iter().map(|c| c.raw()).max().unwrap_or(0);
+            sink.emit(&TelemetryEvent::AnomalyMarker {
+                count: self.stats.get("mc.anomalies"),
+                cycle,
+            });
+        }
+    }
+
     /// The coherence controller (for invariant checks in tests).
     pub fn coherence(&self) -> &CoherenceController {
         &self.coherence
@@ -176,11 +203,11 @@ impl MultiCoreSystem {
             let Some(victim) = self.coherence.pb(core).oldest() else {
                 // A full PB with no oldest entry is a broken invariant;
                 // survive it and let the storm see the anomaly counter.
-                self.stats.bump("mc.anomalies");
+                self.note_anomaly();
                 break;
             };
             let Some(entry) = self.coherence.drain(victim) else {
-                self.stats.bump("mc.anomalies");
+                self.note_anomaly();
                 break;
             };
             self.flush_entry(entry);
@@ -203,19 +230,26 @@ impl MultiCoreSystem {
             CoherenceAction::FlushedFrom { .. } => {
                 // Writes never flush under the protocol; tolerate a
                 // misbehaving controller instead of aborting.
-                self.stats.bump("mc.anomalies");
+                self.note_anomaly();
                 self.cfg.secpb.access_latency
             }
         };
         // Apply the store to the (now-local) entry.
         let pb_core = core;
-        match self.coherence.pb_mut(pb_core).entry_mut(block) {
-            Some(entry) => entry.apply_store(
-                store.access.addr.block_offset(),
-                store.access.value,
-                usize::from(store.access.size),
-            ),
-            None => self.stats.bump("mc.anomalies"),
+        let applied = self
+            .coherence
+            .pb_mut(pb_core)
+            .entry_mut(block)
+            .map(|entry| {
+                entry.apply_store(
+                    store.access.addr.block_offset(),
+                    store.access.value,
+                    usize::from(store.access.size),
+                );
+            })
+            .is_some();
+        if !applied {
+            self.note_anomaly();
         }
         self.core_now[core] += latency;
     }

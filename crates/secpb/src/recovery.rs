@@ -12,6 +12,7 @@
 
 use secpb_mem::store::NvmStore;
 use secpb_sim::addr::BlockAddr;
+use secpb_sim::telemetry::TelemetryEvent;
 
 use crate::crash::{
     BlockVerdict, CrashKind, CrashReport, DrainPolicy, DrainWork, RecoveryError, RecoveryReport,
@@ -225,6 +226,17 @@ impl SecureSystem {
             ciphertexts: delta(counters::CIPHERTEXTS),
         };
 
+        if let Some(sink) = self.stats.sink() {
+            sink.emit(&TelemetryEvent::CrashMarker {
+                power_loss: full_power_cycle,
+                cycle: at.raw(),
+            });
+            sink.emit(&TelemetryEvent::DrainMarker {
+                entries,
+                cycle: drain_complete_at.raw(),
+            });
+        }
+
         Ok(CrashReport {
             kind,
             at,
@@ -258,8 +270,17 @@ impl SecureSystem {
     /// [`BlockVerdict::LostStale`] / [`BlockVerdict::InFlightStale`]
     /// verdicts instead of counting as plaintext mismatches.
     pub fn recover_with(&self, lost: &[BlockAddr]) -> RecoveryReport {
-        self.domain
-            .recover_report(lost, self.scheme.is_secure(), &|b| self.pb.contains(b))
+        let report = self
+            .domain
+            .recover_report(lost, self.scheme.is_secure(), &|b| self.pb.contains(b));
+        if let Some(sink) = self.stats.sink() {
+            sink.emit(&TelemetryEvent::RecoveryMarker {
+                consistent: report.is_consistent(),
+                blocks: report.blocks_checked,
+                cycle: self.finish_time().raw(),
+            });
+        }
+        report
     }
 
     /// Re-reads the durable image of brown-out-lost blocks back into the

@@ -36,6 +36,7 @@ use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::{MetadataMode, SystemConfig};
 use secpb_sim::cycle::Cycle;
 use secpb_sim::stats::{HistId, StatId, Stats};
+use secpb_sim::telemetry::TelemetrySink;
 use secpb_sim::trace::{AccessKind, TraceItem};
 use secpb_sim::tracer::Tracer;
 
@@ -264,9 +265,26 @@ impl SecureSystem {
 
     /// Enables span-event capture (for Chrome-trace export) with the given
     /// buffer capacity; aggregates are always maintained regardless.
-    /// Discards anything traced so far.
+    /// Discards anything traced so far (but keeps an attached telemetry
+    /// sink).
     pub fn enable_trace_capture(&mut self, capacity: usize) {
+        let sink = self.tracer.sink().cloned();
         self.tracer = Tracer::with_capture(capacity);
+        self.tracer.set_sink(sink);
+    }
+
+    /// Attaches (or with `None` detaches) a live telemetry sink: every
+    /// stat delta, histogram sample, and span — plus crash/drain/recovery
+    /// markers — is mirrored into the ring.  Events observe, never steer:
+    /// a run with a sink attached is byte-identical to one without.
+    pub fn set_telemetry(&mut self, sink: Option<TelemetrySink>) {
+        self.stats.set_sink(sink.clone());
+        self.tracer.set_sink(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.stats.sink()
     }
 
     /// Where the measured cycles have gone so far.  `drain_wait` is only

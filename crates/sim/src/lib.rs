@@ -23,6 +23,10 @@
 //!   fans index spaces out and reassembles results in canonical order,
 //! * [`rng`] — a seedable SplitMix64/xoshiro256** generator so simulations
 //!   are reproducible without pulling `rand` into the model crates,
+//! * [`telemetry`] — the live telemetry plane: a lock-free SPSC event
+//!   ring attachable to [`stats`]/[`tracer`] as a pure observer, plus the
+//!   [`telemetry::HealthSnapshot`] aggregation layer and incremental
+//!   Chrome-trace streaming,
 //! * [`trace`] — the trace record types produced by `secpb-workloads` and
 //!   consumed by `secpb-core`.
 //!
@@ -50,6 +54,7 @@ pub mod json;
 pub mod pool;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod tracer;
 
@@ -59,4 +64,5 @@ pub use cycle::Cycle;
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use json::Json;
 pub use stats::Stats;
+pub use telemetry::{TelemetryEvent, TelemetryReader, TelemetrySink};
 pub use tracer::{Phase, Tracer};

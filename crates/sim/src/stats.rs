@@ -40,6 +40,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::json::Json;
+use crate::telemetry::{TelemetryEvent, TelemetrySink};
 
 /// A dense handle to a registered counter.
 ///
@@ -48,9 +49,24 @@ use crate::json::Json;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StatId(u32);
 
+impl StatId {
+    /// The dense slot index behind the handle, for id-keyed side tables
+    /// (the telemetry plane ships this index over the wire).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A dense handle to a registered histogram.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HistId(u32);
+
+impl HistId {
+    /// The dense slot index behind the handle.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
 
 /// A histogram with power-of-two bucket boundaries.
 ///
@@ -165,6 +181,30 @@ impl Log2Histogram {
         self.max
     }
 
+    /// An upper bound on the `p`-quantile of the samples (0 if empty).
+    ///
+    /// Walks the buckets to the one containing the `⌈p·total⌉`-th sample
+    /// and returns that bucket's inclusive upper bound, clamped to the
+    /// exact maximum sample.  Log-2 bucketing means the answer is exact
+    /// to within a factor of two — the right fidelity for "is p99 drain
+    /// latency exploding" health monitoring, at zero per-sample cost.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        let target = ((p * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= target {
+                let (_, hi) = Self::bucket_range(i);
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
     /// Merges another histogram's samples into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         if other.counts.len() > self.counts.len() {
@@ -265,7 +305,16 @@ impl Log2Histogram {
 
 /// The statistics registry: typed-handle fast path over dense slots, with
 /// a name→id map kept for registration, merging, and reporting.
-#[derive(Debug, Default, Clone, PartialEq)]
+///
+/// An optional [`TelemetrySink`] may be attached with [`Stats::set_sink`];
+/// while attached, every counter increment and histogram sample is
+/// mirrored into the sink's ring as a [`TelemetryEvent`] *after* the
+/// registry mutation.  The sink is a pure observer: it never influences
+/// any value, it is ignored by `PartialEq`, and it survives
+/// [`Stats::reset`] (but is deliberately **not** carried by [`Clone`] —
+/// a cloned registry, e.g. inside a `RunResult`, must not keep feeding a
+/// live ring).
+#[derive(Debug, Default)]
 pub struct Stats {
     /// `name → StatId.0`; consulted only at registration/report time.
     counter_ids: BTreeMap<String, u32>,
@@ -275,6 +324,29 @@ pub struct Stats {
     hist_ids: BTreeMap<String, u32>,
     /// Dense histograms, indexed by `HistId`.
     hists: Vec<Log2Histogram>,
+    /// Live telemetry sink; `None` (the default) costs one branch.
+    sink: Option<TelemetrySink>,
+}
+
+impl Clone for Stats {
+    fn clone(&self) -> Self {
+        Stats {
+            counter_ids: self.counter_ids.clone(),
+            values: self.values.clone(),
+            hist_ids: self.hist_ids.clone(),
+            hists: self.hists.clone(),
+            sink: None,
+        }
+    }
+}
+
+impl PartialEq for Stats {
+    fn eq(&self, other: &Self) -> bool {
+        self.counter_ids == other.counter_ids
+            && self.values == other.values
+            && self.hist_ids == other.hist_ids
+            && self.hists == other.hists
+    }
 }
 
 impl Stats {
@@ -315,12 +387,20 @@ impl Stats {
     #[inline]
     pub fn inc(&mut self, id: StatId) {
         self.values[id.0 as usize] += 1;
+        if let Some(sink) = &self.sink {
+            sink.emit(&TelemetryEvent::StatDelta { id: id.0, delta: 1 });
+        }
     }
 
     /// Increments a registered counter by `n`.
     #[inline]
     pub fn add(&mut self, id: StatId, n: u64) {
         self.values[id.0 as usize] += n;
+        if n > 0 {
+            if let Some(sink) = &self.sink {
+                sink.emit(&TelemetryEvent::StatDelta { id: id.0, delta: n });
+            }
+        }
     }
 
     /// A registered counter's current value.
@@ -333,6 +413,9 @@ impl Stats {
     #[inline]
     pub fn record(&mut self, id: HistId, value: u64) {
         self.hists[id.0 as usize].record(value);
+        if let Some(sink) = &self.sink {
+            sink.emit(&TelemetryEvent::HistSample { id: id.0, value });
+        }
     }
 
     /// A registered histogram.
@@ -381,11 +464,45 @@ impl Stats {
         self.hist_ids.get(name).map(|&id| &self.hists[id as usize])
     }
 
+    // ----- telemetry ------------------------------------------------
+
+    /// Attaches (or with `None` detaches) a live telemetry sink.
+    ///
+    /// While attached, every [`Self::inc`]/[`Self::add`]/[`Self::record`]
+    /// mirrors its delta into the ring.  The sink observes and never
+    /// steers: no registry value depends on it, and a full ring drops
+    /// events (counted) rather than stalling the caller.
+    pub fn set_sink(&mut self, sink: Option<TelemetrySink>) {
+        self.sink = sink;
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn sink(&self) -> Option<&TelemetrySink> {
+        self.sink.as_ref()
+    }
+
+    /// Iterates over `(name, id)` for all registered counters in name
+    /// order — the mapping telemetry consumers use to resolve wire ids.
+    pub fn counter_entries(&self) -> impl Iterator<Item = (&str, StatId)> {
+        self.counter_ids
+            .iter()
+            .map(|(k, &id)| (k.as_str(), StatId(id)))
+    }
+
+    /// Iterates over `(name, id)` for all registered histograms in name
+    /// order.
+    pub fn histogram_entries(&self) -> impl Iterator<Item = (&str, HistId)> {
+        self.hist_ids
+            .iter()
+            .map(|(k, &id)| (k.as_str(), HistId(id)))
+    }
+
     // ----- lifecycle ------------------------------------------------
 
     /// Zeroes every counter and histogram while keeping all
-    /// registrations, so previously issued handles stay valid.  Used at
-    /// measurement-region boundaries (warm-up → measure).
+    /// registrations (and any attached telemetry sink), so previously
+    /// issued handles stay valid.  Used at measurement-region boundaries
+    /// (warm-up → measure).
     pub fn reset(&mut self) {
         for v in &mut self.values {
             *v = 0;
@@ -411,13 +528,14 @@ impl Stats {
 
     /// Merges another registry into this one by name: counters add,
     /// histograms merge bucket-wise.
+    ///
+    /// Merging is report assembly, not live observation, so it writes
+    /// slots directly and emits **no** telemetry events even when a sink
+    /// is attached.
     pub fn merge(&mut self, other: &Stats) {
         for (name, value) in other.iter() {
-            if value > 0 {
-                self.bump_by(name, value);
-            } else {
-                self.counter(name);
-            }
+            let id = self.counter(name);
+            self.values[id.0 as usize] += value;
         }
         for (name, h) in other.histograms() {
             let id = self.histogram_id(name);
@@ -658,6 +776,56 @@ mod tests {
         let h = a.histogram("h").unwrap();
         assert_eq!(h.total(), 2);
         assert_eq!(h.max(), 50);
+    }
+
+    #[test]
+    fn percentile_walks_buckets_and_clamps_to_max() {
+        let mut h = Log2Histogram::new();
+        assert_eq!(h.percentile(0.99), 0, "empty histogram");
+        for _ in 0..99 {
+            h.record(4); // bucket [4, 7]
+        }
+        h.record(1000); // bucket [512, 1023]
+        assert_eq!(h.percentile(0.50), 7, "bucket upper bound");
+        assert_eq!(h.percentile(0.99), 7);
+        assert_eq!(h.percentile(1.0), 1000, "clamped to the exact max");
+        let mut single = Log2Histogram::new();
+        single.record(5);
+        assert_eq!(single.percentile(0.5), 5);
+    }
+
+    #[test]
+    fn sink_mirrors_mutations_but_never_alters_values() {
+        use crate::telemetry::{channel, TelemetryEvent};
+        let mut with_sink = Stats::new();
+        let mut without = Stats::new();
+        let (sink, mut reader) = channel(64);
+        with_sink.set_sink(Some(sink));
+        for s in [&mut with_sink, &mut without] {
+            let c = s.counter("n");
+            let h = s.histogram_id("lat");
+            s.inc(c);
+            s.add(c, 4);
+            s.add(c, 0); // zero deltas are not emitted
+            s.record(h, 9);
+        }
+        assert_eq!(with_sink, without, "sink must not steer any value");
+        let events: Vec<_> = std::iter::from_fn(|| reader.pop()).collect();
+        assert_eq!(
+            events,
+            vec![
+                TelemetryEvent::StatDelta { id: 0, delta: 1 },
+                TelemetryEvent::StatDelta { id: 0, delta: 4 },
+                TelemetryEvent::HistSample { id: 0, value: 9 },
+            ]
+        );
+        // reset/merge keep the sink but merge is silent.
+        with_sink.reset();
+        assert!(with_sink.sink().is_some());
+        with_sink.merge(&without);
+        assert!(reader.pop().is_none(), "merge must not emit");
+        // Clones are snapshots: they drop the sink.
+        assert!(with_sink.clone().sink().is_none());
     }
 
     #[test]

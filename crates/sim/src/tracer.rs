@@ -29,6 +29,7 @@
 
 use crate::cycle::Cycle;
 use crate::json::Json;
+use crate::telemetry::{TelemetryEvent, TelemetrySink};
 
 /// The traced phases of the secure persist path.
 ///
@@ -84,8 +85,15 @@ impl Phase {
         }
     }
 
-    fn index(self) -> usize {
+    /// The phase's position in [`Phase::ALL`] — the stable small integer
+    /// used as the Chrome-trace tid offset and the telemetry wire code.
+    pub fn index(self) -> usize {
         self as usize
+    }
+
+    /// The inverse of [`Phase::index`]; `None` if out of range.
+    pub fn from_index(index: usize) -> Option<Phase> {
+        Phase::ALL.get(index).copied()
     }
 }
 
@@ -104,13 +112,43 @@ pub struct SpanEvent {
 pub const DEFAULT_CAPTURE_CAPACITY: usize = 1 << 20;
 
 /// Per-phase cycle aggregation plus optional bounded span capture.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Like [`crate::stats::Stats`], a tracer may carry a live
+/// [`TelemetrySink`]: every nonzero-length span is then mirrored into
+/// the ring as a [`TelemetryEvent::Span`].  The sink is ignored by
+/// `PartialEq`, dropped by `Clone` (clones are snapshots), and kept by
+/// [`Tracer::reset`].
+#[derive(Debug)]
 pub struct Tracer {
     cycles: [u64; PHASE_COUNT],
     counts: [u64; PHASE_COUNT],
     events: Vec<SpanEvent>,
     capture_capacity: usize,
     dropped: u64,
+    sink: Option<TelemetrySink>,
+}
+
+impl Clone for Tracer {
+    fn clone(&self) -> Self {
+        Tracer {
+            cycles: self.cycles,
+            counts: self.counts,
+            events: self.events.clone(),
+            capture_capacity: self.capture_capacity,
+            dropped: self.dropped,
+            sink: None,
+        }
+    }
+}
+
+impl PartialEq for Tracer {
+    fn eq(&self, other: &Self) -> bool {
+        self.cycles == other.cycles
+            && self.counts == other.counts
+            && self.events == other.events
+            && self.capture_capacity == other.capture_capacity
+            && self.dropped == other.dropped
+    }
 }
 
 impl Default for Tracer {
@@ -128,6 +166,7 @@ impl Tracer {
             events: Vec::new(),
             capture_capacity: 0,
             dropped: 0,
+            sink: None,
         }
     }
 
@@ -145,6 +184,18 @@ impl Tracer {
         self.capture_capacity > 0
     }
 
+    /// Attaches (or with `None` detaches) a live telemetry sink; every
+    /// nonzero-length span is then mirrored into the ring.  Survives
+    /// [`Self::reset`]; dropped by `Clone`.
+    pub fn set_sink(&mut self, sink: Option<TelemetrySink>) {
+        self.sink = sink;
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn sink(&self) -> Option<&TelemetrySink> {
+        self.sink.as_ref()
+    }
+
     /// Records a span covering `[begin, end)` in simulated time.
     ///
     /// Zero-length spans still count toward [`Self::count`] (the event
@@ -155,6 +206,15 @@ impl Tracer {
         let i = phase.index();
         self.cycles[i] += duration;
         self.counts[i] += 1;
+        if duration > 0 {
+            if let Some(sink) = &self.sink {
+                sink.emit(&TelemetryEvent::Span {
+                    phase,
+                    begin: begin.raw(),
+                    duration,
+                });
+            }
+        }
         if self.capture_capacity > 0 && duration > 0 {
             if self.events.len() < self.capture_capacity {
                 self.events.push(SpanEvent {

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! secpb run <bench> <scheme> [entries] [instructions] [--front F]   simulate + metrics
+//! secpb watch <bench> <scheme> [instructions] [--front F] [...]  stream health snapshots
 //! secpb grid [instructions] [--jobs N]                  scheme×workload grid (Table IV)
 //! secpb crash <bench> <scheme> [instructions] [--front F]  crash + verified recovery
 //! secpb storm [--quick] [--seed N] [--brown-out F]      crash-storm fault injection
@@ -25,12 +26,14 @@ use std::fmt::Write as _;
 
 use secpb_bench::experiments;
 use secpb_bench::storm::{build_front, StormFront};
+use secpb_bench::watch::{run_watch, WatchConfig};
 use secpb_core::crash::{CrashKind, DrainPolicy};
 use secpb_core::scheme::Scheme;
 use secpb_core::system::SecureSystem;
 use secpb_energy::battery::BatteryTech;
 use secpb_energy::drain::{secpb_drain_energy, SchemeKind};
 use secpb_sim::config::SystemConfig;
+use secpb_sim::telemetry::ChromeTraceStream;
 use secpb_sim::trace::TraceSummary;
 use secpb_workloads::trace_io;
 use secpb_workloads::{TraceGenerator, WorkloadProfile};
@@ -38,6 +41,8 @@ use secpb_workloads::{TraceGenerator, WorkloadProfile};
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
   secpb run <bench> <scheme> [entries] [instructions] [--front secpb|eadr|mc<N>]
+  secpb watch <bench> <scheme> [instructions] [--front secpb|eadr|mc<N>] [--interval N]
+              [--out FILE] [--trace-out FILE] [--crash-every N] [--quick]
   secpb grid [instructions] [--jobs N]
   secpb crash <bench> <scheme> [instructions] [--front secpb|eadr|mc<N>]
   secpb storm [--quick] [--seed N] [--brown-out F]
@@ -55,6 +60,7 @@ pub const USAGE: &str = "usage:
 pub fn dispatch(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("grid") => cmd_grid(&args[1..]),
         Some("crash") => cmd_crash(&args[1..]),
         Some("storm") => cmd_storm(&args[1..]),
@@ -99,14 +105,6 @@ fn take_front(args: &[String]) -> Result<(StormFront, Vec<String>), String> {
     Ok((front, rest))
 }
 
-fn front_name(front: StormFront) -> String {
-    match front {
-        StormFront::SecPb => "secpb".to_owned(),
-        StormFront::Eadr => "eadr".to_owned(),
-        StormFront::MultiCore(n) => format!("mc{n}"),
-    }
-}
-
 fn cmd_run(args: &[String]) -> Result<String, String> {
     let (front, args) = take_front(args)?;
     let bench = args.first().ok_or(USAGE)?;
@@ -130,7 +128,7 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
     let _ = writeln!(
         out,
         "bench={bench} front={} scheme={} entries={entries}",
-        front_name(front),
+        front.name(),
         sys.scheme()
     );
     let _ = writeln!(out, "cycles       {}", r.cycles);
@@ -142,6 +140,134 @@ fn cmd_run(args: &[String]) -> Result<String, String> {
         "bmt/store    {:.1}%",
         r.bmt_updates_per_store() * 100.0
     );
+    let anomalies = sys.anomalies();
+    let _ = writeln!(out, "anomalies    {anomalies}");
+    if anomalies > 0 {
+        let _ = writeln!(
+            out,
+            "WARNING: {anomalies} model-invariant anomalies recorded — the run completed but \
+             violated internal invariants; stream details with `secpb watch`"
+        );
+    }
+    Ok(out)
+}
+
+/// Parses a `--flag <number>` pair out of `args`, removing both tokens.
+fn take_numeric_flag<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} takes a number"));
+            }
+            let value = args[i + 1]
+                .parse::<T>()
+                .map_err(|_| format!("{flag} takes a number"))?;
+            args.drain(i..=i + 1);
+            Ok(Some(value))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Parses a `--flag <path>` pair out of `args`, removing both tokens.
+fn take_path_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} takes a file path"));
+            }
+            let value = args[i + 1].clone();
+            args.drain(i..=i + 1);
+            Ok(Some(value))
+        }
+        None => Ok(None),
+    }
+}
+
+fn cmd_watch(args: &[String]) -> Result<String, String> {
+    let (front, mut args) = take_front(args)?;
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let interval = take_numeric_flag::<u64>(&mut args, "--interval")?;
+    let crash_every = take_numeric_flag::<u64>(&mut args, "--crash-every")?;
+    let out_path = take_path_flag(&mut args, "--out")?;
+    let trace_path = take_path_flag(&mut args, "--trace-out")?;
+    let bench = args.first().ok_or(USAGE)?;
+    let scheme = parse_scheme(args.get(1).ok_or(USAGE)?)?;
+    let instructions: Option<u64> = args
+        .get(2)
+        .map(|s| s.parse().map_err(|_| USAGE))
+        .transpose()?;
+
+    let mut cfg = WatchConfig::new(front, scheme, parse_profile(bench)?);
+    if quick {
+        cfg = cfg.quick();
+    }
+    if let Some(n) = instructions {
+        cfg.instructions = n;
+    }
+    if let Some(n) = interval {
+        cfg.interval = n;
+    }
+    if let Some(n) = crash_every {
+        cfg.crash_every = Some(n);
+    }
+
+    let mut jsonl: Vec<u8> = Vec::new();
+    let mut trace_stream = match &trace_path {
+        Some(path) => {
+            let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(
+                ChromeTraceStream::new(std::io::BufWriter::new(file), "secpb watch", 0)
+                    .map_err(|e| format!("{path}: {e}"))?,
+            )
+        }
+        None => None,
+    };
+    let outcome = run_watch(&cfg, Some(&mut jsonl), trace_stream.as_mut())?;
+    if let Some(stream) = trace_stream.as_mut() {
+        stream.finish(outcome.dropped).map_err(|e| e.to_string())?;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "watch bench={bench} front={} scheme={scheme} instructions={} interval={}",
+        front.name(),
+        cfg.instructions,
+        cfg.interval
+    );
+    match &out_path {
+        Some(path) => {
+            std::fs::write(path, &jsonl).map_err(|e| format!("{path}: {e}"))?;
+            let _ = writeln!(out, "snapshots    {} -> {path}", outcome.snapshots.len());
+        }
+        None => {
+            out.push_str(&String::from_utf8_lossy(&jsonl));
+            let _ = writeln!(out, "snapshots    {}", outcome.snapshots.len());
+        }
+    }
+    if let Some(path) = &trace_path {
+        let _ = writeln!(out, "chrome trace {path}");
+    }
+    let _ = writeln!(out, "events       {}", outcome.events);
+    let _ = writeln!(out, "dropped      {}", outcome.dropped);
+    let _ = writeln!(out, "crashes      {}", outcome.crashes);
+    let _ = writeln!(out, "cycles       {}", outcome.cycles);
+    let _ = writeln!(out, "anomalies    {}", outcome.anomalies);
+    let _ = writeln!(out, "consistent   {}", outcome.consistent);
+    if outcome.snapshots.is_empty() {
+        return Err(format!("watch streamed no snapshots:\n{out}"));
+    }
+    if outcome.anomalies > 0 {
+        return Err(format!("watch observed model-invariant anomalies:\n{out}"));
+    }
+    if !outcome.consistent {
+        return Err(format!("watch recovery sweep was inconsistent:\n{out}"));
+    }
     Ok(out)
 }
 
@@ -404,6 +530,67 @@ mod tests {
         assert!(run(&["run", "hmmer", "nonesuch"])
             .unwrap_err()
             .contains("unknown scheme"));
+    }
+
+    #[test]
+    fn run_reports_anomaly_counter() {
+        let out = run(&["run", "hmmer", "cobcm", "32", "20000"]).unwrap();
+        assert!(out.contains("anomalies    0"), "{out}");
+        assert!(!out.contains("WARNING"), "{out}");
+    }
+
+    #[test]
+    fn watch_quick_streams_health_snapshots() {
+        let out = run(&["watch", "gamess", "cobcm", "--quick"]).unwrap();
+        assert!(out.contains("\"seq\":1"), "{out}");
+        assert!(out.contains("\"drain_latency\""), "{out}");
+        assert!(out.contains("anomalies    0"), "{out}");
+        assert!(out.contains("consistent   true"), "{out}");
+        assert!(out.contains("crashes"), "{out}");
+    }
+
+    #[test]
+    fn watch_writes_jsonl_and_chrome_trace_files() {
+        let dir = std::env::temp_dir().join("secpb_cli_watch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("health.jsonl").to_string_lossy().into_owned();
+        let trace = dir.join("trace.json").to_string_lossy().into_owned();
+        let out = run(&[
+            "watch",
+            "gamess",
+            "cobcm",
+            "--quick",
+            "--out",
+            &snap,
+            "--trace-out",
+            &trace,
+        ])
+        .unwrap();
+        assert!(out.contains(&snap), "{out}");
+        let jsonl = std::fs::read_to_string(&snap).unwrap();
+        for line in jsonl.lines() {
+            let parsed = secpb_sim::json::Json::parse(line).expect("each line parses");
+            assert!(parsed.get("occupancy").is_some(), "{line}");
+        }
+        let doc = std::fs::read_to_string(&trace).unwrap();
+        assert!(
+            secpb_sim::json::Json::parse(&doc).is_ok(),
+            "chrome trace must be valid JSON"
+        );
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn watch_rejects_bad_flags() {
+        assert!(run(&["watch"]).is_err());
+        assert!(run(&["watch", "gamess"]).is_err());
+        assert!(run(&["watch", "gamess", "cobcm", "--interval"])
+            .unwrap_err()
+            .contains("--interval takes a number"));
+        assert!(run(&["watch", "gamess", "cobcm", "--out"])
+            .unwrap_err()
+            .contains("--out takes a file path"));
     }
 
     #[test]

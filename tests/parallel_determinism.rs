@@ -7,7 +7,10 @@
 //!    serially and in parallel,
 //! 3. the streaming trace path yields exactly the items the materialized
 //!    path does, so swapping `generate` for `stream` in the hot path is
-//!    invisible to the simulated system.
+//!    invisible to the simulated system,
+//! 4. attaching telemetry rings changes neither side: a telemetered
+//!    serial sweep equals the plain parallel grid cell for cell, and the
+//!    merged registries render byte-identically.
 
 use secpb_bench::experiments::{run_grid, table4, GridCell};
 use secpb_core::scheme::Scheme;
@@ -37,6 +40,41 @@ fn table4_report_is_byte_identical_serial_vs_parallel() {
     let serial = table4(QUICK, 1).to_json().to_pretty();
     let parallel = table4(QUICK, 4).to_json().to_pretty();
     assert_eq!(serial, parallel);
+}
+
+#[test]
+fn telemetered_cells_match_the_parallel_grid_cell_for_cell() {
+    let cells: Vec<GridCell> = ["gamess", "soplex"]
+        .iter()
+        .flat_map(|name| {
+            [Scheme::Bbb, Scheme::Cobcm]
+                .into_iter()
+                .map(|s| GridCell::new(WorkloadProfile::named(name).unwrap(), s, QUICK))
+        })
+        .collect();
+    // The parallel pool runs plain cells; the serial sweep runs each
+    // cell with a live telemetry ring attached.  Telemetry events
+    // observe and never steer, so the two sweeps must be equal — the
+    // same contract `bench_grid --telemetry` gates on.
+    let parallel = run_grid(&cells, 4);
+    for (cell, plain) in cells.iter().zip(&parallel) {
+        let (telemetered, check, digest) = cell.run_with_recovery_telemetered(1 << 16);
+        assert_eq!(
+            &telemetered,
+            plain,
+            "{}/{}: telemetered serial != plain parallel",
+            cell.profile.name,
+            cell.scheme.name()
+        );
+        assert!(check.ok(), "{}: {:?}", cell.profile.name, check.failure);
+        assert!(digest.events > 0, "the ring must have carried events");
+        // The merged stats registries render byte-identically: the sink
+        // never leaks into values, ordering, or the JSON export.
+        assert_eq!(
+            telemetered.stats.to_json().to_pretty(),
+            plain.stats.to_json().to_pretty()
+        );
+    }
 }
 
 #[test]
