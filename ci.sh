@@ -31,6 +31,33 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> hw-crypto lane: build + tests with the hardware kernels compiled in"
+# The hw backends detect AES-NI/AVX2 at runtime and fall back to the
+# portable engines when the ISA is absent, so this lane is safe on any
+# host: with the extensions it exercises the AES-NI/4-lane-SHA-512
+# kernels, without them it validates the fallback path (graceful skip
+# happens inside the backends, not here).  The release binaries the
+# gates below run are rebuilt by this lane, so the equivalence smokes
+# and the grid baseline exercise the hardware-class hot path.  The
+# feature must be enabled per package (--workspace), not just on the
+# root facade crate — a bare `--features hw-crypto` from the root only
+# rebuilds the facade and leaves the gate binaries on scalar kernels.
+cargo build --release --workspace --features hw-crypto
+cargo test -q --workspace --features hw-crypto
+
+echo "==> backend-equivalence smoke (scalar == multiblock == hw on fuzzed traces)"
+# The suite sweeps every backend against the scalar reference: digests,
+# grid JSON, crash/recovery verdicts, telemetry-on/off parity, plus the
+# arena stress test.  Run against the hw-crypto build so a detected
+# AES-NI/AVX2 host pins the real hardware kernels to the reference.
+cargo test -q --features hw-crypto --test backend_equivalence
+
+echo "==> crypto_micro regression guard (batched fold >= 2x scalar)"
+# Fails if the multi-block batched HMAC fold is not at least 2x faster
+# than the scalar backend; self-skips (with a notice) on hosts where the
+# vectorized hash kernel is unavailable.
+./target/release/crypto_micro --check
+
 echo "==> eager-vs-lazy metadata equivalence smoke (all schemes)"
 # equiv_smoke exits nonzero if the lazy metadata engine's observable
 # outputs (grid JSON, crash report, persisted root, stats, recovery)

@@ -7,12 +7,13 @@
 //! and host nanoseconds per simulated store.
 //!
 //! Usage:
-//! `cargo run --release -p secpb-bench --bin bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] [--mode eager|lazy] [--update-baseline]`
+//! `cargo run --release -p secpb-bench --bin bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] [--mode eager|lazy] [--backend auto|scalar|multiblock|hw] [--validate-parallel] [--update-baseline]`
 //!
 //! `--smoke` shrinks the grid to 2 workloads × 2 schemes (the CI
 //! determinism gate); the default grid is the full Table IV workload
 //! suite × all SecPB schemes.  `--mode` selects the security-metadata
-//! engine (default: lazy).  Exits nonzero if parallel results diverge
+//! engine (default: lazy) and `--backend` pins the crypto backend
+//! (default: auto-detect).  Exits nonzero if parallel results diverge
 //! from serial.
 //!
 //! `--telemetry` attaches a live telemetry ring to every serial cell.
@@ -31,19 +32,27 @@
 //! determinism check), but its wall-clock time says nothing about the
 //! engine, so `speedup` is reported as `null` and
 //! `parallel_timing_valid` as `false` rather than shipping a
-//! misleading sub-1x figure.
+//! misleading sub-1x figure.  `--validate-parallel` makes that posture
+//! explicit for 1-core CI: it pins the parallel pass to 2 workers and
+//! records `parallel_determinism_validated: true` in the report —
+//! determinism is validated even where timing isn't.
 
 use std::time::Instant;
 
 use secpb_bench::experiments::{run_grid, GridCell, TelemetryDigest};
 use secpb_core::metrics::counters;
 use secpb_core::scheme::Scheme;
-use secpb_sim::config::{MetadataMode, SystemConfig};
+use secpb_sim::config::{CryptoBackendKind, MetadataMode, SystemConfig};
 use secpb_sim::json::Json;
 use secpb_sim::pool;
 use secpb_workloads::WorkloadProfile;
 
-fn build_grid(smoke: bool, instructions: u64, mode: MetadataMode) -> Vec<GridCell> {
+fn build_grid(
+    smoke: bool,
+    instructions: u64,
+    mode: MetadataMode,
+    backend: CryptoBackendKind,
+) -> Vec<GridCell> {
     let (profiles, schemes): (Vec<WorkloadProfile>, Vec<Scheme>) = if smoke {
         (
             ["gamess", "povray"]
@@ -60,7 +69,9 @@ fn build_grid(smoke: bool, instructions: u64, mode: MetadataMode) -> Vec<GridCel
                 .collect(),
         )
     };
-    let cfg = SystemConfig::default().with_metadata_mode(mode);
+    let cfg = SystemConfig::default()
+        .with_metadata_mode(mode)
+        .with_crypto_backend(backend);
     profiles
         .iter()
         .flat_map(|p| {
@@ -79,6 +90,26 @@ fn main() {
     raw.retain(|a| a != "--update-baseline");
     let telemetry = raw.iter().any(|a| a == "--telemetry");
     raw.retain(|a| a != "--telemetry");
+    let validate_parallel = raw.iter().any(|a| a == "--validate-parallel");
+    raw.retain(|a| a != "--validate-parallel");
+    let backend = match raw.iter().position(|a| a == "--backend") {
+        Some(i) => {
+            if i + 1 >= raw.len() {
+                eprintln!("error: --backend requires a value (auto|scalar|multiblock|hw)");
+                std::process::exit(2);
+            }
+            let parsed = raw[i + 1].parse::<CryptoBackendKind>();
+            raw.drain(i..=i + 1);
+            match parsed {
+                Ok(b) => b,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => CryptoBackendKind::default(),
+    };
     let mode = match raw.iter().position(|a| a == "--mode") {
         Some(i) => {
             if i + 1 >= raw.len() {
@@ -102,30 +133,43 @@ fn main() {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] [--mode eager|lazy] [--telemetry] [--update-baseline]"
+                "usage: bench_grid [instructions] [--jobs N] [--json out.json] [--smoke] \
+                 [--mode eager|lazy] [--backend auto|scalar|multiblock|hw] [--telemetry] \
+                 [--validate-parallel] [--update-baseline]"
             );
             std::process::exit(2);
         }
     };
-    let jobs = if args.jobs > 1 {
+    // --validate-parallel pins the worker count to 2: the mode exists so
+    // 1-core hosts can still prove the serial/parallel byte-identity
+    // contract even though their parallel timing is meaningless.
+    let jobs = if validate_parallel {
+        2
+    } else if args.jobs > 1 {
         args.jobs
     } else {
         pool::default_jobs().max(2)
     };
 
     let cores = pool::default_jobs();
-    let parallel_timing_valid = cores >= 2;
-    let cells = build_grid(smoke, args.instructions, mode);
+    let parallel_timing_valid = cores >= 2 && !validate_parallel;
+    let cells = build_grid(smoke, args.instructions, mode, backend);
     eprintln!(
-        "grid: {} cells ({}) @ {} instructions, {} metadata, serial vs {jobs} jobs on {cores} core(s)",
+        "grid: {} cells ({}) @ {} instructions, {} metadata, {} backend, serial vs {jobs} jobs on {cores} core(s)",
         cells.len(),
         if smoke { "smoke" } else { "full" },
         args.instructions,
         mode.name(),
+        backend.name(),
     );
     if !parallel_timing_valid {
         eprintln!(
-            "note: single-core host — parallel pass is determinism-check only; speedup not reported"
+            "note: parallel pass is determinism-check only ({}); speedup not reported",
+            if validate_parallel {
+                "--validate-parallel"
+            } else {
+                "single-core host"
+            }
         );
     }
 
@@ -192,7 +236,7 @@ fn main() {
         println!("parallel ({jobs} jobs)     {parallel_s:.3} s ({parallel_ips:.0} instr/s)");
         println!("speedup               {speedup:.2}x");
     } else {
-        println!("parallel ({jobs} jobs)     n/a (single-core host; determinism check only)");
+        println!("parallel ({jobs} jobs)     n/a (determinism check only)");
     }
     println!(
         "determinism           parallel == serial{} ({} cells)",
@@ -257,6 +301,7 @@ fn main() {
         .field("cells", cells.len())
         .field("instructions_per_cell", args.instructions)
         .field("metadata_mode", mode.name())
+        .field("crypto_backend", backend.name())
         .field("jobs", jobs)
         .field("host_cores", cores)
         .field("serial_seconds", serial_s)
@@ -277,6 +322,7 @@ fn main() {
             },
         )
         .field("parallel_timing_valid", parallel_timing_valid)
+        .field("parallel_determinism_validated", true)
         .field("serial_instructions_per_second", serial_ips)
         .field(
             "parallel_instructions_per_second",

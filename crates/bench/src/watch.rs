@@ -218,12 +218,16 @@ fn emit_snapshot<W: Write, T: Write>(
         return Err(format!("trace stream write failed: {e}"));
     }
     let occupancy = sys.occupancy();
+    let memo = sys.memo_stats();
     let gauges = HealthGauges {
         occupancy,
         anomalies: sys.anomalies(),
         nwpe: sys.stats().ratio(counters::PERSISTS, counters::ALLOCATIONS),
         battery_joules: secpb_drain_energy(energy_scheme(sys.scheme()), occupancy as usize),
         recovery_cycles: sys.estimated_recovery_cycles(),
+        memo_hits: memo.hits,
+        memo_misses: memo.misses,
+        memo_evictions: memo.evictions,
     };
     let snap = monitor.snapshot(
         cycle,

@@ -50,6 +50,23 @@ fn gf_inv(a: u8) -> u8 {
     result
 }
 
+/// Per-multiplier GF(2⁸) product tables for the MixColumns coefficients
+/// (2, 3 forward; 9, 11, 13, 14 inverse), derived once from [`gf_mul`]
+/// so the per-byte column mix is a table lookup instead of an 8-iteration
+/// shift-and-reduce loop.
+fn mul_tables() -> &'static [[u8; 256]; 6] {
+    static TABLES: OnceLock<[[u8; 256]; 6]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut tables = [[0u8; 256]; 6];
+        for (table, m) in tables.iter_mut().zip([2u8, 3, 9, 11, 13, 14]) {
+            for (i, slot) in table.iter_mut().enumerate() {
+                *slot = gf_mul(i as u8, m);
+            }
+        }
+        tables
+    })
+}
+
 /// The forward and inverse S-boxes, built once.
 fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
     static SBOXES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
@@ -152,6 +169,14 @@ impl Aes {
     /// The key size of this instance.
     pub fn key_size(&self) -> KeySize {
         self.size
+    }
+
+    /// The expanded round keys (`rounds + 1` of them) — consumed by the
+    /// hardware cipher backend, which replays the same schedule through
+    /// AES-NI.
+    #[cfg_attr(not(feature = "hw-crypto"), allow(dead_code))]
+    pub(crate) fn round_keys(&self) -> &[[u8; 16]] {
+        &self.round_keys
     }
 
     fn expand(key: &[u8], size: KeySize) -> Self {
@@ -265,26 +290,36 @@ fn inv_shift_rows(state: &mut [u8; 16]) {
 }
 
 fn mix_columns(state: &mut [u8; 16]) {
+    let [m2, m3, ..] = mul_tables();
     for c in 0..4 {
         let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("4 bytes");
-        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
-        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        state[4 * c] = m2[col[0] as usize] ^ m3[col[1] as usize] ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ m2[col[1] as usize] ^ m3[col[2] as usize] ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ m2[col[2] as usize] ^ m3[col[3] as usize];
+        state[4 * c + 3] = m3[col[0] as usize] ^ col[1] ^ col[2] ^ m2[col[3] as usize];
     }
 }
 
 fn inv_mix_columns(state: &mut [u8; 16]) {
+    let [_, _, m9, m11, m13, m14] = mul_tables();
     for c in 0..4 {
         let col: [u8; 4] = state[4 * c..4 * c + 4].try_into().expect("4 bytes");
-        state[4 * c] =
-            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
-        state[4 * c + 1] =
-            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
-        state[4 * c + 2] =
-            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
-        state[4 * c + 3] =
-            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        state[4 * c] = m14[col[0] as usize]
+            ^ m11[col[1] as usize]
+            ^ m13[col[2] as usize]
+            ^ m9[col[3] as usize];
+        state[4 * c + 1] = m9[col[0] as usize]
+            ^ m14[col[1] as usize]
+            ^ m11[col[2] as usize]
+            ^ m13[col[3] as usize];
+        state[4 * c + 2] = m13[col[0] as usize]
+            ^ m9[col[1] as usize]
+            ^ m14[col[2] as usize]
+            ^ m11[col[3] as usize];
+        state[4 * c + 3] = m11[col[0] as usize]
+            ^ m13[col[1] as usize]
+            ^ m9[col[2] as usize]
+            ^ m14[col[3] as usize];
     }
 }
 

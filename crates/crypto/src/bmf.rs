@@ -18,6 +18,7 @@ use std::collections::VecDeque;
 
 use secpb_sim::fxhash::FxHashMap;
 
+use crate::backend::CryptoBackend;
 use crate::bmt::BonsaiMerkleTree;
 use crate::sha512::Digest;
 
@@ -89,6 +90,8 @@ pub struct BonsaiMerkleForest {
     /// hash counts) is identical in both modes; only *when* the HMACs
     /// run differs.
     lazy: bool,
+    /// Crypto backend propagated to the upper tree and every subtree.
+    backend: CryptoBackend,
 }
 
 impl BonsaiMerkleForest {
@@ -127,7 +130,24 @@ impl BonsaiMerkleForest {
             cache_capacity: root_cache_entries,
             stats: BmfStats::default(),
             lazy: false,
+            backend: CryptoBackend::default(),
         }
+    }
+
+    /// Selects the crypto backend for batched folds across the whole
+    /// forest (upper tree, existing subtrees, and subtrees yet to be
+    /// materialized).
+    pub fn set_backend(&mut self, backend: CryptoBackend) {
+        self.backend = backend;
+        self.upper.set_backend(backend);
+        for subtree in self.subtrees.values_mut() {
+            subtree.set_backend(backend);
+        }
+    }
+
+    /// The crypto backend batched folds dispatch to.
+    pub fn backend(&self) -> CryptoBackend {
+        self.backend
     }
 
     /// Switches the whole forest (upper tree + subtrees) between eager
@@ -253,10 +273,12 @@ impl BonsaiMerkleForest {
         let arity = self.arity;
         let sub_levels = self.sub_levels;
         let lazy = self.lazy;
+        let backend = self.backend;
         let key = self.key.clone();
         let subtree = self.subtrees.entry(subtree_id).or_insert_with(|| {
             let mut t = BonsaiMerkleTree::new(&key, arity, sub_levels);
             t.set_lazy(lazy);
+            t.set_backend(backend);
             t
         });
         hashes += u64::from(subtree.update_leaf(local_index, leaf_digest));
@@ -480,6 +502,29 @@ mod tests {
             lazy.fold_hashes(),
             lazy.stats().node_hashes
         );
+    }
+
+    #[test]
+    fn lazy_forest_is_backend_invariant() {
+        use crate::backend::CryptoBackend;
+
+        let mut reference = forest();
+        let pattern: &[u64] = &[0, 1, 16, 2, 32, 17, 0, 48, 33, 1];
+        for (i, &leaf) in pattern.iter().enumerate() {
+            reference.update_leaf(leaf, Sha512::digest(format!("v{i}").as_bytes()));
+        }
+        reference.sync_all();
+        for backend in CryptoBackend::ALL {
+            let mut f = forest();
+            f.set_backend(backend);
+            assert_eq!(f.backend(), backend);
+            f.set_lazy(true);
+            for (i, &leaf) in pattern.iter().enumerate() {
+                f.update_leaf(leaf, Sha512::digest(format!("v{i}").as_bytes()));
+            }
+            f.sync_all();
+            assert_eq!(f.upper_root(), reference.upper_root(), "{}", backend.name());
+        }
     }
 
     #[test]

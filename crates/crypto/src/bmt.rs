@@ -32,6 +32,7 @@
 
 use secpb_sim::fxhash::FxHashMap;
 
+use crate::backend::CryptoBackend;
 use crate::hmac::HmacSha512;
 use crate::sha512::Digest;
 
@@ -140,6 +141,8 @@ pub struct MerkleProof {
 #[derive(Debug, Clone)]
 pub struct BonsaiMerkleTree {
     hasher: HmacSha512,
+    /// Multi-lane dispatch target for batched fold hashing.
+    backend: CryptoBackend,
     arity: usize,
     levels: u32,
     /// `nodes[l]` holds the written digests at level `l` (0 = leaves) in
@@ -187,6 +190,7 @@ impl BonsaiMerkleTree {
         let root = defaults[levels as usize];
         BonsaiMerkleTree {
             hasher,
+            backend: CryptoBackend::default(),
             arity,
             levels,
             nodes: defaults[..levels as usize]
@@ -218,6 +222,17 @@ impl BonsaiMerkleTree {
         self.lazy
     }
 
+    /// Selects the crypto backend used by batched folds.  Every backend
+    /// is byte-identical; only the dispatch width differs.
+    pub fn set_backend(&mut self, backend: CryptoBackend) {
+        self.backend = backend;
+    }
+
+    /// The crypto backend batched folds dispatch to.
+    pub fn backend(&self) -> CryptoBackend {
+        self.backend
+    }
+
     /// Whether any updates are pending a fold.  The root (and any
     /// interior node) is only authoritative when this is `false`.
     pub fn has_pending(&self) -> bool {
@@ -238,9 +253,13 @@ impl BonsaiMerkleTree {
 
     /// Folds every pending leaf update into the tree in one batched,
     /// level-by-level walk: each dirty interior node is hashed exactly
-    /// once no matter how many dirty leaves sit beneath it.  Returns the
-    /// hashes performed (0 when nothing is pending).  A no-op in eager
-    /// mode, where updates fold as they happen.
+    /// once no matter how many dirty leaves sit beneath it, and all of a
+    /// level's parent digests are computed in one multi-lane
+    /// [`HmacSha512::compute_batch`] dispatch (every message is the same
+    /// `arity * 64`-byte sibling group, gathered straight out of the
+    /// chunked `NodeLevel` storage).  Returns the hashes performed
+    /// (0 when nothing is pending).  A no-op in eager mode, where updates
+    /// fold as they happen.
     pub fn fold(&mut self) -> u64 {
         if self.dirty.is_empty() {
             return 0;
@@ -249,18 +268,27 @@ impl BonsaiMerkleTree {
         self.dirty.dedup();
         let mut frontier = std::mem::take(&mut self.dirty);
         let mut scratch: Vec<Digest> = Vec::with_capacity(self.arity);
+        let mut flat: Vec<u8> = Vec::new();
+        let mut digests: Vec<Digest> = Vec::new();
         let mut hashes = 0u64;
         for level in 0..self.levels as usize {
             // Parents of a sorted frontier are sorted; dedup collapses
             // siblings so shared ancestors hash once.
             let mut parents: Vec<u64> = frontier.iter().map(|&i| i / self.arity as u64).collect();
             parents.dedup();
+            flat.clear();
             for &parent in &parents {
                 let first_child = parent * self.arity as u64;
                 self.nodes[level].siblings(first_child, self.arity, &mut scratch);
-                let parts: Vec<&[u8]> = scratch.iter().map(|d| d.as_ref()).collect();
-                let digest = self.hasher.compute_parts(&parts);
-                hashes += 1;
+                for d in &scratch {
+                    flat.extend_from_slice(&d.0);
+                }
+            }
+            digests.clear();
+            self.hasher
+                .compute_batch(&self.backend, &flat, self.arity * 64, &mut digests);
+            hashes += parents.len() as u64;
+            for (&parent, &digest) in parents.iter().zip(&digests) {
                 if level + 1 == self.levels as usize {
                     self.root = digest;
                 } else {
@@ -587,6 +615,31 @@ mod tests {
         // Interior nodes are byte-identical too: proofs verify cross-tree.
         for (i, _) in &items {
             assert!(eager.verify_proof(&lazy.prove(*i), lazy.leaf(*i)));
+        }
+    }
+
+    #[test]
+    fn fold_is_backend_invariant() {
+        let mut eager = tree();
+        let items: Vec<(u64, Digest)> = (0..37)
+            .map(|i| (i * 11 % 64, Sha512::digest(&[i as u8, 3])))
+            .collect();
+        for (i, d) in &items {
+            eager.update_leaf(*i, *d);
+        }
+        for backend in CryptoBackend::ALL {
+            let mut lazy = tree();
+            lazy.set_backend(backend);
+            assert_eq!(lazy.backend(), backend);
+            lazy.set_lazy(true);
+            for (i, d) in &items {
+                lazy.update_leaf(*i, *d);
+            }
+            lazy.fold();
+            assert_eq!(lazy.root(), eager.root(), "{}", backend.name());
+            for (i, _) in &items {
+                assert!(eager.verify_proof(&lazy.prove(*i), lazy.leaf(*i)));
+            }
         }
     }
 

@@ -4,7 +4,8 @@
 //! counter into a keyed authentication code, and by [`crate::bmt`] as the
 //! keyed node hash of the integrity tree.
 
-use crate::sha512::{Digest, Sha512};
+use crate::backend::HashBackend;
+use crate::sha512::{self, Digest, Sha512};
 
 const BLOCK_LEN: usize = 128;
 const IPAD: u8 = 0x36;
@@ -12,9 +13,12 @@ const OPAD: u8 = 0x5c;
 
 /// A keyed HMAC-SHA-512 instance.
 ///
-/// The key schedule (padded inner/outer keys) is computed once at
-/// construction so that per-message costs are two SHA-512 passes, mirroring
-/// a hardware MAC unit that holds its key in a register.
+/// The key schedule is folded all the way into two SHA-512 *midstates* at
+/// construction: the compression states after absorbing the inner
+/// (`key ^ ipad`) and outer (`key ^ opad`) pad blocks.  A tag over a short
+/// (≤ 111-byte) message then costs exactly two compressions instead of the
+/// four a from-scratch HMAC pays — mirroring a hardware MAC unit that
+/// holds its key schedule in registers.
 ///
 /// # Example
 ///
@@ -28,8 +32,10 @@ const OPAD: u8 = 0x5c;
 /// ```
 #[derive(Clone)]
 pub struct HmacSha512 {
-    inner_pad: [u8; BLOCK_LEN],
-    outer_pad: [u8; BLOCK_LEN],
+    /// SHA-512 state after compressing `key ^ ipad`.
+    inner_state: [u64; 8],
+    /// SHA-512 state after compressing `key ^ opad`.
+    outer_state: [u64; 8],
 }
 
 impl std::fmt::Debug for HmacSha512 {
@@ -55,35 +61,35 @@ impl HmacSha512 {
             inner_pad[i] = key_block[i] ^ IPAD;
             outer_pad[i] = key_block[i] ^ OPAD;
         }
+        let mut inner_state = sha512::initial_state();
+        sha512::compress_block(&mut inner_state, &inner_pad);
+        let mut outer_state = sha512::initial_state();
+        sha512::compress_block(&mut outer_state, &outer_pad);
         HmacSha512 {
-            inner_pad,
-            outer_pad,
+            inner_state,
+            outer_state,
         }
     }
 
     /// Computes the HMAC tag of `message`.
     pub fn compute(&self, message: &[u8]) -> Digest {
-        let mut inner = Sha512::new();
-        inner.update(&self.inner_pad);
+        let mut inner = Sha512::from_midstate(self.inner_state, 1);
         inner.update(message);
-        let inner_digest = inner.finalize();
-        let mut outer = Sha512::new();
-        outer.update(&self.outer_pad);
-        outer.update(&inner_digest.0);
-        outer.finalize()
+        self.finish_outer(&inner.finalize())
     }
 
     /// Computes the HMAC over several message parts without concatenating
     /// them (tag equals `compute` of the concatenation).
     pub fn compute_parts(&self, parts: &[&[u8]]) -> Digest {
-        let mut inner = Sha512::new();
-        inner.update(&self.inner_pad);
+        let mut inner = Sha512::from_midstate(self.inner_state, 1);
         for p in parts {
             inner.update(p);
         }
-        let inner_digest = inner.finalize();
-        let mut outer = Sha512::new();
-        outer.update(&self.outer_pad);
+        self.finish_outer(&inner.finalize())
+    }
+
+    fn finish_outer(&self, inner_digest: &Digest) -> Digest {
+        let mut outer = Sha512::from_midstate(self.outer_state, 1);
         outer.update(&inner_digest.0);
         outer.finalize()
     }
@@ -91,6 +97,88 @@ impl HmacSha512 {
     /// Verifies `tag` against `message`.
     pub fn verify(&self, message: &[u8], tag: &Digest) -> bool {
         self.compute(message) == *tag
+    }
+
+    /// Computes the tags of `n` equal-length messages packed back-to-back
+    /// in `messages` (`messages.len() == n * msg_len`), appending the tags
+    /// to `out` in message order.
+    ///
+    /// Every message advances in lockstep, one padded 128-byte block per
+    /// round, so each round is a single [`HashBackend::compress_batch`]
+    /// dispatch over all `n` lanes — sibling BMT nodes, SGX-tree node
+    /// MACs, and recovery-sweep block MACs all batch through here.
+    /// Bit-identical to `n` [`compute`](Self::compute) calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg_len` is zero or does not divide `messages.len()`.
+    pub fn compute_batch(
+        &self,
+        backend: &dyn HashBackend,
+        messages: &[u8],
+        msg_len: usize,
+        out: &mut Vec<Digest>,
+    ) {
+        assert!(msg_len > 0, "batched messages must be non-empty");
+        assert_eq!(
+            messages.len() % msg_len,
+            0,
+            "flat message buffer must be whole messages"
+        );
+        let n = messages.len() / msg_len;
+        if n == 0 {
+            return;
+        }
+        // Inner pass: every lane resumes from the cached post-ipad
+        // midstate and absorbs its padded message tail in lockstep.
+        let tail_len = sha512::padded_tail_len(msg_len);
+        let mut tails = vec![0u8; n * tail_len];
+        for (msg, tail) in messages
+            .chunks_exact(msg_len)
+            .zip(tails.chunks_exact_mut(tail_len))
+        {
+            sha512::write_padded_tail(msg, 1, tail);
+        }
+        let mut states = vec![self.inner_state; n];
+        let mut round: Vec<&[u8; 128]> = Vec::with_capacity(n);
+        for blk in 0..tail_len / 128 {
+            round.clear();
+            round.extend(tails.chunks_exact(tail_len).map(|tail| {
+                let block: &[u8; 128] = tail[blk * 128..(blk + 1) * 128]
+                    .try_into()
+                    .expect("128 bytes");
+                block
+            }));
+            backend.compress_batch(&mut states, &round);
+        }
+        // Outer pass: each inner digest is one padded block from the
+        // post-opad midstate.
+        let mut outer_tails = vec![0u8; n * 128];
+        for (state, tail) in states.iter().zip(outer_tails.chunks_exact_mut(128)) {
+            let mut inner_digest = [0u8; 64];
+            for (i, word) in state.iter().enumerate() {
+                inner_digest[8 * i..8 * i + 8].copy_from_slice(&word.to_be_bytes());
+            }
+            sha512::write_padded_tail(&inner_digest, 1, tail);
+        }
+        let mut outer_states = vec![self.outer_state; n];
+        round.clear();
+        let outer_round: Vec<&[u8; 128]> = outer_tails
+            .chunks_exact(128)
+            .map(|block| {
+                let block: &[u8; 128] = block.try_into().expect("128 bytes");
+                block
+            })
+            .collect();
+        backend.compress_batch(&mut outer_states, &outer_round);
+        out.reserve(n);
+        for state in &outer_states {
+            let mut tag = [0u8; 64];
+            for (i, word) in state.iter().enumerate() {
+                tag[8 * i..8 * i + 8].copy_from_slice(&word.to_be_bytes());
+            }
+            out.push(Digest(tag));
+        }
     }
 }
 
@@ -149,6 +237,48 @@ mod tests {
         assert_eq!(whole, parts);
         let empty_parts = mac.compute_parts(&[]);
         assert_eq!(empty_parts, mac.compute(b""));
+    }
+
+    #[test]
+    fn compute_batch_matches_singles_across_backends() {
+        use crate::backend::CryptoBackend;
+
+        let mac = HmacSha512::new(b"batch-key");
+        // Message lengths spanning one and several padded blocks,
+        // including the 81-byte block-MAC and 512-byte BMT-node shapes.
+        for msg_len in [1usize, 64, 81, 88, 111, 112, 512] {
+            for n in [1usize, 3, 4, 5, 9] {
+                let flat: Vec<u8> = (0..n * msg_len).map(|i| (i * 17 % 251) as u8).collect();
+                let singles: Vec<Digest> =
+                    flat.chunks_exact(msg_len).map(|m| mac.compute(m)).collect();
+                for backend in CryptoBackend::ALL {
+                    let mut batch = Vec::new();
+                    mac.compute_batch(&backend, &flat, msg_len, &mut batch);
+                    assert_eq!(batch, singles, "len {msg_len} n {n} {}", backend.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_batch_empty_is_empty() {
+        let mac = HmacSha512::new(b"k");
+        let mut out = Vec::new();
+        mac.compute_batch(&crate::backend::CryptoBackend::MultiBlock, &[], 8, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "whole messages")]
+    fn ragged_batch_panics() {
+        let mac = HmacSha512::new(b"k");
+        let mut out = Vec::new();
+        mac.compute_batch(
+            &crate::backend::CryptoBackend::Scalar,
+            &[0u8; 10],
+            4,
+            &mut out,
+        );
     }
 
     #[test]

@@ -41,10 +41,14 @@
 //! assert_eq!(aes.decrypt_block(&ct), pt);
 //! ```
 
-#![forbid(unsafe_code)]
+// The only unsafe code in the crate is the `std::arch` AES-NI kernel
+// behind the `hw-crypto` feature; default builds stay forbid-clean.
+#![cfg_attr(not(feature = "hw-crypto"), forbid(unsafe_code))]
+#![cfg_attr(feature = "hw-crypto", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod backend;
 pub mod bmf;
 pub mod bmt;
 pub mod counter;
@@ -57,6 +61,7 @@ pub mod sha512;
 pub mod xts;
 
 pub use aes::Aes;
+pub use backend::{CipherBackend, CryptoBackend, HashBackend};
 pub use bmt::BonsaiMerkleTree;
 pub use counter::{CounterBlock, SplitCounter};
 pub use mac::BlockMac;

@@ -9,31 +9,140 @@
 //!
 //! Both caches use interior mutability (`RefCell`/`Cell`): the hot callers
 //! (`decrypt` during recovery, pad generation during drains) hold `&self`.
-//! They are bounded deterministically: when a cache reaches capacity it is
-//! cleared in one step (an "epoch reset") rather than evicting by any
-//! recency order, so hit/miss sequences are a pure function of the access
-//! trace — a requirement of the engine's determinism contract.
+//! They are bounded by deterministic *second-chance (clock) eviction*: a
+//! fixed ring of slots, one referenced bit per slot, and a cyclic hand
+//! that sweeps past recently-touched entries and replaces the first
+//! unreferenced one.  The hand position and referenced bits are a pure
+//! function of the access trace, so hit/miss/eviction sequences stay
+//! deterministic — a requirement of the engine's determinism contract —
+//! while the working set survives capacity pressure that the previous
+//! whole-cache epoch reset would have thrown away wholesale.
 
 use std::cell::{Cell, RefCell};
+use std::hash::Hash;
 
 use secpb_sim::fxhash::FxHashMap;
 
+use crate::backend::HashBackend;
 use crate::counter::SplitCounter;
 use crate::otp::Otp;
-use crate::sha512::{Digest, Sha512};
+use crate::sha512::{digest64_batch, Digest, Sha512};
 
-/// Default capacity for pad/digest caches (entries before an epoch reset).
+/// Default capacity for pad/digest caches (slots in the clock ring).
 pub const DEFAULT_CAPACITY: usize = 4096;
 
-/// Hit/miss/reset counters shared by both cache types.
+/// Hit/miss/eviction counters shared by both cache types.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MemoStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to compute (and then cached the result).
     pub misses: u64,
-    /// Whole-cache clears on reaching capacity.
-    pub resets: u64,
+    /// Entries replaced by the clock hand once the ring was full.
+    pub evictions: u64,
+}
+
+impl MemoStats {
+    /// Field-wise sum, for reporting several caches as one gauge.
+    #[must_use]
+    pub fn merged(self, other: MemoStats) -> MemoStats {
+        MemoStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// One slot of the clock ring.
+#[derive(Debug, Clone)]
+struct ClockSlot<K, V> {
+    key: K,
+    value: V,
+    referenced: bool,
+}
+
+/// A bounded key→value map with second-chance (clock) replacement.
+///
+/// Lookups mark the slot referenced; inserts past capacity sweep the
+/// cyclic hand, clearing referenced bits until an unreferenced victim is
+/// found.  Entirely deterministic: state is a pure function of the
+/// operation sequence.
+#[derive(Debug, Clone)]
+struct ClockCore<K, V> {
+    /// Key → slot index.
+    map: FxHashMap<K, usize>,
+    slots: Vec<ClockSlot<K, V>>,
+    hand: usize,
+}
+
+impl<K: Copy + Eq + Hash, V> ClockCore<K, V> {
+    fn new() -> Self {
+        ClockCore {
+            map: FxHashMap::default(),
+            slots: Vec::new(),
+            hand: 0,
+        }
+    }
+
+    /// Looks up `key`, marking its slot recently used on a hit.
+    fn get(&mut self, key: &K) -> Option<&V> {
+        let slot = *self.map.get(key)?;
+        self.slots[slot].referenced = true;
+        Some(&self.slots[slot].value)
+    }
+
+    /// Inserts or replaces `key`'s value.  Returns `true` when a
+    /// *different* key was evicted to make room.
+    fn insert(&mut self, key: K, value: V, capacity: usize) -> bool {
+        if let Some(&slot) = self.map.get(&key) {
+            // In-place refresh (e.g. a digest memo key re-seen with new
+            // bytes): no eviction.
+            self.slots[slot].value = value;
+            self.slots[slot].referenced = true;
+            return false;
+        }
+        if self.slots.len() < capacity {
+            self.map.insert(key, self.slots.len());
+            self.slots.push(ClockSlot {
+                key,
+                value,
+                referenced: true,
+            });
+            return false;
+        }
+        // Second-chance sweep: clear referenced bits until an
+        // unreferenced slot comes under the hand.  Terminates within two
+        // revolutions because every cleared slot is unreferenced when the
+        // hand returns.
+        while self.slots[self.hand].referenced {
+            self.slots[self.hand].referenced = false;
+            self.hand = (self.hand + 1) % self.slots.len();
+        }
+        let victim = self.hand;
+        self.hand = (victim + 1) % self.slots.len();
+        let old = std::mem::replace(
+            &mut self.slots[victim],
+            ClockSlot {
+                key,
+                value,
+                referenced: true,
+            },
+        );
+        self.map.remove(&old.key);
+        self.map.insert(key, victim);
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.hand = 0;
+    }
 }
 
 /// A bounded memo of OTP pads keyed by (block address, split counter).
@@ -53,17 +162,17 @@ pub struct MemoStats {
 /// ```
 #[derive(Clone)]
 pub struct PadCache {
-    map: RefCell<FxHashMap<(u64, SplitCounter), Otp>>,
+    core: RefCell<ClockCore<(u64, SplitCounter), Otp>>,
     capacity: usize,
     hits: Cell<u64>,
     misses: Cell<u64>,
-    resets: Cell<u64>,
+    evictions: Cell<u64>,
 }
 
 impl std::fmt::Debug for PadCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PadCache")
-            .field("len", &self.map.borrow().len())
+            .field("len", &self.len())
             .field("capacity", &self.capacity)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
@@ -71,7 +180,7 @@ impl std::fmt::Debug for PadCache {
 }
 
 impl PadCache {
-    /// Creates a cache that epoch-resets upon reaching `capacity` entries.
+    /// Creates a cache that clock-evicts once `capacity` slots are live.
     ///
     /// # Panics
     ///
@@ -79,11 +188,11 @@ impl PadCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "pad cache needs capacity");
         PadCache {
-            map: RefCell::new(FxHashMap::default()),
+            core: RefCell::new(ClockCore::new()),
             capacity,
             hits: Cell::new(0),
             misses: Cell::new(0),
-            resets: Cell::new(0),
+            evictions: Cell::new(0),
         }
     }
 
@@ -95,43 +204,41 @@ impl PadCache {
         counter: SplitCounter,
         compute: impl FnOnce() -> Otp,
     ) -> Otp {
-        let mut map = self.map.borrow_mut();
-        if let Some(pad) = map.get(&(block_addr, counter)) {
+        let mut core = self.core.borrow_mut();
+        if let Some(pad) = core.get(&(block_addr, counter)) {
             self.hits.set(self.hits.get() + 1);
             return *pad;
         }
         self.misses.set(self.misses.get() + 1);
-        if map.len() >= self.capacity {
-            map.clear();
-            self.resets.set(self.resets.get() + 1);
-        }
         let pad = compute();
-        map.insert((block_addr, counter), pad);
+        if core.insert((block_addr, counter), pad, self.capacity) {
+            self.evictions.set(self.evictions.get() + 1);
+        }
         pad
     }
 
     /// Current number of cached pads.
     pub fn len(&self) -> usize {
-        self.map.borrow().len()
+        self.core.borrow().len()
     }
 
     /// Whether the cache holds no pads.
     pub fn is_empty(&self) -> bool {
-        self.map.borrow().is_empty()
+        self.len() == 0
     }
 
-    /// Hit/miss/reset counters.
+    /// Hit/miss/eviction counters.
     pub fn stats(&self) -> MemoStats {
         MemoStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
-            resets: self.resets.get(),
+            evictions: self.evictions.get(),
         }
     }
 
     /// Drops every cached pad (counters are preserved).
     pub fn clear(&self) {
-        self.map.borrow_mut().clear();
+        self.core.borrow_mut().clear();
     }
 }
 
@@ -154,17 +261,17 @@ impl PadCache {
 /// ```
 #[derive(Clone)]
 pub struct DigestMemo {
-    map: RefCell<FxHashMap<u64, ([u8; 64], Digest)>>,
+    core: RefCell<ClockCore<u64, ([u8; 64], Digest)>>,
     capacity: usize,
     hits: Cell<u64>,
     misses: Cell<u64>,
-    resets: Cell<u64>,
+    evictions: Cell<u64>,
 }
 
 impl std::fmt::Debug for DigestMemo {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("DigestMemo")
-            .field("len", &self.map.borrow().len())
+            .field("len", &self.len())
             .field("capacity", &self.capacity)
             .field("stats", &self.stats())
             .finish_non_exhaustive()
@@ -172,7 +279,7 @@ impl std::fmt::Debug for DigestMemo {
 }
 
 impl DigestMemo {
-    /// Creates a memo that epoch-resets upon reaching `capacity` entries.
+    /// Creates a memo that clock-evicts once `capacity` slots are live.
     ///
     /// # Panics
     ///
@@ -180,62 +287,107 @@ impl DigestMemo {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "digest memo needs capacity");
         DigestMemo {
-            map: RefCell::new(FxHashMap::default()),
+            core: RefCell::new(ClockCore::new()),
             capacity,
             hits: Cell::new(0),
             misses: Cell::new(0),
-            resets: Cell::new(0),
+            evictions: Cell::new(0),
         }
     }
 
     /// The SHA-512 digest of `bytes`, served from the memo when `key` was
     /// last seen with identical bytes.
     pub fn digest(&self, key: u64, bytes: &[u8; 64]) -> Digest {
-        let mut map = self.map.borrow_mut();
-        if let Some((stored, digest)) = map.get(&key) {
+        let mut core = self.core.borrow_mut();
+        if let Some((stored, digest)) = core.get(&key) {
             if stored == bytes {
                 self.hits.set(self.hits.get() + 1);
                 return *digest;
             }
         }
         self.misses.set(self.misses.get() + 1);
-        if map.len() >= self.capacity {
-            map.clear();
-            self.resets.set(self.resets.get() + 1);
-        }
         let digest = Sha512::digest(bytes);
-        map.insert(key, (*bytes, digest));
+        if core.insert(key, (*bytes, digest), self.capacity) {
+            self.evictions.set(self.evictions.get() + 1);
+        }
         digest
+    }
+
+    /// Digests a whole batch of `(key, bytes)` items, dispatching every
+    /// miss through `backend` in one multi-lane batch.
+    ///
+    /// Lookups happen in item order (marking hits recently used), then
+    /// all missing digests are computed in a single
+    /// [`digest64_batch`] dispatch, then inserted in item order.
+    /// Per-item values are bit-identical to calling
+    /// [`digest`](Self::digest) item by item; hit/miss accounting is too,
+    /// unless the same key recurs within one batch (drain bursts never
+    /// repeat a key with identical bytes — a re-drained page carries a
+    /// changed counter block).
+    pub fn digest_batch(
+        &self,
+        backend: &dyn HashBackend,
+        items: &[(u64, [u8; 64])],
+        out: &mut Vec<Digest>,
+    ) {
+        let mut core = self.core.borrow_mut();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        let base = out.len();
+        for (key, bytes) in items {
+            if let Some((stored, digest)) = core.get(key) {
+                if stored == bytes {
+                    self.hits.set(self.hits.get() + 1);
+                    out.push(*digest);
+                    continue;
+                }
+            }
+            self.misses.set(self.misses.get() + 1);
+            miss_idx.push(out.len() - base);
+            out.push(Digest([0u8; 64]));
+        }
+        if miss_idx.is_empty() {
+            return;
+        }
+        let msgs: Vec<&[u8; 64]> = miss_idx.iter().map(|&i| &items[i].1).collect();
+        let mut digests = Vec::with_capacity(msgs.len());
+        digest64_batch(backend, &msgs, &mut digests);
+        for (&i, digest) in miss_idx.iter().zip(&digests) {
+            out[base + i] = *digest;
+            if core.insert(items[i].0, (items[i].1, *digest), self.capacity) {
+                self.evictions.set(self.evictions.get() + 1);
+            }
+        }
     }
 
     /// Current number of memoized digests.
     pub fn len(&self) -> usize {
-        self.map.borrow().len()
+        self.core.borrow().len()
     }
 
     /// Whether the memo holds no digests.
     pub fn is_empty(&self) -> bool {
-        self.map.borrow().is_empty()
+        self.len() == 0
     }
 
-    /// Hit/miss/reset counters.
+    /// Hit/miss/eviction counters.
     pub fn stats(&self) -> MemoStats {
         MemoStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
-            resets: self.resets.get(),
+            evictions: self.evictions.get(),
         }
     }
 
     /// Drops every memoized digest (counters are preserved).
     pub fn clear(&self) {
-        self.map.borrow_mut().clear();
+        self.core.borrow_mut().clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::CryptoBackend;
 
     #[test]
     fn pad_cache_hits_after_first_compute() {
@@ -254,7 +406,7 @@ mod tests {
             MemoStats {
                 hits: 2,
                 misses: 1,
-                resets: 0
+                evictions: 0
             }
         );
     }
@@ -273,19 +425,42 @@ mod tests {
     }
 
     #[test]
-    fn pad_cache_epoch_reset_at_capacity() {
+    fn pad_cache_clock_evicts_one_entry_at_capacity() {
         let cache = PadCache::new(2);
         let c = SplitCounter::default();
         cache.get_or_insert_with(0, c, || [0u8; 64]);
         cache.get_or_insert_with(1, c, || [1u8; 64]);
         assert_eq!(cache.len(), 2);
-        // Third distinct key clears the map first, then inserts.
+        // A third distinct key sweeps the hand (clearing both referenced
+        // bits) and replaces exactly one victim — not the whole cache.
         cache.get_or_insert_with(2, c, || [2u8; 64]);
-        assert_eq!(cache.len(), 1);
-        assert_eq!(cache.stats().resets, 1);
-        // The evicted entry recomputes (still correct, just slower).
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The survivor and the newcomer still hit...
+        cache.get_or_insert_with(1, c, || unreachable!("survivor cached"));
+        cache.get_or_insert_with(2, c, || unreachable!("newcomer cached"));
+        // ...while the victim recomputes (still correct, just slower).
         let p = cache.get_or_insert_with(0, c, || [0u8; 64]);
         assert_eq!(p, [0u8; 64]);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn clock_eviction_is_deterministic() {
+        // Two caches fed the same access sequence agree on every counter.
+        let run = || {
+            let cache = PadCache::new(4);
+            for i in 0..64u64 {
+                let key = (i * 7) % 11;
+                let c = SplitCounter::default();
+                cache.get_or_insert_with(key, c, || [key as u8; 64]);
+            }
+            cache.stats()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.evictions > 0, "the sequence must overflow the ring");
     }
 
     #[test]
@@ -307,23 +482,57 @@ mod tests {
         let mut new = old;
         new[63] = 2;
         memo.digest(5, &old);
-        // Same key, different bytes: must recompute, never serve stale.
+        // Same key, different bytes: must recompute, never serve stale —
+        // and the in-place refresh is not an eviction.
         assert_eq!(memo.digest(5, &new), Sha512::digest(&new));
         assert_eq!(memo.stats().hits, 0);
         assert_eq!(memo.stats().misses, 2);
+        assert_eq!(memo.stats().evictions, 0);
         // And the entry now reflects the new bytes.
         assert_eq!(memo.digest(5, &new), Sha512::digest(&new));
         assert_eq!(memo.stats().hits, 1);
     }
 
     #[test]
-    fn digest_memo_epoch_reset_at_capacity() {
+    fn digest_memo_clock_evicts_at_capacity() {
         let memo = DigestMemo::new(2);
         memo.digest(0, &[0u8; 64]);
         memo.digest(1, &[1u8; 64]);
         memo.digest(2, &[2u8; 64]);
-        assert_eq!(memo.len(), 1);
-        assert_eq!(memo.stats().resets, 1);
+        assert_eq!(memo.len(), 2, "one victim replaced, not a full reset");
+        assert_eq!(memo.stats().evictions, 1);
+    }
+
+    #[test]
+    fn digest_batch_matches_item_by_item() {
+        let batch = DigestMemo::new(8);
+        let serial = DigestMemo::new(8);
+        let items: Vec<(u64, [u8; 64])> = (0..6u64).map(|i| (i % 4, [i as u8; 64])).collect();
+        // Pre-warm one key so the batch sees a mix of hits and misses.
+        batch.digest(1, &[1u8; 64]);
+        serial.digest(1, &[1u8; 64]);
+        let mut out = Vec::new();
+        batch.digest_batch(&CryptoBackend::MultiBlock, &items, &mut out);
+        assert_eq!(out.len(), items.len());
+        for ((key, bytes), digest) in items.iter().zip(&out) {
+            assert_eq!(*digest, Sha512::digest(bytes), "key {key}");
+            assert_eq!(serial.digest(*key, bytes), *digest);
+        }
+        assert_eq!(batch.stats(), serial.stats());
+    }
+
+    #[test]
+    fn digest_batch_all_hits_dispatches_nothing() {
+        let memo = DigestMemo::new(8);
+        let items: Vec<(u64, [u8; 64])> = (0..4u64).map(|i| (i, [i as u8; 64])).collect();
+        for (key, bytes) in &items {
+            memo.digest(*key, bytes);
+        }
+        let misses_before = memo.stats().misses;
+        let mut out = Vec::new();
+        memo.digest_batch(&CryptoBackend::Scalar, &items, &mut out);
+        assert_eq!(memo.stats().misses, misses_before);
+        assert_eq!(memo.stats().hits, items.len() as u64);
     }
 
     #[test]

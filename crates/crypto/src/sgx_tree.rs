@@ -17,7 +17,9 @@
 
 use secpb_sim::fxhash::FxHashMap;
 
+use crate::backend::CryptoBackend;
 use crate::hmac::HmacSha512;
+use crate::sha512::Digest;
 
 /// Children per node (matches the 8-ary BMT configuration).
 pub const ARITY: usize = 8;
@@ -27,6 +29,27 @@ pub const ARITY: usize = 8;
 struct Node {
     counters: [u64; ARITY],
     mac: u64,
+}
+
+/// Length of a node's MAC message: level, index, parent counter, and the
+/// `ARITY` child counters, all little-endian u64s.
+const NODE_MSG_LEN: usize = 8 * (ARITY + 3);
+
+/// Appends the node-MAC message to `out` (shared between the per-node
+/// and the batched fold paths so they stay bit-identical).
+fn write_node_msg(
+    out: &mut Vec<u8>,
+    level: usize,
+    index: u64,
+    counters: &[u64; ARITY],
+    parent_counter: u64,
+) {
+    out.extend_from_slice(&(level as u64).to_le_bytes());
+    out.extend_from_slice(&index.to_le_bytes());
+    out.extend_from_slice(&parent_counter.to_le_bytes());
+    for c in counters {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
 }
 
 /// An SGX-style counter tree over `ARITY.pow(levels)` leaves.
@@ -59,6 +82,8 @@ pub struct SgxCounterTree {
     /// `(level, node_index)` pairs whose MACs are stale.
     dirty: Vec<(usize, u64)>,
     fold_macs: u64,
+    /// Multi-lane dispatch target for batched fold MACs.
+    backend: CryptoBackend,
 }
 
 impl SgxCounterTree {
@@ -79,7 +104,18 @@ impl SgxCounterTree {
             lazy: false,
             dirty: Vec::new(),
             fold_macs: 0,
+            backend: CryptoBackend::default(),
         }
+    }
+
+    /// Selects the crypto backend used by batched folds.
+    pub fn set_backend(&mut self, backend: CryptoBackend) {
+        self.backend = backend;
+    }
+
+    /// The crypto backend batched folds dispatch to.
+    pub fn backend(&self) -> CryptoBackend {
+        self.backend
     }
 
     /// Switches between eager per-update MAC recomputation and deferred
@@ -108,6 +144,9 @@ impl SgxCounterTree {
 
     /// Recomputes every stale embedded MAC.  Repeated updates along a
     /// shared path coalesce: each distinct node is MACed once per fold.
+    /// Counter increments are eager, so every dirty MAC depends only on
+    /// already-final counters — the whole fold is a single multi-lane
+    /// [`HmacSha512::compute_batch`] over equal-length node messages.
     /// Returns the number of MACs computed.
     pub fn fold(&mut self) -> u64 {
         if self.dirty.is_empty() {
@@ -116,16 +155,20 @@ impl SgxCounterTree {
         self.dirty.sort_unstable();
         self.dirty.dedup();
         let pending = std::mem::take(&mut self.dirty);
-        let mut macs = 0u64;
+        let mut flat = Vec::with_capacity(pending.len() * NODE_MSG_LEN);
         for &(level, idx) in &pending {
             let parent_counter = self.parent_counter(level, idx);
             let counters = self.nodes[level].get(&idx).expect("dirty node").counters;
-            let mac = self.node_mac(level, idx, &counters, parent_counter);
-            self.nodes[level].get_mut(&idx).expect("present").mac = mac;
-            macs += 1;
+            write_node_msg(&mut flat, level, idx, &counters, parent_counter);
         }
-        self.fold_macs += macs;
-        macs
+        let mut tags: Vec<Digest> = Vec::with_capacity(pending.len());
+        self.hmac
+            .compute_batch(&self.backend, &flat, NODE_MSG_LEN, &mut tags);
+        for (&(level, idx), tag) in pending.iter().zip(&tags) {
+            self.nodes[level].get_mut(&idx).expect("present").mac = tag.truncate_u64();
+        }
+        self.fold_macs += pending.len() as u64;
+        pending.len() as u64
     }
 
     /// Leaves covered.
@@ -150,13 +193,8 @@ impl SgxCounterTree {
         counters: &[u64; ARITY],
         parent_counter: u64,
     ) -> u64 {
-        let mut msg = Vec::with_capacity(8 * (ARITY + 3));
-        msg.extend_from_slice(&(level as u64).to_le_bytes());
-        msg.extend_from_slice(&index.to_le_bytes());
-        msg.extend_from_slice(&parent_counter.to_le_bytes());
-        for c in counters {
-            msg.extend_from_slice(&c.to_le_bytes());
-        }
+        let mut msg = Vec::with_capacity(NODE_MSG_LEN);
+        write_node_msg(&mut msg, level, index, counters, parent_counter);
         self.hmac.compute(&msg).truncate_u64()
     }
 
@@ -378,6 +416,35 @@ mod tests {
         for leaf in [0u64, 1, 9, 64, 2] {
             let v = lazy.leaf_version(leaf);
             assert!(lazy.verify_leaf(leaf, v));
+        }
+    }
+
+    #[test]
+    fn lazy_fold_is_backend_invariant() {
+        let mut eager = SgxCounterTree::new(b"k", 3);
+        let trace = [0u64, 1, 9, 0, 64, 0, 9, 511, 8];
+        for &leaf in &trace {
+            eager.update_leaf(leaf);
+        }
+        for backend in CryptoBackend::ALL {
+            let mut lazy = SgxCounterTree::new(b"k", 3);
+            lazy.set_backend(backend);
+            assert_eq!(lazy.backend(), backend);
+            lazy.set_lazy(true);
+            for &leaf in &trace {
+                lazy.update_leaf(leaf);
+            }
+            lazy.fold();
+            for level in 0..3 {
+                for idx in [0u64, 1, 8, 63] {
+                    assert_eq!(
+                        eager.snapshot_node(level, idx),
+                        lazy.snapshot_node(level, idx),
+                        "node ({level}, {idx}) under {}",
+                        backend.name()
+                    );
+                }
+            }
         }
     }
 

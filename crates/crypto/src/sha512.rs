@@ -154,7 +154,7 @@ fn sqrt_frac_bits(p: u64) -> u64 {
 }
 
 /// The 80 round constants and 8 initial hash words, derived once.
-fn constants() -> &'static ([u64; 80], [u64; 8]) {
+pub(crate) fn constants() -> &'static ([u64; 80], [u64; 8]) {
     static CONSTANTS: OnceLock<([u64; 80], [u64; 8])> = OnceLock::new();
     CONSTANTS.get_or_init(|| {
         let ps = primes(80);
@@ -168,6 +168,126 @@ fn constants() -> &'static ([u64; 80], [u64; 8]) {
         }
         (k, h)
     })
+}
+
+/// The SHA-512 initial hash state H⁽⁰⁾.
+pub(crate) fn initial_state() -> [u64; 8] {
+    constants().1
+}
+
+/// Compresses one 128-byte block into `state` (the FIPS 180-4 SHA-512
+/// compression function).
+pub(crate) fn compress_block(state: &mut [u64; 8], block: &[u8; 128]) {
+    let (k, _) = constants();
+    let mut w = [0u64; 80];
+    for (i, w_i) in w.iter_mut().take(16).enumerate() {
+        *w_i = u64::from_be_bytes(block[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+    }
+    for i in 16..80 {
+        let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+        let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..80 {
+        let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+        let ch = (e & f) ^ (!e & g);
+        let temp1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(k[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+    for (s, v) in state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+        *s = s.wrapping_add(v);
+    }
+}
+
+/// Number of interleaved lanes in [`compress4`].
+pub(crate) const LANES: usize = 4;
+
+/// Compresses one independent 128-byte block into each of four states.
+///
+/// The four compressions are laid out structure-of-arrays (each round
+/// variable is a `[u64; 4]` with one element per lane) so every round
+/// operation is four independent 64-bit adds/rotates/xors — exactly the
+/// shape the auto-vectorizer turns into 256-bit AVX2 lanes, and failing
+/// that, four independent dependency chains the out-of-order core can
+/// software-pipeline.  Bit-identical to four [`compress_block`] calls.
+// Lane loops index several `w` rows at fixed round offsets; iterator
+// forms would obscure the SoA shape the auto-vectorizer relies on.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn compress4(states: &mut [[u64; 8]; LANES], blocks: [&[u8; 128]; LANES]) {
+    let (k, _) = constants();
+    // Message schedule, lane-minor: w[i][l] is round i's word for lane l.
+    let mut w = [[0u64; LANES]; 80];
+    for (i, w_i) in w.iter_mut().take(16).enumerate() {
+        for (l, block) in blocks.iter().enumerate() {
+            w_i[l] = u64::from_be_bytes(block[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+        }
+    }
+    for i in 16..80 {
+        for l in 0..LANES {
+            let w15 = w[i - 15][l];
+            let w2 = w[i - 2][l];
+            let s0 = w15.rotate_right(1) ^ w15.rotate_right(8) ^ (w15 >> 7);
+            let s1 = w2.rotate_right(19) ^ w2.rotate_right(61) ^ (w2 >> 6);
+            w[i][l] = w[i - 16][l]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7][l])
+                .wrapping_add(s1);
+        }
+    }
+    let mut v = [[0u64; LANES]; 8];
+    for (r, row) in v.iter_mut().enumerate() {
+        for (l, state) in states.iter().enumerate() {
+            row[l] = state[r];
+        }
+    }
+    for i in 0..80 {
+        for l in 0..LANES {
+            let [a, b, c, d, e, f, g, h] = [
+                v[0][l], v[1][l], v[2][l], v[3][l], v[4][l], v[5][l], v[6][l], v[7][l],
+            ];
+            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i][l]);
+            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            v[0][l] = temp1.wrapping_add(temp2);
+            v[1][l] = a;
+            v[2][l] = b;
+            v[3][l] = c;
+            v[4][l] = d.wrapping_add(temp1);
+            v[5][l] = e;
+            v[6][l] = f;
+            v[7][l] = g;
+        }
+    }
+    for (l, state) in states.iter_mut().enumerate() {
+        for (r, row) in v.iter().enumerate() {
+            state[r] = state[r].wrapping_add(row[l]);
+        }
+    }
 }
 
 /// A 64-byte SHA-512 digest.
@@ -250,6 +370,18 @@ impl Sha512 {
         h.finalize()
     }
 
+    /// Resumes hashing from a captured compression state that has already
+    /// absorbed `prefix_blocks` whole 128-byte blocks (HMAC's cached
+    /// post-key-pad midstates).  Bit-identical to hashing the prefix again.
+    pub(crate) fn from_midstate(state: [u64; 8], prefix_blocks: u64) -> Self {
+        Sha512 {
+            state,
+            buffer: [0u8; 128],
+            buffered: 0,
+            length_bytes: u128::from(prefix_blocks) * 128,
+        }
+    }
+
     /// Absorbs more input.
     pub fn update(&mut self, mut data: &[u8]) {
         self.length_bytes += data.len() as u128;
@@ -278,73 +410,93 @@ impl Sha512 {
     /// Consumes the hasher and returns the digest.
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.length_bytes * 8;
-        // Padding: 0x80, zeros, 128-bit big-endian length.
-        self.raw_update(&[0x80]);
-        while self.buffered != 112 {
-            self.raw_update(&[0]);
+        // Padding: 0x80, zeros, 128-bit big-endian length — written
+        // directly into whole blocks rather than byte-at-a-time.
+        let buffered = self.buffered;
+        self.buffer[buffered] = 0x80;
+        if buffered < 112 {
+            self.buffer[buffered + 1..112].fill(0);
+            self.buffer[112..].copy_from_slice(&bit_len.to_be_bytes());
+            let block = self.buffer;
+            compress_block(&mut self.state, &block);
+        } else {
+            self.buffer[buffered + 1..].fill(0);
+            let block = self.buffer;
+            compress_block(&mut self.state, &block);
+            let mut last = [0u8; 128];
+            last[112..].copy_from_slice(&bit_len.to_be_bytes());
+            compress_block(&mut self.state, &last);
         }
-        self.raw_update(&bit_len.to_be_bytes());
-        debug_assert_eq!(self.buffered, 0);
-        let mut out = [0u8; 64];
-        for (i, word) in self.state.iter().enumerate() {
-            out[8 * i..8 * i + 8].copy_from_slice(&word.to_be_bytes());
-        }
-        Digest(out)
-    }
-
-    /// Update without counting toward the message length (used for
-    /// padding).
-    fn raw_update(&mut self, data: &[u8]) {
-        for &b in data {
-            self.buffer[self.buffered] = b;
-            self.buffered += 1;
-            if self.buffered == 128 {
-                let block = self.buffer;
-                self.compress(&block);
-                self.buffered = 0;
-            }
-        }
+        digest_from_state(&self.state)
     }
 
     fn compress(&mut self, block: &[u8; 128]) {
-        let (k, _) = constants();
-        let mut w = [0u64; 80];
-        for (i, w_i) in w.iter_mut().take(16).enumerate() {
-            *w_i = u64::from_be_bytes(block[8 * i..8 * i + 8].try_into().expect("8 bytes"));
-        }
-        for i in 16..80 {
-            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
-            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..80 {
-            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
-            let ch = (e & f) ^ (!e & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(k[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
-            *s = s.wrapping_add(v);
-        }
+        compress_block(&mut self.state, block);
     }
+}
+
+/// Serializes a final compression state into a digest.
+fn digest_from_state(state: &[u64; 8]) -> Digest {
+    let mut out = [0u8; 64];
+    for (i, word) in state.iter().enumerate() {
+        out[8 * i..8 * i + 8].copy_from_slice(&word.to_be_bytes());
+    }
+    Digest(out)
+}
+
+/// Digests a batch of independent 64-byte messages in one backend
+/// dispatch.
+///
+/// A 64-byte message pads to exactly one 128-byte block (message, `0x80`,
+/// zeros, 128-bit length), so the whole batch is a single
+/// [`HashBackend::compress_batch`] call — sibling messages ride the
+/// multi-lane kernel instead of going one-at-a-time through the streaming
+/// hasher.  Bit-identical to [`Sha512::digest`] per message.
+///
+/// [`HashBackend::compress_batch`]: crate::backend::HashBackend::compress_batch
+pub fn digest64_batch(
+    backend: &dyn crate::backend::HashBackend,
+    msgs: &[&[u8; 64]],
+    out: &mut Vec<Digest>,
+) {
+    let mut blocks: Vec<[u8; 128]> = Vec::with_capacity(msgs.len());
+    for msg in msgs {
+        let mut block = [0u8; 128];
+        block[..64].copy_from_slice(*msg);
+        block[64] = 0x80;
+        block[112..].copy_from_slice(&(512u128).to_be_bytes());
+        blocks.push(block);
+    }
+    let mut states = vec![initial_state(); msgs.len()];
+    let refs: Vec<&[u8; 128]> = blocks.iter().collect();
+    backend.compress_batch(&mut states, &refs);
+    out.extend(states.iter().map(digest_from_state));
+}
+
+/// Serializes a padded SHA-512 tail for a message of `msg.len()` bytes
+/// appended to `prefix_blocks` already-absorbed blocks: the message bytes,
+/// the 0x80 marker, zeros, and the 128-bit big-endian total bit length,
+/// rounded up to whole 128-byte blocks.  Returns the number of bytes
+/// written (a multiple of 128).
+///
+/// # Panics
+///
+/// Panics (via the slice write) if `out` is shorter than
+/// [`padded_tail_len`]`(msg.len())`.
+pub(crate) fn write_padded_tail(msg: &[u8], prefix_blocks: u64, out: &mut [u8]) -> usize {
+    let total = padded_tail_len(msg.len());
+    let bit_len = (u128::from(prefix_blocks) * 128 + msg.len() as u128) * 8;
+    out[..msg.len()].copy_from_slice(msg);
+    out[msg.len()] = 0x80;
+    out[msg.len() + 1..total - 16].fill(0);
+    out[total - 16..total].copy_from_slice(&bit_len.to_be_bytes());
+    total
+}
+
+/// Bytes [`write_padded_tail`] produces for a message of `msg_len` bytes:
+/// the smallest multiple of 128 holding `msg_len + 1 + 16` bytes.
+pub(crate) fn padded_tail_len(msg_len: usize) -> usize {
+    (msg_len + 1 + 16).div_ceil(128) * 128
 }
 
 #[cfg(test)]
@@ -434,6 +586,91 @@ mod tests {
     fn truncate_u64_takes_leading_bytes() {
         let d = Sha512::digest(b"abc");
         assert_eq!(d.truncate_u64(), 0xddaf35a193617aba);
+    }
+
+    #[test]
+    fn compress4_matches_four_scalar_compressions() {
+        let mut blocks = [[0u8; 128]; LANES];
+        for (l, block) in blocks.iter_mut().enumerate() {
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = (i * 7 + l * 131 + 3) as u8;
+            }
+        }
+        let mut scalar = [initial_state(); LANES];
+        for (state, block) in scalar.iter_mut().zip(&blocks) {
+            compress_block(state, block);
+        }
+        let mut vector = [initial_state(); LANES];
+        compress4(
+            &mut vector,
+            [&blocks[0], &blocks[1], &blocks[2], &blocks[3]],
+        );
+        assert_eq!(scalar, vector);
+    }
+
+    #[test]
+    fn midstate_resumes_exactly() {
+        let prefix = [0x5Au8; 128];
+        let tail = b"tail bytes";
+        let mut whole = Sha512::new();
+        whole.update(&prefix);
+        whole.update(tail);
+
+        let mut state = initial_state();
+        compress_block(&mut state, &prefix);
+        let mut resumed = Sha512::from_midstate(state, 1);
+        resumed.update(tail);
+        assert_eq!(whole.finalize(), resumed.finalize());
+    }
+
+    #[test]
+    fn padded_tail_matches_streaming_digest() {
+        // Hashing (prefix block ‖ msg) via explicit padded-tail blocks must
+        // equal the streaming hasher, across the 111/112-byte threshold.
+        let prefix = [0x36u8; 128];
+        for msg_len in [0usize, 1, 64, 81, 88, 111, 112, 127, 128, 512, 513] {
+            let msg: Vec<u8> = (0..msg_len).map(|i| (i * 13 % 251) as u8).collect();
+            let mut tail = vec![0u8; padded_tail_len(msg_len)];
+            let written = write_padded_tail(&msg, 1, &mut tail);
+            assert_eq!(written, tail.len());
+            let mut state = initial_state();
+            compress_block(&mut state, &prefix);
+            for block in tail.chunks_exact(128) {
+                compress_block(&mut state, block.try_into().expect("128 bytes"));
+            }
+            let mut streaming = Sha512::new();
+            streaming.update(&prefix);
+            streaming.update(&msg);
+            let expect = streaming.finalize();
+            let mut out = [0u8; 64];
+            for (i, word) in state.iter().enumerate() {
+                out[8 * i..8 * i + 8].copy_from_slice(&word.to_be_bytes());
+            }
+            assert_eq!(Digest(out), expect, "msg_len {msg_len}");
+        }
+    }
+
+    #[test]
+    fn digest64_batch_matches_one_shot() {
+        use crate::backend::CryptoBackend;
+        let msgs: Vec<[u8; 64]> = (0..7u8)
+            .map(|i| {
+                let mut m = [0u8; 64];
+                for (j, b) in m.iter_mut().enumerate() {
+                    *b = i.wrapping_mul(37).wrapping_add(j as u8);
+                }
+                m
+            })
+            .collect();
+        let refs: Vec<&[u8; 64]> = msgs.iter().collect();
+        for backend in CryptoBackend::ALL {
+            let mut out = Vec::new();
+            digest64_batch(&backend, &refs, &mut out);
+            assert_eq!(out.len(), msgs.len());
+            for (msg, digest) in msgs.iter().zip(&out) {
+                assert_eq!(*digest, Sha512::digest(msg), "{backend}");
+            }
+        }
     }
 
     #[test]

@@ -92,7 +92,17 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Option<Line>>>,
+    /// Flat set-major line storage: `lines[set * ways + way]`.  One
+    /// contiguous allocation keeps a whole set in one or two cache lines
+    /// of the *host*, where the nested per-set `Vec` layout paid a
+    /// pointer chase per simulated access.
+    lines: Vec<Option<Line>>,
+    sets: usize,
+    ways: usize,
+    /// `log2(sets)` when the set count is a power of two (every Table I
+    /// geometry), letting the hot path shift/mask instead of divide;
+    /// `u32::MAX` flags the general divide path.
+    set_shift: u32,
     use_clock: u64,
     stats: CacheStats,
 }
@@ -100,10 +110,18 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = vec![vec![None; config.ways]; config.sets()];
+        let sets = config.sets();
+        let set_shift = if sets.is_power_of_two() {
+            sets.trailing_zeros()
+        } else {
+            u32::MAX
+        };
         Cache {
-            config,
+            lines: vec![None; sets * config.ways],
             sets,
+            ways: config.ways,
+            set_shift,
+            config,
             use_clock: 0,
             stats: CacheStats::default(),
         }
@@ -124,16 +142,30 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn set_index(&self, block: BlockAddr) -> usize {
-        (block.index() % self.sets.len() as u64) as usize
+        if self.set_shift != u32::MAX {
+            (block.index() as usize) & (self.sets - 1)
+        } else {
+            (block.index() % self.sets as u64) as usize
+        }
     }
 
+    #[inline]
     fn tag(&self, block: BlockAddr) -> u64 {
-        block.index() / self.sets.len() as u64
+        if self.set_shift != u32::MAX {
+            block.index() >> self.set_shift
+        } else {
+            block.index() / self.sets as u64
+        }
     }
 
     fn block_from(&self, set: usize, tag: u64) -> BlockAddr {
-        BlockAddr(tag * self.sets.len() as u64 + set as u64)
+        if self.set_shift != u32::MAX {
+            BlockAddr((tag << self.set_shift) | set as u64)
+        } else {
+            BlockAddr(tag * self.sets as u64 + set as u64)
+        }
     }
 
     /// Accesses `block`, installing it with `fill_state` on a miss.
@@ -146,13 +178,11 @@ impl Cache {
         let clock = self.use_clock;
         let set_idx = self.set_index(block);
         let tag = self.tag(block);
+        let base = set_idx * self.ways;
+        let set = &mut self.lines[base..base + self.ways];
 
         // Hit path.
-        if let Some(line) = self.sets[set_idx]
-            .iter_mut()
-            .flatten()
-            .find(|l| l.tag == tag)
-        {
+        if let Some(line) = set.iter_mut().flatten().find(|l| l.tag == tag) {
             line.last_use = clock;
             if fill_state != LineState::Clean {
                 line.state = fill_state;
@@ -167,7 +197,6 @@ impl Cache {
         self.stats.misses += 1;
 
         // Fill path: free way if available.
-        let set = &mut self.sets[set_idx];
         if let Some(slot) = set.iter_mut().find(|w| w.is_none()) {
             *slot = Some(Line {
                 tag,
@@ -210,7 +239,8 @@ impl Cache {
     pub fn probe(&self, block: BlockAddr) -> Option<LineState> {
         let set_idx = self.set_index(block);
         let tag = self.tag(block);
-        self.sets[set_idx]
+        let base = set_idx * self.ways;
+        self.lines[base..base + self.ways]
             .iter()
             .flatten()
             .find(|l| l.tag == tag)
@@ -221,7 +251,8 @@ impl Cache {
     pub fn invalidate(&mut self, block: BlockAddr) -> Option<LineState> {
         let set_idx = self.set_index(block);
         let tag = self.tag(block);
-        for way in self.sets[set_idx].iter_mut() {
+        let base = set_idx * self.ways;
+        for way in self.lines[base..base + self.ways].iter_mut() {
             if way.as_ref().is_some_and(|l| l.tag == tag) {
                 return way.take().map(|l| l.state);
             }
@@ -233,7 +264,8 @@ impl Cache {
     pub fn set_state(&mut self, block: BlockAddr, state: LineState) {
         let set_idx = self.set_index(block);
         let tag = self.tag(block);
-        if let Some(line) = self.sets[set_idx]
+        let base = set_idx * self.ways;
+        if let Some(line) = self.lines[base..base + self.ways]
             .iter_mut()
             .flatten()
             .find(|l| l.tag == tag)
@@ -244,28 +276,22 @@ impl Cache {
 
     /// Number of resident blocks.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+        self.lines.iter().flatten().count()
     }
 
     /// Iterates over all resident blocks and their states.
     pub fn resident(&self) -> impl Iterator<Item = (BlockAddr, LineState)> + '_ {
-        self.sets
-            .iter()
-            .enumerate()
-            .flat_map(move |(set_idx, ways)| {
-                ways.iter()
-                    .flatten()
-                    .map(move |l| (self.block_from(set_idx, l.tag), l.state))
-            })
+        self.lines.iter().enumerate().filter_map(move |(i, way)| {
+            way.as_ref()
+                .map(|l| (self.block_from(i / self.ways, l.tag), l.state))
+        })
     }
 
     /// Drops every line (used when modelling a power cycle of volatile
     /// caches).
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                *way = None;
-            }
+        for way in self.lines.iter_mut() {
+            *way = None;
         }
     }
 }

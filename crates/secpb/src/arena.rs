@@ -1,0 +1,213 @@
+//! A fixed-capacity, generation-indexed slab for SecPB [`Entry`]s.
+//!
+//! The buffer's hot loop is store→coalesce→drain at memory speed; a
+//! `HashMap<BlockAddr, Entry>` keyed by block moves the ~¼ KiB entry
+//! payload on every rehash and churns the allocator on every
+//! allocate/drain pair.  The arena fixes the storage at construction
+//! time — `capacity` slots in one contiguous allocation — and recycles
+//! slots through a free list, so steady-state operation never touches
+//! the allocator.
+//!
+//! Handles are (slot, generation) pairs.  Removing an entry bumps the
+//! slot's generation, so a stale handle held elsewhere (the FIFO drain
+//! queue keeps them) can never alias a later tenant of the same slot:
+//! [`EntryArena::get`] checks the generation and returns `None` for
+//! stale handles.  No `unsafe` anywhere — aliasing safety is a data
+//! invariant, not a pointer trick.
+
+use crate::entry::Entry;
+
+/// A generation-checked reference to an arena slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle {
+    slot: u32,
+    generation: u32,
+}
+
+impl Handle {
+    /// The raw slot index (stable while the handle is live).
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// The generation this handle was minted at.
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    generation: u32,
+    entry: Option<Entry>,
+}
+
+/// The slab itself: fixed capacity, free-list recycling, generation
+/// checks on every access.
+#[derive(Debug, Clone)]
+pub struct EntryArena {
+    slots: Vec<Slot>,
+    /// Free slot indices, used LIFO so a just-drained slot (host-cache
+    /// warm) is the next one filled.
+    free: Vec<u32>,
+}
+
+impl EntryArena {
+    /// Creates an arena with all `capacity` slots free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` exceeds `u32::MAX` slots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(u32::try_from(capacity).is_ok(), "arena capacity too large");
+        EntryArena {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    generation: 0,
+                    entry: None,
+                })
+                .collect(),
+            free: (0..capacity as u32).rev().collect(),
+        }
+    }
+
+    /// Total slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live entries.
+    pub fn live(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Stores `entry` in a free slot and returns its handle, or gives the
+    /// entry back when every slot is occupied.
+    ///
+    /// The large `Err` variant is the point: on overflow the caller gets
+    /// its entry back by move, not via a heap box that would put the
+    /// allocator right back on the hot path.
+    #[allow(clippy::result_large_err)]
+    pub fn insert(&mut self, entry: Entry) -> Result<Handle, Entry> {
+        let Some(slot) = self.free.pop() else {
+            return Err(entry);
+        };
+        let s = &mut self.slots[slot as usize];
+        debug_assert!(s.entry.is_none(), "free-listed slot must be vacant");
+        s.entry = Some(entry);
+        Ok(Handle {
+            slot,
+            generation: s.generation,
+        })
+    }
+
+    /// The entry behind `handle`, or `None` if the handle is stale (its
+    /// tenant was removed, whatever now occupies the slot).
+    pub fn get(&self, handle: Handle) -> Option<&Entry> {
+        let s = self.slots.get(handle.slot as usize)?;
+        if s.generation != handle.generation {
+            return None;
+        }
+        s.entry.as_ref()
+    }
+
+    /// Mutable access behind `handle`, with the same staleness check.
+    pub fn get_mut(&mut self, handle: Handle) -> Option<&mut Entry> {
+        let s = self.slots.get_mut(handle.slot as usize)?;
+        if s.generation != handle.generation {
+            return None;
+        }
+        s.entry.as_mut()
+    }
+
+    /// Removes and returns the entry behind `handle`, bumping the slot's
+    /// generation so every outstanding copy of the handle goes stale.
+    pub fn remove(&mut self, handle: Handle) -> Option<Entry> {
+        let s = self.slots.get_mut(handle.slot as usize)?;
+        if s.generation != handle.generation {
+            return None;
+        }
+        let entry = s.entry.take()?;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(handle.slot);
+        Some(entry)
+    }
+
+    /// Iterates over live entries in slot order (deterministic: a pure
+    /// function of the operation history).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.slots.iter().filter_map(|s| s.entry.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpb_sim::addr::{Asid, BlockAddr};
+
+    fn entry(block: u64, seq: u64) -> Entry {
+        Entry::new(BlockAddr(block), Asid(0), [block as u8; 64], seq)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = EntryArena::with_capacity(2);
+        let h = a.insert(entry(7, 0)).unwrap();
+        assert_eq!(a.get(h).unwrap().block, BlockAddr(7));
+        assert_eq!(a.live(), 1);
+        let e = a.remove(h).unwrap();
+        assert_eq!(e.block, BlockAddr(7));
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn full_arena_returns_entry_back() {
+        let mut a = EntryArena::with_capacity(1);
+        a.insert(entry(1, 0)).unwrap();
+        let back = a.insert(entry(2, 1)).unwrap_err();
+        assert_eq!(back.block, BlockAddr(2));
+    }
+
+    #[test]
+    fn stale_handle_cannot_alias_reused_slot() {
+        let mut a = EntryArena::with_capacity(1);
+        let h1 = a.insert(entry(1, 0)).unwrap();
+        a.remove(h1).unwrap();
+        let h2 = a.insert(entry(2, 1)).unwrap();
+        // Same slot, new generation: the old handle must see nothing.
+        assert_eq!(h1.slot(), h2.slot());
+        assert!(a.get(h1).is_none());
+        assert!(a.get_mut(h1).is_none());
+        assert!(a.remove(h1).is_none());
+        assert_eq!(a.get(h2).unwrap().block, BlockAddr(2));
+    }
+
+    #[test]
+    fn double_remove_is_none() {
+        let mut a = EntryArena::with_capacity(2);
+        let h = a.insert(entry(3, 0)).unwrap();
+        assert!(a.remove(h).is_some());
+        assert!(a.remove(h).is_none());
+    }
+
+    #[test]
+    fn iter_sees_only_live_entries() {
+        let mut a = EntryArena::with_capacity(4);
+        let h0 = a.insert(entry(10, 0)).unwrap();
+        a.insert(entry(11, 1)).unwrap();
+        a.remove(h0).unwrap();
+        let blocks: Vec<_> = a.iter().map(|e| e.block).collect();
+        assert_eq!(blocks, vec![BlockAddr(11)]);
+    }
+
+    #[test]
+    fn slots_recycle_without_growth() {
+        let mut a = EntryArena::with_capacity(3);
+        for round in 0..100u64 {
+            let h = a.insert(entry(round, round)).unwrap();
+            assert_eq!(a.capacity(), 3);
+            a.remove(h).unwrap();
+        }
+        assert_eq!(a.live(), 0);
+    }
+}

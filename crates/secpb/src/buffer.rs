@@ -1,11 +1,20 @@
 //! The SecPB buffer: a small, fully-associative, battery-backed table of
 //! [`Entry`]s with store coalescing, drain watermarks, and oldest-first
 //! drain order (Sections III-B and IV-B of the paper).
+//!
+//! Entries live in a fixed-capacity [`EntryArena`] (one allocation for
+//! the whole table); a block→handle index serves coalescing lookups and
+//! a FIFO of handles serves drain ordering, so `oldest()` is O(1)
+//! instead of a full-table scan and the store→drain steady state never
+//! touches the allocator.
+
+use std::collections::VecDeque;
 
 use secpb_sim::addr::{Asid, BlockAddr};
 use secpb_sim::config::SecPbConfig;
 use secpb_sim::fxhash::FxHashMap;
 
+use crate::arena::{EntryArena, Handle};
 use crate::entry::Entry;
 
 /// SecPB activity statistics.
@@ -53,7 +62,14 @@ impl SecPbStats {
 #[derive(Debug, Clone)]
 pub struct SecPb {
     config: SecPbConfig,
-    entries: FxHashMap<BlockAddr, Entry>,
+    arena: EntryArena,
+    /// Block → live arena handle (coalescing lookups).
+    index: FxHashMap<BlockAddr, Handle>,
+    /// Handles in allocation order.  Removal leaves a stale handle
+    /// behind (the arena's generation check filters it), pruned from
+    /// the front eagerly and compacted wholesale when stale nodes pile
+    /// up, so the front is always the oldest live entry.
+    fifo: VecDeque<Handle>,
     next_seq: u64,
     stats: SecPbStats,
 }
@@ -61,9 +77,12 @@ pub struct SecPb {
 impl SecPb {
     /// Creates an empty buffer.
     pub fn new(config: SecPbConfig) -> Self {
+        let capacity = config.entries;
         SecPb {
             config,
-            entries: FxHashMap::default(),
+            arena: EntryArena::with_capacity(capacity),
+            index: FxHashMap::with_capacity_and_hasher(capacity * 2, Default::default()),
+            fifo: VecDeque::with_capacity(capacity * 2),
             next_seq: 0,
             stats: SecPbStats::default(),
         }
@@ -81,37 +100,37 @@ impl SecPb {
 
     /// Number of resident entries.
     pub fn occupancy(&self) -> usize {
-        self.entries.len()
+        self.arena.live()
     }
 
     /// Whether every entry slot is occupied.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.config.entries
+        self.arena.live() >= self.config.entries
     }
 
     /// Whether occupancy has reached the high watermark (start draining).
     pub fn above_high_watermark(&self) -> bool {
-        self.entries.len() >= self.config.high_watermark_entries()
+        self.arena.live() >= self.config.high_watermark_entries()
     }
 
     /// Whether occupancy has fallen to the low watermark (stop draining).
     pub fn at_low_watermark(&self) -> bool {
-        self.entries.len() <= self.config.low_watermark_entries()
+        self.arena.live() <= self.config.low_watermark_entries()
     }
 
     /// Whether the buffer holds `block`.
     pub fn contains(&self, block: BlockAddr) -> bool {
-        self.entries.contains_key(&block)
+        self.index.contains_key(&block)
     }
 
     /// Immutable access to an entry.
     pub fn entry(&self, block: BlockAddr) -> Option<&Entry> {
-        self.entries.get(&block)
+        self.arena.get(*self.index.get(&block)?)
     }
 
     /// Mutable access to an entry.
     pub fn entry_mut(&mut self, block: BlockAddr) -> Option<&mut Entry> {
-        self.entries.get_mut(&block)
+        self.arena.get_mut(*self.index.get(&block)?)
     }
 
     /// Records a store hitting an existing entry (coalescing) or a fresh
@@ -136,16 +155,34 @@ impl SecPb {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.allocations += 1;
-        self.entries
-            .insert(block, Entry::new(block, asid, base, seq));
-        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.entries.len() as u64);
-        self.entries.get_mut(&block).expect("just inserted")
+        let handle = match self.arena.insert(Entry::new(block, asid, base, seq)) {
+            Ok(h) => h,
+            Err(_) => unreachable!("fullness checked above"),
+        };
+        self.index.insert(block, handle);
+        self.fifo.push_back(handle);
+        // Bound the stale-node backlog: live handles can never exceed
+        // capacity, so past 2x the queue is mostly tombstones.
+        if self.fifo.len() > 2 * self.config.entries.max(8) {
+            let arena = &self.arena;
+            self.fifo.retain(|h| arena.get(*h).is_some());
+        }
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.arena.live() as u64);
+        self.arena.get_mut(handle).expect("just inserted")
     }
 
     /// Removes and returns an entry (drain or migration), updating NWPE
     /// accounting.
     pub fn remove(&mut self, block: BlockAddr) -> Option<Entry> {
-        let e = self.entries.remove(&block)?;
+        let handle = self.index.remove(&block)?;
+        let e = self.arena.remove(handle).expect("index maps live handles");
+        // Keep the FIFO front live so `oldest` stays O(1).
+        while let Some(front) = self.fifo.front() {
+            if self.arena.get(*front).is_some() {
+                break;
+            }
+            self.fifo.pop_front();
+        }
         self.stats.drained_entries += 1;
         self.stats.drained_stores += e.stores;
         Some(e)
@@ -153,35 +190,38 @@ impl SecPb {
 
     /// The oldest resident entry's block (FIFO drain order).
     pub fn oldest(&self) -> Option<BlockAddr> {
-        self.entries.values().min_by_key(|e| e.seq).map(|e| e.block)
+        self.live_oldest_first().next().map(|e| e.block)
     }
 
     /// The oldest resident entry matching `filter` (drain-process policy).
     pub fn oldest_matching(&self, filter: impl Fn(&Entry) -> bool) -> Option<BlockAddr> {
-        self.entries
-            .values()
-            .filter(|e| filter(e))
-            .min_by_key(|e| e.seq)
+        self.live_oldest_first()
+            .find(|e| filter(e))
             .map(|e| e.block)
     }
 
     /// Blocks of all resident entries, oldest first.
     pub fn blocks_oldest_first(&self) -> Vec<BlockAddr> {
-        let mut v: Vec<&Entry> = self.entries.values().collect();
-        v.sort_by_key(|e| e.seq);
-        v.into_iter().map(|e| e.block).collect()
+        self.live_oldest_first().map(|e| e.block).collect()
     }
 
     /// Blocks of resident entries owned by `asid`, oldest first.
     pub fn blocks_of_asid(&self, asid: Asid) -> Vec<BlockAddr> {
-        let mut v: Vec<&Entry> = self.entries.values().filter(|e| e.asid == asid).collect();
-        v.sort_by_key(|e| e.seq);
-        v.into_iter().map(|e| e.block).collect()
+        self.live_oldest_first()
+            .filter(|e| e.asid == asid)
+            .map(|e| e.block)
+            .collect()
     }
 
     /// Iterates over all resident entries in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
-        self.entries.values()
+        self.arena.iter()
+    }
+
+    /// Live entries in allocation (seq) order: walks the handle FIFO and
+    /// lets the arena's generation check drop tombstones.
+    fn live_oldest_first(&self) -> impl Iterator<Item = &Entry> {
+        self.fifo.iter().filter_map(|h| self.arena.get(*h))
     }
 }
 

@@ -17,6 +17,7 @@
 //! [`DomainKeys`]) so the refactor is bit-identical to the three
 //! hand-written implementations it replaces.
 
+use secpb_crypto::backend::CryptoBackend;
 use secpb_crypto::counter::{CounterBlock, SplitCounter};
 use secpb_crypto::mac::BlockMac;
 use secpb_crypto::memo::DigestMemo;
@@ -24,7 +25,7 @@ use secpb_crypto::otp::OtpEngine;
 use secpb_crypto::sha512::{Digest, Sha512};
 use secpb_mem::store::NvmStore;
 use secpb_sim::addr::BlockAddr;
-use secpb_sim::config::MetadataMode;
+use secpb_sim::config::{CryptoBackendKind, MetadataMode};
 use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::trace::Access;
 
@@ -33,6 +34,16 @@ use crate::tree::{IntegrityTree, TreeKind};
 
 /// BMT arity used throughout (8-ary, 8 levels covers 16 M pages).
 pub(crate) const BMT_ARITY: usize = 8;
+
+/// Maps the dependency-free config name to the concrete crypto backend.
+pub(crate) fn resolve_backend(kind: CryptoBackendKind) -> CryptoBackend {
+    match kind {
+        CryptoBackendKind::Auto => CryptoBackend::auto(),
+        CryptoBackendKind::Scalar => CryptoBackend::Scalar,
+        CryptoBackendKind::MultiBlock => CryptoBackend::MultiBlock,
+        CryptoBackendKind::Hw => CryptoBackend::HwCrypto,
+    }
+}
 
 /// Per-front key-derivation salts.  The three fronts historically derived
 /// their AES/tree keys with different constants; preserving them keeps
@@ -99,6 +110,8 @@ pub struct PersistDomain {
     pub(crate) mac_engine: BlockMac,
     pub(crate) tree: IntegrityTree,
     pub(crate) mode: MetadataMode,
+    /// Resolved crypto backend every engine dispatches through.
+    pub(crate) backend: CryptoBackend,
     pub(crate) ctr_digests: DigestMemo,
 }
 
@@ -120,16 +133,22 @@ impl PersistDomain {
         tree_kind: TreeKind,
         bmt_levels: u32,
         mode: MetadataMode,
+        backend_kind: CryptoBackendKind,
         key_seed: u64,
     ) -> Self {
         let mut aes_key = [0u8; 24];
         for (i, b) in aes_key.iter_mut().enumerate() {
             *b = (key_seed.rotate_left(i as u32) ^ (i as u64 * keys.aes_mult)) as u8;
         }
+        let backend = resolve_backend(backend_kind);
         let mac_key = key_seed.to_le_bytes();
         let tree_key = (key_seed ^ keys.tree_xor).to_le_bytes();
         let mut tree = IntegrityTree::new(tree_kind, &tree_key, BMT_ARITY, bmt_levels);
+        tree.set_backend(backend);
         let mut otp_engine = OtpEngine::new(&aes_key);
+        otp_engine.set_backend(backend);
+        let mut mac_engine = BlockMac::new(&mac_key);
+        mac_engine.set_backend(backend);
         if mode == MetadataMode::Lazy {
             tree.set_lazy(true);
             otp_engine.enable_pad_cache(secpb_crypto::memo::DEFAULT_CAPACITY);
@@ -143,9 +162,10 @@ impl PersistDomain {
             counters: FxHashMap::default(),
             nvm: NvmStore::new(),
             otp_engine,
-            mac_engine: BlockMac::new(&mac_key),
+            mac_engine,
             tree,
             mode,
+            backend,
             ctr_digests: DigestMemo::new(secpb_crypto::memo::DEFAULT_CAPACITY),
         }
     }
@@ -172,6 +192,30 @@ impl PersistDomain {
             MetadataMode::Eager => Sha512::digest(&bytes),
             MetadataMode::Lazy => self.ctr_digests.digest(page, &bytes),
         }
+    }
+
+    /// Batched [`counter_digest`](Self::counter_digest): every miss in
+    /// the burst rides one multi-lane hash dispatch.  Bit-identical
+    /// digests to the per-item path.
+    pub(crate) fn counter_digest_batch(&self, items: &[(u64, [u8; 64])], out: &mut Vec<Digest>) {
+        match self.mode {
+            MetadataMode::Eager => {
+                let msgs: Vec<&[u8; 64]> = items.iter().map(|(_, bytes)| bytes).collect();
+                secpb_crypto::sha512::digest64_batch(&self.backend, &msgs, out);
+            }
+            MetadataMode::Lazy => self.ctr_digests.digest_batch(&self.backend, items, out),
+        }
+    }
+
+    /// Combined hit/miss/eviction counters of the domain's memo caches
+    /// (the lazy engine's OTP pad cache and counter-digest memo).
+    pub fn memo_stats(&self) -> secpb_crypto::memo::MemoStats {
+        let pads = self
+            .otp_engine
+            .pad_cache()
+            .map(|c| c.stats())
+            .unwrap_or_default();
+        pads.merged(self.ctr_digests.stats())
     }
 
     /// Persists the tree root into NVM after a leaf update.  The lazy
@@ -232,7 +276,10 @@ impl PersistDomain {
         let mac = match entry.mac {
             Some(m) if entry.valid.mac => m,
             _ => {
-                rec.mac_generated = true;
+                // `mac_generated` reports whether the *modeled* MAC unit
+                // ran at drain; with `valid.mac` set the unit already ran
+                // early and only the host-side tag was deferred here.
+                rec.mac_generated = !entry.valid.mac;
                 self.mac_engine.compute(&ct, block.index(), ctr)
             }
         };
@@ -246,6 +293,67 @@ impl PersistDomain {
         rec.tree_hashes = self.tree.update_leaf(page, digest);
         self.persist_root();
         rec
+    }
+
+    /// Flushes a run of entries whose counter and ciphertext are already
+    /// valid, computing the (stateless) block MACs in one multi-lane
+    /// batch instead of one HMAC per entry.  Everything stateful — NVM
+    /// writes, counter blocks, digests, tree leaves — still runs
+    /// per-entry in input order, so the result is byte-identical to
+    /// calling [`flush_entry`](Self::flush_entry) on each entry in turn.
+    pub(crate) fn flush_ready_batch(&mut self, entries: &[Entry]) -> Vec<FlushRecord> {
+        debug_assert!(
+            entries
+                .iter()
+                .all(|e| e.valid.counter && e.valid.ciphertext),
+            "batched flush requires resolved counters and ciphertexts"
+        );
+        let mut tags = Vec::with_capacity(entries.len());
+        {
+            let refs: Vec<(&[u8; 64], u64, SplitCounter)> = entries
+                .iter()
+                .map(|e| (&e.ciphertext, e.block.index(), e.counter))
+                .collect();
+            self.mac_engine.compute_truncated_batch(&refs, &mut tags);
+        }
+        // Pass 1, in drain order: data/MAC/counter writes, snapshotting
+        // each entry's post-write counter block.  A later same-page entry
+        // reads the earlier one's update exactly as the sequential path
+        // would.
+        let mut pages: Vec<(u64, [u8; 64])> = Vec::with_capacity(entries.len());
+        for (entry, &tag64) in entries.iter().zip(&tags) {
+            let block = entry.block;
+            let page = NvmStore::page_of(block);
+            let slot = NvmStore::page_slot_of(block);
+            self.nvm.write_data(block, entry.ciphertext);
+            self.nvm.write_mac(block, tag64);
+            let mut cb = self.nvm.read_counters(page);
+            cb.set_counter(slot, entry.counter);
+            self.nvm.write_counters(page, cb.clone());
+            pages.push((page, cb.to_bytes()));
+        }
+        // One multi-lane dispatch covers every counter digest the burst
+        // needs; memo lookups and inserts stay in drain order.
+        let mut digests = Vec::with_capacity(pages.len());
+        self.counter_digest_batch(&pages, &mut digests);
+        // Pass 2, in drain order: leaf updates against the snapshotted
+        // digests.  Same-page entries update the leaf once per entry with
+        // the same digest sequence as sequential flushing, so the final
+        // tree state and per-entry hash counts are identical.
+        entries
+            .iter()
+            .zip(&digests)
+            .map(|(entry, &digest)| {
+                let mut rec = FlushRecord {
+                    mac_generated: !entry.valid.mac,
+                    ..FlushRecord::default()
+                };
+                let page = NvmStore::page_of(entry.block);
+                rec.tree_hashes = self.tree.update_leaf(page, digest);
+                self.persist_root();
+                rec
+            })
+            .collect()
     }
 
     /// Persists a block's full tuple from the golden state with an
@@ -292,6 +400,7 @@ impl PersistDomain {
     pub(crate) fn rebuilt_tree(&self) -> IntegrityTree {
         let tree_key = (self.seed ^ self.keys.tree_xor).to_le_bytes();
         let mut rebuilt = IntegrityTree::new(self.tree_kind, &tree_key, BMT_ARITY, self.bmt_levels);
+        rebuilt.set_backend(self.backend);
         if self.mode == MetadataMode::Lazy {
             rebuilt.set_lazy(true);
         }
@@ -321,6 +430,7 @@ mod tests {
             TreeKind::Monolithic,
             8,
             MetadataMode::Eager,
+            CryptoBackendKind::Auto,
             7,
         );
         let block = Address(0x1000).block();
@@ -341,6 +451,7 @@ mod tests {
             TreeKind::Monolithic,
             8,
             MetadataMode::Lazy,
+            CryptoBackendKind::Auto,
             42,
         );
         let block = Address(0x2000).block();

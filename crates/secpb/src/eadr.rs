@@ -58,6 +58,7 @@ impl EadrSystem {
             TreeKind::Monolithic,
             cfg.security.bmt_levels,
             cfg.security.metadata_mode,
+            cfg.security.crypto_backend,
             key_seed,
         );
         EadrSystem {
@@ -97,6 +98,11 @@ impl EadrSystem {
         self.domain.mode
     }
 
+    /// Combined memo-cache statistics (pad cache + counter-digest memo).
+    pub fn memo_stats(&self) -> secpb_crypto::memo::MemoStats {
+        self.domain.memo_stats()
+    }
+
     /// The core clock.
     pub fn now(&self) -> Cycle {
         self.now
@@ -125,10 +131,12 @@ impl EadrSystem {
 
     fn advance(&mut self, cycles: f64) {
         self.frac += cycles;
-        let whole = self.frac.floor();
-        if whole >= 1.0 {
-            self.now += whole as u64;
-            self.frac -= whole;
+        // Truncating cast == `floor()` for the non-negative accumulator,
+        // minus the libm call (see `SecureSystem::advance`).
+        let whole = self.frac as u64;
+        if whole >= 1 {
+            self.now += whole;
+            self.frac -= whole as f64;
         }
     }
 

@@ -85,6 +85,14 @@ pub trait PersistSystem {
         self.stats().get(counters::ANOMALIES)
     }
 
+    /// Combined hit/miss/eviction counters of the front's crypto memo
+    /// caches (the lazy engine's OTP pad cache and counter-digest memo).
+    /// Zero for fronts or modes that attach no memos; purely
+    /// observational — memo contents never change any output.
+    fn memo_stats(&self) -> secpb_crypto::memo::MemoStats {
+        secpb_crypto::memo::MemoStats::default()
+    }
+
     /// Executes a single trace item.
     fn step(&mut self, item: TraceItem);
 
@@ -219,6 +227,10 @@ impl PersistSystem for SecureSystem {
         self.persist_buffer().occupancy() as u64
     }
 
+    fn memo_stats(&self) -> secpb_crypto::memo::MemoStats {
+        SecureSystem::memo_stats(self)
+    }
+
     fn drains_in_flight(&self) -> bool {
         SecureSystem::drains_in_flight(self)
     }
@@ -294,6 +306,10 @@ impl PersistSystem for EadrSystem {
 
     fn occupancy(&self) -> u64 {
         self.dirty_lines() as u64
+    }
+
+    fn memo_stats(&self) -> secpb_crypto::memo::MemoStats {
+        EadrSystem::memo_stats(self)
     }
 
     fn crash_with_budget(
@@ -403,6 +419,10 @@ impl PersistSystem for MultiCoreSystem {
 
     fn occupancy(&self) -> u64 {
         MultiCoreSystem::occupancy(self) as u64
+    }
+
+    fn memo_stats(&self) -> secpb_crypto::memo::MemoStats {
+        MultiCoreSystem::memo_stats(self)
     }
 
     fn crash_with_budget(

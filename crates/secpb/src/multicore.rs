@@ -90,6 +90,7 @@ impl MultiCoreSystem {
             TreeKind::Monolithic,
             cfg.security.bmt_levels,
             cfg.security.metadata_mode,
+            cfg.security.crypto_backend,
             key_seed,
         );
         Ok(MultiCoreSystem {
@@ -120,6 +121,11 @@ impl MultiCoreSystem {
     /// Whether the security-metadata engine is eager or lazy.
     pub fn metadata_mode(&self) -> MetadataMode {
         self.domain.mode
+    }
+
+    /// Combined memo-cache statistics (pad cache + counter-digest memo).
+    pub fn memo_stats(&self) -> secpb_crypto::memo::MemoStats {
+        self.domain.memo_stats()
     }
 
     /// The system configuration.

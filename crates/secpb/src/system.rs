@@ -190,6 +190,7 @@ impl SecureSystem {
             tree_kind,
             cfg.security.bmt_levels,
             cfg.security.metadata_mode,
+            cfg.security.crypto_backend,
             key_seed,
         );
         let mut stats = Stats::new();
@@ -240,6 +241,11 @@ impl SecureSystem {
     /// Pad-cache hit/miss statistics, when the lazy engine is active.
     pub fn pad_cache_stats(&self) -> Option<secpb_crypto::memo::MemoStats> {
         self.domain.otp_engine.pad_cache().map(|c| c.stats())
+    }
+
+    /// Combined memo-cache statistics (pad cache + counter-digest memo).
+    pub fn memo_stats(&self) -> secpb_crypto::memo::MemoStats {
+        self.domain.memo_stats()
     }
 
     /// Folds all deferred integrity-tree work and persists the root —
@@ -382,11 +388,14 @@ impl SecureSystem {
 
     pub(crate) fn advance(&mut self, cycles: f64, attr: Attr) {
         self.frac += cycles;
-        let whole = self.frac.floor();
-        if whole >= 1.0 {
+        // `frac` is a sum of non-negative latencies, so the truncating
+        // cast equals `floor()` exactly — without the libm call the
+        // baseline (pre-SSE4.1) target would emit for `floor`.
+        let whole = self.frac as u64;
+        if whole >= 1 {
             let old = self.now;
-            self.now += whole as u64;
-            self.frac -= whole;
+            self.now += whole;
+            self.frac -= whole as f64;
             self.attribute(attr, old);
         }
     }

@@ -2,6 +2,7 @@
 //! Bonsai Merkle Forest (for the Figure 9 BMF study), behind one
 //! interface the system model drives.
 
+use secpb_crypto::backend::CryptoBackend;
 use secpb_crypto::bmf::{BmfMode, BonsaiMerkleForest};
 use secpb_crypto::bmt::BonsaiMerkleTree;
 use secpb_crypto::sha512::Digest;
@@ -96,6 +97,15 @@ impl IntegrityTree {
         match self {
             IntegrityTree::Monolithic(t) => t.set_lazy(lazy),
             IntegrityTree::Forest(f) => f.set_lazy(lazy),
+        }
+    }
+
+    /// Selects the crypto backend for batched lazy folds (byte-identical
+    /// across backends).
+    pub fn set_backend(&mut self, backend: CryptoBackend) {
+        match self {
+            IntegrityTree::Monolithic(t) => t.set_backend(backend),
+            IntegrityTree::Forest(f) => f.set_backend(backend),
         }
     }
 

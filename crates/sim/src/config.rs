@@ -182,6 +182,55 @@ impl std::str::FromStr for MetadataMode {
     }
 }
 
+/// Which crypto backend the functional engines dispatch hashing and
+/// encryption through.  Purely a host-performance knob: every backend is
+/// byte-identical (the equivalence suites assert it), so reports, roots,
+/// and recovery verdicts never depend on the choice.  The actual backend
+/// implementations live in `secpb-crypto`; this enum only *names* them so
+/// configuration stays dependency-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CryptoBackendKind {
+    /// Hardware (AES-NI) when compiled in and detected at runtime,
+    /// multi-block software pipelining otherwise.
+    #[default]
+    Auto,
+    /// One-block-at-a-time reference implementation.
+    Scalar,
+    /// Software-pipelined multi-block (4-lane SHA-512) dispatch.
+    MultiBlock,
+    /// `std::arch` AES-NI cipher kernels (requires the `hw-crypto`
+    /// feature and runtime CPU support; falls back to scalar otherwise).
+    Hw,
+}
+
+impl CryptoBackendKind {
+    /// Stable lowercase name (CLI flags, JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CryptoBackendKind::Auto => "auto",
+            CryptoBackendKind::Scalar => "scalar",
+            CryptoBackendKind::MultiBlock => "multiblock",
+            CryptoBackendKind::Hw => "hw",
+        }
+    }
+}
+
+impl std::str::FromStr for CryptoBackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Ok(CryptoBackendKind::Auto),
+            "scalar" => Ok(CryptoBackendKind::Scalar),
+            "multiblock" | "multi-block" => Ok(CryptoBackendKind::MultiBlock),
+            "hw" | "hw-crypto" | "aesni" => Ok(CryptoBackendKind::Hw),
+            other => Err(format!(
+                "unknown crypto backend '{other}' (auto|scalar|multiblock|hw)"
+            )),
+        }
+    }
+}
+
 /// Security-mechanism latencies (Table I, "Security Mechanisms").
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SecurityConfig {
@@ -211,6 +260,9 @@ pub struct SecurityConfig {
     /// Functional metadata engine mode (lazy folding + memoization vs
     /// the eager reference; observable outputs are identical).
     pub metadata_mode: MetadataMode,
+    /// Crypto backend the functional engines dispatch through (a host
+    /// performance knob; observable outputs are identical).
+    pub crypto_backend: CryptoBackendKind,
 }
 
 impl Default for SecurityConfig {
@@ -224,6 +276,7 @@ impl Default for SecurityConfig {
             value_independent_coalescing: true,
             speculative_verification: true,
             metadata_mode: MetadataMode::default(),
+            crypto_backend: CryptoBackendKind::default(),
         }
     }
 }
@@ -353,6 +406,14 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy with the functional crypto backend switched
+    /// (scalar reference, multi-block software pipelining, or hardware
+    /// AES-NI).  Observable outputs are identical in all of them.
+    pub fn with_crypto_backend(mut self, backend: CryptoBackendKind) -> Self {
+        self.security.crypto_backend = backend;
+        self
+    }
+
     /// Returns a copy with different SecPB drain watermarks.
     ///
     /// # Panics
@@ -451,6 +512,30 @@ mod tests {
     #[should_panic(expected = "watermarks")]
     fn watermark_builder_validates() {
         SystemConfig::default().with_watermarks(0.2, 0.8);
+    }
+
+    #[test]
+    fn crypto_backend_defaults_auto_and_parses() {
+        assert_eq!(CryptoBackendKind::default(), CryptoBackendKind::Auto);
+        assert_eq!(
+            SystemConfig::default().security.crypto_backend,
+            CryptoBackendKind::Auto
+        );
+        assert_eq!("auto".parse(), Ok(CryptoBackendKind::Auto));
+        assert_eq!("Scalar".parse(), Ok(CryptoBackendKind::Scalar));
+        assert_eq!("multi-block".parse(), Ok(CryptoBackendKind::MultiBlock));
+        assert_eq!("aesni".parse(), Ok(CryptoBackendKind::Hw));
+        assert!("simd9".parse::<CryptoBackendKind>().is_err());
+        for kind in [
+            CryptoBackendKind::Auto,
+            CryptoBackendKind::Scalar,
+            CryptoBackendKind::MultiBlock,
+            CryptoBackendKind::Hw,
+        ] {
+            assert_eq!(kind.name().parse(), Ok(kind), "name round-trips");
+        }
+        let cfg = SystemConfig::default().with_crypto_backend(CryptoBackendKind::Scalar);
+        assert_eq!(cfg.security.crypto_backend, CryptoBackendKind::Scalar);
     }
 
     #[test]

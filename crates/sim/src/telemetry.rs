@@ -378,6 +378,12 @@ pub struct HealthGauges {
     pub battery_joules: f64,
     /// Estimated cycles a recovery sweep would take right now.
     pub recovery_cycles: u64,
+    /// Crypto memo-cache hits (pad cache + counter-digest memo).
+    pub memo_hits: u64,
+    /// Crypto memo-cache misses.
+    pub memo_misses: u64,
+    /// Crypto memo-cache clock evictions.
+    pub memo_evictions: u64,
 }
 
 /// Folds the event stream into shadow state and produces periodic
@@ -508,6 +514,9 @@ impl HealthMonitor {
             anomalies: gauges.anomalies,
             battery_joules: gauges.battery_joules,
             recovery_cycles: gauges.recovery_cycles,
+            memo_hits: gauges.memo_hits,
+            memo_misses: gauges.memo_misses,
+            memo_evictions: gauges.memo_evictions,
             events: self.events,
             spans: self.spans,
             crashes: self.crashes,
@@ -553,6 +562,13 @@ pub struct HealthSnapshot {
     pub battery_joules: f64,
     /// Estimated recovery-sweep cycles for the current footprint.
     pub recovery_cycles: u64,
+    /// Crypto memo-cache hits (pad cache + counter-digest memo).
+    pub memo_hits: u64,
+    /// Crypto memo-cache misses.
+    pub memo_misses: u64,
+    /// Crypto memo-cache clock evictions — a rising rate means the
+    /// working set outgrew the memo rings.
+    pub memo_evictions: u64,
     /// Events absorbed from the ring so far.
     pub events: u64,
     /// Span events absorbed so far.
@@ -590,6 +606,13 @@ impl HealthSnapshot {
             .field("battery_joules", self.battery_joules)
             .field("recovery_cycles", self.recovery_cycles)
             .field(
+                "memo",
+                Json::obj()
+                    .field("hits", self.memo_hits)
+                    .field("misses", self.memo_misses)
+                    .field("evictions", self.memo_evictions),
+            )
+            .field(
                 "telemetry",
                 Json::obj()
                     .field("events", self.events)
@@ -626,6 +649,7 @@ impl HealthSnapshot {
         let drain = json
             .get("drain_latency")
             .ok_or("missing field \"drain_latency\"")?;
+        let memo = json.get("memo").ok_or("missing field \"memo\"")?;
         let telemetry = json.get("telemetry").ok_or("missing field \"telemetry\"")?;
         let lossy = match telemetry.get("lossy") {
             Some(Json::Bool(b)) => *b,
@@ -645,6 +669,9 @@ impl HealthSnapshot {
             anomalies: u64_field(json, "anomalies")?,
             battery_joules: f64_field(json, "battery_joules")?,
             recovery_cycles: u64_field(json, "recovery_cycles")?,
+            memo_hits: u64_field(memo, "hits")?,
+            memo_misses: u64_field(memo, "misses")?,
+            memo_evictions: u64_field(memo, "evictions")?,
             events: u64_field(telemetry, "events")?,
             spans: u64_field(telemetry, "spans")?,
             crashes: u64_field(telemetry, "crashes")?,

@@ -202,7 +202,9 @@ impl Iterator for TraceStream<'_> {
             return Some(TraceItem::compute(self.instructions as u32));
         }
         self.gap_acc += self.gap;
-        let this_gap = self.gap_acc.floor() as u32;
+        // Truncating cast == `floor()` for this non-negative accumulator,
+        // without the libm call the baseline target emits for `floor`.
+        let this_gap = self.gap_acc as u32;
         self.gap_acc -= f64::from(this_gap);
         let access = if self.generator.rng.chance(self.store_share) {
             self.generator.next_store()
