@@ -3,8 +3,9 @@
 # (ROADMAP.md). Run from the repo root; fails fast on the first error.
 #
 # Flags:
-#   --update-baseline   write the full-grid report to the checked-in
-#                       BENCH_grid.json (default: temp dir, tree stays clean)
+#   --update-baseline   write the full-grid and service-scaling reports to
+#                       the checked-in BENCH_grid.json / BENCH_serve.json
+#                       (default: temp dir, tree stays clean)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -89,6 +90,45 @@ if ! diff <(normalize_grid /tmp/bench_grid_smoke.json) <(normalize_grid /tmp/ben
 fi
 rm -f /tmp/bench_grid_smoke.json /tmp/bench_grid_smoke_tel.json
 
+echo "==> grid parallel-determinism pin (--validate-parallel on every CI run)"
+# --validate-parallel pins the parallel pass to 2 workers so even a
+# 1-core CI host proves the serial/parallel byte-identity contract; the
+# report must record that the check ran.
+./target/release/bench_grid 50000 --smoke --validate-parallel --json /tmp/bench_grid_smoke_vp.json
+grep -q '"parallel_determinism_validated": true' /tmp/bench_grid_smoke_vp.json \
+  || { echo "ci.sh: grid smoke did not validate parallel determinism" >&2; exit 1; }
+rm -f /tmp/bench_grid_smoke_vp.json
+
+echo "==> sharded service smoke (secpb serve --quick)"
+# The serve command itself exits nonzero on zero drained stores, any
+# model-invariant anomaly, a QoS-violation counter > 0, or an
+# inconsistent recovery sweep; assert the healthy lines anyway so a
+# silent output regression cannot slip through.
+SERVE_OUT=$(./target/release/secpb serve --quick)
+echo "$SERVE_OUT" | grep -q '^anomalies       0$' || { echo "ci.sh: serve reported anomalies" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q '^qos violations  0$' || { echo "ci.sh: serve reported QoS violations" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q '^consistent      true$' || { echo "ci.sh: serve recovery inconsistent" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -Eq '^stores drained  [1-9]' || { echo "ci.sh: serve drained zero stores" >&2; exit 1; }
+
+echo "==> service scaling + determinism smoke (serve_bench --smoke)"
+# serve_bench exits nonzero if any shard outcome diverges from a solo
+# re-run of its tenants (the shard-determinism contract) or, where the
+# host has the cores to make wall-clock ratios meaningful, if aggregate
+# stores/sec degrades as shards are added.  Validate the report fields
+# the baseline depends on either way.
+./target/release/serve_bench --smoke --json /tmp/bench_serve_smoke.json
+grep -q '"determinism_validated": true' /tmp/bench_serve_smoke.json \
+  || { echo "ci.sh: serve_bench did not validate shard determinism" >&2; exit 1; }
+grep -q '"scaling_valid":' /tmp/bench_serve_smoke.json \
+  || { echo "ci.sh: serve_bench report missing scaling_valid" >&2; exit 1; }
+grep -q '"aggregate_stores_per_sec":' /tmp/bench_serve_smoke.json \
+  || { echo "ci.sh: serve_bench report missing throughput fields" >&2; exit 1; }
+if grep -q '"scaling_valid": true' /tmp/bench_serve_smoke.json; then
+  grep -q '"monotone_throughput": true' /tmp/bench_serve_smoke.json \
+    || { echo "ci.sh: serve_bench throughput degraded with shard count" >&2; exit 1; }
+fi
+rm -f /tmp/bench_serve_smoke.json
+
 echo "==> live telemetry watch smoke (storm cell, snapshots + zero anomalies)"
 # secpb watch exits nonzero if it streams no snapshots, observes any
 # model-invariant anomaly, or a storm-mode recovery is inconsistent.
@@ -99,6 +139,8 @@ echo "$WATCH_OUT" | grep -q '^anomalies    0$' || { echo "ci.sh: watch reported 
 if [ "$UPDATE_BASELINE" = 1 ]; then
   echo "==> regenerate BENCH_grid.json (full grid wall-clock baseline)"
   ./target/release/bench_grid 200000 --jobs 4 --update-baseline
+  echo "==> regenerate BENCH_serve.json (service scaling baseline)"
+  ./target/release/serve_bench --update-baseline
 else
   echo "==> full grid run (temp output; --update-baseline refreshes BENCH_grid.json)"
   ./target/release/bench_grid 200000 --jobs 4

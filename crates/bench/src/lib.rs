@@ -25,5 +25,6 @@ pub mod args;
 pub mod experiments;
 pub mod micro;
 pub mod report;
+pub mod serve;
 pub mod storm;
 pub mod watch;

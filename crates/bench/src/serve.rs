@@ -1,0 +1,1009 @@
+//! The sharded multi-tenant persist service: `secpb serve`.
+//!
+//! Runs N independent [`PersistDomain`]-backed shards side by side, each
+//! a full single-core SecPB front, and serves streaming store traces
+//! from many concurrent tenants:
+//!
+//! * **Sharding** — a tenant (and its ASID) maps to a shard by a stable
+//!   `derive_seed`-style hash of its name, so placement is a pure
+//!   function of the tenant, never of arrival order.
+//! * **Ingest** — one client thread per tenant streams its trace in
+//!   per-epoch chunks; an assembler folds the concurrently-arriving
+//!   chunks into *canonical* per-shard epoch batches (tenants in
+//!   shard-local order) and feeds them to the long-lived shard workers
+//!   of [`pool::run_sharded`] through bounded ingress queues with
+//!   bounded work stealing.
+//! * **Epoch-batched drains** — each shard folds its deferred security
+//!   metadata once per epoch ([`PersistSystem::sync_metadata`]): the
+//!   lazy engine then hashes whole dirty tree levels in sibling batches
+//!   and coalesces counter digests, amortizing metadata cost across the
+//!   epoch instead of paying it per store.
+//! * **QoS** — every tenant carries a [`QosClass`] that bounds how many
+//!   trace items it may contribute to any one epoch.  Classes are only
+//!   settable through the privileged config path
+//!   ([`ServeConfig::set_qos`] + [`PrivilegeToken`]); the data plane
+//!   re-checks the bound per epoch and counts violations, which CI
+//!   treats as failures.
+//! * **Observability** — with telemetry enabled each shard streams
+//!   through its own SPSC ring into a per-shard [`HealthMonitor`],
+//!   emitting one [`HealthSnapshot`] per epoch.
+//!
+//! # Determinism
+//!
+//! A shard's outcome is a pure function of `(its tenants' traces, its
+//! shard seed)`.  The shard seed derives from the shard's tenant names
+//! (not the shard index or count), epoch batches are assembled in
+//! canonical tenant order regardless of chunk arrival, and the pool
+//! processes each shard's batches FIFO under an exclusive claim — so the
+//! same tenants produce **byte-identical** shard stats and recovery
+//! verdicts at any shard count, worker count, interleaving, or steal
+//! schedule, with telemetry on or off.  [`ShardOutcome::digest`] pins
+//! that contract.
+//!
+//! [`PersistDomain`]: secpb_core::domain::PersistDomain
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+use secpb_core::crash::{CrashKind, DrainPolicy};
+use secpb_core::facade::PersistSystem;
+use secpb_core::metrics::{counters, histograms};
+use secpb_core::scheme::Scheme;
+use secpb_core::system::SecureSystem;
+use secpb_core::tree::TreeKind;
+use secpb_energy::drain::secpb_drain_energy;
+use secpb_sim::addr::Asid;
+use secpb_sim::config::SystemConfig;
+use secpb_sim::fxhash::derive_seed;
+use secpb_sim::pool::{self, ShardPoolConfig, ShardPoolStats};
+use secpb_sim::telemetry::{
+    self, HealthGauges, HealthMonitor, HealthSnapshot, TelemetryReader, DEFAULT_RING_CAPACITY,
+};
+use secpb_sim::trace::TraceItem;
+use secpb_workloads::{trace_io, TraceGenerator, WorkloadProfile};
+
+use crate::storm::energy_scheme;
+
+/// Deterministic seed base for the service plane (tenant placement and
+/// shard key derivation both salt from here).
+pub const SERVE_SEED: u64 = 0x5E2B_5EED;
+
+/// A tenant's quality-of-service class: how much of an epoch the tenant
+/// may occupy on its shard.
+///
+/// The class caps the trace items a tenant contributes to any single
+/// epoch batch, so a heavy tenant cannot starve its shard-mates: within
+/// every epoch each unfinished tenant is guaranteed its own quota
+/// regardless of what others submit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QosClass {
+    /// Full epoch quota.
+    Gold,
+    /// Half the epoch quota.
+    #[default]
+    Silver,
+    /// A quarter of the epoch quota.
+    Bronze,
+}
+
+impl QosClass {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QosClass::Gold => "gold",
+            QosClass::Silver => "silver",
+            QosClass::Bronze => "bronze",
+        }
+    }
+
+    /// The per-epoch ingress quota in trace items for a nominal epoch
+    /// length (always at least 1, so every tenant makes progress).
+    pub fn epoch_quota(self, epoch_len: usize) -> usize {
+        let q = match self {
+            QosClass::Gold => epoch_len,
+            QosClass::Silver => epoch_len / 2,
+            QosClass::Bronze => epoch_len / 4,
+        };
+        q.max(1)
+    }
+}
+
+/// Capability token for the privileged configuration path.
+///
+/// QoS classes bound cross-tenant starvation, so letting a tenant pick
+/// its own class would be privilege escalation: [`ServeConfig::set_qos`]
+/// demands this token, which only the operator assembling the
+/// [`ServeConfig`] can mint.  Nothing reachable from the data plane — a
+/// [`TenantSpec`], a running service, a trace stream — can construct or
+/// obtain one, and a sealed running service exposes no QoS mutation
+/// surface at all.
+#[derive(Debug)]
+pub struct PrivilegeToken {
+    _config_time_only: (),
+}
+
+impl PrivilegeToken {
+    /// Mints the token.  Call this only on the operator/config path,
+    /// never on behalf of tenant input.
+    pub fn acquire() -> Self {
+        PrivilegeToken {
+            _config_time_only: (),
+        }
+    }
+}
+
+/// Where a tenant's store trace comes from.
+#[derive(Debug, Clone)]
+pub enum TenantSource {
+    /// Synthetic: the named workload generator, seeded from the tenant
+    /// name (same tenant, same trace — at any shard count).
+    Synthetic(WorkloadProfile),
+    /// Replay of an on-disk `SPB1` trace file (see
+    /// [`trace_io::read_trace`]); malformed files fail service startup
+    /// with the item index and byte offset.
+    File(String),
+}
+
+/// One tenant of the service.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// Unique tenant name; hashing it places the tenant on a shard.
+    pub name: String,
+    /// Trace source.
+    pub source: TenantSource,
+    /// Instruction budget for synthetic tenants (file tenants replay
+    /// the whole file).
+    pub instructions: u64,
+    /// QoS class — private: assigned only via [`ServeConfig::set_qos`].
+    qos: QosClass,
+}
+
+impl TenantSpec {
+    /// A synthetic tenant with the default ([`QosClass::Silver`]) class.
+    pub fn synthetic(name: &str, profile: WorkloadProfile, instructions: u64) -> Self {
+        TenantSpec {
+            name: name.to_owned(),
+            source: TenantSource::Synthetic(profile),
+            instructions,
+            qos: QosClass::default(),
+        }
+    }
+
+    /// A file-replay tenant with the default class.
+    pub fn from_file(name: &str, path: &str) -> Self {
+        TenantSpec {
+            name: name.to_owned(),
+            source: TenantSource::File(path.to_owned()),
+            instructions: 0,
+            qos: QosClass::default(),
+        }
+    }
+
+    /// The tenant's QoS class.
+    pub fn qos(&self) -> QosClass {
+        self.qos
+    }
+}
+
+/// Service configuration.  Fully determines every shard's outcome.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Shard (persist-domain) count.
+    pub shards: usize,
+    /// Worker threads driving the shards.
+    pub workers: usize,
+    /// Nominal epoch length in trace items ([`QosClass::Gold`]'s
+    /// per-epoch quota; lower classes get a fraction).
+    pub epoch_len: usize,
+    /// Per-shard ingress queue bound (epoch batches).
+    pub queue_capacity: usize,
+    /// Bounded work stealing: max batches a non-owner may take per
+    /// claim; 0 pins every shard to its owner.
+    pub steal_bound: usize,
+    /// Metadata-persistence scheme every shard runs.
+    pub scheme: Scheme,
+    /// Integrity-tree organisation per shard.  Defaults to the DBMF
+    /// forest: its secure root cache is what epoch-boundary syncs fold
+    /// in batch, so the epoch drain actually amortizes tree work
+    /// (a monolithic BMT charges every update its full walk up front
+    /// and syncs are free).
+    pub tree: TreeKind,
+    /// Machine configuration per shard.
+    pub sys_cfg: SystemConfig,
+    /// Master seed (shard keys and synthetic tenant traces derive from
+    /// it plus stable names — never from shard indices).
+    pub seed: u64,
+    /// Attach a per-shard telemetry ring and emit one
+    /// [`HealthSnapshot`] per epoch.
+    pub telemetry: bool,
+    /// Ring capacity in events when telemetry is on.
+    pub ring_capacity: usize,
+    /// Crash (power loss, full drain) and verify recovery of every
+    /// shard after the last epoch.
+    pub crash_check: bool,
+    /// The tenants.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl ServeConfig {
+    /// A service with sane defaults and no tenants yet.
+    pub fn new(shards: usize) -> Self {
+        ServeConfig {
+            shards,
+            workers: shards.max(1),
+            epoch_len: 1024,
+            queue_capacity: 4,
+            steal_bound: 2,
+            scheme: Scheme::Cobcm,
+            tree: TreeKind::Dbmf,
+            sys_cfg: SystemConfig::default(),
+            seed: SERVE_SEED,
+            telemetry: false,
+            ring_capacity: DEFAULT_RING_CAPACITY,
+            crash_check: true,
+            tenants: Vec::new(),
+        }
+    }
+
+    /// The CI smoke shape: 2 shards, 4 small synthetic tenants with
+    /// mixed QoS classes, telemetry on.
+    pub fn quick() -> Self {
+        let mut cfg = ServeConfig::new(2);
+        cfg.epoch_len = 256;
+        cfg.telemetry = true;
+        let token = PrivilegeToken::acquire();
+        for (i, (bench, qos)) in [
+            ("gamess", QosClass::Gold),
+            ("milc", QosClass::Silver),
+            ("povray", QosClass::Bronze),
+            ("hmmer", QosClass::Silver),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let name = format!("t{i}-{bench}");
+            cfg.tenants.push(TenantSpec::synthetic(
+                &name,
+                WorkloadProfile::named(bench).expect("known benchmark"),
+                6_000,
+            ));
+            cfg.set_qos(&name, *qos, &token).expect("tenant just added");
+        }
+        cfg
+    }
+
+    /// Adds a tenant (with the default QoS class).
+    pub fn with_tenant(mut self, tenant: TenantSpec) -> Self {
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Sets a tenant's QoS class — the privileged path.  The required
+    /// [`PrivilegeToken`] keeps this off the data plane: a running
+    /// service exposes no equivalent, and tenant-supplied input never
+    /// reaches this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown tenant name.
+    pub fn set_qos(
+        &mut self,
+        tenant: &str,
+        class: QosClass,
+        _privilege: &PrivilegeToken,
+    ) -> Result<(), String> {
+        match self.tenants.iter_mut().find(|t| t.name == tenant) {
+            Some(t) => {
+                t.qos = class;
+                Ok(())
+            }
+            None => Err(format!("unknown tenant `{tenant}`")),
+        }
+    }
+
+    /// The shard a tenant name maps to: a stable hash, independent of
+    /// tenant order and of everything but `shards` itself.
+    pub fn shard_of(&self, tenant: &str) -> usize {
+        (derive_seed(SERVE_SEED, &[tenant]) % self.shards.max(1) as u64) as usize
+    }
+}
+
+/// Per-tenant accounting of one service run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Shard the tenant was placed on.
+    pub shard: usize,
+    /// Shard-local ASID the tenant's accesses were tagged with.
+    pub asid: u16,
+    /// QoS class.
+    pub qos: QosClass,
+    /// Per-epoch item quota derived from the class.
+    pub quota: usize,
+    /// Trace items the tenant submitted in total.
+    pub items: u64,
+    /// Stores among those items.
+    pub stores: u64,
+    /// Epochs the tenant needed to submit its trace (a throttled tenant
+    /// spreads the same items over more epochs).
+    pub epochs_used: u64,
+    /// Largest item count the tenant placed into any single epoch;
+    /// bounded by `quota` — the data plane re-checks this.
+    pub max_items_in_epoch: u64,
+}
+
+/// The outcome of one shard: everything the determinism contract pins.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// Shard index.
+    pub shard: usize,
+    /// Tenant names on this shard, in canonical (config) order.
+    pub tenants: Vec<String>,
+    /// Epoch batches processed.
+    pub epochs: u64,
+    /// Trace items replayed.
+    pub items: u64,
+    /// Stores replayed.
+    pub stores: u64,
+    /// SecPB-accepted persists (`secpb.persists`).
+    pub persists: u64,
+    /// Analytic hashes charged to epoch-boundary metadata syncs.
+    pub sync_hashes: u64,
+    /// Final simulated cycle.
+    pub cycles: u64,
+    /// Model-invariant anomalies (must be 0).
+    pub anomalies: u64,
+    /// QoS violations observed by the data-plane re-check (must be 0).
+    pub qos_violations: u64,
+    /// Entries drained by the final crash check (`None` when
+    /// [`ServeConfig::crash_check`] is off).
+    pub crash_drained: Option<u64>,
+    /// Whether the post-crash recovery sweep was consistent (`true`
+    /// when the check is off).
+    pub recovery_consistent: bool,
+    /// Per-epoch health snapshots (empty with telemetry off).
+    pub snapshots: Vec<HealthSnapshot>,
+    /// Telemetry events dropped by the shard's ring.
+    pub telemetry_dropped: u64,
+    /// Raw shard statistics.
+    pub stats: secpb_sim::stats::Stats,
+}
+
+impl ShardOutcome {
+    /// A stable hex digest over everything the determinism contract
+    /// covers: tenant names, cycles, every stat counter and histogram,
+    /// the sync-hash total, and the recovery verdict.  Two runs placing
+    /// the same tenants on a shard — at any shard count, worker count,
+    /// or interleaving, telemetry on or off — must produce equal
+    /// digests.
+    pub fn digest(&self) -> String {
+        let mut hasher = secpb_crypto::sha512::Sha512::new();
+        for t in &self.tenants {
+            hasher.update(t.as_bytes());
+            hasher.update(b"\0");
+        }
+        for v in [
+            self.epochs,
+            self.items,
+            self.stores,
+            self.persists,
+            self.sync_hashes,
+            self.cycles,
+            self.anomalies,
+            self.qos_violations,
+            self.crash_drained.unwrap_or(u64::MAX),
+            u64::from(self.recovery_consistent),
+        ] {
+            hasher.update(&v.to_le_bytes());
+        }
+        for (name, value) in self.stats.iter() {
+            hasher.update(name.as_bytes());
+            hasher.update(&value.to_le_bytes());
+        }
+        for (name, hist) in self.stats.histograms() {
+            hasher.update(name.as_bytes());
+            for &count in hist.counts() {
+                hasher.update(&count.to_le_bytes());
+            }
+        }
+        hasher.finalize().to_hex()
+    }
+}
+
+/// The outcome of a whole service run.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Per-shard outcomes, indexed by shard (empty shards included).
+    pub shards: Vec<ShardOutcome>,
+    /// Per-tenant accounting, in config order.
+    pub tenants: Vec<TenantReport>,
+    /// Pool scheduling stats (steals, queue depths, backpressure).
+    pub pool: ShardPoolStats,
+}
+
+impl ServeOutcome {
+    /// Total stores replayed across all shards.
+    pub fn total_stores(&self) -> u64 {
+        self.shards.iter().map(|s| s.stores).sum()
+    }
+
+    /// Total SecPB-accepted persists across all shards.
+    pub fn total_persists(&self) -> u64 {
+        self.shards.iter().map(|s| s.persists).sum()
+    }
+
+    /// Total model-invariant anomalies (0 in a healthy run).
+    pub fn total_anomalies(&self) -> u64 {
+        self.shards.iter().map(|s| s.anomalies).sum()
+    }
+
+    /// Total QoS violations (0 in a healthy run).
+    pub fn total_qos_violations(&self) -> u64 {
+        self.shards.iter().map(|s| s.qos_violations).sum()
+    }
+
+    /// Whether every shard's recovery sweep was consistent.
+    pub fn consistent(&self) -> bool {
+        self.shards.iter().all(|s| s.recovery_consistent)
+    }
+}
+
+/// One epoch batch bound for a shard: the canonical concatenation of
+/// its tenants' chunks for that epoch.
+struct EpochBatch {
+    epoch: u64,
+    /// `(asid, items)` per contributing tenant, in shard-local order.
+    parts: Vec<(u16, Vec<TraceItem>)>,
+}
+
+/// A chunk (or end-of-stream) from one client thread.
+enum ClientMsg {
+    Chunk {
+        tenant: usize,
+        epoch: u64,
+        items: Vec<TraceItem>,
+    },
+    Finished {
+        tenant: usize,
+    },
+}
+
+/// The state one shard worker owns.
+struct ShardState {
+    sys: Box<dyn PersistSystem + Send>,
+    monitor: HealthMonitor,
+    reader: Option<TelemetryReader>,
+    front_name: String,
+    scheme_name: &'static str,
+    /// `asid → quota` for the data-plane QoS re-check.
+    quotas: Vec<(u16, u64)>,
+    epochs: u64,
+    items: u64,
+    stores: u64,
+    sync_hashes: u64,
+    qos_violations: u64,
+    snapshots: Vec<HealthSnapshot>,
+}
+
+impl ShardState {
+    fn process(&mut self, batch: EpochBatch) {
+        let mut epoch_items = 0u64;
+        for (asid, items) in &batch.parts {
+            // Data-plane QoS re-check: the ingest layer already chunks
+            // by quota, so any oversized contribution here is a
+            // violated invariant, not a throttling decision.
+            let quota = self
+                .quotas
+                .iter()
+                .find(|(a, _)| a == asid)
+                .map_or(0, |&(_, q)| q);
+            if items.len() as u64 > quota {
+                self.qos_violations += 1;
+            }
+            for item in items {
+                if item.access.is_some_and(|a| a.is_store()) {
+                    self.stores += 1;
+                }
+                self.sys.step(*item);
+                epoch_items += 1;
+            }
+        }
+        // The epoch-boundary drain: fold the whole epoch's deferred
+        // tree paths and counter digests in one batched observation
+        // point.
+        self.sync_hashes += self.sys.sync_metadata();
+        self.items += epoch_items;
+        self.epochs += 1;
+        self.snapshot(batch.epoch);
+    }
+
+    /// Drains the telemetry ring into the shard monitor and emits one
+    /// per-epoch snapshot (no-op with telemetry off).
+    fn snapshot(&mut self, _epoch: u64) {
+        let Some(reader) = self.reader.as_mut() else {
+            return;
+        };
+        self.monitor.absorb(reader);
+        let occupancy = self.sys.occupancy();
+        let memo = self.sys.memo_stats();
+        let gauges = HealthGauges {
+            occupancy,
+            anomalies: self.sys.anomalies(),
+            nwpe: self
+                .sys
+                .stats()
+                .ratio(counters::PERSISTS, counters::ALLOCATIONS),
+            battery_joules: secpb_drain_energy(
+                energy_scheme(self.sys.scheme()),
+                occupancy as usize,
+            ),
+            recovery_cycles: self.sys.estimated_recovery_cycles(),
+            memo_hits: memo.hits,
+            memo_misses: memo.misses,
+            memo_evictions: memo.evictions,
+        };
+        let snap = self.monitor.snapshot(
+            self.sys.finish_time().raw(),
+            &self.front_name,
+            self.scheme_name,
+            self.sys.stats(),
+            &gauges,
+            histograms::DRAIN_LATENCY,
+            reader.dropped(),
+        );
+        self.snapshots.push(snap);
+    }
+}
+
+/// Loads or generates one tenant's full item stream, ASID-tagged.
+fn tenant_items(
+    cfg: &ServeConfig,
+    spec: &TenantSpec,
+    asid: Asid,
+) -> Result<Vec<TraceItem>, String> {
+    let raw = match &spec.source {
+        TenantSource::Synthetic(profile) => {
+            let seed = derive_seed(cfg.seed, &[spec.name.as_str()]);
+            TraceGenerator::new(profile.clone(), seed).generate(spec.instructions)
+        }
+        TenantSource::File(path) => {
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("tenant `{}`: {path}: {e}", spec.name))?;
+            trace_io::read_trace(std::io::BufReader::new(file))
+                .map_err(|e| format!("tenant `{}`: {path}: {e}", spec.name))?
+        }
+    };
+    Ok(raw
+        .into_iter()
+        .map(|mut item| {
+            if let Some(a) = item.access.as_mut() {
+                a.asid = asid;
+            }
+            item
+        })
+        .collect())
+}
+
+/// Assembles concurrently-arriving client chunks into canonical
+/// per-shard epoch batches.
+struct Assembler {
+    rx: mpsc::Receiver<ClientMsg>,
+    /// `tenant index → (shard, shard-local position, asid)`.
+    placement: Vec<(usize, usize, u16)>,
+    /// Per shard: tenants (global indices) in shard-local order.
+    members: Vec<Vec<usize>>,
+    /// Per shard: next epoch to emit.
+    next_epoch: Vec<u64>,
+    /// Per shard: buffered chunks by epoch → shard-local slot.
+    buffered: Vec<VecDeque<Vec<Option<Vec<TraceItem>>>>>,
+    /// Per tenant: epoch after which the tenant contributes nothing.
+    finished_at: Vec<Option<u64>>,
+    /// Per tenant: highest epoch chunk received so far.
+    last_chunk: Vec<Option<u64>>,
+    live_clients: usize,
+    /// Ready batches not yet handed out.
+    ready: VecDeque<(usize, EpochBatch)>,
+}
+
+impl Assembler {
+    /// True when every member of `shard`'s epoch `at` slot is resolved:
+    /// either a buffered chunk or a tenant known to be finished.
+    fn epoch_complete(&self, shard: usize, slot: &[Option<Vec<TraceItem>>], at: u64) -> bool {
+        self.members[shard].iter().enumerate().all(|(local, &t)| {
+            slot[local].is_some() || self.finished_at[t].is_some_and(|f| f <= at)
+        })
+    }
+
+    /// Emits every complete epoch at the head of each shard's buffer.
+    fn harvest(&mut self) {
+        for shard in 0..self.members.len() {
+            loop {
+                let at = self.next_epoch[shard];
+                let Some(slot) = self.buffered[shard].front() else {
+                    break;
+                };
+                if !self.epoch_complete(shard, slot, at) {
+                    break;
+                }
+                let slot = self.buffered[shard].pop_front().expect("front exists");
+                let parts: Vec<(u16, Vec<TraceItem>)> = slot
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(local, items)| {
+                        let tenant = self.members[shard][local];
+                        let asid = self.placement[tenant].2;
+                        items.filter(|i| !i.is_empty()).map(|i| (asid, i))
+                    })
+                    .collect();
+                self.next_epoch[shard] = at + 1;
+                if !parts.is_empty() {
+                    self.ready
+                        .push_back((shard, EpochBatch { epoch: at, parts }));
+                }
+            }
+        }
+    }
+
+    fn absorb(&mut self, msg: ClientMsg) {
+        match msg {
+            ClientMsg::Chunk {
+                tenant,
+                epoch,
+                items,
+            } => {
+                let (shard, local, _) = self.placement[tenant];
+                self.last_chunk[tenant] = Some(epoch);
+                let base = self.next_epoch[shard];
+                debug_assert!(epoch >= base, "chunks arrive in epoch order per tenant");
+                let offset = (epoch - base) as usize;
+                while self.buffered[shard].len() <= offset {
+                    let width = self.members[shard].len();
+                    self.buffered[shard].push_back(vec![None; width]);
+                }
+                self.buffered[shard][offset][local] = Some(items);
+            }
+            ClientMsg::Finished { tenant } => {
+                self.finished_at[tenant] = Some(self.last_chunk[tenant].map_or(0, |e| e + 1));
+                self.live_clients -= 1;
+            }
+        }
+    }
+}
+
+impl Iterator for Assembler {
+    type Item = (usize, EpochBatch);
+
+    fn next(&mut self) -> Option<(usize, EpochBatch)> {
+        loop {
+            if let Some(batch) = self.ready.pop_front() {
+                return Some(batch);
+            }
+            if self.live_clients == 0 {
+                // Clients are done: flush any trailing partial epochs.
+                self.harvest();
+                return self.ready.pop_front();
+            }
+            match self.rx.recv() {
+                Ok(msg) => {
+                    self.absorb(msg);
+                    self.harvest();
+                }
+                Err(_) => {
+                    self.live_clients = 0;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the service to completion.
+///
+/// # Errors
+///
+/// Fails on an invalid configuration (no tenants, duplicate names, a
+/// front that cannot be built), an unreadable or malformed tenant trace
+/// file (naming the item index and byte offset), a panicking shard
+/// worker, or a failed final crash drain.
+pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, String> {
+    if cfg.shards == 0 {
+        return Err("serve: shard count must be at least 1".into());
+    }
+    if cfg.tenants.is_empty() {
+        return Err("serve: at least one tenant is required".into());
+    }
+    for (i, t) in cfg.tenants.iter().enumerate() {
+        if cfg.tenants[..i].iter().any(|o| o.name == t.name) {
+            return Err(format!("serve: duplicate tenant name `{}`", t.name));
+        }
+    }
+
+    // Placement: tenant → shard by stable name hash; ASID = shard-local
+    // position + 1 (0 is reserved), so a shard's ASID map depends only
+    // on its own member list.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); cfg.shards];
+    for (i, t) in cfg.tenants.iter().enumerate() {
+        members[cfg.shard_of(&t.name)].push(i);
+    }
+    let mut placement = vec![(0usize, 0usize, 0u16); cfg.tenants.len()];
+    for (shard, list) in members.iter().enumerate() {
+        for (local, &tenant) in list.iter().enumerate() {
+            placement[tenant] = (shard, local, (local + 1) as u16);
+        }
+    }
+
+    // Load/generate every tenant's ASID-tagged item stream up front so
+    // malformed trace files fail service startup, not mid-flight.
+    let mut streams: Vec<Vec<TraceItem>> = Vec::with_capacity(cfg.tenants.len());
+    for (i, spec) in cfg.tenants.iter().enumerate() {
+        streams.push(tenant_items(cfg, spec, Asid(placement[i].2))?);
+    }
+
+    // Build the shard fronts.  The key seed derives from the shard's
+    // member names — never its index — so a shard hosting the same
+    // tenants is byte-identical at any shard count.
+    let mut states: Vec<ShardState> = Vec::with_capacity(cfg.shards);
+    for list in &members {
+        let names: Vec<&str> = list.iter().map(|&t| cfg.tenants[t].name.as_str()).collect();
+        let key_seed = derive_seed(cfg.seed, &names);
+        let mut sys: Box<dyn PersistSystem + Send> = Box::new(SecureSystem::with_tree(
+            cfg.sys_cfg.clone(),
+            cfg.scheme,
+            cfg.tree,
+            key_seed,
+        ));
+        let reader = if cfg.telemetry {
+            let (sink, reader) = telemetry::channel(cfg.ring_capacity);
+            sys.set_telemetry(Some(sink));
+            Some(reader)
+        } else {
+            None
+        };
+        let scheme_name = sys.scheme().name();
+        states.push(ShardState {
+            sys,
+            monitor: HealthMonitor::new(),
+            reader,
+            front_name: format!("serve-shard{}", states.len()),
+            scheme_name,
+            quotas: list
+                .iter()
+                .map(|&t| {
+                    let quota = cfg.tenants[t].qos.epoch_quota(cfg.epoch_len) as u64;
+                    (placement[t].2, quota)
+                })
+                .collect(),
+            epochs: 0,
+            items: 0,
+            stores: 0,
+            sync_hashes: 0,
+            qos_violations: 0,
+            snapshots: Vec::new(),
+        });
+    }
+
+    // Clients + assembler + shard pool, all inside one scope: clients
+    // stream chunks concurrently, the assembler (on this thread, as the
+    // pool's producer) canonicalizes them into epoch batches.
+    let (tx, rx) = mpsc::channel::<ClientMsg>();
+    let pool_cfg = ShardPoolConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        steal_bound: cfg.steal_bound,
+    };
+    let quotas: Vec<usize> = cfg
+        .tenants
+        .iter()
+        .map(|t| t.qos.epoch_quota(cfg.epoch_len))
+        .collect();
+
+    let (states, pool_stats) = std::thread::scope(|scope| {
+        for (tenant, items) in streams.iter().enumerate() {
+            let tx = tx.clone();
+            let quota = quotas[tenant];
+            scope.spawn(move || {
+                for (epoch, chunk) in items.chunks(quota.max(1)).enumerate() {
+                    if tx
+                        .send(ClientMsg::Chunk {
+                            tenant,
+                            epoch: epoch as u64,
+                            items: chunk.to_vec(),
+                        })
+                        .is_err()
+                    {
+                        return; // service aborted; stop streaming
+                    }
+                }
+                let _ = tx.send(ClientMsg::Finished { tenant });
+            });
+        }
+        drop(tx);
+
+        let assembler = Assembler {
+            rx,
+            placement: placement.clone(),
+            members: members.clone(),
+            next_epoch: vec![0; cfg.shards],
+            buffered: (0..cfg.shards).map(|_| VecDeque::new()).collect(),
+            finished_at: vec![None; cfg.tenants.len()],
+            last_chunk: vec![None; cfg.tenants.len()],
+            live_clients: cfg.tenants.len(),
+            ready: VecDeque::new(),
+        };
+        pool::run_sharded(states, assembler, &pool_cfg, |_, state, batch| {
+            state.process(batch)
+        })
+    })?;
+
+    // Tear down: final crash check + outcome assembly.
+    let mut shards = Vec::with_capacity(states.len());
+    for (shard, mut state) in states.into_iter().enumerate() {
+        let (crash_drained, recovery_consistent) = if cfg.crash_check {
+            let report = state
+                .sys
+                .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+                .map_err(|e| format!("shard {shard}: final crash drain failed: {e}"))?;
+            let rec = state.sys.recover();
+            (Some(report.work.entries), rec.is_consistent())
+        } else {
+            (None, true)
+        };
+        // One final ring drain so late events (crash markers) are
+        // accounted.
+        state.snapshot(state.epochs);
+        let dropped = state.reader.as_ref().map_or(0, TelemetryReader::dropped);
+        let stats = state.sys.stats().clone();
+        shards.push(ShardOutcome {
+            shard,
+            tenants: members[shard]
+                .iter()
+                .map(|&t| cfg.tenants[t].name.clone())
+                .collect(),
+            epochs: state.epochs,
+            items: state.items,
+            stores: state.stores,
+            persists: stats.get(counters::PERSISTS),
+            sync_hashes: state.sync_hashes,
+            cycles: state.sys.finish_time().raw(),
+            anomalies: state.sys.anomalies(),
+            qos_violations: state.qos_violations,
+            crash_drained,
+            recovery_consistent,
+            snapshots: state.snapshots,
+            telemetry_dropped: dropped,
+            stats,
+        });
+    }
+
+    let tenants = cfg
+        .tenants
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let (shard, _, asid) = placement[i];
+            let quota = quotas[i];
+            let items = streams[i].len() as u64;
+            let stores = streams[i]
+                .iter()
+                .filter(|it| it.access.is_some_and(|a| a.is_store()))
+                .count() as u64;
+            let epochs_used = items.div_ceil(quota.max(1) as u64);
+            TenantReport {
+                name: spec.name.clone(),
+                shard,
+                asid,
+                qos: spec.qos,
+                quota,
+                items,
+                stores,
+                epochs_used,
+                max_items_in_epoch: (quota as u64).min(items),
+            }
+        })
+        .collect();
+
+    Ok(ServeOutcome {
+        shards,
+        tenants,
+        pool: pool_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tenant_cfg(shards: usize) -> ServeConfig {
+        let mut cfg = ServeConfig::new(shards);
+        cfg.epoch_len = 128;
+        cfg.tenants = vec![
+            TenantSpec::synthetic("alpha", WorkloadProfile::named("gamess").unwrap(), 4_000),
+            TenantSpec::synthetic("beta", WorkloadProfile::named("milc").unwrap(), 4_000),
+        ];
+        cfg
+    }
+
+    #[test]
+    fn serve_replays_drains_and_recovers() {
+        let out = run_serve(&two_tenant_cfg(2)).unwrap();
+        assert!(out.total_stores() > 0);
+        assert!(out.total_persists() > 0);
+        // The DBMF root cache means epoch-boundary syncs fold real
+        // deferred tree work — the amortization the service exists for.
+        assert!(
+            out.shards.iter().any(|s| s.sync_hashes > 0),
+            "epoch drains folded no deferred tree work"
+        );
+        assert_eq!(out.total_anomalies(), 0);
+        assert_eq!(out.total_qos_violations(), 0);
+        assert!(out.consistent());
+        let populated: Vec<_> = out
+            .shards
+            .iter()
+            .filter(|s| !s.tenants.is_empty())
+            .collect();
+        assert!(!populated.is_empty());
+        for s in populated {
+            assert!(s.epochs > 0, "shard {} processed no epochs", s.shard);
+            assert!(s.crash_drained.is_some());
+        }
+    }
+
+    #[test]
+    fn empty_shards_are_benign() {
+        // 8 shards, 2 tenants: most shards stay empty and must not
+        // affect the outcome.
+        let out = run_serve(&two_tenant_cfg(8)).unwrap();
+        assert_eq!(out.shards.len(), 8);
+        assert!(out.total_stores() > 0);
+        let empty = out.shards.iter().filter(|s| s.tenants.is_empty()).count();
+        assert!(empty >= 6);
+        for s in out.shards.iter().filter(|s| s.tenants.is_empty()) {
+            assert_eq!(s.items, 0);
+            assert_eq!(s.epochs, 0);
+        }
+    }
+
+    #[test]
+    fn qos_quota_is_always_at_least_one() {
+        assert_eq!(QosClass::Bronze.epoch_quota(1), 1);
+        assert_eq!(QosClass::Gold.epoch_quota(0), 1);
+        assert_eq!(QosClass::Silver.epoch_quota(100), 50);
+        assert_eq!(QosClass::Bronze.epoch_quota(100), 25);
+    }
+
+    #[test]
+    fn set_qos_requires_known_tenant() {
+        let mut cfg = two_tenant_cfg(1);
+        let token = PrivilegeToken::acquire();
+        assert!(cfg.set_qos("alpha", QosClass::Gold, &token).is_ok());
+        assert_eq!(cfg.tenants[0].qos(), QosClass::Gold);
+        assert!(cfg.set_qos("nobody", QosClass::Gold, &token).is_err());
+    }
+
+    #[test]
+    fn duplicate_tenants_are_rejected() {
+        let mut cfg = two_tenant_cfg(1);
+        cfg.tenants.push(TenantSpec::synthetic(
+            "alpha",
+            WorkloadProfile::named("gcc").unwrap(),
+            100,
+        ));
+        assert!(run_serve(&cfg).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn quick_config_smokes() {
+        let out = run_serve(&ServeConfig::quick()).unwrap();
+        assert!(out.total_stores() > 0);
+        assert_eq!(out.total_anomalies(), 0);
+        assert_eq!(out.total_qos_violations(), 0);
+        assert!(out.consistent());
+        // Telemetry is on: populated shards stream snapshots.
+        assert!(out
+            .shards
+            .iter()
+            .filter(|s| !s.tenants.is_empty())
+            .all(|s| !s.snapshots.is_empty()));
+    }
+}

@@ -578,12 +578,12 @@ pub fn build_front(
     sys_cfg: SystemConfig,
     scheme: Scheme,
     key_seed: u64,
-) -> Result<Box<dyn PersistSystem>, String> {
+) -> Result<Box<dyn PersistSystem + Send>, String> {
     match front {
         StormFront::SecPb => Ok(Box::new(SecureSystem::new(sys_cfg, scheme, key_seed))),
         StormFront::Eadr => Ok(Box::new(EadrSystem::new(sys_cfg, key_seed))),
         StormFront::MultiCore(cores) => MultiCoreSystem::new(sys_cfg, scheme, cores, key_seed)
-            .map(|m| Box::new(m) as Box<dyn PersistSystem>)
+            .map(|m| Box::new(m) as Box<dyn PersistSystem + Send>)
             .map_err(|e| format!("invalid configuration: {e}")),
     }
 }

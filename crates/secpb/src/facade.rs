@@ -93,6 +93,20 @@ pub trait PersistSystem {
         secpb_crypto::memo::MemoStats::default()
     }
 
+    /// Folds all deferred security metadata — dirty integrity-tree paths
+    /// and pending counter digests — and persists the root, returning
+    /// the analytic hash count charged to the sync.  This is the
+    /// epoch-boundary observation point the service plane drains shards
+    /// at: under the lazy engine a whole epoch's tree updates fold in
+    /// sibling batches (`compute_batch`) and its counter digests
+    /// coalesce (`digest_batch`), so the per-store metadata cost
+    /// amortizes across the batch.  Fronts whose metadata is generated
+    /// at writeback/crash time (eADR, the multi-core event model) have
+    /// nothing deferred and return 0.
+    fn sync_metadata(&mut self) -> u64 {
+        0
+    }
+
     /// Executes a single trace item.
     fn step(&mut self, item: TraceItem);
 
@@ -209,6 +223,10 @@ impl PersistSystem for SecureSystem {
 
     fn telemetry(&self) -> Option<&TelemetrySink> {
         SecureSystem::telemetry(self)
+    }
+
+    fn sync_metadata(&mut self) -> u64 {
+        SecureSystem::sync_metadata(self)
     }
 
     fn step(&mut self, item: TraceItem) {

@@ -14,6 +14,7 @@
 //! secpb trace gen <bench> <file> [instructions]         save a trace
 //! secpb trace info <file>                               trace statistics
 //! secpb trace run <file> <scheme>                       replay a saved trace
+//! secpb serve [--quick] [--shards N] [...]              sharded multi-tenant service
 //! secpb list                                            benchmarks + schemes
 //! ```
 //!
@@ -50,6 +51,8 @@ pub const USAGE: &str = "usage:
   secpb trace gen <bench> <file> [instructions]
   secpb trace info <file>
   secpb trace run <file> <scheme>
+  secpb serve [--quick] [--shards N] [--workers N] [--tenants N] [--instructions N]
+              [--epoch N] [--seed N] [--trace NAME=PATH]...
   secpb list";
 
 /// Executes one CLI invocation (argv without the program name).
@@ -66,6 +69,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some("storm") => cmd_storm(&args[1..]),
         Some("battery") => cmd_battery(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("list") => Ok(cmd_list()),
         _ => Err(USAGE.to_owned()),
     }
@@ -449,6 +453,142 @@ fn cmd_trace(args: &[String]) -> Result<String, String> {
     }
 }
 
+fn cmd_serve(args: &[String]) -> Result<String, String> {
+    use secpb_bench::serve::{run_serve, PrivilegeToken, QosClass, ServeConfig, TenantSpec};
+
+    let mut args = args.to_vec();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let shards = take_numeric_flag::<usize>(&mut args, "--shards")?;
+    let workers = take_numeric_flag::<usize>(&mut args, "--workers")?;
+    let tenant_count = take_numeric_flag::<usize>(&mut args, "--tenants")?;
+    let instructions = take_numeric_flag::<u64>(&mut args, "--instructions")?;
+    let epoch = take_numeric_flag::<usize>(&mut args, "--epoch")?;
+    let seed = take_numeric_flag::<u64>(&mut args, "--seed")?;
+    let mut file_tenants: Vec<(String, String)> = Vec::new();
+    while let Some(spec) = take_path_flag(&mut args, "--trace")? {
+        let (name, path) = spec
+            .split_once('=')
+            .ok_or("--trace takes NAME=PATH (a tenant name and an SPB1 trace file)")?;
+        file_tenants.push((name.to_owned(), path.to_owned()));
+    }
+    if let Some(stray) = args.first() {
+        return Err(format!("unknown serve argument `{stray}`\n{USAGE}"));
+    }
+
+    let mut cfg = if quick {
+        ServeConfig::quick()
+    } else {
+        // Default shape: 2 shards, 4 synthetic tenants over the SPEC
+        // suite with cycling QoS classes, telemetry on.
+        let mut cfg = ServeConfig::new(2);
+        cfg.telemetry = true;
+        let suite = WorkloadProfile::spec_suite();
+        let classes = [QosClass::Gold, QosClass::Silver, QosClass::Bronze];
+        let token = PrivilegeToken::acquire();
+        for i in 0..tenant_count.unwrap_or(4) {
+            let profile = suite[i % suite.len()].clone();
+            let name = format!("t{i}-{}", profile.name);
+            cfg.tenants
+                .push(TenantSpec::synthetic(&name, profile, 20_000));
+            cfg.set_qos(&name, classes[i % classes.len()], &token)
+                .expect("tenant just added");
+        }
+        cfg
+    };
+    if let Some(n) = shards {
+        cfg.shards = n;
+        cfg.workers = n.max(1);
+    }
+    if let Some(n) = workers {
+        cfg.workers = n;
+    }
+    if let Some(n) = epoch {
+        cfg.epoch_len = n;
+    }
+    if let Some(n) = seed {
+        cfg.seed = n;
+    }
+    if let Some(n) = instructions {
+        for t in &mut cfg.tenants {
+            t.instructions = n;
+        }
+    }
+    for (name, path) in &file_tenants {
+        cfg.tenants.push(TenantSpec::from_file(name, path));
+    }
+
+    let out = run_serve(&cfg)?;
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "serve shards={} workers={} tenants={} epoch={} scheme={} seed={:#x}",
+        cfg.shards,
+        cfg.workers,
+        cfg.tenants.len(),
+        cfg.epoch_len,
+        cfg.scheme.name(),
+        cfg.seed
+    );
+    for s in out.shards.iter().filter(|s| !s.tenants.is_empty()) {
+        let _ = writeln!(
+            text,
+            "shard {}  tenants=[{}] epochs={} items={} stores={} persists={} \
+             sync_hashes={} snapshots={} digest={}",
+            s.shard,
+            s.tenants.join(","),
+            s.epochs,
+            s.items,
+            s.stores,
+            s.persists,
+            s.sync_hashes,
+            s.snapshots.len(),
+            &s.digest()[..16],
+        );
+    }
+    for t in &out.tenants {
+        let _ = writeln!(
+            text,
+            "tenant {}  shard={} asid={} qos={} quota={} items={} stores={} epochs={}",
+            t.name,
+            t.shard,
+            t.asid,
+            t.qos.name(),
+            t.quota,
+            t.items,
+            t.stores,
+            t.epochs_used
+        );
+    }
+    let _ = writeln!(
+        text,
+        "pool   executed={} stolen={} max_steal_run={} max_queue_depth={} backpressure_waits={}",
+        out.pool.executed,
+        out.pool.stolen,
+        out.pool.max_steal_run,
+        out.pool.max_queue_depth,
+        out.pool.backpressure_waits
+    );
+    let _ = writeln!(text, "stores drained  {}", out.total_stores());
+    let _ = writeln!(text, "anomalies       {}", out.total_anomalies());
+    let _ = writeln!(text, "qos violations  {}", out.total_qos_violations());
+    let _ = writeln!(text, "consistent      {}", out.consistent());
+
+    if out.total_stores() == 0 {
+        return Err(format!("serve drained zero stores:\n{text}"));
+    }
+    if out.total_anomalies() > 0 {
+        return Err(format!("serve observed model-invariant anomalies:\n{text}"));
+    }
+    if out.total_qos_violations() > 0 {
+        return Err(format!("serve observed QoS violations:\n{text}"));
+    }
+    if !out.consistent() {
+        return Err(format!("serve recovery sweep was inconsistent:\n{text}"));
+    }
+    Ok(text)
+}
+
 fn cmd_list() -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -665,6 +805,67 @@ mod tests {
         let replay = run(&["trace", "run", &path, "cobcm"]).unwrap();
         assert!(replay.contains("cycles="));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_quick_drains_and_recovers() {
+        let out = run(&["serve", "--quick"]).unwrap();
+        assert!(out.contains("stores drained"), "{out}");
+        assert!(out.contains("anomalies       0"), "{out}");
+        assert!(out.contains("qos violations  0"), "{out}");
+        assert!(out.contains("consistent      true"), "{out}");
+        assert!(out.contains("digest="), "{out}");
+        // Telemetry is on in quick mode: shards stream snapshots.
+        assert!(!out.contains("snapshots=0"), "{out}");
+    }
+
+    #[test]
+    fn serve_is_deterministic_across_worker_counts() {
+        let body = |workers: &str| {
+            run(&["serve", "--quick", "--workers", workers])
+                .unwrap()
+                .lines()
+                .filter(|l| l.starts_with("shard") || l.starts_with("tenant"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(body("1"), body("4"));
+    }
+
+    #[test]
+    fn serve_replays_trace_file_tenants() {
+        let dir = std::env::temp_dir().join("secpb_cli_serve_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tenant.spb").to_string_lossy().into_owned();
+        run(&["trace", "gen", "mcf", &path, "8000"]).unwrap();
+        let out = run(&["serve", "--quick", "--trace", &format!("ext={path}")]).unwrap();
+        assert!(out.contains("tenant ext"), "{out}");
+        assert!(out.contains("consistent      true"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_reports_malformed_trace_with_offset() {
+        let dir = std::env::temp_dir().join("secpb_cli_serve_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.spb").to_string_lossy().into_owned();
+        std::fs::write(&path, b"not a trace at all").unwrap();
+        let err = run(&["serve", "--quick", "--trace", &format!("bad={path}")]).unwrap_err();
+        assert!(err.contains("byte offset"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(run(&["serve", "--shards"])
+            .unwrap_err()
+            .contains("--shards takes a number"));
+        assert!(run(&["serve", "--trace", "noequals"])
+            .unwrap_err()
+            .contains("NAME=PATH"));
+        assert!(run(&["serve", "stray"])
+            .unwrap_err()
+            .contains("unknown serve argument"));
     }
 
     #[test]
