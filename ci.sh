@@ -110,6 +110,36 @@ echo "$SERVE_OUT" | grep -q '^qos violations  0$' || { echo "ci.sh: serve report
 echo "$SERVE_OUT" | grep -q '^consistent      true$' || { echo "ci.sh: serve recovery inconsistent" >&2; exit 1; }
 echo "$SERVE_OUT" | grep -Eq '^stores drained  [1-9]' || { echo "ci.sh: serve drained zero stores" >&2; exit 1; }
 
+echo "==> checkpoint restore+replay byte-identity gate (tests/checkpoint_replay.rs)"
+# Restoring a checkpoint at epoch N and replaying N..M must be
+# byte-identical to the uninterrupted run for every scheme, metadata
+# mode, and tree organisation — the contract shard crash-recovery and
+# the soak's restart storms build on.
+cargo test --release -q --test checkpoint_replay
+
+echo "==> trace ingest truncation fuzz (tests/trace_io_fuzz.rs)"
+# Every truncation point and seeded corruption of an SPB1 stream must
+# fail with the item index and byte offset — never a panic or a
+# silently short trace.
+cargo test --release -q --test trace_io_fuzz
+
+echo "==> fault-tolerance soak smoke (secpb soak --quick)"
+# The soak exits nonzero unless it converged: crashes actually fired
+# and were recovered, restored shards digest-identical to a crash-free
+# reference, shed counts crash-invariant, restart storm byte-identical,
+# zero anomalies, zero QoS violations.  Assert the verdict lines anyway.
+SOAK_OUT=$(./target/release/secpb soak --quick)
+echo "$SOAK_OUT" | grep -q 'match crash-free reference' || { echo "ci.sh: soak shard digests diverged" >&2; exit 1; }
+echo "$SOAK_OUT" | grep -q 'byte-identical' || { echo "ci.sh: soak restart storm diverged" >&2; exit 1; }
+echo "$SOAK_OUT" | grep -q '^converged         true$' || { echo "ci.sh: soak did not converge" >&2; exit 1; }
+
+# The long-horizon storm (100+ injected mid-epoch shard crashes) is
+# opt-in: SECPB_SOAK=1 ./ci.sh
+if [ "${SECPB_SOAK:-0}" = "1" ]; then
+  echo "==> full fault-tolerance soak (SECPB_SOAK=1, 100+ crashes)"
+  ./target/release/secpb soak
+fi
+
 echo "==> service scaling + determinism smoke (serve_bench --smoke)"
 # serve_bench exits nonzero if any shard outcome diverges from a solo
 # re-run of its tenants (the shard-determinism contract) or, where the

@@ -26,5 +26,6 @@ pub mod experiments;
 pub mod micro;
 pub mod report;
 pub mod serve;
+pub mod soak;
 pub mod storm;
 pub mod watch;

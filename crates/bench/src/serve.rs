@@ -40,7 +40,26 @@
 //! schedule, with telemetry on or off.  [`ShardOutcome::digest`] pins
 //! that contract.
 //!
+//! # Fault tolerance
+//!
+//! The serve plane survives its own workers dying mid-epoch.  Every
+//! shard checkpoints its full system state
+//! ([`PersistSystem::checkpoint`]) every [`ServeConfig::checkpoint_every`]
+//! epochs and journals the batches processed since.  A worker panic —
+//! injected by a [`ServeFaultPlan`] crash trigger or otherwise — is
+//! caught by the pool while the shard claim is still held: the shard
+//! restores its last checkpoint, the journal replays in order ahead of
+//! all queued work, and because restore-then-replay is byte-identical to
+//! the uninterrupted run (the [`checkpoint`] module's contract), the
+//! recovered shard digests exactly like one that never crashed.
+//! Brown-out epochs degrade gracefully instead: parts whose QoS class
+//! the energy budget cannot fund are *deferred* to a later epoch —
+//! bronze first, gold never, nothing ever dropped.  Ingress backpressure
+//! is bounded: a shard whose queue never frees space turns into a typed
+//! [`ServeError::ShardWedged`] instead of an indefinite condvar wait.
+//!
 //! [`PersistDomain`]: secpb_core::domain::PersistDomain
+//! [`checkpoint`]: secpb_core::checkpoint
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -54,8 +73,9 @@ use secpb_core::tree::TreeKind;
 use secpb_energy::drain::secpb_drain_energy;
 use secpb_sim::addr::Asid;
 use secpb_sim::config::SystemConfig;
+use secpb_sim::fault::{BrownOut, CrashTrigger, FaultClock};
 use secpb_sim::fxhash::derive_seed;
-use secpb_sim::pool::{self, ShardPoolConfig, ShardPoolStats};
+use secpb_sim::pool::{self, ShardPoolConfig, ShardPoolError, ShardPoolStats};
 use secpb_sim::telemetry::{
     self, HealthGauges, HealthMonitor, HealthSnapshot, TelemetryReader, DEFAULT_RING_CAPACITY,
 };
@@ -67,6 +87,196 @@ use crate::storm::energy_scheme;
 /// Deterministic seed base for the service plane (tenant placement and
 /// shard key derivation both salt from here).
 pub const SERVE_SEED: u64 = 0x5E2B_5EED;
+
+/// Marker prefix of the panics a [`ServeFaultPlan`] crash trigger
+/// injects (see [`quiet_injected_faults`]).
+const INJECTED_FAULT: &str = "injected shard fault";
+
+/// Why a service run failed.  Typed so callers (the CLI, the soak
+/// harness, CI gates) report faults precisely instead of pattern-matching
+/// strings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The configuration is unusable (shard count, tenant set, a fault
+    /// plan without checkpointing, a misrouted task).
+    Config(String),
+    /// A tenant's trace could not be loaded; for malformed SPB1 files
+    /// the detail names the item index and byte offset.
+    Tenant {
+        /// The tenant whose trace failed.
+        tenant: String,
+        /// I/O or parse detail.
+        detail: String,
+    },
+    /// A shard's ingress queue stayed full past
+    /// [`ServeConfig::wedge_timeout_ms`]: its worker is stuck (or
+    /// pathologically slow) and the producer refuses to block forever.
+    ShardWedged {
+        /// The wedged shard.
+        shard: usize,
+        /// Total milliseconds the producer waited before giving up.
+        waited_ms: u64,
+    },
+    /// Shard workers died with no recovery path (checkpointing disabled,
+    /// or a panic inside recovery itself).
+    WorkerPanicked {
+        /// How many workers died.
+        workers: usize,
+    },
+    /// The final crash drain or recovery sweep of a shard failed.
+    CrashCheck {
+        /// The failing shard.
+        shard: usize,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(detail) => write!(f, "serve: {detail}"),
+            ServeError::Tenant { tenant, detail } => {
+                write!(f, "serve: tenant `{tenant}`: {detail}")
+            }
+            ServeError::ShardWedged { shard, waited_ms } => write!(
+                f,
+                "serve: shard {shard} ingress wedged: no queue space freed after {waited_ms} ms"
+            ),
+            ServeError::WorkerPanicked { workers } => write!(
+                f,
+                "serve: {workers} shard worker(s) panicked beyond recovery"
+            ),
+            ServeError::CrashCheck { shard, detail } => {
+                write!(
+                    f,
+                    "serve: shard {shard}: final crash drain failed: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One data-plane QoS violation: a tenant's epoch contribution exceeded
+/// the quota its class guarantees.  [`run_serve`] records these on the
+/// [`ShardOutcome`] (the run itself continues); the CLI turns a non-zero
+/// count into a failure naming every violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QosViolation {
+    /// The offending tenant.
+    pub tenant: String,
+    /// Its QoS class.
+    pub qos: QosClass,
+    /// The epoch whose batch exceeded the bound.
+    pub epoch: u64,
+    /// Items the tenant placed into that epoch.
+    pub items: u64,
+    /// The per-epoch quota the class guarantees.
+    pub quota: u64,
+}
+
+impl std::fmt::Display for QosViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant `{}` (qos {}) placed {} items into epoch {}, quota {}",
+            self.tenant,
+            self.qos.name(),
+            self.items,
+            self.epoch,
+            self.quota
+        )
+    }
+}
+
+/// Seed-driven fault schedule for a service run.  Every decision is a
+/// pure function of the plan and each shard's own canonical batch
+/// stream, so the same plan over the same tenants injects the same
+/// faults at any shard count, worker count, or interleaving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeFaultPlan {
+    /// Plan seed (schedules and victim picks derive from it).
+    pub seed: u64,
+    /// Mid-epoch crash trigger, evaluated per shard against its own
+    /// store stream.  A firing panics the shard worker mid-batch; the
+    /// pool catches it, the shard restores its last epoch checkpoint and
+    /// replays its journal.  Replayed stores never re-arm the trigger,
+    /// so recovery always makes forward progress.
+    pub trigger: CrashTrigger,
+    /// Every `k`-th epoch batch (per shard) runs under
+    /// [`Self::brown_out`]; `0` disables brown-outs.
+    pub brown_out_every: u64,
+    /// Brown-out severity: the drain-energy budget available during
+    /// affected epochs.  Classes the budget cannot fund are shed
+    /// bronze-first (work is deferred to a later epoch, never dropped).
+    pub brown_out: BrownOut,
+}
+
+impl Default for ServeFaultPlan {
+    fn default() -> Self {
+        ServeFaultPlan::none()
+    }
+}
+
+impl ServeFaultPlan {
+    /// The do-nothing plan: no crashes, no brown-outs.
+    pub fn none() -> Self {
+        ServeFaultPlan {
+            seed: 0,
+            trigger: CrashTrigger::Never,
+            brown_out_every: 0,
+            brown_out: BrownOut::with_budget(f64::INFINITY),
+        }
+    }
+
+    /// A soak-style schedule: crash every `n` stores per shard, and
+    /// every `k`-th epoch browns out to `budget_joules`.
+    pub fn storm(seed: u64, every_n_stores: u64, brown_out_every: u64, budget_joules: f64) -> Self {
+        ServeFaultPlan {
+            seed,
+            trigger: CrashTrigger::EveryNthStore(every_n_stores.max(1)),
+            brown_out_every,
+            brown_out: BrownOut::with_budget(budget_joules),
+        }
+    }
+
+    /// The same brown-out schedule with crashes disabled — the digest
+    /// reference: a faulted run must match this run byte-for-byte.
+    pub fn crash_free(&self) -> Self {
+        ServeFaultPlan {
+            trigger: CrashTrigger::Never,
+            ..self.clone()
+        }
+    }
+
+    /// Whether the plan can fire crashes at all.
+    fn crashes(&self) -> bool {
+        self.trigger != CrashTrigger::Never
+    }
+}
+
+/// Installs (once, process-wide) a panic hook that silences the panic
+/// reports of *injected* shard faults while forwarding every real panic
+/// to the previous hook.  A soak run fires hundreds of injected crashes;
+/// without this, each one would spray a backtrace onto stderr even
+/// though the pool catches and recovers every single one.
+pub fn quiet_injected_faults() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with(INJECTED_FAULT));
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
 
 /// A tenant's quality-of-service class: how much of an epoch the tenant
 /// may occupy on its shard.
@@ -221,6 +431,16 @@ pub struct ServeConfig {
     /// Crash (power loss, full drain) and verify recovery of every
     /// shard after the last epoch.
     pub crash_check: bool,
+    /// Epochs between shard checkpoints ([`PersistSystem::checkpoint`]);
+    /// crash recovery restores the latest one and replays the journal.
+    /// `0` disables checkpointing — and with it, crash recovery.
+    pub checkpoint_every: u64,
+    /// Producer-side bound (milliseconds) on waiting for a full shard
+    /// ingress queue before failing with [`ServeError::ShardWedged`];
+    /// `0` waits forever.
+    pub wedge_timeout_ms: u64,
+    /// Fault schedule: injected crashes and brown-outs.
+    pub faults: ServeFaultPlan,
     /// The tenants.
     pub tenants: Vec<TenantSpec>,
 }
@@ -241,6 +461,9 @@ impl ServeConfig {
             telemetry: false,
             ring_capacity: DEFAULT_RING_CAPACITY,
             crash_check: true,
+            checkpoint_every: 4,
+            wedge_timeout_ms: 10_000,
+            faults: ServeFaultPlan::none(),
             tenants: Vec::new(),
         }
     }
@@ -356,6 +579,16 @@ pub struct ShardOutcome {
     pub anomalies: u64,
     /// QoS violations observed by the data-plane re-check (must be 0).
     pub qos_violations: u64,
+    /// Every QoS violation with tenant, class, and epoch (empty in a
+    /// healthy run).
+    pub qos_events: Vec<QosViolation>,
+    /// Epoch-parts deferred under brown-out degradation (deferred, never
+    /// dropped — flushed before the final crash check).
+    pub shed: u64,
+    /// Tenant chunks replayed into the shard after crash recoveries.
+    pub replayed: u64,
+    /// Times the shard was restored from its epoch checkpoint.
+    pub restored: u64,
     /// Entries drained by the final crash check (`None` when
     /// [`ServeConfig::crash_check`] is off).
     pub crash_drained: Option<u64>,
@@ -377,6 +610,13 @@ impl ShardOutcome {
     /// the same tenants on a shard — at any shard count, worker count,
     /// or interleaving, telemetry on or off — must produce equal
     /// digests.
+    ///
+    /// The fault-tolerance counters ([`Self::shed`], [`Self::replayed`],
+    /// [`Self::restored`]) are deliberately excluded: a shard that
+    /// crashed and recovered must digest byte-identically to the
+    /// uninterrupted reference run.  (Shed counts are still
+    /// crash-invariant — the soak harness asserts their equality
+    /// separately.)
     pub fn digest(&self) -> String {
         let mut hasher = secpb_crypto::sha512::Sha512::new();
         for t in &self.tenants {
@@ -447,10 +687,32 @@ impl ServeOutcome {
     pub fn consistent(&self) -> bool {
         self.shards.iter().all(|s| s.recovery_consistent)
     }
+
+    /// Total epoch-parts deferred by brown-outs.
+    pub fn total_shed(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed).sum()
+    }
+
+    /// Total tenant chunks replayed after crash recoveries.
+    pub fn total_replayed(&self) -> u64 {
+        self.shards.iter().map(|s| s.replayed).sum()
+    }
+
+    /// Total shard restores from epoch checkpoints.
+    pub fn total_restored(&self) -> u64 {
+        self.shards.iter().map(|s| s.restored).sum()
+    }
+
+    /// Every QoS violation across all shards, in shard order.
+    pub fn qos_events(&self) -> impl Iterator<Item = &QosViolation> {
+        self.shards.iter().flat_map(|s| s.qos_events.iter())
+    }
 }
 
 /// One epoch batch bound for a shard: the canonical concatenation of
-/// its tenants' chunks for that epoch.
+/// its tenants' chunks for that epoch.  `Clone` because processed
+/// batches are journaled for crash replay.
+#[derive(Clone)]
 struct EpochBatch {
     epoch: u64,
     /// `(asid, items)` per contributing tenant, in shard-local order.
@@ -469,6 +731,63 @@ enum ClientMsg {
     },
 }
 
+/// Per-tenant shard-local bookkeeping for the data-plane QoS re-check,
+/// violation reporting, and brown-out shedding.
+struct TenantQuota {
+    asid: u16,
+    name: String,
+    qos: QosClass,
+    quota: u64,
+}
+
+/// Shedding priority: higher ranks are shed first during a brown-out.
+fn class_rank(qos: QosClass) -> usize {
+    match qos {
+        QosClass::Gold => 0,
+        QosClass::Silver => 1,
+        QosClass::Bronze => 2,
+    }
+}
+
+/// How deep a brown-out cuts: the lowest class rank that gets *shed*
+/// (classes at or past the returned rank are deferred).  The budget is
+/// compared against the energy of a full SecPB drain for the scheme: a
+/// budget that funds a full drain sheds nothing (rank 3 — past bronze);
+/// one that funds at least half sheds bronze only; anything tighter
+/// sheds silver too.  Gold is never shed, so every brown-out epoch
+/// still makes forward progress.
+fn shed_rank_floor(plan: &ServeFaultPlan, scheme: Scheme, secpb_entries: usize) -> usize {
+    if plan.brown_out_every == 0 {
+        return 3;
+    }
+    let full = secpb_drain_energy(energy_scheme(scheme), secpb_entries);
+    let budget = plan.brown_out.budget_joules;
+    if budget >= full {
+        3
+    } else if budget >= full / 2.0 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Everything needed to rewind a shard to an epoch boundary: the
+/// system's versioned checkpoint bytes plus the shard-level accounting
+/// the determinism contract covers.  Telemetry state (monitor, ring
+/// reader, emitted snapshots) is deliberately absent — it observes,
+/// never steers, so replayed epochs simply re-emit events.
+struct ShardCheckpoint {
+    sys: Vec<u8>,
+    epochs: u64,
+    items: u64,
+    stores: u64,
+    sync_hashes: u64,
+    qos_violations: u64,
+    qos_events: Vec<QosViolation>,
+    deferred: Vec<(u16, Vec<TraceItem>)>,
+    shed: u64,
+}
+
 /// The state one shard worker owns.
 struct ShardState {
     sys: Box<dyn PersistSystem + Send>,
@@ -476,38 +795,98 @@ struct ShardState {
     reader: Option<TelemetryReader>,
     front_name: String,
     scheme_name: &'static str,
-    /// `asid → quota` for the data-plane QoS re-check.
-    quotas: Vec<(u16, u64)>,
+    /// Shard-local tenant table for the QoS re-check and shedding.
+    tenants: Vec<TenantQuota>,
     epochs: u64,
     items: u64,
     stores: u64,
     sync_hashes: u64,
     qos_violations: u64,
+    qos_events: Vec<QosViolation>,
     snapshots: Vec<HealthSnapshot>,
+    /// Brown-out epoch period from the fault plan (`0` = never).
+    brown_out_every: u64,
+    /// Lowest class rank shed during a brown-out (see
+    /// [`shed_rank_floor`]).
+    shed_floor: usize,
+    /// Parts deferred by brown-outs, awaiting the next served epoch.
+    deferred: Vec<(u16, Vec<TraceItem>)>,
+    shed: u64,
+    /// Crash trigger clock (`None` = crash injection disabled).
+    fault_clock: Option<FaultClock>,
+    /// Checkpoint cadence in epochs (`0` = off).
+    checkpoint_every: u64,
+    checkpoint: Option<ShardCheckpoint>,
+    /// Batches processed since the last checkpoint — the replay log.
+    journal: Vec<EpochBatch>,
+    /// Batches still being replayed after a restore; while non-zero the
+    /// crash trigger is disarmed so recovery always makes progress.
+    replay_pending: usize,
+    replayed: u64,
+    restored: u64,
 }
 
 impl ShardState {
+    /// Folds one epoch batch into the shard: brown-out shedding, the
+    /// data-plane QoS re-check, trace replay (with the crash trigger
+    /// armed on new ground), the epoch-boundary metadata drain, and —
+    /// on cadence — a checkpoint.
     fn process(&mut self, batch: EpochBatch) {
+        let replaying = self.replay_pending > 0;
+        if replaying {
+            self.replay_pending -= 1;
+        }
+        // The journal must always hold exactly the batches processed
+        // since the last checkpoint — replayed batches included, so a
+        // second crash during a replay still has a complete log.
+        self.journal.push(batch.clone());
+
+        // Brown-out degradation: during an affected epoch, parts whose
+        // class the budget cannot fund are deferred — bronze first,
+        // never gold, never dropped.  Previously deferred parts re-enter
+        // ahead of the epoch's own parts (oldest work first) and are
+        // re-deferred if the brown-out persists.
+        let browned =
+            self.brown_out_every > 0 && (batch.epoch + 1).is_multiple_of(self.brown_out_every);
+        let mut parts = Vec::with_capacity(batch.parts.len() + self.deferred.len());
+        for (asid, items) in std::mem::take(&mut self.deferred)
+            .into_iter()
+            .chain(batch.parts)
+        {
+            let rank = self
+                .tenants
+                .iter()
+                .find(|t| t.asid == asid)
+                .map_or(0, |t| class_rank(t.qos));
+            if browned && rank >= self.shed_floor {
+                self.shed += 1;
+                self.deferred.push((asid, items));
+            } else {
+                parts.push((asid, items));
+            }
+        }
+
         let mut epoch_items = 0u64;
-        for (asid, items) in &batch.parts {
+        for (asid, items) in &parts {
             // Data-plane QoS re-check: the ingest layer already chunks
             // by quota, so any oversized contribution here is a
             // violated invariant, not a throttling decision.
-            let quota = self
-                .quotas
-                .iter()
-                .find(|(a, _)| a == asid)
-                .map_or(0, |&(_, q)| q);
-            if items.len() as u64 > quota {
-                self.qos_violations += 1;
-            }
-            for item in items {
-                if item.access.is_some_and(|a| a.is_store()) {
-                    self.stores += 1;
+            match self.tenants.iter().find(|t| t.asid == *asid) {
+                Some(t) if items.len() as u64 > t.quota => {
+                    self.qos_violations += 1;
+                    self.qos_events.push(QosViolation {
+                        tenant: t.name.clone(),
+                        qos: t.qos,
+                        epoch: batch.epoch,
+                        items: items.len() as u64,
+                        quota: t.quota,
+                    });
                 }
-                self.sys.step(*item);
-                epoch_items += 1;
+                Some(_) => {}
+                None => self.qos_violations += 1,
             }
+            self.replay_items(items, replaying);
+            epoch_items += items.len() as u64;
         }
         // The epoch-boundary drain: fold the whole epoch's deferred
         // tree paths and counter digests in one batched observation
@@ -516,6 +895,105 @@ impl ShardState {
         self.items += epoch_items;
         self.epochs += 1;
         self.snapshot(batch.epoch);
+        if self.checkpoint_every > 0 && self.epochs.is_multiple_of(self.checkpoint_every) {
+            self.take_checkpoint();
+        }
+    }
+
+    /// Replays one part's items.  On new ground (not a journal replay)
+    /// every completed store advances the crash trigger; a firing dies
+    /// mid-epoch *by design* — the pool catches the panic and calls
+    /// [`ShardState::recover`] under the held shard claim.
+    fn replay_items(&mut self, items: &[TraceItem], replaying: bool) {
+        for item in items {
+            let is_store = item.access.is_some_and(|a| a.is_store());
+            if is_store {
+                self.stores += 1;
+            }
+            self.sys.step(*item);
+            if is_store && !replaying {
+                if let Some(clock) = self.fault_clock.as_mut() {
+                    if clock
+                        .observe_store(self.sys.finish_time().raw(), self.sys.drains_in_flight())
+                    {
+                        panic!(
+                            "{INJECTED_FAULT}: store #{} (crash #{})",
+                            clock.stores_seen(),
+                            clock.crashes_fired()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Captures the shard at the current epoch boundary and truncates
+    /// the journal: recovery rewinds here and replays forward.  Fronts
+    /// without checkpoint support keep the previous capture.
+    fn take_checkpoint(&mut self) {
+        let Ok(sys) = self.sys.checkpoint() else {
+            return;
+        };
+        self.checkpoint = Some(ShardCheckpoint {
+            sys,
+            epochs: self.epochs,
+            items: self.items,
+            stores: self.stores,
+            sync_hashes: self.sync_hashes,
+            qos_violations: self.qos_violations,
+            qos_events: self.qos_events.clone(),
+            deferred: self.deferred.clone(),
+            shed: self.shed,
+        });
+        self.journal.clear();
+    }
+
+    /// Crash recovery, run by the pool while the shard claim is still
+    /// held: rewind to the last checkpoint and hand back the journaled
+    /// batches for in-order replay ahead of all queued work.  Panics
+    /// (fatally, by design) if the checkpoint bytes fail to restore — a
+    /// shard that cannot rewind has no consistent state to serve from.
+    fn recover(&mut self) -> Vec<EpochBatch> {
+        let cp = self
+            .checkpoint
+            .as_ref()
+            .expect("serve checkpoints every shard at startup");
+        self.sys
+            .restore(&cp.sys)
+            .expect("a shard's own checkpoint bytes restore");
+        self.epochs = cp.epochs;
+        self.items = cp.items;
+        self.stores = cp.stores;
+        self.sync_hashes = cp.sync_hashes;
+        self.qos_violations = cp.qos_violations;
+        self.qos_events = cp.qos_events.clone();
+        self.deferred = cp.deferred.clone();
+        self.shed = cp.shed;
+        let replay = std::mem::take(&mut self.journal);
+        self.replay_pending = replay.len();
+        self.replayed += replay.iter().map(|b| b.parts.len() as u64).sum::<u64>();
+        self.restored += 1;
+        replay
+    }
+
+    /// Executes any parts still deferred at shutdown as one trailing
+    /// synthetic epoch: brown-outs defer, they never drop.  Runs on the
+    /// teardown path after the pool — no crash trigger, no shedding.
+    fn flush_deferred(&mut self) {
+        if self.deferred.is_empty() {
+            return;
+        }
+        let parts = std::mem::take(&mut self.deferred);
+        let epoch = self.epochs;
+        let mut epoch_items = 0u64;
+        for (_, items) in &parts {
+            self.replay_items(items, true);
+            epoch_items += items.len() as u64;
+        }
+        self.sync_hashes += self.sys.sync_metadata();
+        self.items += epoch_items;
+        self.epochs += 1;
+        self.snapshot(epoch);
     }
 
     /// Drains the telemetry ring into the shard monitor and emits one
@@ -542,6 +1020,9 @@ impl ShardState {
             memo_hits: memo.hits,
             memo_misses: memo.misses,
             memo_evictions: memo.evictions,
+            shed_parts: self.shed,
+            replayed_chunks: self.replayed,
+            restored_shards: self.restored,
         };
         let snap = self.monitor.snapshot(
             self.sys.finish_time().raw(),
@@ -561,17 +1042,19 @@ fn tenant_items(
     cfg: &ServeConfig,
     spec: &TenantSpec,
     asid: Asid,
-) -> Result<Vec<TraceItem>, String> {
+) -> Result<Vec<TraceItem>, ServeError> {
+    let fail = |path: &str, e: &dyn std::fmt::Display| ServeError::Tenant {
+        tenant: spec.name.clone(),
+        detail: format!("{path}: {e}"),
+    };
     let raw = match &spec.source {
         TenantSource::Synthetic(profile) => {
             let seed = derive_seed(cfg.seed, &[spec.name.as_str()]);
             TraceGenerator::new(profile.clone(), seed).generate(spec.instructions)
         }
         TenantSource::File(path) => {
-            let file = std::fs::File::open(path)
-                .map_err(|e| format!("tenant `{}`: {path}: {e}", spec.name))?;
-            trace_io::read_trace(std::io::BufReader::new(file))
-                .map_err(|e| format!("tenant `{}`: {path}: {e}", spec.name))?
+            let file = std::fs::File::open(path).map_err(|e| fail(path, &e))?;
+            trace_io::read_trace(std::io::BufReader::new(file)).map_err(|e| fail(path, &e))?
         }
     };
     Ok(raw
@@ -702,20 +1185,29 @@ impl Iterator for Assembler {
 /// # Errors
 ///
 /// Fails on an invalid configuration (no tenants, duplicate names, a
-/// front that cannot be built), an unreadable or malformed tenant trace
-/// file (naming the item index and byte offset), a panicking shard
-/// worker, or a failed final crash drain.
-pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, String> {
+/// crash plan without checkpointing), an unreadable or malformed tenant
+/// trace file (naming the item index and byte offset), a wedged shard
+/// ingress queue, a panicking shard worker beyond recovery, or a failed
+/// final crash drain — each as its own [`ServeError`] variant.
+pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, ServeError> {
     if cfg.shards == 0 {
-        return Err("serve: shard count must be at least 1".into());
+        return Err(ServeError::Config("shard count must be at least 1".into()));
     }
     if cfg.tenants.is_empty() {
-        return Err("serve: at least one tenant is required".into());
+        return Err(ServeError::Config("at least one tenant is required".into()));
     }
     for (i, t) in cfg.tenants.iter().enumerate() {
         if cfg.tenants[..i].iter().any(|o| o.name == t.name) {
-            return Err(format!("serve: duplicate tenant name `{}`", t.name));
+            return Err(ServeError::Config(format!(
+                "duplicate tenant name `{}`",
+                t.name
+            )));
         }
+    }
+    if cfg.faults.crashes() && cfg.checkpoint_every == 0 {
+        return Err(ServeError::Config(
+            "crash injection requires checkpointing (checkpoint_every > 0)".into(),
+        ));
     }
 
     // Placement: tenant → shard by stable name hash; ASID = shard-local
@@ -742,6 +1234,7 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, String> {
     // Build the shard fronts.  The key seed derives from the shard's
     // member names — never its index — so a shard hosting the same
     // tenants is byte-identical at any shard count.
+    let shed_floor = shed_rank_floor(&cfg.faults, cfg.scheme, cfg.sys_cfg.secpb.entries);
     let mut states: Vec<ShardState> = Vec::with_capacity(cfg.shards);
     for list in &members {
         let names: Vec<&str> = list.iter().map(|&t| cfg.tenants[t].name.as_str()).collect();
@@ -766,11 +1259,13 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, String> {
             reader,
             front_name: format!("serve-shard{}", states.len()),
             scheme_name,
-            quotas: list
+            tenants: list
                 .iter()
-                .map(|&t| {
-                    let quota = cfg.tenants[t].qos.epoch_quota(cfg.epoch_len) as u64;
-                    (placement[t].2, quota)
+                .map(|&t| TenantQuota {
+                    asid: placement[t].2,
+                    name: cfg.tenants[t].name.clone(),
+                    qos: cfg.tenants[t].qos,
+                    quota: cfg.tenants[t].qos.epoch_quota(cfg.epoch_len) as u64,
                 })
                 .collect(),
             epochs: 0,
@@ -778,8 +1273,30 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, String> {
             stores: 0,
             sync_hashes: 0,
             qos_violations: 0,
+            qos_events: Vec::new(),
             snapshots: Vec::new(),
+            brown_out_every: cfg.faults.brown_out_every,
+            shed_floor,
+            deferred: Vec::new(),
+            shed: 0,
+            fault_clock: cfg
+                .faults
+                .crashes()
+                .then(|| FaultClock::new(cfg.faults.trigger)),
+            checkpoint_every: cfg.checkpoint_every,
+            checkpoint: None,
+            journal: Vec::new(),
+            replay_pending: 0,
+            replayed: 0,
+            restored: 0,
         });
+    }
+    // Epoch-zero checkpoints: recovery always has a rewind point, even
+    // for a crash in the very first epoch.
+    if cfg.checkpoint_every > 0 {
+        for state in &mut states {
+            state.take_checkpoint();
+        }
     }
 
     // Clients + assembler + shard pool, all inside one scope: clients
@@ -790,6 +1307,7 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, String> {
         workers: cfg.workers,
         queue_capacity: cfg.queue_capacity,
         steal_bound: cfg.steal_bound,
+        wedge_timeout_ms: cfg.wedge_timeout_ms,
     };
     let quotas: Vec<usize> = cfg
         .tenants
@@ -830,19 +1348,43 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, String> {
             live_clients: cfg.tenants.len(),
             ready: VecDeque::new(),
         };
-        pool::run_sharded(states, assembler, &pool_cfg, |_, state, batch| {
-            state.process(batch)
-        })
+        if cfg.checkpoint_every > 0 {
+            // Recoverable mode: a panicking shard worker restores the
+            // shard's last checkpoint and replays its journal in-order
+            // ahead of all queued work.
+            pool::run_sharded_recoverable(
+                states,
+                assembler,
+                &pool_cfg,
+                |_, state, batch| state.process(batch),
+                |_, state| state.recover(),
+            )
+        } else {
+            pool::run_sharded(states, assembler, &pool_cfg, |_, state, batch| {
+                state.process(batch)
+            })
+        }
+    })
+    .map_err(|e| match e {
+        ShardPoolError::Wedged { shard, waited_ms } => ServeError::ShardWedged { shard, waited_ms },
+        ShardPoolError::WorkerPanicked { workers } => ServeError::WorkerPanicked { workers },
+        e @ ShardPoolError::Misrouted { .. } => ServeError::Config(e.to_string()),
     })?;
 
     // Tear down: final crash check + outcome assembly.
     let mut shards = Vec::with_capacity(states.len());
     for (shard, mut state) in states.into_iter().enumerate() {
+        // Brown-outs defer work, they never drop it: anything still
+        // deferred executes now, before the final crash check.
+        state.flush_deferred();
         let (crash_drained, recovery_consistent) = if cfg.crash_check {
             let report = state
                 .sys
                 .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
-                .map_err(|e| format!("shard {shard}: final crash drain failed: {e}"))?;
+                .map_err(|e| ServeError::CrashCheck {
+                    shard,
+                    detail: e.to_string(),
+                })?;
             let rec = state.sys.recover();
             (Some(report.work.entries), rec.is_consistent())
         } else {
@@ -867,6 +1409,10 @@ pub fn run_serve(cfg: &ServeConfig) -> Result<ServeOutcome, String> {
             cycles: state.sys.finish_time().raw(),
             anomalies: state.sys.anomalies(),
             qos_violations: state.qos_violations,
+            qos_events: std::mem::take(&mut state.qos_events),
+            shed: state.shed,
+            replayed: state.replayed,
+            restored: state.restored,
             crash_drained,
             recovery_consistent,
             snapshots: state.snapshots,
@@ -989,7 +1535,186 @@ mod tests {
             WorkloadProfile::named("gcc").unwrap(),
             100,
         ));
-        assert!(run_serve(&cfg).unwrap_err().contains("duplicate"));
+        let err = run_serve(&cfg).unwrap_err();
+        assert!(matches!(err, ServeError::Config(_)));
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn crash_injection_without_checkpoints_is_rejected() {
+        let mut cfg = two_tenant_cfg(1);
+        cfg.checkpoint_every = 0;
+        cfg.faults.trigger = CrashTrigger::EveryNthStore(100);
+        let err = run_serve(&cfg).unwrap_err();
+        assert!(matches!(err, ServeError::Config(_)));
+        assert!(err.to_string().contains("checkpoint"));
+    }
+
+    #[test]
+    fn serve_error_display_names_the_wedged_shard() {
+        let e = ServeError::ShardWedged {
+            shard: 3,
+            waited_ms: 12_000,
+        };
+        let text = e.to_string();
+        assert!(
+            text.contains("shard 3") && text.contains("12000 ms"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn qos_violations_name_tenant_class_and_epoch() {
+        // Hand-feed a shard an oversized part to exercise the data-plane
+        // re-check (the ingest layer never produces one).
+        let mut state = ShardState {
+            sys: Box::new(SecureSystem::with_tree(
+                SystemConfig::default(),
+                Scheme::Cobcm,
+                TreeKind::Dbmf,
+                1,
+            )),
+            monitor: HealthMonitor::new(),
+            reader: None,
+            front_name: "test".into(),
+            scheme_name: "cobcm",
+            tenants: vec![TenantQuota {
+                asid: 1,
+                name: "bob".into(),
+                qos: QosClass::Bronze,
+                quota: 2,
+            }],
+            epochs: 0,
+            items: 0,
+            stores: 0,
+            sync_hashes: 0,
+            qos_violations: 0,
+            qos_events: Vec::new(),
+            snapshots: Vec::new(),
+            brown_out_every: 0,
+            shed_floor: 3,
+            deferred: Vec::new(),
+            shed: 0,
+            fault_clock: None,
+            checkpoint_every: 0,
+            checkpoint: None,
+            journal: Vec::new(),
+            replay_pending: 0,
+            replayed: 0,
+            restored: 0,
+        };
+        let items: Vec<TraceItem> =
+            TraceGenerator::new(WorkloadProfile::named("gamess").unwrap(), 7)
+                .generate(200)
+                .into_iter()
+                .take(3)
+                .collect();
+        assert_eq!(items.len(), 3);
+        state.process(EpochBatch {
+            epoch: 5,
+            parts: vec![(1, items)],
+        });
+        assert_eq!(state.qos_violations, 1);
+        let v = &state.qos_events[0];
+        assert_eq!(
+            (v.tenant.as_str(), v.qos, v.epoch),
+            ("bob", QosClass::Bronze, 5)
+        );
+        assert_eq!((v.items, v.quota), (3, 2));
+        let text = v.to_string();
+        assert!(
+            text.contains("bob") && text.contains("bronze") && text.contains("epoch 5"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn injected_crashes_recover_to_the_crash_free_digests() {
+        quiet_injected_faults();
+        let mut cfg = two_tenant_cfg(2);
+        cfg.checkpoint_every = 2;
+        cfg.faults = ServeFaultPlan::storm(7, 40, 0, f64::INFINITY);
+        let faulted = run_serve(&cfg).unwrap();
+        assert!(
+            faulted.pool.crash_recoveries > 0,
+            "storm fired no crashes: {:?}",
+            faulted.pool
+        );
+        assert!(faulted.total_restored() > 0);
+        assert!(faulted.total_replayed() > 0);
+        assert!(faulted.consistent());
+        assert_eq!(faulted.total_anomalies(), 0);
+        assert_eq!(faulted.total_qos_violations(), 0);
+
+        let mut reference = cfg.clone();
+        reference.faults = cfg.faults.crash_free();
+        let reference = run_serve(&reference).unwrap();
+        assert_eq!(reference.pool.crash_recoveries, 0);
+        let digests = |o: &ServeOutcome| {
+            o.shards
+                .iter()
+                .filter(|s| !s.tenants.is_empty())
+                .map(|s| (s.tenants.clone(), s.digest()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            digests(&faulted),
+            digests(&reference),
+            "restored shards diverged from the uninterrupted reference"
+        );
+    }
+
+    #[test]
+    fn brown_outs_shed_bronze_first_and_never_drop_work() {
+        let token = PrivilegeToken::acquire();
+        let mut cfg = two_tenant_cfg(1);
+        cfg.tenants.push(TenantSpec::synthetic(
+            "gamma",
+            WorkloadProfile::named("povray").unwrap(),
+            4_000,
+        ));
+        cfg.set_qos("alpha", QosClass::Gold, &token).unwrap();
+        cfg.set_qos("beta", QosClass::Silver, &token).unwrap();
+        cfg.set_qos("gamma", QosClass::Bronze, &token).unwrap();
+        // A budget funding just over half a full drain: bronze defers,
+        // gold and silver keep their slots.
+        let full = secpb_drain_energy(energy_scheme(cfg.scheme), cfg.sys_cfg.secpb.entries);
+        cfg.faults = ServeFaultPlan {
+            seed: 3,
+            trigger: CrashTrigger::Never,
+            brown_out_every: 2,
+            brown_out: BrownOut::with_budget(full * 0.6),
+        };
+        let out = run_serve(&cfg).unwrap();
+        assert!(out.total_shed() > 0, "brown-outs shed nothing");
+        // Deferred, never dropped: every submitted item reached a shard.
+        let tenant_items: u64 = out.tenants.iter().map(|t| t.items).sum();
+        let shard_items: u64 = out.shards.iter().map(|s| s.items).sum();
+        assert_eq!(tenant_items, shard_items);
+        assert_eq!(out.total_qos_violations(), 0);
+        assert_eq!(out.total_anomalies(), 0);
+        assert!(out.consistent());
+
+        // The same brown-outs with crashes layered on top: digests and
+        // shed counts must still match the crash-free run exactly.
+        quiet_injected_faults();
+        let mut crashed = cfg.clone();
+        crashed.checkpoint_every = 2;
+        crashed.faults.trigger = CrashTrigger::EveryNthStore(60);
+        let crashed = run_serve(&crashed).unwrap();
+        assert!(crashed.pool.crash_recoveries > 0, "no crashes fired");
+        assert_eq!(crashed.total_shed(), out.total_shed());
+        assert_eq!(
+            crashed
+                .shards
+                .iter()
+                .map(ShardOutcome::digest)
+                .collect::<Vec<_>>(),
+            out.shards
+                .iter()
+                .map(ShardOutcome::digest)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

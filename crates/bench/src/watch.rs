@@ -228,6 +228,7 @@ fn emit_snapshot<W: Write, T: Write>(
         memo_hits: memo.hits,
         memo_misses: memo.misses,
         memo_evictions: memo.evictions,
+        ..HealthGauges::default()
     };
     let snap = monitor.snapshot(
         cycle,

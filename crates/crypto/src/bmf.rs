@@ -17,6 +17,7 @@
 use std::collections::VecDeque;
 
 use secpb_sim::fxhash::FxHashMap;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 use crate::backend::CryptoBackend;
 use crate::bmt::BonsaiMerkleTree;
@@ -304,6 +305,78 @@ impl BonsaiMerkleForest {
         hashes
     }
 
+    /// Appends the forest's dynamic state — upper tree, materialized
+    /// subtrees (sorted by id), the root cache in exact LRU order, and
+    /// statistics — to a checkpoint.  Key, arity, subtree height, cache
+    /// capacity, lazy flag, and backend come from the constructor:
+    /// [`restore_from`](Self::restore_from) requires a forest built with
+    /// the same parameters.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.usize(self.arity);
+        w.u32(self.sub_levels);
+        w.usize(self.cache_capacity);
+        self.upper.encode_into(w);
+        let mut subtrees: Vec<_> = self.subtrees.iter().collect();
+        subtrees.sort_by_key(|&(id, _)| *id);
+        w.usize(subtrees.len());
+        for (id, subtree) in subtrees {
+            w.u64(*id);
+            subtree.encode_into(w);
+        }
+        w.usize(self.cache.len());
+        for id in &self.cache {
+            w.u64(*id);
+        }
+        w.u64(self.stats.cache_hits);
+        w.u64(self.stats.cache_misses);
+        w.u64(self.stats.evictions);
+        w.u64(self.stats.node_hashes);
+        w.bool(self.lazy);
+    }
+
+    /// Overlays state captured by [`encode_into`](Self::encode_into) onto
+    /// a forest built with the same key and shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails on shape mismatch or truncation.
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        if r.usize()? != self.arity
+            || r.u32()? != self.sub_levels
+            || r.usize()? != self.cache_capacity
+        {
+            return Err(r.malformed("BMF snapshot shape does not match forest"));
+        }
+        self.upper.restore_from(r)?;
+        let n = r.seq_len(8)?;
+        let mut subtrees = FxHashMap::default();
+        for _ in 0..n {
+            let id = r.u64()?;
+            let mut subtree = BonsaiMerkleTree::new(&self.key, self.arity, self.sub_levels);
+            subtree.set_backend(self.backend);
+            subtree.restore_from(r)?;
+            subtrees.insert(id, subtree);
+        }
+        self.subtrees = subtrees;
+        let n = r.seq_len(8)?;
+        if n > self.cache_capacity {
+            return Err(r.malformed("BMF snapshot root cache exceeds capacity"));
+        }
+        let mut cache = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            cache.push_back(r.u64()?);
+        }
+        self.cache = cache;
+        self.stats = BmfStats {
+            cache_hits: r.u64()?,
+            cache_misses: r.u64()?,
+            evictions: r.u64()?,
+            node_hashes: r.u64()?,
+        };
+        self.lazy = r.bool()?;
+        Ok(())
+    }
+
     /// Verifies a leaf digest against the forest's secure state (cached
     /// subtree roots plus the upper root).
     pub fn verify_leaf(&self, leaf_index: u64, leaf_digest: Digest) -> bool {
@@ -525,6 +598,43 @@ mod tests {
             f.sync_all();
             assert_eq!(f.upper_root(), reference.upper_root(), "{}", backend.name());
         }
+    }
+
+    #[test]
+    fn wire_round_trip_reproduces_forest_and_lru() {
+        use secpb_sim::wire::{WireReader, WireWriter};
+        let mut f = forest();
+        let pattern: &[u64] = &[0, 1, 16, 2, 32, 17, 0, 48];
+        for (i, &leaf) in pattern.iter().enumerate() {
+            f.update_leaf(leaf, Sha512::digest(format!("v{i}").as_bytes()));
+        }
+        let mut w = WireWriter::new();
+        f.encode_into(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = forest();
+        restored
+            .restore_from(&mut WireReader::new(&bytes))
+            .expect("restore");
+        assert_eq!(restored.stats(), f.stats());
+        // The LRU order must survive: the next updates evict the same
+        // victims and land on identical roots.
+        for (i, &leaf) in [33u64, 49, 2, 18].iter().enumerate() {
+            let d = Sha512::digest(format!("w{i}").as_bytes());
+            assert_eq!(f.update_leaf(leaf, d), restored.update_leaf(leaf, d));
+        }
+        f.sync_all();
+        restored.sync_all();
+        assert_eq!(f.upper_root(), restored.upper_root());
+        assert_eq!(f.stats(), restored.stats());
+
+        // Shape mismatch is rejected.
+        let mut other = BonsaiMerkleForest::new(b"k", 4, 4, BmfMode::Dbmf, 4);
+        let mut w2 = WireWriter::new();
+        f.encode_into(&mut w2);
+        assert!(other
+            .restore_from(&mut WireReader::new(&w2.into_bytes()))
+            .is_err());
     }
 
     #[test]

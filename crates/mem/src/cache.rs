@@ -12,6 +12,7 @@
 
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::CacheConfig;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 /// The state of a resident cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -287,6 +288,75 @@ impl Cache {
         })
     }
 
+    /// Appends the dynamic state — LRU clock, statistics, and every way
+    /// in flat set-major order — to a checkpoint.  Geometry is *not*
+    /// serialised; [`restore_from`](Self::restore_from) requires a cache
+    /// already built with the same [`CacheConfig`].
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.u64(self.use_clock);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.dirty_evictions);
+        w.u64(self.stats.silent_evictions);
+        w.usize(self.lines.len());
+        for way in &self.lines {
+            match way {
+                Some(line) => {
+                    w.bool(true);
+                    w.u64(line.tag);
+                    w.u8(match line.state {
+                        LineState::Clean => 0,
+                        LineState::Dirty => 1,
+                        LineState::PersistDirty => 2,
+                    });
+                    w.u64(line.last_use);
+                }
+                None => w.bool(false),
+            }
+        }
+    }
+
+    /// Overlays dynamic state captured by [`encode_into`](Self::encode_into)
+    /// onto this cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the encoded way count does not match this cache's
+    /// geometry, on an unknown line-state discriminant, or on truncation.
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.use_clock = r.u64()?;
+        self.stats = CacheStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            dirty_evictions: r.u64()?,
+            silent_evictions: r.u64()?,
+        };
+        let n = r.seq_len(1)?;
+        if n != self.lines.len() {
+            return Err(r.malformed("cache way count does not match geometry"));
+        }
+        for way in self.lines.iter_mut() {
+            *way = if r.bool()? {
+                let tag = r.u64()?;
+                let state = match r.u8()? {
+                    0 => LineState::Clean,
+                    1 => LineState::Dirty,
+                    2 => LineState::PersistDirty,
+                    _ => return Err(r.malformed("unknown cache line state")),
+                };
+                let last_use = r.u64()?;
+                Some(Line {
+                    tag,
+                    state,
+                    last_use,
+                })
+            } else {
+                None
+            };
+        }
+        Ok(())
+    }
+
     /// Drops every line (used when modelling a power cycle of volatile
     /// caches).
     pub fn clear(&mut self) {
@@ -430,6 +500,37 @@ mod tests {
         c.access(BlockAddr(0), LineState::Clean);
         assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
         assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_lru_and_stats() {
+        let mut c = small();
+        c.access(BlockAddr(0), LineState::Dirty);
+        c.access(BlockAddr(2), LineState::PersistDirty);
+        c.access(BlockAddr(1), LineState::Clean);
+        c.access(BlockAddr(0), LineState::Clean); // touch: 2 is now LRU
+        let mut w = WireWriter::new();
+        c.encode_into(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = small();
+        restored
+            .restore_from(&mut WireReader::new(&bytes))
+            .expect("restore");
+        assert_eq!(restored.stats(), c.stats());
+        // Both caches must now evict the same victim.
+        let a = c.access(BlockAddr(4), LineState::Clean);
+        let b = restored.access(BlockAddr(4), LineState::Clean);
+        assert_eq!(a, b);
+        assert_eq!(a.evicted, Some((BlockAddr(2), LineState::PersistDirty)));
+
+        // Geometry mismatch is rejected.
+        let mut bigger = Cache::new(CacheConfig::new(512, 2, 64, 1));
+        assert!(bigger.restore_from(&mut WireReader::new(&bytes)).is_err());
+        // Truncation is reported, not panicked on.
+        assert!(small()
+            .restore_from(&mut WireReader::new(&bytes[..bytes.len() - 1]))
+            .is_err());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::SystemConfig;
 use secpb_sim::cycle::Cycle;
 use secpb_sim::tracer::{Phase, Tracer};
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 use crate::cache::{Cache, LineState};
 
@@ -262,6 +263,39 @@ impl Hierarchy {
         self.l1.clear();
         self.l2.clear();
         self.l3.clear();
+    }
+
+    /// Appends all three levels plus the per-level counters to a
+    /// checkpoint.  Restore requires a hierarchy built from the same
+    /// [`SystemConfig`].
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        self.l1.encode_into(w);
+        self.l2.encode_into(w);
+        self.l3.encode_into(w);
+        w.u64(self.stats.l1_hits);
+        w.u64(self.stats.l2_hits);
+        w.u64(self.stats.l3_hits);
+        w.u64(self.stats.memory_accesses);
+        w.u64(self.stats.writebacks);
+    }
+
+    /// Overlays state captured by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Fails on geometry mismatch or truncation.
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.l1.restore_from(r)?;
+        self.l2.restore_from(r)?;
+        self.l3.restore_from(r)?;
+        self.stats = HierarchyStats {
+            l1_hits: r.u64()?,
+            l2_hits: r.u64()?,
+            l3_hits: r.u64()?,
+            memory_accesses: r.u64()?,
+            writebacks: r.u64()?,
+        };
+        Ok(())
     }
 }
 

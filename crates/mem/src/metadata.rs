@@ -10,6 +10,7 @@
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::CacheConfig;
 use secpb_sim::cycle::Cycle;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 use crate::cache::{Cache, LineState};
 use crate::nvm::NvmTiming;
@@ -168,6 +169,26 @@ impl MetadataCaches {
         self.counter.clear();
         self.mac.clear();
         self.bmt.clear();
+    }
+
+    /// Appends all three species' caches to a checkpoint.  Restore
+    /// requires caches built with the same geometries.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        self.counter.encode_into(w);
+        self.mac.encode_into(w);
+        self.bmt.encode_into(w);
+    }
+
+    /// Overlays state captured by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Fails on geometry mismatch or truncation.
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        self.counter.restore_from(r)?;
+        self.mac.restore_from(r)?;
+        self.bmt.restore_from(r)?;
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::NvmConfig;
 use secpb_sim::cycle::Cycle;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 /// Running NVM statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +111,47 @@ impl NvmTiming {
             .copied()
             .max()
             .unwrap_or(Cycle::ZERO)
+    }
+
+    /// Appends the per-bank availability vectors and counters to a
+    /// checkpoint.  Restore requires a model built with the same
+    /// [`NvmConfig`].
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.usize(self.read_free.len());
+        for c in &self.read_free {
+            w.u64(c.raw());
+        }
+        for c in &self.write_free {
+            w.u64(c.raw());
+        }
+        w.u64(self.stats.reads);
+        w.u64(self.stats.writes);
+        w.u64(self.stats.queue_delay_cycles);
+    }
+
+    /// Overlays state captured by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the encoded bank count does not match this model's, or on
+    /// truncation.
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let banks = r.seq_len(8)?;
+        if banks != self.read_free.len() {
+            return Err(r.malformed("NVM snapshot bank count does not match config"));
+        }
+        for c in self.read_free.iter_mut() {
+            *c = Cycle(r.u64()?);
+        }
+        for c in self.write_free.iter_mut() {
+            *c = Cycle(r.u64()?);
+        }
+        self.stats = NvmStats {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            queue_delay_cycles: r.u64()?,
+        };
+        Ok(())
     }
 }
 

@@ -13,6 +13,7 @@ use std::collections::BinaryHeap;
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::cycle::Cycle;
 use secpb_sim::fxhash::FxHashMap;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 use crate::nvm::NvmTiming;
 
@@ -123,6 +124,59 @@ impl WritePendingQueue {
             .max()
             .unwrap_or(Cycle::ZERO)
     }
+
+    /// Appends the in-flight completions (sorted), the pending-block map
+    /// (sorted by block), and the counters to a checkpoint.  Capacity is
+    /// not serialised; restore requires a queue built with the same one.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        let mut inflight: Vec<Cycle> = self.inflight.iter().map(|Reverse(c)| *c).collect();
+        inflight.sort();
+        w.usize(inflight.len());
+        for c in inflight {
+            w.u64(c.raw());
+        }
+        let mut pending: Vec<_> = self.pending.iter().collect();
+        pending.sort_by_key(|(b, _)| b.index());
+        w.usize(pending.len());
+        for (block, c) in pending {
+            w.u64(block.index());
+            w.u64(c.raw());
+        }
+        w.u64(self.stats.accepted);
+        w.u64(self.stats.coalesced);
+        w.u64(self.stats.stall_cycles);
+    }
+
+    /// Overlays state captured by [`encode_into`](Self::encode_into).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the snapshot holds more in-flight writes than this
+    /// queue's capacity, or on truncation.
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let n = r.seq_len(8)?;
+        if n > self.capacity {
+            return Err(r.malformed("WPQ snapshot exceeds queue capacity"));
+        }
+        let mut inflight = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            inflight.push(Reverse(Cycle(r.u64()?)));
+        }
+        let n = r.seq_len(8 + 8)?;
+        let mut pending = FxHashMap::default();
+        for _ in 0..n {
+            let block = BlockAddr(r.u64()?);
+            pending.insert(block, Cycle(r.u64()?));
+        }
+        self.inflight = inflight;
+        self.pending = pending;
+        self.stats = WpqStats {
+            accepted: r.u64()?,
+            coalesced: r.u64()?,
+            stall_cycles: r.u64()?,
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +251,33 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         WritePendingQueue::new(0);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_backpressure() {
+        use secpb_sim::wire::{WireReader, WireWriter};
+        let (mut wpq, mut nvm) = setup();
+        wpq.enqueue(BlockAddr(0), Cycle(0), &mut nvm);
+        wpq.enqueue(BlockAddr(1), Cycle(0), &mut nvm);
+
+        let mut w = WireWriter::new();
+        wpq.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = WritePendingQueue::new(2);
+        restored
+            .restore_from(&mut WireReader::new(&bytes))
+            .expect("restore");
+        assert_eq!(restored.stats(), wpq.stats());
+        assert_eq!(restored.drained_at(), wpq.drained_at());
+        // Both queues stall a third write identically.
+        let mut nvm2 = nvm.clone();
+        assert_eq!(
+            wpq.enqueue(BlockAddr(2), Cycle(0), &mut nvm),
+            restored.enqueue(BlockAddr(2), Cycle(0), &mut nvm2)
+        );
+
+        // A snapshot larger than the target capacity is rejected.
+        let mut tiny = WritePendingQueue::new(1);
+        assert!(tiny.restore_from(&mut WireReader::new(&bytes)).is_err());
     }
 }

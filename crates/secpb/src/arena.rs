@@ -15,6 +15,8 @@
 //! stale handles.  No `unsafe` anywhere — aliasing safety is a data
 //! invariant, not a pointer trick.
 
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
+
 use crate::entry::Entry;
 
 /// A generation-checked reference to an arena slot.
@@ -33,6 +35,12 @@ impl Handle {
     /// The generation this handle was minted at.
     pub fn generation(self) -> u32 {
         self.generation
+    }
+
+    /// Reassembles a handle from its parts (checkpoint restore only —
+    /// the arena's generation check still guards every access).
+    pub(crate) fn from_parts(slot: u32, generation: u32) -> Self {
+        Handle { slot, generation }
     }
 }
 
@@ -137,6 +145,65 @@ impl EntryArena {
     /// function of the operation history).
     pub fn iter(&self) -> impl Iterator<Item = &Entry> {
         self.slots.iter().filter_map(|s| s.entry.as_ref())
+    }
+
+    /// Appends every slot (generation + occupant) and the free list in
+    /// exact LIFO order to a checkpoint, so slot reuse after restore
+    /// follows the same sequence as the original run.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            w.u32(slot.generation);
+            match &slot.entry {
+                Some(e) => {
+                    w.bool(true);
+                    e.encode_into(w);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.usize(self.free.len());
+        for &f in &self.free {
+            w.u32(f);
+        }
+    }
+
+    /// Rebuilds an arena from [`encode_into`](Self::encode_into) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the free list disagrees with slot occupancy, or on
+    /// truncation.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len(5)?;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let generation = r.u32()?;
+            let entry = if r.bool()? {
+                Some(Entry::decode_from(r)?)
+            } else {
+                None
+            };
+            slots.push(Slot { generation, entry });
+        }
+        let free_len = r.seq_len(4)?;
+        let mut free = Vec::with_capacity(free_len);
+        let mut listed = vec![false; slots.len()];
+        for _ in 0..free_len {
+            let idx = r.u32()?;
+            match slots.get(idx as usize) {
+                Some(slot) if slot.entry.is_none() && !listed[idx as usize] => {
+                    listed[idx as usize] = true;
+                    free.push(idx);
+                }
+                _ => return Err(r.malformed("arena free list names an occupied slot")),
+            }
+        }
+        let vacant = slots.iter().filter(|s| s.entry.is_none()).count();
+        if vacant != free.len() {
+            return Err(r.malformed("arena free list does not cover all vacant slots"));
+        }
+        Ok(EntryArena { slots, free })
     }
 }
 

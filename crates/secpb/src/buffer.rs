@@ -13,6 +13,7 @@ use std::collections::VecDeque;
 use secpb_sim::addr::{Asid, BlockAddr};
 use secpb_sim::config::SecPbConfig;
 use secpb_sim::fxhash::FxHashMap;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 use crate::arena::{EntryArena, Handle};
 use crate::entry::Entry;
@@ -222,6 +223,73 @@ impl SecPb {
     /// lets the arena's generation check drop tombstones.
     fn live_oldest_first(&self) -> impl Iterator<Item = &Entry> {
         self.fifo.iter().filter_map(|h| self.arena.get(*h))
+    }
+
+    /// Appends the arena, the handle FIFO exactly as it stands (stale
+    /// tombstones included, so the compaction heuristic fires at the same
+    /// point after restore), the allocation sequence, and the statistics
+    /// to a checkpoint.  The block→handle index is derivable and is
+    /// rebuilt on decode.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        self.arena.encode_into(w);
+        w.usize(self.fifo.len());
+        for h in &self.fifo {
+            w.u32(h.slot());
+            w.u32(h.generation());
+        }
+        w.u64(self.next_seq);
+        w.u64(self.stats.persists);
+        w.u64(self.stats.allocations);
+        w.u64(self.stats.drained_entries);
+        w.u64(self.stats.drained_stores);
+        w.u64(self.stats.peak_occupancy);
+    }
+
+    /// Rebuilds a buffer from [`encode_into`](Self::encode_into) bytes.
+    /// The snapshot's arena size must match `config.entries`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on capacity mismatch, an inconsistent image, or truncation.
+    pub fn decode_from(config: SecPbConfig, r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let arena = EntryArena::decode_from(r)?;
+        if arena.capacity() != config.entries {
+            return Err(r.malformed("SecPB snapshot capacity does not match config"));
+        }
+        let n = r.seq_len(4 + 4)?;
+        let mut fifo = VecDeque::with_capacity(n.max(config.entries * 2));
+        for _ in 0..n {
+            let slot = r.u32()?;
+            let generation = r.u32()?;
+            fifo.push_back(Handle::from_parts(slot, generation));
+        }
+        let next_seq = r.u64()?;
+        let stats = SecPbStats {
+            persists: r.u64()?,
+            allocations: r.u64()?,
+            drained_entries: r.u64()?,
+            drained_stores: r.u64()?,
+            peak_occupancy: r.u64()?,
+        };
+        let mut index = FxHashMap::with_capacity_and_hasher(config.entries * 2, Default::default());
+        for h in fifo.iter() {
+            // The arena's generation check filters stale tombstones; the
+            // survivors are exactly the handles the index must hold.
+            if let Some(e) = arena.get(*h) {
+                index.insert(e.block, *h);
+            }
+        }
+        if index.len() != arena.live() {
+            return Err(r.malformed("SecPB snapshot FIFO does not cover all live entries"));
+        }
+        Ok(SecPb {
+            config,
+            arena,
+            index,
+            fifo,
+            next_seq,
+            stats,
+        })
     }
 }
 

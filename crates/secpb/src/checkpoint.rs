@@ -1,0 +1,394 @@
+//! Versioned whole-system checkpoints for crash-recovery and soak
+//! restarts.
+//!
+//! A checkpoint captures *everything* a [`SecureSystem`] needs to resume
+//! a run mid-stream and stay byte-identical to an uninterrupted
+//! execution: the functional kernel (golden state, logical counters, NVM
+//! image, integrity tree), the SecPB and its drain pipeline, every
+//! timing structure whose state feeds the digested statistics (cache
+//! LRU clocks, WPQ backpressure, NVM bank horizons, the store buffer,
+//! the fractional-cycle accumulator), and the statistics themselves.
+//!
+//! ## Wire format
+//!
+//! ```text
+//! magic "SPBC" | version u32 | config fingerprint u64 | sections...
+//! ```
+//!
+//! The fingerprint is the first eight bytes of a SHA-512 over the wire
+//! encoding of every configuration scalar plus the scheme, tree kind,
+//! and key seed.  Geometry and keys are therefore never serialised —
+//! restore targets must be *constructed* with the identical
+//! configuration, and the fingerprint rejects a mismatch up front
+//! instead of letting a shape check fail deep inside a section.
+//!
+//! ## Restore + replay ≡ straight-through
+//!
+//! The equivalence argument: every output of a run (the [`ShardOutcome`]
+//! digest in the serve plane covers stats counters, histogram counts,
+//! and cycle scalars) is a pure function of the state captured here and
+//! the remaining trace.  The only state *not* captured is explicitly
+//! output-invisible: the tracer's span aggregates (never digested), the
+//! telemetry sink (observes, never steers), and the lazy engine's memo
+//! caches (pure memoization over keys/counters — a cold memo recomputes
+//! the same pads and digests).  Restore clears those; everything else
+//! overlays exactly, so replaying epochs N..M after restoring at N
+//! reproduces the uninterrupted run byte for byte —
+//! `tests/checkpoint_replay.rs` pins this for every scheme × metadata
+//! mode.
+//!
+//! [`ShardOutcome`]: https://docs.rs/secpb-bench
+
+use secpb_crypto::sha512::Sha512;
+use secpb_sim::config::{CacheConfig, SystemConfig};
+use secpb_sim::cycle::Cycle;
+use secpb_sim::stats::Stats;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
+
+use crate::buffer::SecPb;
+use crate::drain::DrainEngine;
+use crate::metrics::CycleBreakdown;
+use crate::scheme::Scheme;
+use crate::system::SecureSystem;
+use crate::tree::TreeKind;
+
+/// The four magic bytes opening every checkpoint.
+pub const MAGIC: [u8; 4] = *b"SPBC";
+
+/// Current checkpoint wire-format version.
+pub const VERSION: u32 = 1;
+
+/// Why a checkpoint could not be produced or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The front does not implement checkpointing (only the single-core
+    /// [`SecureSystem`] front does).
+    Unsupported,
+    /// The bytes do not start with the `SPBC` magic.
+    BadMagic,
+    /// The checkpoint was written by a different wire-format version.
+    VersionMismatch {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// The checkpoint was taken on a system with a different
+    /// configuration, scheme, tree kind, or key seed.
+    ConfigMismatch,
+    /// A section failed to decode (truncation or corruption).
+    Wire(WireError),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Unsupported => {
+                write!(f, "this front does not support checkpoint/restore")
+            }
+            CheckpointError::BadMagic => write!(f, "not a SecPB checkpoint (bad magic)"),
+            CheckpointError::VersionMismatch { found } => write!(
+                f,
+                "checkpoint version {found} does not match supported version {VERSION}"
+            ),
+            CheckpointError::ConfigMismatch => write!(
+                f,
+                "checkpoint was taken under a different configuration/scheme/seed"
+            ),
+            CheckpointError::Wire(e) => write!(f, "checkpoint payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for CheckpointError {
+    fn from(e: WireError) -> Self {
+        CheckpointError::Wire(e)
+    }
+}
+
+fn encode_cache_config(w: &mut WireWriter, c: &CacheConfig) {
+    w.usize(c.size_bytes);
+    w.usize(c.ways);
+    w.usize(c.block_bytes);
+    w.u64(c.access_latency);
+}
+
+/// The identity a checkpoint binds to: the first eight bytes of a
+/// SHA-512 over every configuration scalar plus the scheme, integrity-
+/// tree kind, and key seed.  Two systems with equal fingerprints decode
+/// each other's checkpoints; anything else is rejected with
+/// [`CheckpointError::ConfigMismatch`].
+pub fn config_fingerprint(
+    cfg: &SystemConfig,
+    scheme: Scheme,
+    tree_kind: TreeKind,
+    key_seed: u64,
+) -> u64 {
+    let mut w = WireWriter::new();
+    w.str(scheme.name());
+    w.u8(match tree_kind {
+        TreeKind::Monolithic => 0,
+        TreeKind::Dbmf => 1,
+        TreeKind::Sbmf => 2,
+    });
+    w.u64(key_seed);
+    w.f64(cfg.core.freq_hz);
+    w.u32(cfg.core.retire_width);
+    w.usize(cfg.core.store_buffer_entries);
+    w.f64(cfg.core.load_exposure);
+    w.f64(cfg.core.store_exposure);
+    for cache in [
+        &cfg.l1,
+        &cfg.l2,
+        &cfg.l3,
+        &cfg.counter_cache,
+        &cfg.mac_cache,
+        &cfg.bmt_cache,
+    ] {
+        encode_cache_config(&mut w, cache);
+    }
+    w.usize(cfg.wpq_entries);
+    w.usize(cfg.secpb.entries);
+    w.usize(cfg.secpb.entry_bytes);
+    w.u64(cfg.secpb.access_latency);
+    w.f64(cfg.secpb.high_watermark);
+    w.f64(cfg.secpb.low_watermark);
+    w.u32(cfg.security.bmt_levels);
+    w.u64(cfg.security.mac_latency);
+    w.u64(cfg.security.otp_latency);
+    w.u64(cfg.security.bmt_hash_latency);
+    w.bool(cfg.security.single_inflight_bmt);
+    w.bool(cfg.security.value_independent_coalescing);
+    w.bool(cfg.security.speculative_verification);
+    w.str(cfg.security.metadata_mode.name());
+    w.str(cfg.security.crypto_backend.name());
+    w.u64(cfg.nvm.size_bytes);
+    w.u64(cfg.nvm.read_latency.raw());
+    w.u64(cfg.nvm.write_latency.raw());
+    w.usize(cfg.nvm.write_queue_entries);
+    w.usize(cfg.nvm.read_queue_entries);
+    w.usize(cfg.nvm.banks);
+    let digest = Sha512::digest(&w.into_bytes());
+    u64::from_le_bytes(digest.0[..8].try_into().expect("SHA-512 is 64 bytes"))
+}
+
+impl SecureSystem {
+    fn fingerprint(&self) -> u64 {
+        config_fingerprint(
+            &self.cfg,
+            self.scheme,
+            self.domain.tree_kind,
+            self.domain.seed,
+        )
+    }
+
+    /// Serialises the complete system state into a versioned checkpoint.
+    ///
+    /// The capture is deterministic: checkpointing the same state twice
+    /// produces identical bytes, and checkpointing a restored system
+    /// reproduces the original checkpoint.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.raw(&MAGIC);
+        w.u32(VERSION);
+        w.u64(self.fingerprint());
+        // ---- timing scalars ----
+        w.u64(self.now.raw());
+        w.u64(self.measure_from.raw());
+        w.f64(self.frac);
+        w.u64(self.pb_busy_until.raw());
+        w.u64(self.bmt_busy_until.raw());
+        w.usize(self.store_buffer.len());
+        for c in &self.store_buffer {
+            w.u64(c.raw());
+        }
+        // ---- timing structures ----
+        self.hierarchy.encode_into(&mut w);
+        self.metadata.encode_into(&mut w);
+        self.wpq.encode_into(&mut w);
+        self.nvm_timing.encode_into(&mut w);
+        self.drain_engine.encode_into(&mut w);
+        // ---- functional state ----
+        self.pb.encode_into(&mut w);
+        self.domain.encode_into(&mut w);
+        // ---- observability ----
+        self.stats.encode_into(&mut w);
+        for (_, v) in self.breakdown.entries() {
+            w.u64(v);
+        }
+        w.into_bytes()
+    }
+
+    /// Overlays a checkpoint produced by
+    /// [`checkpoint_bytes`](Self::checkpoint_bytes) onto this system.
+    ///
+    /// The target must have been constructed with the identical
+    /// configuration, scheme, tree kind, and key seed; the header
+    /// fingerprint rejects anything else.  The attached telemetry sink
+    /// survives the restore (telemetry observes, never steers); the
+    /// tracer's span aggregates and the lazy engine's memo caches are
+    /// reset — both are output-invisible.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] on bad magic, version or
+    /// fingerprint mismatch, or payload truncation/corruption.  On a
+    /// payload error the target may be partially overwritten and must be
+    /// discarded.
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = WireReader::new(bytes);
+        if r.array::<4>().map_err(CheckpointError::Wire)? != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let found = r.u32()?;
+        if found != VERSION {
+            return Err(CheckpointError::VersionMismatch { found });
+        }
+        if r.u64()? != self.fingerprint() {
+            return Err(CheckpointError::ConfigMismatch);
+        }
+        // ---- timing scalars ----
+        self.now = Cycle(r.u64()?);
+        self.measure_from = Cycle(r.u64()?);
+        self.frac = r.f64()?;
+        self.pb_busy_until = Cycle(r.u64()?);
+        self.bmt_busy_until = Cycle(r.u64()?);
+        let n = r.seq_len(8)?;
+        self.store_buffer.clear();
+        for _ in 0..n {
+            self.store_buffer.push_back(Cycle(r.u64()?));
+        }
+        // ---- timing structures ----
+        self.hierarchy.restore_from(&mut r)?;
+        self.metadata.restore_from(&mut r)?;
+        self.wpq.restore_from(&mut r)?;
+        self.nvm_timing.restore_from(&mut r)?;
+        self.drain_engine = DrainEngine::decode_from(&mut r)?;
+        // ---- functional state ----
+        self.pb = SecPb::decode_from(self.cfg.secpb, &mut r)?;
+        self.domain.restore_from(&mut r)?;
+        // ---- observability ----
+        let sink = self.stats.sink().cloned();
+        let mut stats = Stats::decode_from(&mut r)?;
+        stats.set_sink(sink);
+        self.stats = stats;
+        self.breakdown = CycleBreakdown {
+            retire: r.u64()?,
+            load: r.u64()?,
+            store_accept: r.u64()?,
+            sb_stall: r.u64()?,
+            nogap_wait: r.u64()?,
+            drain_wait: r.u64()?,
+        };
+        self.tracer.reset();
+        if !r.is_empty() {
+            return Err(CheckpointError::Wire(
+                r.malformed("trailing bytes after checkpoint payload"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secpb_sim::addr::Address;
+    use secpb_sim::trace::{Access, TraceItem};
+
+    fn store_trace(base: u64, n: u64) -> Vec<TraceItem> {
+        (0..n)
+            .map(|i| TraceItem::then(7, Access::store(Address(base + (i % 40) * 64), i + 1)))
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_byte_identical() {
+        let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 42);
+        sys.run_trace(store_trace(0x10_0000, 300).into_iter());
+        let bytes = sys.checkpoint_bytes();
+
+        let mut restored = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 42);
+        restored.restore_bytes(&bytes).unwrap();
+        assert_eq!(
+            restored.checkpoint_bytes(),
+            bytes,
+            "checkpointing a restored system must reproduce the checkpoint"
+        );
+    }
+
+    #[test]
+    fn restore_then_replay_matches_straight_through() {
+        let first = store_trace(0x10_0000, 250);
+        let second = store_trace(0x20_0000, 250);
+
+        let mut reference = SecureSystem::new(SystemConfig::default(), Scheme::Cm, 7);
+        reference.run_trace(first.iter().copied());
+        let bytes = reference.checkpoint_bytes();
+        reference.run_trace(second.iter().copied());
+        reference.sync_metadata();
+
+        let mut resumed = SecureSystem::new(SystemConfig::default(), Scheme::Cm, 7);
+        resumed.restore_bytes(&bytes).unwrap();
+        resumed.run_trace(second.iter().copied());
+        resumed.sync_metadata();
+
+        assert_eq!(resumed.checkpoint_bytes(), reference.checkpoint_bytes());
+    }
+
+    #[test]
+    fn header_mismatches_are_rejected() {
+        let sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 1);
+        let bytes = sys.checkpoint_bytes();
+
+        let mut other_seed = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 2);
+        assert_eq!(
+            other_seed.restore_bytes(&bytes),
+            Err(CheckpointError::ConfigMismatch)
+        );
+        let mut other_scheme = SecureSystem::new(SystemConfig::default(), Scheme::Cm, 1);
+        assert_eq!(
+            other_scheme.restore_bytes(&bytes),
+            Err(CheckpointError::ConfigMismatch)
+        );
+        let mut other_cfg = SecureSystem::new(
+            SystemConfig::default().with_secpb_entries(64),
+            Scheme::Cobcm,
+            1,
+        );
+        assert_eq!(
+            other_cfg.restore_bytes(&bytes),
+            Err(CheckpointError::ConfigMismatch)
+        );
+
+        let mut same = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 1);
+        assert_eq!(
+            same.restore_bytes(b"nope"),
+            Err(CheckpointError::BadMagic),
+            "short/garbage input is not a checkpoint"
+        );
+        let mut versioned = bytes.clone();
+        versioned[4] = 0xFF;
+        assert!(matches!(
+            same.restore_bytes(&versioned),
+            Err(CheckpointError::VersionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_reports_wire_error() {
+        let mut sys = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 9);
+        sys.run_trace(store_trace(0x30_0000, 50).into_iter());
+        let bytes = sys.checkpoint_bytes();
+        let mut target = SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 9);
+        let err = target.restore_bytes(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Wire(_)), "got {err:?}");
+    }
+}

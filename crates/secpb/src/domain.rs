@@ -28,6 +28,7 @@ use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::{CryptoBackendKind, MetadataMode};
 use secpb_sim::fxhash::FxHashMap;
 use secpb_sim::trace::Access;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 use crate::entry::Entry;
 use crate::tree::{IntegrityTree, TreeKind};
@@ -393,6 +394,61 @@ impl PersistDomain {
             self.nvm.set_bmt_root(self.tree.root());
         }
         sync_hashes
+    }
+
+    /// Appends the domain's dynamic state — golden image, logical
+    /// counters (both in sorted key order), NVM store, and integrity
+    /// tree — to a checkpoint.  The crypto engines are pure functions of
+    /// the construction scalars and are rebuilt, not serialised; the
+    /// memo caches are host-side accelerators whose contents never reach
+    /// any digested output, so [`restore_from`](Self::restore_from)
+    /// simply clears them.
+    pub(crate) fn encode_into(&self, w: &mut WireWriter) {
+        let mut golden: Vec<_> = self.golden.iter().collect();
+        golden.sort_by_key(|(b, _)| b.index());
+        w.usize(golden.len());
+        for (block, bytes) in golden {
+            w.u64(block.index());
+            w.raw(bytes);
+        }
+        let mut counters: Vec<_> = self.counters.iter().collect();
+        counters.sort_by_key(|&(page, _)| *page);
+        w.usize(counters.len());
+        for (page, cb) in counters {
+            w.u64(*page);
+            w.raw(&cb.to_bytes());
+        }
+        self.nvm.encode_into(w);
+        self.tree.encode_into(w);
+    }
+
+    /// Overlays state captured by [`encode_into`](Self::encode_into) onto
+    /// a domain constructed with the same scalars (salts, tree kind,
+    /// metadata mode, backend, key seed).
+    pub(crate) fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let n = r.seq_len(8 + 64)?;
+        let mut golden = FxHashMap::default();
+        for _ in 0..n {
+            let block = BlockAddr(r.u64()?);
+            golden.insert(block, r.array::<64>()?);
+        }
+        let n = r.seq_len(8 + 64)?;
+        let mut counters = FxHashMap::default();
+        for _ in 0..n {
+            let page = r.u64()?;
+            let bytes = r.array::<64>()?;
+            counters.insert(page, CounterBlock::from_bytes(&bytes));
+        }
+        let nvm = NvmStore::decode_from(r)?;
+        self.tree.restore_from(r)?;
+        self.golden = golden;
+        self.counters = counters;
+        self.nvm = nvm;
+        self.ctr_digests.clear();
+        if let Some(pads) = self.otp_engine.pad_cache() {
+            pads.clear();
+        }
+        Ok(())
     }
 
     /// A fresh integrity tree keyed like this domain's, for the recovery

@@ -12,6 +12,7 @@
 
 use secpb_sim::cycle::Cycle;
 use secpb_sim::event::EventWheel;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 /// Drain engine statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +130,50 @@ impl DrainEngine {
             last = last.max(c);
         }
         last
+    }
+
+    /// Appends the in-flight wheel (including its FIFO tie-break
+    /// sequencing), the issue horizon, and the statistics to a
+    /// checkpoint.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        let (entries, next_seq) = self.inflight.dump();
+        w.usize(entries.len());
+        for (due, seq, ()) in entries {
+            w.u64(due.raw());
+            w.u64(seq);
+        }
+        w.u64(next_seq);
+        w.u64(self.next_issue.raw());
+        w.u64(self.stats.issued);
+        w.u64(self.stats.issue_delay_cycles);
+        w.u64(self.stats.latency_cycles);
+        w.u64(self.stats.max_latency_cycles);
+    }
+
+    /// Rebuilds an engine from [`encode_into`](Self::encode_into) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation/malformation with the byte offset.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len(8 + 8)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let due = Cycle(r.u64()?);
+            let seq = r.u64()?;
+            entries.push((due, seq, ()));
+        }
+        let next_seq = r.u64()?;
+        Ok(DrainEngine {
+            inflight: EventWheel::load(entries, next_seq),
+            next_issue: Cycle(r.u64()?),
+            stats: DrainStats {
+                issued: r.u64()?,
+                issue_delay_cycles: r.u64()?,
+                latency_cycles: r.u64()?,
+                max_latency_cycles: r.u64()?,
+            },
+        })
     }
 }
 

@@ -19,6 +19,7 @@ use secpb_crypto::counter::SplitCounter;
 use secpb_crypto::sha512::Digest;
 use secpb_sim::addr::{Asid, BlockAddr};
 use secpb_sim::cycle::Cycle;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 use crate::scheme::EarlyWork;
 
@@ -121,6 +122,75 @@ impl Entry {
     /// the scheme's early-work demands.
     pub fn persist_complete(&self, required: EarlyWork) -> bool {
         self.valid.satisfies(required)
+    }
+
+    /// Appends every tuple field, valid bit, and counter to a checkpoint.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.u64(self.block.index());
+        w.u32(u32::from(self.asid.0));
+        w.raw(&self.plaintext);
+        w.raw(&self.otp);
+        w.raw(&self.ciphertext);
+        w.u64(self.counter.major);
+        w.u8(self.counter.minor);
+        match self.mac {
+            Some(d) => {
+                w.bool(true);
+                w.raw(&d.0);
+            }
+            None => w.bool(false),
+        }
+        w.bool(self.valid.otp);
+        w.bool(self.valid.ciphertext);
+        w.bool(self.valid.counter);
+        w.bool(self.valid.bmt);
+        w.bool(self.valid.mac);
+        w.u64(self.stores);
+        w.u64(self.seq);
+        w.u64(self.born.raw());
+    }
+
+    /// Rebuilds an entry from [`encode_into`](Self::encode_into) bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation/malformation with the byte offset.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let block = BlockAddr(r.u64()?);
+        let asid_raw = r.u32()?;
+        let asid = Asid(u16::try_from(asid_raw).map_err(|_| r.malformed("ASID exceeds 16 bits"))?);
+        let plaintext = r.array::<64>()?;
+        let otp = r.array::<64>()?;
+        let ciphertext = r.array::<64>()?;
+        let counter = SplitCounter {
+            major: r.u64()?,
+            minor: r.u8()?,
+        };
+        let mac = if r.bool()? {
+            Some(Digest(r.array::<64>()?))
+        } else {
+            None
+        };
+        let valid = ValidBits {
+            otp: r.bool()?,
+            ciphertext: r.bool()?,
+            counter: r.bool()?,
+            bmt: r.bool()?,
+            mac: r.bool()?,
+        };
+        Ok(Entry {
+            block,
+            asid,
+            plaintext,
+            otp,
+            ciphertext,
+            counter,
+            mac,
+            valid,
+            stores: r.u64()?,
+            seq: r.u64()?,
+            born: Cycle(r.u64()?),
+        })
     }
 }
 

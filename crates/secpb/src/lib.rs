@@ -27,6 +27,9 @@
 //! * [`crash`] — crash kinds, drain policies (drain-all/drain-process),
 //!   observer policies (blocking/warning), the battery-powered drain, and
 //!   post-crash recovery with real decryption + MAC + BMT verification,
+//! * [`checkpoint`] — versioned whole-system checkpoints: restore at
+//!   epoch N then replay is byte-identical to the uninterrupted run,
+//!   which is what shard crash-recovery and soak restarts build on,
 //! * [`coherence`] — the metadata directory and SecPB-to-SecPB migration
 //!   protocol of Section IV-C for multi-core configurations,
 //! * [`facade`] — the [`PersistSystem`] trait: the one driving surface
@@ -55,6 +58,7 @@
 
 pub mod arena;
 pub mod buffer;
+pub mod checkpoint;
 pub mod coherence;
 pub mod crash;
 pub mod domain;
@@ -71,6 +75,7 @@ pub mod system;
 pub mod tree;
 
 pub use buffer::SecPb;
+pub use checkpoint::CheckpointError;
 pub use crash::{ConfigError, CrashKind, DrainPolicy, ObserverPolicy, RecoveryReport};
 pub use domain::{DomainKeys, PersistDomain};
 pub use facade::PersistSystem;

@@ -6,6 +6,7 @@ use secpb_crypto::backend::CryptoBackend;
 use secpb_crypto::bmf::{BmfMode, BonsaiMerkleForest};
 use secpb_crypto::bmt::BonsaiMerkleTree;
 use secpb_crypto::sha512::Digest;
+use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 /// Which integrity-tree organisation the system uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -151,6 +152,38 @@ impl IntegrityTree {
         match self {
             IntegrityTree::Monolithic(t) => t.root_updates(),
             IntegrityTree::Forest(f) => f.stats().cache_hits + f.stats().cache_misses,
+        }
+    }
+
+    /// Appends the tree's dynamic state to a checkpoint.  The variant is
+    /// tagged so restore catches a tree-kind mismatch before diving into
+    /// the payload.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        match self {
+            IntegrityTree::Monolithic(t) => {
+                w.u8(0);
+                t.encode_into(w);
+            }
+            IntegrityTree::Forest(f) => {
+                w.u8(1);
+                f.encode_into(w);
+            }
+        }
+    }
+
+    /// Overlays state captured by [`encode_into`](Self::encode_into) onto
+    /// a tree built with the same kind, key, and shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the snapshot's variant or shape disagrees with this
+    /// tree's, or on truncation.
+    pub fn restore_from(&mut self, r: &mut WireReader<'_>) -> Result<(), WireError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, IntegrityTree::Monolithic(t)) => t.restore_from(r),
+            (1, IntegrityTree::Forest(f)) => f.restore_from(r),
+            _ => Err(r.malformed("integrity-tree snapshot kind does not match")),
         }
     }
 }

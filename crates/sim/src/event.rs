@@ -115,6 +115,36 @@ impl<T: Eq> EventWheel<T> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// A deterministic snapshot: every pending `(due, seq, payload)` in
+    /// `(due, seq)` order, plus the next sequence number.  Feeding the
+    /// snapshot to [`load`](Self::load) reproduces both the pop order of
+    /// the pending events and the FIFO tie-break of everything scheduled
+    /// afterwards.
+    pub fn dump(&self) -> (Vec<(Cycle, u64, T)>, u64)
+    where
+        T: Clone,
+    {
+        let mut entries: Vec<(Cycle, u64, T)> = self
+            .heap
+            .iter()
+            .map(|s| (s.due, s.seq, s.payload.clone()))
+            .collect();
+        entries.sort_by_key(|&(due, seq, _)| (due, seq));
+        (entries, self.next_seq)
+    }
+
+    /// Rebuilds a wheel from a [`dump`](Self::dump) snapshot, preserving
+    /// the original sequence numbers (and therefore tie-break order).
+    pub fn load(entries: Vec<(Cycle, u64, T)>, next_seq: u64) -> Self {
+        EventWheel {
+            heap: entries
+                .into_iter()
+                .map(|(due, seq, payload)| Scheduled { due, seq, payload })
+                .collect(),
+            next_seq,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +180,24 @@ mod tests {
         w.schedule(Cycle(100), ());
         assert_eq!(w.pop_due(Cycle(99)), None);
         assert_eq!(w.pop_due(Cycle(100)), Some((Cycle(100), ())));
+    }
+
+    #[test]
+    fn dump_load_preserves_order_and_ties() {
+        let mut w = EventWheel::new();
+        w.schedule(Cycle(9), 'a');
+        w.schedule(Cycle(3), 'b');
+        w.schedule(Cycle(3), 'c');
+        w.pop(); // consume 'b' so seqs are no longer contiguous
+        let (entries, next_seq) = w.dump();
+        assert_eq!(entries, vec![(Cycle(3), 2, 'c'), (Cycle(9), 0, 'a')]);
+        let mut reloaded = EventWheel::load(entries, next_seq);
+        reloaded.schedule(Cycle(3), 'd');
+        w.schedule(Cycle(3), 'd');
+        for _ in 0..3 {
+            assert_eq!(reloaded.pop(), w.pop());
+        }
+        assert!(reloaded.is_empty());
     }
 
     #[test]

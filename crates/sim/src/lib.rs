@@ -28,7 +28,9 @@
 //!   [`telemetry::HealthSnapshot`] aggregation layer and incremental
 //!   Chrome-trace streaming,
 //! * [`trace`] — the trace record types produced by `secpb-workloads` and
-//!   consumed by `secpb-core`.
+//!   consumed by `secpb-core`,
+//! * [`wire`] — the little-endian offset-tracking codec checkpoint
+//!   images are built from.
 //!
 //! # Example
 //!
@@ -57,6 +59,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod trace;
 pub mod tracer;
+pub mod wire;
 
 pub use addr::{Address, BlockAddr, BLOCK_SIZE};
 pub use config::SystemConfig;

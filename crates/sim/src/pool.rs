@@ -37,7 +37,9 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
 
 /// The number of worker threads to use when the caller does not specify
 /// one: the machine's available parallelism (1 if it cannot be probed).
@@ -149,6 +151,14 @@ pub struct ShardPoolConfig {
     /// claim before releasing it.  `0` disables stealing entirely; any
     /// value keeps a thief from monopolizing a victim shard.
     pub steal_bound: usize,
+    /// Upper bound, in milliseconds, on how long the producer waits for
+    /// space in one shard's full ingress queue before giving up with
+    /// [`ShardPoolError::Wedged`].  The wait is sliced into a
+    /// deterministic doubling backoff (1 ms, 2 ms, … capped at 16 ms) so
+    /// a healthy-but-slow consumer is re-checked promptly while a truly
+    /// wedged shard cannot block the producer forever.  `0` restores the
+    /// historical unbounded wait.
+    pub wedge_timeout_ms: u64,
 }
 
 impl Default for ShardPoolConfig {
@@ -157,6 +167,7 @@ impl Default for ShardPoolConfig {
             workers: default_jobs(),
             queue_capacity: 16,
             steal_bound: 4,
+            wedge_timeout_ms: 10_000,
         }
     }
 }
@@ -177,7 +188,64 @@ pub struct ShardPoolStats {
     pub max_queue_depth: usize,
     /// Times the producer blocked on a full ingress queue.
     pub backpressure_waits: u64,
+    /// Timed-out backpressure wait slices: the producer waited a full
+    /// backoff slice without any consumer freeing space.  Non-zero means
+    /// a shard was stalled long enough to be suspect; reaching
+    /// [`ShardPoolConfig::wedge_timeout_ms`] of consecutive timeouts
+    /// turns into [`ShardPoolError::Wedged`].
+    pub stall_timeouts: u64,
+    /// Shard-worker crashes caught and recovered in place (only with
+    /// [`run_sharded_recoverable`]'s recovery hook).
+    pub crash_recoveries: u64,
 }
+
+/// Why a sharded run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPoolError {
+    /// A task named a shard index outside the state vector.
+    Misrouted {
+        /// The shard the task was routed to.
+        shard: usize,
+        /// How many shards exist.
+        shards: usize,
+    },
+    /// One or more workers panicked while processing and no recovery
+    /// hook was installed.
+    WorkerPanicked {
+        /// How many workers died.
+        workers: usize,
+    },
+    /// A shard's ingress queue stayed full past the wedge timeout: its
+    /// consumer is stuck (or pathologically slow) and the producer
+    /// refuses to block forever.
+    Wedged {
+        /// The shard whose ingress never freed space.
+        shard: usize,
+        /// Total milliseconds the producer waited before giving up.
+        waited_ms: u64,
+    },
+}
+
+impl std::fmt::Display for ShardPoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardPoolError::Misrouted { shard, shards } => write!(
+                f,
+                "task routed to shard {shard}, but only {shards} shards exist"
+            ),
+            ShardPoolError::WorkerPanicked { workers } => write!(
+                f,
+                "shard pool aborted: {workers} worker(s) panicked while processing"
+            ),
+            ShardPoolError::Wedged { shard, waited_ms } => write!(
+                f,
+                "shard {shard} ingress wedged: no queue space freed after {waited_ms} ms"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardPoolError {}
 
 /// Everything the workers and the producer share, under one mutex.  The
 /// queues are tiny relative to task cost (a service epoch runs real
@@ -249,14 +317,70 @@ impl<T> Drop for PanicGuard<'_, T> {
 /// # Errors
 ///
 /// If `process` panics, the pool shuts down (no hang: the producer and
-/// all workers are notified) and an error naming the shard is returned
-/// instead of propagating the panic.
+/// all workers are notified) and [`ShardPoolError::WorkerPanicked`] is
+/// returned instead of propagating the panic.  A full ingress queue
+/// that never frees space within the wedge timeout yields
+/// [`ShardPoolError::Wedged`].
 pub fn run_sharded<S, T, F, I>(
     states: Vec<S>,
     tasks: I,
     cfg: &ShardPoolConfig,
     process: F,
-) -> Result<(Vec<S>, ShardPoolStats), String>
+) -> Result<(Vec<S>, ShardPoolStats), ShardPoolError>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, &mut S, T) + Sync,
+    I: IntoIterator<Item = (usize, T)>,
+{
+    sharded_engine(states, tasks, cfg, process, None)
+}
+
+/// [`run_sharded`] with in-place shard crash-recovery.
+///
+/// When `process` panics, the worker catches the unwind while still
+/// holding the shard's exclusive claim and hands the (possibly
+/// half-mutated) state to `recover`, which must repair it — the serve
+/// plane restores the shard's last epoch checkpoint — and return the
+/// tasks to replay.  Replay tasks are pushed to the *front* of the
+/// shard's ingress queue in order, ahead of everything already queued,
+/// so the shard re-executes exactly the suffix it lost and every other
+/// shard is untouched.  Replay pushes bypass the ingress capacity bound
+/// (they are not new work) and are excluded from the queue-depth
+/// high-water stat.
+///
+/// A panic inside `recover` itself is fatal and reported as
+/// [`ShardPoolError::WorkerPanicked`].
+///
+/// # Errors
+///
+/// Same as [`run_sharded`], except `process` panics are recovered
+/// instead of aborting the run.
+pub fn run_sharded_recoverable<S, T, F, I, R>(
+    states: Vec<S>,
+    tasks: I,
+    cfg: &ShardPoolConfig,
+    process: F,
+    recover: R,
+) -> Result<(Vec<S>, ShardPoolStats), ShardPoolError>
+where
+    S: Send,
+    T: Send,
+    F: Fn(usize, &mut S, T) + Sync,
+    I: IntoIterator<Item = (usize, T)>,
+    R: Fn(usize, &mut S) -> Vec<T> + Sync,
+{
+    sharded_engine(states, tasks, cfg, process, Some(&recover))
+}
+
+#[allow(clippy::type_complexity)]
+fn sharded_engine<S, T, F, I>(
+    states: Vec<S>,
+    tasks: I,
+    cfg: &ShardPoolConfig,
+    process: F,
+    recover: Option<&(dyn Fn(usize, &mut S) -> Vec<T> + Sync)>,
+) -> Result<(Vec<S>, ShardPoolStats), ShardPoolError>
 where
     S: Send,
     T: Send,
@@ -280,7 +404,7 @@ where
     // to whichever worker holds the claim.
     let slots: Vec<Mutex<S>> = states.into_iter().map(Mutex::new).collect();
 
-    let result: Result<(), String> = std::thread::scope(|scope| {
+    let result: Result<(), ShardPoolError> = std::thread::scope(|scope| {
         let central = &central;
         let (work, space) = (&work, &space);
         let (slots, process) = (&slots, &process);
@@ -334,16 +458,45 @@ where
                             };
                             drop(c);
                             space.notify_all();
-                            {
+                            let outcome = catch_unwind(AssertUnwindSafe(|| {
                                 let mut state = relock(slots[s].lock());
                                 process(s, &mut state, task);
+                            }));
+                            match outcome {
+                                Ok(()) => {
+                                    c = relock(central.lock());
+                                    c.stats.executed += 1;
+                                    if stolen {
+                                        c.stats.stolen += 1;
+                                    }
+                                }
+                                Err(payload) => {
+                                    let Some(recover) = recover else {
+                                        // No recovery hook: keep the
+                                        // historical abort-the-pool path.
+                                        resume_unwind(payload);
+                                    };
+                                    // The claim is still held, so the
+                                    // half-mutated state is exclusively
+                                    // ours to repair.  A panic inside
+                                    // `recover` unwinds past us and is
+                                    // fatal (PanicGuard notifies).
+                                    let replay = {
+                                        let mut state = relock(slots[s].lock());
+                                        recover(s, &mut state)
+                                    };
+                                    c = relock(central.lock());
+                                    c.stats.crash_recoveries += 1;
+                                    // Replay ahead of queued work, in
+                                    // order; intentionally exempt from
+                                    // the ingress capacity bound and the
+                                    // depth high-water stat.
+                                    for t in replay.into_iter().rev() {
+                                        c.queues[s].push_front(t);
+                                    }
+                                }
                             }
-                            c = relock(central.lock());
-                            c.stats.executed += 1;
                             run += 1;
-                            if stolen {
-                                c.stats.stolen += 1;
-                            }
                             if c.panicked || run >= budget {
                                 break;
                             }
@@ -363,18 +516,45 @@ where
             .collect();
 
         // Producer: feed tasks with backpressure on the caller's thread.
+        // Full queues are waited on in deterministic doubling backoff
+        // slices so a wedged consumer turns into a typed error instead
+        // of an unbounded condvar wait.
         let mut fed_err = None;
-        for (shard, task) in tasks {
+        'feed: for (shard, task) in tasks {
             if shard >= shards {
-                fed_err = Some(format!(
-                    "task routed to shard {shard}, but only {shards} shards exist"
-                ));
+                fed_err = Some(ShardPoolError::Misrouted { shard, shards });
                 break;
             }
             let mut c = relock(central.lock());
+            let mut waited = Duration::ZERO;
+            let mut slice = Duration::from_millis(1);
             while c.queues[shard].len() >= capacity && !c.panicked {
                 c.stats.backpressure_waits += 1;
-                c = relock(space.wait(c));
+                if cfg.wedge_timeout_ms == 0 {
+                    c = relock(space.wait(c));
+                    continue;
+                }
+                let (guard, timeout) = space
+                    .wait_timeout(c, slice)
+                    .unwrap_or_else(PoisonError::into_inner);
+                c = guard;
+                if timeout.timed_out() {
+                    c.stats.stall_timeouts += 1;
+                    waited += slice;
+                    if waited >= Duration::from_millis(cfg.wedge_timeout_ms) {
+                        fed_err = Some(ShardPoolError::Wedged {
+                            shard,
+                            waited_ms: waited.as_millis() as u64,
+                        });
+                        drop(c);
+                        break 'feed;
+                    }
+                    slice = (slice * 2).min(Duration::from_millis(16));
+                } else {
+                    // Space may have freed: restart the backoff ladder.
+                    waited = Duration::ZERO;
+                    slice = Duration::from_millis(1);
+                }
             }
             if c.panicked {
                 break;
@@ -404,9 +584,7 @@ where
         if let Some(e) = fed_err {
             Err(e)
         } else if panics > 0 {
-            Err(format!(
-                "shard pool aborted: {panics} worker(s) panicked while processing"
-            ))
+            Err(ShardPoolError::WorkerPanicked { workers: panics })
         } else {
             Ok(())
         }
@@ -518,6 +696,7 @@ mod tests {
                     workers,
                     queue_capacity: 3,
                     steal_bound,
+                    ..ShardPoolConfig::default()
                 };
                 let (states, stats) = run_sharded(
                     vec![0u64; 5],
@@ -545,6 +724,7 @@ mod tests {
             workers: 2,
             queue_capacity: 64,
             steal_bound: 3,
+            ..ShardPoolConfig::default()
         };
         let expected = {
             let mut states = vec![0u64; 4];
@@ -584,6 +764,7 @@ mod tests {
             workers: 2,
             queue_capacity: 8,
             steal_bound: 0,
+            ..ShardPoolConfig::default()
         };
         let (_, stats) = run_sharded(vec![0u64; 2], tasks, &cfg, |_, state, task| {
             fold(state, task);
@@ -599,6 +780,7 @@ mod tests {
             workers: 1,
             queue_capacity: 2,
             steal_bound: 1,
+            ..ShardPoolConfig::default()
         };
         let (states, stats) = run_sharded(
             vec![0u64; 2],
@@ -629,6 +811,7 @@ mod tests {
             workers: 2,
             queue_capacity: 4,
             steal_bound: 2,
+            ..ShardPoolConfig::default()
         };
         let err = run_sharded(
             vec![0u64; 4],
@@ -640,7 +823,7 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(err.contains("panicked"), "got: {err}");
+        assert!(err.to_string().contains("panicked"), "got: {err}");
     }
 
     #[test]
@@ -650,7 +833,106 @@ mod tests {
             fold(s, t)
         })
         .unwrap_err();
-        assert!(err.contains("shard 5"), "got: {err}");
+        assert!(err.to_string().contains("shard 5"), "got: {err}");
+    }
+
+    #[test]
+    fn wedged_ingress_times_out_with_typed_error() {
+        // One worker, capacity 1, and a consumer that sleeps far past
+        // the wedge timeout: the producer must give up with Wedged
+        // instead of blocking forever, and the stall counter must show
+        // the timed-out waits.
+        let cfg = ShardPoolConfig {
+            workers: 1,
+            queue_capacity: 1,
+            steal_bound: 0,
+            wedge_timeout_ms: 40,
+        };
+        let tasks: Vec<(usize, u64)> = (0..8).map(|i| (0usize, i)).collect();
+        let err = run_sharded(vec![0u64; 1], tasks, &cfg, |_, state, task| {
+            std::thread::sleep(Duration::from_millis(400));
+            fold(state, task);
+        })
+        .unwrap_err();
+        match err {
+            ShardPoolError::Wedged { shard, waited_ms } => {
+                assert_eq!(shard, 0);
+                assert!(waited_ms >= 40, "waited {waited_ms} ms");
+            }
+            other => panic!("expected Wedged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_hook_replays_and_preserves_other_shards() {
+        // Shard 1's processing panics once; the recovery hook resets the
+        // shard to its last "checkpoint" (here: zero) and returns the
+        // full task list for replay.  The final states must equal an
+        // uninterrupted run on every shard.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let crashed = AtomicBool::new(false);
+        let journal: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        let cfg = ShardPoolConfig {
+            workers: 2,
+            queue_capacity: 8,
+            steal_bound: 0,
+            ..ShardPoolConfig::default()
+        };
+        let tasks = sharded_tasks(3, 30);
+        let expected = expected_states(3, 30);
+        let (states, stats) = run_sharded_recoverable(
+            vec![0u64; 3],
+            tasks,
+            &cfg,
+            |shard, state, task| {
+                if shard == 1 {
+                    // Journal before mutating, like the serve plane.
+                    journal.lock().unwrap().push(task);
+                    if task == 16 && !crashed.swap(true, Ordering::SeqCst) {
+                        // Half-mutate, then die mid-task.
+                        *state = 0xDEAD;
+                        panic!("injected shard crash");
+                    }
+                }
+                fold(state, task);
+            },
+            |shard, state| {
+                assert_eq!(shard, 1, "only shard 1 crashes");
+                // "Restore the checkpoint": recompute from the journal
+                // prefix that predates the crashed task, i.e. reset and
+                // replay everything journaled (the crashed task last).
+                *state = 0;
+                let replay = journal.lock().unwrap().clone();
+                journal.lock().unwrap().clear();
+                replay
+            },
+        )
+        .unwrap();
+        assert!(crashed.load(Ordering::SeqCst), "crash was not injected");
+        assert_eq!(stats.crash_recoveries, 1);
+        assert_eq!(
+            states, expected,
+            "recovered run must match uninterrupted run"
+        );
+    }
+
+    #[test]
+    fn recovery_hook_panic_is_fatal() {
+        let cfg = ShardPoolConfig {
+            workers: 1,
+            queue_capacity: 4,
+            steal_bound: 0,
+            ..ShardPoolConfig::default()
+        };
+        let err = run_sharded_recoverable(
+            vec![0u64; 1],
+            vec![(0usize, 1u64)],
+            &cfg,
+            |_, _, _| panic!("crash"),
+            |_, _| -> Vec<u64> { panic!("recovery also crashes") },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ShardPoolError::WorkerPanicked { .. }));
     }
 
     #[test]

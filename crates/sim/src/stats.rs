@@ -41,6 +41,7 @@ use std::fmt;
 
 use crate::json::Json;
 use crate::telemetry::{TelemetryEvent, TelemetrySink};
+use crate::wire::{WireError, WireReader, WireWriter};
 
 /// A dense handle to a registered counter.
 ///
@@ -259,6 +260,40 @@ impl Log2Histogram {
             .field("max", self.max)
             .field("mean", self.mean())
             .field("buckets", buckets)
+    }
+
+    /// Appends the histogram's exact raw state (including the empty-
+    /// histogram `min` sentinel) to a checkpoint image.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.usize(self.counts.len());
+        for &c in &self.counts {
+            w.u64(c);
+        }
+        w.u64(self.total);
+        w.u128(self.sum);
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+
+    /// Rebuilds a histogram from [`encode_into`](Self::encode_into)
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation/malformation with the byte offset.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = r.seq_len(8)?;
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            counts.push(r.u64()?);
+        }
+        Ok(Log2Histogram {
+            counts,
+            total: r.u64()?,
+            sum: r.u128()?,
+            min: r.u64()?,
+            max: r.u64()?,
+        })
     }
 
     /// Reconstructs a histogram from [`Self::to_json`] output.
@@ -541,6 +576,77 @@ impl Stats {
             let id = self.histogram_id(name);
             self.hists[id.0 as usize].merge(h);
         }
+    }
+
+    /// Appends the full registry — names, dense slot ids, values, and
+    /// raw histograms — to a checkpoint image.  Decoding rebuilds the
+    /// exact `(name, id)` mapping, so [`StatId`]/[`HistId`] handles
+    /// resolved before a checkpoint stay valid after a restore.  The
+    /// telemetry sink is not part of the image (it is an observer, not
+    /// state).
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        w.usize(self.counter_ids.len());
+        for (name, &id) in &self.counter_ids {
+            w.str(name);
+            w.u32(id);
+            w.u64(self.values[id as usize]);
+        }
+        w.usize(self.hist_ids.len());
+        for (name, &id) in &self.hist_ids {
+            w.str(name);
+            w.u32(id);
+            self.hists[id as usize].encode_into(w);
+        }
+    }
+
+    /// Rebuilds a registry from [`encode_into`](Self::encode_into)
+    /// bytes (with no sink attached).
+    ///
+    /// # Errors
+    ///
+    /// Truncated/malformed input, or ids that are not a dense
+    /// permutation of `0..len`.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n_counters = r.seq_len(8 + 4 + 8)?;
+        let mut counter_ids = BTreeMap::new();
+        let mut values = vec![0u64; n_counters];
+        for _ in 0..n_counters {
+            let name = r.str()?.to_owned();
+            let id = r.u32()?;
+            let value = r.u64()?;
+            let slot = values
+                .get_mut(id as usize)
+                .ok_or_else(|| r.malformed(format!("counter id {id} out of range")))?;
+            *slot = value;
+            if counter_ids.insert(name.clone(), id).is_some() {
+                return Err(r.malformed(format!("duplicate counter name {name:?}")));
+            }
+        }
+        if counter_ids.len() != n_counters {
+            return Err(r.malformed("counter ids are not dense"));
+        }
+        let n_hists = r.seq_len(8 + 4)?;
+        let mut hist_ids = BTreeMap::new();
+        let mut hists = vec![Log2Histogram::new(); n_hists];
+        for _ in 0..n_hists {
+            let name = r.str()?.to_owned();
+            let id = r.u32()?;
+            let hist = Log2Histogram::decode_from(r)?;
+            let slot = hists
+                .get_mut(id as usize)
+                .ok_or_else(|| r.malformed(format!("histogram id {id} out of range")))?;
+            *slot = hist;
+            if hist_ids.insert(name.clone(), id).is_some() {
+                return Err(r.malformed(format!("duplicate histogram name {name:?}")));
+            }
+        }
+        Ok(Stats {
+            counter_ids,
+            values,
+            hist_ids,
+            hists,
+            sink: None,
+        })
     }
 
     /// Serializes counters and histograms to a JSON object
@@ -826,6 +932,32 @@ mod tests {
         assert!(reader.pop().is_none(), "merge must not emit");
         // Clones are snapshots: they drop the sink.
         assert!(with_sink.clone().sink().is_none());
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_ids_values_and_histograms() {
+        let mut s = Stats::new();
+        let a = s.counter("z.last"); // registration order ≠ name order
+        let b = s.counter("a.first");
+        let h = s.histogram_id("lat");
+        s.add(a, 41);
+        s.inc(b);
+        s.record(h, 9);
+        s.record(h, 1 << 40);
+        let mut w = crate::wire::WireWriter::new();
+        s.encode_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::wire::WireReader::new(&bytes);
+        let mut back = Stats::decode_from(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back, s);
+        // Handles resolved pre-checkpoint address the same slots.
+        back.inc(a);
+        assert_eq!(back.get("z.last"), 42);
+        // Truncated images fail with an offset, never a silent short read.
+        for cut in [0, 3, bytes.len() - 1] {
+            assert!(Stats::decode_from(&mut crate::wire::WireReader::new(&bytes[..cut])).is_err());
+        }
     }
 
     #[test]

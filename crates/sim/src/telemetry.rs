@@ -384,6 +384,14 @@ pub struct HealthGauges {
     pub memo_misses: u64,
     /// Crypto memo-cache clock evictions.
     pub memo_evictions: u64,
+    /// Tenant epoch-parts deferred (shed) under brown-out degradation,
+    /// bronze class first.  Shed work is deferred, never dropped.
+    pub shed_parts: u64,
+    /// Tenant chunks replayed into a shard after a crash-recovery
+    /// restore.
+    pub replayed_chunks: u64,
+    /// Shard restores performed from an epoch checkpoint.
+    pub restored_shards: u64,
 }
 
 /// Folds the event stream into shadow state and produces periodic
@@ -517,6 +525,9 @@ impl HealthMonitor {
             memo_hits: gauges.memo_hits,
             memo_misses: gauges.memo_misses,
             memo_evictions: gauges.memo_evictions,
+            shed: gauges.shed_parts,
+            replayed: gauges.replayed_chunks,
+            restored: gauges.restored_shards,
             events: self.events,
             spans: self.spans,
             crashes: self.crashes,
@@ -569,6 +580,13 @@ pub struct HealthSnapshot {
     /// Crypto memo-cache clock evictions — a rising rate means the
     /// working set outgrew the memo rings.
     pub memo_evictions: u64,
+    /// Tenant epoch-parts deferred under brown-out degradation (bronze
+    /// first); deferred work is replayed later, never dropped.
+    pub shed: u64,
+    /// Tenant chunks replayed into shards after crash-recovery restores.
+    pub replayed: u64,
+    /// Shard restores performed from epoch checkpoints.
+    pub restored: u64,
     /// Events absorbed from the ring so far.
     pub events: u64,
     /// Span events absorbed so far.
@@ -613,6 +631,13 @@ impl HealthSnapshot {
                     .field("evictions", self.memo_evictions),
             )
             .field(
+                "resilience",
+                Json::obj()
+                    .field("shed", self.shed)
+                    .field("replayed", self.replayed)
+                    .field("restored", self.restored),
+            )
+            .field(
                 "telemetry",
                 Json::obj()
                     .field("events", self.events)
@@ -650,6 +675,9 @@ impl HealthSnapshot {
             .get("drain_latency")
             .ok_or("missing field \"drain_latency\"")?;
         let memo = json.get("memo").ok_or("missing field \"memo\"")?;
+        let resilience = json
+            .get("resilience")
+            .ok_or("missing field \"resilience\"")?;
         let telemetry = json.get("telemetry").ok_or("missing field \"telemetry\"")?;
         let lossy = match telemetry.get("lossy") {
             Some(Json::Bool(b)) => *b,
@@ -672,6 +700,9 @@ impl HealthSnapshot {
             memo_hits: u64_field(memo, "hits")?,
             memo_misses: u64_field(memo, "misses")?,
             memo_evictions: u64_field(memo, "evictions")?,
+            shed: u64_field(resilience, "shed")?,
+            replayed: u64_field(resilience, "replayed")?,
+            restored: u64_field(resilience, "restored")?,
             events: u64_field(telemetry, "events")?,
             spans: u64_field(telemetry, "spans")?,
             crashes: u64_field(telemetry, "crashes")?,

@@ -15,6 +15,7 @@
 //! secpb trace info <file>                               trace statistics
 //! secpb trace run <file> <scheme>                       replay a saved trace
 //! secpb serve [--quick] [--shards N] [...]              sharded multi-tenant service
+//! secpb soak [--quick] [--seed N]                       fault-tolerance soak storm
 //! secpb list                                            benchmarks + schemes
 //! ```
 //!
@@ -53,6 +54,7 @@ pub const USAGE: &str = "usage:
   secpb trace run <file> <scheme>
   secpb serve [--quick] [--shards N] [--workers N] [--tenants N] [--instructions N]
               [--epoch N] [--seed N] [--trace NAME=PATH]...
+  secpb soak [--quick] [--seed N]
   secpb list";
 
 /// Executes one CLI invocation (argv without the program name).
@@ -70,6 +72,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some("battery") => cmd_battery(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("soak") => cmd_soak(&args[1..]),
         Some("list") => Ok(cmd_list()),
         _ => Err(USAGE.to_owned()),
     }
@@ -518,7 +521,7 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         cfg.tenants.push(TenantSpec::from_file(name, path));
     }
 
-    let out = run_serve(&cfg)?;
+    let out = run_serve(&cfg).map_err(|e| e.to_string())?;
     let mut text = String::new();
     let _ = writeln!(
         text,
@@ -562,12 +565,22 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
     }
     let _ = writeln!(
         text,
-        "pool   executed={} stolen={} max_steal_run={} max_queue_depth={} backpressure_waits={}",
+        "pool   executed={} stolen={} max_steal_run={} max_queue_depth={} backpressure_waits={} \
+         stall_timeouts={} crash_recoveries={}",
         out.pool.executed,
         out.pool.stolen,
         out.pool.max_steal_run,
         out.pool.max_queue_depth,
-        out.pool.backpressure_waits
+        out.pool.backpressure_waits,
+        out.pool.stall_timeouts,
+        out.pool.crash_recoveries
+    );
+    let _ = writeln!(
+        text,
+        "resilience      shed={} replayed={} restored={}",
+        out.total_shed(),
+        out.total_replayed(),
+        out.total_restored()
     );
     let _ = writeln!(text, "stores drained  {}", out.total_stores());
     let _ = writeln!(text, "anomalies       {}", out.total_anomalies());
@@ -581,10 +594,46 @@ fn cmd_serve(args: &[String]) -> Result<String, String> {
         return Err(format!("serve observed model-invariant anomalies:\n{text}"));
     }
     if out.total_qos_violations() > 0 {
-        return Err(format!("serve observed QoS violations:\n{text}"));
+        let mut msg = format!(
+            "serve observed {} QoS violation(s):\n",
+            out.total_qos_violations()
+        );
+        for v in out.qos_events() {
+            let _ = writeln!(msg, "  {v}");
+        }
+        msg.push_str(&text);
+        return Err(msg);
     }
     if !out.consistent() {
         return Err(format!("serve recovery sweep was inconsistent:\n{text}"));
+    }
+    Ok(text)
+}
+
+fn cmd_soak(args: &[String]) -> Result<String, String> {
+    use secpb_bench::soak::{run_soak, SoakConfig};
+
+    let mut args = args.to_vec();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let seed = take_numeric_flag::<u64>(&mut args, "--seed")?.unwrap_or(0x50AC);
+    if let Some(stray) = args.first() {
+        return Err(format!("unknown soak argument `{stray}`\n{USAGE}"));
+    }
+
+    let cfg = if quick {
+        SoakConfig::quick(seed)
+    } else {
+        SoakConfig::full(seed)
+    };
+    let out = run_soak(&cfg).map_err(|e| e.to_string())?;
+    let text = format!(
+        "soak {} seed={seed:#x}\n{}",
+        if quick { "--quick" } else { "full" },
+        out.render_text()
+    );
+    if !out.converged() {
+        return Err(format!("soak did not converge:\n{text}"));
     }
     Ok(text)
 }
@@ -872,5 +921,24 @@ mod tests {
     fn trace_subcommand_usage() {
         assert_eq!(run(&["trace"]).unwrap_err(), USAGE);
         assert!(run(&["trace", "info", "/nonexistent/file"]).is_err());
+    }
+
+    #[test]
+    fn soak_quick_converges() {
+        let out = run(&["soak", "--quick", "--seed", "9"]).unwrap();
+        assert!(out.contains("soak crashes="), "{out}");
+        assert!(out.contains("match crash-free reference"), "{out}");
+        assert!(out.contains("byte-identical"), "{out}");
+        assert!(out.contains("converged         true"), "{out}");
+    }
+
+    #[test]
+    fn soak_rejects_bad_flags() {
+        assert!(run(&["soak", "stray"])
+            .unwrap_err()
+            .contains("unknown soak argument"));
+        assert!(run(&["soak", "--seed"])
+            .unwrap_err()
+            .contains("--seed takes a number"));
     }
 }

@@ -1,0 +1,175 @@
+//! Checkpoint/restore equivalence suite: restoring a system at epoch N
+//! and replaying epochs N..M must be byte-identical to the
+//! uninterrupted run — for every scheme, both metadata engines, and
+//! every integrity-tree organisation.  This is the contract the serve
+//! plane's shard crash-recovery and the soak harness's restarts build
+//! on: a crashed shard restored from its last checkpoint and fed the
+//! replayed epochs is indistinguishable from one that never crashed.
+
+use secpb::core::crash::{CrashKind, DrainPolicy};
+use secpb::core::facade::PersistSystem;
+use secpb::core::scheme::Scheme;
+use secpb::core::system::SecureSystem;
+use secpb::core::tree::TreeKind;
+use secpb::core::CheckpointError;
+use secpb::sim::config::{MetadataMode, SystemConfig};
+use secpb::sim::trace::TraceItem;
+use secpb::workloads::{TraceGenerator, WorkloadProfile};
+
+fn epochs(workload: &str, seed: u64, n: usize, len: usize) -> Vec<Vec<TraceItem>> {
+    // `generate` takes an instruction budget; each item covers several
+    // instructions, so over-generate and slice into exactly `n` epochs
+    // of `len` items.
+    let profile = WorkloadProfile::named(workload).unwrap();
+    let items = TraceGenerator::new(profile, seed).generate((n * len * 16) as u64);
+    assert!(
+        items.len() >= n * len,
+        "trace too short for requested epochs"
+    );
+    items[..n * len].chunks(len).map(|c| c.to_vec()).collect()
+}
+
+fn build(mode: MetadataMode, scheme: Scheme, kind: TreeKind, seed: u64) -> SecureSystem {
+    SecureSystem::with_tree(
+        SystemConfig::default().with_metadata_mode(mode),
+        scheme,
+        kind,
+        seed,
+    )
+}
+
+/// Runs `sys` over `epochs`, calling `sync_metadata` at every epoch
+/// boundary (the serve plane's observation point), checkpointing after
+/// epoch `checkpoint_at`.  Returns (checkpoint bytes, final bytes).
+fn run_epochs(
+    sys: &mut SecureSystem,
+    epochs: &[Vec<TraceItem>],
+    checkpoint_at: usize,
+) -> (Vec<u8>, Vec<u8>) {
+    let mut snap = Vec::new();
+    for (i, epoch) in epochs.iter().enumerate() {
+        sys.run_trace(epoch.iter().copied());
+        sys.sync_metadata();
+        if i == checkpoint_at {
+            snap = sys.checkpoint_bytes();
+        }
+    }
+    (snap, sys.checkpoint_bytes())
+}
+
+#[test]
+fn restore_at_epoch_n_plus_replay_matches_straight_through_for_all_schemes() {
+    for scheme in Scheme::ALL {
+        for mode in [MetadataMode::Eager, MetadataMode::Lazy] {
+            let epochs = epochs("milc", 0xC0FFEE ^ scheme as u64, 6, 1500);
+            let mut reference = build(mode, scheme, TreeKind::Monolithic, 17);
+            let (snap, final_ref) = run_epochs(&mut reference, &epochs, 2);
+
+            let mut resumed = build(mode, scheme, TreeKind::Monolithic, 17);
+            resumed.restore_bytes(&snap).unwrap();
+            for epoch in &epochs[3..] {
+                resumed.run_trace(epoch.iter().copied());
+                resumed.sync_metadata();
+            }
+            assert_eq!(
+                resumed.checkpoint_bytes(),
+                final_ref,
+                "{scheme}/{}: restored+replayed state diverged from straight-through",
+                mode.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn forest_trees_replay_identically_after_restore() {
+    for kind in [TreeKind::Dbmf, TreeKind::Sbmf] {
+        for mode in [MetadataMode::Eager, MetadataMode::Lazy] {
+            let epochs = epochs("povray", 99, 5, 1200);
+            let mut reference = build(mode, Scheme::Cobcm, kind, 5);
+            let (snap, final_ref) = run_epochs(&mut reference, &epochs, 1);
+
+            let mut resumed = build(mode, Scheme::Cobcm, kind, 5);
+            resumed.restore_bytes(&snap).unwrap();
+            for epoch in &epochs[2..] {
+                resumed.run_trace(epoch.iter().copied());
+                resumed.sync_metadata();
+            }
+            assert_eq!(
+                resumed.checkpoint_bytes(),
+                final_ref,
+                "{kind:?}/{}: restored+replayed state diverged",
+                mode.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn restored_system_survives_crash_and_recovery_identically() {
+    // Crash/recovery verdicts after a restore+replay must match the
+    // uninterrupted run's: same drained work, same recovery report.
+    let epochs = epochs("hmmer", 3, 4, 1500);
+    let mut reference = build(MetadataMode::Lazy, Scheme::Bcm, TreeKind::Monolithic, 31);
+    let (snap, _) = run_epochs(&mut reference, &epochs, 1);
+    let ref_report = reference
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
+    let ref_recovery = reference.recover();
+    assert!(ref_recovery.is_consistent());
+
+    let mut resumed = build(MetadataMode::Lazy, Scheme::Bcm, TreeKind::Monolithic, 31);
+    resumed.restore_bytes(&snap).unwrap();
+    for epoch in &epochs[2..] {
+        resumed.run_trace(epoch.iter().copied());
+        resumed.sync_metadata();
+    }
+    let report = resumed
+        .crash(CrashKind::PowerLoss, DrainPolicy::DrainAll)
+        .unwrap();
+    let recovery = resumed.recover();
+    assert_eq!(report.work, ref_report.work);
+    assert_eq!(report.at, ref_report.at);
+    assert!(recovery.is_consistent());
+    assert_eq!(recovery.blocks_checked, ref_recovery.blocks_checked);
+    assert_eq!(
+        resumed.nvm_store().bmt_root(),
+        reference.nvm_store().bmt_root()
+    );
+}
+
+#[test]
+fn facade_exposes_checkpoint_only_on_the_single_core_front() {
+    let mut secure: Box<dyn PersistSystem> =
+        Box::new(SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 1));
+    let bytes = secure.checkpoint().expect("single-core front checkpoints");
+    secure.restore(&bytes).expect("single-core front restores");
+
+    let mut eadr: Box<dyn PersistSystem> = Box::new(secpb::core::eadr::EadrSystem::new(
+        SystemConfig::default(),
+        1,
+    ));
+    assert_eq!(eadr.checkpoint(), Err(CheckpointError::Unsupported));
+    assert_eq!(eadr.restore(&bytes), Err(CheckpointError::Unsupported));
+
+    let mc: Box<dyn PersistSystem> = Box::new(
+        secpb::core::multicore::MultiCoreSystem::new(SystemConfig::default(), Scheme::Cobcm, 2, 1)
+            .unwrap(),
+    );
+    assert_eq!(mc.checkpoint(), Err(CheckpointError::Unsupported));
+}
+
+#[test]
+fn checkpoint_of_restored_system_reproduces_original_bytes() {
+    // Determinism of the capture itself: checkpoint → restore →
+    // checkpoint is the identity on bytes, even mid-stream with live
+    // SecPB occupancy and in-flight drains.
+    let epochs = epochs("gcc", 8, 3, 2000);
+    let mut sys = build(MetadataMode::Lazy, Scheme::Cobcm, TreeKind::Dbmf, 77);
+    sys.run_trace(epochs[0].iter().copied());
+    // No sync: leave lazy folds pending and drains in flight.
+    let bytes = sys.checkpoint_bytes();
+    let mut target = build(MetadataMode::Lazy, Scheme::Cobcm, TreeKind::Dbmf, 77);
+    target.restore_bytes(&bytes).unwrap();
+    assert_eq!(target.checkpoint_bytes(), bytes);
+}

@@ -8,7 +8,7 @@
 //! the trace-file ingest error contract.
 
 use secpb_bench::serve::{
-    run_serve, PrivilegeToken, QosClass, ServeConfig, ServeOutcome, TenantSpec,
+    run_serve, PrivilegeToken, QosClass, ServeConfig, ServeError, ServeOutcome, TenantSpec,
 };
 use secpb_workloads::{trace_io, TraceGenerator, WorkloadProfile};
 
@@ -228,10 +228,15 @@ fn malformed_trace_file_reports_item_and_byte_offset() {
     let mut cfg = ServeConfig::new(1);
     cfg.tenants = spec;
     let err = run_serve(&cfg).expect_err("truncated trace must fail startup");
-    assert!(err.contains("broken"), "names the tenant: {err}");
     assert!(
-        err.contains("item") && err.contains("byte offset"),
-        "carries the item index and byte offset: {err}"
+        matches!(&err, ServeError::Tenant { tenant, .. } if tenant == "broken"),
+        "typed error names the tenant: {err:?}"
+    );
+    let text = err.to_string();
+    assert!(text.contains("broken"), "names the tenant: {text}");
+    assert!(
+        text.contains("item") && text.contains("byte offset"),
+        "carries the item index and byte offset: {text}"
     );
     std::fs::remove_file(&path).ok();
 }

@@ -1,0 +1,135 @@
+//! Truncation/corruption fuzzing of the `SPB1` trace format.
+//!
+//! The ingest error contract promises that **every** malformed stream —
+//! cut at any byte, or with a corrupted record — fails cleanly with a
+//! [`TraceParseError`] naming the item index and absolute byte offset,
+//! and never panics, hangs, or silently returns a short trace.  These
+//! tests sweep every truncation point of a real trace and a seeded set
+//! of single-byte corruptions to pin that promise.
+//!
+//! [`TraceParseError`]: secpb_workloads::trace_io::TraceParseError
+
+use secpb::sim::rng::Rng;
+use secpb::workloads::trace_io::{read_trace, write_trace, TraceParseError};
+use secpb::workloads::{TraceGenerator, WorkloadProfile};
+
+/// Magic (4) + item count (8).
+const HEADER_LEN: usize = 12;
+
+fn sample_bytes(seed: u64, instructions: u64) -> (Vec<u8>, usize) {
+    let profile = WorkloadProfile::named("mcf").unwrap();
+    let items = TraceGenerator::new(profile, seed).generate(instructions);
+    assert!(!items.is_empty());
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &items).unwrap();
+    (bytes, items.len())
+}
+
+/// Reads the stream and demands a located [`TraceParseError`], returning
+/// it for further shape checks.
+fn expect_parse_error(bytes: &[u8]) -> TraceParseError {
+    let err = read_trace(bytes).expect_err("malformed stream must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{err}");
+    let inner = err
+        .into_inner()
+        .expect("parse failures carry a TraceParseError");
+    *inner
+        .downcast::<TraceParseError>()
+        .expect("parse failures carry a TraceParseError")
+}
+
+#[test]
+fn every_truncation_point_fails_with_item_and_byte_offset() {
+    let (bytes, _) = sample_bytes(0xF022, 2_000);
+    for cut in 0..bytes.len() {
+        let err = expect_parse_error(&bytes[..cut]);
+        assert!(
+            err.offset <= cut as u64,
+            "cut {cut}: reported offset {} is past the stream end",
+            err.offset
+        );
+        let text = err.to_string();
+        assert!(text.contains("byte offset"), "cut {cut}: {text}");
+        if cut < HEADER_LEN {
+            // Died in the header: no item index to report yet.
+            assert_eq!(err.item, None, "cut {cut}: {text}");
+            assert!(text.contains("header"), "cut {cut}: {text}");
+        } else {
+            // Died inside some record: the index is present and within
+            // the promised count.
+            let item = err.item.unwrap_or_else(|| panic!("cut {cut}: {text}"));
+            assert!(text.contains(&format!("item {item}")), "cut {cut}: {text}");
+        }
+    }
+}
+
+#[test]
+fn truncated_streams_never_return_a_short_trace() {
+    // The header's count is a promise: a stream holding fewer records
+    // must error, not quietly yield what it had.
+    let (bytes, count) = sample_bytes(0xF033, 1_000);
+    let mut rng = Rng::seed_from(0xF033);
+    for _ in 0..64 {
+        let cut = HEADER_LEN + rng.below((bytes.len() - HEADER_LEN) as u64) as usize;
+        let err = expect_parse_error(&bytes[..cut]);
+        assert!(
+            err.item.is_some_and(|i| i < count as u64),
+            "cut {cut}: item index {:?} outside 0..{count}",
+            err.item
+        );
+    }
+}
+
+#[test]
+fn corrupted_kind_bytes_name_the_poisoned_item() {
+    // Walk the records to find each item's kind-byte offset, poison it,
+    // and demand the error name exactly that item.
+    let (bytes, count) = sample_bytes(0xF044, 800);
+    let mut rng = Rng::seed_from(0xF044);
+    let kind_offset = |bytes: &[u8], index: u64| {
+        let mut off = HEADER_LEN;
+        for _ in 0..index {
+            off += 4; // non_mem
+            let kind = bytes[off];
+            off += 1;
+            if kind != 0 {
+                off += 8 + 1 + 8 + 2; // addr, size, value, asid
+            }
+        }
+        off + 4
+    };
+    for _ in 0..32 {
+        let victim = rng.below(count as u64);
+        let mut poisoned = bytes.clone();
+        let at = kind_offset(&poisoned, victim);
+        poisoned[at] = 7; // no such access kind
+        let err = expect_parse_error(&poisoned);
+        assert_eq!(err.item, Some(victim), "{err}");
+        assert_eq!(err.offset, at as u64 + 1, "{err}");
+        assert!(err.to_string().contains("kind"), "{err}");
+    }
+}
+
+#[test]
+fn bad_magic_reports_the_header() {
+    let (mut bytes, _) = sample_bytes(0xF055, 500);
+    bytes[0] = b'X';
+    let err = expect_parse_error(&bytes);
+    assert_eq!(err.item, None);
+    let text = err.to_string();
+    assert!(
+        text.contains("header") && text.contains("byte offset"),
+        "{text}"
+    );
+}
+
+#[test]
+fn intact_stream_round_trips() {
+    // The fuzz baseline: the untouched stream parses back exactly.
+    let profile = WorkloadProfile::named("mcf").unwrap();
+    let items = TraceGenerator::new(profile, 0xF066).generate(1_500);
+    let mut bytes = Vec::new();
+    write_trace(&mut bytes, &items).unwrap();
+    let back = read_trace(&bytes[..]).unwrap();
+    assert_eq!(items, back);
+}
