@@ -117,6 +117,24 @@ echo "==> checkpoint restore+replay byte-identity gate (tests/checkpoint_replay.
 # the soak's restart storms build on.
 cargo test --release -q --test checkpoint_replay
 
+echo "==> scheme byte-identity + persistence-policy gate (tests/scheme_equivalence.rs)"
+# Pins the refactor's byte-identity contract: the 8 named schemes are
+# one instantiation of the PersistencePolicy layer (round-trip +
+# 32-combination legality sweep), the Triad/fast-recovery layouts
+# never perturb a timing metric, and the baseline recovery accounting
+# reproduces the historical root-only formula exactly.
+cargo test --release -q --test scheme_equivalence
+cargo test --release -q -p secpb-core --lib policy::
+
+echo "==> recovery-latency sweep smoke (secpb recover-sweep --quick)"
+# recover-sweep exits nonzero if any policy point recovers inconsistent
+# or the write-amp vs recovery-latency curve loses its pinned monotone
+# ordering (fastrec <= triad-full <= nogap <= cobcm); assert the
+# verdict line anyway.  The same curve is embedded in BENCH_grid.json
+# as recovery_curve by the full grid run below.
+SWEEP_OUT=$(./target/release/secpb recover-sweep --quick)
+echo "$SWEEP_OUT" | grep -q 'curve monotone' || { echo "ci.sh: recovery sweep curve not monotone" >&2; exit 1; }
+
 echo "==> trace ingest truncation fuzz (tests/trace_io_fuzz.rs)"
 # Every truncation point and seeded corruption of an SPB1 stream must
 # fail with the item index and byte offset — never a panic or a

@@ -273,6 +273,25 @@ fn main() {
         }
     }
 
+    // The recovery curve rides along in every grid report: the same
+    // instruction budget swept across persistence policies, so the
+    // write-amp vs recovery-latency trade-off is versioned next to the
+    // timing it trades against.
+    let sweep_cfg = {
+        let mut c = secpb_bench::recovery_sweep::SweepConfig::new(0x5EC9_B0A2);
+        c.instructions = args.instructions;
+        c
+    };
+    let curve = secpb_bench::recovery_sweep::run_sweep(&sweep_cfg);
+    if curve.passed() {
+        println!(
+            "recovery curve        {} points monotone (fastrec <= triad <= eager-ish <= lazy)",
+            curve.points.len()
+        );
+    } else {
+        eprint!("RECOVERY CURVE FAILURE:\n{}", curve.render_text());
+    }
+
     let per_cell = cells
         .iter()
         .zip(serial.iter().zip(&cell_seconds))
@@ -340,6 +359,7 @@ fn main() {
         .field("telemetry", telemetry)
         .field("telemetry_events", telemetry_events)
         .field("telemetry_dropped", telemetry_dropped)
+        .field("recovery_curve", curve.to_json())
         .field("results", Json::Arr(per_cell.collect()));
     // Routine runs must not dirty the working tree: the checked-in
     // baseline is only touched when explicitly asked for.
@@ -358,6 +378,10 @@ fn main() {
             "bench_grid: {} cell(s) failed recovery checks",
             recovery_failures.len()
         );
+        std::process::exit(1);
+    }
+    if !curve.passed() {
+        eprintln!("bench_grid: recovery curve failed (ordering or consistency)");
         std::process::exit(1);
     }
 }

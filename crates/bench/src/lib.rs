@@ -13,6 +13,7 @@
 //! | Figure 8 — BMT root updates, normalized to sec_wt | [`experiments::fig8`] | `fig8` |
 //! | Figure 9 — BMF study (DBMF/SBMF) | [`experiments::fig9`] | `fig9` |
 //! | §VI-B IPC validation (gamess, NoGap) | [`analytic`] | `validate_ipc` |
+//! | Recovery-latency vs write-amp curve | [`recovery_sweep`] | `secpb recover-sweep` |
 //!
 //! The [`report`] module renders results as aligned text tables; each
 //! binary also dumps machine-readable JSON next to its table when asked.
@@ -24,6 +25,7 @@ pub mod analytic;
 pub mod args;
 pub mod experiments;
 pub mod micro;
+pub mod recovery_sweep;
 pub mod report;
 pub mod serve;
 pub mod soak;

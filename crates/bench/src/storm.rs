@@ -27,6 +27,7 @@ use secpb_core::facade::PersistSystem;
 use secpb_core::multicore::MultiCoreSystem;
 use secpb_core::scheme::Scheme;
 use secpb_core::system::SecureSystem;
+use secpb_core::tree::TreeKind;
 use secpb_energy::drain::{entries_within_budget, secpb_drain_energy, SchemeKind};
 use secpb_mem::store::NvmStore;
 use secpb_sim::addr::{Asid, BlockAddr};
@@ -62,6 +63,14 @@ pub enum StormFront {
     /// The per-core-SecPB directory-coherence system with this many
     /// cores (trace accesses are fanned out round-robin across them).
     MultiCore(usize),
+    /// The SecPB system under Triad-NVM selective persistence: BMT
+    /// levels `0..N` are persisted durably; recovery folds the rest
+    /// from the level-`N-1` frontier.
+    Triad(u8),
+    /// The SecPB system under the Huang & Hua fast-recovery layout: a
+    /// durable shadow copy of the BMT root makes recovery a single
+    /// comparison instead of a rebuild.
+    FastRec,
 }
 
 impl StormFront {
@@ -71,16 +80,21 @@ impl StormFront {
             StormFront::SecPb => 0,
             StormFront::Eadr => 1,
             StormFront::MultiCore(n) => 2 + n as u64,
+            StormFront::Triad(n) => 0x100 + n as u64,
+            StormFront::FastRec => 0x200,
         }
     }
 
     /// The stable front label used by the CLI and every report
-    /// (`secpb`, `eadr`, `mc<N>`) — the inverse of the `FromStr` parse.
+    /// (`secpb`, `eadr`, `mc<N>`, `triad<N>`, `fastrec`) — the inverse
+    /// of the `FromStr` parse.
     pub fn name(self) -> String {
         match self {
             StormFront::SecPb => "secpb".to_string(),
             StormFront::Eadr => "eadr".to_string(),
             StormFront::MultiCore(n) => format!("mc{n}"),
+            StormFront::Triad(n) => format!("triad{n}"),
+            StormFront::FastRec => "fastrec".to_string(),
         }
     }
 }
@@ -88,16 +102,25 @@ impl StormFront {
 impl std::str::FromStr for StormFront {
     type Err = String;
 
-    /// Parses `secpb`, `eadr`, or `mc<N>` (e.g. `mc4`).
+    /// Parses `secpb`, `eadr`, `mc<N>` (e.g. `mc4`), `triad<N>`
+    /// (e.g. `triad4`), or `fastrec`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "secpb" => Ok(StormFront::SecPb),
             "eadr" => Ok(StormFront::Eadr),
+            "fastrec" => Ok(StormFront::FastRec),
             _ => s
                 .strip_prefix("mc")
                 .and_then(|n| n.parse::<usize>().ok())
                 .map(StormFront::MultiCore)
-                .ok_or_else(|| format!("unknown front `{s}`; try secpb, eadr, or mc<N>")),
+                .or_else(|| {
+                    s.strip_prefix("triad")
+                        .and_then(|n| n.parse::<u8>().ok())
+                        .map(StormFront::Triad)
+                })
+                .ok_or_else(|| {
+                    format!("unknown front `{s}`; try secpb, eadr, mc<N>, triad<N>, or fastrec")
+                }),
         }
     }
 }
@@ -289,6 +312,8 @@ impl CellReport {
             StormFront::SecPb => self.scheme.name().to_owned(),
             StormFront::Eadr => "eadr".to_owned(),
             StormFront::MultiCore(n) => format!("mc{n}-{}", self.scheme.name()),
+            StormFront::Triad(n) => format!("triad{n}-{}", self.scheme.name()),
+            StormFront::FastRec => format!("fastrec-{}", self.scheme.name()),
         };
         format!("{head}/{mode}/{}/{}", self.policy.name(), self.trigger)
     }
@@ -585,6 +610,22 @@ pub fn build_front(
         StormFront::MultiCore(cores) => MultiCoreSystem::new(sys_cfg, scheme, cores, key_seed)
             .map(|m| Box::new(m) as Box<dyn PersistSystem + Send>)
             .map_err(|e| format!("invalid configuration: {e}")),
+        StormFront::Triad(levels) => SecureSystem::build(
+            sys_cfg.with_triad_levels(levels),
+            scheme,
+            TreeKind::Monolithic,
+            key_seed,
+        )
+        .map(|s| Box::new(s) as Box<dyn PersistSystem + Send>)
+        .map_err(|e| format!("invalid configuration: {e}")),
+        StormFront::FastRec => SecureSystem::build(
+            sys_cfg.with_shadow_counters(true),
+            scheme,
+            TreeKind::Monolithic,
+            key_seed,
+        )
+        .map(|s| Box::new(s) as Box<dyn PersistSystem + Send>)
+        .map_err(|e| format!("invalid configuration: {e}")),
     }
 }
 
@@ -711,7 +752,12 @@ pub fn run_storm(cfg: &StormConfig) -> StormReport {
         }
     }
     for &mode in &cfg.modes {
-        for front in [StormFront::Eadr, StormFront::MultiCore(4)] {
+        for front in [
+            StormFront::Eadr,
+            StormFront::MultiCore(4),
+            StormFront::Triad(4),
+            StormFront::FastRec,
+        ] {
             report.cells.push(run_cell(
                 cfg,
                 front,
@@ -827,6 +873,69 @@ mod tests {
         assert!(cell.crashes > 1);
         assert_eq!(cell.flips_detected, cell.flips_injected);
         assert!(cell.label().starts_with("mc4-cobcm/"));
+    }
+
+    #[test]
+    fn triad_front_cell_passes() {
+        let cfg = StormConfig::quick(31);
+        let cell = run_cell(
+            &cfg,
+            StormFront::Triad(4),
+            Scheme::Cobcm,
+            MetadataMode::Lazy,
+            StormPolicy::PowerLossDrainAll,
+            CrashTrigger::EveryNthStore(cfg.crash_every),
+        );
+        assert!(cell.passed(), "{:?}", cell.failures);
+        assert!(cell.crashes > 1);
+        assert_eq!(cell.flips_detected, cell.flips_injected);
+        assert!(cell.label().starts_with("triad4-cobcm/"));
+    }
+
+    #[test]
+    fn fastrec_front_cell_passes() {
+        let cfg = StormConfig::quick(37);
+        let cell = run_cell(
+            &cfg,
+            StormFront::FastRec,
+            Scheme::Cobcm,
+            MetadataMode::Lazy,
+            StormPolicy::PowerLossDrainAll,
+            CrashTrigger::EveryNthStore(cfg.crash_every),
+        );
+        assert!(cell.passed(), "{:?}", cell.failures);
+        assert!(cell.crashes > 1);
+        assert_eq!(cell.flips_detected, cell.flips_injected);
+        assert!(cell.label().starts_with("fastrec-cobcm/"));
+    }
+
+    #[test]
+    fn triad_front_depth_beyond_tree_reports_config_error() {
+        let cfg = StormConfig::quick(41);
+        let cell = run_cell(
+            &cfg,
+            StormFront::Triad(200),
+            Scheme::Cobcm,
+            MetadataMode::Eager,
+            StormPolicy::PowerLossDrainAll,
+            CrashTrigger::Never,
+        );
+        assert!(!cell.passed());
+        assert!(cell.failures[0].contains("depth"), "{:?}", cell.failures);
+    }
+
+    #[test]
+    fn front_names_round_trip_through_parse() {
+        for front in [
+            StormFront::SecPb,
+            StormFront::Eadr,
+            StormFront::MultiCore(4),
+            StormFront::Triad(4),
+            StormFront::FastRec,
+        ] {
+            assert_eq!(front.name().parse::<StormFront>(), Ok(front));
+        }
+        assert!("triadx".parse::<StormFront>().is_err());
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! The forest exposes the same statistics as [`crate::bmt`]: node hashes
 //! (energy) and root updates, plus root-cache hit/miss counts used by the
 //! Figure 9 timing model.
+//!
+//! Forests interact with the persistence-policy layer (DESIGN.md §18)
+//! only through the baseline root-only contract: Triad-NVM selective
+//! depths and the fast-recovery shadow layout are defined over the
+//! *monolithic* BMT's level structure, so `PersistencePolicy` rejects
+//! non-baseline tree/counter layouts on DBMF/SBMF organisations with
+//! `PolicyError::UnsupportedTree` rather than guessing at a forest
+//! frontier.
 
 use std::collections::VecDeque;
 

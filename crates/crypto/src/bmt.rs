@@ -525,6 +525,76 @@ impl BonsaiMerkleTree {
         Ok(())
     }
 
+    /// The non-default nodes of one level as sorted `(index, digest)`
+    /// pairs — the durable frontier a Triad-NVM-style policy persists
+    /// when it keeps levels `0..=level` online.
+    ///
+    /// An observation point: in lazy mode, [`fold`](Self::fold) first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels` (the root is not a node level).
+    pub fn level_nodes(&self, level: u32) -> Vec<(u64, Digest)> {
+        assert!(level < self.levels, "level {level} out of range");
+        debug_assert!(
+            self.dirty.is_empty(),
+            "lazy BMT observed with pending updates: fold() first"
+        );
+        let lvl = &self.nodes[level as usize];
+        let mut chunks: Vec<_> = lvl.chunks.iter().collect();
+        chunks.sort_by_key(|&(id, _)| *id);
+        let mut out = Vec::new();
+        for (id, chunk) in chunks {
+            for (off, d) in chunk.iter().enumerate() {
+                if *d != lvl.default {
+                    out.push((id * LEVEL_CHUNK + off as u64, *d));
+                }
+            }
+        }
+        out
+    }
+
+    /// Recomputes the root by hashing upward from a persisted frontier at
+    /// `level`: `overlay` supplies the non-default `(index, digest)` nodes
+    /// of that level (absent indices read as the level default), exactly
+    /// the shape [`level_nodes`](Self::level_nodes) produces.  Returns the
+    /// root and the number of node hashes the walk performed — the exact
+    /// recovery fold cost of a Triad-NVM-style selective-persistence
+    /// policy that reconstructs levels `level+1..` at recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels`.
+    pub fn root_from_level(&self, level: u32, overlay: &[(u64, Digest)]) -> (Digest, u64) {
+        assert!(level < self.levels, "level {level} out of range");
+        let mut cur: Vec<(u64, Digest)> = overlay.to_vec();
+        cur.sort_unstable_by_key(|e| e.0);
+        cur.dedup_by_key(|e| e.0);
+        if cur.is_empty() {
+            // All-default frontier: fold one default chain to the root.
+            cur.push((0, self.nodes[level as usize].default));
+        }
+        let mut hashes = 0u64;
+        for l in level as usize..self.levels as usize {
+            let default = self.nodes[l].default;
+            let map: FxHashMap<u64, Digest> = cur.iter().copied().collect();
+            let mut parents: Vec<u64> = cur.iter().map(|&(i, _)| i / self.arity as u64).collect();
+            parents.dedup();
+            let mut next = Vec::with_capacity(parents.len());
+            for &parent in &parents {
+                let first = parent * self.arity as u64;
+                let children: Vec<Digest> = (0..self.arity as u64)
+                    .map(|c| map.get(&(first + c)).copied().unwrap_or(default))
+                    .collect();
+                let parts: Vec<&[u8]> = children.iter().map(|d| d.as_ref()).collect();
+                next.push((parent, self.hasher.compute_parts(&parts)));
+                hashes += 1;
+            }
+            cur = next;
+        }
+        (cur[0].1, hashes)
+    }
+
     /// Rebuilds a tree from scratch over the given `(leaf_index, digest)`
     /// pairs — the post-crash recovery path when the persisted tree nodes
     /// are reconstructed from the persisted counter blocks.
@@ -801,6 +871,54 @@ mod tests {
         // Shape mismatch is rejected.
         let mut other = BonsaiMerkleTree::new(b"k", 4, 2);
         assert!(other.restore_from(&mut WireReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn root_from_level_frontier_reproduces_root() {
+        let mut t = tree();
+        for i in 0..20u64 {
+            t.update_leaf(i * 3 % 64, Sha512::digest(&[i as u8, 5]));
+        }
+        for level in 0..t.levels() {
+            let frontier = t.level_nodes(level);
+            let (root, hashes) = t.root_from_level(level, &frontier);
+            assert_eq!(root, t.root(), "frontier at level {level}");
+            // Higher frontiers fold strictly less.
+            assert!(hashes >= u64::from(t.levels() - level));
+        }
+        // Fold costs shrink as the persisted frontier climbs.
+        let costs: Vec<u64> = (0..t.levels())
+            .map(|l| t.root_from_level(l, &t.level_nodes(l)).1)
+            .collect();
+        for pair in costs.windows(2) {
+            assert!(pair[0] >= pair[1], "{costs:?}");
+        }
+    }
+
+    #[test]
+    fn root_from_level_empty_overlay_is_default_root() {
+        let t = tree();
+        let (root, hashes) = t.root_from_level(0, &[]);
+        assert_eq!(root, t.root());
+        assert_eq!(hashes, u64::from(t.levels()));
+        let empty = t.level_nodes(0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn level_nodes_round_trip_after_lazy_fold() {
+        let mut eager = tree();
+        let mut lazy = tree();
+        lazy.set_lazy(true);
+        for i in 0..30u64 {
+            let d = Sha512::digest(&[i as u8, 11]);
+            eager.update_leaf(i * 7 % 64, d);
+            lazy.update_leaf(i * 7 % 64, d);
+        }
+        lazy.fold();
+        for level in 0..eager.levels() {
+            assert_eq!(eager.level_nodes(level), lazy.level_nodes(level));
+        }
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! regions of the physical address space; this module assigns each species
 //! a disjoint block-number base so the caches and the NVM banking model
 //! see distinct addresses.
+//!
+//! These caches are *volatile*: what survives a crash is decided one
+//! layer up by the persistence policy (`secpb-core`'s `policy` module,
+//! DESIGN.md §18) — root-only baselines rebuild everything the caches
+//! held from the NVM counter region, while Triad-NVM depths and the
+//! fast-recovery shadow layout persist more of it eagerly and charge
+//! the extra traffic to the policy's analytic write-amp counters.
 
 use secpb_sim::addr::BlockAddr;
 use secpb_sim::config::CacheConfig;

@@ -13,6 +13,7 @@
 //!
 //! ```text
 //! magic "SPBC" | version u32 | config fingerprint u64 | sections...
+//!   ... | "SPOL" | policy state (shadow root, write-amp counters)
 //! ```
 //!
 //! The fingerprint is the first eight bytes of a SHA-512 over the wire
@@ -39,7 +40,7 @@
 //!
 //! [`ShardOutcome`]: https://docs.rs/secpb-bench
 
-use secpb_crypto::sha512::Sha512;
+use secpb_crypto::sha512::{Digest, Sha512};
 use secpb_sim::config::{CacheConfig, SystemConfig};
 use secpb_sim::cycle::Cycle;
 use secpb_sim::stats::Stats;
@@ -56,7 +57,17 @@ use crate::tree::TreeKind;
 pub const MAGIC: [u8; 4] = *b"SPBC";
 
 /// Current checkpoint wire-format version.
-pub const VERSION: u32 = 1;
+///
+/// Version history:
+/// - 1: initial format.
+/// - 2: persistence-policy knobs join the config fingerprint and a
+///   tagged [`POLICY_TAG`] section carrying the policy's analytic
+///   state (shadow root, write-amplification counters) closes the
+///   payload.
+pub const VERSION: u32 = 2;
+
+/// The four tag bytes opening the persistence-policy section (v2+).
+pub const POLICY_TAG: [u8; 4] = *b"SPOL";
 
 /// Why a checkpoint could not be produced or applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -167,6 +178,8 @@ pub fn config_fingerprint(
     w.bool(cfg.security.single_inflight_bmt);
     w.bool(cfg.security.value_independent_coalescing);
     w.bool(cfg.security.speculative_verification);
+    w.u8(cfg.security.triad_levels);
+    w.bool(cfg.security.shadow_counters);
     w.str(cfg.security.metadata_mode.name());
     w.str(cfg.security.crypto_backend.name());
     w.u64(cfg.nvm.size_bytes);
@@ -223,6 +236,19 @@ impl SecureSystem {
         for (_, v) in self.breakdown.entries() {
             w.u64(v);
         }
+        // ---- persistence-policy section (v2) ----
+        w.raw(&POLICY_TAG);
+        let ps = self.domain.policy_state();
+        match ps.shadow_root {
+            Some(d) => {
+                w.bool(true);
+                w.raw(&d.0);
+            }
+            None => w.bool(false),
+        }
+        w.u64(ps.node_writes);
+        w.u64(ps.shadow_writes);
+        w.u64(ps.leaf_persists);
         w.into_bytes()
     }
 
@@ -288,6 +314,20 @@ impl SecureSystem {
             drain_wait: r.u64()?,
         };
         self.tracer.reset();
+        // ---- persistence-policy section (v2) ----
+        if r.array::<4>()? != POLICY_TAG {
+            return Err(CheckpointError::Wire(
+                r.malformed("missing persistence-policy section tag"),
+            ));
+        }
+        self.domain.policy_state.shadow_root = if r.bool()? {
+            Some(Digest(r.array::<64>()?))
+        } else {
+            None
+        };
+        self.domain.policy_state.node_writes = r.u64()?;
+        self.domain.policy_state.shadow_writes = r.u64()?;
+        self.domain.policy_state.leaf_persists = r.u64()?;
         if !r.is_empty() {
             return Err(CheckpointError::Wire(
                 r.malformed("trailing bytes after checkpoint payload"),

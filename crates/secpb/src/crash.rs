@@ -21,6 +21,7 @@ use std::fmt;
 use secpb_sim::addr::{Asid, BlockAddr};
 use secpb_sim::cycle::Cycle;
 
+use crate::policy::PolicyError;
 use crate::scheme::Scheme;
 
 /// A rejected system configuration.
@@ -47,6 +48,9 @@ pub enum ConfigError {
         /// The configured low watermark.
         low: f64,
     },
+    /// The persistence-policy knobs are illegal for this configuration
+    /// (depth out of range, forest tree, dependency violation).
+    Policy(PolicyError),
 }
 
 impl fmt::Display for ConfigError {
@@ -64,7 +68,14 @@ impl fmt::Display for ConfigError {
                 f,
                 "drain watermarks must satisfy 0 <= low <= high <= 1, got low={low} high={high}"
             ),
+            ConfigError::Policy(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<PolicyError> for ConfigError {
+    fn from(e: PolicyError) -> Self {
+        ConfigError::Policy(e)
     }
 }
 

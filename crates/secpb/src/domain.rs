@@ -31,6 +31,7 @@ use secpb_sim::trace::Access;
 use secpb_sim::wire::{WireError, WireReader, WireWriter};
 
 use crate::entry::Entry;
+use crate::policy::{CounterLayout, PersistencePolicy, PolicyState, TreePersistence};
 use crate::tree::{IntegrityTree, TreeKind};
 
 /// BMT arity used throughout (8-ary, 8 levels covers 16 M pages).
@@ -92,6 +93,18 @@ pub struct FlushRecord {
     pub tree_hashes: u64,
 }
 
+/// The durable integrity-tree frontier a
+/// [`TreePersistence::Levels`] policy keeps online (see
+/// [`PersistDomain::persisted_frontier`]).
+pub(crate) struct PersistedFrontier {
+    /// `(index, digest)` pairs of the frontier level's nodes.
+    pub(crate) nodes: Vec<(u64, Digest)>,
+    /// The root the frontier folds up to.
+    pub(crate) root: Digest,
+    /// Hash invocations that fold costs (recovery accounting).
+    pub(crate) fold_hashes: u64,
+}
+
 /// The shared persist-domain core: golden state, counters, NVM image,
 /// crypto engines, and integrity tree.
 ///
@@ -114,6 +127,12 @@ pub struct PersistDomain {
     /// Resolved crypto backend every engine dispatches through.
     pub(crate) backend: CryptoBackend,
     pub(crate) ctr_digests: DigestMemo,
+    /// The persistence policy driving this domain (what metadata is
+    /// persisted when); `PersistencePolicy::for_scheme` layouts are the
+    /// byte-identical baseline.
+    pub(crate) policy: PersistencePolicy,
+    /// Dynamic policy state: shadow root + write-amplification counters.
+    pub(crate) policy_state: PolicyState,
 }
 
 impl std::fmt::Debug for PersistDomain {
@@ -136,6 +155,7 @@ impl PersistDomain {
         mode: MetadataMode,
         backend_kind: CryptoBackendKind,
         key_seed: u64,
+        policy: PersistencePolicy,
     ) -> Self {
         let mut aes_key = [0u8; 24];
         for (i, b) in aes_key.iter_mut().enumerate() {
@@ -168,7 +188,20 @@ impl PersistDomain {
             mode,
             backend,
             ctr_digests: DigestMemo::new(secpb_crypto::memo::DEFAULT_CAPACITY),
+            policy,
+            policy_state: PolicyState::default(),
         }
+    }
+
+    /// The persistence policy driving this domain.
+    pub fn policy(&self) -> PersistencePolicy {
+        self.policy
+    }
+
+    /// The policy's dynamic state (shadow root, write-amplification
+    /// counters).
+    pub fn policy_state(&self) -> &PolicyState {
+        &self.policy_state
     }
 
     /// The architecturally-expected plaintext of a block (all stores
@@ -219,12 +252,23 @@ impl PersistDomain {
         pads.merged(self.ctr_digests.stats())
     }
 
-    /// Persists the tree root into NVM after a leaf update.  The lazy
-    /// engine skips this: the root register is only *read* at recovery,
-    /// which always follows a [`sync_root`](Self::sync_root).
+    /// Persists the tree root into NVM after a leaf update, charging the
+    /// policy's durable metadata traffic (selective node writes, shadow
+    /// refreshes).  The lazy engine skips the register writes: durable
+    /// roots are only *read* at recovery, which always follows a
+    /// [`sync_root`](Self::sync_root).  The policy counters are analytic
+    /// — charged identically in both modes, like the tree's hash counts.
     pub(crate) fn persist_root(&mut self) {
+        self.policy_state.leaf_persists += 1;
+        self.policy_state.node_writes += self.policy.tree.node_writes_per_persist();
+        if self.policy.counters == CounterLayout::Shadow {
+            self.policy_state.shadow_writes += 1;
+        }
         if self.mode == MetadataMode::Eager {
             self.nvm.set_bmt_root(self.tree.root());
+            if self.policy.counters == CounterLayout::Shadow {
+                self.policy_state.shadow_root = Some(self.tree.root());
+            }
         }
     }
 
@@ -392,8 +436,29 @@ impl PersistDomain {
         let sync_hashes = self.tree.sync();
         if persist {
             self.nvm.set_bmt_root(self.tree.root());
+            if self.policy.counters == CounterLayout::Shadow {
+                self.policy_state.shadow_root = Some(self.tree.root());
+            }
         }
         sync_hashes
+    }
+
+    /// The durable tree frontier a [`TreePersistence::Levels`] policy
+    /// keeps online, plus the root it folds to and the hashes that fold
+    /// costs.  An observation point: callers sync first (every recovery
+    /// path does).  `None` under the root-only baseline or on forests.
+    pub(crate) fn persisted_frontier(&self) -> Option<PersistedFrontier> {
+        let TreePersistence::Levels(n) = self.policy.tree else {
+            return None;
+        };
+        let frontier_level = u32::from(n) - 1;
+        let nodes = self.tree.level_nodes(frontier_level)?;
+        let (root, fold_hashes) = self.tree.root_from_level(frontier_level, &nodes)?;
+        Some(PersistedFrontier {
+            nodes,
+            root,
+            fold_hashes,
+        })
     }
 
     /// Appends the domain's dynamic state — golden image, logical
@@ -488,6 +553,7 @@ mod tests {
             MetadataMode::Eager,
             CryptoBackendKind::Auto,
             7,
+            PersistencePolicy::default(),
         );
         let block = Address(0x1000).block();
         d.golden.insert(block, [3u8; 64]);
@@ -509,6 +575,7 @@ mod tests {
             MetadataMode::Lazy,
             CryptoBackendKind::Auto,
             42,
+            PersistencePolicy::default(),
         );
         let block = Address(0x2000).block();
         d.golden.insert(block, [9u8; 64]);

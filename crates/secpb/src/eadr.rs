@@ -29,6 +29,7 @@ use secpb_sim::trace::{Access, AccessKind, TraceItem};
 use crate::crash::{DrainWork, RecoveryReport};
 use crate::domain::{DomainKeys, PersistDomain};
 use crate::metrics::{counters, CycleBreakdown, RunResult};
+use crate::policy::PersistencePolicy;
 use crate::scheme::Scheme;
 use crate::tree::TreeKind;
 
@@ -52,7 +53,14 @@ impl std::fmt::Debug for EadrSystem {
 
 impl EadrSystem {
     /// Creates a secure-eADR system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the persistence-policy knobs in `cfg.security` are
+    /// inconsistent (e.g. a Triad depth deeper than the tree).
     pub fn new(cfg: SystemConfig, key_seed: u64) -> Self {
+        let policy = PersistencePolicy::resolve(Scheme::NoGap, &cfg.security, TreeKind::Monolithic)
+            .expect("invalid persistence policy");
         let domain = PersistDomain::new(
             DomainKeys::EADR,
             TreeKind::Monolithic,
@@ -60,6 +68,7 @@ impl EadrSystem {
             cfg.security.metadata_mode,
             cfg.security.crypto_backend,
             key_seed,
+            policy,
         );
         EadrSystem {
             hierarchy: Hierarchy::new(&cfg),

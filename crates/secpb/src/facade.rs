@@ -44,6 +44,7 @@ use crate::crash::{CrashKind, CrashReport, DrainPolicy, DrainWork, RecoveryError
 use crate::eadr::EadrSystem;
 use crate::metrics::{counters, RunResult};
 use crate::multicore::MultiCoreSystem;
+use crate::policy::{CounterLayout, PersistencePolicy, RecoveryCost};
 use crate::scheme::Scheme;
 use crate::system::SecureSystem;
 
@@ -184,33 +185,40 @@ pub trait PersistSystem {
     /// architectural expectation so replay can continue.
     fn resync_lost_golden(&mut self, lost: &[BlockAddr]);
 
-    /// Estimated post-crash recovery latency in cycles: fetching every
-    /// persisted counter block and folding it into the rebuilt BMT, then
-    /// fetching, decrypting, and MAC-verifying every data block.  NVM
-    /// reads pipeline across banks; crypto units pipeline at their
-    /// occupancy (one hash per `bmt_hash_latency`).
+    /// The persistence policy the front runs — early-step assignment
+    /// plus durable tree/counter layout.  Fronts without a policy knob
+    /// surface report their scheme's default resolution.
+    fn policy(&self) -> PersistencePolicy {
+        PersistencePolicy::for_scheme(self.scheme())
+    }
+
+    /// Exact post-crash recovery accounting under the front's
+    /// persistence policy: persisted counter pages and tree-frontier
+    /// nodes fetched, node hashes folded to revalidate the root, data
+    /// blocks fetched/decrypted/MAC-verified, and the total latency in
+    /// cycles.  NVM reads pipeline across banks; crypto units pipeline
+    /// at their occupancy (one hash per `bmt_hash_latency`).
     ///
     /// This is the quantity recovery-time work like Anubis (Zubair &
-    /// Awad, ISCA'19 — the paper's \[74\]) optimizes; exposing it lets the
-    /// benches show how recovery time scales with the persistent
-    /// footprint.  Derived entirely from [`config`](Self::config) and
-    /// [`nvm_store`](Self::nvm_store), so every front shares one
-    /// estimator.
-    fn estimated_recovery_cycles(&self) -> u64 {
-        let cfg = self.config();
-        let sec = &cfg.security;
-        let banks = cfg.nvm.banks.max(1) as u64;
-        let read = cfg.nvm.read_latency.raw();
+    /// Awad, ISCA'19 — the paper's \[74\]) and the Triad-NVM /
+    /// fast-recovery policies trade write traffic against; the
+    /// `recovery_sweep` bench promotes it to a swept grid metric.  The
+    /// default is the root-only rebuild, derived entirely from
+    /// [`config`](Self::config) and [`nvm_store`](Self::nvm_store);
+    /// policy-aware fronts override it.
+    fn recovery_cost(&self) -> RecoveryCost {
         let nvm = self.nvm_store();
-        let pages = nvm.counter_pages().count() as u64;
-        let blocks = nvm.data_block_count() as u64;
-        // Counter fetches and tree rebuild.
-        let counter_fetch = pages * read / banks + read.min(pages * read);
-        let tree_rebuild = pages * u64::from(sec.bmt_levels) * sec.bmt_hash_latency;
-        // Data fetch + decrypt + verify, pipelined.
-        let data_fetch = blocks * read / banks + if blocks > 0 { read } else { 0 };
-        let verify = blocks * sec.mac_latency.max(sec.otp_latency);
-        counter_fetch + tree_rebuild + data_fetch + verify
+        RecoveryCost::root_only(
+            self.config(),
+            nvm.counter_pages().count() as u64,
+            nvm.data_block_count() as u64,
+        )
+    }
+
+    /// Estimated post-crash recovery latency in cycles — the `cycles`
+    /// field of [`recovery_cost`](Self::recovery_cost).
+    fn estimated_recovery_cycles(&self) -> u64 {
+        self.recovery_cost().cycles
     }
 
     /// The architecturally expected plaintext of a block.
@@ -299,6 +307,31 @@ impl PersistSystem for SecureSystem {
 
     fn resync_lost_golden(&mut self, lost: &[BlockAddr]) {
         SecureSystem::resync_lost_golden(self, lost);
+    }
+
+    fn policy(&self) -> PersistencePolicy {
+        SecureSystem::policy(self)
+    }
+
+    fn recovery_cost(&self) -> RecoveryCost {
+        let cfg = SecureSystem::config(self);
+        let nvm = SecureSystem::nvm_store(self);
+        let pages = nvm.counter_pages().count() as u64;
+        let blocks = nvm.data_block_count() as u64;
+        let policy = SecureSystem::policy(self);
+        if policy.counters == CounterLayout::Shadow {
+            RecoveryCost::fast_recovery(cfg, pages, blocks)
+        } else if let Some(frontier) = self.domain.persisted_frontier() {
+            RecoveryCost::selective(
+                cfg,
+                pages,
+                blocks,
+                frontier.nodes.len() as u64,
+                frontier.fold_hashes,
+            )
+        } else {
+            RecoveryCost::root_only(cfg, pages, blocks)
+        }
     }
 
     fn expected_plaintext(&self, block: BlockAddr) -> [u8; 64] {

@@ -21,7 +21,10 @@
 //!   caches + WPQ + NVM, with both a timing model and a functional
 //!   (actually encrypted and integrity-protected) persistent state,
 //! * [`pipeline`] — the per-store early-work path, driven entirely by the
-//!   scheme's [`scheme::EarlyWork`] flags,
+//!   policy's [`scheme::EarlyWork`] flags,
+//! * [`policy`] — the composable persistence-policy layer: early/lazy
+//!   step assignment, Triad-NVM-style selective tree depth, and the
+//!   Huang & Hua fast-recovery layout, with exact recovery accounting,
 //! * [`recovery`] — the battery-powered crash drain and the post-crash
 //!   verdict kernel shared by all fronts,
 //! * [`crash`] — crash kinds, drain policies (drain-all/drain-process),
@@ -69,6 +72,7 @@ pub mod facade;
 pub mod metrics;
 pub mod multicore;
 pub mod pipeline;
+pub mod policy;
 pub mod recovery;
 pub mod scheme;
 pub mod system;
@@ -80,5 +84,6 @@ pub use crash::{ConfigError, CrashKind, DrainPolicy, ObserverPolicy, RecoveryRep
 pub use domain::{DomainKeys, PersistDomain};
 pub use facade::PersistSystem;
 pub use metrics::RunResult;
+pub use policy::{PersistencePolicy, PolicyError, RecoveryCost};
 pub use scheme::Scheme;
 pub use system::SecureSystem;

@@ -33,6 +33,7 @@ use crate::crash::{ConfigError, RecoveryError, RecoveryReport};
 use crate::domain::{DomainKeys, PersistDomain};
 use crate::entry::Entry;
 use crate::metrics::{counters, CycleBreakdown, RunResult};
+use crate::policy::PersistencePolicy;
 use crate::scheme::Scheme;
 use crate::tree::TreeKind;
 
@@ -85,6 +86,7 @@ impl MultiCoreSystem {
         if !scheme.uses_secpb() {
             return Err(ConfigError::BufferlessScheme(scheme));
         }
+        let policy = PersistencePolicy::resolve(scheme, &cfg.security, TreeKind::Monolithic)?;
         let domain = PersistDomain::new(
             DomainKeys::MULTI_CORE,
             TreeKind::Monolithic,
@@ -92,6 +94,7 @@ impl MultiCoreSystem {
             cfg.security.metadata_mode,
             cfg.security.crypto_backend,
             key_seed,
+            policy,
         );
         Ok(MultiCoreSystem {
             coherence: CoherenceController::new(cores, cfg.secpb)?,

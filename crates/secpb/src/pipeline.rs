@@ -93,7 +93,9 @@ impl SecureSystem {
         }
         let mut release = self.now.max(self.pb_busy_until);
         self.drain_engine.retire(release);
-        let ew = self.scheme.early_work();
+        // The policy's early-step assignment drives the per-store
+        // pipeline; `Scheme::early_work` is just its default resolution.
+        let ew = self.domain.policy.early;
         let secure = self.scheme.is_secure();
         let pb_lat = self.cfg.secpb.access_latency;
 

@@ -20,6 +20,7 @@ use crate::crash::{
 };
 use crate::domain::PersistDomain;
 use crate::metrics::counters;
+use crate::policy::CounterLayout;
 use crate::system::SecureSystem;
 
 impl PersistDomain {
@@ -68,16 +69,38 @@ impl PersistDomain {
             return report;
         }
 
-        // Rebuild the tree from the persisted counter blocks.
-        let mut rebuilt = self.rebuilt_tree();
-        let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
-        pages.sort_unstable();
-        for page in pages {
-            let cb = self.nvm.read_counters(page);
-            rebuilt.update_leaf(page, self.counter_digest(page, &cb));
-        }
-        rebuilt.sync();
-        report.root_ok = self.nvm.bmt_root() == Some(rebuilt.root());
+        // The functional oracle is policy-independent: rebuild the tree
+        // from the persisted counter blocks and match it against the
+        // durable root register, so a flip anywhere in the counter image
+        // is caught under every durable-tree layout.  The *policy*
+        // changes what the recovery-latency model charges for this sweep
+        // ([`RecoveryCost`](crate::policy::RecoveryCost)) and adds its
+        // own durable-layout consistency check on top.
+        let rebuilt_ok = {
+            let mut rebuilt = self.rebuilt_tree();
+            let mut pages: Vec<u64> = self.nvm.counter_pages().collect();
+            pages.sort_unstable();
+            for page in pages {
+                let cb = self.nvm.read_counters(page);
+                rebuilt.update_leaf(page, self.counter_digest(page, &cb));
+            }
+            rebuilt.sync();
+            self.nvm.bmt_root() == Some(rebuilt.root())
+        };
+        let layout_ok = if self.policy.counters == CounterLayout::Shadow {
+            // Fast-recovery layout (Huang & Hua): the durable shadow of
+            // the root must validate the register.  Every recovery
+            // follows a sync, so the shadow reflects the final persisted
+            // root in both metadata modes.
+            self.nvm.bmt_root().is_some() && self.nvm.bmt_root() == self.policy_state.shadow_root
+        } else if let Some(frontier) = self.persisted_frontier() {
+            // Triad-NVM selective persistence: folding up from the
+            // durable level frontier must land on the root register.
+            self.nvm.bmt_root() == Some(frontier.root)
+        } else {
+            true
+        };
+        report.root_ok = rebuilt_ok && layout_ok;
 
         // The sweep MACs every persisted block; verifying a chunk at a
         // time turns the hot loop into a few multi-lane HMAC dispatches

@@ -154,6 +154,19 @@ impl Scheme {
         }
     }
 
+    /// The SecPB scheme whose early-work assignment is `ew`, if any.
+    ///
+    /// Every legal prefix of the Figure 4 chain names exactly one member
+    /// of [`Scheme::SECPB_SCHEMES`]; the baselines (`Bbb`, `Sp`) reuse
+    /// `NONE`/`ALL` and are deliberately *not* returned here, so the
+    /// round trip `scheme → early_work → from_early_work` is the
+    /// identity on the six SecPB schemes.
+    pub fn from_early_work(ew: EarlyWork) -> Option<Scheme> {
+        Scheme::SECPB_SCHEMES
+            .into_iter()
+            .find(|s| s.early_work() == ew)
+    }
+
     /// Whether this scheme secures memory at all (everything but `Bbb`).
     pub fn is_secure(self) -> bool {
         self != Scheme::Bbb

@@ -44,6 +44,7 @@ use crate::buffer::SecPb;
 use crate::domain::{DomainKeys, PersistDomain};
 use crate::drain::DrainEngine;
 use crate::metrics::{counters, histograms, CycleBreakdown, RunResult};
+use crate::policy::{PersistencePolicy, PolicyState};
 use crate::scheme::Scheme;
 use crate::tree::{IntegrityTree, TreeKind};
 
@@ -179,12 +180,40 @@ impl SecureSystem {
 
     /// Builds a system with an explicit integrity-tree organisation
     /// (Figure 9's DBMF/SBMF variants).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the persistence-policy knobs in `cfg.security`
+    /// (`triad_levels`, `shadow_counters`) are illegal for this tree;
+    /// use [`build`](Self::build) to get a typed error instead.  The
+    /// default knobs are always legal.
     pub fn with_tree(
         cfg: SystemConfig,
         scheme: Scheme,
         tree_kind: TreeKind,
         key_seed: u64,
     ) -> Self {
+        Self::build(cfg, scheme, tree_kind, key_seed).expect("invalid persistence policy")
+    }
+
+    /// [`with_tree`](Self::with_tree) with policy validation surfaced as
+    /// a value: the persistence policy is resolved from the scheme plus
+    /// the `triad_levels`/`shadow_counters` knobs and rejected with a
+    /// typed [`ConfigError::Policy`](crate::crash::ConfigError) when the
+    /// combination is illegal (depth beyond the tree height, selective
+    /// depth on a forest).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Policy`](crate::crash::ConfigError) on an illegal
+    /// policy assignment.
+    pub fn build(
+        cfg: SystemConfig,
+        scheme: Scheme,
+        tree_kind: TreeKind,
+        key_seed: u64,
+    ) -> Result<Self, crate::crash::ConfigError> {
+        let policy = PersistencePolicy::resolve(scheme, &cfg.security, tree_kind)?;
         let domain = PersistDomain::new(
             DomainKeys::SECPB,
             tree_kind,
@@ -192,10 +221,11 @@ impl SecureSystem {
             cfg.security.metadata_mode,
             cfg.security.crypto_backend,
             key_seed,
+            policy,
         );
         let mut stats = Stats::new();
         let h = StatHandles::register(&mut stats);
-        SecureSystem {
+        Ok(SecureSystem {
             hierarchy: Hierarchy::new(&cfg),
             metadata: MetadataCaches::new(&cfg),
             wpq: WritePendingQueue::new(cfg.wpq_entries),
@@ -215,7 +245,17 @@ impl SecureSystem {
             store_buffer: VecDeque::new(),
             scheme,
             cfg,
-        }
+        })
+    }
+
+    /// The persistence policy driving this system.
+    pub fn policy(&self) -> PersistencePolicy {
+        self.domain.policy()
+    }
+
+    /// Analytic write-amplification counters accumulated by the policy.
+    pub fn policy_state(&self) -> &PolicyState {
+        self.domain.policy_state()
     }
 
     /// The scheme under simulation.

@@ -155,6 +155,27 @@ impl IntegrityTree {
         }
     }
 
+    /// The non-default `(index, digest)` nodes of one level, sorted by
+    /// index — the durable frontier a Triad-NVM-style policy keeps
+    /// online.  `None` for forests, whose subtree roots already play
+    /// that role (selective depth is a monolithic-tree policy).
+    pub fn level_nodes(&self, level: u32) -> Option<Vec<(u64, Digest)>> {
+        match self {
+            IntegrityTree::Monolithic(t) => Some(t.level_nodes(level)),
+            IntegrityTree::Forest(_) => None,
+        }
+    }
+
+    /// Recomputes the root from a persisted frontier at `level` (see
+    /// [`BonsaiMerkleTree::root_from_level`]); returns the root plus the
+    /// node hashes the fold performed.  `None` for forests.
+    pub fn root_from_level(&self, level: u32, overlay: &[(u64, Digest)]) -> Option<(Digest, u64)> {
+        match self {
+            IntegrityTree::Monolithic(t) => Some(t.root_from_level(level, overlay)),
+            IntegrityTree::Forest(_) => None,
+        }
+    }
+
     /// Appends the tree's dynamic state to a checkpoint.  The variant is
     /// tagged so restore catches a tree-kind mismatch before diving into
     /// the payload.

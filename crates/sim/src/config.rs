@@ -263,6 +263,15 @@ pub struct SecurityConfig {
     /// Crypto backend the functional engines dispatch through (a host
     /// performance knob; observable outputs are identical).
     pub crypto_backend: CryptoBackendKind,
+    /// Triad-NVM-style selective tree persistence: persist BMT levels
+    /// `0..triad_levels` alongside the root and reconstruct only the
+    /// remainder at recovery (Awad et al.).  `0` keeps the baseline
+    /// root-only layout.
+    pub triad_levels: u8,
+    /// Huang & Hua-style write-friendly fast-recovery layout: maintain a
+    /// durable shadow copy of the BMT root so recovery validates in
+    /// near-constant tree work instead of a full rebuild.
+    pub shadow_counters: bool,
 }
 
 impl Default for SecurityConfig {
@@ -277,6 +286,8 @@ impl Default for SecurityConfig {
             speculative_verification: true,
             metadata_mode: MetadataMode::default(),
             crypto_backend: CryptoBackendKind::default(),
+            triad_levels: 0,
+            shadow_counters: false,
         }
     }
 }
@@ -411,6 +422,22 @@ impl SystemConfig {
     /// AES-NI).  Observable outputs are identical in all of them.
     pub fn with_crypto_backend(mut self, backend: CryptoBackendKind) -> Self {
         self.security.crypto_backend = backend;
+        self
+    }
+
+    /// Returns a copy with Triad-NVM-style selective tree persistence:
+    /// BMT levels `0..levels` are persisted alongside the root; the rest
+    /// of the tree is reconstructed at recovery.  `0` restores the
+    /// baseline root-only layout.
+    pub fn with_triad_levels(mut self, levels: u8) -> Self {
+        self.security.triad_levels = levels;
+        self
+    }
+
+    /// Returns a copy with the Huang & Hua-style write-friendly
+    /// fast-recovery metadata layout toggled.
+    pub fn with_shadow_counters(mut self, on: bool) -> Self {
+        self.security.shadow_counters = on;
         self
     }
 

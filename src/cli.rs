@@ -16,11 +16,15 @@
 //! secpb trace run <file> <scheme>                       replay a saved trace
 //! secpb serve [--quick] [--shards N] [...]              sharded multi-tenant service
 //! secpb soak [--quick] [--seed N]                       fault-tolerance soak storm
+//! secpb recover-sweep [--quick] [...]                   recovery-latency vs write-amp curve
+//! secpb schemes                                         scheme/front/policy table
 //! secpb list                                            benchmarks + schemes
 //! ```
 //!
-//! `--front` selects the system front (`secpb`, `eadr`, or `mc<N>` for
-//! an N-core machine); every front is driven through the
+//! `--front` selects the system front (`secpb`, `eadr`, `mc<N>` for an
+//! N-core machine, `triad<N>` for Triad-NVM selective tree persistence,
+//! or `fastrec` for the Huang & Hua fast-recovery layout); every front
+//! is driven through the
 //! [`PersistSystem`](secpb_core::facade::PersistSystem) facade, so
 //! `run` and `crash` are written once.
 
@@ -55,7 +59,11 @@ pub const USAGE: &str = "usage:
   secpb serve [--quick] [--shards N] [--workers N] [--tenants N] [--instructions N]
               [--epoch N] [--seed N] [--trace NAME=PATH]...
   secpb soak [--quick] [--seed N]
-  secpb list";
+  secpb recover-sweep [--quick] [--instructions N] [--seed N] [--json FILE]
+  secpb schemes
+  secpb list
+
+fronts: secpb, eadr, mc<N>, triad<N>, fastrec";
 
 /// Executes one CLI invocation (argv without the program name).
 ///
@@ -73,6 +81,8 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         Some("trace") => cmd_trace(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("soak") => cmd_soak(&args[1..]),
+        Some("recover-sweep") => cmd_recover_sweep(&args[1..]),
+        Some("schemes") => Ok(cmd_schemes()),
         Some("list") => Ok(cmd_list()),
         _ => Err(USAGE.to_owned()),
     }
@@ -102,7 +112,7 @@ fn take_front(args: &[String]) -> Result<(StormFront, Vec<String>), String> {
             i += 1;
             front = args
                 .get(i)
-                .ok_or("--front takes secpb, eadr, or mc<N>")?
+                .ok_or("--front takes secpb, eadr, mc<N>, triad<N>, or fastrec")?
                 .parse()?;
         } else {
             rest.push(args[i].clone());
@@ -638,6 +648,105 @@ fn cmd_soak(args: &[String]) -> Result<String, String> {
     Ok(text)
 }
 
+fn cmd_recover_sweep(args: &[String]) -> Result<String, String> {
+    use secpb_bench::recovery_sweep::{run_sweep, SweepConfig};
+
+    let mut args = args.to_vec();
+    let quick = args.iter().any(|a| a == "--quick");
+    args.retain(|a| a != "--quick");
+    let instructions = take_numeric_flag::<u64>(&mut args, "--instructions")?;
+    let seed = take_numeric_flag::<u64>(&mut args, "--seed")?.unwrap_or(0x5EC9_B0A2);
+    let json_path = take_path_flag(&mut args, "--json")?;
+    if let Some(stray) = args.first() {
+        return Err(format!("unknown recover-sweep argument `{stray}`\n{USAGE}"));
+    }
+
+    let mut cfg = if quick {
+        SweepConfig::quick(seed)
+    } else {
+        SweepConfig::new(seed)
+    };
+    if let Some(n) = instructions {
+        cfg.instructions = n;
+    }
+    let report = run_sweep(&cfg);
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json().to_pretty()).map_err(|e| e.to_string())?;
+    }
+    let text = report.render_text();
+    if report.passed() {
+        Ok(text)
+    } else {
+        Err(format!("recovery sweep failed:\n{text}"))
+    }
+}
+
+fn cmd_schemes() -> String {
+    use secpb_core::policy::PersistencePolicy;
+
+    let step_list = |ew: secpb_core::scheme::EarlyWork, early: bool| -> String {
+        let steps = [
+            (ew.counter, "counter"),
+            (ew.otp, "otp"),
+            (ew.bmt, "bmt"),
+            (ew.ciphertext, "ct"),
+            (ew.mac, "mac"),
+        ];
+        let picked: Vec<&str> = steps
+            .iter()
+            .filter(|(on, _)| *on == early)
+            .map(|(_, n)| *n)
+            .collect();
+        if picked.is_empty() {
+            "-".to_string()
+        } else {
+            picked.join(",")
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>6} {:<24} {:<24} policy",
+        "scheme", "secure", "early (at persist)", "late (at drain/sync)"
+    );
+    for scheme in Scheme::ALL {
+        let ew = scheme.early_work();
+        let policy = PersistencePolicy::for_scheme(scheme);
+        let _ = writeln!(
+            out,
+            "{:<8} {:>6} {:<24} {:<24} {}",
+            scheme.name(),
+            if scheme.is_secure() { "yes" } else { "no" },
+            step_list(ew, true),
+            step_list(ew, false),
+            if policy.is_baseline() {
+                "root-only/plain"
+            } else {
+                "custom"
+            }
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "fronts (select with --front):");
+    let _ = writeln!(
+        out,
+        "  secpb     single-core SecPB pipeline (baseline root-only tree)"
+    );
+    let _ = writeln!(out, "  eadr      secure-eADR whole-hierarchy drain");
+    let _ = writeln!(out, "  mc<N>     N-core directory-coherence SecPB");
+    let _ = writeln!(
+        out,
+        "  triad<N>  Triad-NVM selective persistence: tree levels 0..N durable,\n            \
+         recovery folds the rest from the level N-1 frontier"
+    );
+    let _ = writeln!(
+        out,
+        "  fastrec   Huang & Hua fast-recovery layout: durable shadow of the BMT\n            \
+         root, near-constant recovery validation"
+    );
+    out
+}
+
 fn cmd_list() -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -681,7 +790,7 @@ mod tests {
 
     #[test]
     fn run_drives_every_front_through_the_facade() {
-        for front in ["secpb", "eadr", "mc2"] {
+        for front in ["secpb", "eadr", "mc2", "triad4", "fastrec"] {
             let out = run(&["run", "hmmer", "cobcm", "32", "20000", "--front", front]).unwrap();
             assert!(out.contains(&format!("front={front}")), "{out}");
             assert!(out.contains("cycles"), "{out}");
@@ -690,10 +799,20 @@ mod tests {
 
     #[test]
     fn crash_recovers_on_every_front() {
-        for front in ["secpb", "eadr", "mc2"] {
+        for front in ["secpb", "eadr", "mc2", "triad4", "fastrec"] {
             let out = run(&["crash", "sjeng", "bcm", "20000", "--front", front]).unwrap();
             assert!(out.contains("consistent           true"), "{front}: {out}");
         }
+    }
+
+    #[test]
+    fn triad_front_rejects_depths_beyond_the_tree() {
+        let err = run(&[
+            "run", "hmmer", "cobcm", "32", "20000", "--front", "triad200",
+        ])
+        .unwrap_err();
+        assert!(err.contains("invalid configuration"), "{err}");
+        assert!(err.contains("depth"), "{err}");
     }
 
     #[test]
@@ -832,6 +951,42 @@ mod tests {
             })
             .unwrap_or(0);
         assert!(lost > 0, "brown-out storm should lose entries:\n{out}");
+    }
+
+    #[test]
+    fn recover_sweep_quick_reports_monotone_curve() {
+        let out = run(&["recover-sweep", "--quick"]).unwrap();
+        for name in ["fastrec", "triad-full", "nogap", "cobcm"] {
+            assert!(out.contains(name), "{out}");
+        }
+        assert!(out.contains("monotone"), "{out}");
+    }
+
+    #[test]
+    fn recover_sweep_writes_json_and_rejects_strays() {
+        let dir = std::env::temp_dir().join("secpb_cli_sweep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("curve.json").to_string_lossy().into_owned();
+        run(&["recover-sweep", "--quick", "--json", &path]).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let parsed = secpb_sim::json::Json::parse(&doc).expect("sweep JSON parses");
+        assert!(parsed.get("points").is_some(), "{doc}");
+        std::fs::remove_file(&path).ok();
+        assert!(run(&["recover-sweep", "--bogus"])
+            .unwrap_err()
+            .contains("unknown recover-sweep argument"));
+        assert!(run(&["recover-sweep", "--seed"]).is_err());
+    }
+
+    #[test]
+    fn schemes_table_lists_every_scheme_and_front() {
+        let out = run(&["schemes"]).unwrap();
+        for scheme in Scheme::ALL {
+            assert!(out.contains(scheme.name()), "{out}");
+        }
+        for token in ["counter", "mac", "triad<N>", "fastrec", "root-only/plain"] {
+            assert!(out.contains(token), "{out}");
+        }
     }
 
     #[test]

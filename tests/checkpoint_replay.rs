@@ -139,6 +139,82 @@ fn restored_system_survives_crash_and_recovery_identically() {
 }
 
 #[test]
+fn policy_fronts_replay_identically_after_restore() {
+    // The v2 checkpoint carries the persistence-policy section (shadow
+    // root + write-amp counters), so the Triad and fast-recovery fronts
+    // must satisfy the same restore@N + replay ≡ straight-through
+    // contract as every baseline scheme — including the policy state the
+    // recovery sweep reads.
+    let fronts: [(&str, SystemConfig); 2] = [
+        ("triad4", SystemConfig::default().with_triad_levels(4)),
+        (
+            "fastrec",
+            SystemConfig::default().with_shadow_counters(true),
+        ),
+    ];
+    for (name, cfg) in &fronts {
+        for mode in [MetadataMode::Eager, MetadataMode::Lazy] {
+            let epochs = epochs("milc", 0xFA57 ^ mode as u64, 5, 1500);
+            let cfg = cfg.clone().with_metadata_mode(mode);
+            let mut reference =
+                SecureSystem::build(cfg.clone(), Scheme::NoGap, TreeKind::Monolithic, 23).unwrap();
+            let (snap, final_ref) = run_epochs(&mut reference, &epochs, 2);
+
+            let mut resumed =
+                SecureSystem::build(cfg, Scheme::NoGap, TreeKind::Monolithic, 23).unwrap();
+            resumed.restore_bytes(&snap).unwrap();
+            for epoch in &epochs[3..] {
+                resumed.run_trace(epoch.iter().copied());
+                resumed.sync_metadata();
+            }
+            assert_eq!(
+                resumed.checkpoint_bytes(),
+                final_ref,
+                "{name}/{}: restored+replayed state diverged",
+                mode.name()
+            );
+            assert_eq!(
+                resumed.policy_state(),
+                reference.policy_state(),
+                "{name}/{}: policy state (shadow root / write-amp) diverged",
+                mode.name()
+            );
+            assert!(resumed.recover().is_consistent(), "{name}/{}", mode.name());
+        }
+    }
+}
+
+#[test]
+fn policy_knobs_fingerprint_the_checkpoint() {
+    // A checkpoint taken under one policy must not restore into a system
+    // running another: the knobs are part of the config fingerprint.
+    let plain = SecureSystem::new(SystemConfig::default(), Scheme::NoGap, 9);
+    let bytes = plain.checkpoint_bytes();
+    let mut triad = SecureSystem::build(
+        SystemConfig::default().with_triad_levels(4),
+        Scheme::NoGap,
+        TreeKind::Monolithic,
+        9,
+    )
+    .unwrap();
+    assert_eq!(
+        triad.restore_bytes(&bytes),
+        Err(CheckpointError::ConfigMismatch)
+    );
+    let mut shadow = SecureSystem::build(
+        SystemConfig::default().with_shadow_counters(true),
+        Scheme::NoGap,
+        TreeKind::Monolithic,
+        9,
+    )
+    .unwrap();
+    assert_eq!(
+        shadow.restore_bytes(&bytes),
+        Err(CheckpointError::ConfigMismatch)
+    );
+}
+
+#[test]
 fn facade_exposes_checkpoint_only_on_the_single_core_front() {
     let mut secure: Box<dyn PersistSystem> =
         Box::new(SecureSystem::new(SystemConfig::default(), Scheme::Cobcm, 1));

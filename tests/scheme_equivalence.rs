@@ -3,9 +3,12 @@
 //! metadata is generated (Section IV), never in *what* recovery observes.
 
 use secpb::core::crash::{CrashKind, DrainPolicy};
+use secpb::core::facade::PersistSystem;
 use secpb::core::metrics::counters;
-use secpb::core::scheme::Scheme;
+use secpb::core::policy::{PersistencePolicy, PolicyError, RecoveryCost};
+use secpb::core::scheme::{EarlyWork, Scheme};
 use secpb::core::system::SecureSystem;
+use secpb::core::tree::TreeKind;
 use secpb::sim::config::SystemConfig;
 use secpb::workloads::{TraceGenerator, WorkloadProfile};
 
@@ -121,6 +124,90 @@ fn eager_schemes_do_more_runtime_crypto_work() {
         nogap.stats.get(counters::MACS),
         cobcm.stats.get(counters::MACS)
     );
+}
+
+#[test]
+fn scheme_early_work_policy_round_trip() {
+    // Scheme → EarlyWork → PersistencePolicy → Scheme is the identity on
+    // the paper's named schemes: the scheme axis is one instantiation of
+    // the policy, nothing more.
+    for scheme in Scheme::SECPB_SCHEMES {
+        let policy = PersistencePolicy::for_scheme(scheme);
+        assert!(policy.is_baseline(), "{scheme}: named schemes are baseline");
+        assert_eq!(policy.early, scheme.early_work());
+        assert_eq!(Scheme::from_early_work(policy.early), Some(scheme));
+    }
+}
+
+#[test]
+fn only_legal_prefixes_of_the_dependency_chain_build() {
+    // Property sweep over all 32 early-work assignments: exactly the 9
+    // legal prefixes of the Figure 4 chain (counter → {OTP → ciphertext
+    // → MAC, BMT}) construct; everything else is rejected with the typed
+    // error, never a panic or a silently-accepted policy.
+    let mut legal = 0;
+    for bits in 0u32..32 {
+        let ew = EarlyWork {
+            counter: bits & 1 != 0,
+            otp: bits & 2 != 0,
+            bmt: bits & 4 != 0,
+            ciphertext: bits & 8 != 0,
+            mac: bits & 16 != 0,
+        };
+        match PersistencePolicy::new(ew, Default::default(), Default::default()) {
+            Ok(p) => {
+                legal += 1;
+                assert!(ew.respects_dependencies());
+                assert_eq!(p.early, ew);
+            }
+            Err(e) => {
+                assert!(!ew.respects_dependencies());
+                assert_eq!(e, PolicyError::DependencyViolation(ew));
+            }
+        }
+    }
+    assert_eq!(legal, 9, "Figure 4 admits exactly 9 assignments");
+}
+
+#[test]
+fn policy_layouts_leave_scheme_timing_untouched() {
+    // The Triad/fast-recovery layouts charge their write traffic in
+    // analytic PolicyState counters, never in the timing pipeline — so
+    // every swept grid metric must be byte-identical across layouts.
+    // This is the forward-looking half of the refactor's byte-identity
+    // pin (the backward half is the normalized BENCH_grid.json diff).
+    let profile = WorkloadProfile::named("mcf").unwrap();
+    for scheme in [Scheme::Cobcm, Scheme::NoGap] {
+        let run = |cfg: SystemConfig| {
+            let trace = TraceGenerator::new(profile.clone(), 11).generate(20_000);
+            let mut sys = SecureSystem::build(cfg, scheme, TreeKind::Monolithic, 11).unwrap();
+            sys.run_trace(trace)
+        };
+        let baseline = run(SystemConfig::default());
+        let triad = run(SystemConfig::default().with_triad_levels(4));
+        let fastrec = run(SystemConfig::default().with_shadow_counters(true));
+        assert_eq!(baseline, triad, "{scheme}: triad perturbed timing");
+        assert_eq!(baseline, fastrec, "{scheme}: fastrec perturbed timing");
+    }
+}
+
+#[test]
+fn baseline_recovery_cost_is_the_root_only_formula() {
+    // The facade's policy-derived recovery accounting must reproduce the
+    // historical estimate exactly for every baseline scheme.
+    for scheme in Scheme::SECPB_SCHEMES {
+        let sys = run_and_crash(scheme, 13);
+        let nvm = sys.nvm_store();
+        let expect = RecoveryCost::root_only(
+            sys.config(),
+            nvm.counter_pages().count() as u64,
+            nvm.data_block_count() as u64,
+        );
+        let dyn_sys: &dyn PersistSystem = &sys;
+        assert_eq!(dyn_sys.recovery_cost(), expect, "{scheme}");
+        assert_eq!(dyn_sys.estimated_recovery_cycles(), expect.cycles);
+        assert!(dyn_sys.policy().is_baseline());
+    }
 }
 
 #[test]
